@@ -1,0 +1,49 @@
+//! Criterion benches for the dataset layer: store ingest, indexed query
+//! and the per-region p95 aggregation step.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iqb_bench::{build_store, standard_regions, MASTER_SEED};
+use iqb_core::dataset::DatasetId;
+use iqb_data::aggregate::{aggregate_region, AggregationSpec};
+use iqb_data::csv_io;
+use iqb_data::store::QueryFilter;
+
+fn bench_store(c: &mut Criterion) {
+    let regions = standard_regions(50);
+    let (store, _) = build_store(&regions, 500, MASTER_SEED);
+    let region = store.regions()[0].clone();
+    let spec = AggregationSpec::paper_default();
+
+    c.bench_function("store/indexed_query_region_dataset", |b| {
+        let filter = QueryFilter::all()
+            .region(region.clone())
+            .dataset(DatasetId::Ndt);
+        b.iter(|| store.query(black_box(&filter)).count())
+    });
+
+    c.bench_function("store/aggregate_region_p95", |b| {
+        b.iter(|| {
+            aggregate_region(black_box(&store), &region, &DatasetId::BUILTIN, &spec).unwrap()
+        })
+    });
+
+    c.bench_function("store/ingest_6000_records", |b| {
+        let records: Vec<_> = store.query(&QueryFilter::all()).cloned().collect();
+        b.iter(|| {
+            let mut fresh = iqb_data::store::MeasurementStore::new();
+            fresh.extend(black_box(records.iter().cloned())).unwrap()
+        })
+    });
+
+    c.bench_function("csv/round_trip_6000_records", |b| {
+        let records: Vec<_> = store.query(&QueryFilter::all()).cloned().collect();
+        b.iter(|| {
+            let mut buf = Vec::new();
+            csv_io::write_csv(&mut buf, black_box(&records)).unwrap();
+            csv_io::read_csv(buf.as_slice()).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benches for the network-simulator substrate: protocol
+//! emulation rate (the inner loop of every measurement campaign) and the
+//! discrete-event queue.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iqb_netsim::link::LinkSpec;
+use iqb_netsim::protocol::{CloudflareProtocol, NdtProtocol, OoklaProtocol, SpeedTestProtocol};
+use iqb_netsim::queue::{simulate_droptail, QueueSimConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_protocols(c: &mut Criterion) {
+    let link = LinkSpec::cable(300.0, 20.0);
+    c.bench_function("protocol/ndt_single_test", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            NdtProtocol::default()
+                .run(black_box(&link), 0.3, &mut rng)
+                .unwrap()
+        })
+    });
+    c.bench_function("protocol/ookla_single_test", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            OoklaProtocol::default()
+                .run(black_box(&link), 0.3, &mut rng)
+                .unwrap()
+        })
+    });
+    c.bench_function("protocol/cloudflare_single_test", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            CloudflareProtocol::default()
+                .run(black_box(&link), 0.3, &mut rng)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let config = QueueSimConfig {
+        service_rate_pps: 10_000.0,
+        arrival_rate_pps: 7_000.0,
+        buffer_packets: 500,
+        packets: 20_000,
+    };
+    c.bench_function("queue/droptail_20k_packets", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| simulate_droptail(black_box(&config), &mut rng).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_protocols, bench_queue);
+criterion_main!(benches);

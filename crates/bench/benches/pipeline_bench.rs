@@ -1,0 +1,58 @@
+//! Criterion benches for the end-to-end pipeline: campaign synthesis,
+//! parallel regional scoring, and windowed trends.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iqb_bench::{build_store, standard_regions, MASTER_SEED};
+use iqb_core::config::IqbConfig;
+use iqb_data::aggregate::AggregationSpec;
+use iqb_data::store::QueryFilter;
+use iqb_pipeline::runner::score_all_regions;
+use iqb_pipeline::trend::score_trend;
+use iqb_synth::campaign::{run_campaign, CampaignConfig};
+use iqb_synth::region::RegionSpec;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("campaign_synthesis_300_tests", |b| {
+        let region = RegionSpec::suburban_cable("s", 50);
+        let config = CampaignConfig {
+            tests_per_dataset: 100,
+            seed: MASTER_SEED,
+            ..Default::default()
+        };
+        b.iter(|| run_campaign(black_box(&region), &config).unwrap())
+    });
+
+    let regions = standard_regions(50);
+    let (store, _) = build_store(&regions, 500, MASTER_SEED);
+    let config = IqbConfig::paper_default();
+    let spec = AggregationSpec::paper_default();
+
+    group.bench_function("score_all_regions_4x6000", |b| {
+        b.iter(|| {
+            score_all_regions(black_box(&store), &config, &spec, &QueryFilter::all()).unwrap()
+        })
+    });
+
+    group.bench_function("trend_84_windows", |b| {
+        let region = store.regions()[0].clone();
+        b.iter(|| {
+            score_trend(
+                black_box(&store),
+                &region,
+                &config,
+                &spec,
+                0,
+                7 * 86_400,
+                2 * 3_600,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches for the IQB score computation (eq. 1–5).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iqb_core::config::{IqbConfig, ScoringMode};
+use iqb_core::dataset::DatasetId;
+use iqb_core::input::AggregateInput;
+use iqb_core::metric::Metric;
+use iqb_core::score::{score_iqb, score_iqb_flat};
+use iqb_core::sensitivity::requirement_weight_tornado;
+
+fn mid_input() -> AggregateInput {
+    let mut input = AggregateInput::new();
+    for d in DatasetId::BUILTIN {
+        input.set(d.clone(), Metric::DownloadThroughput, 120.0);
+        input.set(d.clone(), Metric::UploadThroughput, 15.0);
+        input.set(d.clone(), Metric::Latency, 18.0);
+        input.set(d, Metric::PacketLoss, 0.05);
+    }
+    input
+}
+
+fn bench_score(c: &mut Criterion) {
+    let config = IqbConfig::paper_default();
+    let graded = IqbConfig::builder()
+        .scoring_mode(ScoringMode::Graded)
+        .build()
+        .unwrap();
+    let input = mid_input();
+
+    c.bench_function("score_iqb/binary_tree", |b| {
+        b.iter(|| score_iqb(black_box(&config), black_box(&input)).unwrap())
+    });
+    c.bench_function("score_iqb/flat_eq5", |b| {
+        b.iter(|| score_iqb_flat(black_box(&config), black_box(&input)).unwrap())
+    });
+    c.bench_function("score_iqb/graded_tree", |b| {
+        b.iter(|| score_iqb(black_box(&graded), black_box(&input)).unwrap())
+    });
+    c.bench_function("sensitivity/requirement_tornado_24_weights", |b| {
+        b.iter(|| requirement_weight_tornado(black_box(&config), black_box(&input)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_score);
+criterion_main!(benches);

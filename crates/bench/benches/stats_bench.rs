@@ -1,0 +1,56 @@
+//! Criterion benches for the statistics substrate: the p95 aggregation
+//! path and its streaming alternatives.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use iqb_stats::p2::P2Quantile;
+use iqb_stats::rng::SplitMix64;
+use iqb_stats::TDigest;
+
+fn data(n: usize) -> Vec<f64> {
+    let mut rng = SplitMix64::new(42);
+    (0..n).map(|_| rng.next_f64() * 1000.0).collect()
+}
+
+fn bench_quantiles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p95_estimators");
+    for n in [1_000usize, 10_000, 100_000] {
+        let sample = data(n);
+        group.bench_with_input(BenchmarkId::new("exact_sort", n), &sample, |b, s| {
+            b.iter(|| iqb_stats::quantile(black_box(s), 0.95).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("p2_stream", n), &sample, |b, s| {
+            b.iter(|| {
+                let mut est = P2Quantile::new(0.95).unwrap();
+                for &v in s {
+                    est.insert(v).unwrap();
+                }
+                est.estimate().unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tdigest_stream", n), &sample, |b, s| {
+            b.iter(|| {
+                let mut d = TDigest::new();
+                d.extend(s.iter().copied()).unwrap();
+                d.quantile_mut(0.95).unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("tdigest_merge");
+    let mut left = TDigest::new();
+    left.extend(data(50_000)).unwrap();
+    let mut right = TDigest::new();
+    right.extend(data(50_000).iter().map(|v| v + 500.0)).unwrap();
+    group.bench_function("merge_50k_each", |b| {
+        b.iter(|| {
+            let mut d = left.clone();
+            d.merge(black_box(&right));
+            d
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantiles);
+criterion_main!(benches);

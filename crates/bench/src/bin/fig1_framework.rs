@@ -1,0 +1,14 @@
+//! E1 — regenerates the paper's Fig. 1: the three-tier IQB framework.
+
+use iqb_bench::banner;
+use iqb_core::IqbConfig;
+use iqb_pipeline::exhibits::render_fig1;
+
+fn main() {
+    banner(
+        "E1 / Fig. 1",
+        "The IQB framework consisting of three tiers: use cases, network requirements, and datasets",
+        0, // purely structural: no randomness involved
+    );
+    print!("{}", render_fig1(&IqbConfig::paper_default()));
+}

@@ -1,0 +1,15 @@
+//! E2 — regenerates the paper's Fig. 2: network-requirement thresholds
+//! for minimum and high quality for each use case.
+
+use iqb_bench::banner;
+use iqb_core::IqbConfig;
+use iqb_pipeline::exhibits::render_fig2;
+
+fn main() {
+    banner(
+        "E2 / Fig. 2",
+        "Network requirements thresholds for minimum and high quality for each use case",
+        0, // purely structural: no randomness involved
+    );
+    print!("{}", render_fig2(&IqbConfig::paper_default()));
+}

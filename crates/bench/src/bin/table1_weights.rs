@@ -1,0 +1,15 @@
+//! E3 — regenerates the paper's Table 1: network requirement weights
+//! across use cases.
+
+use iqb_bench::banner;
+use iqb_core::IqbConfig;
+use iqb_pipeline::exhibits::render_table1;
+
+fn main() {
+    banner(
+        "E3 / Table 1",
+        "Network requirement weights across use cases",
+        0, // purely structural: no randomness involved
+    );
+    print!("{}", render_table1(&IqbConfig::paper_default()));
+}

@@ -1,0 +1,116 @@
+//! # iqb-bench — exhibit regenerators and benchmark harness
+//!
+//! One binary per exhibit/experiment in DESIGN.md §5:
+//!
+//! | Binary | Exhibit / experiment |
+//! |---|---|
+//! | `fig1_framework` | E1 — paper Fig. 1 (tier diagram) |
+//! | `fig2_thresholds` | E2 — paper Fig. 2 (threshold table) |
+//! | `table1_weights` | E3 — paper Table 1 (weights) |
+//! | `ext_tech_scores` | E4 — IQB score by access technology |
+//! | `ext_corroboration` | E5 — single-dataset vs corroborated scores |
+//! | `ext_sensitivity` | E6 — weight tornado |
+//! | `ext_percentile_ablation` | E7 — aggregation-percentile sweep |
+//! | `ext_graded_ablation` | E8 — binary vs graded scoring |
+//! | `ext_temporal` | E9 — diurnal score trend |
+//! | `ext_rank_stability` | E10 — bootstrap ranking stability |
+//!
+//! Criterion benches (`cargo bench`) cover scoring, statistics,
+//! simulation, data-store and end-to-end pipeline performance.
+//!
+//! This library hosts the shared scaffolding: standard region fleets,
+//! campaign synthesis with a fixed seed, and store construction.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use iqb_data::store::MeasurementStore;
+use iqb_synth::campaign::{run_campaign, CampaignConfig, CampaignOutput};
+use iqb_synth::region::RegionSpec;
+use iqb_synth::tech::Technology;
+
+/// Fixed master seed: every experiment binary prints it and derives all
+/// randomness from it.
+pub const MASTER_SEED: u64 = 0x10B_2025;
+
+/// The standard mixed-region fleet used by E5/E9/E10: four contrasting
+/// markets.
+pub fn standard_regions(subscribers: usize) -> Vec<RegionSpec> {
+    vec![
+        RegionSpec::urban_fiber("urban-fiber", subscribers),
+        RegionSpec::suburban_cable("suburban-cable", subscribers),
+        RegionSpec::rural_dsl("rural-dsl", subscribers),
+        RegionSpec::mobile_first("mobile-first", subscribers),
+    ]
+}
+
+/// One single-technology region per access technology (E4's sweep).
+pub fn single_tech_regions(subscribers: usize) -> Vec<RegionSpec> {
+    Technology::ALL
+        .into_iter()
+        .map(|t| RegionSpec::single_tech(&format!("tech-{}", t.tag()), t, subscribers))
+        .collect()
+}
+
+/// Synthesizes campaigns for every region into one measurement store.
+///
+/// Returns the store plus the raw campaign outputs (for Ookla
+/// pre-aggregation or drill-down).
+pub fn build_store(
+    regions: &[RegionSpec],
+    tests_per_dataset: u64,
+    seed: u64,
+) -> (MeasurementStore, Vec<CampaignOutput>) {
+    let mut store = MeasurementStore::new();
+    let mut outputs = Vec::with_capacity(regions.len());
+    for region in regions {
+        let config = CampaignConfig {
+            tests_per_dataset,
+            seed,
+            ..Default::default()
+        };
+        let output = run_campaign(region, &config).expect("campaign parameters are static");
+        store
+            .extend(output.records.iter().cloned())
+            .expect("campaign records are pre-validated");
+        outputs.push(output);
+    }
+    (store, outputs)
+}
+
+/// Prints the standard experiment banner (id, description, seed) so each
+/// regenerated exhibit records its provenance.
+pub fn banner(id: &str, description: &str, seed: u64) {
+    println!("=== {id}: {description}");
+    println!("=== seed: {seed:#x}; deterministic — rerun reproduces this output exactly");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_fleet_has_four_distinct_regions() {
+        let fleet = standard_regions(10);
+        assert_eq!(fleet.len(), 4);
+        let ids: std::collections::BTreeSet<&str> =
+            fleet.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn single_tech_fleet_covers_all_technologies() {
+        let fleet = single_tech_regions(5);
+        assert_eq!(fleet.len(), Technology::ALL.len());
+    }
+
+    #[test]
+    fn build_store_populates_all_regions() {
+        let fleet = standard_regions(10);
+        let (store, outputs) = build_store(&fleet, 30, MASTER_SEED);
+        assert_eq!(store.regions().len(), 4);
+        assert_eq!(outputs.len(), 4);
+        assert_eq!(store.len(), 4 * 3 * 30);
+    }
+}

@@ -1,0 +1,154 @@
+//! Minimal argument parsing for the `iqb` CLI.
+//!
+//! Hand-rolled on purpose (the workspace's dependency policy covers
+//! numerics and serialization, not CLI frameworks): `--key value` flags
+//! plus positional arguments, with typed accessors that produce
+//! actionable error messages.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positionals plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedArgs {
+    positionals: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// A CLI usage error with a user-facing message.
+#[derive(Debug)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+impl ParsedArgs {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// `--key value` becomes an option; `--flag` followed by another
+    /// `--option` or end-of-line becomes a boolean flag; everything else
+    /// is positional.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, UsageError> {
+        let mut parsed = ParsedArgs::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err(UsageError("bare `--` is not a valid option".into()));
+                }
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        parsed.options.insert(key.to_string(), value);
+                    }
+                    _ => parsed.flags.push(key.to_string()),
+                }
+            } else {
+                parsed.positionals.push(arg);
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// Positional argument at `index`.
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positionals.get(index).map(String::as_str)
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A string option with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// A required string option.
+    pub fn require(&self, key: &str) -> Result<&str, UsageError> {
+        self.get(key)
+            .ok_or_else(|| UsageError(format!("missing required option --{key} <value>")))
+    }
+
+    /// A typed option with a default.
+    pub fn get_parsed_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, UsageError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| {
+                UsageError(format!(
+                    "option --{key} expects a {}, got `{raw}`",
+                    std::any::type_name::<T>()
+                ))
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse(&["score", "--input", "tests.csv", "--quantile", "0.9"]);
+        assert_eq!(a.positional(0), Some("score"));
+        assert_eq!(a.get("input"), Some("tests.csv"));
+        assert_eq!(a.get_parsed_or("quantile", 0.95_f64).unwrap(), 0.9);
+        assert_eq!(a.get_parsed_or("missing", 7_u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn flags_without_values() {
+        let a = parse(&["score", "--json", "--input", "x.csv", "--verbose"]);
+        assert!(a.has_flag("json"));
+        assert!(a.has_flag("verbose"));
+        assert!(!a.has_flag("input"));
+        assert_eq!(a.get("input"), Some("x.csv"));
+    }
+
+    #[test]
+    fn require_reports_missing_option() {
+        let a = parse(&["score"]);
+        let err = a.require("input").unwrap_err();
+        assert!(err.to_string().contains("--input"));
+    }
+
+    #[test]
+    fn typed_parse_errors_name_the_option() {
+        let a = parse(&["x", "--count", "many"]);
+        let err = a.get_parsed_or("count", 1_u64).unwrap_err();
+        assert!(err.to_string().contains("--count"));
+        assert!(err.to_string().contains("many"));
+    }
+
+    #[test]
+    fn bare_double_dash_rejected() {
+        assert!(ParsedArgs::parse(["--".to_string()]).is_err());
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.get_or("format", "text"), "text");
+        assert!(a.positional(0).is_none());
+    }
+}

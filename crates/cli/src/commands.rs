@@ -1,0 +1,353 @@
+//! Implementations of the `iqb` subcommands.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use iqb_core::config::{IqbConfig, ScoringMode};
+use iqb_core::profiles;
+use iqb_core::threshold::QualityLevel;
+use iqb_core::whatif::{evaluate_interventions, standard_interventions};
+use iqb_data::aggregate::{aggregate_region, AggregationSpec};
+use iqb_data::clean::Cleaner;
+use iqb_data::csv_io;
+use iqb_data::record::RegionId;
+use iqb_data::store::{MeasurementStore, QueryFilter};
+use iqb_netsim::aqm::AqmPolicy;
+use iqb_pipeline::compare::{compare as compare_reports, render_comparison};
+use iqb_pipeline::exhibits;
+use iqb_pipeline::report::{render_csv, render_drilldown, render_json, render_summary};
+use iqb_pipeline::runner::score_all_regions;
+use iqb_pipeline::table::TextTable;
+use iqb_pipeline::trend::score_trend;
+use iqb_synth::campaign::{run_campaign, CampaignConfig};
+use iqb_synth::region::RegionSpec;
+
+use crate::args::{ParsedArgs, UsageError};
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn usage(message: impl Into<String>) -> Box<dyn std::error::Error> {
+    Box::new(UsageError(message.into()))
+}
+
+/// `iqb exhibits [fig1|fig2|table1|all]`
+pub fn exhibits(args: &ParsedArgs) -> CliResult {
+    let which = args.positional(1).unwrap_or("all");
+    let config = IqbConfig::paper_default();
+    let print_fig1 = || println!("{}", exhibits::render_fig1(&config));
+    let print_fig2 = || println!("{}", exhibits::render_fig2(&config));
+    let print_table1 = || println!("{}", exhibits::render_table1(&config));
+    match which {
+        "fig1" => print_fig1(),
+        "fig2" => print_fig2(),
+        "table1" => print_table1(),
+        "all" => {
+            print_fig1();
+            print_fig2();
+            print_table1();
+        }
+        other => return Err(usage(format!("unknown exhibit `{other}`"))),
+    }
+    Ok(())
+}
+
+/// `iqb synth --preset <p> --out <file.csv> [...]`
+pub fn synth(args: &ParsedArgs) -> CliResult {
+    let out_path = args.require("out")?;
+    let preset = args.get_or("preset", "urban-fiber");
+    let subscribers: usize = args.get_parsed_or("subscribers", 100)?;
+    let region_name = args.get_or("region", preset).to_string();
+    let mut region = match preset {
+        "urban-fiber" => RegionSpec::urban_fiber(&region_name, subscribers),
+        "suburban-cable" => RegionSpec::suburban_cable(&region_name, subscribers),
+        "rural-dsl" => RegionSpec::rural_dsl(&region_name, subscribers),
+        "mobile-first" => RegionSpec::mobile_first(&region_name, subscribers),
+        other => return Err(usage(format!("unknown preset `{other}`"))),
+    };
+    region.id = RegionId::new(region_name)?;
+
+    let aqm = match args.get_or("aqm", "droptail") {
+        "droptail" => None,
+        "codel" => Some(AqmPolicy::codel_default()),
+        other => return Err(usage(format!("unknown AQM policy `{other}`"))),
+    };
+    let config = CampaignConfig {
+        tests_per_dataset: args.get_parsed_or("tests", 1_000u64)?,
+        seed: args.get_parsed_or("seed", CampaignConfig::default().seed)?,
+        aqm,
+        ..Default::default()
+    };
+    let output = run_campaign(&region, &config)?;
+    let file = File::create(out_path)?;
+    let written = csv_io::write_csv(BufWriter::new(file), &output.records)?;
+    println!(
+        "Wrote {written} test records for region `{}` (preset {preset}, seed {:#x}) to {out_path}",
+        region.id, config.seed
+    );
+    Ok(())
+}
+
+/// Shared loader: CSV path → (optionally cleaned) store.
+fn load_store(args: &ParsedArgs) -> Result<MeasurementStore, Box<dyn std::error::Error>> {
+    let input = args.require("input")?;
+    let file = File::open(input)
+        .map_err(|e| usage(format!("cannot open --input {input}: {e}")))?;
+    let records = csv_io::read_csv(BufReader::new(file))?;
+    let records = if args.has_flag("clean") {
+        let (kept, report) = Cleaner::default().clean(records)?;
+        eprintln!(
+            "cleaning: {} in, {} duplicates, {} outliers, {} retained",
+            report.input, report.duplicates, report.outliers, report.retained
+        );
+        kept
+    } else {
+        records
+    };
+    let mut store = MeasurementStore::new();
+    store.extend(records)?;
+    Ok(store)
+}
+
+/// Shared config builder from `--profile`, `--level`, `--mode`.
+///
+/// `--profile <name>` selects a named profile; explicit `--level`/`--mode`
+/// flags then override its corresponding setting.
+fn build_config(args: &ParsedArgs) -> Result<IqbConfig, Box<dyn std::error::Error>> {
+    if let Some(name) = args.get("profile") {
+        let mut config = profiles::by_name(name)?;
+        if let Some(level) = args.get("level") {
+            config.quality_level = match level {
+                "high" => QualityLevel::High,
+                "min" | "minimum" => QualityLevel::Minimum,
+                other => return Err(usage(format!("unknown level `{other}`"))),
+            };
+        }
+        if let Some(mode) = args.get("mode") {
+            config.scoring_mode = match mode {
+                "binary" => ScoringMode::Binary,
+                "graded" => ScoringMode::Graded,
+                other => return Err(usage(format!("unknown mode `{other}`"))),
+            };
+        }
+        return Ok(config);
+    }
+    let level = match args.get_or("level", "high") {
+        "high" => QualityLevel::High,
+        "min" | "minimum" => QualityLevel::Minimum,
+        other => return Err(usage(format!("unknown level `{other}`"))),
+    };
+    let mode = match args.get_or("mode", "binary") {
+        "binary" => ScoringMode::Binary,
+        "graded" => ScoringMode::Graded,
+        other => return Err(usage(format!("unknown mode `{other}`"))),
+    };
+    Ok(IqbConfig::builder()
+        .quality_level(level)
+        .scoring_mode(mode)
+        .build()?)
+}
+
+/// `iqb score --input <file.csv> [...]`
+pub fn score(args: &ParsedArgs) -> CliResult {
+    let store = load_store(args)?;
+    let config = build_config(args)?;
+    let quantile: f64 = args.get_parsed_or("quantile", 0.95)?;
+    let spec = AggregationSpec::uniform_quantile(quantile)?;
+    let report = score_all_regions(&store, &config, &spec, &QueryFilter::all())?;
+
+    match args.get_or("format", "text") {
+        "text" => print!("{}", render_summary(&report)),
+        "csv" => print!("{}", render_csv(&report)),
+        "json" => println!("{}", render_json(&report)?),
+        other => return Err(usage(format!("unknown format `{other}`"))),
+    }
+    if let Some(region) = args.get("drilldown") {
+        let region = RegionId::new(region)?;
+        println!("\n{}", render_drilldown(&report, &region));
+    }
+    Ok(())
+}
+
+/// `iqb compare --before <a.csv> --after <b.csv> [config options]`
+pub fn compare(args: &ParsedArgs) -> CliResult {
+    let config = build_config(args)?;
+    let quantile: f64 = args.get_parsed_or("quantile", 0.95)?;
+    let spec = AggregationSpec::uniform_quantile(quantile)?;
+    let load = |key: &str| -> Result<MeasurementStore, Box<dyn std::error::Error>> {
+        let path = args.require(key)?;
+        let file = File::open(path)
+            .map_err(|e| usage(format!("cannot open --{key} {path}: {e}")))?;
+        let mut store = MeasurementStore::new();
+        store.extend(csv_io::read_csv(BufReader::new(file))?)?;
+        Ok(store)
+    };
+    let before_store = load("before")?;
+    let after_store = load("after")?;
+    let before = score_all_regions(&before_store, &config, &spec, &QueryFilter::all())?;
+    let after = score_all_regions(&after_store, &config, &spec, &QueryFilter::all())?;
+    print!("{}", render_comparison(&compare_reports(&before, &after)?));
+    Ok(())
+}
+
+/// `iqb trend --input <file.csv> --region <r> [--window-hours <h>]`
+pub fn trend(args: &ParsedArgs) -> CliResult {
+    let store = load_store(args)?;
+    let region = RegionId::new(args.require("region")?)?;
+    let config = build_config(args)?;
+    let spec = AggregationSpec::uniform_quantile(args.get_parsed_or("quantile", 0.95)?)?;
+    let window_hours: u64 = args.get_parsed_or("window-hours", 2)?;
+    if window_hours == 0 {
+        return Err(usage("--window-hours must be positive"));
+    }
+    // Span the observed data range.
+    let filter = QueryFilter::all().region(region.clone());
+    let (min_ts, max_ts) = store.query(&filter).fold((u64::MAX, 0u64), |acc, r| {
+        (acc.0.min(r.timestamp), acc.1.max(r.timestamp))
+    });
+    if min_ts > max_ts {
+        return Err(usage(format!("no records for region `{region}`")));
+    }
+    let points = score_trend(
+        &store,
+        &region,
+        &config,
+        &spec,
+        min_ts,
+        max_ts + 1,
+        window_hours * 3_600,
+    )?;
+    let mut table = TextTable::new(["Window start (h)", "Samples", "IQB score"]);
+    for p in &points {
+        table.row([
+            format!("{:.1}", p.window_start as f64 / 3_600.0),
+            p.samples.to_string(),
+            p.score
+                .map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "—".into()),
+        ]);
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+/// `iqb whatif --input <file.csv> --region <r>`
+pub fn whatif(args: &ParsedArgs) -> CliResult {
+    let store = load_store(args)?;
+    let region = RegionId::new(args.require("region")?)?;
+    let config = build_config(args)?;
+    let spec = AggregationSpec::uniform_quantile(args.get_parsed_or("quantile", 0.95)?)?;
+    let input = aggregate_region(&store, &region, &config.datasets, &spec)?;
+    let outcomes = evaluate_interventions(&config, &input, &standard_interventions())?;
+
+    println!(
+        "Region `{region}` baseline IQB: {:.3}\n",
+        outcomes
+            .first()
+            .map(|o| o.baseline)
+            .unwrap_or(f64::NAN)
+    );
+    let mut table = TextTable::new(["Intervention", "New score", "Gain"]);
+    for o in &outcomes {
+        table.row([
+            o.intervention.describe(),
+            format!("{:.3}", o.improved),
+            format!("{:+.3}", o.gain()),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\n(Interventions scale every dataset's aggregate for the metric; the menu is");
+    println!("double throughput / halve latency / halve loss.)");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(args: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn build_config_variants() {
+        let c = build_config(&parsed(&["score", "--level", "min", "--mode", "graded"])).unwrap();
+        assert_eq!(c.quality_level, QualityLevel::Minimum);
+        assert_eq!(c.scoring_mode, ScoringMode::Graded);
+        assert!(build_config(&parsed(&["score", "--level", "medium"])).is_err());
+        assert!(build_config(&parsed(&["score", "--mode", "fuzzy"])).is_err());
+    }
+
+    #[test]
+    fn exhibits_rejects_unknown_names() {
+        assert!(exhibits(&parsed(&["exhibits", "fig9"])).is_err());
+        assert!(exhibits(&parsed(&["exhibits", "table1"])).is_ok());
+    }
+
+    #[test]
+    fn synth_requires_out() {
+        let err = synth(&parsed(&["synth"])).unwrap_err();
+        assert!(err.to_string().contains("--out"));
+    }
+
+    #[test]
+    fn score_requires_input() {
+        let err = score(&parsed(&["score"])).unwrap_err();
+        assert!(err.to_string().contains("--input"));
+    }
+
+    #[test]
+    fn profile_option_selects_named_config() {
+        let c = build_config(&parsed(&["score", "--profile", "realtime"])).unwrap();
+        assert_eq!(c.scoring_mode, ScoringMode::Graded);
+        // Explicit flags override the profile.
+        let c = build_config(&parsed(&[
+            "score",
+            "--profile",
+            "realtime",
+            "--mode",
+            "binary",
+        ]))
+        .unwrap();
+        assert_eq!(c.scoring_mode, ScoringMode::Binary);
+        assert!(build_config(&parsed(&["score", "--profile", "nope"])).is_err());
+    }
+
+    #[test]
+    fn compare_requires_both_inputs() {
+        let err = compare(&parsed(&["compare", "--before", "a.csv"])).unwrap_err();
+        assert!(err.to_string().contains("--after") || err.to_string().contains("a.csv"));
+    }
+
+    #[test]
+    fn synth_score_round_trip_through_temp_file() {
+        let dir = std::env::temp_dir().join("iqb-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tests.csv");
+        let path_str = path.to_str().unwrap();
+        synth(&parsed(&[
+            "synth",
+            "--preset",
+            "rural-dsl",
+            "--subscribers",
+            "20",
+            "--tests",
+            "50",
+            "--out",
+            path_str,
+        ]))
+        .unwrap();
+        score(&parsed(&["score", "--input", path_str, "--clean"])).unwrap();
+        trend(&parsed(&[
+            "trend",
+            "--input",
+            path_str,
+            "--region",
+            "rural-dsl",
+            "--window-hours",
+            "24",
+        ]))
+        .unwrap();
+        whatif(&parsed(&["whatif", "--input", path_str, "--region", "rural-dsl"])).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

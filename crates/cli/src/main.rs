@@ -1,0 +1,88 @@
+//! `iqb` — the Internet Quality Barometer command line.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! iqb exhibits [fig1|fig2|table1|all]        regenerate the paper's exhibits
+//! iqb synth --preset <p> --out <file.csv>    synthesize a measurement campaign
+//! iqb score --input <file.csv>               score every region in a CSV
+//! iqb trend --input <file.csv> --region <r>  windowed score trend
+//! iqb whatif --input <file.csv> --region <r> rank candidate improvements
+//! ```
+//!
+//! Run `iqb help` (or any subcommand with missing options) for details.
+
+mod args;
+mod commands;
+
+use args::{ParsedArgs, UsageError};
+
+const USAGE: &str = "\
+iqb — the Internet Quality Barometer (IQB) framework
+
+USAGE:
+    iqb <command> [options]
+
+COMMANDS:
+    exhibits [fig1|fig2|table1|all]   Regenerate the paper's exhibits (default: all)
+    synth                             Synthesize a measurement campaign to CSV
+        --preset <urban-fiber|suburban-cable|rural-dsl|mobile-first>  (default urban-fiber)
+        --region <name>               Region id on the records (default: the preset name)
+        --subscribers <n>             Population size (default 100)
+        --tests <n>                   Tests per dataset (default 1000)
+        --seed <n>                    Campaign seed (default 267526693)
+        --aqm <droptail|codel>        Queue management (default droptail)
+        --out <file.csv>              Output path (required)
+    score                             Score every region of a measurement CSV
+        --input <file.csv>            Input path (required)
+        --profile <name>              Named config profile (paper-default, minimum-access,
+                                      realtime, streaming-household, graded)
+        --quantile <q>                Aggregation quantile (default 0.95, the paper's)
+        --level <high|min>            Quality level (default high)
+        --mode <binary|graded>        Cell scoring mode (default binary)
+        --clean                       Dedup + outlier-screen before scoring
+        --format <text|csv|json>      Output format (default text)
+        --drilldown <region>          Also print one region's breakdown
+    compare                           Diff two measurement CSVs region by region
+        --before <a.csv>              Baseline measurements (required)
+        --after <b.csv>               Comparison measurements (required)
+    trend                             Windowed score trend for one region
+        --input <file.csv>            Input path (required)
+        --region <name>               Region id (required)
+        --window-hours <h>            Window width (default 2)
+    whatif                            Rank improvements for one region
+        --input <file.csv>            Input path (required)
+        --region <name>               Region id (required)
+    help                              Show this message
+";
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match run(raw) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("\nRun `iqb help` for usage.");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+    let parsed = ParsedArgs::parse(raw)?;
+    match parsed.positional(0) {
+        None | Some("help") => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some("exhibits") => commands::exhibits(&parsed),
+        Some("synth") => commands::synth(&parsed),
+        Some("score") => commands::score(&parsed),
+        Some("compare") => commands::compare(&parsed),
+        Some("trend") => commands::trend(&parsed),
+        Some("whatif") => commands::whatif(&parsed),
+        Some(other) => Err(Box::new(UsageError(format!(
+            "unknown command `{other}`"
+        )))),
+    }
+}

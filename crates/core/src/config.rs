@@ -1,0 +1,379 @@
+//! The complete IQB configuration.
+//!
+//! [`IqbConfig`] bundles everything the score formula needs: which use
+//! cases and datasets participate, the threshold table (Fig. 2), the three
+//! weight families, the quality level scored against, and the scoring mode.
+//! [`IqbConfig::paper_default`] is the configuration published in the
+//! poster; the builder supports the adaptations the paper invites
+//! ("based on the intended application, or through iterative refinements").
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::DatasetId;
+use crate::error::CoreError;
+use crate::metric::Metric;
+use crate::threshold::{QualityLevel, ThresholdTable};
+use crate::usecase::UseCase;
+use crate::weights::{DatasetWeights, UseCaseWeights, Weight, WeightTable};
+
+/// How a (use case, requirement, dataset) cell is scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ScoringMode {
+    /// The paper's formulation: `S_{u,r,d} ∈ {0, 1}` — the aggregate either
+    /// meets the threshold or it does not.
+    #[default]
+    Binary,
+    /// Extension (E8 in DESIGN.md): a piecewise-linear score in `[0, 1]`
+    /// using *both* Fig. 2 levels — 0 below the minimum-quality threshold,
+    /// 0.5 at it, 1 at the high-quality threshold, linear in between.
+    Graded,
+}
+
+/// Full configuration of the IQB framework.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IqbConfig {
+    /// Use cases that participate in the composite, in report order.
+    pub use_cases: Vec<UseCase>,
+    /// Datasets that corroborate each requirement, in report order.
+    pub datasets: Vec<DatasetId>,
+    /// The threshold table (paper Fig. 2 by default).
+    pub thresholds: ThresholdTable,
+    /// Requirement weights `w_{u,r}` (paper Table 1 by default).
+    pub requirement_weights: WeightTable,
+    /// Use-case weights `w_u` (uniform by default; unpublished in the poster).
+    pub use_case_weights: UseCaseWeights,
+    /// Dataset weights `w_{u,r,d}` (uniform by default; unpublished).
+    pub dataset_weights: DatasetWeights,
+    /// Quality level thresholds are evaluated against. The paper's score
+    /// uses the high-quality level.
+    pub quality_level: QualityLevel,
+    /// Binary (paper) or graded (extension) cell scoring.
+    pub scoring_mode: ScoringMode,
+}
+
+impl IqbConfig {
+    /// The configuration published in the poster: six use cases, three
+    /// datasets, Fig. 2 thresholds, Table 1 weights, uniform `w_u` and
+    /// `w_{u,r,d}`, binary scoring against the high-quality level.
+    pub fn paper_default() -> Self {
+        IqbConfig {
+            use_cases: UseCase::BUILTIN.to_vec(),
+            datasets: DatasetId::BUILTIN.to_vec(),
+            thresholds: ThresholdTable::paper_fig2(),
+            requirement_weights: WeightTable::paper_table1(),
+            use_case_weights: UseCaseWeights::uniform(),
+            dataset_weights: DatasetWeights::uniform(),
+            quality_level: QualityLevel::High,
+            scoring_mode: ScoringMode::Binary,
+        }
+    }
+
+    /// Starts a builder from this configuration.
+    pub fn to_builder(&self) -> IqbConfigBuilder {
+        IqbConfigBuilder {
+            config: self.clone(),
+        }
+    }
+
+    /// Starts a builder from the paper defaults.
+    pub fn builder() -> IqbConfigBuilder {
+        Self::paper_default().to_builder()
+    }
+
+    /// Validates structural consistency.
+    ///
+    /// Checks: non-empty use-case and dataset lists, no duplicates, a
+    /// threshold row and a weight row for every participating use case and
+    /// metric, threshold-table consistency, at least one positive
+    /// requirement weight per use case, and at least one positive use-case
+    /// weight overall.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.use_cases.is_empty() {
+            return Err(CoreError::InvalidConfig("no use cases configured".into()));
+        }
+        if self.datasets.is_empty() {
+            return Err(CoreError::InvalidConfig("no datasets configured".into()));
+        }
+        let mut seen_u = std::collections::BTreeSet::new();
+        for u in &self.use_cases {
+            if !seen_u.insert(u) {
+                return Err(CoreError::InvalidConfig(format!("duplicate use case {u}")));
+            }
+        }
+        let mut seen_d = std::collections::BTreeSet::new();
+        for d in &self.datasets {
+            if !seen_d.insert(d) {
+                return Err(CoreError::InvalidConfig(format!("duplicate dataset {d}")));
+            }
+        }
+        for u in &self.use_cases {
+            for m in Metric::ALL {
+                if self.thresholds.get_pair(u, m).is_none() {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "missing threshold cell for {u}/{m}"
+                    )));
+                }
+                if self.requirement_weights.get(u, m).is_none() {
+                    return Err(CoreError::InvalidConfig(format!(
+                        "missing requirement weight for {u}/{m}"
+                    )));
+                }
+            }
+        }
+        self.thresholds.validate()?;
+        self.requirement_weights.validate()?;
+        if self
+            .use_cases
+            .iter()
+            .all(|u| self.use_case_weights.get(u) == Weight::ZERO)
+        {
+            return Err(CoreError::InvalidConfig(
+                "all use-case weights are zero".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for IqbConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Fluent builder over [`IqbConfig`].
+///
+/// ```
+/// use iqb_core::config::{IqbConfig, ScoringMode};
+/// use iqb_core::threshold::QualityLevel;
+///
+/// let config = IqbConfig::builder()
+///     .quality_level(QualityLevel::Minimum)
+///     .scoring_mode(ScoringMode::Graded)
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.quality_level, QualityLevel::Minimum);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IqbConfigBuilder {
+    config: IqbConfig,
+}
+
+impl IqbConfigBuilder {
+    /// Replaces the participating use cases.
+    pub fn use_cases(mut self, use_cases: Vec<UseCase>) -> Self {
+        self.config.use_cases = use_cases;
+        self
+    }
+
+    /// Adds a use case (with its threshold and weight rows supplied via
+    /// [`Self::threshold_row`] / [`Self::requirement_weight`]).
+    pub fn add_use_case(mut self, use_case: UseCase) -> Self {
+        self.config.use_cases.push(use_case);
+        self
+    }
+
+    /// Replaces the participating datasets.
+    pub fn datasets(mut self, datasets: Vec<DatasetId>) -> Self {
+        self.config.datasets = datasets;
+        self
+    }
+
+    /// Replaces the whole threshold table.
+    pub fn thresholds(mut self, thresholds: ThresholdTable) -> Self {
+        self.config.thresholds = thresholds;
+        self
+    }
+
+    /// Sets one threshold cell.
+    pub fn threshold_row(
+        mut self,
+        use_case: UseCase,
+        metric: Metric,
+        pair: crate::threshold::LevelPair,
+    ) -> Self {
+        self.config.thresholds.set(use_case, metric, pair);
+        self
+    }
+
+    /// Sets one requirement weight `w_{u,r}`.
+    pub fn requirement_weight(mut self, use_case: UseCase, metric: Metric, weight: Weight) -> Self {
+        self.config.requirement_weights.set(use_case, metric, weight);
+        self
+    }
+
+    /// Sets one use-case weight `w_u`.
+    pub fn use_case_weight(mut self, use_case: UseCase, weight: Weight) -> Self {
+        self.config.use_case_weights.set(use_case, weight);
+        self
+    }
+
+    /// Sets one dataset weight `w_{u,r,d}`.
+    pub fn dataset_weight(
+        mut self,
+        use_case: UseCase,
+        metric: Metric,
+        dataset: DatasetId,
+        weight: Weight,
+    ) -> Self {
+        self.config
+            .dataset_weights
+            .set(use_case, metric, dataset, weight);
+        self
+    }
+
+    /// Sets the quality level scored against.
+    pub fn quality_level(mut self, level: QualityLevel) -> Self {
+        self.config.quality_level = level;
+        self
+    }
+
+    /// Sets the scoring mode.
+    pub fn scoring_mode(mut self, mode: ScoringMode) -> Self {
+        self.config.scoring_mode = mode;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<IqbConfig, CoreError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::{LevelPair, ThresholdSpec};
+
+    #[test]
+    fn paper_default_validates() {
+        IqbConfig::paper_default().validate().unwrap();
+    }
+
+    #[test]
+    fn default_is_paper_default() {
+        assert_eq!(IqbConfig::default(), IqbConfig::paper_default());
+    }
+
+    #[test]
+    fn empty_use_cases_rejected() {
+        let err = IqbConfig::builder().use_cases(vec![]).build().unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn empty_datasets_rejected() {
+        assert!(IqbConfig::builder().datasets(vec![]).build().is_err());
+    }
+
+    #[test]
+    fn duplicate_use_case_rejected() {
+        let err = IqbConfig::builder()
+            .add_use_case(UseCase::Gaming)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn duplicate_dataset_rejected() {
+        assert!(IqbConfig::builder()
+            .datasets(vec![DatasetId::Ndt, DatasetId::Ndt])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn custom_use_case_requires_rows() {
+        let surgery = UseCase::custom("Remote Surgery").unwrap();
+        // Without threshold/weight rows the build fails...
+        assert!(IqbConfig::builder()
+            .add_use_case(surgery.clone())
+            .build()
+            .is_err());
+        // ...and succeeds once every metric has a cell.
+        let mut builder = IqbConfig::builder().add_use_case(surgery.clone());
+        for m in Metric::ALL {
+            builder = builder
+                .threshold_row(
+                    surgery.clone(),
+                    m,
+                    LevelPair {
+                        min: ThresholdSpec::Value(if m == Metric::PacketLoss { 1.0 } else { 10.0 }),
+                        high: ThresholdSpec::Value(if m == Metric::PacketLoss {
+                            0.1
+                        } else {
+                            match m.polarity() {
+                                crate::metric::Polarity::HigherIsBetter => 100.0,
+                                crate::metric::Polarity::LowerIsBetter => 5.0,
+                            }
+                        }),
+                    },
+                )
+                .requirement_weight(surgery.clone(), m, Weight::new(3).unwrap());
+        }
+        let config = builder.build().unwrap();
+        assert_eq!(config.use_cases.len(), 7);
+    }
+
+    #[test]
+    fn all_zero_use_case_weights_rejected() {
+        let mut builder = IqbConfig::builder();
+        for u in UseCase::BUILTIN {
+            builder = builder.use_case_weight(u, Weight::ZERO);
+        }
+        assert!(builder.build().is_err());
+    }
+
+    #[test]
+    fn builder_round_trips_settings() {
+        let config = IqbConfig::builder()
+            .quality_level(QualityLevel::Minimum)
+            .scoring_mode(ScoringMode::Graded)
+            .use_case_weight(UseCase::Gaming, Weight::new(5).unwrap())
+            .dataset_weight(
+                UseCase::Gaming,
+                Metric::Latency,
+                DatasetId::Ookla,
+                Weight::ZERO,
+            )
+            .build()
+            .unwrap();
+        assert_eq!(config.quality_level, QualityLevel::Minimum);
+        assert_eq!(config.scoring_mode, ScoringMode::Graded);
+        assert_eq!(config.use_case_weights.get(&UseCase::Gaming).get(), 5);
+        assert_eq!(
+            config
+                .dataset_weights
+                .get(&UseCase::Gaming, Metric::Latency, &DatasetId::Ookla),
+            Weight::ZERO
+        );
+    }
+
+    #[test]
+    fn serde_json_round_trip() {
+        let config = IqbConfig::paper_default();
+        let json = serde_json::to_string(&config).unwrap();
+        let back: IqbConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(config, back);
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn serde_rejects_out_of_range_weight() {
+        // Weight serializes as a bare integer; 7 must fail to deserialize.
+        let bad = "7";
+        assert!(serde_json::from_str::<Weight>(bad).is_err());
+        assert_eq!(serde_json::from_str::<Weight>("5").unwrap().get(), 5);
+    }
+
+    #[test]
+    fn single_dataset_config_is_valid() {
+        let config = IqbConfig::builder()
+            .datasets(vec![DatasetId::Ndt])
+            .build()
+            .unwrap();
+        assert_eq!(config.datasets.len(), 1);
+    }
+}

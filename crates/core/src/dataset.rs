@@ -1,0 +1,211 @@
+//! Datasets — the measurement tier of the IQB framework.
+//!
+//! The paper grounds IQB in three openly available datasets: M-Lab's NDT,
+//! Cloudflare's speed tests (both available per test) and Ookla's published
+//! aggregates. *"The benefit of using multiple datasets is to corroborate
+//! the insights of each other"* — each measures throughput in a
+//! fundamentally different way, so agreement across them strengthens a
+//! conclusion. [`DatasetDescriptor`] records those methodology differences;
+//! the `iqb-netsim` crate emulates them when synthesizing data.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a measurement dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(into = "String", try_from = "String")]
+pub enum DatasetId {
+    /// M-Lab's Network Diagnostic Tool: single-stream TCP, ~10 s transfers.
+    Ndt,
+    /// Cloudflare's browser speed test: file-size ladder over HTTP.
+    Cloudflare,
+    /// Ookla Speedtest: multi-stream TCP, published as aggregates.
+    Ookla,
+    /// A user-supplied dataset.
+    Custom(String),
+}
+
+impl DatasetId {
+    /// The paper's three reference datasets.
+    pub const BUILTIN: [DatasetId; 3] = [DatasetId::Ndt, DatasetId::Cloudflare, DatasetId::Ookla];
+
+    /// Short label for tables and reports.
+    pub fn label(&self) -> &str {
+        match self {
+            DatasetId::Ndt => "M-Lab NDT",
+            DatasetId::Cloudflare => "Cloudflare",
+            DatasetId::Ookla => "Ookla",
+            DatasetId::Custom(name) => name,
+        }
+    }
+}
+
+impl DatasetId {
+    /// Stable lowercase token used in flat files and JSON keys.
+    pub fn token(&self) -> String {
+        match self {
+            DatasetId::Ndt => "ndt".to_string(),
+            DatasetId::Cloudflare => "cloudflare".to_string(),
+            DatasetId::Ookla => "ookla".to_string(),
+            DatasetId::Custom(name) => name.clone(),
+        }
+    }
+
+    /// Parses a token produced by [`DatasetId::token`].
+    pub fn from_token(token: &str) -> Result<Self, String> {
+        match token {
+            "ndt" => Ok(DatasetId::Ndt),
+            "cloudflare" => Ok(DatasetId::Cloudflare),
+            "ookla" => Ok(DatasetId::Ookla),
+            other if !other.trim().is_empty() => Ok(DatasetId::Custom(other.to_string())),
+            _ => Err("empty dataset token".to_string()),
+        }
+    }
+}
+
+impl From<DatasetId> for String {
+    fn from(d: DatasetId) -> String {
+        d.token()
+    }
+}
+
+impl TryFrom<String> for DatasetId {
+    type Error = String;
+    fn try_from(value: String) -> Result<Self, Self::Error> {
+        DatasetId::from_token(&value)
+    }
+}
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.label())
+    }
+}
+
+/// How a dataset's measurements are published.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    /// Individual test results are available (NDT, Cloudflare).
+    PerTest,
+    /// Only pre-aggregated summaries are available (Ookla open data).
+    Aggregate,
+}
+
+/// Throughput measurement methodology — the reason the three datasets
+/// disagree on the same connection, and the thing corroboration averages
+/// over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Methodology {
+    /// One long-running TCP stream (NDT): sensitive to loss and RTT on
+    /// high bandwidth-delay-product paths, tends to under-report capacity.
+    SingleStream,
+    /// Several parallel TCP streams (Ookla): saturates capacity, reports
+    /// close to the provisioned rate.
+    MultiStream,
+    /// A ladder of fixed-size HTTP fetches (Cloudflare): short flows spend
+    /// much of their life in slow start, biasing small-file throughput low.
+    FileLadder,
+    /// Anything else (custom datasets).
+    Other,
+}
+
+/// Static description of a dataset and its measurement characteristics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetDescriptor {
+    /// Which dataset this describes.
+    pub id: DatasetId,
+    /// Per-test or aggregate-only publication.
+    pub granularity: Granularity,
+    /// Throughput methodology.
+    pub methodology: Methodology,
+    /// Whether the dataset reports packet loss. (Ookla's open aggregates do
+    /// not; the scoring normalization redistributes the weight.)
+    pub reports_packet_loss: bool,
+    /// Whether latency is measured under load (working latency) rather than
+    /// idle. NDT reports during-transfer RTT; Ookla reports idle ping.
+    pub loaded_latency: bool,
+}
+
+impl DatasetDescriptor {
+    /// Descriptor for M-Lab NDT.
+    pub fn ndt() -> Self {
+        DatasetDescriptor {
+            id: DatasetId::Ndt,
+            granularity: Granularity::PerTest,
+            methodology: Methodology::SingleStream,
+            reports_packet_loss: true,
+            loaded_latency: true,
+        }
+    }
+
+    /// Descriptor for Cloudflare speed tests.
+    pub fn cloudflare() -> Self {
+        DatasetDescriptor {
+            id: DatasetId::Cloudflare,
+            granularity: Granularity::PerTest,
+            methodology: Methodology::FileLadder,
+            reports_packet_loss: true,
+            loaded_latency: true,
+        }
+    }
+
+    /// Descriptor for Ookla open aggregates.
+    pub fn ookla() -> Self {
+        DatasetDescriptor {
+            id: DatasetId::Ookla,
+            granularity: Granularity::Aggregate,
+            methodology: Methodology::MultiStream,
+            reports_packet_loss: false,
+            loaded_latency: false,
+        }
+    }
+
+    /// Descriptors for the paper's three datasets.
+    pub fn builtin() -> Vec<Self> {
+        vec![Self::ndt(), Self::cloudflare(), Self::ookla()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_builtin_datasets() {
+        assert_eq!(DatasetId::BUILTIN.len(), 3);
+        assert_eq!(DatasetDescriptor::builtin().len(), 3);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(DatasetId::Ndt.label(), "M-Lab NDT");
+        assert_eq!(DatasetId::Custom("RIPE Atlas".into()).label(), "RIPE Atlas");
+        assert_eq!(DatasetId::Ookla.to_string(), "Ookla");
+    }
+
+    #[test]
+    fn methodologies_differ_across_builtins() {
+        let descriptors = DatasetDescriptor::builtin();
+        let methodologies: std::collections::HashSet<_> =
+            descriptors.iter().map(|d| d.methodology).collect();
+        assert_eq!(
+            methodologies.len(),
+            3,
+            "the paper's corroboration argument rests on distinct methodologies"
+        );
+    }
+
+    #[test]
+    fn ookla_is_aggregate_only_without_loss() {
+        let ookla = DatasetDescriptor::ookla();
+        assert_eq!(ookla.granularity, Granularity::Aggregate);
+        assert!(!ookla.reports_packet_loss);
+    }
+
+    #[test]
+    fn per_test_datasets_report_loss() {
+        assert!(DatasetDescriptor::ndt().reports_packet_loss);
+        assert!(DatasetDescriptor::cloudflare().reports_packet_loss);
+    }
+}

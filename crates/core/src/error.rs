@@ -1,0 +1,93 @@
+//! Error type for the IQB core framework.
+
+use std::fmt;
+
+use crate::dataset::DatasetId;
+use crate::metric::Metric;
+use crate::usecase::UseCase;
+
+/// Errors produced while configuring or evaluating the IQB framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A weight outside the paper's 0–5 integer range was supplied.
+    InvalidWeight(u32),
+    /// A metric value was non-finite or out of its physical domain.
+    InvalidMetricValue {
+        /// The metric the value was supplied for.
+        metric: Metric,
+        /// The offending value.
+        value: f64,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A threshold table entry is inconsistent (e.g. the minimum-quality
+    /// threshold is stricter than the high-quality one).
+    InconsistentThreshold {
+        /// Use case whose threshold row is inconsistent.
+        use_case: UseCase,
+        /// Metric whose cell is inconsistent.
+        metric: Metric,
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// The configuration is structurally invalid (missing rows, no datasets,
+    /// all-zero weights …).
+    InvalidConfig(String),
+    /// Scoring was requested but no (use case, requirement, dataset) cell
+    /// could be evaluated — typically an empty [`crate::input::AggregateInput`].
+    NothingToScore,
+    /// A referenced use case is not part of the configuration.
+    UnknownUseCase(UseCase),
+    /// A referenced dataset is not part of the configuration.
+    UnknownDataset(DatasetId),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidWeight(w) => {
+                write!(f, "weight {w} is outside the paper's 0..=5 integer range")
+            }
+            CoreError::InvalidMetricValue {
+                metric,
+                value,
+                reason,
+            } => write!(f, "invalid value {value} for {metric}: {reason}"),
+            CoreError::InconsistentThreshold {
+                use_case,
+                metric,
+                reason,
+            } => write!(f, "inconsistent threshold for {use_case}/{metric}: {reason}"),
+            CoreError::InvalidConfig(why) => write!(f, "invalid IQB configuration: {why}"),
+            CoreError::NothingToScore => write!(
+                f,
+                "no (use case, requirement, dataset) cell could be evaluated from the input"
+            ),
+            CoreError::UnknownUseCase(u) => write!(f, "use case {u} is not in the configuration"),
+            CoreError::UnknownDataset(d) => write!(f, "dataset {d} is not in the configuration"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_details() {
+        let e = CoreError::InvalidWeight(9);
+        assert!(e.to_string().contains('9'));
+        let e = CoreError::UnknownUseCase(UseCase::Gaming);
+        assert!(e.to_string().to_lowercase().contains("gaming"));
+        let e = CoreError::UnknownDataset(DatasetId::Ookla);
+        assert!(e.to_string().to_lowercase().contains("ookla"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

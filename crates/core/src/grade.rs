@@ -1,0 +1,216 @@
+//! Presentation scales for the IQB score.
+//!
+//! The paper motivates the composite with two household analogies: *"a
+//! credit score and the Nutri-Score, which illustrate how a single score
+//! can provide a generalized or approximate assessment"*. This module
+//! implements both as presentation layers over the `[0, 1]` score:
+//!
+//! * [`LetterGrade`] — a Nutri-Score-style A–E band;
+//! * [`credit_scale`] — a credit-score-style 300–850 number.
+//!
+//! Both are pure renderings: they never feed back into scoring.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+
+/// Nutri-Score-style letter band, A (best) through E (worst).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum LetterGrade {
+    /// Excellent: the connection corroborately meets nearly every
+    /// high-quality requirement.
+    A,
+    /// Good.
+    B,
+    /// Fair.
+    C,
+    /// Poor.
+    D,
+    /// Failing: most requirements unmet.
+    E,
+}
+
+impl LetterGrade {
+    /// All grades from best to worst.
+    pub const ALL: [LetterGrade; 5] = [
+        LetterGrade::A,
+        LetterGrade::B,
+        LetterGrade::C,
+        LetterGrade::D,
+        LetterGrade::E,
+    ];
+
+    /// Single-character label.
+    pub fn label(&self) -> char {
+        match self {
+            LetterGrade::A => 'A',
+            LetterGrade::B => 'B',
+            LetterGrade::C => 'C',
+            LetterGrade::D => 'D',
+            LetterGrade::E => 'E',
+        }
+    }
+}
+
+impl std::fmt::Display for LetterGrade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Grade band boundaries: scores at or above each cut-off earn the
+/// corresponding grade.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GradeBands {
+    /// Minimum score for an A.
+    pub a: f64,
+    /// Minimum score for a B.
+    pub b: f64,
+    /// Minimum score for a C.
+    pub c: f64,
+    /// Minimum score for a D (below this is an E).
+    pub d: f64,
+}
+
+impl Default for GradeBands {
+    /// Default bands: A ≥ 0.90, B ≥ 0.75, C ≥ 0.55, D ≥ 0.35, E below.
+    fn default() -> Self {
+        GradeBands {
+            a: 0.90,
+            b: 0.75,
+            c: 0.55,
+            d: 0.35,
+        }
+    }
+}
+
+impl GradeBands {
+    /// Validates that the cut-offs are in `[0, 1]` and strictly descending.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let cuts = [self.a, self.b, self.c, self.d];
+        for &c in &cuts {
+            if !(0.0..=1.0).contains(&c) || c.is_nan() {
+                return Err(CoreError::InvalidConfig(format!(
+                    "grade cut-off {c} outside [0, 1]"
+                )));
+            }
+        }
+        if !(self.a > self.b && self.b > self.c && self.c > self.d) {
+            return Err(CoreError::InvalidConfig(
+                "grade cut-offs must be strictly descending".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Maps a score in `[0, 1]` to its letter grade.
+    pub fn grade(&self, score: f64) -> Result<LetterGrade, CoreError> {
+        self.validate()?;
+        if !(0.0..=1.0).contains(&score) || score.is_nan() {
+            return Err(CoreError::InvalidConfig(format!(
+                "score {score} outside [0, 1]"
+            )));
+        }
+        Ok(if score >= self.a {
+            LetterGrade::A
+        } else if score >= self.b {
+            LetterGrade::B
+        } else if score >= self.c {
+            LetterGrade::C
+        } else if score >= self.d {
+            LetterGrade::D
+        } else {
+            LetterGrade::E
+        })
+    }
+}
+
+/// Maps a score in `[0, 1]` to a credit-score-style integer in 300–850
+/// (linear: 0 → 300, 1 → 850).
+pub fn credit_scale(score: f64) -> Result<u32, CoreError> {
+    if !(0.0..=1.0).contains(&score) || score.is_nan() {
+        return Err(CoreError::InvalidConfig(format!(
+            "score {score} outside [0, 1]"
+        )));
+    }
+    Ok((300.0 + score * 550.0).round() as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bands_validate() {
+        GradeBands::default().validate().unwrap();
+    }
+
+    #[test]
+    fn band_boundaries_inclusive() {
+        let b = GradeBands::default();
+        assert_eq!(b.grade(1.0).unwrap(), LetterGrade::A);
+        assert_eq!(b.grade(0.90).unwrap(), LetterGrade::A);
+        assert_eq!(b.grade(0.8999).unwrap(), LetterGrade::B);
+        assert_eq!(b.grade(0.75).unwrap(), LetterGrade::B);
+        assert_eq!(b.grade(0.55).unwrap(), LetterGrade::C);
+        assert_eq!(b.grade(0.35).unwrap(), LetterGrade::D);
+        assert_eq!(b.grade(0.0).unwrap(), LetterGrade::E);
+    }
+
+    #[test]
+    fn grade_rejects_out_of_range_scores() {
+        let b = GradeBands::default();
+        assert!(b.grade(1.5).is_err());
+        assert!(b.grade(-0.1).is_err());
+        assert!(b.grade(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn non_descending_bands_rejected() {
+        let bad = GradeBands {
+            a: 0.5,
+            b: 0.75,
+            c: 0.55,
+            d: 0.35,
+        };
+        assert!(bad.validate().is_err());
+        let out_of_range = GradeBands {
+            a: 1.5,
+            ..Default::default()
+        };
+        assert!(out_of_range.validate().is_err());
+    }
+
+    #[test]
+    fn grades_order_best_to_worst() {
+        assert!(LetterGrade::A < LetterGrade::E);
+        assert_eq!(LetterGrade::ALL[0], LetterGrade::A);
+        assert_eq!(LetterGrade::B.to_string(), "B");
+    }
+
+    #[test]
+    fn credit_scale_endpoints_and_midpoint() {
+        assert_eq!(credit_scale(0.0).unwrap(), 300);
+        assert_eq!(credit_scale(1.0).unwrap(), 850);
+        assert_eq!(credit_scale(0.5).unwrap(), 575);
+    }
+
+    #[test]
+    fn credit_scale_monotone() {
+        let mut prev = 0;
+        for i in 0..=100 {
+            let s = credit_scale(i as f64 / 100.0).unwrap();
+            assert!(s >= prev);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn credit_scale_rejects_out_of_range() {
+        assert!(credit_scale(-0.01).is_err());
+        assert!(credit_scale(1.01).is_err());
+        assert!(credit_scale(f64::NAN).is_err());
+    }
+}

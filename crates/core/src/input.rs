@@ -1,0 +1,253 @@
+//! Scoring input: per-dataset metric aggregates.
+//!
+//! The dataset tier hands the score formula one number per
+//! (dataset, metric) pair — the region's aggregated measurement (the 95th
+//! percentile by default, computed by `iqb-data`). [`AggregateInput`]
+//! carries those numbers plus optional provenance, and tolerates missing
+//! cells: a dataset that does not report a metric (Ookla open data has no
+//! packet loss) is simply absent, and the score normalization redistributes
+//! its weight.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::DatasetId;
+use crate::error::CoreError;
+use crate::metric::Metric;
+
+/// Provenance of one aggregate cell: how many raw measurements produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellProvenance {
+    /// Number of raw measurements aggregated into this value.
+    pub sample_count: u64,
+    /// Quantile rank used for aggregation (0.95 per the paper).
+    pub quantile: f64,
+}
+
+/// One aggregate value with optional provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggregateCell {
+    /// The aggregated metric value, in the metric's unit.
+    pub value: f64,
+    /// Provenance, when the aggregation layer supplies it.
+    pub provenance: Option<CellProvenance>,
+}
+
+/// The full scoring input: `(dataset, metric) → aggregate`.
+///
+/// ```
+/// use iqb_core::dataset::DatasetId;
+/// use iqb_core::input::AggregateInput;
+/// use iqb_core::metric::Metric;
+///
+/// let mut input = AggregateInput::new();
+/// input.set(DatasetId::Ndt, Metric::Latency, 35.0);
+/// assert_eq!(input.get(&DatasetId::Ndt, Metric::Latency), Some(35.0));
+/// assert_eq!(input.get(&DatasetId::Ookla, Metric::Latency), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct AggregateInput {
+    /// Serialized as an entry list because JSON map keys must be strings.
+    #[serde(with = "cells_serde")]
+    cells: BTreeMap<(DatasetId, Metric), AggregateCell>,
+}
+
+/// Serde adapter: the tuple-keyed map round-trips as a list of
+/// `(dataset, metric, cell)` entries.
+mod cells_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        cells: &BTreeMap<(DatasetId, Metric), AggregateCell>,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(&DatasetId, &Metric, &AggregateCell)> =
+            cells.iter().map(|((d, m), c)| (d, m, c)).collect();
+        serde::Serialize::serialize(&entries, serializer)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        deserializer: D,
+    ) -> Result<BTreeMap<(DatasetId, Metric), AggregateCell>, D::Error> {
+        let entries: Vec<(DatasetId, Metric, AggregateCell)> =
+            serde::Deserialize::deserialize(deserializer)?;
+        Ok(entries.into_iter().map(|(d, m, c)| ((d, m), c)).collect())
+    }
+}
+
+impl AggregateInput {
+    /// Creates an empty input.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets an aggregate value without provenance. Overwrites any existing
+    /// cell for the same (dataset, metric).
+    pub fn set(&mut self, dataset: DatasetId, metric: Metric, value: f64) {
+        self.cells.insert(
+            (dataset, metric),
+            AggregateCell {
+                value,
+                provenance: None,
+            },
+        );
+    }
+
+    /// Sets an aggregate value with provenance.
+    pub fn set_with_provenance(
+        &mut self,
+        dataset: DatasetId,
+        metric: Metric,
+        value: f64,
+        provenance: CellProvenance,
+    ) {
+        self.cells.insert(
+            (dataset, metric),
+            AggregateCell {
+                value,
+                provenance: Some(provenance),
+            },
+        );
+    }
+
+    /// The aggregate value for a cell, if present.
+    pub fn get(&self, dataset: &DatasetId, metric: Metric) -> Option<f64> {
+        self.cells
+            .get(&(dataset.clone(), metric))
+            .map(|c| c.value)
+    }
+
+    /// The full cell (value + provenance), if present.
+    pub fn get_cell(&self, dataset: &DatasetId, metric: Metric) -> Option<&AggregateCell> {
+        self.cells.get(&(dataset.clone(), metric))
+    }
+
+    /// Number of populated cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cell is populated.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates populated cells in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(DatasetId, Metric), &AggregateCell)> {
+        self.cells.iter()
+    }
+
+    /// Datasets with at least one populated cell.
+    pub fn datasets(&self) -> Vec<DatasetId> {
+        let mut out: Vec<DatasetId> = self.cells.keys().map(|(d, _)| d.clone()).collect();
+        out.dedup();
+        out
+    }
+
+    /// Validates every populated value against its metric's physical domain.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        for ((_, metric), cell) in &self.cells {
+            metric
+                .validate(cell.value)
+                .map_err(|reason| CoreError::InvalidMetricValue {
+                    metric: *metric,
+                    value: cell.value,
+                    reason,
+                })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut input = AggregateInput::new();
+        assert!(input.is_empty());
+        input.set(DatasetId::Ndt, Metric::DownloadThroughput, 87.5);
+        assert_eq!(input.len(), 1);
+        assert_eq!(
+            input.get(&DatasetId::Ndt, Metric::DownloadThroughput),
+            Some(87.5)
+        );
+        assert_eq!(input.get(&DatasetId::Ndt, Metric::UploadThroughput), None);
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let mut input = AggregateInput::new();
+        input.set(DatasetId::Ookla, Metric::Latency, 30.0);
+        input.set(DatasetId::Ookla, Metric::Latency, 25.0);
+        assert_eq!(input.len(), 1);
+        assert_eq!(input.get(&DatasetId::Ookla, Metric::Latency), Some(25.0));
+    }
+
+    #[test]
+    fn provenance_is_preserved() {
+        let mut input = AggregateInput::new();
+        input.set_with_provenance(
+            DatasetId::Cloudflare,
+            Metric::PacketLoss,
+            0.2,
+            CellProvenance {
+                sample_count: 1234,
+                quantile: 0.95,
+            },
+        );
+        let cell = input
+            .get_cell(&DatasetId::Cloudflare, Metric::PacketLoss)
+            .unwrap();
+        assert_eq!(cell.provenance.unwrap().sample_count, 1234);
+    }
+
+    #[test]
+    fn datasets_lists_unique_sources() {
+        let mut input = AggregateInput::new();
+        input.set(DatasetId::Ndt, Metric::Latency, 20.0);
+        input.set(DatasetId::Ndt, Metric::PacketLoss, 0.1);
+        input.set(DatasetId::Ookla, Metric::Latency, 18.0);
+        let datasets = input.datasets();
+        assert!(datasets.contains(&DatasetId::Ndt));
+        assert!(datasets.contains(&DatasetId::Ookla));
+    }
+
+    #[test]
+    fn validate_rejects_domain_violations() {
+        let mut input = AggregateInput::new();
+        input.set(DatasetId::Ndt, Metric::PacketLoss, 250.0);
+        assert!(input.validate().is_err());
+        let mut ok = AggregateInput::new();
+        ok.set(DatasetId::Ndt, Metric::PacketLoss, 2.5);
+        ok.validate().unwrap();
+    }
+
+    #[test]
+    fn serde_json_round_trip() {
+        let mut input = AggregateInput::new();
+        input.set(DatasetId::Ndt, Metric::Latency, 20.0);
+        input.set_with_provenance(
+            DatasetId::Custom("probes".into()),
+            Metric::PacketLoss,
+            0.4,
+            CellProvenance {
+                sample_count: 9,
+                quantile: 0.95,
+            },
+        );
+        let json = serde_json::to_string(&input).unwrap();
+        let back: AggregateInput = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, input);
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let mut input = AggregateInput::new();
+        input.set(DatasetId::Ndt, Metric::Latency, f64::NAN);
+        assert!(input.validate().is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! # iqb-core — the Internet Quality Barometer framework
+//!
+//! This crate implements the primary contribution of *"Poster: The Internet
+//! Quality Barometer Framework"* (Ohlsen, Sermpezis, Newcomb — Measurement
+//! Lab, IMC 2025): a three-tier, user-centric framework that turns raw
+//! Internet measurement aggregates into a single composite **IQB score**.
+//!
+//! ## The three tiers
+//!
+//! 1. **Use cases** ([`usecase`]) — what people *do* online: web browsing,
+//!    video streaming, video conferencing, audio streaming, online backup,
+//!    gaming. Quality is defined against these, not against raw megabits.
+//! 2. **Network requirements** ([`metric`], [`threshold`], [`weights`]) —
+//!    each use case maps to thresholds on download/upload throughput,
+//!    latency and packet loss (paper Fig. 2), weighted by expert-elicited
+//!    importance 1–5 (paper Table 1).
+//! 3. **Datasets** ([`dataset`], [`input`]) — per-dataset aggregates (the
+//!    95th percentile, per the paper) are compared against thresholds to
+//!    produce binary requirement scores `S_{u,r,d}`, corroborating multiple
+//!    measurement methodologies (M-Lab NDT, Cloudflare, Ookla).
+//!
+//! ## The score ([`score`])
+//!
+//! Scores roll up through normalized weighted averages:
+//!
+//! ```text
+//! S_{u,r}  = Σ_d w'_{u,r,d} · S_{u,r,d}            (eq. 1, agreement)
+//! S_u      = Σ_r w'_{u,r}   · S_{u,r}              (eq. 2, use case)
+//! S_IQB    = Σ_u w'_u       · S_u                  (eq. 4, composite)
+//! ```
+//!
+//! all in `[0, 1]`. [`score::score_iqb`] produces a fully decomposed
+//! [`score::IqbReport`]; [`grade`] renders it as a Nutri-Score-style letter
+//! or a credit-score-style number (the two analogies the paper cites);
+//! [`sensitivity`] quantifies how the composite responds to the paper's
+//! configurable choices.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use iqb_core::config::IqbConfig;
+//! use iqb_core::dataset::DatasetId;
+//! use iqb_core::input::AggregateInput;
+//! use iqb_core::metric::Metric;
+//! use iqb_core::score::score_iqb;
+//!
+//! let config = IqbConfig::paper_default();
+//! let mut input = AggregateInput::new();
+//! // A fiber-like connection as seen by the three datasets:
+//! for d in [DatasetId::Ndt, DatasetId::Cloudflare, DatasetId::Ookla] {
+//!     input.set(d.clone(), Metric::DownloadThroughput, 500.0);
+//!     input.set(d.clone(), Metric::UploadThroughput, 500.0);
+//!     input.set(d.clone(), Metric::Latency, 8.0);
+//!     input.set(d.clone(), Metric::PacketLoss, 0.05);
+//! }
+//! let report = score_iqb(&config, &input).unwrap();
+//! assert_eq!(report.score, 1.0); // meets every high-quality threshold
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod dataset;
+pub mod error;
+pub mod grade;
+pub mod input;
+pub mod metric;
+pub mod profiles;
+pub mod score;
+pub mod sensitivity;
+pub mod threshold;
+pub mod usecase;
+pub mod value;
+pub mod weights;
+pub mod whatif;
+
+pub use config::IqbConfig;
+pub use dataset::DatasetId;
+pub use error::CoreError;
+pub use input::AggregateInput;
+pub use metric::{Metric, Polarity};
+pub use score::{score_iqb, IqbReport};
+pub use threshold::{QualityLevel, ThresholdSpec};
+pub use usecase::UseCase;
+pub use weights::Weight;

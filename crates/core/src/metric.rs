@@ -1,0 +1,172 @@
+//! Network requirement metrics — the middle tier of the IQB framework.
+//!
+//! The paper maps every use case onto four measurable requirements:
+//! download throughput, upload throughput, latency and packet loss — *"i.e.,
+//! metrics found in openly available measurement datasets"*. Each metric
+//! carries a unit and a *polarity* (whether bigger numbers are better),
+//! which drives threshold comparisons in [`crate::threshold`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Whether larger values of a metric indicate better quality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// Larger is better (throughput).
+    HigherIsBetter,
+    /// Smaller is better (latency, packet loss).
+    LowerIsBetter,
+}
+
+/// Physical unit of a metric value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Unit {
+    /// Megabits per second.
+    MegabitsPerSecond,
+    /// Milliseconds.
+    Milliseconds,
+    /// Percentage in `[0, 100]`.
+    Percent,
+}
+
+impl Unit {
+    /// Conventional suffix used when rendering values.
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            Unit::MegabitsPerSecond => "Mb/s",
+            Unit::Milliseconds => "ms",
+            Unit::Percent => "%",
+        }
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// The four network requirements of the IQB framework's middle tier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum Metric {
+    /// Download throughput in Mb/s.
+    DownloadThroughput,
+    /// Upload throughput in Mb/s.
+    UploadThroughput,
+    /// Round-trip latency in milliseconds.
+    Latency,
+    /// Packet loss rate as a percentage in `[0, 100]`.
+    PacketLoss,
+}
+
+impl Metric {
+    /// All four requirements, in the column order of the paper's Fig. 2 and
+    /// Table 1.
+    pub const ALL: [Metric; 4] = [
+        Metric::DownloadThroughput,
+        Metric::UploadThroughput,
+        Metric::Latency,
+        Metric::PacketLoss,
+    ];
+
+    /// Polarity of this metric.
+    pub fn polarity(&self) -> Polarity {
+        match self {
+            Metric::DownloadThroughput | Metric::UploadThroughput => Polarity::HigherIsBetter,
+            Metric::Latency | Metric::PacketLoss => Polarity::LowerIsBetter,
+        }
+    }
+
+    /// Unit of this metric.
+    pub fn unit(&self) -> Unit {
+        match self {
+            Metric::DownloadThroughput | Metric::UploadThroughput => Unit::MegabitsPerSecond,
+            Metric::Latency => Unit::Milliseconds,
+            Metric::PacketLoss => Unit::Percent,
+        }
+    }
+
+    /// Human-readable name matching the paper's table headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::DownloadThroughput => "Download Throughput",
+            Metric::UploadThroughput => "Upload Throughput",
+            Metric::Latency => "Latency",
+            Metric::PacketLoss => "Packet Loss",
+        }
+    }
+
+    /// Validates a raw measurement value for this metric.
+    ///
+    /// Returns a human-readable reason when the value is outside the
+    /// metric's physical domain: throughput and latency must be finite and
+    /// non-negative; packet loss must additionally be ≤ 100.
+    pub fn validate(&self, value: f64) -> Result<(), String> {
+        if !value.is_finite() {
+            return Err(format!("{value} is not finite"));
+        }
+        if value < 0.0 {
+            return Err(format!("{value} is negative"));
+        }
+        if *self == Metric::PacketLoss && value > 100.0 {
+            return Err(format!("packet loss {value}% exceeds 100%"));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_four_metrics_in_paper_order() {
+        assert_eq!(Metric::ALL.len(), 4);
+        assert_eq!(Metric::ALL[0], Metric::DownloadThroughput);
+        assert_eq!(Metric::ALL[3], Metric::PacketLoss);
+    }
+
+    #[test]
+    fn polarity_assignment() {
+        assert_eq!(
+            Metric::DownloadThroughput.polarity(),
+            Polarity::HigherIsBetter
+        );
+        assert_eq!(Metric::UploadThroughput.polarity(), Polarity::HigherIsBetter);
+        assert_eq!(Metric::Latency.polarity(), Polarity::LowerIsBetter);
+        assert_eq!(Metric::PacketLoss.polarity(), Polarity::LowerIsBetter);
+    }
+
+    #[test]
+    fn units_match_paper_columns() {
+        assert_eq!(Metric::DownloadThroughput.unit(), Unit::MegabitsPerSecond);
+        assert_eq!(Metric::Latency.unit(), Unit::Milliseconds);
+        assert_eq!(Metric::PacketLoss.unit(), Unit::Percent);
+        assert_eq!(Unit::MegabitsPerSecond.suffix(), "Mb/s");
+    }
+
+    #[test]
+    fn validation_rules() {
+        assert!(Metric::DownloadThroughput.validate(0.0).is_ok());
+        assert!(Metric::DownloadThroughput.validate(10_000.0).is_ok());
+        assert!(Metric::DownloadThroughput.validate(-1.0).is_err());
+        assert!(Metric::Latency.validate(f64::NAN).is_err());
+        assert!(Metric::PacketLoss.validate(100.0).is_ok());
+        assert!(Metric::PacketLoss.validate(100.1).is_err());
+    }
+
+    #[test]
+    fn display_uses_labels() {
+        assert_eq!(Metric::PacketLoss.to_string(), "Packet Loss");
+        assert_eq!(Unit::Percent.to_string(), "%");
+    }
+}

@@ -1,0 +1,135 @@
+//! Named configuration profiles.
+//!
+//! The paper's §4 invites adaptation "based on the intended application".
+//! This module ships a small registry of vetted profiles so downstream
+//! tools (the CLI, reports) can reference configurations by name instead
+//! of rebuilding them:
+//!
+//! | Name | Intent |
+//! |---|---|
+//! | `paper-default` | Exactly the poster's configuration. |
+//! | `minimum-access` | Binary scoring against the *minimum* level — "is basic service available?", the broadband-availability question. |
+//! | `realtime` | Upweights video conferencing and gaming (w_u = 3); graded scoring. The remote-work/esports household. |
+//! | `streaming-household` | Upweights video and audio streaming (w_u = 3); graded scoring. |
+//! | `graded` | Paper defaults with graded cell scoring (E8's treatment arm). |
+
+use crate::config::{IqbConfig, ScoringMode};
+use crate::error::CoreError;
+use crate::threshold::QualityLevel;
+use crate::usecase::UseCase;
+use crate::weights::Weight;
+
+/// Names of all built-in profiles, in listing order.
+pub const PROFILE_NAMES: [&str; 5] = [
+    "paper-default",
+    "minimum-access",
+    "realtime",
+    "streaming-household",
+    "graded",
+];
+
+/// Builds a profile by name.
+///
+/// Returns [`CoreError::InvalidConfig`] for unknown names; the message
+/// lists the valid ones.
+pub fn by_name(name: &str) -> Result<IqbConfig, CoreError> {
+    match name {
+        "paper-default" => Ok(IqbConfig::paper_default()),
+        "minimum-access" => IqbConfig::builder()
+            .quality_level(QualityLevel::Minimum)
+            .build(),
+        "realtime" => IqbConfig::builder()
+            .scoring_mode(ScoringMode::Graded)
+            .use_case_weight(UseCase::VideoConferencing, Weight::new(3)?)
+            .use_case_weight(UseCase::Gaming, Weight::new(3)?)
+            .build(),
+        "streaming-household" => IqbConfig::builder()
+            .scoring_mode(ScoringMode::Graded)
+            .use_case_weight(UseCase::VideoStreaming, Weight::new(3)?)
+            .use_case_weight(UseCase::AudioStreaming, Weight::new(3)?)
+            .build(),
+        "graded" => IqbConfig::builder().scoring_mode(ScoringMode::Graded).build(),
+        other => Err(CoreError::InvalidConfig(format!(
+            "unknown profile `{other}`; valid profiles: {}",
+            PROFILE_NAMES.join(", ")
+        ))),
+    }
+}
+
+/// One-line description for each profile (for `--help`-style listings).
+pub fn describe(name: &str) -> Option<&'static str> {
+    match name {
+        "paper-default" => Some("the poster's configuration: Fig. 2, Table 1, binary, high level"),
+        "minimum-access" => Some("binary against the minimum-quality level: basic availability"),
+        "realtime" => Some("graded; video conferencing and gaming weighted 3x"),
+        "streaming-household" => Some("graded; video and audio streaming weighted 3x"),
+        "graded" => Some("paper defaults with graded (piecewise-linear) cell scoring"),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetId;
+    use crate::input::AggregateInput;
+    use crate::metric::Metric;
+    use crate::score::score_iqb;
+
+    #[test]
+    fn every_listed_profile_builds_and_validates() {
+        for name in PROFILE_NAMES {
+            let config = by_name(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+            config.validate().unwrap();
+            assert!(describe(name).is_some(), "{name} lacks a description");
+        }
+    }
+
+    #[test]
+    fn unknown_profile_lists_valid_names() {
+        let err = by_name("ultra").unwrap_err();
+        assert!(err.to_string().contains("paper-default"));
+        assert_eq!(describe("ultra"), None);
+    }
+
+    #[test]
+    fn paper_default_profile_is_the_paper_default() {
+        assert_eq!(by_name("paper-default").unwrap(), IqbConfig::paper_default());
+    }
+
+    #[test]
+    fn profiles_produce_distinct_scores_on_a_skewed_connection() {
+        // Great latency/loss, marginal throughput: the profiles disagree.
+        let mut input = AggregateInput::new();
+        for d in DatasetId::BUILTIN {
+            input.set(d.clone(), Metric::DownloadThroughput, 60.0);
+            input.set(d.clone(), Metric::UploadThroughput, 30.0);
+            input.set(d.clone(), Metric::Latency, 15.0);
+            input.set(d, Metric::PacketLoss, 0.05);
+        }
+        let mut scores = std::collections::BTreeMap::new();
+        for name in PROFILE_NAMES {
+            let config = by_name(name).unwrap();
+            scores.insert(name, score_iqb(&config, &input).unwrap().score);
+        }
+        // Minimum-access is the laxest view of this connection.
+        assert!(scores["minimum-access"] >= scores["paper-default"]);
+        // Realtime (latency-loving) likes this connection more than the
+        // binary paper default does.
+        assert!(scores["realtime"] > scores["paper-default"]);
+        // The graded variants differ from binary.
+        assert_ne!(scores["graded"], scores["paper-default"]);
+    }
+
+    #[test]
+    fn realtime_profile_upweights_the_right_rows() {
+        let config = by_name("realtime").unwrap();
+        assert_eq!(
+            config.use_case_weights.get(&UseCase::VideoConferencing).get(),
+            3
+        );
+        assert_eq!(config.use_case_weights.get(&UseCase::Gaming).get(), 3);
+        assert_eq!(config.use_case_weights.get(&UseCase::WebBrowsing).get(), 1);
+        assert_eq!(config.scoring_mode, ScoringMode::Graded);
+    }
+}

@@ -1,0 +1,294 @@
+//! Cell scoring: `S_{u,r,d}` for one (use case, requirement, dataset).
+//!
+//! The paper's formulation is binary — *"the binary requirement score
+//! S_{u,r,d} indicates whether the threshold for the network requirement r
+//! for a high-quality experience for use case u is met"* — implemented by
+//! [`binary_cell_score`]. [`graded_cell_score`] is the extension scoring
+//! mode (DESIGN.md E8): a piecewise-linear score that uses *both* Fig. 2
+//! levels instead of collapsing everything onto one cliff.
+
+use crate::metric::Polarity;
+use crate::threshold::{LevelPair, QualityLevel};
+
+/// Result of scoring one cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellOutcome {
+    /// The score in `[0, 1]` (0 or 1 in binary mode).
+    pub score: f64,
+    /// Whether the level's threshold was met (the binary view, also
+    /// reported in graded mode for comparability).
+    pub met: bool,
+    /// The threshold value the cell was compared against.
+    pub threshold: f64,
+}
+
+/// Binary cell score against one quality level.
+///
+/// Returns `None` when the level's threshold is
+/// [`ThresholdSpec::Unspecified`] — the cell cannot be evaluated and its
+/// weight is redistributed by the caller's normalization.
+pub fn binary_cell_score(
+    pair: &LevelPair,
+    level: QualityLevel,
+    value: f64,
+    polarity: Polarity,
+) -> Option<CellOutcome> {
+    let spec = match level {
+        QualityLevel::Minimum => pair.min,
+        QualityLevel::High => pair.high,
+    };
+    let threshold = spec.effective_value(polarity)?;
+    let met = spec
+        .is_met(value, polarity)
+        .expect("effective_value was Some, so is_met is Some");
+    Some(CellOutcome {
+        score: if met { 1.0 } else { 0.0 },
+        met,
+        threshold,
+    })
+}
+
+/// Graded cell score using both quality levels.
+///
+/// Piecewise-linear in the measured value:
+///
+/// * at or beyond the **high**-quality threshold → `1.0`;
+/// * at the **minimum**-quality threshold → `0.5`, rising linearly to `1.0`
+///   as the value approaches the high threshold;
+/// * below the minimum → partial credit falling to `0` as the value
+///   degrades to nothing (linearly in `value/min` for higher-is-better,
+///   hyperbolically in `min/value` for lower-is-better — both hit `0.5`
+///   exactly at the minimum threshold and `0` in the degenerate limit).
+///
+/// When the two levels coincide (e.g. online-backup download: 10/10 Mb/s)
+/// the ramp between them is empty and the function steps from the sub-min
+/// branch straight to `1.0`. Requires the *high* threshold to be numeric;
+/// returns `None` for `Unspecified` high cells (same cells binary scoring
+/// at the high level skips). `met` reports the binary verdict at `level`.
+pub fn graded_cell_score(
+    pair: &LevelPair,
+    level: QualityLevel,
+    value: f64,
+    polarity: Polarity,
+) -> Option<CellOutcome> {
+    let high = pair.high.effective_value(polarity)?;
+    let min = pair.min.effective_value(polarity).unwrap_or(high);
+    let level_spec = match level {
+        QualityLevel::Minimum => pair.min,
+        QualityLevel::High => pair.high,
+    };
+    let threshold = level_spec.effective_value(polarity)?;
+    let met = level_spec
+        .is_met(value, polarity)
+        .expect("numeric threshold");
+
+    let score = match polarity {
+        Polarity::HigherIsBetter => {
+            if value >= high {
+                1.0
+            } else if value >= min {
+                if high > min {
+                    0.5 + 0.5 * (value - min) / (high - min)
+                } else {
+                    1.0
+                }
+            } else if min > 0.0 {
+                0.5 * (value / min).clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        }
+        Polarity::LowerIsBetter => {
+            if value <= high {
+                1.0
+            } else if value <= min {
+                if min > high {
+                    0.5 + 0.5 * (min - value) / (min - high)
+                } else {
+                    1.0
+                }
+            } else if value > 0.0 && min > 0.0 {
+                0.5 * (min / value).clamp(0.0, 1.0)
+            } else {
+                0.0
+            }
+        }
+    };
+    Some(CellOutcome {
+        score: score.clamp(0.0, 1.0),
+        met,
+        threshold,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::threshold::ThresholdSpec;
+
+    fn pair(min: f64, high: f64) -> LevelPair {
+        LevelPair {
+            min: ThresholdSpec::Value(min),
+            high: ThresholdSpec::Value(high),
+        }
+    }
+
+    #[test]
+    fn binary_high_level_throughput() {
+        let p = pair(10.0, 100.0);
+        let hit = binary_cell_score(&p, QualityLevel::High, 150.0, Polarity::HigherIsBetter)
+            .unwrap();
+        assert_eq!(hit.score, 1.0);
+        assert!(hit.met);
+        assert_eq!(hit.threshold, 100.0);
+        let miss = binary_cell_score(&p, QualityLevel::High, 50.0, Polarity::HigherIsBetter)
+            .unwrap();
+        assert_eq!(miss.score, 0.0);
+        assert!(!miss.met);
+    }
+
+    #[test]
+    fn binary_minimum_level_uses_min_threshold() {
+        let p = pair(10.0, 100.0);
+        let o = binary_cell_score(&p, QualityLevel::Minimum, 50.0, Polarity::HigherIsBetter)
+            .unwrap();
+        assert!(o.met);
+        assert_eq!(o.threshold, 10.0);
+    }
+
+    #[test]
+    fn binary_exact_threshold_counts_as_met() {
+        let p = pair(100.0, 50.0); // latency-style (lower better)
+        let o = binary_cell_score(&p, QualityLevel::High, 50.0, Polarity::LowerIsBetter).unwrap();
+        assert!(o.met);
+    }
+
+    #[test]
+    fn binary_unspecified_returns_none() {
+        let p = LevelPair {
+            min: ThresholdSpec::Value(10.0),
+            high: ThresholdSpec::Unspecified,
+        };
+        assert!(
+            binary_cell_score(&p, QualityLevel::High, 1000.0, Polarity::HigherIsBetter).is_none()
+        );
+        // The minimum level is still evaluable.
+        assert!(
+            binary_cell_score(&p, QualityLevel::Minimum, 1000.0, Polarity::HigherIsBetter)
+                .is_some()
+        );
+    }
+
+    #[test]
+    fn binary_range_threshold_conservative() {
+        let p = LevelPair {
+            min: ThresholdSpec::Value(25.0),
+            high: ThresholdSpec::Range {
+                low: 50.0,
+                high: 100.0,
+            },
+        };
+        let o = binary_cell_score(&p, QualityLevel::High, 75.0, Polarity::HigherIsBetter).unwrap();
+        assert!(!o.met, "75 < conservative bound 100");
+        assert_eq!(o.threshold, 100.0);
+    }
+
+    #[test]
+    fn graded_anchors_higher_is_better() {
+        let p = pair(10.0, 100.0);
+        let s = |v: f64| {
+            graded_cell_score(&p, QualityLevel::High, v, Polarity::HigherIsBetter)
+                .unwrap()
+                .score
+        };
+        assert_eq!(s(0.0), 0.0);
+        assert!((s(5.0) - 0.25).abs() < 1e-12); // halfway to min
+        assert!((s(10.0) - 0.5).abs() < 1e-12); // at min
+        assert!((s(55.0) - 0.75).abs() < 1e-12); // halfway up the ramp
+        assert_eq!(s(100.0), 1.0);
+        assert_eq!(s(500.0), 1.0);
+    }
+
+    #[test]
+    fn graded_anchors_lower_is_better() {
+        let p = pair(100.0, 50.0); // latency: min 100 ms, high 50 ms
+        let s = |v: f64| {
+            graded_cell_score(&p, QualityLevel::High, v, Polarity::LowerIsBetter)
+                .unwrap()
+                .score
+        };
+        assert_eq!(s(20.0), 1.0);
+        assert_eq!(s(50.0), 1.0);
+        assert!((s(75.0) - 0.75).abs() < 1e-12);
+        assert!((s(100.0) - 0.5).abs() < 1e-12);
+        assert!((s(200.0) - 0.25).abs() < 1e-12); // 0.5 * 100/200
+        assert!(s(10_000.0) < 0.01);
+    }
+
+    #[test]
+    fn graded_is_monotone() {
+        let p = pair(10.0, 100.0);
+        let mut prev = -1.0;
+        for i in 0..=300 {
+            let v = i as f64;
+            let s = graded_cell_score(&p, QualityLevel::High, v, Polarity::HigherIsBetter)
+                .unwrap()
+                .score;
+            assert!(s >= prev - 1e-12, "non-monotone at v={v}");
+            assert!((0.0..=1.0).contains(&s));
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn graded_degenerate_equal_levels_steps() {
+        // Online-backup download: min == high == 10.
+        let p = pair(10.0, 10.0);
+        let s = |v: f64| {
+            graded_cell_score(&p, QualityLevel::High, v, Polarity::HigherIsBetter)
+                .unwrap()
+                .score
+        };
+        assert_eq!(s(10.0), 1.0);
+        assert_eq!(s(11.0), 1.0);
+        assert!((s(5.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graded_unspecified_high_returns_none() {
+        let p = LevelPair {
+            min: ThresholdSpec::Value(10.0),
+            high: ThresholdSpec::Unspecified,
+        };
+        assert!(
+            graded_cell_score(&p, QualityLevel::High, 50.0, Polarity::HigherIsBetter).is_none()
+        );
+    }
+
+    #[test]
+    fn graded_dominates_binary_when_met_and_trails_when_missed() {
+        // Graded ≥ binary below the cliff? No: graded gives partial credit
+        // where binary gives 0, and both give 1 above the high threshold.
+        let p = pair(10.0, 100.0);
+        for v in [0.0, 5.0, 50.0, 100.0, 200.0] {
+            let b = binary_cell_score(&p, QualityLevel::High, v, Polarity::HigherIsBetter)
+                .unwrap()
+                .score;
+            let g = graded_cell_score(&p, QualityLevel::High, v, Polarity::HigherIsBetter)
+                .unwrap()
+                .score;
+            assert!(g >= b, "graded {g} < binary {b} at v={v}");
+        }
+    }
+
+    #[test]
+    fn graded_met_flag_matches_binary_verdict() {
+        let p = pair(10.0, 100.0);
+        let g = graded_cell_score(&p, QualityLevel::High, 50.0, Polarity::HigherIsBetter).unwrap();
+        assert!(!g.met);
+        assert!(g.score > 0.0);
+        let g = graded_cell_score(&p, QualityLevel::Minimum, 50.0, Polarity::HigherIsBetter)
+            .unwrap();
+        assert!(g.met);
+    }
+}

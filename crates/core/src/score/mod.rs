@@ -1,0 +1,638 @@
+//! The IQB score — the paper's §3, equations (1) through (5).
+//!
+//! Scoring starts at the *datasets* tier and rolls upward:
+//!
+//! 1. **Cell scores** `S_{u,r,d}` ([`cell`]) — compare a dataset's
+//!    aggregate against the Fig. 2 threshold (binary, or graded in the
+//!    extension mode).
+//! 2. **Requirement agreement** `S_{u,r}` (eq. 1) — the dataset-weighted
+//!    average of the cell scores: how strongly the datasets corroborate
+//!    that requirement `r` is satisfied for use case `u`.
+//! 3. **Use-case score** `S_u` (eq. 2) — the requirement-weighted average
+//!    of the agreements, with Table 1 weights.
+//! 4. **IQB score** `S_IQB` (eq. 4) — the use-case-weighted average.
+//!
+//! Missing terms — a dataset with no data for a metric, an "Other"
+//! threshold cell — drop out of the weighted averages; the normalizing
+//! denominators shrink correspondingly, which is exactly how the paper's
+//! `w' = w / Σw` normalization behaves when a term is absent.
+//!
+//! [`score_iqb`] builds the fully decomposed [`IqbReport`];
+//! [`score_iqb_flat`] evaluates the algebraically expanded eq. (5)
+//! directly, and the two are tested to agree — reproducing the paper's
+//! derivation that (1)+(2)+(4) collapse to (5).
+
+pub mod cell;
+mod report;
+
+use std::collections::BTreeMap;
+
+pub use report::{CellScore, Coverage, IqbReport, RequirementScore, UseCaseScore};
+
+use crate::config::{IqbConfig, ScoringMode};
+use crate::error::CoreError;
+use crate::input::AggregateInput;
+use crate::metric::Metric;
+use crate::usecase::UseCase;
+
+use cell::{binary_cell_score, graded_cell_score, CellOutcome};
+
+/// Scores one cell according to the configured mode.
+fn score_cell(config: &IqbConfig, use_case: &UseCase, metric: Metric, value: f64) -> Option<CellOutcome> {
+    let pair = config.thresholds.get_pair(use_case, metric)?;
+    match config.scoring_mode {
+        ScoringMode::Binary => {
+            binary_cell_score(&pair, config.quality_level, value, metric.polarity())
+        }
+        ScoringMode::Graded => {
+            graded_cell_score(&pair, config.quality_level, value, metric.polarity())
+        }
+    }
+}
+
+/// Evaluates one use case: eq. (1) per requirement, then eq. (2).
+///
+/// Returns `None` (plus coverage updates) when no requirement of the use
+/// case could be evaluated from the input.
+fn evaluate_use_case(
+    config: &IqbConfig,
+    input: &AggregateInput,
+    use_case: &UseCase,
+    coverage: &mut Coverage,
+) -> Option<UseCaseScore> {
+    let mut requirements: BTreeMap<Metric, RequirementScore> = BTreeMap::new();
+
+    for metric in Metric::ALL {
+        // An "Other" (Unspecified) threshold at the scored level excludes
+        // the requirement for this use case.
+        let pair = config
+            .thresholds
+            .get_pair(use_case, metric)
+            .expect("config validated: every (use case, metric) has a threshold row");
+        let level_spec = match config.quality_level {
+            crate::threshold::QualityLevel::Minimum => pair.min,
+            crate::threshold::QualityLevel::High => pair.high,
+        };
+        if level_spec.effective_value(metric.polarity()).is_none() {
+            coverage.unspecified_requirements += 1;
+            continue;
+        }
+
+        // Eq. (1): dataset-weighted average of cell scores.
+        let mut cells: BTreeMap<crate::dataset::DatasetId, CellScore> = BTreeMap::new();
+        let mut weighted_sum = 0.0;
+        let mut weight_sum = 0.0;
+        for dataset in &config.datasets {
+            let Some(value) = input.get(dataset, metric) else {
+                coverage.missing_data_cells += 1;
+                continue;
+            };
+            let weight = config.dataset_weights.get(use_case, metric, dataset);
+            let Some(outcome) = score_cell(config, use_case, metric, value) else {
+                // Only reachable when the level spec was numeric but the
+                // graded high threshold is unspecified; count as unevaluable.
+                coverage.missing_data_cells += 1;
+                continue;
+            };
+            coverage.evaluated_cells += 1;
+            weighted_sum += weight.as_f64() * outcome.score;
+            weight_sum += weight.as_f64();
+            cells.insert(
+                dataset.clone(),
+                CellScore {
+                    value,
+                    threshold: outcome.threshold,
+                    score: outcome.score,
+                    met: outcome.met,
+                    weight,
+                    normalized_weight: 0.0, // filled below once weight_sum is final
+                },
+            );
+        }
+        if weight_sum == 0.0 {
+            // No dataset had data (or all weights were zero): requirement
+            // drops out of eq. (2).
+            coverage.uncovered_requirements += 1;
+            continue;
+        }
+        for cell_score in cells.values_mut() {
+            cell_score.normalized_weight = cell_score.weight.as_f64() / weight_sum;
+        }
+        let agreement = weighted_sum / weight_sum;
+        let req_weight = config
+            .requirement_weights
+            .get(use_case, metric)
+            .expect("config validated: every (use case, metric) has a weight");
+        requirements.insert(
+            metric,
+            RequirementScore {
+                agreement,
+                weight: req_weight,
+                normalized_weight: 0.0, // filled below
+                cells,
+            },
+        );
+    }
+
+    // Eq. (2): requirement-weighted average of agreements.
+    let weight_sum: f64 = requirements.values().map(|r| r.weight.as_f64()).sum();
+    if requirements.is_empty() || weight_sum == 0.0 {
+        coverage.skipped_use_cases += 1;
+        return None;
+    }
+    for r in requirements.values_mut() {
+        r.normalized_weight = r.weight.as_f64() / weight_sum;
+    }
+    // Computed as Σw·S / Σw (not via the pre-normalized weights) so an
+    // all-ones column rolls up to exactly 1.0.
+    let score: f64 = requirements
+        .values()
+        .map(|r| r.weight.as_f64() * r.agreement)
+        .sum::<f64>()
+        / weight_sum;
+    let weight = config.use_case_weights.get(use_case);
+    Some(UseCaseScore {
+        score,
+        weight,
+        normalized_weight: 0.0, // filled by the caller
+        requirements,
+    })
+}
+
+/// Evaluates the composite IQB score (paper eq. 4) with full decomposition.
+///
+/// Errors:
+/// * [`CoreError::InvalidConfig`] and friends when `config` is invalid;
+/// * [`CoreError::InvalidMetricValue`] when the input carries out-of-domain
+///   values;
+/// * [`CoreError::NothingToScore`] when not a single (use case,
+///   requirement, dataset) cell could be evaluated.
+///
+/// ```
+/// use iqb_core::{score_iqb, AggregateInput, DatasetId, IqbConfig, Metric};
+///
+/// let config = IqbConfig::paper_default();
+/// let mut input = AggregateInput::new();
+/// input.set(DatasetId::Ndt, Metric::DownloadThroughput, 300.0);
+/// input.set(DatasetId::Ndt, Metric::UploadThroughput, 300.0);
+/// input.set(DatasetId::Ndt, Metric::Latency, 12.0);
+/// input.set(DatasetId::Ndt, Metric::PacketLoss, 0.01);
+/// let report = score_iqb(&config, &input).unwrap();
+/// assert!(report.score > 0.99);
+/// ```
+pub fn score_iqb(config: &IqbConfig, input: &AggregateInput) -> Result<IqbReport, CoreError> {
+    config.validate()?;
+    input.validate()?;
+
+    let mut coverage = Coverage::default();
+    let mut use_cases: BTreeMap<UseCase, UseCaseScore> = BTreeMap::new();
+    for use_case in &config.use_cases {
+        if let Some(ucs) = evaluate_use_case(config, input, use_case, &mut coverage) {
+            use_cases.insert(use_case.clone(), ucs);
+        }
+    }
+
+    // Eq. (4): use-case-weighted average.
+    let weight_sum: f64 = use_cases.values().map(|u| u.weight.as_f64()).sum();
+    if use_cases.is_empty() || weight_sum == 0.0 {
+        return Err(CoreError::NothingToScore);
+    }
+    for u in use_cases.values_mut() {
+        u.normalized_weight = u.weight.as_f64() / weight_sum;
+    }
+    let score: f64 = use_cases
+        .values()
+        .map(|u| u.weight.as_f64() * u.score)
+        .sum::<f64>()
+        / weight_sum;
+
+    Ok(IqbReport {
+        score: score.clamp(0.0, 1.0),
+        quality_level: config.quality_level,
+        scoring_mode: config.scoring_mode,
+        use_cases,
+        coverage,
+    })
+}
+
+/// Evaluates eq. (5) — the algebraically flattened triple sum
+/// `S_IQB = Σ_u Σ_r Σ_d w'_u · w'_{u,r} · w'_{u,r,d} · S_{u,r,d}` —
+/// without building the decomposition tree.
+///
+/// The normalizing denominators are computed over *evaluable* terms only,
+/// mirroring how [`score_iqb`] drops missing cells; the two functions agree
+/// to floating-point precision (see the crate's equivalence tests, which
+/// reproduce the paper's derivation).
+pub fn score_iqb_flat(config: &IqbConfig, input: &AggregateInput) -> Result<f64, CoreError> {
+    config.validate()?;
+    input.validate()?;
+
+    // Pass 1: collect evaluable cells and the per-level weight sums.
+    struct FlatCell {
+        use_case_idx: usize,
+        metric: Metric,
+        dataset_weight: f64,
+        score: f64,
+    }
+    let mut cells: Vec<FlatCell> = Vec::new();
+    // (use case idx, metric) -> Σ_d w_{u,r,d}
+    let mut dataset_weight_sums: BTreeMap<(usize, Metric), f64> = BTreeMap::new();
+
+    for (u_idx, use_case) in config.use_cases.iter().enumerate() {
+        for metric in Metric::ALL {
+            for dataset in &config.datasets {
+                let Some(value) = input.get(dataset, metric) else {
+                    continue;
+                };
+                let Some(outcome) = score_cell(config, use_case, metric, value) else {
+                    continue;
+                };
+                let w = config.dataset_weights.get(use_case, metric, dataset).as_f64();
+                if w > 0.0 {
+                    *dataset_weight_sums.entry((u_idx, metric)).or_insert(0.0) += w;
+                }
+                cells.push(FlatCell {
+                    use_case_idx: u_idx,
+                    metric,
+                    dataset_weight: w,
+                    score: outcome.score,
+                });
+            }
+        }
+    }
+    if cells.is_empty() {
+        return Err(CoreError::NothingToScore);
+    }
+
+    // Σ_r w_{u,r} over requirements that have any dataset coverage.
+    let mut req_weight_sums: BTreeMap<usize, f64> = BTreeMap::new();
+    for (&(u_idx, metric), &dsum) in &dataset_weight_sums {
+        if dsum > 0.0 {
+            let w = config
+                .requirement_weights
+                .get(&config.use_cases[u_idx], metric)
+                .expect("validated")
+                .as_f64();
+            *req_weight_sums.entry(u_idx).or_insert(0.0) += w;
+        }
+    }
+    // Σ_u w_u over use cases with any covered requirement of positive weight.
+    let mut usecase_weight_sum = 0.0;
+    let mut usecase_included: BTreeMap<usize, bool> = BTreeMap::new();
+    for (&u_idx, &rsum) in &req_weight_sums {
+        if rsum > 0.0 {
+            usecase_weight_sum += config.use_case_weights.get(&config.use_cases[u_idx]).as_f64();
+            usecase_included.insert(u_idx, true);
+        }
+    }
+    if usecase_weight_sum == 0.0 {
+        return Err(CoreError::NothingToScore);
+    }
+
+    // Pass 2: the triple sum of eq. (5).
+    let mut total = 0.0;
+    for cell_entry in &cells {
+        let u_idx = cell_entry.use_case_idx;
+        if !usecase_included.get(&u_idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let dsum = dataset_weight_sums
+            .get(&(u_idx, cell_entry.metric))
+            .copied()
+            .unwrap_or(0.0);
+        if dsum == 0.0 {
+            continue;
+        }
+        let rsum = req_weight_sums[&u_idx];
+        let use_case = &config.use_cases[u_idx];
+        let w_u = config.use_case_weights.get(use_case).as_f64() / usecase_weight_sum;
+        let w_ur = config
+            .requirement_weights
+            .get(use_case, cell_entry.metric)
+            .expect("validated")
+            .as_f64()
+            / rsum;
+        let w_urd = cell_entry.dataset_weight / dsum;
+        total += w_u * w_ur * w_urd * cell_entry.score;
+    }
+    Ok(total.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScoringMode;
+    use crate::dataset::DatasetId;
+    use crate::threshold::QualityLevel;
+    use crate::weights::Weight;
+
+    /// Input where every dataset sees the same four aggregates.
+    fn uniform_input(down: f64, up: f64, rtt: f64, loss: f64) -> AggregateInput {
+        let mut input = AggregateInput::new();
+        for d in DatasetId::BUILTIN {
+            input.set(d.clone(), Metric::DownloadThroughput, down);
+            input.set(d.clone(), Metric::UploadThroughput, up);
+            input.set(d.clone(), Metric::Latency, rtt);
+            input.set(d, Metric::PacketLoss, loss);
+        }
+        input
+    }
+
+    #[test]
+    fn perfect_connection_scores_one() {
+        let config = IqbConfig::paper_default();
+        let input = uniform_input(1000.0, 1000.0, 5.0, 0.0);
+        let report = score_iqb(&config, &input).unwrap();
+        assert!((report.score - 1.0).abs() < 1e-12, "{}", report.score);
+        for (u, s) in &report.use_cases {
+            assert!((s.score - 1.0).abs() < 1e-12, "use case {u} not perfect");
+        }
+    }
+
+    #[test]
+    fn dead_connection_scores_zero() {
+        let config = IqbConfig::paper_default();
+        let input = uniform_input(0.1, 0.1, 2000.0, 50.0);
+        let report = score_iqb(&config, &input).unwrap();
+        assert_eq!(report.score, 0.0);
+    }
+
+    #[test]
+    fn score_is_in_unit_interval_for_middling_input() {
+        let config = IqbConfig::paper_default();
+        // Meets some high thresholds (latency) but not others (upload).
+        let input = uniform_input(120.0, 15.0, 18.0, 0.05);
+        let report = score_iqb(&config, &input).unwrap();
+        assert!(report.score > 0.0 && report.score < 1.0, "{}", report.score);
+    }
+
+    #[test]
+    fn empty_input_is_nothing_to_score() {
+        let config = IqbConfig::paper_default();
+        let err = score_iqb(&config, &AggregateInput::new()).unwrap_err();
+        assert_eq!(err, CoreError::NothingToScore);
+        assert_eq!(
+            score_iqb_flat(&config, &AggregateInput::new()).unwrap_err(),
+            CoreError::NothingToScore
+        );
+    }
+
+    #[test]
+    fn hand_computed_single_dataset_example() {
+        // One dataset, binary, high level. Connection: 120 down, 15 up,
+        // 18 ms, 0.05% loss. Per use case (threshold → met?):
+        //   WebBrowsing:  down 100→1, up Other→skip, lat 50→1, loss 0.5→1
+        //     S_u = (3·1 + 4·1 + 4·1)/(3+4+4) = 11/11 = 1
+        //   VideoStreaming: down 100(range hi)→1, up 10→1, lat 50→1, loss 0.1→1 → 1
+        //   VideoConferencing: down 100→1, up 100→0, lat 20→1, loss 0.1→1
+        //     S_u = (4+0+4+4)/16 = 12/16 = 0.75
+        //   AudioStreaming: down 50→1, up 50→0, lat 50→1, loss 0.1→1
+        //     S_u = (4+0+3+4)/12 = 11/12
+        //   OnlineBackup: down 10→1, up 200→0, lat 100→1, loss 0.1→1
+        //     S_u = (4+0+2+4)/14 = 10/14
+        //   Gaming: down 100→1, up Other→skip, lat 50→1, loss 0.5→1 → 1
+        // S_IQB (uniform w_u) = (1 + 1 + 0.75 + 11/12 + 10/14 + 1)/6
+        let config = IqbConfig::builder()
+            .datasets(vec![DatasetId::Ndt])
+            .build()
+            .unwrap();
+        let mut input = AggregateInput::new();
+        input.set(DatasetId::Ndt, Metric::DownloadThroughput, 120.0);
+        input.set(DatasetId::Ndt, Metric::UploadThroughput, 15.0);
+        input.set(DatasetId::Ndt, Metric::Latency, 18.0);
+        input.set(DatasetId::Ndt, Metric::PacketLoss, 0.05);
+        let report = score_iqb(&config, &input).unwrap();
+        let expected = (1.0 + 1.0 + 0.75 + 11.0 / 12.0 + 10.0 / 14.0 + 1.0) / 6.0;
+        assert!(
+            (report.score - expected).abs() < 1e-12,
+            "got {}, expected {expected}",
+            report.score
+        );
+        // Spot-check the decomposition.
+        let vc = &report.use_cases[&UseCase::VideoConferencing];
+        assert!((vc.score - 0.75).abs() < 1e-12);
+        assert_eq!(
+            vc.limiting_requirement().unwrap().0,
+            Metric::UploadThroughput
+        );
+        // Web browsing evaluated 3 requirements (upload skipped as Other).
+        let wb = &report.use_cases[&UseCase::WebBrowsing];
+        assert_eq!(wb.requirements.len(), 3);
+        assert!(!wb.requirements.contains_key(&Metric::UploadThroughput));
+    }
+
+    #[test]
+    fn flat_equals_tree_on_paper_default() {
+        let config = IqbConfig::paper_default();
+        for (down, up, rtt, loss) in [
+            (1000.0, 1000.0, 5.0, 0.0),
+            (120.0, 15.0, 18.0, 0.05),
+            (30.0, 5.0, 80.0, 0.8),
+            (5.0, 1.0, 300.0, 3.0),
+        ] {
+            let input = uniform_input(down, up, rtt, loss);
+            let tree = score_iqb(&config, &input).unwrap().score;
+            let flat = score_iqb_flat(&config, &input).unwrap();
+            assert!(
+                (tree - flat).abs() < 1e-12,
+                "eq.(2)+(4) = {tree} but eq.(5) = {flat}"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_equals_tree_with_missing_data_and_overrides() {
+        let mut config = IqbConfig::paper_default();
+        config.dataset_weights.set(
+            UseCase::Gaming,
+            Metric::Latency,
+            DatasetId::Ookla,
+            Weight::ZERO,
+        );
+        config.use_case_weights.set(UseCase::Gaming, Weight::new(5).unwrap());
+        // Ookla has no packet loss; Cloudflare is missing upload.
+        let mut input = uniform_input(80.0, 30.0, 45.0, 0.3);
+        let mut trimmed = AggregateInput::new();
+        for ((d, m), cell_value) in input.iter() {
+            let skip = (*d == DatasetId::Ookla && *m == Metric::PacketLoss)
+                || (*d == DatasetId::Cloudflare && *m == Metric::UploadThroughput);
+            if !skip {
+                trimmed.set(d.clone(), *m, cell_value.value);
+            }
+        }
+        input = trimmed;
+        let tree = score_iqb(&config, &input).unwrap().score;
+        let flat = score_iqb_flat(&config, &input).unwrap();
+        assert!((tree - flat).abs() < 1e-12, "tree {tree} vs flat {flat}");
+    }
+
+    #[test]
+    fn missing_dataset_weight_redistributes() {
+        // Packet loss present in NDT only: agreement should equal NDT's
+        // verdict alone, not be dragged down by absent datasets.
+        let config = IqbConfig::paper_default();
+        let mut input = uniform_input(1000.0, 1000.0, 5.0, 0.0);
+        let mut trimmed = AggregateInput::new();
+        for ((d, m), cell_value) in input.iter() {
+            if *m == Metric::PacketLoss && *d != DatasetId::Ndt {
+                continue;
+            }
+            trimmed.set(d.clone(), *m, cell_value.value);
+        }
+        input = trimmed;
+        let report = score_iqb(&config, &input).unwrap();
+        assert!((report.score - 1.0).abs() < 1e-12);
+        assert!(report.coverage.missing_data_cells > 0);
+    }
+
+    #[test]
+    fn disagreeing_datasets_give_fractional_agreement() {
+        // NDT says download fails, Ookla and Cloudflare say it passes:
+        // agreement = 2/3 with uniform dataset weights.
+        let config = IqbConfig::paper_default();
+        let mut input = uniform_input(1000.0, 1000.0, 5.0, 0.0);
+        input.set(DatasetId::Ndt, Metric::DownloadThroughput, 50.0);
+        let report = score_iqb(&config, &input).unwrap();
+        let gaming = &report.use_cases[&UseCase::Gaming];
+        let down = &gaming.requirements[&Metric::DownloadThroughput];
+        assert!((down.agreement - 2.0 / 3.0).abs() < 1e-12);
+        assert!(report.score < 1.0);
+    }
+
+    #[test]
+    fn dataset_weight_override_changes_agreement() {
+        // Same disagreement, but NDT weighted 2 vs 1 each for the others:
+        // agreement = (2·0 + 1 + 1)/4 = 0.5.
+        let mut config = IqbConfig::paper_default();
+        for u in UseCase::BUILTIN {
+            config.dataset_weights.set(
+                u,
+                Metric::DownloadThroughput,
+                DatasetId::Ndt,
+                Weight::new(2).unwrap(),
+            );
+        }
+        let mut input = uniform_input(1000.0, 1000.0, 5.0, 0.0);
+        input.set(DatasetId::Ndt, Metric::DownloadThroughput, 50.0);
+        let report = score_iqb(&config, &input).unwrap();
+        let gaming = &report.use_cases[&UseCase::Gaming];
+        let down = &gaming.requirements[&Metric::DownloadThroughput];
+        assert!((down.agreement - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minimum_level_is_laxer_than_high() {
+        let high = IqbConfig::paper_default();
+        let min = IqbConfig::builder()
+            .quality_level(QualityLevel::Minimum)
+            .build()
+            .unwrap();
+        // A modest connection: passes minimums, fails several highs.
+        let input = uniform_input(30.0, 26.0, 45.0, 0.4);
+        let s_high = score_iqb(&high, &input).unwrap().score;
+        let s_min = score_iqb(&min, &input).unwrap().score;
+        assert!(
+            s_min >= s_high,
+            "minimum-level score {s_min} must be >= high-level {s_high}"
+        );
+        assert!((s_min - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graded_mode_gives_partial_credit() {
+        let binary = IqbConfig::paper_default();
+        let graded = IqbConfig::builder()
+            .scoring_mode(ScoringMode::Graded)
+            .build()
+            .unwrap();
+        // Between min and high on most dimensions.
+        let input = uniform_input(50.0, 30.0, 60.0, 0.3);
+        let s_bin = score_iqb(&binary, &input).unwrap().score;
+        let s_graded = score_iqb(&graded, &input).unwrap().score;
+        assert!(s_graded > s_bin, "graded {s_graded} <= binary {s_bin}");
+        assert!(s_graded < 1.0);
+    }
+
+    #[test]
+    fn normalized_weights_sum_to_one_at_every_level() {
+        let config = IqbConfig::paper_default();
+        let input = uniform_input(120.0, 15.0, 18.0, 0.05);
+        let report = score_iqb(&config, &input).unwrap();
+        let total_u: f64 = report.use_cases.values().map(|u| u.normalized_weight).sum();
+        assert!((total_u - 1.0).abs() < 1e-12);
+        for u in report.use_cases.values() {
+            let total_r: f64 = u.requirements.values().map(|r| r.normalized_weight).sum();
+            assert!((total_r - 1.0).abs() < 1e-12);
+            for r in u.requirements.values() {
+                let total_d: f64 = r.cells.values().map(|c| c.normalized_weight).sum();
+                assert!((total_d - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_from_tree_matches_score() {
+        let config = IqbConfig::paper_default();
+        let input = uniform_input(120.0, 15.0, 18.0, 0.05);
+        let report = score_iqb(&config, &input).unwrap();
+        assert!((report.recompute_from_tree() - report.score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_accounting_adds_up() {
+        let config = IqbConfig::paper_default();
+        let input = uniform_input(120.0, 15.0, 18.0, 0.05);
+        let report = score_iqb(&config, &input).unwrap();
+        // 6 use cases × 4 metrics × 3 datasets = 72 possible cells, minus
+        // 2 unspecified requirements (web browsing + gaming upload at High)
+        // × 3 datasets = 66 evaluated.
+        assert_eq!(report.coverage.evaluated_cells, 66);
+        assert_eq!(report.coverage.unspecified_requirements, 2);
+        assert_eq!(report.coverage.missing_data_cells, 0);
+        assert_eq!(report.coverage.data_coverage(), Some(1.0));
+    }
+
+    #[test]
+    fn weakest_and_strongest_use_cases() {
+        let config = IqbConfig::paper_default();
+        // Great latency/loss, weak upload: backup should suffer most.
+        let input = uniform_input(200.0, 8.0, 10.0, 0.01);
+        let report = score_iqb(&config, &input).unwrap();
+        let (weakest, _) = report.weakest_use_case().unwrap();
+        assert!(
+            *weakest == UseCase::OnlineBackup || *weakest == UseCase::VideoConferencing,
+            "unexpected weakest use case {weakest}"
+        );
+        let (_, strongest_score) = report.strongest_use_case().unwrap();
+        assert!(strongest_score.score >= report.score);
+    }
+
+    #[test]
+    fn invalid_input_is_rejected_before_scoring() {
+        let config = IqbConfig::paper_default();
+        let mut input = AggregateInput::new();
+        input.set(DatasetId::Ndt, Metric::PacketLoss, 400.0);
+        assert!(matches!(
+            score_iqb(&config, &input),
+            Err(CoreError::InvalidMetricValue { .. })
+        ));
+    }
+
+    #[test]
+    fn improving_one_metric_never_lowers_score() {
+        let config = IqbConfig::paper_default();
+        let base = uniform_input(60.0, 20.0, 70.0, 0.6);
+        let base_score = score_iqb(&config, &base).unwrap().score;
+        // Improve download step by step; score must be non-decreasing.
+        let mut prev = base_score;
+        for down in [80.0, 100.0, 150.0, 400.0] {
+            let mut input = base.clone();
+            for d in DatasetId::BUILTIN {
+                input.set(d, Metric::DownloadThroughput, down);
+            }
+            let s = score_iqb(&config, &input).unwrap().score;
+            assert!(s >= prev - 1e-12, "score dropped from {prev} to {s}");
+            prev = s;
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Score report types: the fully decomposed result of an IQB evaluation.
+//!
+//! Rather than returning a bare number, [`super::score_iqb`] returns an
+//! [`IqbReport`] that preserves the whole roll-up tree — every
+//! `S_{u,r,d}`, every normalized weight, every skipped cell — so reports
+//! can explain *why* a region scored what it did and which requirement is
+//! the limiting factor.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ScoringMode;
+use crate::dataset::DatasetId;
+use crate::metric::Metric;
+use crate::threshold::QualityLevel;
+use crate::usecase::UseCase;
+use crate::weights::Weight;
+
+/// One evaluated (use case, requirement, dataset) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellScore {
+    /// The aggregated metric value that was compared.
+    pub value: f64,
+    /// The threshold it was compared against.
+    pub threshold: f64,
+    /// The cell score `S_{u,r,d}` (binary: 0 or 1; graded: `[0, 1]`).
+    pub score: f64,
+    /// Whether the threshold was met (binary verdict, in both modes).
+    pub met: bool,
+    /// The raw dataset weight `w_{u,r,d}`.
+    pub weight: Weight,
+    /// The normalized weight `w'_{u,r,d}` within this requirement.
+    pub normalized_weight: f64,
+}
+
+/// One evaluated requirement for a use case (paper eq. 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequirementScore {
+    /// The requirement agreement score `S_{u,r}` in `[0, 1]`.
+    pub agreement: f64,
+    /// The raw requirement weight `w_{u,r}` (Table 1).
+    pub weight: Weight,
+    /// The normalized weight `w'_{u,r}` within this use case.
+    pub normalized_weight: f64,
+    /// Per-dataset cells that contributed.
+    pub cells: BTreeMap<DatasetId, CellScore>,
+}
+
+/// One evaluated use case (paper eq. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UseCaseScore {
+    /// The use-case score `S_u` in `[0, 1]`.
+    pub score: f64,
+    /// The raw use-case weight `w_u`.
+    pub weight: Weight,
+    /// The normalized weight `w'_u` within the composite.
+    pub normalized_weight: f64,
+    /// Per-requirement scores that contributed.
+    pub requirements: BTreeMap<Metric, RequirementScore>,
+}
+
+impl UseCaseScore {
+    /// The requirement with the lowest agreement score — the *limiting
+    /// factor* a report highlights, ties broken by higher weight then by
+    /// metric order.
+    pub fn limiting_requirement(&self) -> Option<(Metric, &RequirementScore)> {
+        self.requirements
+            .iter()
+            .min_by(|(_, a), (_, b)| {
+                a.agreement
+                    .partial_cmp(&b.agreement)
+                    .expect("scores are finite")
+                    .then(b.weight.cmp(&a.weight))
+            })
+            .map(|(m, r)| (*m, r))
+    }
+}
+
+/// Coverage accounting: how much of the configured matrix was evaluable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Coverage {
+    /// Cells evaluated against a threshold.
+    pub evaluated_cells: usize,
+    /// Cells skipped because the input had no aggregate for the
+    /// (dataset, metric) pair.
+    pub missing_data_cells: usize,
+    /// (use case, requirement) pairs skipped because the threshold at the
+    /// scored level is `Unspecified` ("Other" in Fig. 2).
+    pub unspecified_requirements: usize,
+    /// (use case, requirement) pairs skipped because no dataset had data or
+    /// all dataset weights were zero.
+    pub uncovered_requirements: usize,
+    /// Use cases skipped entirely (no evaluable requirement).
+    pub skipped_use_cases: usize,
+}
+
+impl Coverage {
+    /// Fraction of cells that were evaluated, out of evaluated + missing.
+    /// `None` when nothing was even attempted.
+    pub fn data_coverage(&self) -> Option<f64> {
+        let attempted = self.evaluated_cells + self.missing_data_cells;
+        (attempted > 0).then(|| self.evaluated_cells as f64 / attempted as f64)
+    }
+}
+
+/// The fully decomposed result of one IQB evaluation (paper eq. 4/5 at the
+/// root).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IqbReport {
+    /// The composite IQB score `S_IQB` in `[0, 1]`.
+    pub score: f64,
+    /// Quality level the thresholds were evaluated at.
+    pub quality_level: QualityLevel,
+    /// Binary (paper) or graded (extension) mode.
+    pub scoring_mode: ScoringMode,
+    /// Per-use-case decomposition.
+    pub use_cases: BTreeMap<UseCase, UseCaseScore>,
+    /// Coverage accounting.
+    pub coverage: Coverage,
+}
+
+impl IqbReport {
+    /// The use case with the lowest score, ties broken by label order.
+    pub fn weakest_use_case(&self) -> Option<(&UseCase, &UseCaseScore)> {
+        self.use_cases.iter().min_by(|(_, a), (_, b)| {
+            a.score.partial_cmp(&b.score).expect("scores are finite")
+        })
+    }
+
+    /// The use case with the highest score.
+    pub fn strongest_use_case(&self) -> Option<(&UseCase, &UseCaseScore)> {
+        self.use_cases.iter().max_by(|(_, a), (_, b)| {
+            a.score.partial_cmp(&b.score).expect("scores are finite")
+        })
+    }
+
+    /// Recomputes the composite from the stored tree (used by tests to
+    /// check internal consistency, and by what-if tooling after editing the
+    /// tree). Equals [`Self::score`] up to floating-point rounding.
+    pub fn recompute_from_tree(&self) -> f64 {
+        let total_w: f64 = self
+            .use_cases
+            .values()
+            .map(|u| u.weight.as_f64())
+            .sum();
+        if total_w == 0.0 {
+            return 0.0;
+        }
+        self.use_cases
+            .values()
+            .map(|u| u.weight.as_f64() * u.score)
+            .sum::<f64>()
+            / total_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn requirement(agreement: f64, weight: u32) -> RequirementScore {
+        RequirementScore {
+            agreement,
+            weight: Weight::new(weight).unwrap(),
+            normalized_weight: 0.0,
+            cells: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn limiting_requirement_prefers_lowest_agreement() {
+        let mut requirements = BTreeMap::new();
+        requirements.insert(Metric::DownloadThroughput, requirement(1.0, 4));
+        requirements.insert(Metric::Latency, requirement(0.2, 4));
+        requirements.insert(Metric::PacketLoss, requirement(0.8, 4));
+        let u = UseCaseScore {
+            score: 0.6,
+            weight: Weight::new(1).unwrap(),
+            normalized_weight: 1.0,
+            requirements,
+        };
+        assert_eq!(u.limiting_requirement().unwrap().0, Metric::Latency);
+    }
+
+    #[test]
+    fn limiting_requirement_ties_break_by_weight() {
+        let mut requirements = BTreeMap::new();
+        requirements.insert(Metric::UploadThroughput, requirement(0.5, 2));
+        requirements.insert(Metric::Latency, requirement(0.5, 5));
+        let u = UseCaseScore {
+            score: 0.5,
+            weight: Weight::new(1).unwrap(),
+            normalized_weight: 1.0,
+            requirements,
+        };
+        // Same agreement: the heavier requirement is the more meaningful
+        // limiting factor.
+        assert_eq!(u.limiting_requirement().unwrap().0, Metric::Latency);
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let c = Coverage {
+            evaluated_cells: 9,
+            missing_data_cells: 3,
+            ..Default::default()
+        };
+        assert_eq!(c.data_coverage(), Some(0.75));
+        assert_eq!(Coverage::default().data_coverage(), None);
+    }
+}

@@ -1,0 +1,396 @@
+//! Sensitivity analysis over the framework's configurable choices.
+//!
+//! The paper closes by stressing that its weights, thresholds and
+//! aggregation rule are *"a set of choices … designed to be easily
+//! adapted"*. This module quantifies how much each choice matters for a
+//! given input:
+//!
+//! * [`requirement_weight_tornado`] — perturb each Table 1 weight by ±1 and
+//!   report the induced change in `S_IQB` (a tornado analysis, experiment
+//!   E6).
+//! * [`use_case_weight_tornado`] — same for the use-case weights `w_u`.
+//! * [`threshold_sweep`] — scale one threshold cell across a factor range
+//!   and trace the composite, exposing the cliff locations of binary
+//!   scoring.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::IqbConfig;
+use crate::error::CoreError;
+use crate::input::AggregateInput;
+use crate::metric::Metric;
+use crate::score::score_iqb;
+use crate::threshold::{LevelPair, QualityLevel, ThresholdSpec};
+use crate::usecase::UseCase;
+use crate::weights::Weight;
+
+/// One row of a tornado analysis: the score under a −1 and a +1
+/// perturbation of a single weight.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TornadoRow {
+    /// Use case of the perturbed weight.
+    pub use_case: UseCase,
+    /// Metric of the perturbed weight (`None` for use-case-weight rows).
+    pub metric: Option<Metric>,
+    /// The baseline weight value.
+    pub baseline_weight: u8,
+    /// Composite score with the weight decreased by 1 (clamped at 0).
+    /// `None` when the weight was already 0.
+    pub score_minus: Option<f64>,
+    /// Composite score with the weight increased by 1 (clamped at 5).
+    /// `None` when the weight was already 5.
+    pub score_plus: Option<f64>,
+    /// The baseline composite score.
+    pub baseline_score: f64,
+}
+
+impl TornadoRow {
+    /// The total swing `max − min` over baseline and both perturbations.
+    pub fn swing(&self) -> f64 {
+        let mut lo = self.baseline_score;
+        let mut hi = self.baseline_score;
+        for s in [self.score_minus, self.score_plus].into_iter().flatten() {
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        hi - lo
+    }
+}
+
+/// Tornado analysis over every requirement weight `w_{u,r}` of the
+/// configuration: each is perturbed by ±1 (clamped to the 0..=5 range) and
+/// the composite recomputed. Rows are returned sorted by descending swing.
+pub fn requirement_weight_tornado(
+    config: &IqbConfig,
+    input: &AggregateInput,
+) -> Result<Vec<TornadoRow>, CoreError> {
+    let baseline = score_iqb(config, input)?.score;
+    let mut rows = Vec::new();
+    for use_case in &config.use_cases {
+        for metric in Metric::ALL {
+            let w = config
+                .requirement_weights
+                .get(use_case, metric)
+                .ok_or_else(|| {
+                    CoreError::InvalidConfig(format!("missing weight for {use_case}/{metric}"))
+                })?;
+            let rescore = |new_w: u32| -> Result<f64, CoreError> {
+                let mut c = config.clone();
+                c.requirement_weights
+                    .set(use_case.clone(), metric, Weight::new(new_w)?);
+                Ok(score_iqb(&c, input)?.score)
+            };
+            let score_minus = if w.get() > 0 {
+                Some(rescore(u32::from(w.get()) - 1)?)
+            } else {
+                None
+            };
+            let score_plus = if w.get() < 5 {
+                Some(rescore(u32::from(w.get()) + 1)?)
+            } else {
+                None
+            };
+            rows.push(TornadoRow {
+                use_case: use_case.clone(),
+                metric: Some(metric),
+                baseline_weight: w.get(),
+                score_minus,
+                score_plus,
+                baseline_score: baseline,
+            });
+        }
+    }
+    rows.sort_by(|a, b| b.swing().partial_cmp(&a.swing()).expect("finite swings"));
+    Ok(rows)
+}
+
+/// Tornado analysis over the use-case weights `w_u`.
+pub fn use_case_weight_tornado(
+    config: &IqbConfig,
+    input: &AggregateInput,
+) -> Result<Vec<TornadoRow>, CoreError> {
+    let baseline = score_iqb(config, input)?.score;
+    let mut rows = Vec::new();
+    for use_case in &config.use_cases {
+        let w = config.use_case_weights.get(use_case);
+        let rescore = |new_w: u32| -> Result<f64, CoreError> {
+            let mut c = config.clone();
+            c.use_case_weights.set(use_case.clone(), Weight::new(new_w)?);
+            Ok(score_iqb(&c, input)?.score)
+        };
+        let score_minus = if w.get() > 0 {
+            Some(rescore(u32::from(w.get()) - 1)?)
+        } else {
+            None
+        };
+        let score_plus = if w.get() < 5 {
+            Some(rescore(u32::from(w.get()) + 1)?)
+        } else {
+            None
+        };
+        rows.push(TornadoRow {
+            use_case: use_case.clone(),
+            metric: None,
+            baseline_weight: w.get(),
+            score_minus,
+            score_plus,
+            baseline_score: baseline,
+        });
+    }
+    rows.sort_by(|a, b| b.swing().partial_cmp(&a.swing()).expect("finite swings"));
+    Ok(rows)
+}
+
+/// One point of a threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Multiplier applied to the baseline threshold.
+    pub factor: f64,
+    /// The scaled threshold value.
+    pub threshold: f64,
+    /// The composite score at that threshold.
+    pub score: f64,
+}
+
+/// Clamps the untouched level of a swept pair so min/high stay consistent.
+///
+/// `other_is_high` is true when `spec` is the high-quality level (and the
+/// swept value is the new minimum). For higher-is-better metrics high must
+/// be ≥ min; for lower-is-better, high must be ≤ min. `Unspecified` cells
+/// pass through untouched.
+fn clamp_spec(
+    spec: ThresholdSpec,
+    swept_value: f64,
+    polarity: crate::metric::Polarity,
+    other_is_high: bool,
+) -> ThresholdSpec {
+    use crate::metric::Polarity;
+    let Some(current) = spec.effective_value(polarity) else {
+        return spec;
+    };
+    let needs_clamp = match (polarity, other_is_high) {
+        // high must be >= min (throughput)
+        (Polarity::HigherIsBetter, true) => current < swept_value,
+        // min must be <= high (throughput)
+        (Polarity::HigherIsBetter, false) => current > swept_value,
+        // high must be <= min (latency/loss)
+        (Polarity::LowerIsBetter, true) => current > swept_value,
+        // min must be >= high (latency/loss)
+        (Polarity::LowerIsBetter, false) => current < swept_value,
+    };
+    if needs_clamp {
+        ThresholdSpec::Value(swept_value)
+    } else {
+        spec
+    }
+}
+
+/// Sweeps one threshold cell: the (use case, metric) threshold at `level`
+/// is scaled by each factor in `factors` and the composite recomputed.
+///
+/// Factors must be positive. `Unspecified` cells cannot be swept.
+pub fn threshold_sweep(
+    config: &IqbConfig,
+    input: &AggregateInput,
+    use_case: &UseCase,
+    metric: Metric,
+    level: QualityLevel,
+    factors: &[f64],
+) -> Result<Vec<SweepPoint>, CoreError> {
+    let pair = config
+        .thresholds
+        .get_pair(use_case, metric)
+        .ok_or_else(|| CoreError::UnknownUseCase(use_case.clone()))?;
+    let base_spec = match level {
+        QualityLevel::Minimum => pair.min,
+        QualityLevel::High => pair.high,
+    };
+    let base = base_spec
+        .effective_value(metric.polarity())
+        .ok_or_else(|| {
+            CoreError::InvalidConfig(format!(
+                "threshold for {use_case}/{metric} at {level:?} is Unspecified and cannot be swept"
+            ))
+        })?;
+    let mut points = Vec::with_capacity(factors.len());
+    for &factor in factors {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(CoreError::InvalidConfig(format!(
+                "sweep factor {factor} must be positive and finite"
+            )));
+        }
+        let scaled = base * factor;
+        let mut c = config.clone();
+        // Scaling one level can make it laxer/stricter than the other; the
+        // untouched level is clamped to keep the pair consistent, so each
+        // sweep point remains a valid configuration.
+        let new_pair = match level {
+            QualityLevel::Minimum => LevelPair {
+                min: ThresholdSpec::Value(scaled),
+                high: clamp_spec(pair.high, scaled, metric.polarity(), true),
+            },
+            QualityLevel::High => LevelPair {
+                min: clamp_spec(pair.min, scaled, metric.polarity(), false),
+                high: ThresholdSpec::Value(scaled),
+            },
+        };
+        c.thresholds.set(use_case.clone(), metric, new_pair);
+        let score = score_iqb(&c, input)?.score;
+        points.push(SweepPoint {
+            factor,
+            threshold: scaled,
+            score,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetId;
+
+    fn uniform_input(down: f64, up: f64, rtt: f64, loss: f64) -> AggregateInput {
+        let mut input = AggregateInput::new();
+        for d in DatasetId::BUILTIN {
+            input.set(d.clone(), Metric::DownloadThroughput, down);
+            input.set(d.clone(), Metric::UploadThroughput, up);
+            input.set(d.clone(), Metric::Latency, rtt);
+            input.set(d, Metric::PacketLoss, loss);
+        }
+        input
+    }
+
+    #[test]
+    fn tornado_covers_every_weight_cell() {
+        let config = IqbConfig::paper_default();
+        let input = uniform_input(120.0, 15.0, 18.0, 0.05);
+        let rows = requirement_weight_tornado(&config, &input).unwrap();
+        assert_eq!(rows.len(), 6 * 4);
+    }
+
+    #[test]
+    fn tornado_sorted_by_swing() {
+        let config = IqbConfig::paper_default();
+        let input = uniform_input(120.0, 15.0, 18.0, 0.05);
+        let rows = requirement_weight_tornado(&config, &input).unwrap();
+        for pair in rows.windows(2) {
+            assert!(pair[0].swing() >= pair[1].swing() - 1e-15);
+        }
+    }
+
+    #[test]
+    fn perturbing_weight_of_unmet_requirement_moves_score() {
+        // Upload fails everywhere in this input; increasing an upload
+        // weight must lower the composite, decreasing must raise it.
+        let config = IqbConfig::paper_default();
+        let input = uniform_input(120.0, 15.0, 18.0, 0.05);
+        let rows = requirement_weight_tornado(&config, &input).unwrap();
+        let backup_up = rows
+            .iter()
+            .find(|r| {
+                r.use_case == UseCase::OnlineBackup && r.metric == Some(Metric::UploadThroughput)
+            })
+            .unwrap();
+        assert!(backup_up.score_plus.unwrap() < backup_up.baseline_score);
+        assert!(backup_up.score_minus.unwrap() > backup_up.baseline_score);
+    }
+
+    #[test]
+    fn perfect_input_has_zero_swings() {
+        // When every cell scores 1, no weight matters.
+        let config = IqbConfig::paper_default();
+        let input = uniform_input(1000.0, 1000.0, 5.0, 0.0);
+        for row in requirement_weight_tornado(&config, &input).unwrap() {
+            assert!(row.swing() < 1e-12, "swing {} at {:?}", row.swing(), row);
+        }
+    }
+
+    #[test]
+    fn boundary_weights_skip_impossible_perturbations() {
+        let config = IqbConfig::paper_default();
+        let input = uniform_input(120.0, 15.0, 18.0, 0.05);
+        let rows = requirement_weight_tornado(&config, &input).unwrap();
+        let gaming_latency = rows
+            .iter()
+            .find(|r| r.use_case == UseCase::Gaming && r.metric == Some(Metric::Latency))
+            .unwrap();
+        // Gaming latency weighs 5: +1 is impossible.
+        assert_eq!(gaming_latency.baseline_weight, 5);
+        assert!(gaming_latency.score_plus.is_none());
+        assert!(gaming_latency.score_minus.is_some());
+    }
+
+    #[test]
+    fn use_case_tornado_has_one_row_per_use_case() {
+        let config = IqbConfig::paper_default();
+        let input = uniform_input(120.0, 15.0, 18.0, 0.05);
+        let rows = use_case_weight_tornado(&config, &input).unwrap();
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.metric.is_none()));
+    }
+
+    #[test]
+    fn upweighting_weak_use_case_lowers_composite() {
+        let config = IqbConfig::paper_default();
+        let input = uniform_input(120.0, 15.0, 18.0, 0.05);
+        let rows = use_case_weight_tornado(&config, &input).unwrap();
+        // Online backup scores lowest on this input (upload 15 < 200).
+        let backup = rows
+            .iter()
+            .find(|r| r.use_case == UseCase::OnlineBackup)
+            .unwrap();
+        assert!(backup.score_plus.unwrap() < backup.baseline_score);
+    }
+
+    #[test]
+    fn threshold_sweep_traces_the_cliff() {
+        let config = IqbConfig::paper_default();
+        let input = uniform_input(120.0, 15.0, 18.0, 0.05);
+        // Sweep video-conferencing upload high threshold (baseline 100)
+        // from 0.1× (10) to 2× (200). Input upload is 15: factors ≤ 0.15
+        // pass, larger fail.
+        let factors = [0.1, 0.15, 0.2, 0.5, 1.0, 2.0];
+        let points = threshold_sweep(
+            &config,
+            &input,
+            &UseCase::VideoConferencing,
+            Metric::UploadThroughput,
+            QualityLevel::High,
+            &factors,
+        )
+        .unwrap();
+        assert_eq!(points.len(), factors.len());
+        // Laxer threshold → weakly higher score.
+        for w in points.windows(2) {
+            assert!(w[0].score >= w[1].score - 1e-12);
+        }
+        assert!(points[0].score > points.last().unwrap().score);
+        assert_eq!(points[4].threshold, 100.0);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_factors_and_unspecified_cells() {
+        let config = IqbConfig::paper_default();
+        let input = uniform_input(120.0, 15.0, 18.0, 0.05);
+        assert!(threshold_sweep(
+            &config,
+            &input,
+            &UseCase::Gaming,
+            Metric::Latency,
+            QualityLevel::High,
+            &[0.0],
+        )
+        .is_err());
+        // Web browsing upload at High is "Other".
+        assert!(threshold_sweep(
+            &config,
+            &input,
+            &UseCase::WebBrowsing,
+            Metric::UploadThroughput,
+            QualityLevel::High,
+            &[1.0],
+        )
+        .is_err());
+    }
+}

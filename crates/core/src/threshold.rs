@@ -1,0 +1,483 @@
+//! Quality thresholds — the paper's Fig. 2.
+//!
+//! For every (use case, requirement) pair the framework defines what a user
+//! needs for a *minimum*-quality and a *high*-quality experience. The
+//! thresholds below were elicited from 60+ experts between Nov 2023 and
+//! Mar 2025 and published in the poster's Fig. 2; [`ThresholdTable::paper_fig2`]
+//! encodes that table verbatim, including its two irregular cell kinds:
+//!
+//! * `"Other"` cells (web-browsing and gaming upload, high quality) become
+//!   [`ThresholdSpec::Unspecified`] — the requirement is skipped for that
+//!   use case/level and its weight is redistributed by the score
+//!   normalization.
+//! * The `"50-100 Mb/s"` cell (video-streaming download, high quality)
+//!   becomes a [`ThresholdSpec::Range`]; binary evaluation uses its
+//!   conservative (upper) bound by default.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::metric::{Metric, Polarity};
+use crate::usecase::UseCase;
+
+/// The two quality levels of the paper's Fig. 2.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum QualityLevel {
+    /// The minimum for the use case to work acceptably.
+    Minimum,
+    /// A high-quality experience.
+    High,
+}
+
+impl QualityLevel {
+    /// Both levels, minimum first.
+    pub const ALL: [QualityLevel; 2] = [QualityLevel::Minimum, QualityLevel::High];
+
+    /// Label as used in the paper's column headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QualityLevel::Minimum => "min quality",
+            QualityLevel::High => "high quality",
+        }
+    }
+}
+
+/// One cell of the threshold table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ThresholdSpec {
+    /// A single threshold value in the metric's unit.
+    Value(f64),
+    /// A published range (e.g. "50-100 Mb/s"). Binary evaluation uses the
+    /// conservative bound: the range end that is harder to satisfy.
+    Range {
+        /// Lower end of the published range.
+        low: f64,
+        /// Upper end of the published range.
+        high: f64,
+    },
+    /// The paper's "Other" cells: no numeric requirement is specified, so
+    /// the (use case, requirement) pair is excluded at this level and its
+    /// weight is redistributed by normalization.
+    Unspecified,
+}
+
+impl ThresholdSpec {
+    /// The value binary evaluation compares against, honouring polarity:
+    /// for a range, the *conservative* end (upper for higher-is-better
+    /// metrics, also upper for lower-is-better since the paper's only range
+    /// is on throughput; we pick the stricter end generically).
+    ///
+    /// Returns `None` for [`ThresholdSpec::Unspecified`].
+    pub fn effective_value(&self, polarity: Polarity) -> Option<f64> {
+        match *self {
+            ThresholdSpec::Value(v) => Some(v),
+            ThresholdSpec::Range { low, high } => Some(match polarity {
+                // Needing *more* throughput is stricter.
+                Polarity::HigherIsBetter => high,
+                // Needing *less* latency/loss is stricter.
+                Polarity::LowerIsBetter => low,
+            }),
+            ThresholdSpec::Unspecified => None,
+        }
+    }
+
+    /// The lenient end of the spec (opposite of [`Self::effective_value`]);
+    /// equal to it for plain values. Used by graded scoring.
+    pub fn lenient_value(&self, polarity: Polarity) -> Option<f64> {
+        match *self {
+            ThresholdSpec::Value(v) => Some(v),
+            ThresholdSpec::Range { low, high } => Some(match polarity {
+                Polarity::HigherIsBetter => low,
+                Polarity::LowerIsBetter => high,
+            }),
+            ThresholdSpec::Unspecified => None,
+        }
+    }
+
+    /// Whether a measured value meets this threshold under `polarity`.
+    ///
+    /// Meeting the threshold exactly counts as meeting it (`>=` / `<=`).
+    /// `Unspecified` returns `None` — the cell cannot be evaluated.
+    pub fn is_met(&self, value: f64, polarity: Polarity) -> Option<bool> {
+        self.effective_value(polarity).map(|t| match polarity {
+            Polarity::HigherIsBetter => value >= t,
+            Polarity::LowerIsBetter => value <= t,
+        })
+    }
+
+    /// Renders the cell the way the paper prints it.
+    pub fn render(&self, unit_suffix: &str) -> String {
+        match *self {
+            ThresholdSpec::Value(v) => format!("{v}{unit_suffix}"),
+            ThresholdSpec::Range { low, high } => format!("{low}-{high}{unit_suffix}"),
+            ThresholdSpec::Unspecified => "Other".to_string(),
+        }
+    }
+}
+
+/// The full threshold table: `(use case, metric, level) → spec`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ThresholdTable {
+    cells: BTreeMap<UseCase, BTreeMap<Metric, LevelPair>>,
+}
+
+/// Threshold pair for one (use case, metric) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelPair {
+    /// Minimum-quality threshold.
+    pub min: ThresholdSpec,
+    /// High-quality threshold.
+    pub high: ThresholdSpec,
+}
+
+impl ThresholdTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The paper's Fig. 2, verbatim.
+    ///
+    /// Packet-loss and latency cells are lower-is-better; throughput cells
+    /// higher-is-better (encoded in [`Metric::polarity`], not here).
+    pub fn paper_fig2() -> Self {
+        use Metric::*;
+        use ThresholdSpec::{Range, Unspecified, Value};
+        let mut t = Self::new();
+        let rows: [(UseCase, [(Metric, ThresholdSpec, ThresholdSpec); 4]); 6] = [
+            (
+                UseCase::WebBrowsing,
+                [
+                    (DownloadThroughput, Value(10.0), Value(100.0)),
+                    (UploadThroughput, Value(10.0), Unspecified),
+                    (Latency, Value(100.0), Value(50.0)),
+                    (PacketLoss, Value(1.0), Value(0.5)),
+                ],
+            ),
+            (
+                UseCase::VideoStreaming,
+                [
+                    (
+                        DownloadThroughput,
+                        Value(25.0),
+                        Range {
+                            low: 50.0,
+                            high: 100.0,
+                        },
+                    ),
+                    (UploadThroughput, Value(10.0), Value(10.0)),
+                    (Latency, Value(100.0), Value(50.0)),
+                    (PacketLoss, Value(1.0), Value(0.1)),
+                ],
+            ),
+            (
+                UseCase::VideoConferencing,
+                [
+                    (DownloadThroughput, Value(10.0), Value(100.0)),
+                    (UploadThroughput, Value(25.0), Value(100.0)),
+                    (Latency, Value(50.0), Value(20.0)),
+                    (PacketLoss, Value(0.5), Value(0.1)),
+                ],
+            ),
+            (
+                UseCase::AudioStreaming,
+                [
+                    (DownloadThroughput, Value(10.0), Value(50.0)),
+                    (UploadThroughput, Value(10.0), Value(50.0)),
+                    (Latency, Value(100.0), Value(50.0)),
+                    (PacketLoss, Value(1.0), Value(0.1)),
+                ],
+            ),
+            (
+                UseCase::OnlineBackup,
+                [
+                    (DownloadThroughput, Value(10.0), Value(10.0)),
+                    (UploadThroughput, Value(25.0), Value(200.0)),
+                    (Latency, Value(100.0), Value(100.0)),
+                    (PacketLoss, Value(1.0), Value(0.1)),
+                ],
+            ),
+            (
+                UseCase::Gaming,
+                [
+                    (DownloadThroughput, Value(10.0), Value(100.0)),
+                    (UploadThroughput, Value(10.0), Unspecified),
+                    (Latency, Value(100.0), Value(50.0)),
+                    (PacketLoss, Value(1.0), Value(0.5)),
+                ],
+            ),
+        ];
+        for (use_case, cells) in rows {
+            for (metric, min, high) in cells {
+                t.set(use_case.clone(), metric, LevelPair { min, high });
+            }
+        }
+        t
+    }
+
+    /// Sets the threshold pair for a (use case, metric) cell.
+    pub fn set(&mut self, use_case: UseCase, metric: Metric, pair: LevelPair) {
+        self.cells.entry(use_case).or_default().insert(metric, pair);
+    }
+
+    /// Looks up the threshold spec for a (use case, metric, level) cell.
+    pub fn get(&self, use_case: &UseCase, metric: Metric, level: QualityLevel) -> Option<ThresholdSpec> {
+        self.cells.get(use_case).and_then(|row| {
+            row.get(&metric).map(|pair| match level {
+                QualityLevel::Minimum => pair.min,
+                QualityLevel::High => pair.high,
+            })
+        })
+    }
+
+    /// Looks up the full pair for a (use case, metric) cell.
+    pub fn get_pair(&self, use_case: &UseCase, metric: Metric) -> Option<LevelPair> {
+        self.cells
+            .get(use_case)
+            .and_then(|row| row.get(&metric))
+            .copied()
+    }
+
+    /// Use cases with at least one threshold row.
+    pub fn use_cases(&self) -> impl Iterator<Item = &UseCase> {
+        self.cells.keys()
+    }
+
+    /// Validates internal consistency: for every cell where both levels are
+    /// numeric, the high-quality threshold must be at least as strict as the
+    /// minimum-quality one under the metric's polarity.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        for (use_case, row) in &self.cells {
+            for (&metric, pair) in row {
+                let polarity = metric.polarity();
+                // Domain-check numeric thresholds with the metric validator.
+                for spec in [pair.min, pair.high] {
+                    let candidates = match spec {
+                        ThresholdSpec::Value(v) => vec![v],
+                        ThresholdSpec::Range { low, high } => vec![low, high],
+                        ThresholdSpec::Unspecified => vec![],
+                    };
+                    for v in candidates {
+                        metric.validate(v).map_err(|reason| {
+                            CoreError::InconsistentThreshold {
+                                use_case: use_case.clone(),
+                                metric,
+                                reason,
+                            }
+                        })?;
+                    }
+                }
+                if let ThresholdSpec::Range { low, high } = pair.min {
+                    if low > high {
+                        return Err(CoreError::InconsistentThreshold {
+                            use_case: use_case.clone(),
+                            metric,
+                            reason: format!("range {low}-{high} is inverted"),
+                        });
+                    }
+                }
+                if let ThresholdSpec::Range { low, high } = pair.high {
+                    if low > high {
+                        return Err(CoreError::InconsistentThreshold {
+                            use_case: use_case.clone(),
+                            metric,
+                            reason: format!("range {low}-{high} is inverted"),
+                        });
+                    }
+                }
+                if let (Some(min_v), Some(high_v)) = (
+                    pair.min.effective_value(polarity),
+                    pair.high.effective_value(polarity),
+                ) {
+                    let consistent = match polarity {
+                        Polarity::HigherIsBetter => high_v >= min_v,
+                        Polarity::LowerIsBetter => high_v <= min_v,
+                    };
+                    if !consistent {
+                        return Err(CoreError::InconsistentThreshold {
+                            use_case: use_case.clone(),
+                            metric,
+                            reason: format!(
+                                "high-quality threshold {high_v} is laxer than minimum {min_v}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_has_all_48_cells() {
+        let t = ThresholdTable::paper_fig2();
+        for u in UseCase::BUILTIN {
+            for m in Metric::ALL {
+                for level in QualityLevel::ALL {
+                    assert!(
+                        t.get(&u, m, level).is_some(),
+                        "missing cell {u}/{m}/{level:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_table_validates() {
+        ThresholdTable::paper_fig2().validate().unwrap();
+    }
+
+    #[test]
+    fn spot_check_paper_values() {
+        let t = ThresholdTable::paper_fig2();
+        // Video conferencing latency: 50 ms min, 20 ms high.
+        assert_eq!(
+            t.get(&UseCase::VideoConferencing, Metric::Latency, QualityLevel::Minimum),
+            Some(ThresholdSpec::Value(50.0))
+        );
+        assert_eq!(
+            t.get(&UseCase::VideoConferencing, Metric::Latency, QualityLevel::High),
+            Some(ThresholdSpec::Value(20.0))
+        );
+        // Online backup upload: 25 min, 200 high.
+        assert_eq!(
+            t.get(&UseCase::OnlineBackup, Metric::UploadThroughput, QualityLevel::High),
+            Some(ThresholdSpec::Value(200.0))
+        );
+        // Web browsing upload high is "Other".
+        assert_eq!(
+            t.get(&UseCase::WebBrowsing, Metric::UploadThroughput, QualityLevel::High),
+            Some(ThresholdSpec::Unspecified)
+        );
+        // Video streaming download high is the 50-100 range.
+        assert_eq!(
+            t.get(&UseCase::VideoStreaming, Metric::DownloadThroughput, QualityLevel::High),
+            Some(ThresholdSpec::Range {
+                low: 50.0,
+                high: 100.0
+            })
+        );
+    }
+
+    #[test]
+    fn is_met_respects_polarity_and_edges() {
+        let spec = ThresholdSpec::Value(100.0);
+        assert_eq!(spec.is_met(100.0, Polarity::HigherIsBetter), Some(true));
+        assert_eq!(spec.is_met(99.9, Polarity::HigherIsBetter), Some(false));
+        assert_eq!(spec.is_met(100.0, Polarity::LowerIsBetter), Some(true));
+        assert_eq!(spec.is_met(100.1, Polarity::LowerIsBetter), Some(false));
+        assert_eq!(ThresholdSpec::Unspecified.is_met(5.0, Polarity::HigherIsBetter), None);
+    }
+
+    #[test]
+    fn range_uses_conservative_bound() {
+        let spec = ThresholdSpec::Range {
+            low: 50.0,
+            high: 100.0,
+        };
+        // Throughput: must clear the upper end.
+        assert_eq!(spec.effective_value(Polarity::HigherIsBetter), Some(100.0));
+        assert_eq!(spec.is_met(75.0, Polarity::HigherIsBetter), Some(false));
+        assert_eq!(spec.is_met(100.0, Polarity::HigherIsBetter), Some(true));
+        // Lower-is-better: must come in under the lower end.
+        assert_eq!(spec.effective_value(Polarity::LowerIsBetter), Some(50.0));
+        assert_eq!(spec.lenient_value(Polarity::HigherIsBetter), Some(50.0));
+    }
+
+    #[test]
+    fn render_matches_paper_formatting() {
+        assert_eq!(ThresholdSpec::Value(25.0).render("Mb/s"), "25Mb/s");
+        assert_eq!(
+            ThresholdSpec::Range {
+                low: 50.0,
+                high: 100.0
+            }
+            .render("Mb/s"),
+            "50-100Mb/s"
+        );
+        assert_eq!(ThresholdSpec::Unspecified.render("Mb/s"), "Other");
+    }
+
+    #[test]
+    fn validation_rejects_inverted_levels() {
+        let mut t = ThresholdTable::new();
+        t.set(
+            UseCase::Gaming,
+            Metric::Latency,
+            LevelPair {
+                min: ThresholdSpec::Value(50.0),
+                high: ThresholdSpec::Value(100.0), // laxer than min: invalid
+            },
+        );
+        assert!(matches!(
+            t.validate(),
+            Err(CoreError::InconsistentThreshold { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_out_of_domain_values() {
+        let mut t = ThresholdTable::new();
+        t.set(
+            UseCase::Gaming,
+            Metric::PacketLoss,
+            LevelPair {
+                min: ThresholdSpec::Value(150.0), // >100%
+                high: ThresholdSpec::Value(0.5),
+            },
+        );
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_inverted_range() {
+        let mut t = ThresholdTable::new();
+        t.set(
+            UseCase::Gaming,
+            Metric::DownloadThroughput,
+            LevelPair {
+                min: ThresholdSpec::Value(10.0),
+                high: ThresholdSpec::Range {
+                    low: 100.0,
+                    high: 50.0,
+                },
+            },
+        );
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn unspecified_high_with_numeric_min_is_valid() {
+        // The paper's own web-browsing upload row.
+        ThresholdTable::paper_fig2().validate().unwrap();
+    }
+
+    #[test]
+    fn custom_use_case_rows_are_supported() {
+        let mut t = ThresholdTable::paper_fig2();
+        let surgery = UseCase::custom("Remote Surgery").unwrap();
+        t.set(
+            surgery.clone(),
+            Metric::Latency,
+            LevelPair {
+                min: ThresholdSpec::Value(20.0),
+                high: ThresholdSpec::Value(5.0),
+            },
+        );
+        t.validate().unwrap();
+        assert_eq!(
+            t.get(&surgery, Metric::Latency, QualityLevel::High),
+            Some(ThresholdSpec::Value(5.0))
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Use cases — the user-facing tier of the IQB framework.
+//!
+//! *"Internet users rarely think of Internet quality in terms of metrics
+//! like throughput, latency, or packet loss. Instead, they understand it
+//! through what the Internet enables them to do."* Following the paper
+//! (which in turn follows Cranor et al.'s consumer broadband-label work),
+//! the framework ships six built-in use cases and — because the paper
+//! stresses that IQB "is designed to be easily adapted" — allows arbitrary
+//! custom ones.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A use case: an activity whose quality the IQB framework evaluates.
+///
+/// The six unit variants are the paper's built-ins; [`UseCase::Custom`]
+/// supports framework adaptations (e.g. "remote surgery", "cloud gaming")
+/// provided the configuration supplies thresholds and weights for them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(into = "String", try_from = "String")]
+pub enum UseCase {
+    /// Loading and interacting with web pages.
+    WebBrowsing,
+    /// On-demand video playback (paper: "streaming video").
+    VideoStreaming,
+    /// Real-time interactive video calls.
+    VideoConferencing,
+    /// Music / podcast playback (paper: "streaming audio").
+    AudioStreaming,
+    /// Bulk upload of files to cloud storage.
+    OnlineBackup,
+    /// Real-time online gaming.
+    Gaming,
+    /// A user-defined use case, identified by a non-empty name.
+    Custom(String),
+}
+
+impl UseCase {
+    /// The paper's six built-in use cases, in the row order of Fig. 2 /
+    /// Table 1 (web browsing first, gaming last).
+    pub const BUILTIN: [UseCase; 6] = [
+        UseCase::WebBrowsing,
+        UseCase::VideoStreaming,
+        UseCase::VideoConferencing,
+        UseCase::AudioStreaming,
+        UseCase::OnlineBackup,
+        UseCase::Gaming,
+    ];
+
+    /// Human-readable label matching the paper's tables.
+    pub fn label(&self) -> &str {
+        match self {
+            UseCase::WebBrowsing => "Web Browsing",
+            UseCase::VideoStreaming => "Video Streaming",
+            UseCase::VideoConferencing => "Video Conferencing",
+            UseCase::AudioStreaming => "Audio Streaming",
+            UseCase::OnlineBackup => "Online Backup",
+            UseCase::Gaming => "Gaming",
+            UseCase::Custom(name) => name,
+        }
+    }
+
+    /// One-line description of the activity and what network property it
+    /// stresses — used in reports and the Fig. 1 exhibit.
+    pub fn description(&self) -> &str {
+        match self {
+            UseCase::WebBrowsing => {
+                "Loading and interacting with web pages; latency-sensitive page loads"
+            }
+            UseCase::VideoStreaming => {
+                "On-demand video playback; sustained download throughput"
+            }
+            UseCase::VideoConferencing => {
+                "Real-time interactive video; symmetric throughput and tight latency"
+            }
+            UseCase::AudioStreaming => "Music and podcast playback; modest sustained throughput",
+            UseCase::OnlineBackup => "Bulk upload to cloud storage; upload throughput",
+            UseCase::Gaming => "Real-time online gaming; latency and loss above all",
+            UseCase::Custom(_) => "User-defined use case",
+        }
+    }
+
+    /// Whether this is one of the paper's built-in use cases.
+    pub fn is_builtin(&self) -> bool {
+        !matches!(self, UseCase::Custom(_))
+    }
+
+    /// Creates a custom use case, rejecting empty or builtin-shadowing names.
+    pub fn custom(name: impl Into<String>) -> Result<UseCase, String> {
+        let name = name.into();
+        if name.trim().is_empty() {
+            return Err("custom use-case name must be non-empty".into());
+        }
+        if UseCase::BUILTIN.iter().any(|b| b.label() == name) {
+            return Err(format!("`{name}` shadows a built-in use case"));
+        }
+        Ok(UseCase::Custom(name))
+    }
+}
+
+impl From<UseCase> for String {
+    fn from(u: UseCase) -> String {
+        u.label().to_string()
+    }
+}
+
+impl TryFrom<String> for UseCase {
+    type Error = String;
+    fn try_from(value: String) -> Result<Self, Self::Error> {
+        if value.trim().is_empty() {
+            return Err("empty use-case label".to_string());
+        }
+        Ok(UseCase::BUILTIN
+            .iter()
+            .find(|b| b.label() == value)
+            .cloned()
+            .unwrap_or(UseCase::Custom(value)))
+    }
+}
+
+impl fmt::Display for UseCase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_builtins_in_paper_order() {
+        assert_eq!(UseCase::BUILTIN.len(), 6);
+        assert_eq!(UseCase::BUILTIN[0], UseCase::WebBrowsing);
+        assert_eq!(UseCase::BUILTIN[5], UseCase::Gaming);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(UseCase::WebBrowsing.label(), "Web Browsing");
+        assert_eq!(UseCase::VideoConferencing.label(), "Video Conferencing");
+        assert_eq!(UseCase::OnlineBackup.label(), "Online Backup");
+    }
+
+    #[test]
+    fn builtin_flag() {
+        assert!(UseCase::Gaming.is_builtin());
+        assert!(!UseCase::Custom("Remote Surgery".into()).is_builtin());
+    }
+
+    #[test]
+    fn custom_construction_validates() {
+        assert!(UseCase::custom("Cloud Gaming").is_ok());
+        assert!(UseCase::custom("").is_err());
+        assert!(UseCase::custom("   ").is_err());
+        assert!(UseCase::custom("Gaming").is_err(), "shadows builtin");
+    }
+
+    #[test]
+    fn custom_label_is_its_name() {
+        let u = UseCase::custom("Telemetry Upload").unwrap();
+        assert_eq!(u.label(), "Telemetry Upload");
+        assert_eq!(u.to_string(), "Telemetry Upload");
+    }
+
+    #[test]
+    fn ordering_is_stable_for_btreemap_use() {
+        // BTreeMap keys must order deterministically; builtins sort by
+        // declaration order, customs after (derived Ord on enums).
+        assert!(UseCase::WebBrowsing < UseCase::Gaming);
+        assert!(UseCase::Gaming < UseCase::Custom("A".into()));
+    }
+}

@@ -1,0 +1,123 @@
+//! Typed metric values.
+//!
+//! A [`MetricValue`] pairs a number with the [`Metric`] it measures, so a
+//! latency can never be compared against a throughput threshold by accident.
+//! Construction validates the metric's physical domain via
+//! [`Metric::validate`].
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::metric::Metric;
+
+/// A validated measurement value for one metric.
+///
+/// ```
+/// use iqb_core::metric::Metric;
+/// use iqb_core::value::MetricValue;
+///
+/// let v = MetricValue::new(Metric::Latency, 23.5).unwrap();
+/// assert_eq!(v.get(), 23.5);
+/// assert_eq!(v.to_string(), "23.5 ms");
+/// assert!(MetricValue::new(Metric::PacketLoss, 150.0).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricValue {
+    metric: Metric,
+    value: f64,
+}
+
+impl MetricValue {
+    /// Creates a validated value.
+    pub fn new(metric: Metric, value: f64) -> Result<Self, CoreError> {
+        metric
+            .validate(value)
+            .map_err(|reason| CoreError::InvalidMetricValue {
+                metric,
+                value,
+                reason,
+            })?;
+        Ok(MetricValue { metric, value })
+    }
+
+    /// Convenience constructor for download throughput in Mb/s.
+    pub fn download_mbps(value: f64) -> Result<Self, CoreError> {
+        Self::new(Metric::DownloadThroughput, value)
+    }
+
+    /// Convenience constructor for upload throughput in Mb/s.
+    pub fn upload_mbps(value: f64) -> Result<Self, CoreError> {
+        Self::new(Metric::UploadThroughput, value)
+    }
+
+    /// Convenience constructor for round-trip latency in milliseconds.
+    pub fn latency_ms(value: f64) -> Result<Self, CoreError> {
+        Self::new(Metric::Latency, value)
+    }
+
+    /// Convenience constructor for packet loss in percent.
+    pub fn loss_pct(value: f64) -> Result<Self, CoreError> {
+        Self::new(Metric::PacketLoss, value)
+    }
+
+    /// The metric this value measures.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The numeric value, in the metric's unit.
+    pub fn get(&self) -> f64 {
+        self.value
+    }
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.value, self.metric.unit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_values_construct() {
+        assert!(MetricValue::download_mbps(100.0).is_ok());
+        assert!(MetricValue::upload_mbps(0.0).is_ok());
+        assert!(MetricValue::latency_ms(1000.0).is_ok());
+        assert!(MetricValue::loss_pct(0.0).is_ok());
+        assert!(MetricValue::loss_pct(100.0).is_ok());
+    }
+
+    #[test]
+    fn invalid_values_rejected_with_context() {
+        let err = MetricValue::latency_ms(-5.0).unwrap_err();
+        match err {
+            CoreError::InvalidMetricValue { metric, value, .. } => {
+                assert_eq!(metric, Metric::Latency);
+                assert_eq!(value, -5.0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(MetricValue::loss_pct(101.0).is_err());
+        assert!(MetricValue::download_mbps(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn display_appends_unit() {
+        let v = MetricValue::download_mbps(25.0).unwrap();
+        assert_eq!(v.to_string(), "25 Mb/s");
+        let v = MetricValue::loss_pct(0.5).unwrap();
+        assert_eq!(v.to_string(), "0.5 %");
+    }
+
+    #[test]
+    fn accessors() {
+        let v = MetricValue::new(Metric::UploadThroughput, 12.5).unwrap();
+        assert_eq!(v.metric(), Metric::UploadThroughput);
+        assert_eq!(v.get(), 12.5);
+    }
+}

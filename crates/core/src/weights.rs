@@ -1,0 +1,382 @@
+//! Importance weights — the paper's Table 1 plus the two other weight
+//! families of the score formula.
+//!
+//! The IQB score uses three families of integer weights in `0..=5`:
+//!
+//! * `w_{u,r}` — how much requirement `r` matters for use case `u`
+//!   (published in Table 1, elicited from experts; encoded in
+//!   [`WeightTable::paper_table1`]).
+//! * `w_u` — how much use case `u` contributes to the composite. The poster
+//!   defines the symbol but publishes no values; the default is equal
+//!   weight.
+//! * `w_{u,r,d}` — how much dataset `d` is trusted for requirement `r`
+//!   under use case `u`. Also unpublished; the default is equal weight per
+//!   dataset (uniform corroboration).
+//!
+//! All three normalize to `w' ∈ [0, 1]` by dividing by their family sum —
+//! [`normalize`] implements that and is shared by every tier of the score.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::DatasetId;
+use crate::error::CoreError;
+use crate::metric::Metric;
+use crate::usecase::UseCase;
+
+/// An integer importance weight in the paper's `0..=5` range.
+///
+/// A weight of 0 removes its term from the weighted average entirely.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[serde(try_from = "u32", into = "u32")]
+pub struct Weight(u8);
+
+impl Weight {
+    /// The maximum weight the paper allows.
+    pub const MAX: Weight = Weight(5);
+    /// Zero weight: excludes the term.
+    pub const ZERO: Weight = Weight(0);
+
+    /// Creates a weight, rejecting values above 5.
+    pub fn new(value: u32) -> Result<Self, CoreError> {
+        if value > 5 {
+            return Err(CoreError::InvalidWeight(value));
+        }
+        Ok(Weight(value as u8))
+    }
+
+    /// The raw integer value.
+    pub fn get(&self) -> u8 {
+        self.0
+    }
+
+    /// The weight as a float, for normalization arithmetic.
+    pub fn as_f64(&self) -> f64 {
+        f64::from(self.0)
+    }
+}
+
+impl TryFrom<u32> for Weight {
+    type Error = CoreError;
+    fn try_from(value: u32) -> Result<Self, Self::Error> {
+        Weight::new(value)
+    }
+}
+
+impl From<Weight> for u32 {
+    fn from(w: Weight) -> u32 {
+        u32::from(w.0)
+    }
+}
+
+impl std::fmt::Display for Weight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Normalizes a slice of weights to `w'_i = w_i / Σ w` (paper §3).
+///
+/// Returns `None` when the weights sum to zero — the caller must then
+/// exclude the whole family from the average (an all-zero family carries no
+/// information).
+pub fn normalize(weights: &[Weight]) -> Option<Vec<f64>> {
+    let sum: f64 = weights.iter().map(Weight::as_f64).sum();
+    if sum == 0.0 {
+        return None;
+    }
+    Some(weights.iter().map(|w| w.as_f64() / sum).collect())
+}
+
+/// The requirement-weight table `w_{u,r}`: `(use case, metric) → weight`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WeightTable {
+    rows: BTreeMap<UseCase, BTreeMap<Metric, Weight>>,
+}
+
+impl WeightTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The paper's Table 1, verbatim.
+    ///
+    /// | Use case           | Down | Up | Latency | Loss |
+    /// |--------------------|------|----|---------|------|
+    /// | Web Browsing       | 3    | 2  | 4       | 4    |
+    /// | Video Streaming    | 4    | 2  | 4       | 4    |
+    /// | Audio Streaming    | 4    | 1  | 3       | 4    |
+    /// | Video Conferencing | 4    | 4  | 4       | 4    |
+    /// | Online Backup      | 4    | 4  | 2       | 4    |
+    /// | Gaming             | 4    | 4  | 5       | 4    |
+    pub fn paper_table1() -> Self {
+        let mut t = Self::new();
+        let rows: [(UseCase, [u32; 4]); 6] = [
+            (UseCase::WebBrowsing, [3, 2, 4, 4]),
+            (UseCase::VideoStreaming, [4, 2, 4, 4]),
+            (UseCase::AudioStreaming, [4, 1, 3, 4]),
+            (UseCase::VideoConferencing, [4, 4, 4, 4]),
+            (UseCase::OnlineBackup, [4, 4, 2, 4]),
+            (UseCase::Gaming, [4, 4, 5, 4]),
+        ];
+        for (use_case, ws) in rows {
+            for (metric, w) in Metric::ALL.into_iter().zip(ws) {
+                t.set(use_case.clone(), metric, Weight::new(w).expect("paper weights are 0..=5"));
+            }
+        }
+        t
+    }
+
+    /// Sets the weight for a (use case, metric) cell.
+    pub fn set(&mut self, use_case: UseCase, metric: Metric, weight: Weight) {
+        self.rows.entry(use_case).or_default().insert(metric, weight);
+    }
+
+    /// Looks up the weight for a (use case, metric) cell.
+    pub fn get(&self, use_case: &UseCase, metric: Metric) -> Option<Weight> {
+        self.rows.get(use_case).and_then(|r| r.get(&metric)).copied()
+    }
+
+    /// The use cases with at least one weight row.
+    pub fn use_cases(&self) -> impl Iterator<Item = &UseCase> {
+        self.rows.keys()
+    }
+
+    /// Validates that every row has at least one positive weight (a use
+    /// case whose requirements all weigh zero can never be scored).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        for (use_case, row) in &self.rows {
+            if row.values().all(|w| *w == Weight::ZERO) {
+                return Err(CoreError::InvalidConfig(format!(
+                    "all requirement weights for {use_case} are zero"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Dataset weights `w_{u,r,d}` with a uniform default.
+///
+/// The poster defines the symbol but publishes no values, so the default
+/// weight for every (use case, requirement, dataset) triple is 1 (uniform
+/// corroboration). Individual triples can be overridden — e.g. down-weight
+/// Ookla for latency because its open data reports idle rather than loaded
+/// latency.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DatasetWeights {
+    /// Serialized as an entry list because JSON map keys must be strings.
+    #[serde(with = "overrides_serde")]
+    overrides: BTreeMap<(UseCase, Metric, DatasetId), Weight>,
+}
+
+/// Serde adapter for the tuple-keyed override map.
+mod overrides_serde {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        overrides: &BTreeMap<(UseCase, Metric, DatasetId), Weight>,
+        serializer: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(&UseCase, &Metric, &DatasetId, &Weight)> = overrides
+            .iter()
+            .map(|((u, m, d), w)| (u, m, d, w))
+            .collect();
+        serde::Serialize::serialize(&entries, serializer)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        deserializer: D,
+    ) -> Result<BTreeMap<(UseCase, Metric, DatasetId), Weight>, D::Error> {
+        let entries: Vec<(UseCase, Metric, DatasetId, Weight)> =
+            serde::Deserialize::deserialize(deserializer)?;
+        Ok(entries
+            .into_iter()
+            .map(|(u, m, d, w)| ((u, m, d), w))
+            .collect())
+    }
+}
+
+impl DatasetWeights {
+    /// Creates the uniform default (every triple weighs 1).
+    pub fn uniform() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the weight for one (use case, requirement, dataset) triple.
+    pub fn set(&mut self, use_case: UseCase, metric: Metric, dataset: DatasetId, weight: Weight) {
+        self.overrides.insert((use_case, metric, dataset), weight);
+    }
+
+    /// The weight for a triple (1 unless overridden).
+    pub fn get(&self, use_case: &UseCase, metric: Metric, dataset: &DatasetId) -> Weight {
+        self.overrides
+            .get(&(use_case.clone(), metric, dataset.clone()))
+            .copied()
+            .unwrap_or(Weight(1))
+    }
+
+    /// Number of explicit overrides.
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+}
+
+/// Use-case weights `w_u` with an equal-weight default.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UseCaseWeights {
+    overrides: BTreeMap<UseCase, Weight>,
+}
+
+impl UseCaseWeights {
+    /// Creates the equal-weight default (every use case weighs 1).
+    pub fn uniform() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the weight of one use case.
+    pub fn set(&mut self, use_case: UseCase, weight: Weight) {
+        self.overrides.insert(use_case, weight);
+    }
+
+    /// The weight of a use case (1 unless overridden).
+    pub fn get(&self, use_case: &UseCase) -> Weight {
+        self.overrides.get(use_case).copied().unwrap_or(Weight(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_range_enforced() {
+        assert!(Weight::new(0).is_ok());
+        assert!(Weight::new(5).is_ok());
+        assert_eq!(Weight::new(6), Err(CoreError::InvalidWeight(6)));
+        assert_eq!(Weight::new(100), Err(CoreError::InvalidWeight(100)));
+    }
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let ws = [Weight::new(3).unwrap(), Weight::new(2).unwrap(), Weight::new(5).unwrap()];
+        let n = normalize(&ws).unwrap();
+        assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((n[0] - 0.3).abs() < 1e-12);
+        assert!((n[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_all_zero_is_none() {
+        assert_eq!(normalize(&[Weight::ZERO, Weight::ZERO]), None);
+        assert_eq!(normalize(&[]), None);
+    }
+
+    #[test]
+    fn normalize_zero_weight_excludes_term() {
+        let ws = [Weight::ZERO, Weight::new(4).unwrap()];
+        let n = normalize(&ws).unwrap();
+        assert_eq!(n[0], 0.0);
+        assert_eq!(n[1], 1.0);
+    }
+
+    #[test]
+    fn paper_table1_values() {
+        let t = WeightTable::paper_table1();
+        let cases: [(UseCase, [u8; 4]); 6] = [
+            (UseCase::WebBrowsing, [3, 2, 4, 4]),
+            (UseCase::VideoStreaming, [4, 2, 4, 4]),
+            (UseCase::AudioStreaming, [4, 1, 3, 4]),
+            (UseCase::VideoConferencing, [4, 4, 4, 4]),
+            (UseCase::OnlineBackup, [4, 4, 2, 4]),
+            (UseCase::Gaming, [4, 4, 5, 4]),
+        ];
+        for (u, expected) in cases {
+            for (m, e) in Metric::ALL.into_iter().zip(expected) {
+                assert_eq!(
+                    t.get(&u, m).unwrap().get(),
+                    e,
+                    "weight mismatch at {u}/{m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_table1_validates() {
+        WeightTable::paper_table1().validate().unwrap();
+    }
+
+    #[test]
+    fn all_zero_row_rejected() {
+        let mut t = WeightTable::new();
+        for m in Metric::ALL {
+            t.set(UseCase::Gaming, m, Weight::ZERO);
+        }
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn gaming_latency_is_the_only_five() {
+        // The single 5 in Table 1 is gaming/latency — the paper's example of
+        // "the differing importance of throughput and latency".
+        let t = WeightTable::paper_table1();
+        let mut fives = Vec::new();
+        for u in UseCase::BUILTIN {
+            for m in Metric::ALL {
+                if t.get(&u, m).unwrap().get() == 5 {
+                    fives.push((u.clone(), m));
+                }
+            }
+        }
+        assert_eq!(fives, vec![(UseCase::Gaming, Metric::Latency)]);
+    }
+
+    #[test]
+    fn dataset_weights_default_uniform() {
+        let w = DatasetWeights::uniform();
+        assert_eq!(
+            w.get(&UseCase::Gaming, Metric::Latency, &DatasetId::Ndt).get(),
+            1
+        );
+        assert_eq!(w.override_count(), 0);
+    }
+
+    #[test]
+    fn dataset_weight_override() {
+        let mut w = DatasetWeights::uniform();
+        w.set(
+            UseCase::Gaming,
+            Metric::Latency,
+            DatasetId::Ookla,
+            Weight::ZERO,
+        );
+        assert_eq!(
+            w.get(&UseCase::Gaming, Metric::Latency, &DatasetId::Ookla),
+            Weight::ZERO
+        );
+        // Other triples untouched.
+        assert_eq!(
+            w.get(&UseCase::Gaming, Metric::Latency, &DatasetId::Ndt).get(),
+            1
+        );
+    }
+
+    #[test]
+    fn use_case_weights_default_uniform() {
+        let w = UseCaseWeights::uniform();
+        for u in UseCase::BUILTIN {
+            assert_eq!(w.get(&u).get(), 1);
+        }
+    }
+
+    #[test]
+    fn weight_display() {
+        assert_eq!(Weight::new(4).unwrap().to_string(), "4");
+    }
+}

@@ -1,0 +1,314 @@
+//! What-if analysis: which network improvement moves the IQB score most?
+//!
+//! The paper positions IQB to *"equip decision-makers with actionable
+//! insights"*. This module makes the insight concrete: given a region's
+//! aggregates, evaluate candidate interventions — more download, more
+//! upload, lower latency, lower loss — and rank them by composite-score
+//! gain. [`required_improvement`] inverts the question: how much must one
+//! metric improve to reach a target score?
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::IqbConfig;
+use crate::error::CoreError;
+use crate::input::AggregateInput;
+use crate::metric::{Metric, Polarity};
+use crate::score::score_iqb;
+
+/// A multiplicative intervention on one metric, applied to every dataset's
+/// aggregate for that metric.
+///
+/// For throughput an improvement means `factor > 1`; for latency/loss it
+/// means `factor < 1`. The constructor checks the factor actually is an
+/// improvement (or identity).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Intervention {
+    /// Metric the intervention scales.
+    pub metric: Metric,
+    /// Multiplicative factor applied to every aggregate of that metric.
+    pub factor: f64,
+}
+
+impl Intervention {
+    /// Creates an intervention, requiring a finite positive factor that
+    /// does not *worsen* the metric (degradations are modelled by the
+    /// sensitivity tooling, not the improvement planner).
+    pub fn new(metric: Metric, factor: f64) -> Result<Self, CoreError> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(CoreError::InvalidConfig(format!(
+                "intervention factor {factor} must be positive and finite"
+            )));
+        }
+        let improves = match metric.polarity() {
+            Polarity::HigherIsBetter => factor >= 1.0,
+            Polarity::LowerIsBetter => factor <= 1.0,
+        };
+        if !improves {
+            return Err(CoreError::InvalidConfig(format!(
+                "factor {factor} would worsen {metric}"
+            )));
+        }
+        Ok(Intervention { metric, factor })
+    }
+
+    /// Human-readable description ("download ×2.0", "latency ×0.5").
+    pub fn describe(&self) -> String {
+        format!("{} ×{:.2}", self.metric, self.factor)
+    }
+
+    /// Applies the intervention to a copy of the input.
+    pub fn apply(&self, input: &AggregateInput) -> AggregateInput {
+        let mut out = AggregateInput::new();
+        for ((dataset, metric), cell) in input.iter() {
+            let value = if *metric == self.metric {
+                // Loss is capped at 100% even under a (clamped) factor.
+                let v = cell.value * self.factor;
+                if *metric == Metric::PacketLoss {
+                    v.min(100.0)
+                } else {
+                    v
+                }
+            } else {
+                cell.value
+            };
+            match cell.provenance {
+                Some(p) => out.set_with_provenance(dataset.clone(), *metric, value, p),
+                None => out.set(dataset.clone(), *metric, value),
+            }
+        }
+        out
+    }
+}
+
+/// The outcome of evaluating one intervention.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterventionOutcome {
+    /// The intervention evaluated.
+    pub intervention: Intervention,
+    /// Composite score before.
+    pub baseline: f64,
+    /// Composite score after.
+    pub improved: f64,
+}
+
+impl InterventionOutcome {
+    /// Score gain (≥ 0 by monotonicity of the framework).
+    pub fn gain(&self) -> f64 {
+        self.improved - self.baseline
+    }
+}
+
+/// The standard intervention menu: double each throughput, halve latency
+/// and loss.
+pub fn standard_interventions() -> Vec<Intervention> {
+    vec![
+        Intervention::new(Metric::DownloadThroughput, 2.0).expect("static"),
+        Intervention::new(Metric::UploadThroughput, 2.0).expect("static"),
+        Intervention::new(Metric::Latency, 0.5).expect("static"),
+        Intervention::new(Metric::PacketLoss, 0.5).expect("static"),
+    ]
+}
+
+/// Evaluates interventions and returns outcomes sorted by descending gain.
+pub fn evaluate_interventions(
+    config: &IqbConfig,
+    input: &AggregateInput,
+    interventions: &[Intervention],
+) -> Result<Vec<InterventionOutcome>, CoreError> {
+    let baseline = score_iqb(config, input)?.score;
+    let mut outcomes = Vec::with_capacity(interventions.len());
+    for &intervention in interventions {
+        let improved = score_iqb(config, &intervention.apply(input))?.score;
+        outcomes.push(InterventionOutcome {
+            intervention,
+            baseline,
+            improved,
+        });
+    }
+    outcomes.sort_by(|a, b| b.gain().partial_cmp(&a.gain()).expect("finite gains"));
+    Ok(outcomes)
+}
+
+/// Finds (by bisection) the smallest improvement factor on `metric` that
+/// lifts the composite to at least `target_score`.
+///
+/// Searches factors up to `max_factor` away from identity (multiplicative
+/// for throughput, divisive for latency/loss). Returns `None` when even
+/// the maximum improvement cannot reach the target — e.g. asking a
+/// satellite link to reach an A by adding bandwidth.
+pub fn required_improvement(
+    config: &IqbConfig,
+    input: &AggregateInput,
+    metric: Metric,
+    target_score: f64,
+    max_factor: f64,
+) -> Result<Option<f64>, CoreError> {
+    if !(0.0..=1.0).contains(&target_score) || target_score.is_nan() {
+        return Err(CoreError::InvalidConfig(format!(
+            "target score {target_score} outside [0, 1]"
+        )));
+    }
+    if !(max_factor.is_finite() && max_factor > 1.0) {
+        return Err(CoreError::InvalidConfig(format!(
+            "max_factor {max_factor} must exceed 1"
+        )));
+    }
+    let apply_factor = |magnitude: f64| -> Result<f64, CoreError> {
+        // magnitude >= 1: the improvement strength in either polarity.
+        let factor = match metric.polarity() {
+            Polarity::HigherIsBetter => magnitude,
+            Polarity::LowerIsBetter => 1.0 / magnitude,
+        };
+        let intervention = Intervention::new(metric, factor)?;
+        Ok(score_iqb(config, &intervention.apply(input))?.score)
+    };
+    if score_iqb(config, input)?.score >= target_score {
+        return Ok(Some(1.0));
+    }
+    if apply_factor(max_factor)? < target_score {
+        return Ok(None);
+    }
+    let (mut lo, mut hi) = (1.0_f64, max_factor);
+    for _ in 0..60 {
+        let mid = (lo + hi) / 2.0;
+        if apply_factor(mid)? >= target_score {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Ok(Some(hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetId;
+
+    fn connection(down: f64, up: f64, rtt: f64, loss: f64) -> AggregateInput {
+        let mut input = AggregateInput::new();
+        for d in DatasetId::BUILTIN {
+            input.set(d.clone(), Metric::DownloadThroughput, down);
+            input.set(d.clone(), Metric::UploadThroughput, up);
+            input.set(d.clone(), Metric::Latency, rtt);
+            input.set(d, Metric::PacketLoss, loss);
+        }
+        input
+    }
+
+    #[test]
+    fn construction_rejects_degradations() {
+        assert!(Intervention::new(Metric::DownloadThroughput, 0.5).is_err());
+        assert!(Intervention::new(Metric::Latency, 2.0).is_err());
+        assert!(Intervention::new(Metric::Latency, 0.5).is_ok());
+        assert!(Intervention::new(Metric::DownloadThroughput, 0.0).is_err());
+        assert!(Intervention::new(Metric::DownloadThroughput, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn apply_scales_only_the_target_metric() {
+        let input = connection(100.0, 50.0, 40.0, 0.4);
+        let halved_latency = Intervention::new(Metric::Latency, 0.5)
+            .unwrap()
+            .apply(&input);
+        assert_eq!(
+            halved_latency.get(&DatasetId::Ndt, Metric::Latency),
+            Some(20.0)
+        );
+        assert_eq!(
+            halved_latency.get(&DatasetId::Ndt, Metric::DownloadThroughput),
+            Some(100.0)
+        );
+    }
+
+    #[test]
+    fn identity_factor_changes_nothing() {
+        let config = IqbConfig::paper_default();
+        let input = connection(120.0, 15.0, 18.0, 0.05);
+        let identity = Intervention::new(Metric::Latency, 1.0).unwrap();
+        let outcomes = evaluate_interventions(&config, &input, &[identity]).unwrap();
+        assert_eq!(outcomes[0].gain(), 0.0);
+    }
+
+    #[test]
+    fn upload_starved_connection_gains_most_from_upload() {
+        // 500/11 cable: everything except upload is superb.
+        let config = IqbConfig::paper_default();
+        let input = connection(500.0, 11.0, 10.0, 0.02);
+        // Need a big multiplier: 11 -> 220 clears even online backup's
+        // 200 Mb/s high-quality bar.
+        let interventions = vec![
+            Intervention::new(Metric::DownloadThroughput, 20.0).unwrap(),
+            Intervention::new(Metric::UploadThroughput, 20.0).unwrap(),
+            Intervention::new(Metric::Latency, 0.05).unwrap(),
+            Intervention::new(Metric::PacketLoss, 0.05).unwrap(),
+        ];
+        let outcomes = evaluate_interventions(&config, &input, &interventions).unwrap();
+        assert_eq!(
+            outcomes[0].intervention.metric,
+            Metric::UploadThroughput,
+            "ranking: {outcomes:?}"
+        );
+        assert!(outcomes[0].gain() > 0.1);
+    }
+
+    #[test]
+    fn gains_are_never_negative() {
+        let config = IqbConfig::paper_default();
+        let input = connection(60.0, 20.0, 70.0, 0.6);
+        for outcome in
+            evaluate_interventions(&config, &input, &standard_interventions()).unwrap()
+        {
+            assert!(outcome.gain() >= -1e-12, "{outcome:?}");
+        }
+    }
+
+    #[test]
+    fn required_improvement_identity_when_already_there() {
+        let config = IqbConfig::paper_default();
+        let input = connection(1000.0, 1000.0, 5.0, 0.0);
+        let f = required_improvement(&config, &input, Metric::Latency, 0.9, 100.0)
+            .unwrap()
+            .unwrap();
+        assert_eq!(f, 1.0);
+    }
+
+    #[test]
+    fn required_improvement_finds_the_threshold() {
+        // Latency 80 ms fails the 50/20 ms bars; the rest is perfect.
+        let config = IqbConfig::paper_default();
+        let input = connection(1000.0, 1000.0, 80.0, 0.0);
+        let baseline = score_iqb(&config, &input).unwrap().score;
+        let magnitude = required_improvement(&config, &input, Metric::Latency, 0.99, 100.0)
+            .unwrap()
+            .expect("reachable: latency is the only failure");
+        // Check the found factor actually achieves the target.
+        let factor = 1.0 / magnitude;
+        let improved = Intervention::new(Metric::Latency, factor).unwrap().apply(&input);
+        let achieved = score_iqb(&config, &improved).unwrap().score;
+        assert!(achieved >= 0.99, "achieved {achieved} from {baseline}");
+        // And that it is close to the true requirement (80 -> 20 ms = 4x).
+        assert!(
+            (3.5..=4.5).contains(&magnitude),
+            "expected ~4x, got {magnitude}"
+        );
+    }
+
+    #[test]
+    fn required_improvement_unreachable_is_none() {
+        // Terrible on all four axes: fixing latency alone cannot reach 0.9.
+        let config = IqbConfig::paper_default();
+        let input = connection(5.0, 1.0, 300.0, 5.0);
+        let result =
+            required_improvement(&config, &input, Metric::Latency, 0.9, 1000.0).unwrap();
+        assert_eq!(result, None);
+    }
+
+    #[test]
+    fn required_improvement_validates_inputs() {
+        let config = IqbConfig::paper_default();
+        let input = connection(100.0, 100.0, 50.0, 0.5);
+        assert!(required_improvement(&config, &input, Metric::Latency, 1.5, 10.0).is_err());
+        assert!(required_improvement(&config, &input, Metric::Latency, 0.5, 1.0).is_err());
+    }
+}

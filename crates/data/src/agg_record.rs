@@ -1,0 +1,211 @@
+//! Pre-aggregated dataset rows — the Ookla open-data shape.
+//!
+//! Ookla publishes quarterly tile aggregates (average speeds, average
+//! latency, test counts), not raw tests. [`AggregateRow`] models one such
+//! row; [`reduce_rows`] turns a set of rows for a region into
+//! per-metric values via test-count-weighted quantiles, so aggregate-only
+//! datasets plug into the same scoring input as per-test ones.
+//!
+//! Note the epistemic downgrade this models faithfully: a weighted
+//! quantile *of row averages* is not the quantile of the underlying tests.
+//! That is a real limitation of scoring from published aggregates, and the
+//! corroboration tier is how IQB compensates.
+
+use iqb_core::dataset::DatasetId;
+use iqb_core::input::{AggregateInput, CellProvenance};
+use iqb_core::metric::Metric;
+use serde::{Deserialize, Serialize};
+
+use crate::error::DataError;
+use crate::record::RegionId;
+
+/// One pre-aggregated row (e.g. an Ookla tile-quarter).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateRow {
+    /// Region the row summarises (tile, city, county …).
+    pub region: RegionId,
+    /// Dataset that published the row.
+    pub dataset: DatasetId,
+    /// Start of the aggregation period, seconds since the campaign epoch.
+    pub period_start: u64,
+    /// Mean download throughput over the period, Mb/s.
+    pub avg_download_mbps: f64,
+    /// Mean upload throughput over the period, Mb/s.
+    pub avg_upload_mbps: f64,
+    /// Mean latency over the period, ms.
+    pub avg_latency_ms: f64,
+    /// Mean packet loss, percent — usually `None` for Ookla open data.
+    pub avg_loss_pct: Option<f64>,
+    /// Number of tests behind the row (the weighting mass).
+    pub tests: u64,
+}
+
+impl AggregateRow {
+    /// Validates metric domains and weighting mass.
+    pub fn validate(&self) -> Result<(), DataError> {
+        if self.tests == 0 {
+            return Err(DataError::InvalidRecord(
+                "aggregate row must summarise at least one test".into(),
+            ));
+        }
+        let checks = [
+            (Metric::DownloadThroughput, Some(self.avg_download_mbps)),
+            (Metric::UploadThroughput, Some(self.avg_upload_mbps)),
+            (Metric::Latency, Some(self.avg_latency_ms)),
+            (Metric::PacketLoss, self.avg_loss_pct),
+        ];
+        for (metric, value) in checks {
+            if let Some(v) = value {
+                metric
+                    .validate(v)
+                    .map_err(|why| DataError::InvalidRecord(format!("{metric}: {why}")))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The row's value for one metric.
+    pub fn metric_value(&self, metric: Metric) -> Option<f64> {
+        match metric {
+            Metric::DownloadThroughput => Some(self.avg_download_mbps),
+            Metric::UploadThroughput => Some(self.avg_upload_mbps),
+            Metric::Latency => Some(self.avg_latency_ms),
+            Metric::PacketLoss => self.avg_loss_pct,
+        }
+    }
+}
+
+/// Reduces a region's aggregate rows to per-metric values at quantile `q`,
+/// weighting each row by its test count, and merges them into `input`.
+///
+/// Rows for other regions/datasets must be filtered out by the caller
+/// (see [`crate::source::AggregateSource`]).
+pub fn reduce_rows(
+    rows: &[AggregateRow],
+    dataset: &DatasetId,
+    q: f64,
+    input: &mut AggregateInput,
+) -> Result<(), DataError> {
+    if rows.is_empty() {
+        return Err(DataError::NoData {
+            context: format!("no aggregate rows for {dataset}"),
+        });
+    }
+    for row in rows {
+        row.validate()?;
+    }
+    for metric in Metric::ALL {
+        let mut values = Vec::new();
+        let mut weights = Vec::new();
+        for row in rows {
+            if let Some(v) = row.metric_value(metric) {
+                values.push(v);
+                weights.push(row.tests as f64);
+            }
+        }
+        if values.is_empty() {
+            continue;
+        }
+        let value = iqb_stats::exact::weighted_quantile(&values, &weights, q)?;
+        let total_tests: u64 = rows
+            .iter()
+            .filter(|r| r.metric_value(metric).is_some())
+            .map(|r| r.tests)
+            .sum();
+        input.set_with_provenance(
+            dataset.clone(),
+            metric,
+            value,
+            CellProvenance {
+                sample_count: total_tests,
+                quantile: q,
+            },
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(region: &str, tests: u64, down: f64) -> AggregateRow {
+        AggregateRow {
+            region: RegionId::new(region).unwrap(),
+            dataset: DatasetId::Ookla,
+            period_start: 0,
+            avg_download_mbps: down,
+            avg_upload_mbps: 12.0,
+            avg_latency_ms: 22.0,
+            avg_loss_pct: None,
+            tests,
+        }
+    }
+
+    #[test]
+    fn validation() {
+        row("r", 10, 100.0).validate().unwrap();
+        let mut bad = row("r", 0, 100.0);
+        assert!(bad.validate().is_err());
+        bad = row("r", 5, -1.0);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn reduce_weights_by_test_count() {
+        // 90 tests at 10 Mb/s, 10 tests at 1000 Mb/s → the median sits at
+        // the slow mass; p95 reaches the fast row.
+        let rows = vec![row("r", 90, 10.0), row("r", 10, 1000.0)];
+        let mut input = AggregateInput::new();
+        reduce_rows(&rows, &DatasetId::Ookla, 0.5, &mut input).unwrap();
+        assert_eq!(
+            input.get(&DatasetId::Ookla, Metric::DownloadThroughput),
+            Some(10.0)
+        );
+        let mut input95 = AggregateInput::new();
+        reduce_rows(&rows, &DatasetId::Ookla, 0.95, &mut input95).unwrap();
+        assert_eq!(
+            input95.get(&DatasetId::Ookla, Metric::DownloadThroughput),
+            Some(1000.0)
+        );
+    }
+
+    #[test]
+    fn loss_omitted_when_absent_everywhere() {
+        let rows = vec![row("r", 10, 100.0)];
+        let mut input = AggregateInput::new();
+        reduce_rows(&rows, &DatasetId::Ookla, 0.95, &mut input).unwrap();
+        assert!(input.get(&DatasetId::Ookla, Metric::PacketLoss).is_none());
+        assert!(input.get(&DatasetId::Ookla, Metric::Latency).is_some());
+    }
+
+    #[test]
+    fn provenance_counts_total_tests() {
+        let rows = vec![row("r", 30, 50.0), row("r", 70, 80.0)];
+        let mut input = AggregateInput::new();
+        reduce_rows(&rows, &DatasetId::Ookla, 0.95, &mut input).unwrap();
+        let prov = input
+            .get_cell(&DatasetId::Ookla, Metric::DownloadThroughput)
+            .unwrap()
+            .provenance
+            .unwrap();
+        assert_eq!(prov.sample_count, 100);
+    }
+
+    #[test]
+    fn empty_rows_error() {
+        let mut input = AggregateInput::new();
+        assert!(matches!(
+            reduce_rows(&[], &DatasetId::Ookla, 0.95, &mut input),
+            Err(DataError::NoData { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_row_propagates() {
+        let mut bad = row("r", 5, 100.0);
+        bad.avg_latency_ms = f64::INFINITY;
+        let mut input = AggregateInput::new();
+        assert!(reduce_rows(&[bad], &DatasetId::Ookla, 0.95, &mut input).is_err());
+    }
+}

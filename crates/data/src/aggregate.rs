@@ -1,0 +1,328 @@
+//! Aggregation: measurement records → scoring input.
+//!
+//! The paper's rule — *"IQB uses the 95th percentile of a dataset to
+//! evaluate a metric"* — is the default here, but the percentile is
+//! configurable per metric so the E7 ablation (p50/p75/p90/p95/p99) and
+//! downstream adaptations can deviate. The output is an
+//! [`AggregateInput`] with provenance (sample counts and the quantile
+//! used), ready for [`iqb_core::score::score_iqb`].
+
+use std::collections::BTreeMap;
+
+use iqb_core::dataset::DatasetId;
+use iqb_core::input::{AggregateInput, CellProvenance};
+use iqb_core::metric::Metric;
+use serde::{Deserialize, Serialize};
+
+use crate::error::DataError;
+use crate::record::RegionId;
+use crate::store::{MeasurementStore, QueryFilter};
+
+/// How records are reduced to one value per (dataset, metric).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregationSpec {
+    /// Quantile rank per metric, each in `(0, 1]`.
+    pub quantiles: BTreeMap<Metric, f64>,
+    /// Minimum number of samples required to emit a cell; sparser cells
+    /// are dropped (the score normalization absorbs the gap).
+    pub min_samples: usize,
+}
+
+impl AggregationSpec {
+    /// The paper's default: 95th percentile for every metric, at least one
+    /// sample.
+    pub fn paper_default() -> Self {
+        Self::uniform_quantile(0.95).expect("0.95 is a valid quantile")
+    }
+
+    /// Same quantile for every metric.
+    pub fn uniform_quantile(q: f64) -> Result<Self, DataError> {
+        if !(q > 0.0 && q <= 1.0) || q.is_nan() {
+            return Err(DataError::InvalidAggregation(format!(
+                "quantile {q} not in (0, 1]"
+            )));
+        }
+        Ok(AggregationSpec {
+            quantiles: Metric::ALL.into_iter().map(|m| (m, q)).collect(),
+            min_samples: 1,
+        })
+    }
+
+    /// Overrides the quantile for one metric.
+    pub fn with_quantile(mut self, metric: Metric, q: f64) -> Result<Self, DataError> {
+        if !(q > 0.0 && q <= 1.0) || q.is_nan() {
+            return Err(DataError::InvalidAggregation(format!(
+                "quantile {q} not in (0, 1]"
+            )));
+        }
+        self.quantiles.insert(metric, q);
+        Ok(self)
+    }
+
+    /// Sets the minimum sample count per cell.
+    pub fn with_min_samples(mut self, min_samples: usize) -> Self {
+        self.min_samples = min_samples;
+        self
+    }
+
+    /// The quantile for a metric (panics only if the spec was built without
+    /// the metric, which the constructors prevent).
+    pub fn quantile_for(&self, metric: Metric) -> Result<f64, DataError> {
+        self.quantiles.get(&metric).copied().ok_or_else(|| {
+            DataError::InvalidAggregation(format!("no quantile configured for {metric}"))
+        })
+    }
+
+    /// Validates the spec.
+    pub fn validate(&self) -> Result<(), DataError> {
+        if self.quantiles.is_empty() {
+            return Err(DataError::InvalidAggregation(
+                "no quantiles configured".into(),
+            ));
+        }
+        for (m, &q) in &self.quantiles {
+            if !(q > 0.0 && q <= 1.0) || q.is_nan() {
+                return Err(DataError::InvalidAggregation(format!(
+                    "quantile {q} for {m} not in (0, 1]"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Aggregates one region's records across the given datasets into a
+/// scoring input.
+///
+/// For each (dataset, metric) the metric column is collected via the
+/// store's index and reduced to `quantile_for(metric)` with exact
+/// order statistics. Cells with fewer than `min_samples` observations are
+/// omitted. An input with zero cells is an error ([`DataError::NoData`]).
+pub fn aggregate_region(
+    store: &MeasurementStore,
+    region: &RegionId,
+    datasets: &[DatasetId],
+    spec: &AggregationSpec,
+) -> Result<AggregateInput, DataError> {
+    aggregate_region_filtered(store, region, datasets, spec, &QueryFilter::all())
+}
+
+/// Like [`aggregate_region`], further narrowed by `base_filter` (time
+/// window, technology …). The filter's own region/dataset fields are
+/// overridden per query.
+pub fn aggregate_region_filtered(
+    store: &MeasurementStore,
+    region: &RegionId,
+    datasets: &[DatasetId],
+    spec: &AggregationSpec,
+    base_filter: &QueryFilter,
+) -> Result<AggregateInput, DataError> {
+    spec.validate()?;
+    let mut input = AggregateInput::new();
+    for dataset in datasets {
+        let filter = QueryFilter {
+            region: Some(region.clone()),
+            dataset: Some(dataset.clone()),
+            ..base_filter.clone()
+        };
+        for metric in Metric::ALL {
+            let column = store.metric_column(&filter, metric);
+            if column.len() < spec.min_samples.max(1) {
+                continue;
+            }
+            let q = spec.quantile_for(metric)?;
+            let value = iqb_stats::quantile(&column, q)?;
+            input.set_with_provenance(
+                dataset.clone(),
+                metric,
+                value,
+                CellProvenance {
+                    sample_count: column.len() as u64,
+                    quantile: q,
+                },
+            );
+        }
+    }
+    if input.is_empty() {
+        return Err(DataError::NoData {
+            context: format!("region {region} across {} datasets", datasets.len()),
+        });
+    }
+    Ok(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TestRecord;
+
+    fn push_tests(store: &mut MeasurementStore, region: &RegionId, dataset: DatasetId, n: usize) {
+        for i in 0..n {
+            store
+                .push(TestRecord {
+                    timestamp: i as u64,
+                    region: region.clone(),
+                    dataset: dataset.clone(),
+                    // Downloads 1..=n so quantiles are easy to reason about.
+                    download_mbps: (i + 1) as f64,
+                    upload_mbps: 10.0,
+                    latency_ms: 20.0 + i as f64,
+                    loss_pct: if dataset == DatasetId::Ookla {
+                        None
+                    } else {
+                        Some(0.1)
+                    },
+                    tech: None,
+                })
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn paper_default_is_p95_everywhere() {
+        let spec = AggregationSpec::paper_default();
+        for m in Metric::ALL {
+            assert_eq!(spec.quantile_for(m).unwrap(), 0.95);
+        }
+        assert_eq!(spec.min_samples, 1);
+    }
+
+    #[test]
+    fn uniform_quantile_validates() {
+        assert!(AggregationSpec::uniform_quantile(0.0).is_err());
+        assert!(AggregationSpec::uniform_quantile(1.01).is_err());
+        assert!(AggregationSpec::uniform_quantile(f64::NAN).is_err());
+        assert!(AggregationSpec::uniform_quantile(1.0).is_ok());
+    }
+
+    #[test]
+    fn aggregates_p95_of_each_column() {
+        let region = RegionId::new("r").unwrap();
+        let mut store = MeasurementStore::new();
+        push_tests(&mut store, &region, DatasetId::Ndt, 100);
+        let input = aggregate_region(
+            &store,
+            &region,
+            &[DatasetId::Ndt],
+            &AggregationSpec::paper_default(),
+        )
+        .unwrap();
+        // p95 (linear) of 1..=100 is 95.05.
+        let v = input
+            .get(&DatasetId::Ndt, Metric::DownloadThroughput)
+            .unwrap();
+        assert!((v - 95.05).abs() < 1e-9, "got {v}");
+        let cell = input
+            .get_cell(&DatasetId::Ndt, Metric::DownloadThroughput)
+            .unwrap();
+        let prov = cell.provenance.unwrap();
+        assert_eq!(prov.sample_count, 100);
+        assert_eq!(prov.quantile, 0.95);
+    }
+
+    #[test]
+    fn missing_loss_column_is_omitted() {
+        let region = RegionId::new("r").unwrap();
+        let mut store = MeasurementStore::new();
+        push_tests(&mut store, &region, DatasetId::Ookla, 50);
+        let input = aggregate_region(
+            &store,
+            &region,
+            &[DatasetId::Ookla],
+            &AggregationSpec::paper_default(),
+        )
+        .unwrap();
+        assert!(input.get(&DatasetId::Ookla, Metric::PacketLoss).is_none());
+        assert!(input.get(&DatasetId::Ookla, Metric::Latency).is_some());
+    }
+
+    #[test]
+    fn min_samples_gate() {
+        let region = RegionId::new("r").unwrap();
+        let mut store = MeasurementStore::new();
+        push_tests(&mut store, &region, DatasetId::Ndt, 5);
+        let spec = AggregationSpec::paper_default().with_min_samples(10);
+        assert!(matches!(
+            aggregate_region(&store, &region, &[DatasetId::Ndt], &spec),
+            Err(DataError::NoData { .. })
+        ));
+        let spec = AggregationSpec::paper_default().with_min_samples(5);
+        assert!(aggregate_region(&store, &region, &[DatasetId::Ndt], &spec).is_ok());
+    }
+
+    #[test]
+    fn unknown_region_is_no_data() {
+        let store = MeasurementStore::new();
+        let region = RegionId::new("ghost").unwrap();
+        assert!(matches!(
+            aggregate_region(
+                &store,
+                &region,
+                &[DatasetId::Ndt],
+                &AggregationSpec::paper_default()
+            ),
+            Err(DataError::NoData { .. })
+        ));
+    }
+
+    #[test]
+    fn per_metric_quantile_override() {
+        let region = RegionId::new("r").unwrap();
+        let mut store = MeasurementStore::new();
+        push_tests(&mut store, &region, DatasetId::Ndt, 100);
+        // Throughput at p5 (conservative), latency at p95.
+        let spec = AggregationSpec::paper_default()
+            .with_quantile(Metric::DownloadThroughput, 0.05)
+            .unwrap();
+        let input = aggregate_region(&store, &region, &[DatasetId::Ndt], &spec).unwrap();
+        let down = input
+            .get(&DatasetId::Ndt, Metric::DownloadThroughput)
+            .unwrap();
+        assert!(down < 10.0, "p5 of 1..=100 should be small, got {down}");
+    }
+
+    #[test]
+    fn time_window_filter_narrows_aggregation() {
+        let region = RegionId::new("r").unwrap();
+        let mut store = MeasurementStore::new();
+        push_tests(&mut store, &region, DatasetId::Ndt, 100);
+        // Only timestamps 0..10 → downloads 1..=10.
+        let window = QueryFilter::all().time_range(0, 10);
+        let input = aggregate_region_filtered(
+            &store,
+            &region,
+            &[DatasetId::Ndt],
+            &AggregationSpec::paper_default(),
+            &window,
+        )
+        .unwrap();
+        let v = input
+            .get(&DatasetId::Ndt, Metric::DownloadThroughput)
+            .unwrap();
+        assert!(v <= 10.0, "windowed p95 should be <= 10, got {v}");
+        let prov = input
+            .get_cell(&DatasetId::Ndt, Metric::DownloadThroughput)
+            .unwrap()
+            .provenance
+            .unwrap();
+        assert_eq!(prov.sample_count, 10);
+    }
+
+    #[test]
+    fn multiple_datasets_fill_independent_cells() {
+        let region = RegionId::new("r").unwrap();
+        let mut store = MeasurementStore::new();
+        push_tests(&mut store, &region, DatasetId::Ndt, 20);
+        push_tests(&mut store, &region, DatasetId::Cloudflare, 20);
+        let input = aggregate_region(
+            &store,
+            &region,
+            &[DatasetId::Ndt, DatasetId::Cloudflare, DatasetId::Ookla],
+            &AggregationSpec::paper_default(),
+        )
+        .unwrap();
+        assert!(input.get(&DatasetId::Ndt, Metric::Latency).is_some());
+        assert!(input.get(&DatasetId::Cloudflare, Metric::Latency).is_some());
+        assert!(input.get(&DatasetId::Ookla, Metric::Latency).is_none());
+    }
+}

@@ -1,0 +1,281 @@
+//! Data cleaning: deduplication and outlier screening.
+//!
+//! Published measurement feeds are messy: clients retry and double-submit
+//! tests, and a handful of broken measurements (a 10 s DHCP stall recorded
+//! as latency, a throughput test against a LAN cache) can own the p95 a
+//! region is scored on. This module provides the two standard scrubbers —
+//! exact-duplicate removal and Tukey-fence (IQR) outlier screening per
+//! (region, dataset, metric) — with full accounting of what was dropped,
+//! because silently discarded data is worse than dirty data.
+//!
+//! Caveat: fences are computed per (region, dataset) cohort, so a region
+//! mixing very different access technologies has a wide legitimate spread
+//! and the fence will clip its fast tail. For heterogeneous regions either
+//! raise the multiplier or fence per technology tag upstream.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use iqb_core::metric::Metric;
+
+use crate::error::DataError;
+use crate::record::TestRecord;
+
+/// What the cleaner did, for the provenance trail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CleaningReport {
+    /// Records examined.
+    pub input: usize,
+    /// Exact duplicates removed.
+    pub duplicates: usize,
+    /// Records dropped by the outlier fence.
+    pub outliers: usize,
+    /// Records retained.
+    pub retained: usize,
+}
+
+/// Cleaning configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cleaner {
+    /// Remove exact duplicates (same timestamp, region, dataset and all
+    /// metric values).
+    pub dedup: bool,
+    /// Tukey-fence multiplier `k`: a record is dropped when any of its
+    /// metrics falls outside `[Q1 − k·IQR, Q3 + k·IQR]` of its
+    /// (region, dataset) cohort. `None` disables outlier screening;
+    /// `Some(3.0)` is the conventional "far out" fence.
+    pub iqr_multiplier: Option<f64>,
+    /// Cohorts smaller than this skip outlier screening (fences from a
+    /// handful of samples are noise).
+    pub min_cohort: usize,
+}
+
+impl Default for Cleaner {
+    fn default() -> Self {
+        Cleaner {
+            dedup: true,
+            iqr_multiplier: Some(3.0),
+            min_cohort: 20,
+        }
+    }
+}
+
+impl Cleaner {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), DataError> {
+        if let Some(k) = self.iqr_multiplier {
+            if !(k.is_finite() && k > 0.0) {
+                return Err(DataError::InvalidAggregation(format!(
+                    "IQR multiplier {k} must be positive and finite"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Cleans a record set, returning the retained records and a report.
+    pub fn clean(
+        &self,
+        records: Vec<TestRecord>,
+    ) -> Result<(Vec<TestRecord>, CleaningReport), DataError> {
+        self.validate()?;
+        let mut report = CleaningReport {
+            input: records.len(),
+            ..Default::default()
+        };
+
+        // Phase 1: exact-duplicate removal (order-preserving).
+        let mut deduped = Vec::with_capacity(records.len());
+        if self.dedup {
+            let mut seen = std::collections::HashSet::new();
+            for r in records {
+                // f64 fields hashed by bit pattern: "exact duplicate" means
+                // byte-identical measurements.
+                let key = (
+                    r.timestamp,
+                    r.region.clone(),
+                    r.dataset.clone(),
+                    r.download_mbps.to_bits(),
+                    r.upload_mbps.to_bits(),
+                    r.latency_ms.to_bits(),
+                    r.loss_pct.map(f64::to_bits),
+                );
+                if seen.insert(key) {
+                    deduped.push(r);
+                } else {
+                    report.duplicates += 1;
+                }
+            }
+        } else {
+            deduped = records;
+        }
+
+        // Phase 2: Tukey fences per (region, dataset, metric).
+        let retained = match self.iqr_multiplier {
+            None => deduped,
+            Some(k) => {
+                type Cohort = (crate::record::RegionId, iqb_core::dataset::DatasetId);
+                // Collect cohort columns.
+                let mut columns: BTreeMap<(Cohort, Metric), Vec<f64>> = BTreeMap::new();
+                for r in &deduped {
+                    let cohort = (r.region.clone(), r.dataset.clone());
+                    for m in Metric::ALL {
+                        if let Some(v) = r.metric_value(m) {
+                            columns.entry((cohort.clone(), m)).or_default().push(v);
+                        }
+                    }
+                }
+                // Compute fences where the cohort is large enough.
+                let mut fences: BTreeMap<(Cohort, Metric), (f64, f64)> = BTreeMap::new();
+                for (key, column) in &columns {
+                    if column.len() < self.min_cohort {
+                        continue;
+                    }
+                    let q1 = iqb_stats::quantile(column, 0.25)?;
+                    let q3 = iqb_stats::quantile(column, 0.75)?;
+                    let iqr = q3 - q1;
+                    fences.insert(key.clone(), (q1 - k * iqr, q3 + k * iqr));
+                }
+                let mut kept = Vec::with_capacity(deduped.len());
+                for r in deduped {
+                    let cohort = (r.region.clone(), r.dataset.clone());
+                    let is_outlier = Metric::ALL.into_iter().any(|m| {
+                        match (r.metric_value(m), fences.get(&(cohort.clone(), m))) {
+                            (Some(v), Some(&(lo, hi))) => v < lo || v > hi,
+                            _ => false,
+                        }
+                    });
+                    if is_outlier {
+                        report.outliers += 1;
+                    } else {
+                        kept.push(r);
+                    }
+                }
+                kept
+            }
+        };
+        report.retained = retained.len();
+        Ok((retained, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RegionId;
+    use iqb_core::dataset::DatasetId;
+
+    fn record(ts: u64, down: f64, rtt: f64) -> TestRecord {
+        TestRecord {
+            timestamp: ts,
+            region: RegionId::new("r").unwrap(),
+            dataset: DatasetId::Ndt,
+            download_mbps: down,
+            upload_mbps: 10.0,
+            latency_ms: rtt,
+            loss_pct: Some(0.1),
+            tech: None,
+        }
+    }
+
+    #[test]
+    fn validates_multiplier() {
+        let bad = Cleaner {
+            iqr_multiplier: Some(0.0),
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = Cleaner {
+            iqr_multiplier: Some(f64::NAN),
+            ..Default::default()
+        };
+        assert!(bad.clean(vec![]).is_err());
+    }
+
+    #[test]
+    fn removes_exact_duplicates_only() {
+        let a = record(1, 100.0, 20.0);
+        let near_dup = record(1, 100.0, 20.000001); // differs in one bit-level value
+        let records = vec![a.clone(), a.clone(), a.clone(), near_dup.clone()];
+        let cleaner = Cleaner {
+            iqr_multiplier: None,
+            ..Default::default()
+        };
+        let (kept, report) = cleaner.clean(records).unwrap();
+        assert_eq!(kept, vec![a, near_dup]);
+        assert_eq!(report.duplicates, 2);
+        assert_eq!(report.retained, 2);
+    }
+
+    #[test]
+    fn dedup_can_be_disabled() {
+        let a = record(1, 100.0, 20.0);
+        let cleaner = Cleaner {
+            dedup: false,
+            iqr_multiplier: None,
+            ..Default::default()
+        };
+        let (kept, report) = cleaner.clean(vec![a.clone(), a]).unwrap();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(report.duplicates, 0);
+    }
+
+    #[test]
+    fn fences_drop_gross_outliers() {
+        // 100 well-behaved records plus one 10-second "latency" stall.
+        let mut records: Vec<TestRecord> =
+            (0..100).map(|i| record(i, 100.0 + (i % 7) as f64, 20.0 + (i % 5) as f64)).collect();
+        records.push(record(200, 100.0, 10_000.0));
+        let cleaner = Cleaner::default();
+        let (kept, report) = cleaner.clean(records).unwrap();
+        assert_eq!(report.outliers, 1);
+        assert_eq!(kept.len(), 100);
+        assert!(kept.iter().all(|r| r.latency_ms < 100.0));
+    }
+
+    #[test]
+    fn small_cohorts_are_not_fenced() {
+        let mut records: Vec<TestRecord> = (0..5).map(|i| record(i, 100.0, 20.0)).collect();
+        records.push(record(9, 100.0, 10_000.0));
+        let cleaner = Cleaner::default(); // min_cohort 20 > 6
+        let (kept, report) = cleaner.clean(records).unwrap();
+        assert_eq!(report.outliers, 0);
+        assert_eq!(kept.len(), 6);
+    }
+
+    #[test]
+    fn constant_columns_survive_fencing() {
+        // IQR 0: the fence collapses to the constant — identical values
+        // must not be flagged.
+        let records: Vec<TestRecord> = (0..50).map(|i| record(i, 100.0, 20.0)).collect();
+        let (kept, report) = Cleaner::default().clean(records).unwrap();
+        assert_eq!(report.outliers, 0);
+        assert_eq!(kept.len(), 50);
+    }
+
+    #[test]
+    fn cleaning_shifts_the_p95() {
+        // The practical point: a handful of broken tests own the p95
+        // before cleaning and not after.
+        let mut records: Vec<TestRecord> =
+            (0..100).map(|i| record(i, 100.0, 20.0 + (i % 10) as f64)).collect();
+        for i in 0..8 {
+            records.push(record(500 + i, 100.0, 5_000.0));
+        }
+        let dirty: Vec<f64> = records.iter().map(|r| r.latency_ms).collect();
+        let p95_dirty = iqb_stats::quantile(&dirty, 0.95).unwrap();
+        let (kept, _) = Cleaner::default().clean(records).unwrap();
+        let clean: Vec<f64> = kept.iter().map(|r| r.latency_ms).collect();
+        let p95_clean = iqb_stats::quantile(&clean, 0.95).unwrap();
+        assert!(p95_dirty > 500.0, "dirty p95 {p95_dirty}");
+        assert!(p95_clean < 40.0, "clean p95 {p95_clean}");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (kept, report) = Cleaner::default().clean(vec![]).unwrap();
+        assert!(kept.is_empty());
+        assert_eq!(report, CleaningReport::default());
+    }
+}

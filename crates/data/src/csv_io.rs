@@ -1,0 +1,222 @@
+//! CSV interchange for per-test records.
+//!
+//! Published measurement datasets ship as flat files; this module reads
+//! and writes [`TestRecord`]s in a stable CSV schema:
+//!
+//! ```text
+//! timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech
+//! 120,metro-1,ndt,94.2,18.7,23.5,0.12,cable
+//! 180,metro-1,ookla,612.0,41.3,9.1,,fiber
+//! ```
+//!
+//! `loss_pct` and `tech` are optional (empty cells). The `dataset` column
+//! uses compact tokens (`ndt`, `cloudflare`, `ookla`, anything else is a
+//! custom dataset name).
+
+use std::io::{Read, Write};
+
+use iqb_core::dataset::DatasetId;
+use serde::{Deserialize, Serialize};
+
+use crate::error::DataError;
+use crate::record::{RegionId, TestRecord};
+use crate::store::MeasurementStore;
+
+/// Compact dataset token used in flat files.
+pub fn dataset_token(dataset: &DatasetId) -> String {
+    match dataset {
+        DatasetId::Ndt => "ndt".to_string(),
+        DatasetId::Cloudflare => "cloudflare".to_string(),
+        DatasetId::Ookla => "ookla".to_string(),
+        DatasetId::Custom(name) => name.clone(),
+    }
+}
+
+/// Parses a dataset token back to a [`DatasetId`].
+pub fn parse_dataset_token(token: &str) -> Result<DatasetId, DataError> {
+    match token {
+        "ndt" => Ok(DatasetId::Ndt),
+        "cloudflare" => Ok(DatasetId::Cloudflare),
+        "ookla" => Ok(DatasetId::Ookla),
+        other if !other.trim().is_empty() => Ok(DatasetId::Custom(other.to_string())),
+        _ => Err(DataError::InvalidRecord("empty dataset token".into())),
+    }
+}
+
+/// The flat-file row shape (private: the public type is [`TestRecord`]).
+#[derive(Debug, Serialize, Deserialize)]
+struct CsvRow {
+    timestamp: u64,
+    region: String,
+    dataset: String,
+    download_mbps: f64,
+    upload_mbps: f64,
+    latency_ms: f64,
+    loss_pct: Option<f64>,
+    tech: Option<String>,
+}
+
+impl CsvRow {
+    fn from_record(r: &TestRecord) -> Self {
+        CsvRow {
+            timestamp: r.timestamp,
+            region: r.region.as_str().to_string(),
+            dataset: dataset_token(&r.dataset),
+            download_mbps: r.download_mbps,
+            upload_mbps: r.upload_mbps,
+            latency_ms: r.latency_ms,
+            loss_pct: r.loss_pct,
+            tech: r.tech.clone(),
+        }
+    }
+
+    fn into_record(self) -> Result<TestRecord, DataError> {
+        let record = TestRecord {
+            timestamp: self.timestamp,
+            region: RegionId::new(self.region)?,
+            dataset: parse_dataset_token(&self.dataset)?,
+            download_mbps: self.download_mbps,
+            upload_mbps: self.upload_mbps,
+            latency_ms: self.latency_ms,
+            loss_pct: self.loss_pct,
+            tech: self.tech.filter(|t| !t.is_empty()),
+        };
+        record.validate()?;
+        Ok(record)
+    }
+}
+
+/// Writes records as CSV (with header) to any writer.
+pub fn write_csv<'a, W: Write, I: IntoIterator<Item = &'a TestRecord>>(
+    writer: W,
+    records: I,
+) -> Result<usize, DataError> {
+    let mut csv_writer = csv::Writer::from_writer(writer);
+    let mut written = 0;
+    for record in records {
+        csv_writer.serialize(CsvRow::from_record(record))?;
+        written += 1;
+    }
+    csv_writer.flush()?;
+    Ok(written)
+}
+
+/// Reads records from CSV (with header), validating each row.
+pub fn read_csv<R: Read>(reader: R) -> Result<Vec<TestRecord>, DataError> {
+    let mut csv_reader = csv::Reader::from_reader(reader);
+    let mut out = Vec::new();
+    for row in csv_reader.deserialize::<CsvRow>() {
+        out.push(row?.into_record()?);
+    }
+    Ok(out)
+}
+
+/// Reads a CSV file straight into a [`MeasurementStore`].
+pub fn read_csv_into_store<R: Read>(reader: R) -> Result<MeasurementStore, DataError> {
+    let mut store = MeasurementStore::new();
+    store.extend(read_csv(reader)?)?;
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records() -> Vec<TestRecord> {
+        vec![
+            TestRecord {
+                timestamp: 120,
+                region: RegionId::new("metro-1").unwrap(),
+                dataset: DatasetId::Ndt,
+                download_mbps: 94.2,
+                upload_mbps: 18.7,
+                latency_ms: 23.5,
+                loss_pct: Some(0.12),
+                tech: Some("cable".into()),
+            },
+            TestRecord {
+                timestamp: 180,
+                region: RegionId::new("metro-1").unwrap(),
+                dataset: DatasetId::Ookla,
+                download_mbps: 612.0,
+                upload_mbps: 41.3,
+                latency_ms: 9.1,
+                loss_pct: None,
+                tech: None,
+            },
+            TestRecord {
+                timestamp: 240,
+                region: RegionId::new("rural-2").unwrap(),
+                dataset: DatasetId::Custom("ripe-atlas".into()),
+                download_mbps: 12.0,
+                upload_mbps: 2.0,
+                latency_ms: 80.0,
+                loss_pct: Some(1.2),
+                tech: Some("dsl".into()),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_records() {
+        let original = records();
+        let mut buf = Vec::new();
+        let written = write_csv(&mut buf, &original).unwrap();
+        assert_eq!(written, 3);
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn header_and_tokens_are_stable() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &records()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let header = text.lines().next().unwrap();
+        assert_eq!(
+            header,
+            "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech"
+        );
+        assert!(text.contains(",ndt,"));
+        assert!(text.contains(",ookla,"));
+        assert!(text.contains(",ripe-atlas,"));
+    }
+
+    #[test]
+    fn read_rejects_invalid_rows() {
+        let csv = "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n\
+                   10,metro,ndt,-5.0,1.0,10.0,,\n";
+        assert!(read_csv(csv.as_bytes()).is_err());
+        let csv = "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n\
+                   10,,ndt,5.0,1.0,10.0,,\n";
+        assert!(read_csv(csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn read_into_store_builds_index() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &records()).unwrap();
+        let store = read_csv_into_store(buf.as_slice()).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.regions().len(), 2);
+    }
+
+    #[test]
+    fn dataset_token_round_trip() {
+        for d in [
+            DatasetId::Ndt,
+            DatasetId::Cloudflare,
+            DatasetId::Ookla,
+            DatasetId::Custom("x".into()),
+        ] {
+            assert_eq!(parse_dataset_token(&dataset_token(&d)).unwrap(), d);
+        }
+        assert!(parse_dataset_token("").is_err());
+    }
+
+    #[test]
+    fn empty_csv_is_empty_vec() {
+        let csv = "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n";
+        assert!(read_csv(csv.as_bytes()).unwrap().is_empty());
+    }
+}

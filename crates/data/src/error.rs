@@ -1,0 +1,109 @@
+//! Error type for the dataset layer.
+
+use std::fmt;
+
+use iqb_core::error::CoreError;
+use iqb_stats::StatsError;
+
+/// Errors produced by the dataset layer.
+#[derive(Debug)]
+pub enum DataError {
+    /// A record failed validation.
+    InvalidRecord(String),
+    /// A region identifier was empty or malformed.
+    InvalidRegion(String),
+    /// An aggregation parameter was invalid.
+    InvalidAggregation(String),
+    /// A query matched no records where data was required.
+    NoData {
+        /// Human-readable description of what was queried.
+        context: String,
+    },
+    /// Error bubbled up from the statistics substrate.
+    Stats(StatsError),
+    /// Error bubbled up from the core framework.
+    Core(CoreError),
+    /// I/O failure while reading or writing dataset files.
+    Io(std::io::Error),
+    /// CSV parse/serialize failure.
+    Csv(csv::Error),
+    /// JSON parse/serialize failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidRecord(why) => write!(f, "invalid measurement record: {why}"),
+            DataError::InvalidRegion(why) => write!(f, "invalid region id: {why}"),
+            DataError::InvalidAggregation(why) => write!(f, "invalid aggregation spec: {why}"),
+            DataError::NoData { context } => write!(f, "no data: {context}"),
+            DataError::Stats(e) => write!(f, "statistics error: {e}"),
+            DataError::Core(e) => write!(f, "core error: {e}"),
+            DataError::Io(e) => write!(f, "I/O error: {e}"),
+            DataError::Csv(e) => write!(f, "CSV error: {e}"),
+            DataError::Json(e) => write!(f, "JSON error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Stats(e) => Some(e),
+            DataError::Core(e) => Some(e),
+            DataError::Io(e) => Some(e),
+            DataError::Csv(e) => Some(e),
+            DataError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for DataError {
+    fn from(e: StatsError) -> Self {
+        DataError::Stats(e)
+    }
+}
+
+impl From<CoreError> for DataError {
+    fn from(e: CoreError) -> Self {
+        DataError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e)
+    }
+}
+
+impl From<csv::Error> for DataError {
+    fn from(e: csv::Error) -> Self {
+        DataError::Csv(e)
+    }
+}
+
+impl From<serde_json::Error> for DataError {
+    fn from(e: serde_json::Error) -> Self {
+        DataError::Json(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = DataError::from(StatsError::EmptySample);
+        assert!(e.to_string().contains("statistics"));
+        assert!(e.source().is_some());
+        let e = DataError::NoData {
+            context: "region x".into(),
+        };
+        assert!(e.to_string().contains("region x"));
+        assert!(e.source().is_none());
+    }
+}

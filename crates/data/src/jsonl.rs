@@ -1,0 +1,138 @@
+//! JSON-lines interchange for per-test records.
+//!
+//! One JSON object per line — the shape M-Lab's raw exports and most
+//! measurement pipelines stream. Unlike CSV, JSONL round-trips the full
+//! [`TestRecord`] serde representation (including custom dataset ids)
+//! without a token layer.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::error::DataError;
+use crate::record::TestRecord;
+use crate::store::MeasurementStore;
+
+/// Writes records as JSON lines.
+pub fn write_jsonl<'a, W: Write, I: IntoIterator<Item = &'a TestRecord>>(
+    mut writer: W,
+    records: I,
+) -> Result<usize, DataError> {
+    let mut written = 0;
+    for record in records {
+        serde_json::to_writer(&mut writer, record)?;
+        writer.write_all(b"\n")?;
+        written += 1;
+    }
+    writer.flush()?;
+    Ok(written)
+}
+
+/// Reads JSON-lines records, validating each. Blank lines are skipped.
+pub fn read_jsonl<R: Read>(reader: R) -> Result<Vec<TestRecord>, DataError> {
+    let buffered = BufReader::new(reader);
+    let mut out = Vec::new();
+    for (line_no, line) in buffered.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: TestRecord = serde_json::from_str(&line).map_err(|e| {
+            DataError::InvalidRecord(format!("line {}: {e}", line_no + 1))
+        })?;
+        record.validate()?;
+        out.push(record);
+    }
+    Ok(out)
+}
+
+/// Reads JSON lines straight into a store.
+pub fn read_jsonl_into_store<R: Read>(reader: R) -> Result<MeasurementStore, DataError> {
+    let mut store = MeasurementStore::new();
+    store.extend(read_jsonl(reader)?)?;
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RegionId;
+    use iqb_core::dataset::DatasetId;
+
+    fn records() -> Vec<TestRecord> {
+        vec![
+            TestRecord {
+                timestamp: 1,
+                region: RegionId::new("a").unwrap(),
+                dataset: DatasetId::Cloudflare,
+                download_mbps: 55.0,
+                upload_mbps: 11.0,
+                latency_ms: 40.0,
+                loss_pct: Some(0.3),
+                tech: None,
+            },
+            TestRecord {
+                timestamp: 2,
+                region: RegionId::new("b").unwrap(),
+                dataset: DatasetId::Custom("campus-probes".into()),
+                download_mbps: 940.0,
+                upload_mbps: 930.0,
+                latency_ms: 2.0,
+                loss_pct: None,
+                tech: Some("fiber".into()),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let original = records();
+        let mut buf = Vec::new();
+        assert_eq!(write_jsonl(&mut buf, &original).unwrap(), 2);
+        let back = read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn one_object_per_line() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &records()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.trim_end().lines().count(), 2);
+        for line in text.trim_end().lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &records()).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.insert(0, '\n');
+        text.push_str("\n\n");
+        assert_eq!(read_jsonl(text.as_bytes()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let text = "{\"not\": \"a record\"}\n";
+        let err = read_jsonl(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn invalid_values_rejected_after_parse() {
+        let mut record = records().remove(0);
+        record.download_mbps = -1.0;
+        // Serialize manually (validation only happens on read).
+        let line = serde_json::to_string(&record).unwrap();
+        assert!(read_jsonl(line.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn into_store() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &records()).unwrap();
+        let store = read_jsonl_into_store(buf.as_slice()).unwrap();
+        assert_eq!(store.len(), 2);
+    }
+}

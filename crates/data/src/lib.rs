@@ -1,0 +1,67 @@
+//! # iqb-data — the dataset tier of the IQB reproduction
+//!
+//! The IQB paper's bottom tier maps network requirements onto *"openly
+//! available datasets"* — per-test feeds (M-Lab NDT, Cloudflare) and
+//! pre-aggregated open data (Ookla) — and reduces each to one number per
+//! metric per region: the 95th percentile. This crate is that tier:
+//!
+//! * [`record`] — the per-test record schema shared by all datasets
+//!   (timestamp, region, dataset, download/upload/latency/loss).
+//! * [`store`] — an indexed in-memory measurement store with region /
+//!   dataset / time-range queries.
+//! * [`agg_record`] — Ookla-style pre-aggregated rows (tile summaries)
+//!   for datasets published without per-test data.
+//! * [`aggregate`] — the aggregation step: records → per-(dataset, metric)
+//!   percentiles → an [`iqb_core::input::AggregateInput`] ready for
+//!   scoring. The percentile is configurable per metric (paper default:
+//!   p95 everywhere), which powers the E7 ablation.
+//! * [`source`] — the [`source::DataSource`] abstraction unifying per-test
+//!   and aggregate-only datasets.
+//! * [`csv_io`] / [`jsonl`] — interchange formats for measurement data.
+//!
+//! ## Example
+//!
+//! ```
+//! use iqb_core::dataset::DatasetId;
+//! use iqb_data::aggregate::AggregationSpec;
+//! use iqb_data::record::{RegionId, TestRecord};
+//! use iqb_data::store::MeasurementStore;
+//!
+//! let region = RegionId::new("metro-1").unwrap();
+//! let mut store = MeasurementStore::new();
+//! for i in 0..100 {
+//!     store.push(TestRecord {
+//!         timestamp: 1_000 + i,
+//!         region: region.clone(),
+//!         dataset: DatasetId::Ndt,
+//!         download_mbps: 80.0 + i as f64,
+//!         upload_mbps: 20.0,
+//!         latency_ms: 25.0,
+//!         loss_pct: Some(0.1),
+//!         tech: None,
+//!     }).unwrap();
+//! }
+//! let spec = AggregationSpec::paper_default();
+//! let input = iqb_data::aggregate::aggregate_region(
+//!     &store, &region, &[DatasetId::Ndt], &spec,
+//! ).unwrap();
+//! assert!(input.get(&DatasetId::Ndt, iqb_core::metric::Metric::Latency).is_some());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod agg_record;
+pub mod aggregate;
+pub mod clean;
+pub mod csv_io;
+pub mod error;
+pub mod jsonl;
+pub mod record;
+pub mod source;
+pub mod store;
+
+pub use aggregate::AggregationSpec;
+pub use error::DataError;
+pub use record::{RegionId, TestRecord};
+pub use store::MeasurementStore;

@@ -1,0 +1,177 @@
+//! The per-test measurement record — the common schema of NDT-style and
+//! Cloudflare-style feeds.
+//!
+//! Every dataset IQB consumes reduces to rows of this shape. `loss_pct` is
+//! optional because not every methodology reports it (Ookla's open
+//! aggregates famously do not); the scoring normalization redistributes
+//! the missing weight.
+
+use std::fmt;
+
+use iqb_core::dataset::DatasetId;
+use iqb_core::metric::Metric;
+use serde::{Deserialize, Serialize};
+
+use crate::error::DataError;
+
+/// An opaque, non-empty region identifier (geography, ISP, ASN grouping —
+/// whatever the analysis partitions by).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(try_from = "String", into = "String")]
+pub struct RegionId(String);
+
+impl RegionId {
+    /// Creates a region id, rejecting empty/whitespace-only names.
+    pub fn new(name: impl Into<String>) -> Result<Self, DataError> {
+        let name = name.into();
+        if name.trim().is_empty() {
+            return Err(DataError::InvalidRegion(
+                "region id must be non-empty".into(),
+            ));
+        }
+        Ok(RegionId(name))
+    }
+
+    /// The raw identifier.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl TryFrom<String> for RegionId {
+    type Error = String;
+    fn try_from(value: String) -> Result<Self, Self::Error> {
+        RegionId::new(value).map_err(|e| e.to_string())
+    }
+}
+
+impl From<RegionId> for String {
+    fn from(r: RegionId) -> String {
+        r.0
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One speed-test result attributed to a region and dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestRecord {
+    /// Measurement time, seconds since the campaign epoch.
+    pub timestamp: u64,
+    /// Region the subscriber belongs to.
+    pub region: RegionId,
+    /// Which dataset (methodology) produced the test.
+    pub dataset: DatasetId,
+    /// Download throughput in Mb/s.
+    pub download_mbps: f64,
+    /// Upload throughput in Mb/s.
+    pub upload_mbps: f64,
+    /// Round-trip latency in ms.
+    pub latency_ms: f64,
+    /// Packet loss in percent; `None` when the methodology does not
+    /// report it.
+    pub loss_pct: Option<f64>,
+    /// Access-technology tag carried through from synthesis (free-form).
+    pub tech: Option<String>,
+}
+
+impl TestRecord {
+    /// Validates every metric value against its physical domain.
+    pub fn validate(&self) -> Result<(), DataError> {
+        let checks = [
+            (Metric::DownloadThroughput, Some(self.download_mbps)),
+            (Metric::UploadThroughput, Some(self.upload_mbps)),
+            (Metric::Latency, Some(self.latency_ms)),
+            (Metric::PacketLoss, self.loss_pct),
+        ];
+        for (metric, value) in checks {
+            if let Some(v) = value {
+                metric
+                    .validate(v)
+                    .map_err(|why| DataError::InvalidRecord(format!("{metric}: {why}")))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The value of one metric on this record (`None` for unreported loss).
+    pub fn metric_value(&self, metric: Metric) -> Option<f64> {
+        match metric {
+            Metric::DownloadThroughput => Some(self.download_mbps),
+            Metric::UploadThroughput => Some(self.upload_mbps),
+            Metric::Latency => Some(self.latency_ms),
+            Metric::PacketLoss => self.loss_pct,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> TestRecord {
+        TestRecord {
+            timestamp: 1000,
+            region: RegionId::new("r1").unwrap(),
+            dataset: DatasetId::Ndt,
+            download_mbps: 100.0,
+            upload_mbps: 20.0,
+            latency_ms: 25.0,
+            loss_pct: Some(0.5),
+            tech: Some("cable".into()),
+        }
+    }
+
+    #[test]
+    fn region_id_rejects_empty() {
+        assert!(RegionId::new("").is_err());
+        assert!(RegionId::new("   ").is_err());
+        assert_eq!(RegionId::new("x").unwrap().as_str(), "x");
+    }
+
+    #[test]
+    fn valid_record_passes() {
+        record().validate().unwrap();
+    }
+
+    #[test]
+    fn missing_loss_is_valid() {
+        let mut r = record();
+        r.loss_pct = None;
+        r.validate().unwrap();
+        assert_eq!(r.metric_value(Metric::PacketLoss), None);
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        let mut r = record();
+        r.download_mbps = -5.0;
+        assert!(r.validate().is_err());
+        let mut r = record();
+        r.loss_pct = Some(150.0);
+        assert!(r.validate().is_err());
+        let mut r = record();
+        r.latency_ms = f64::NAN;
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn metric_value_accessor() {
+        let r = record();
+        assert_eq!(r.metric_value(Metric::DownloadThroughput), Some(100.0));
+        assert_eq!(r.metric_value(Metric::UploadThroughput), Some(20.0));
+        assert_eq!(r.metric_value(Metric::Latency), Some(25.0));
+        assert_eq!(r.metric_value(Metric::PacketLoss), Some(0.5));
+    }
+
+    #[test]
+    fn region_serde_rejects_empty() {
+        assert!(serde_json::from_str::<RegionId>("\"\"").is_err());
+        let r: RegionId = serde_json::from_str("\"metro-9\"").unwrap();
+        assert_eq!(r.as_str(), "metro-9");
+    }
+}

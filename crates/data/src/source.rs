@@ -1,0 +1,344 @@
+//! The `DataSource` abstraction: one interface over per-test and
+//! aggregate-only datasets.
+//!
+//! IQB's dataset tier mixes granularities — NDT and Cloudflare arrive as
+//! individual tests, Ookla as pre-aggregated rows. A [`DataSource`]
+//! contributes its cells for one region into a shared
+//! [`AggregateInput`]; the pipeline composes one source per configured
+//! dataset and scores the merged input.
+
+use iqb_core::dataset::DatasetId;
+use iqb_core::input::AggregateInput;
+use std::sync::Arc;
+
+use crate::agg_record::{reduce_rows, AggregateRow};
+use crate::aggregate::{aggregate_region_filtered, AggregationSpec};
+use crate::error::DataError;
+use crate::record::RegionId;
+use crate::store::{MeasurementStore, QueryFilter};
+
+/// A dataset that can contribute aggregated metric cells for a region.
+pub trait DataSource: Send + Sync {
+    /// The dataset this source represents.
+    fn dataset(&self) -> DatasetId;
+
+    /// Regions this source has data for.
+    fn regions(&self) -> Vec<RegionId>;
+
+    /// Aggregates this source's data for `region` (narrowed by `filter`)
+    /// into `input`. Contributing nothing (no data for the region) is not
+    /// an error — the scoring normalization handles absent datasets — but
+    /// sources should return [`DataError`] for structural problems.
+    fn contribute(
+        &self,
+        region: &RegionId,
+        filter: &QueryFilter,
+        spec: &AggregationSpec,
+        input: &mut AggregateInput,
+    ) -> Result<(), DataError>;
+}
+
+/// A per-test source backed by a (shared) measurement store, narrowed to
+/// one dataset.
+pub struct PerTestSource {
+    store: Arc<MeasurementStore>,
+    dataset: DatasetId,
+}
+
+impl PerTestSource {
+    /// Creates a source exposing `dataset`'s records inside `store`.
+    pub fn new(store: Arc<MeasurementStore>, dataset: DatasetId) -> Self {
+        PerTestSource { store, dataset }
+    }
+}
+
+impl DataSource for PerTestSource {
+    fn dataset(&self) -> DatasetId {
+        self.dataset.clone()
+    }
+
+    fn regions(&self) -> Vec<RegionId> {
+        self.store.regions()
+    }
+
+    fn contribute(
+        &self,
+        region: &RegionId,
+        filter: &QueryFilter,
+        spec: &AggregationSpec,
+        input: &mut AggregateInput,
+    ) -> Result<(), DataError> {
+        match aggregate_region_filtered(
+            &self.store,
+            region,
+            std::slice::from_ref(&self.dataset),
+            spec,
+            filter,
+        ) {
+            Ok(partial) => {
+                for ((dataset, metric), cell) in partial.iter() {
+                    match cell.provenance {
+                        Some(p) => {
+                            input.set_with_provenance(dataset.clone(), *metric, cell.value, p)
+                        }
+                        None => input.set(dataset.clone(), *metric, cell.value),
+                    }
+                }
+                Ok(())
+            }
+            // No data for this region: contribute nothing.
+            Err(DataError::NoData { .. }) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// An aggregate-only source (Ookla-style rows).
+pub struct AggregateSource {
+    rows: Vec<AggregateRow>,
+    dataset: DatasetId,
+}
+
+impl AggregateSource {
+    /// Creates a source from pre-aggregated rows; rows for other datasets
+    /// are rejected to catch wiring mistakes early.
+    pub fn new(dataset: DatasetId, rows: Vec<AggregateRow>) -> Result<Self, DataError> {
+        for row in &rows {
+            if row.dataset != dataset {
+                return Err(DataError::InvalidRecord(format!(
+                    "row for {} fed to an {} source",
+                    row.dataset, dataset
+                )));
+            }
+            row.validate()?;
+        }
+        Ok(AggregateSource { rows, dataset })
+    }
+
+    /// Number of rows held.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the source holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl DataSource for AggregateSource {
+    fn dataset(&self) -> DatasetId {
+        self.dataset.clone()
+    }
+
+    fn regions(&self) -> Vec<RegionId> {
+        let mut out: Vec<RegionId> = self.rows.iter().map(|r| r.region.clone()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn contribute(
+        &self,
+        region: &RegionId,
+        filter: &QueryFilter,
+        spec: &AggregationSpec,
+        input: &mut AggregateInput,
+    ) -> Result<(), DataError> {
+        let rows: Vec<AggregateRow> = self
+            .rows
+            .iter()
+            .filter(|r| {
+                &r.region == region
+                    && filter.from.map_or(true, |from| r.period_start >= from)
+                    && filter.to.map_or(true, |to| r.period_start < to)
+            })
+            .cloned()
+            .collect();
+        if rows.is_empty() {
+            return Ok(());
+        }
+        // Aggregate rows carry period averages per metric; reduce with the
+        // download quantile as the representative rank (documented epistemic
+        // downgrade — see module docs in `agg_record`).
+        let q = spec.quantile_for(iqb_core::metric::Metric::DownloadThroughput)?;
+        reduce_rows(&rows, &self.dataset, q, input)
+    }
+}
+
+/// Merges the contributions of several sources for one region.
+pub fn merge_sources(
+    sources: &[Box<dyn DataSource>],
+    region: &RegionId,
+    filter: &QueryFilter,
+    spec: &AggregationSpec,
+) -> Result<AggregateInput, DataError> {
+    let mut input = AggregateInput::new();
+    for source in sources {
+        source.contribute(region, filter, spec, &mut input)?;
+    }
+    if input.is_empty() {
+        return Err(DataError::NoData {
+            context: format!("region {region} has no data in any source"),
+        });
+    }
+    Ok(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TestRecord;
+    use iqb_core::metric::Metric;
+
+    fn store_with(region: &RegionId, dataset: DatasetId, n: usize) -> MeasurementStore {
+        let mut store = MeasurementStore::new();
+        for i in 0..n {
+            store
+                .push(TestRecord {
+                    timestamp: i as u64,
+                    region: region.clone(),
+                    dataset: dataset.clone(),
+                    download_mbps: 100.0,
+                    upload_mbps: 20.0,
+                    latency_ms: 30.0,
+                    loss_pct: Some(0.2),
+                    tech: None,
+                })
+                .unwrap();
+        }
+        store
+    }
+
+    fn ookla_rows(region: &RegionId) -> Vec<AggregateRow> {
+        vec![AggregateRow {
+            region: region.clone(),
+            dataset: DatasetId::Ookla,
+            period_start: 0,
+            avg_download_mbps: 150.0,
+            avg_upload_mbps: 25.0,
+            avg_latency_ms: 18.0,
+            avg_loss_pct: None,
+            tests: 500,
+        }]
+    }
+
+    #[test]
+    fn per_test_source_contributes_cells() {
+        let region = RegionId::new("r").unwrap();
+        let store = Arc::new(store_with(&region, DatasetId::Ndt, 20));
+        let source = PerTestSource::new(store, DatasetId::Ndt);
+        assert_eq!(source.dataset(), DatasetId::Ndt);
+        assert_eq!(source.regions(), vec![region.clone()]);
+        let mut input = AggregateInput::new();
+        source
+            .contribute(
+                &region,
+                &QueryFilter::all(),
+                &AggregationSpec::paper_default(),
+                &mut input,
+            )
+            .unwrap();
+        assert_eq!(input.get(&DatasetId::Ndt, Metric::Latency), Some(30.0));
+    }
+
+    #[test]
+    fn per_test_source_is_silent_for_unknown_region() {
+        let region = RegionId::new("r").unwrap();
+        let ghost = RegionId::new("ghost").unwrap();
+        let store = Arc::new(store_with(&region, DatasetId::Ndt, 5));
+        let source = PerTestSource::new(store, DatasetId::Ndt);
+        let mut input = AggregateInput::new();
+        source
+            .contribute(
+                &ghost,
+                &QueryFilter::all(),
+                &AggregationSpec::paper_default(),
+                &mut input,
+            )
+            .unwrap();
+        assert!(input.is_empty());
+    }
+
+    #[test]
+    fn aggregate_source_rejects_foreign_rows() {
+        let region = RegionId::new("r").unwrap();
+        let rows = ookla_rows(&region);
+        assert!(AggregateSource::new(DatasetId::Ndt, rows).is_err());
+    }
+
+    #[test]
+    fn aggregate_source_contributes() {
+        let region = RegionId::new("r").unwrap();
+        let source = AggregateSource::new(DatasetId::Ookla, ookla_rows(&region)).unwrap();
+        assert_eq!(source.len(), 1);
+        let mut input = AggregateInput::new();
+        source
+            .contribute(
+                &region,
+                &QueryFilter::all(),
+                &AggregationSpec::paper_default(),
+                &mut input,
+            )
+            .unwrap();
+        assert_eq!(
+            input.get(&DatasetId::Ookla, Metric::DownloadThroughput),
+            Some(150.0)
+        );
+        assert!(input.get(&DatasetId::Ookla, Metric::PacketLoss).is_none());
+    }
+
+    #[test]
+    fn aggregate_source_respects_time_filter() {
+        let region = RegionId::new("r").unwrap();
+        let source = AggregateSource::new(DatasetId::Ookla, ookla_rows(&region)).unwrap();
+        let mut input = AggregateInput::new();
+        let filter = QueryFilter::all().time_range(100, 200); // row is at 0
+        source
+            .contribute(
+                &region,
+                &filter,
+                &AggregationSpec::paper_default(),
+                &mut input,
+            )
+            .unwrap();
+        assert!(input.is_empty());
+    }
+
+    #[test]
+    fn merge_combines_per_test_and_aggregate() {
+        let region = RegionId::new("r").unwrap();
+        let store = Arc::new(store_with(&region, DatasetId::Ndt, 20));
+        let sources: Vec<Box<dyn DataSource>> = vec![
+            Box::new(PerTestSource::new(store, DatasetId::Ndt)),
+            Box::new(AggregateSource::new(DatasetId::Ookla, ookla_rows(&region)).unwrap()),
+        ];
+        let input = merge_sources(
+            &sources,
+            &region,
+            &QueryFilter::all(),
+            &AggregationSpec::paper_default(),
+        )
+        .unwrap();
+        assert!(input.get(&DatasetId::Ndt, Metric::DownloadThroughput).is_some());
+        assert!(input.get(&DatasetId::Ookla, Metric::DownloadThroughput).is_some());
+    }
+
+    #[test]
+    fn merge_with_no_data_errors() {
+        let ghost = RegionId::new("ghost").unwrap();
+        let region = RegionId::new("r").unwrap();
+        let store = Arc::new(store_with(&region, DatasetId::Ndt, 5));
+        let sources: Vec<Box<dyn DataSource>> =
+            vec![Box::new(PerTestSource::new(store, DatasetId::Ndt))];
+        assert!(matches!(
+            merge_sources(
+                &sources,
+                &ghost,
+                &QueryFilter::all(),
+                &AggregationSpec::paper_default()
+            ),
+            Err(DataError::NoData { .. })
+        ));
+    }
+}

@@ -1,0 +1,331 @@
+//! Indexed in-memory measurement store.
+//!
+//! [`MeasurementStore`] holds validated [`TestRecord`]s with a
+//! (region, dataset) index so regional aggregation never scans unrelated
+//! rows. A [`QueryFilter`] narrows by region, dataset, time range and
+//! technology tag. The store is the substrate the pipeline's parallel
+//! region workers read from (shared immutably across threads).
+
+use std::collections::BTreeMap;
+
+use iqb_core::dataset::DatasetId;
+use serde::{Deserialize, Serialize};
+
+use crate::error::DataError;
+use crate::record::{RegionId, TestRecord};
+
+/// Query predicate over stored records. All populated fields must match.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryFilter {
+    /// Restrict to one region.
+    pub region: Option<RegionId>,
+    /// Restrict to one dataset.
+    pub dataset: Option<DatasetId>,
+    /// Inclusive lower timestamp bound.
+    pub from: Option<u64>,
+    /// Exclusive upper timestamp bound.
+    pub to: Option<u64>,
+    /// Restrict to one technology tag.
+    pub tech: Option<String>,
+}
+
+impl QueryFilter {
+    /// A filter that matches everything.
+    pub fn all() -> Self {
+        Self::default()
+    }
+
+    /// Restricts to one region.
+    pub fn region(mut self, region: RegionId) -> Self {
+        self.region = Some(region);
+        self
+    }
+
+    /// Restricts to one dataset.
+    pub fn dataset(mut self, dataset: DatasetId) -> Self {
+        self.dataset = Some(dataset);
+        self
+    }
+
+    /// Restricts to timestamps in `[from, to)`.
+    pub fn time_range(mut self, from: u64, to: u64) -> Self {
+        self.from = Some(from);
+        self.to = Some(to);
+        self
+    }
+
+    /// Restricts to one technology tag.
+    pub fn tech(mut self, tech: impl Into<String>) -> Self {
+        self.tech = Some(tech.into());
+        self
+    }
+
+    /// Whether a record satisfies the filter.
+    pub fn matches(&self, record: &TestRecord) -> bool {
+        if let Some(region) = &self.region {
+            if &record.region != region {
+                return false;
+            }
+        }
+        if let Some(dataset) = &self.dataset {
+            if &record.dataset != dataset {
+                return false;
+            }
+        }
+        if let Some(from) = self.from {
+            if record.timestamp < from {
+                return false;
+            }
+        }
+        if let Some(to) = self.to {
+            if record.timestamp >= to {
+                return false;
+            }
+        }
+        if let Some(tech) = &self.tech {
+            if record.tech.as_deref() != Some(tech.as_str()) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// In-memory measurement store with a (region, dataset) index.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MeasurementStore {
+    records: Vec<TestRecord>,
+    /// (region, dataset) → indices into `records`.
+    #[serde(skip)]
+    index: BTreeMap<(RegionId, DatasetId), Vec<usize>>,
+}
+
+impl MeasurementStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Validates and inserts one record.
+    pub fn push(&mut self, record: TestRecord) -> Result<(), DataError> {
+        record.validate()?;
+        let key = (record.region.clone(), record.dataset.clone());
+        self.index.entry(key).or_default().push(self.records.len());
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// Inserts many records, stopping at the first invalid one.
+    pub fn extend<I: IntoIterator<Item = TestRecord>>(
+        &mut self,
+        records: I,
+    ) -> Result<usize, DataError> {
+        let mut inserted = 0;
+        for r in records {
+            self.push(r)?;
+            inserted += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Rebuilds the index (needed after deserialization, which skips it).
+    pub fn rebuild_index(&mut self) {
+        self.index.clear();
+        for (i, r) in self.records.iter().enumerate() {
+            self.index
+                .entry((r.region.clone(), r.dataset.clone()))
+                .or_default()
+                .push(i);
+        }
+    }
+
+    /// Total number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All distinct regions, sorted.
+    pub fn regions(&self) -> Vec<RegionId> {
+        let mut out: Vec<RegionId> = self.index.keys().map(|(r, _)| r.clone()).collect();
+        out.dedup();
+        out
+    }
+
+    /// All distinct datasets present, sorted.
+    pub fn datasets(&self) -> Vec<DatasetId> {
+        let mut out: Vec<DatasetId> = self.index.keys().map(|(_, d)| d.clone()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Iterates records matching a filter.
+    ///
+    /// Uses the (region, dataset) index when both are pinned; falls back to
+    /// a filtered scan otherwise.
+    pub fn query<'a>(
+        &'a self,
+        filter: &'a QueryFilter,
+    ) -> Box<dyn Iterator<Item = &'a TestRecord> + 'a> {
+        if let (Some(region), Some(dataset)) = (&filter.region, &filter.dataset) {
+            let key = (region.clone(), dataset.clone());
+            match self.index.get(&key) {
+                Some(indices) => Box::new(
+                    indices
+                        .iter()
+                        .map(move |&i| &self.records[i])
+                        .filter(move |r| filter.matches(r)),
+                ),
+                None => Box::new(std::iter::empty()),
+            }
+        } else {
+            Box::new(self.records.iter().filter(move |r| filter.matches(r)))
+        }
+    }
+
+    /// Number of records matching a filter.
+    pub fn count(&self, filter: &QueryFilter) -> usize {
+        self.query(filter).count()
+    }
+
+    /// Collects one metric column for records matching a filter.
+    pub fn metric_column(
+        &self,
+        filter: &QueryFilter,
+        metric: iqb_core::metric::Metric,
+    ) -> Vec<f64> {
+        self.query(filter)
+            .filter_map(|r| r.metric_value(metric))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(region: &str, dataset: DatasetId, ts: u64, down: f64) -> TestRecord {
+        TestRecord {
+            timestamp: ts,
+            region: RegionId::new(region).unwrap(),
+            dataset,
+            download_mbps: down,
+            upload_mbps: 10.0,
+            latency_ms: 20.0,
+            loss_pct: Some(0.1),
+            tech: Some("cable".into()),
+        }
+    }
+
+    fn sample_store() -> MeasurementStore {
+        let mut store = MeasurementStore::new();
+        store.push(record("east", DatasetId::Ndt, 10, 100.0)).unwrap();
+        store.push(record("east", DatasetId::Ookla, 20, 110.0)).unwrap();
+        store.push(record("west", DatasetId::Ndt, 30, 50.0)).unwrap();
+        store.push(record("west", DatasetId::Ndt, 40, 55.0)).unwrap();
+        store
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut store = MeasurementStore::new();
+        let mut bad = record("east", DatasetId::Ndt, 0, 100.0);
+        bad.latency_ms = -1.0;
+        assert!(store.push(bad).is_err());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn regions_and_datasets() {
+        let store = sample_store();
+        let regions = store.regions();
+        assert_eq!(
+            regions,
+            vec![
+                RegionId::new("east").unwrap(),
+                RegionId::new("west").unwrap()
+            ]
+        );
+        let datasets = store.datasets();
+        assert!(datasets.contains(&DatasetId::Ndt));
+        assert!(datasets.contains(&DatasetId::Ookla));
+        assert_eq!(datasets.len(), 2);
+    }
+
+    #[test]
+    fn indexed_query_matches_scan() {
+        let store = sample_store();
+        let filter = QueryFilter::all()
+            .region(RegionId::new("west").unwrap())
+            .dataset(DatasetId::Ndt);
+        let indexed: Vec<_> = store.query(&filter).collect();
+        let scanned: Vec<_> = store
+            .records
+            .iter()
+            .filter(|r| filter.matches(r))
+            .collect();
+        assert_eq!(indexed, scanned);
+        assert_eq!(indexed.len(), 2);
+    }
+
+    #[test]
+    fn time_range_is_half_open() {
+        let store = sample_store();
+        let filter = QueryFilter::all().time_range(10, 30);
+        let matched: Vec<u64> = store.query(&filter).map(|r| r.timestamp).collect();
+        assert_eq!(matched, vec![10, 20]);
+    }
+
+    #[test]
+    fn tech_filter() {
+        let mut store = sample_store();
+        let mut fiber = record("east", DatasetId::Ndt, 99, 900.0);
+        fiber.tech = Some("fiber".into());
+        store.push(fiber).unwrap();
+        let filter = QueryFilter::all().tech("fiber");
+        assert_eq!(store.count(&filter), 1);
+        let none = QueryFilter::all().tech("dsl");
+        assert_eq!(store.count(&none), 0);
+    }
+
+    #[test]
+    fn metric_column_skips_missing_loss() {
+        let mut store = MeasurementStore::new();
+        let mut r = record("east", DatasetId::Ookla, 0, 100.0);
+        r.loss_pct = None;
+        store.push(r).unwrap();
+        store.push(record("east", DatasetId::Ookla, 1, 100.0)).unwrap();
+        let filter = QueryFilter::all();
+        let loss = store.metric_column(&filter, iqb_core::metric::Metric::PacketLoss);
+        assert_eq!(loss, vec![0.1]);
+        let down = store.metric_column(&filter, iqb_core::metric::Metric::DownloadThroughput);
+        assert_eq!(down.len(), 2);
+    }
+
+    #[test]
+    fn empty_region_dataset_pair_yields_empty_iterator() {
+        let store = sample_store();
+        let filter = QueryFilter::all()
+            .region(RegionId::new("north").unwrap())
+            .dataset(DatasetId::Ndt);
+        assert_eq!(store.count(&filter), 0);
+    }
+
+    #[test]
+    fn serde_round_trip_with_index_rebuild() {
+        let store = sample_store();
+        let json = serde_json::to_string(&store).unwrap();
+        let mut back: MeasurementStore = serde_json::from_str(&json).unwrap();
+        back.rebuild_index();
+        assert_eq!(back.len(), store.len());
+        let filter = QueryFilter::all()
+            .region(RegionId::new("west").unwrap())
+            .dataset(DatasetId::Ndt);
+        assert_eq!(back.count(&filter), store.count(&filter));
+    }
+}

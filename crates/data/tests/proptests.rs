@@ -1,0 +1,160 @@
+//! Property-based tests for the dataset layer: round trips and
+//! aggregation invariants over arbitrary record sets.
+
+use iqb_core::dataset::DatasetId;
+use iqb_core::metric::Metric;
+use iqb_data::aggregate::{aggregate_region, AggregationSpec};
+use iqb_data::clean::Cleaner;
+use iqb_data::csv_io;
+use iqb_data::jsonl;
+use iqb_data::record::{RegionId, TestRecord};
+use iqb_data::store::{MeasurementStore, QueryFilter};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary valid test record over a small region/dataset
+/// universe.
+fn record() -> impl Strategy<Value = TestRecord> {
+    (
+        0u64..1_000_000,
+        prop_oneof![Just("east"), Just("west"), Just("north")],
+        prop_oneof![
+            Just(DatasetId::Ndt),
+            Just(DatasetId::Cloudflare),
+            Just(DatasetId::Ookla),
+            Just(DatasetId::Custom("probes".into()))
+        ],
+        0.0..5_000.0f64,
+        0.0..2_000.0f64,
+        0.01..2_000.0f64,
+        prop_oneof![
+            Just(None),
+            (0.0..100.0f64).prop_map(Some)
+        ],
+        prop_oneof![Just(None), Just(Some("cable".to_string()))],
+    )
+        .prop_map(
+            |(timestamp, region, dataset, down, up, rtt, loss, tech)| TestRecord {
+                timestamp,
+                region: RegionId::new(region).unwrap(),
+                dataset,
+                download_mbps: down,
+                upload_mbps: up,
+                latency_ms: rtt,
+                loss_pct: loss,
+                tech,
+            },
+        )
+}
+
+fn records() -> impl Strategy<Value = Vec<TestRecord>> {
+    prop::collection::vec(record(), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csv_round_trip(recs in records()) {
+        let mut buf = Vec::new();
+        csv_io::write_csv(&mut buf, &recs).unwrap();
+        let back = csv_io::read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn jsonl_round_trip(recs in records()) {
+        let mut buf = Vec::new();
+        jsonl::write_jsonl(&mut buf, &recs).unwrap();
+        let back = jsonl::read_jsonl(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn store_count_partitions_by_filter(recs in records()) {
+        let mut store = MeasurementStore::new();
+        store.extend(recs.iter().cloned()).unwrap();
+        // Summing indexed (region, dataset) counts must recover the total.
+        let mut sum = 0;
+        for region in store.regions() {
+            for dataset in store.datasets() {
+                let filter = QueryFilter::all().region(region.clone()).dataset(dataset.clone());
+                sum += store.count(&filter);
+            }
+        }
+        prop_assert_eq!(sum, store.len());
+    }
+
+    #[test]
+    fn aggregated_value_within_column_range(recs in records()) {
+        let mut store = MeasurementStore::new();
+        store.extend(recs.iter().cloned()).unwrap();
+        let spec = AggregationSpec::paper_default();
+        for region in store.regions() {
+            let Ok(input) = aggregate_region(&store, &region, &DatasetId::BUILTIN, &spec) else {
+                continue;
+            };
+            for ((dataset, metric), cell) in input.iter() {
+                let filter = QueryFilter::all().region(region.clone()).dataset(dataset.clone());
+                let column = store.metric_column(&filter, *metric);
+                let min = column.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = column.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(cell.value >= min - 1e-9 && cell.value <= max + 1e-9);
+                prop_assert_eq!(
+                    cell.provenance.unwrap().sample_count as usize,
+                    column.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aggregation_quantile_monotone(recs in records(), q1 in 0.05..0.95f64, bump in 0.01..0.05f64) {
+        // A higher quantile can never yield a smaller aggregate.
+        let q2 = (q1 + bump).min(1.0);
+        let mut store = MeasurementStore::new();
+        store.extend(recs.iter().cloned()).unwrap();
+        let spec1 = AggregationSpec::uniform_quantile(q1).unwrap();
+        let spec2 = AggregationSpec::uniform_quantile(q2).unwrap();
+        for region in store.regions() {
+            let (Ok(a), Ok(b)) = (
+                aggregate_region(&store, &region, &DatasetId::BUILTIN, &spec1),
+                aggregate_region(&store, &region, &DatasetId::BUILTIN, &spec2),
+            ) else {
+                continue;
+            };
+            for ((dataset, metric), cell) in a.iter() {
+                if let Some(hi) = b.get(dataset, *metric) {
+                    prop_assert!(hi >= cell.value - 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cleaner_never_invents_records(recs in records()) {
+        let cleaner = Cleaner::default();
+        let (kept, report) = cleaner.clean(recs.clone()).unwrap();
+        prop_assert!(kept.len() <= recs.len());
+        prop_assert_eq!(report.input, recs.len());
+        prop_assert_eq!(report.retained, kept.len());
+        prop_assert_eq!(
+            report.input,
+            report.retained + report.duplicates + report.outliers
+        );
+        // Every retained record existed in the input.
+        for r in &kept {
+            prop_assert!(recs.contains(r));
+        }
+    }
+
+    #[test]
+    fn cleaning_is_idempotent(recs in records()) {
+        let cleaner = Cleaner::default();
+        let (once, _) = cleaner.clean(recs).unwrap();
+        let (twice, report) = cleaner.clean(once.clone()).unwrap();
+        // Dedup is idempotent; fences can only shrink further, but on
+        // already-fenced data with the same cohorts they must agree.
+        prop_assert_eq!(report.duplicates, 0);
+        prop_assert!(twice.len() <= once.len());
+    }
+}

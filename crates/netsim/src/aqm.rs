@@ -1,0 +1,136 @@
+//! Active queue management policies.
+//!
+//! Bufferbloat — the deep droptail queues behind the latency-under-load
+//! that sinks IQB's real-time use cases — is fixable in software: CoDel
+//! and fq_codel hold the standing queue near a small target delay. This
+//! module models that at the same level of abstraction as
+//! [`LinkSpec::queue_delay_ms`](crate::link::LinkSpec::queue_delay_ms):
+//! a policy maps (buffer depth, utilization) to an effective queueing
+//! delay. The AQM-ablation experiment (E11) scores identical access
+//! networks under both policies.
+//!
+//! Fidelity note: CoDel signals congestion by dropping/marking, which
+//! costs a little throughput; that second-order effect is not modelled —
+//! only the standing-queue cap, which dominates the IQB-visible outcome.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetsimError;
+
+/// Queue-management policy at the bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum AqmPolicy {
+    /// Tail-drop FIFO: the queue fills to its physical depth under load.
+    #[default]
+    DropTail,
+    /// CoDel-style AQM: the standing queue is held near `target_ms`.
+    Codel {
+        /// Target standing-queue delay in ms (CoDel's default is 5 ms).
+        target_ms: f64,
+    },
+}
+
+impl AqmPolicy {
+    /// CoDel with its standard 5 ms target.
+    pub fn codel_default() -> Self {
+        AqmPolicy::Codel { target_ms: 5.0 }
+    }
+
+    /// Validates policy parameters.
+    pub fn validate(&self) -> Result<(), NetsimError> {
+        if let AqmPolicy::Codel { target_ms } = *self {
+            if !(target_ms.is_finite() && target_ms > 0.0) {
+                return Err(NetsimError::invalid(
+                    "target_ms",
+                    format!("{target_ms} must be positive"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective queueing delay at `utilization` for a buffer of
+    /// `buffer_ms` depth.
+    ///
+    /// DropTail: the convex fill curve `buffer · u³`. CoDel: the same
+    /// curve capped just above the target — the queue still breathes with
+    /// load (CoDel tolerates transient bursts) but never stands deep.
+    pub fn queue_delay_ms(&self, buffer_ms: f64, utilization: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        let droptail = buffer_ms * u.powi(3);
+        match *self {
+            AqmPolicy::DropTail => droptail,
+            AqmPolicy::Codel { target_ms } => {
+                // Allow up to 2× target under full load (burst tolerance),
+                // but never more than the physical buffer.
+                let cap = target_ms * (1.0 + u);
+                droptail.min(cap).min(buffer_ms)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(AqmPolicy::DropTail.validate().is_ok());
+        assert!(AqmPolicy::codel_default().validate().is_ok());
+        assert!(AqmPolicy::Codel { target_ms: 0.0 }.validate().is_err());
+        assert!(AqmPolicy::Codel {
+            target_ms: f64::NAN
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn droptail_fills_the_buffer() {
+        let d = AqmPolicy::DropTail.queue_delay_ms(200.0, 1.0);
+        assert_eq!(d, 200.0);
+        assert_eq!(AqmPolicy::DropTail.queue_delay_ms(200.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn codel_caps_standing_queue() {
+        let codel = AqmPolicy::codel_default();
+        // Deep buffer, heavy load: droptail would stand ~146 ms; CoDel
+        // holds it near 2x target.
+        let delay = codel.queue_delay_ms(200.0, 0.9);
+        assert!(delay <= 10.0, "CoDel delay {delay}");
+        let droptail = AqmPolicy::DropTail.queue_delay_ms(200.0, 0.9);
+        assert!(droptail > 10.0 * delay);
+    }
+
+    #[test]
+    fn codel_is_droptail_at_light_load() {
+        // Below the target the queue never stands, so the policies agree.
+        let codel = AqmPolicy::codel_default();
+        let u = 0.2;
+        assert_eq!(
+            codel.queue_delay_ms(100.0, u),
+            AqmPolicy::DropTail.queue_delay_ms(100.0, u)
+        );
+    }
+
+    #[test]
+    fn codel_never_exceeds_physical_buffer() {
+        let tight = AqmPolicy::Codel { target_ms: 50.0 };
+        // Buffer shallower than the CoDel cap: the buffer wins.
+        assert!(tight.queue_delay_ms(20.0, 1.0) <= 20.0);
+    }
+
+    #[test]
+    fn delay_is_monotone_in_utilization() {
+        for policy in [AqmPolicy::DropTail, AqmPolicy::codel_default()] {
+            let mut prev = -1.0;
+            for i in 0..=10 {
+                let d = policy.queue_delay_ms(150.0, i as f64 / 10.0);
+                assert!(d >= prev);
+                prev = d;
+            }
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! A minimal discrete-event simulation engine.
+//!
+//! The queueing model in [`crate::queue`] needs an event-driven core:
+//! events (packet arrivals, service completions) are processed in
+//! timestamp order, each handler may schedule further events. This engine
+//! is deliberately small — a time-ordered priority queue with stable
+//! FIFO tie-breaking — but it is the same structure larger network
+//! simulators (ns-3, smoltcp's test harnesses) are built on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulation timestamp in seconds.
+pub type SimTime = f64;
+
+/// An event scheduled for execution.
+struct Scheduled<E> {
+    time: SimTime,
+    /// Monotone sequence number: events at the same time run FIFO.
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A discrete-event scheduler over events of type `E`.
+///
+/// ```
+/// use iqb_netsim::des::EventQueue;
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(2.0, "second");
+/// q.schedule(1.0, "first");
+/// assert_eq!(q.pop().unwrap(), (1.0, "first"));
+/// assert_eq!(q.pop().unwrap(), (2.0, "second"));
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules an event at an absolute time.
+    ///
+    /// Panics (debug assertion) when scheduling into the past — a logic
+    /// error in the caller's model.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        debug_assert!(
+            time >= self.now,
+            "scheduling into the past: {time} < {}",
+            self.now
+        );
+        debug_assert!(time.is_finite(), "event time must be finite");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Schedules an event `delay` seconds after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest pending event, advancing the clock to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| {
+            self.now = s.time;
+            (s.time, s.event)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 'c');
+        q.schedule(1.0, 'a');
+        q.schedule(2.0, 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(1.0, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, "base");
+        q.pop();
+        q.schedule_in(3.0, "later");
+        assert_eq!(q.pop().unwrap().0, 5.0);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        // A handler scheduling new events mid-run must keep global order.
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(4.0, 4);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (1.0, 1));
+        q.schedule_in(1.0, 2); // at t=2, before the pending t=4
+        q.schedule(3.0, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the network simulator.
+
+use std::fmt;
+
+/// Errors produced while configuring or running the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetsimError {
+    /// A physical parameter is outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A simulation was asked to run with no work (zero duration, zero
+    /// packets, empty file ladder …).
+    EmptyWorkload(&'static str),
+}
+
+impl NetsimError {
+    /// Convenience constructor for [`NetsimError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        NetsimError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for NetsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetsimError::InvalidParameter { name, reason } => {
+                write!(f, "invalid simulator parameter `{name}`: {reason}")
+            }
+            NetsimError::EmptyWorkload(what) => write!(f, "empty workload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NetsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = NetsimError::invalid("capacity", "must be positive");
+        assert!(e.to_string().contains("capacity"));
+        assert!(NetsimError::EmptyWorkload("ladder")
+            .to_string()
+            .contains("ladder"));
+    }
+}

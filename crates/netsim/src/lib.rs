@@ -1,0 +1,57 @@
+//! # iqb-netsim — access-network simulator for the IQB reproduction
+//!
+//! The IQB paper scores regions from three real measurement datasets
+//! (M-Lab NDT, Cloudflare, Ookla). Those feeds are not available offline,
+//! so this crate provides the substitution documented in DESIGN.md §2: a
+//! first-principles access-network simulator plus emulators for the three
+//! datasets' measurement protocols. Everything downstream (dataset layer,
+//! scoring, experiments) consumes the same per-test tuples it would get
+//! from the real feeds — `(download, upload, rtt, loss)`.
+//!
+//! ## What is modelled
+//!
+//! * [`link`] — an access link: provisioned capacity both ways, base RTT,
+//!   bottleneck buffer depth (bufferbloat), and a loss process.
+//! * [`loss`] — packet-loss processes: Bernoulli and the bursty
+//!   Gilbert–Elliott two-state chain that dominates real access links.
+//! * [`tcp`] — TCP throughput models: the Mathis et al. inverse-√p law,
+//!   the PFTK/Padhye extension with timeouts, and a slow-start-aware
+//!   short-flow model (the regime Cloudflare's file ladder lives in).
+//! * [`queue`] — a discrete-event droptail queue ([`des`] provides the
+//!   engine) for latency-under-load: utilization in, queueing delay and
+//!   congestion loss out.
+//! * [`protocol`] — the three dataset methodologies as protocol emulators:
+//!   NDT-style single-stream, Ookla-style multi-stream, Cloudflare-style
+//!   file ladder. Their systematic disagreement on identical links is the
+//!   behaviour IQB's corroboration tier exists to absorb.
+//!
+//! ## Example: one NDT-style test on a cable link
+//!
+//! ```
+//! use iqb_netsim::link::LinkSpec;
+//! use iqb_netsim::protocol::{NdtProtocol, SpeedTestProtocol};
+//! use rand::SeedableRng;
+//!
+//! let link = LinkSpec::cable(300.0, 20.0); // 300/20 Mb/s cable
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let result = NdtProtocol::default().run(&link, 0.3, &mut rng).unwrap();
+//! assert!(result.download_mbps > 0.0);
+//! assert!(result.download_mbps <= 300.0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod aqm;
+pub mod des;
+pub mod error;
+pub mod link;
+pub mod loss;
+pub mod protocol;
+pub mod queue;
+pub mod shaper;
+pub mod tcp;
+
+pub use error::NetsimError;
+pub use link::LinkSpec;
+pub use protocol::{CloudflareProtocol, NdtProtocol, OoklaProtocol, SpeedTestProtocol, TestResult};

@@ -1,0 +1,314 @@
+//! Access-link specification.
+//!
+//! A [`LinkSpec`] captures the handful of physical parameters that
+//! determine what any speed test will see: provisioned capacity each way,
+//! base (idle) round-trip time, bottleneck buffer depth, and the loss
+//! process. Constructors for the common access technologies encode typical
+//! parameter combinations; the `iqb-synth` crate samples per-subscriber
+//! variations around them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::aqm::AqmPolicy;
+use crate::error::NetsimError;
+use crate::loss::LossModel;
+use crate::shaper::BoostSpec;
+
+/// Physical description of one access link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Provisioned downstream capacity in Mb/s.
+    pub down_mbps: f64,
+    /// Provisioned upstream capacity in Mb/s.
+    pub up_mbps: f64,
+    /// Idle round-trip time to a nearby test server, in ms.
+    pub base_rtt_ms: f64,
+    /// Bottleneck buffer depth expressed as milliseconds of line rate —
+    /// the worst-case queueing delay a saturated link adds (bufferbloat).
+    pub buffer_ms: f64,
+    /// The link's intrinsic packet-loss process.
+    pub loss: LossModel,
+    /// Queue-management policy at the bottleneck (droptail by default;
+    /// see [`AqmPolicy`] and the E11 ablation).
+    #[serde(default)]
+    pub aqm: AqmPolicy,
+    /// Optional PowerBoost-style burst provisioning: short transfers run
+    /// at `factor ×` plan rate until the burst credit drains. Boost only
+    /// affects short-transfer methodologies (the Cloudflare-style ladder);
+    /// sustained tests measure the plan rate.
+    #[serde(default)]
+    pub boost: Option<BoostSpec>,
+}
+
+impl LinkSpec {
+    /// Validates physical plausibility.
+    pub fn validate(&self) -> Result<(), NetsimError> {
+        if !(self.down_mbps.is_finite() && self.down_mbps > 0.0) {
+            return Err(NetsimError::invalid(
+                "down_mbps",
+                format!("{} must be positive", self.down_mbps),
+            ));
+        }
+        if !(self.up_mbps.is_finite() && self.up_mbps > 0.0) {
+            return Err(NetsimError::invalid(
+                "up_mbps",
+                format!("{} must be positive", self.up_mbps),
+            ));
+        }
+        if !(self.base_rtt_ms.is_finite() && self.base_rtt_ms > 0.0) {
+            return Err(NetsimError::invalid(
+                "base_rtt_ms",
+                format!("{} must be positive", self.base_rtt_ms),
+            ));
+        }
+        if !(self.buffer_ms.is_finite() && self.buffer_ms >= 0.0) {
+            return Err(NetsimError::invalid(
+                "buffer_ms",
+                format!("{} must be non-negative", self.buffer_ms),
+            ));
+        }
+        self.loss.validate()?;
+        self.aqm.validate()?;
+        if let Some(boost) = self.boost {
+            boost.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Returns a copy with PowerBoost-style burst provisioning enabled.
+    pub fn with_boost(mut self, boost: BoostSpec) -> Self {
+        self.boost = Some(boost);
+        self
+    }
+
+    /// FTTH fiber: symmetric, short RTT, shallow well-managed buffers,
+    /// negligible loss.
+    pub fn fiber(down_mbps: f64, up_mbps: f64) -> Self {
+        LinkSpec {
+            down_mbps,
+            up_mbps,
+            base_rtt_ms: 5.0,
+            buffer_ms: 20.0,
+            loss: LossModel::Bernoulli { p: 0.00005 },
+            aqm: AqmPolicy::DropTail,
+            boost: None,
+        }
+    }
+
+    /// DOCSIS cable: asymmetric, moderate RTT, deep buffers (the classic
+    /// bufferbloat technology), light bursty loss.
+    pub fn cable(down_mbps: f64, up_mbps: f64) -> Self {
+        LinkSpec {
+            down_mbps,
+            up_mbps,
+            base_rtt_ms: 15.0,
+            buffer_ms: 150.0,
+            loss: LossModel::bursty(0.001, 4.0).expect("static parameters"),
+            aqm: AqmPolicy::DropTail,
+            boost: None,
+        }
+    }
+
+    /// DSL: slow, longer RTT, deep buffers, noticeable bursty loss from
+    /// line noise.
+    pub fn dsl(down_mbps: f64, up_mbps: f64) -> Self {
+        LinkSpec {
+            down_mbps,
+            up_mbps,
+            base_rtt_ms: 30.0,
+            buffer_ms: 250.0,
+            loss: LossModel::bursty(0.002, 6.0).expect("static parameters"),
+            aqm: AqmPolicy::DropTail,
+            boost: None,
+        }
+    }
+
+    /// GEO satellite: capacity is fine but the ~600 ms RTT and weather
+    /// fades dominate everything interactive.
+    pub fn satellite_geo(down_mbps: f64, up_mbps: f64) -> Self {
+        LinkSpec {
+            down_mbps,
+            up_mbps,
+            base_rtt_ms: 600.0,
+            buffer_ms: 400.0,
+            loss: LossModel::bursty(0.006, 10.0).expect("static parameters"),
+            aqm: AqmPolicy::DropTail,
+            boost: None,
+        }
+    }
+
+    /// LEO satellite (Starlink-style): decent RTT with high variance,
+    /// handover loss bursts.
+    pub fn satellite_leo(down_mbps: f64, up_mbps: f64) -> Self {
+        LinkSpec {
+            down_mbps,
+            up_mbps,
+            base_rtt_ms: 40.0,
+            buffer_ms: 120.0,
+            loss: LossModel::bursty(0.004, 12.0).expect("static parameters"),
+            aqm: AqmPolicy::DropTail,
+            boost: None,
+        }
+    }
+
+    /// 4G/LTE fixed-wireless or mobile: shared medium, deep buffers,
+    /// bursty radio loss.
+    pub fn mobile_4g(down_mbps: f64, up_mbps: f64) -> Self {
+        LinkSpec {
+            down_mbps,
+            up_mbps,
+            base_rtt_ms: 45.0,
+            buffer_ms: 300.0,
+            loss: LossModel::bursty(0.005, 8.0).expect("static parameters"),
+            aqm: AqmPolicy::DropTail,
+            boost: None,
+        }
+    }
+
+    /// 5G: shorter radio RTT, better scheduling, still bursty.
+    pub fn mobile_5g(down_mbps: f64, up_mbps: f64) -> Self {
+        LinkSpec {
+            down_mbps,
+            up_mbps,
+            base_rtt_ms: 20.0,
+            buffer_ms: 120.0,
+            loss: LossModel::bursty(0.002, 6.0).expect("static parameters"),
+            aqm: AqmPolicy::DropTail,
+            boost: None,
+        }
+    }
+
+    /// Capacity in the given direction.
+    pub fn capacity(&self, direction: Direction) -> f64 {
+        match direction {
+            Direction::Down => self.down_mbps,
+            Direction::Up => self.up_mbps,
+        }
+    }
+
+    /// Available (un-queued) capacity in a direction at cross-traffic
+    /// utilization `u ∈ [0, 1)`.
+    pub fn available_capacity(&self, direction: Direction, utilization: f64) -> f64 {
+        self.capacity(direction) * (1.0 - utilization.clamp(0.0, 0.99))
+    }
+
+    /// Queueing delay added by cross traffic at utilization `u`, in ms.
+    ///
+    /// Convex in utilization — buffers stay empty on a lightly loaded link
+    /// and fill sharply as it saturates. The cubic shape is a smooth
+    /// stand-in for the M/M/1 `u/(1−u)` blow-up, capped at the physical
+    /// buffer depth; the discrete-event queue in [`crate::queue`] provides
+    /// the reference behaviour this approximates.
+    pub fn queue_delay_ms(&self, utilization: f64) -> f64 {
+        self.aqm.queue_delay_ms(self.buffer_ms, utilization)
+    }
+
+    /// Round-trip time under load: idle RTT plus the queueing delay at the
+    /// given utilization.
+    pub fn loaded_rtt_ms(&self, utilization: f64) -> f64 {
+        self.base_rtt_ms + self.queue_delay_ms(utilization)
+    }
+}
+
+/// Traffic direction on the access link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Toward the subscriber.
+    Down,
+    /// From the subscriber.
+    Up,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        for link in [
+            LinkSpec::fiber(1000.0, 1000.0),
+            LinkSpec::cable(300.0, 20.0),
+            LinkSpec::dsl(25.0, 3.0),
+            LinkSpec::satellite_geo(100.0, 5.0),
+            LinkSpec::satellite_leo(150.0, 20.0),
+            LinkSpec::mobile_4g(50.0, 10.0),
+            LinkSpec::mobile_5g(400.0, 50.0),
+        ] {
+            link.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validation_rejects_nonphysical_links() {
+        let mut link = LinkSpec::fiber(1000.0, 1000.0);
+        link.down_mbps = 0.0;
+        assert!(link.validate().is_err());
+        let mut link = LinkSpec::fiber(1000.0, 1000.0);
+        link.base_rtt_ms = -1.0;
+        assert!(link.validate().is_err());
+        let mut link = LinkSpec::fiber(1000.0, 1000.0);
+        link.buffer_ms = f64::NAN;
+        assert!(link.validate().is_err());
+    }
+
+    #[test]
+    fn technology_orderings_hold() {
+        // The orderings the E4 experiment expects must be built into the
+        // profiles: fiber has the best RTT, GEO the worst.
+        let fiber = LinkSpec::fiber(1000.0, 1000.0);
+        let cable = LinkSpec::cable(300.0, 20.0);
+        let geo = LinkSpec::satellite_geo(100.0, 5.0);
+        assert!(fiber.base_rtt_ms < cable.base_rtt_ms);
+        assert!(cable.base_rtt_ms < geo.base_rtt_ms);
+        assert!(fiber.loss.mean_loss() < geo.loss.mean_loss());
+    }
+
+    #[test]
+    fn direction_capacity() {
+        let link = LinkSpec::cable(300.0, 20.0);
+        assert_eq!(link.capacity(Direction::Down), 300.0);
+        assert_eq!(link.capacity(Direction::Up), 20.0);
+    }
+
+    #[test]
+    fn available_capacity_shrinks_with_utilization() {
+        let link = LinkSpec::cable(300.0, 20.0);
+        assert_eq!(link.available_capacity(Direction::Down, 0.0), 300.0);
+        assert!((link.available_capacity(Direction::Down, 0.5) - 150.0).abs() < 1e-12);
+        // Utilization is clamped below 1 so capacity never hits zero.
+        assert!(link.available_capacity(Direction::Down, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn queue_delay_is_convex_and_capped() {
+        let link = LinkSpec::cable(300.0, 20.0);
+        assert_eq!(link.queue_delay_ms(0.0), 0.0);
+        let low = link.queue_delay_ms(0.3);
+        let mid = link.queue_delay_ms(0.6);
+        let high = link.queue_delay_ms(0.9);
+        assert!(low < mid && mid < high);
+        // Convexity: the second half rises faster than the first.
+        assert!(high - mid > mid - low);
+        assert!(link.queue_delay_ms(1.0) <= link.buffer_ms);
+    }
+
+    #[test]
+    fn codel_link_stays_responsive_under_load() {
+        let mut link = LinkSpec::dsl(25.0, 3.0);
+        let bloated = link.loaded_rtt_ms(0.9);
+        link.aqm = crate::aqm::AqmPolicy::codel_default();
+        let managed = link.loaded_rtt_ms(0.9);
+        assert!(
+            managed < bloated / 2.0,
+            "CoDel RTT {managed} vs droptail {bloated}"
+        );
+        assert!(managed >= link.base_rtt_ms);
+    }
+
+    #[test]
+    fn loaded_rtt_exceeds_idle_under_load() {
+        let link = LinkSpec::dsl(25.0, 3.0);
+        assert_eq!(link.loaded_rtt_ms(0.0), link.base_rtt_ms);
+        assert!(link.loaded_rtt_ms(0.9) > link.base_rtt_ms + 100.0);
+    }
+}

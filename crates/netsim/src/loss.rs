@@ -1,0 +1,290 @@
+//! Packet-loss processes.
+//!
+//! Access-network loss is bursty: a marginal DOCSIS plant or a congested
+//! Wi-Fi hop drops packets in runs, not independently. The classic model is
+//! the Gilbert–Elliott two-state Markov chain — a *Good* state with near-zero
+//! loss and a *Bad* state with heavy loss, with geometric sojourn times.
+//! [`LossModel::Bernoulli`] is the memoryless special case.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetsimError;
+
+/// A packet-loss process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LossModel {
+    /// Independent loss with fixed probability per packet.
+    Bernoulli {
+        /// Per-packet loss probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Gilbert–Elliott two-state chain.
+    GilbertElliott {
+        /// Probability of transitioning Good → Bad per packet.
+        p_good_to_bad: f64,
+        /// Probability of transitioning Bad → Good per packet.
+        p_bad_to_good: f64,
+        /// Loss probability while in the Good state.
+        loss_good: f64,
+        /// Loss probability while in the Bad state.
+        loss_bad: f64,
+    },
+}
+
+impl LossModel {
+    /// A lossless link.
+    pub const NONE: LossModel = LossModel::Bernoulli { p: 0.0 };
+
+    /// Validates all probabilities.
+    pub fn validate(&self) -> Result<(), NetsimError> {
+        let check = |name: &'static str, v: f64| -> Result<(), NetsimError> {
+            if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                return Err(NetsimError::invalid(name, format!("{v} not in [0, 1]")));
+            }
+            Ok(())
+        };
+        match *self {
+            LossModel::Bernoulli { p } => check("p", p),
+            LossModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => {
+                check("p_good_to_bad", p_good_to_bad)?;
+                check("p_bad_to_good", p_bad_to_good)?;
+                check("loss_good", loss_good)?;
+                check("loss_bad", loss_bad)?;
+                if p_good_to_bad > 0.0 && p_bad_to_good == 0.0 {
+                    return Err(NetsimError::invalid(
+                        "p_bad_to_good",
+                        "chain would absorb in the Bad state",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Stationary (long-run average) loss probability.
+    pub fn mean_loss(&self) -> f64 {
+        match *self {
+            LossModel::Bernoulli { p } => p,
+            LossModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => {
+                let denom = p_good_to_bad + p_bad_to_good;
+                if denom == 0.0 {
+                    // Chain never leaves its start state; we start Good.
+                    return loss_good;
+                }
+                let pi_bad = p_good_to_bad / denom;
+                (1.0 - pi_bad) * loss_good + pi_bad * loss_bad
+            }
+        }
+    }
+
+    /// Builds a Gilbert–Elliott model targeting a mean loss rate with a
+    /// given burstiness (mean bad-state run length in packets).
+    ///
+    /// `mean_loss` in `[0, 0.5]`, `burst_len ≥ 1`. The Bad state drops
+    /// every packet (`loss_bad = 1`), the Good state none, so the Bad-state
+    /// occupancy equals the mean loss.
+    pub fn bursty(mean_loss: f64, burst_len: f64) -> Result<Self, NetsimError> {
+        if !(0.0..=0.5).contains(&mean_loss) || mean_loss.is_nan() {
+            return Err(NetsimError::invalid(
+                "mean_loss",
+                format!("{mean_loss} not in [0, 0.5]"),
+            ));
+        }
+        if !(burst_len >= 1.0) {
+            return Err(NetsimError::invalid(
+                "burst_len",
+                format!("{burst_len} must be >= 1"),
+            ));
+        }
+        if mean_loss == 0.0 {
+            return Ok(LossModel::NONE);
+        }
+        let p_bad_to_good = 1.0 / burst_len;
+        // Stationary Bad occupancy π_B = g2b / (g2b + b2g) = mean_loss.
+        let p_good_to_bad = mean_loss * p_bad_to_good / (1.0 - mean_loss);
+        let model = LossModel::GilbertElliott {
+            p_good_to_bad,
+            p_bad_to_good,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        model.validate()?;
+        Ok(model)
+    }
+}
+
+/// A running instance of a loss process, fed one packet at a time.
+#[derive(Debug, Clone)]
+pub struct LossProcess {
+    model: LossModel,
+    /// Current chain state (Gilbert–Elliott only): true = Bad.
+    in_bad_state: bool,
+}
+
+impl LossProcess {
+    /// Starts a process in the Good state.
+    pub fn new(model: LossModel) -> Result<Self, NetsimError> {
+        model.validate()?;
+        Ok(LossProcess {
+            model,
+            in_bad_state: false,
+        })
+    }
+
+    /// Advances one packet; returns whether it was lost.
+    pub fn next_packet<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        match self.model {
+            LossModel::Bernoulli { p } => rng.gen_bool(p.clamp(0.0, 1.0)),
+            LossModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                loss_good,
+                loss_bad,
+            } => {
+                // Transition first, then sample loss in the new state.
+                if self.in_bad_state {
+                    if rng.gen_bool(p_bad_to_good.clamp(0.0, 1.0)) {
+                        self.in_bad_state = false;
+                    }
+                } else if rng.gen_bool(p_good_to_bad.clamp(0.0, 1.0)) {
+                    self.in_bad_state = true;
+                }
+                let p = if self.in_bad_state { loss_bad } else { loss_good };
+                rng.gen_bool(p.clamp(0.0, 1.0))
+            }
+        }
+    }
+
+    /// Simulates `n` packets and returns the observed loss fraction.
+    pub fn sample_loss_rate<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let lost = (0..n).filter(|_| self.next_packet(rng)).count();
+        lost as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation() {
+        assert!(LossModel::Bernoulli { p: 0.5 }.validate().is_ok());
+        assert!(LossModel::Bernoulli { p: 1.5 }.validate().is_err());
+        assert!(LossModel::Bernoulli { p: f64::NAN }.validate().is_err());
+        assert!(LossModel::GilbertElliott {
+            p_good_to_bad: 0.1,
+            p_bad_to_good: 0.0,
+            loss_good: 0.0,
+            loss_bad: 1.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn mean_loss_bernoulli() {
+        assert_eq!(LossModel::Bernoulli { p: 0.03 }.mean_loss(), 0.03);
+        assert_eq!(LossModel::NONE.mean_loss(), 0.0);
+    }
+
+    #[test]
+    fn bursty_targets_mean_loss() {
+        for target in [0.001, 0.01, 0.05, 0.2] {
+            let m = LossModel::bursty(target, 5.0).unwrap();
+            assert!(
+                (m.mean_loss() - target).abs() < 1e-12,
+                "target {target}, got {}",
+                m.mean_loss()
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_zero_is_lossless() {
+        assert_eq!(LossModel::bursty(0.0, 5.0).unwrap(), LossModel::NONE);
+    }
+
+    #[test]
+    fn bursty_rejects_bad_parameters() {
+        assert!(LossModel::bursty(0.6, 5.0).is_err());
+        assert!(LossModel::bursty(0.01, 0.5).is_err());
+        assert!(LossModel::bursty(f64::NAN, 5.0).is_err());
+    }
+
+    #[test]
+    fn observed_rate_converges_to_mean() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for model in [
+            LossModel::Bernoulli { p: 0.02 },
+            LossModel::bursty(0.02, 8.0).unwrap(),
+        ] {
+            let mut process = LossProcess::new(model).unwrap();
+            let rate = process.sample_loss_rate(200_000, &mut rng);
+            assert!(
+                (rate - 0.02).abs() < 0.005,
+                "{model:?} observed {rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_is_burstier_than_bernoulli() {
+        // Compare run-length statistics at the same mean loss: the GE chain
+        // must produce longer loss bursts on average.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mean_burst = |model: LossModel, rng: &mut StdRng| -> f64 {
+            let mut process = LossProcess::new(model).unwrap();
+            let mut bursts = Vec::new();
+            let mut run = 0usize;
+            for _ in 0..300_000 {
+                if process.next_packet(rng) {
+                    run += 1;
+                } else if run > 0 {
+                    bursts.push(run);
+                    run = 0;
+                }
+            }
+            if bursts.is_empty() {
+                0.0
+            } else {
+                bursts.iter().sum::<usize>() as f64 / bursts.len() as f64
+            }
+        };
+        let bernoulli = mean_burst(LossModel::Bernoulli { p: 0.02 }, &mut rng);
+        let ge = mean_burst(LossModel::bursty(0.02, 8.0).unwrap(), &mut rng);
+        assert!(
+            ge > 2.0 * bernoulli,
+            "GE burst {ge} not much larger than Bernoulli {bernoulli}"
+        );
+    }
+
+    #[test]
+    fn lossless_process_never_drops() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut process = LossProcess::new(LossModel::NONE).unwrap();
+        assert_eq!(process.sample_loss_rate(10_000, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn zero_packets_is_zero_loss() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut process = LossProcess::new(LossModel::Bernoulli { p: 0.5 }).unwrap();
+        assert_eq!(process.sample_loss_rate(0, &mut rng), 0.0);
+    }
+}

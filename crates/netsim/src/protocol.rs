@@ -1,0 +1,647 @@
+//! Speed-test protocol emulation: NDT, Ookla and Cloudflare methodologies.
+//!
+//! The paper's corroboration argument (§2, *Datasets*) rests on the three
+//! datasets measuring throughput *"in a fundamentally different way"*. This
+//! module reproduces those differences from first principles:
+//!
+//! * [`NdtProtocol`] — M-Lab NDT: **one** TCP stream for ~10 s. Its rate is
+//!   the Mathis/PFTK loss-limited rate of a single flow, so it
+//!   systematically under-reports clean high-BDP links. Latency is measured
+//!   *during* the transfer (loaded latency).
+//! * [`OoklaProtocol`] — Speedtest: up to 8 parallel streams, which
+//!   overcome the single-flow ceiling and report close to provisioned
+//!   capacity. Latency is an **idle** ping before the transfer. Packet loss
+//!   is measured but not published in the open aggregates (the dataset
+//!   layer drops it).
+//! * [`CloudflareProtocol`] — a ladder of HTTP fetches (100 kB → 25 MB)
+//!   over a few connections; small files are slow-start-dominated, so its
+//!   headline number (taken from the large transfers) still trails a
+//!   multi-stream test. Loaded latency.
+//!
+//! Every protocol consumes the same [`LinkSpec`] plus a cross-traffic
+//! utilization and a seeded RNG, and produces a [`TestResult`] — the
+//! per-test tuple the IQB dataset tier aggregates.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetsimError;
+use crate::link::{Direction, LinkSpec};
+use crate::loss::LossProcess;
+use crate::tcp::{
+    mathis_throughput_mbps, pftk_throughput_mbps, short_flow_throughput_mbps, DEFAULT_INITIAL_CWND,
+    DEFAULT_MSS_BYTES,
+};
+
+/// One emulated speed-test result — the schema every IQB dataset shares.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestResult {
+    /// Measured download throughput in Mb/s.
+    pub download_mbps: f64,
+    /// Measured upload throughput in Mb/s.
+    pub upload_mbps: f64,
+    /// Measured round-trip time in ms (loaded or idle, per methodology).
+    pub latency_ms: f64,
+    /// Measured packet loss in percent.
+    pub loss_pct: f64,
+}
+
+impl TestResult {
+    /// Sanity-checks physical plausibility.
+    pub fn validate(&self) -> Result<(), NetsimError> {
+        for (name, v) in [
+            ("download_mbps", self.download_mbps),
+            ("upload_mbps", self.upload_mbps),
+            ("latency_ms", self.latency_ms),
+            ("loss_pct", self.loss_pct),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(NetsimError::invalid(
+                    "TestResult",
+                    format!("{name} = {v} is not physical"),
+                ));
+            }
+        }
+        if self.loss_pct > 100.0 {
+            return Err(NetsimError::invalid(
+                "TestResult",
+                format!("loss {}% exceeds 100%", self.loss_pct),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A speed-test methodology that can be run against a link.
+pub trait SpeedTestProtocol {
+    /// Human-readable protocol name.
+    fn name(&self) -> &'static str;
+
+    /// Runs one test over `link` with background cross-traffic
+    /// `utilization ∈ [0, 1)`, using `rng` for all stochastic components.
+    fn run<R: Rng + ?Sized>(
+        &self,
+        link: &LinkSpec,
+        utilization: f64,
+        rng: &mut R,
+    ) -> Result<TestResult, NetsimError>;
+}
+
+/// Multiplicative log-normal-ish jitter: `exp(σ·z)` with `z` approximately
+/// standard normal (sum of uniforms), keeping medians unbiased.
+fn jitter<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    // Irwin–Hall(12) minus 6 approximates N(0, 1) well within ±3σ.
+    let z: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+    (sigma * z).exp()
+}
+
+/// Validates the shared (link, utilization) run inputs.
+fn validate_run(link: &LinkSpec, utilization: f64) -> Result<(), NetsimError> {
+    link.validate()?;
+    if !(0.0..1.0).contains(&utilization) || utilization.is_nan() {
+        return Err(NetsimError::invalid(
+            "utilization",
+            format!("{utilization} not in [0, 1)"),
+        ));
+    }
+    Ok(())
+}
+
+/// Samples the test's *reported* packet-loss rate (fraction) over
+/// `packets` packets of the link's loss process, plus congestion drops
+/// that grow sharply as cross traffic saturates the bottleneck queue.
+fn observed_loss_fraction<R: Rng + ?Sized>(
+    link: &LinkSpec,
+    cross_utilization: f64,
+    packets: usize,
+    rng: &mut R,
+) -> Result<f64, NetsimError> {
+    let mut process = LossProcess::new(link.loss)?;
+    let intrinsic = process.sample_loss_rate(packets, rng);
+    Ok((intrinsic + congestion_packet_loss(cross_utilization)).min(1.0))
+}
+
+/// Congestion packet-drop fraction induced by cross traffic: negligible
+/// until the queue is nearly full, then sharp — the droptail knee.
+fn congestion_packet_loss(cross_utilization: f64) -> f64 {
+    0.01 * cross_utilization.clamp(0.0, 1.0).powi(8)
+}
+
+/// TCP *loss-event* rate for the throughput models.
+///
+/// The Mathis/PFTK `p` is the rate of congestion-signal events, not raw
+/// packet loss: a Gilbert–Elliott burst of dropped packets lands within one
+/// RTT and triggers a single window halving. For a GE chain the event rate
+/// is the rate of Bad-state entries (`π_G · p_G→B`) plus isolated Good-state
+/// drops; for Bernoulli it is the raw rate.
+fn tcp_loss_event_rate(link: &LinkSpec, cross_utilization: f64) -> f64 {
+    use crate::loss::LossModel;
+    let intrinsic = match link.loss {
+        LossModel::Bernoulli { p } => p,
+        LossModel::GilbertElliott {
+            p_good_to_bad,
+            p_bad_to_good,
+            loss_good,
+            ..
+        } => {
+            let denom = p_good_to_bad + p_bad_to_good;
+            let pi_good = if denom == 0.0 {
+                1.0
+            } else {
+                p_bad_to_good / denom
+            };
+            pi_good * (p_good_to_bad + loss_good)
+        }
+    };
+    // Cross-traffic congestion drops are clustered too; treat half the
+    // packet-drop rate as distinct events.
+    (intrinsic + 0.5 * congestion_packet_loss(cross_utilization)).min(1.0)
+}
+
+/// M-Lab NDT-style protocol: one TCP stream, ~10 s, loaded latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NdtProtocol {
+    /// Transfer duration in seconds (NDT uses 10).
+    pub duration_s: f64,
+    /// TCP maximum segment size in bytes.
+    pub mss_bytes: f64,
+}
+
+impl Default for NdtProtocol {
+    fn default() -> Self {
+        NdtProtocol {
+            duration_s: 10.0,
+            mss_bytes: DEFAULT_MSS_BYTES,
+        }
+    }
+}
+
+impl SpeedTestProtocol for NdtProtocol {
+    fn name(&self) -> &'static str {
+        "ndt"
+    }
+
+    fn run<R: Rng + ?Sized>(
+        &self,
+        link: &LinkSpec,
+        utilization: f64,
+        rng: &mut R,
+    ) -> Result<TestResult, NetsimError> {
+        validate_run(link, utilization)?;
+        // The single stream saturates the link itself, so the RTT it
+        // *reports* includes self-induced queueing on top of cross traffic.
+        let self_load = 0.85_f64;
+        let effective_util = (utilization + self_load * (1.0 - utilization)).min(0.99);
+        let loaded_rtt = link.loaded_rtt_ms(effective_util) * jitter(rng, 0.10);
+
+        // Reported loss: raw packet drops over ~10 s of transfer.
+        let loss_down = observed_loss_fraction(link, utilization, 4000, rng)?;
+
+        // Throughput is set by the loss-*event* rate at the cross-traffic
+        // RTT (self-queueing keeps the pipe full rather than starving it).
+        let path_rtt = link.loaded_rtt_ms(utilization);
+        let event_rate = tcp_loss_event_rate(link, utilization);
+        let available_down = link.available_capacity(Direction::Down, utilization);
+        let available_up = link.available_capacity(Direction::Up, utilization);
+        // Single-stream rate: PFTK (timeout-aware).
+        let download = pftk_throughput_mbps(available_down, path_rtt, event_rate, self.mss_bytes)?
+            * jitter(rng, 0.08);
+        let upload = pftk_throughput_mbps(available_up, path_rtt, event_rate, self.mss_bytes)?
+            * jitter(rng, 0.08);
+
+        let result = TestResult {
+            download_mbps: download.min(link.down_mbps),
+            upload_mbps: upload.min(link.up_mbps),
+            latency_ms: loaded_rtt,
+            loss_pct: (loss_down * 100.0).min(100.0),
+        };
+        result.validate()?;
+        Ok(result)
+    }
+}
+
+/// Ookla-style protocol: up to 8 parallel streams, idle-ping latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OoklaProtocol {
+    /// Number of parallel TCP streams (Speedtest scales up to ~8).
+    pub streams: usize,
+    /// TCP maximum segment size in bytes.
+    pub mss_bytes: f64,
+}
+
+impl Default for OoklaProtocol {
+    fn default() -> Self {
+        OoklaProtocol {
+            streams: 8,
+            mss_bytes: DEFAULT_MSS_BYTES,
+        }
+    }
+}
+
+impl SpeedTestProtocol for OoklaProtocol {
+    fn name(&self) -> &'static str {
+        "ookla"
+    }
+
+    fn run<R: Rng + ?Sized>(
+        &self,
+        link: &LinkSpec,
+        utilization: f64,
+        rng: &mut R,
+    ) -> Result<TestResult, NetsimError> {
+        validate_run(link, utilization)?;
+        if self.streams == 0 {
+            return Err(NetsimError::invalid("streams", "must be >= 1"));
+        }
+        // Idle ping happens before the transfer: base RTT + cross-traffic
+        // queueing only.
+        let idle_rtt = link.loaded_rtt_ms(utilization) * jitter(rng, 0.08);
+
+        let loss_down = observed_loss_fraction(link, utilization, 4000, rng)?;
+        let path_rtt = link.loaded_rtt_ms(utilization);
+        let event_rate = tcp_loss_event_rate(link, utilization);
+
+        let available_down = link.available_capacity(Direction::Down, utilization);
+        let available_up = link.available_capacity(Direction::Up, utilization);
+        // N parallel Mathis flows share the loss process; aggregate is
+        // min(capacity, N · per-flow rate): parallelism defeats the
+        // single-flow ceiling, which is exactly Ookla's design goal.
+        let per_flow_down =
+            mathis_throughput_mbps(available_down, path_rtt, event_rate, self.mss_bytes)?;
+        let per_flow_up =
+            mathis_throughput_mbps(available_up, path_rtt, event_rate, self.mss_bytes)?;
+        let download =
+            (per_flow_down * self.streams as f64).min(available_down) * jitter(rng, 0.05);
+        let upload = (per_flow_up * self.streams as f64).min(available_up) * jitter(rng, 0.05);
+
+        let result = TestResult {
+            download_mbps: download.min(link.down_mbps),
+            upload_mbps: upload.min(link.up_mbps),
+            latency_ms: idle_rtt,
+            loss_pct: (loss_down * 100.0).min(100.0),
+        };
+        result.validate()?;
+        Ok(result)
+    }
+}
+
+/// Cloudflare-style protocol: a ladder of fixed-size HTTP fetches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudflareProtocol {
+    /// Download file sizes in bytes, smallest first.
+    pub ladder_bytes: Vec<f64>,
+    /// Parallel connections for the largest rung.
+    pub connections: usize,
+    /// TCP maximum segment size in bytes.
+    pub mss_bytes: f64,
+}
+
+impl Default for CloudflareProtocol {
+    fn default() -> Self {
+        CloudflareProtocol {
+            // 100 kB, 1 MB, 10 MB, 25 MB — the production ladder's shape.
+            ladder_bytes: vec![1e5, 1e6, 1e7, 2.5e7],
+            connections: 4,
+            mss_bytes: DEFAULT_MSS_BYTES,
+        }
+    }
+}
+
+impl SpeedTestProtocol for CloudflareProtocol {
+    fn name(&self) -> &'static str {
+        "cloudflare"
+    }
+
+    fn run<R: Rng + ?Sized>(
+        &self,
+        link: &LinkSpec,
+        utilization: f64,
+        rng: &mut R,
+    ) -> Result<TestResult, NetsimError> {
+        validate_run(link, utilization)?;
+        if self.ladder_bytes.is_empty() {
+            return Err(NetsimError::EmptyWorkload("empty file ladder"));
+        }
+        if self.connections == 0 {
+            return Err(NetsimError::invalid("connections", "must be >= 1"));
+        }
+        let self_load = 0.7_f64; // short flows saturate less than bulk tests
+        let effective_util = (utilization + self_load * (1.0 - utilization)).min(0.99);
+        let loaded_rtt = link.loaded_rtt_ms(effective_util) * jitter(rng, 0.10);
+        let loss = observed_loss_fraction(link, utilization, 3000, rng)?;
+        let event_rate = tcp_loss_event_rate(link, utilization);
+
+        let available_down = link.available_capacity(Direction::Down, utilization);
+        let available_up = link.available_capacity(Direction::Up, utilization);
+
+        // Each rung: short-flow model at the *idle-ish* RTT (fetches are
+        // sequential, so their own queueing is modest), over `connections`
+        // parallel sockets for the big rungs.
+        let mut rung_rates = Vec::with_capacity(self.ladder_bytes.len());
+        for &size in &self.ladder_bytes {
+            let per_conn_bytes = (size / self.connections as f64).max(self.mss_bytes);
+            let per_conn_plan = available_down / self.connections as f64;
+            // PowerBoost-style burst provisioning helps exactly this
+            // methodology: short fetches ride the boosted rate.
+            let per_conn_cap = match link.boost {
+                Some(boost) => boost.effective_mbps(per_conn_bytes, per_conn_plan)?,
+                None => per_conn_plan,
+            };
+            let per_conn = short_flow_throughput_mbps(
+                per_conn_bytes,
+                per_conn_cap,
+                link.loaded_rtt_ms(utilization),
+                self.mss_bytes,
+                DEFAULT_INITIAL_CWND,
+            )?;
+            rung_rates.push(per_conn * self.connections as f64);
+        }
+        // Headline number: the mean of the top two rungs (short probes drag
+        // the published estimate below a sustained multi-stream test),
+        // loss-limited by a per-connection Mathis ceiling.
+        let boost_factor = link.boost.map(|b| b.factor).unwrap_or(1.0);
+        let ceiling = mathis_throughput_mbps(
+            available_down * boost_factor,
+            link.loaded_rtt_ms(utilization),
+            event_rate,
+            self.mss_bytes,
+        )? * self.connections as f64;
+        let top = rung_rates.len().saturating_sub(2);
+        let headline =
+            rung_rates[top..].iter().sum::<f64>() / rung_rates[top..].len() as f64;
+        let download = headline.min(ceiling) * jitter(rng, 0.07);
+
+        // Upload: one mid-size transfer (10% of the top rung).
+        let upload_size = self.ladder_bytes.last().expect("non-empty") * 0.1;
+        let upload = short_flow_throughput_mbps(
+            upload_size.max(self.mss_bytes),
+            available_up,
+            link.loaded_rtt_ms(utilization),
+            self.mss_bytes,
+            DEFAULT_INITIAL_CWND,
+        )? * jitter(rng, 0.07);
+
+        let result = TestResult {
+            download_mbps: download.min(link.down_mbps * boost_factor),
+            upload_mbps: upload.min(link.up_mbps),
+            latency_ms: loaded_rtt,
+            loss_pct: (loss * 100.0).min(100.0),
+        };
+        result.validate()?;
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of<F: FnMut(&mut StdRng) -> f64>(n: usize, seed: u64, mut f: F) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| f(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn all_protocols_produce_physical_results() {
+        let links = [
+            LinkSpec::fiber(1000.0, 1000.0),
+            LinkSpec::cable(300.0, 20.0),
+            LinkSpec::dsl(25.0, 3.0),
+            LinkSpec::satellite_geo(100.0, 5.0),
+            LinkSpec::mobile_4g(50.0, 10.0),
+        ];
+        let mut rng = StdRng::seed_from_u64(1);
+        for link in links {
+            for util in [0.0, 0.3, 0.8] {
+                let ndt = NdtProtocol::default().run(&link, util, &mut rng).unwrap();
+                let ookla = OoklaProtocol::default().run(&link, util, &mut rng).unwrap();
+                let cf = CloudflareProtocol::default()
+                    .run(&link, util, &mut rng)
+                    .unwrap();
+                for r in [ndt, ookla, cf] {
+                    r.validate().unwrap();
+                    assert!(r.download_mbps <= link.down_mbps + 1e-9);
+                    assert!(r.upload_mbps <= link.up_mbps + 1e-9);
+                    assert!(r.latency_ms >= link.base_rtt_ms * 0.5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ndt_underreports_high_bdp_links() {
+        // On a clean gigabit link with real-world loss, a single stream
+        // cannot fill the pipe; Ookla's 8 streams nearly can.
+        let link = LinkSpec::fiber(1000.0, 1000.0);
+        let ndt = mean_of(50, 2, |rng| {
+            NdtProtocol::default()
+                .run(&link, 0.1, rng)
+                .unwrap()
+                .download_mbps
+        });
+        let ookla = mean_of(50, 3, |rng| {
+            OoklaProtocol::default()
+                .run(&link, 0.1, rng)
+                .unwrap()
+                .download_mbps
+        });
+        assert!(
+            ookla > 1.5 * ndt,
+            "expected multi-stream advantage: ookla {ookla} vs ndt {ndt}"
+        );
+    }
+
+    #[test]
+    fn methodologies_agree_more_on_slow_links() {
+        // A 25/3 DSL line has a small bandwidth-delay product, so even a
+        // single stream gets reasonably close to capacity; the NDT/Ookla
+        // gap must be far smaller than on a high-BDP fiber link. This is
+        // the regime structure behind IQB's corroboration tier.
+        let dsl = LinkSpec::dsl(25.0, 3.0);
+        let fiber = LinkSpec::fiber(1000.0, 1000.0);
+        let ratio = |link: LinkSpec, seed: u64| -> f64 {
+            let ndt = mean_of(50, seed, |rng| {
+                NdtProtocol::default()
+                    .run(&link, 0.1, rng)
+                    .unwrap()
+                    .download_mbps
+            });
+            let ookla = mean_of(50, seed + 1, |rng| {
+                OoklaProtocol::default()
+                    .run(&link, 0.1, rng)
+                    .unwrap()
+                    .download_mbps
+            });
+            ndt / ookla
+        };
+        let dsl_ratio = ratio(dsl, 4);
+        let fiber_ratio = ratio(fiber, 6);
+        assert!(
+            dsl_ratio > 0.55,
+            "single-stream NDT should reach most of DSL capacity, got ratio {dsl_ratio}"
+        );
+        assert!(
+            dsl_ratio > fiber_ratio + 0.1,
+            "agreement should be better on DSL ({dsl_ratio}) than fiber ({fiber_ratio})"
+        );
+    }
+
+    #[test]
+    fn ookla_latency_is_idle_ndt_is_loaded() {
+        let link = LinkSpec::cable(300.0, 20.0);
+        let ndt_rtt = mean_of(50, 6, |rng| {
+            NdtProtocol::default()
+                .run(&link, 0.2, rng)
+                .unwrap()
+                .latency_ms
+        });
+        let ookla_rtt = mean_of(50, 7, |rng| {
+            OoklaProtocol::default()
+                .run(&link, 0.2, rng)
+                .unwrap()
+                .latency_ms
+        });
+        assert!(
+            ndt_rtt > ookla_rtt + 20.0,
+            "loaded NDT RTT {ndt_rtt} should exceed idle Ookla ping {ookla_rtt} on a bloated link"
+        );
+    }
+
+    #[test]
+    fn utilization_degrades_everything() {
+        let link = LinkSpec::cable(300.0, 20.0);
+        let idle = mean_of(50, 8, |rng| {
+            OoklaProtocol::default()
+                .run(&link, 0.0, rng)
+                .unwrap()
+                .download_mbps
+        });
+        let busy = mean_of(50, 9, |rng| {
+            OoklaProtocol::default()
+                .run(&link, 0.8, rng)
+                .unwrap()
+                .download_mbps
+        });
+        assert!(busy < 0.5 * idle, "idle {idle} vs busy {busy}");
+
+        let idle_rtt = mean_of(50, 10, |rng| {
+            OoklaProtocol::default()
+                .run(&link, 0.0, rng)
+                .unwrap()
+                .latency_ms
+        });
+        let busy_rtt = mean_of(50, 11, |rng| {
+            OoklaProtocol::default()
+                .run(&link, 0.9, rng)
+                .unwrap()
+                .latency_ms
+        });
+        assert!(busy_rtt > idle_rtt + 30.0);
+    }
+
+    #[test]
+    fn cloudflare_trails_ookla_on_fast_paths() {
+        let link = LinkSpec::fiber(1000.0, 500.0);
+        let cf = mean_of(50, 12, |rng| {
+            CloudflareProtocol::default()
+                .run(&link, 0.1, rng)
+                .unwrap()
+                .download_mbps
+        });
+        let ookla = mean_of(50, 13, |rng| {
+            OoklaProtocol::default()
+                .run(&link, 0.1, rng)
+                .unwrap()
+                .download_mbps
+        });
+        assert!(cf < ookla, "cloudflare {cf} should trail ookla {ookla}");
+        assert!(cf > 50.0, "cloudflare {cf} should still be substantial");
+    }
+
+    #[test]
+    fn powerboost_inflates_short_transfer_methodologies_only() {
+        use crate::shaper::BoostSpec;
+        let plain = LinkSpec::cable(100.0, 10.0);
+        let boosted = plain.with_boost(BoostSpec {
+            factor: 2.0,
+            burst_bytes: 5e7,
+        });
+        let cf_plain = mean_of(60, 30, |rng| {
+            CloudflareProtocol::default()
+                .run(&plain, 0.1, rng)
+                .unwrap()
+                .download_mbps
+        });
+        let cf_boosted = mean_of(60, 31, |rng| {
+            CloudflareProtocol::default()
+                .run(&boosted, 0.1, rng)
+                .unwrap()
+                .download_mbps
+        });
+        assert!(
+            cf_boosted > 1.3 * cf_plain,
+            "boost should inflate the file-ladder test: {cf_boosted} vs {cf_plain}"
+        );
+        // Sustained tests are unaffected: NDT measures the plan rate.
+        let ndt_plain = mean_of(60, 32, |rng| {
+            NdtProtocol::default().run(&plain, 0.1, rng).unwrap().download_mbps
+        });
+        let ndt_boosted = mean_of(60, 33, |rng| {
+            NdtProtocol::default()
+                .run(&boosted, 0.1, rng)
+                .unwrap()
+                .download_mbps
+        });
+        assert!(
+            (ndt_boosted - ndt_plain).abs() / ndt_plain < 0.05,
+            "NDT should not see the boost: {ndt_boosted} vs {ndt_plain}"
+        );
+    }
+
+    #[test]
+    fn geo_satellite_latency_dominates() {
+        let link = LinkSpec::satellite_geo(100.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(14);
+        let r = OoklaProtocol::default().run(&link, 0.1, &mut rng).unwrap();
+        assert!(r.latency_ms > 400.0, "GEO latency {}", r.latency_ms);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let link = LinkSpec::fiber(1000.0, 1000.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(NdtProtocol::default().run(&link, 1.0, &mut rng).is_err());
+        assert!(NdtProtocol::default().run(&link, -0.1, &mut rng).is_err());
+        let zero_streams = OoklaProtocol {
+            streams: 0,
+            ..Default::default()
+        };
+        assert!(zero_streams.run(&link, 0.1, &mut rng).is_err());
+        let empty_ladder = CloudflareProtocol {
+            ladder_bytes: vec![],
+            ..Default::default()
+        };
+        assert!(empty_ladder.run(&link, 0.1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn results_are_deterministic_per_seed() {
+        let link = LinkSpec::cable(300.0, 20.0);
+        let a = NdtProtocol::default()
+            .run(&link, 0.3, &mut StdRng::seed_from_u64(99))
+            .unwrap();
+        let b = NdtProtocol::default()
+            .run(&link, 0.3, &mut StdRng::seed_from_u64(99))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn protocol_names() {
+        assert_eq!(NdtProtocol::default().name(), "ndt");
+        assert_eq!(OoklaProtocol::default().name(), "ookla");
+        assert_eq!(CloudflareProtocol::default().name(), "cloudflare");
+    }
+}

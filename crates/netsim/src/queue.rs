@@ -1,0 +1,299 @@
+//! Discrete-event droptail queue — the bufferbloat reference model.
+//!
+//! [`LinkSpec::queue_delay_ms`](crate::link::LinkSpec::queue_delay_ms) uses
+//! a closed-form approximation for speed; this module provides the
+//! packet-level ground truth it approximates: a single-server FIFO queue
+//! with deterministic service (the bottleneck line rate), Poisson packet
+//! arrivals (cross traffic), and a finite buffer that drops arrivals when
+//! full (droptail). The simulation yields the full queueing-delay
+//! distribution and the congestion-drop rate — the two quantities that
+//! turn "utilization" into user-visible latency and loss.
+//!
+//! The M/D/1 mean-wait formula `W = ρ/(2μ(1−ρ))` provides an analytic
+//! cross-check, which the tests perform.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::des::EventQueue;
+use crate::error::NetsimError;
+
+/// Configuration of a droptail bottleneck queue simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueSimConfig {
+    /// Bottleneck service rate in packets per second.
+    pub service_rate_pps: f64,
+    /// Poisson arrival rate in packets per second.
+    pub arrival_rate_pps: f64,
+    /// Buffer capacity in packets (arrivals beyond this are dropped).
+    pub buffer_packets: usize,
+    /// Number of arrivals to simulate.
+    pub packets: usize,
+}
+
+impl QueueSimConfig {
+    fn validate(&self) -> Result<(), NetsimError> {
+        if !(self.service_rate_pps.is_finite() && self.service_rate_pps > 0.0) {
+            return Err(NetsimError::invalid(
+                "service_rate_pps",
+                format!("{} must be positive", self.service_rate_pps),
+            ));
+        }
+        if !(self.arrival_rate_pps.is_finite() && self.arrival_rate_pps > 0.0) {
+            return Err(NetsimError::invalid(
+                "arrival_rate_pps",
+                format!("{} must be positive", self.arrival_rate_pps),
+            ));
+        }
+        if self.buffer_packets == 0 {
+            return Err(NetsimError::invalid(
+                "buffer_packets",
+                "must hold at least one packet",
+            ));
+        }
+        if self.packets == 0 {
+            return Err(NetsimError::EmptyWorkload("zero packets to simulate"));
+        }
+        Ok(())
+    }
+
+    /// Offered load ρ = λ/μ.
+    pub fn utilization(&self) -> f64 {
+        self.arrival_rate_pps / self.service_rate_pps
+    }
+}
+
+/// Results of a queue simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueSimResult {
+    /// Mean waiting time (time in queue before service starts), seconds.
+    pub mean_wait_s: f64,
+    /// 95th-percentile waiting time, seconds.
+    pub p95_wait_s: f64,
+    /// Fraction of arrivals dropped by the full buffer.
+    pub drop_rate: f64,
+    /// Number of packets that entered service.
+    pub served: usize,
+    /// Number of packets dropped.
+    pub dropped: usize,
+}
+
+/// Events of the queue simulation.
+enum Event {
+    Arrival,
+    Departure,
+}
+
+/// Runs a droptail M/D/1/K queue simulation.
+///
+/// Deterministic for a fixed RNG seed.
+pub fn simulate_droptail<R: Rng + ?Sized>(
+    config: &QueueSimConfig,
+    rng: &mut R,
+) -> Result<QueueSimResult, NetsimError> {
+    config.validate()?;
+    let service_time = 1.0 / config.service_rate_pps;
+
+    let mut events: EventQueue<Event> = EventQueue::new();
+    // Queue of arrival timestamps awaiting service (head is in service).
+    let mut backlog: std::collections::VecDeque<f64> = std::collections::VecDeque::new();
+    let mut waits: Vec<f64> = Vec::with_capacity(config.packets);
+    let mut arrivals_generated = 0usize;
+    let mut dropped = 0usize;
+
+    // Exponential inter-arrival sampler.
+    let next_interarrival = |rng: &mut R| -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / config.arrival_rate_pps
+    };
+
+    let first = next_interarrival(rng);
+    events.schedule(first, Event::Arrival);
+    arrivals_generated += 1;
+
+    while let Some((now, event)) = events.pop() {
+        match event {
+            Event::Arrival => {
+                if backlog.len() > config.buffer_packets {
+                    // Head is in service plus a full buffer behind it.
+                    dropped += 1;
+                } else {
+                    let idle = backlog.is_empty();
+                    backlog.push_back(now);
+                    if idle {
+                        // Server was idle: service starts immediately.
+                        waits.push(0.0);
+                        events.schedule_in(service_time, Event::Departure);
+                    }
+                }
+                if arrivals_generated < config.packets {
+                    let gap = next_interarrival(rng);
+                    events.schedule_in(gap, Event::Arrival);
+                    arrivals_generated += 1;
+                }
+            }
+            Event::Departure => {
+                backlog.pop_front();
+                if let Some(&head_arrival) = backlog.front() {
+                    // Next packet starts service now; record its wait.
+                    waits.push(now - head_arrival);
+                    events.schedule_in(service_time, Event::Departure);
+                }
+            }
+        }
+    }
+
+    let served = waits.len();
+    if served == 0 {
+        return Err(NetsimError::EmptyWorkload("no packet entered service"));
+    }
+    let mean_wait_s = waits.iter().sum::<f64>() / served as f64;
+    let mut sorted = waits;
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
+    let p95_idx = ((0.95 * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+    Ok(QueueSimResult {
+        mean_wait_s,
+        p95_wait_s: sorted[p95_idx],
+        drop_rate: dropped as f64 / config.packets as f64,
+        served,
+        dropped,
+    })
+}
+
+/// Analytic M/D/1 mean waiting time `W = ρ / (2 μ (1 − ρ))` for an
+/// infinite buffer — the reference the simulation is validated against.
+pub fn md1_mean_wait_s(service_rate_pps: f64, arrival_rate_pps: f64) -> Result<f64, NetsimError> {
+    if !(service_rate_pps.is_finite() && service_rate_pps > 0.0) {
+        return Err(NetsimError::invalid(
+            "service_rate_pps",
+            "must be positive",
+        ));
+    }
+    let rho = arrival_rate_pps / service_rate_pps;
+    if !(0.0..1.0).contains(&rho) {
+        return Err(NetsimError::invalid(
+            "utilization",
+            format!("ρ = {rho} must be in [0, 1) for a stable queue"),
+        ));
+    }
+    Ok(rho / (2.0 * service_rate_pps * (1.0 - rho)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn config(rho: f64) -> QueueSimConfig {
+        QueueSimConfig {
+            service_rate_pps: 10_000.0,
+            arrival_rate_pps: 10_000.0 * rho,
+            buffer_packets: 100_000, // effectively infinite
+            packets: 200_000,
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let mut c = config(0.5);
+        c.packets = 0;
+        assert!(simulate_droptail(&c, &mut StdRng::seed_from_u64(0)).is_err());
+        let mut c = config(0.5);
+        c.buffer_packets = 0;
+        assert!(simulate_droptail(&c, &mut StdRng::seed_from_u64(0)).is_err());
+        let mut c = config(0.5);
+        c.service_rate_pps = 0.0;
+        assert!(simulate_droptail(&c, &mut StdRng::seed_from_u64(0)).is_err());
+    }
+
+    #[test]
+    fn matches_md1_theory_at_moderate_load() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for rho in [0.3, 0.5, 0.7] {
+            let c = config(rho);
+            let result = simulate_droptail(&c, &mut rng).unwrap();
+            let theory = md1_mean_wait_s(c.service_rate_pps, c.arrival_rate_pps).unwrap();
+            let rel = (result.mean_wait_s - theory).abs() / theory;
+            assert!(
+                rel < 0.10,
+                "ρ={rho}: simulated {} vs M/D/1 {theory} (rel {rel})",
+                result.mean_wait_s
+            );
+            assert_eq!(result.dropped, 0, "infinite buffer must not drop");
+        }
+    }
+
+    #[test]
+    fn wait_grows_nonlinearly_with_load() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let low = simulate_droptail(&config(0.3), &mut rng).unwrap();
+        let high = simulate_droptail(&config(0.9), &mut rng).unwrap();
+        // M/D/1: W(0.9)/W(0.3) = (0.9/0.1)/(0.3/0.7) = 21×.
+        assert!(
+            high.mean_wait_s > 10.0 * low.mean_wait_s,
+            "low {} high {}",
+            low.mean_wait_s,
+            high.mean_wait_s
+        );
+    }
+
+    #[test]
+    fn p95_at_least_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = simulate_droptail(&config(0.7), &mut rng).unwrap();
+        assert!(r.p95_wait_s >= r.mean_wait_s);
+    }
+
+    #[test]
+    fn small_buffer_drops_under_overload() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let c = QueueSimConfig {
+            service_rate_pps: 1_000.0,
+            arrival_rate_pps: 2_000.0, // ρ = 2: hopeless overload
+            buffer_packets: 20,
+            packets: 50_000,
+        };
+        let r = simulate_droptail(&c, &mut rng).unwrap();
+        // In overload the drop rate approaches 1 − 1/ρ = 0.5.
+        assert!(
+            (r.drop_rate - 0.5).abs() < 0.05,
+            "drop rate {}",
+            r.drop_rate
+        );
+        // And the queue stays bounded: p95 wait ≤ buffer / service rate.
+        assert!(r.p95_wait_s <= (c.buffer_packets + 2) as f64 / c.service_rate_pps);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let c = config(0.6);
+        let a = simulate_droptail(&c, &mut StdRng::seed_from_u64(1)).unwrap();
+        let b = simulate_droptail(&c, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn md1_formula() {
+        // ρ=0.5, μ=100: W = 0.5/(2·100·0.5) = 5 ms.
+        let w = md1_mean_wait_s(100.0, 50.0).unwrap();
+        assert!((w - 0.005).abs() < 1e-12);
+        assert!(md1_mean_wait_s(100.0, 100.0).is_err());
+        assert!(md1_mean_wait_s(100.0, 150.0).is_err());
+    }
+
+    #[test]
+    fn closed_form_approximation_tracks_simulation_shape() {
+        // The LinkSpec cubic approximation and the DES must agree on the
+        // *shape*: near-zero delay at low load, steep growth near saturation.
+        use crate::link::LinkSpec;
+        let link = LinkSpec::cable(300.0, 20.0);
+        let low = link.queue_delay_ms(0.2);
+        let high = link.queue_delay_ms(0.95);
+        assert!(low < 0.1 * high);
+        let mut rng = StdRng::seed_from_u64(21);
+        let sim_low = simulate_droptail(&config(0.2), &mut rng).unwrap();
+        let sim_high = simulate_droptail(&config(0.95), &mut rng).unwrap();
+        assert!(sim_low.mean_wait_s < 0.1 * sim_high.mean_wait_s);
+    }
+}

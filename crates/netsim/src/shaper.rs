@@ -1,0 +1,261 @@
+//! Token-bucket rate shaping and "PowerBoost"-style burst provisioning.
+//!
+//! ISPs shape subscriber traffic with token buckets, and several
+//! (classically DOCSIS "PowerBoost") provision a *burst allowance*: the
+//! first tens of megabytes of a transfer run above the provisioned rate,
+//! after which the bucket drains and the flow settles to the plan rate.
+//! The measurement consequence is a methodology bias this substrate must
+//! reproduce: short-transfer tests (Cloudflare's file ladder) report the
+//! boosted rate, long tests (NDT's 10 s stream, Ookla's sustained
+//! multi-stream) report the plan rate.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NetsimError;
+
+/// A token bucket: sustained `rate`, instantaneous allowance `burst`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TokenBucket {
+    /// Sustained token fill rate, bytes per second.
+    pub rate_bytes_per_s: f64,
+    /// Bucket capacity, bytes.
+    pub burst_bytes: f64,
+    /// Current fill, bytes.
+    tokens: f64,
+}
+
+impl TokenBucket {
+    /// Creates a full bucket.
+    pub fn new(rate_bytes_per_s: f64, burst_bytes: f64) -> Result<Self, NetsimError> {
+        if !(rate_bytes_per_s.is_finite() && rate_bytes_per_s > 0.0) {
+            return Err(NetsimError::invalid(
+                "rate_bytes_per_s",
+                format!("{rate_bytes_per_s} must be positive"),
+            ));
+        }
+        if !(burst_bytes.is_finite() && burst_bytes >= 0.0) {
+            return Err(NetsimError::invalid(
+                "burst_bytes",
+                format!("{burst_bytes} must be non-negative"),
+            ));
+        }
+        Ok(TokenBucket {
+            rate_bytes_per_s,
+            burst_bytes,
+            tokens: burst_bytes,
+        })
+    }
+
+    /// Current token count.
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+
+    /// Adds `elapsed_s` seconds of refill.
+    pub fn refill(&mut self, elapsed_s: f64) {
+        debug_assert!(elapsed_s >= 0.0);
+        self.tokens = (self.tokens + self.rate_bytes_per_s * elapsed_s).min(self.burst_bytes);
+    }
+
+    /// Tries to consume `bytes`; returns whether the bucket had enough.
+    pub fn try_consume(&mut self, bytes: f64) -> bool {
+        if bytes <= self.tokens {
+            self.tokens -= bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Time (seconds) to transmit `bytes` through this shaper when the
+    /// underlying line can carry `line_rate_bytes_per_s`.
+    ///
+    /// While the bucket holds tokens, bytes move at line rate (consuming
+    /// tokens faster than they refill); once empty, the flow is paced at
+    /// the sustained rate. Closed form of the fluid model.
+    pub fn transfer_time_s(&self, bytes: f64, line_rate_bytes_per_s: f64) -> Result<f64, NetsimError> {
+        if !(bytes.is_finite() && bytes > 0.0) {
+            return Err(NetsimError::invalid(
+                "bytes",
+                format!("{bytes} must be positive"),
+            ));
+        }
+        if !(line_rate_bytes_per_s.is_finite() && line_rate_bytes_per_s > 0.0) {
+            return Err(NetsimError::invalid(
+                "line_rate_bytes_per_s",
+                format!("{line_rate_bytes_per_s} must be positive"),
+            ));
+        }
+        let line = line_rate_bytes_per_s;
+        let rate = self.rate_bytes_per_s;
+        if line <= rate {
+            // The shaper never binds: line rate is the bottleneck.
+            return Ok(bytes / line);
+        }
+        // Phase 1: tokens drain at (line - rate) while bytes move at line
+        // rate. Bytes moved before the bucket empties:
+        let boosted_bytes = self.tokens * line / (line - rate);
+        if bytes <= boosted_bytes {
+            return Ok(bytes / line);
+        }
+        let phase1_time = boosted_bytes / line;
+        let remaining = bytes - boosted_bytes;
+        Ok(phase1_time + remaining / rate)
+    }
+
+    /// Effective throughput (bytes/s) of a `bytes`-sized transfer.
+    pub fn effective_rate(&self, bytes: f64, line_rate_bytes_per_s: f64) -> Result<f64, NetsimError> {
+        Ok(bytes / self.transfer_time_s(bytes, line_rate_bytes_per_s)?)
+    }
+}
+
+/// PowerBoost-style burst provisioning on an access link.
+///
+/// The subscriber's plan rate is the link's `down_mbps`/`up_mbps`; with a
+/// boost, transfers run at `factor ×` plan rate until `burst_bytes` of
+/// *extra* credit is exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoostSpec {
+    /// Burst rate as a multiple of the plan rate (> 1).
+    pub factor: f64,
+    /// Burst credit in bytes.
+    pub burst_bytes: f64,
+}
+
+impl BoostSpec {
+    /// Validates the specification.
+    pub fn validate(&self) -> Result<(), NetsimError> {
+        if !(self.factor.is_finite() && self.factor > 1.0) {
+            return Err(NetsimError::invalid(
+                "factor",
+                format!("{} must exceed 1", self.factor),
+            ));
+        }
+        if !(self.burst_bytes.is_finite() && self.burst_bytes > 0.0) {
+            return Err(NetsimError::invalid(
+                "burst_bytes",
+                format!("{} must be positive", self.burst_bytes),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Effective rate (Mb/s) for a transfer of `bytes` on a plan of
+    /// `plan_mbps`: the token-bucket fluid model with line rate
+    /// `factor × plan` and sustained rate `plan`.
+    pub fn effective_mbps(&self, bytes: f64, plan_mbps: f64) -> Result<f64, NetsimError> {
+        self.validate()?;
+        let plan_bps = plan_mbps * 1e6 / 8.0;
+        let bucket = TokenBucket::new(plan_bps, self.burst_bytes)?;
+        let rate = bucket.effective_rate(bytes, plan_bps * self.factor)?;
+        Ok(rate * 8.0 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(TokenBucket::new(0.0, 100.0).is_err());
+        assert!(TokenBucket::new(100.0, -1.0).is_err());
+        assert!(TokenBucket::new(100.0, 0.0).is_ok());
+        assert!(BoostSpec {
+            factor: 1.0,
+            burst_bytes: 1e7
+        }
+        .validate()
+        .is_err());
+        assert!(BoostSpec {
+            factor: 2.0,
+            burst_bytes: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn consume_and_refill() {
+        let mut b = TokenBucket::new(100.0, 1_000.0).unwrap();
+        assert!(b.try_consume(600.0));
+        assert!(!b.try_consume(600.0), "only 400 left");
+        b.refill(2.0); // +200
+        assert!(b.try_consume(600.0));
+        b.refill(100.0);
+        assert_eq!(b.tokens(), 1_000.0, "refill caps at burst");
+    }
+
+    #[test]
+    fn transfer_time_line_limited_when_shaper_is_loose() {
+        // Sustained rate above line rate: the shaper never binds.
+        let b = TokenBucket::new(1_000.0, 0.0).unwrap();
+        assert_eq!(b.transfer_time_s(500.0, 500.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn transfer_time_two_phase() {
+        // rate 100 B/s, burst 100 B, line 200 B/s. Tokens drain at 100 B/s
+        // → bucket empties after 1 s, having moved 200 B at line rate.
+        // A 500 B transfer: 1 s + 300/100 = 4 s.
+        let b = TokenBucket::new(100.0, 100.0).unwrap();
+        let t = b.transfer_time_s(500.0, 200.0).unwrap();
+        assert!((t - 4.0).abs() < 1e-12, "got {t}");
+        // A transfer that fits in the boosted phase runs at line rate.
+        let t = b.transfer_time_s(150.0, 200.0).unwrap();
+        assert!((t - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_rate_decays_with_size() {
+        let b = TokenBucket::new(1e6, 1e7).unwrap(); // 8 Mb/s plan, 10 MB burst
+        let line = 4e6; // 32 Mb/s line
+        let small = b.effective_rate(1e6, line).unwrap();
+        let medium = b.effective_rate(5e7, line).unwrap();
+        let large = b.effective_rate(5e8, line).unwrap();
+        assert!(small > medium && medium > large);
+        assert!((small - line).abs() < 1e-6, "small transfers see line rate");
+        assert!(
+            (large - 1e6) / 1e6 < 0.1,
+            "large transfers converge to the plan rate, got {large}"
+        );
+    }
+
+    #[test]
+    fn boost_spec_short_vs_long_transfers() {
+        // 100 Mb/s plan, 2x boost, 25 MB credit: a 5 MB fetch sees
+        // ~200 Mb/s; a 250 MB transfer averages close to 100 Mb/s.
+        let boost = BoostSpec {
+            factor: 2.0,
+            burst_bytes: 2.5e7,
+        };
+        let short = boost.effective_mbps(5e6, 100.0).unwrap();
+        let long = boost.effective_mbps(2.5e8, 100.0).unwrap();
+        assert!((short - 200.0).abs() < 1.0, "short {short}");
+        assert!(long < 125.0, "long {long}");
+        assert!(long >= 100.0);
+    }
+
+    #[test]
+    fn boost_monotone_decreasing_in_size() {
+        let boost = BoostSpec {
+            factor: 1.5,
+            burst_bytes: 1e7,
+        };
+        let mut prev = f64::INFINITY;
+        for size in [1e5, 1e6, 1e7, 1e8, 1e9] {
+            let r = boost.effective_mbps(size, 50.0).unwrap();
+            assert!(r <= prev + 1e-9);
+            assert!(r >= 50.0 - 1e-9, "never below plan rate");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn transfer_time_rejects_bad_inputs() {
+        let b = TokenBucket::new(100.0, 100.0).unwrap();
+        assert!(b.transfer_time_s(0.0, 100.0).is_err());
+        assert!(b.transfer_time_s(10.0, 0.0).is_err());
+        assert!(b.transfer_time_s(f64::NAN, 100.0).is_err());
+    }
+}

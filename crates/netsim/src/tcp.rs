@@ -1,0 +1,312 @@
+//! TCP throughput models.
+//!
+//! Three analytic models cover the regimes the emulated speed tests live
+//! in:
+//!
+//! * [`mathis_throughput_mbps`] — the Mathis et al. (1997) inverse-√p law
+//!   for a long-lived loss-limited flow: `T = MSS/RTT · C/√p`. This is why
+//!   a single NDT stream under-reports a clean gigabit link the moment
+//!   there is any loss and RTT.
+//! * [`pftk_throughput_mbps`] — the PFTK/Padhye et al. (1998) extension
+//!   adding retransmission timeouts, which bites at high loss rates.
+//! * [`short_flow_throughput_mbps`] — a slow-start-aware model for flows
+//!   that finish before congestion avoidance matters (Cloudflare's file
+//!   ladder): effective throughput of a transfer that doubles its window
+//!   from `initial_cwnd` each RTT until it hits the path rate.
+//!
+//! All models cap at the supplied available capacity: no model may invent
+//! bandwidth the link does not have.
+
+use crate::error::NetsimError;
+
+/// Default TCP maximum segment size in bytes (Ethernet MTU minus headers).
+pub const DEFAULT_MSS_BYTES: f64 = 1460.0;
+
+/// Default initial congestion window in segments (RFC 6928).
+pub const DEFAULT_INITIAL_CWND: f64 = 10.0;
+
+/// Validates the shared (rtt, loss) parameter pair.
+fn validate_path(rtt_ms: f64, loss: f64) -> Result<(), NetsimError> {
+    if !(rtt_ms.is_finite() && rtt_ms > 0.0) {
+        return Err(NetsimError::invalid(
+            "rtt_ms",
+            format!("{rtt_ms} must be positive"),
+        ));
+    }
+    if !(0.0..=1.0).contains(&loss) || loss.is_nan() {
+        return Err(NetsimError::invalid(
+            "loss",
+            format!("{loss} not in [0, 1]"),
+        ));
+    }
+    Ok(())
+}
+
+/// Mathis model: steady-state throughput of one loss-limited TCP flow.
+///
+/// `T = (MSS / RTT) · (C / √p)` with `C ≈ 1.22` (periodic-loss constant),
+/// capped at `capacity_mbps`. With zero loss the flow is window/capacity
+/// limited and the cap applies directly.
+pub fn mathis_throughput_mbps(
+    capacity_mbps: f64,
+    rtt_ms: f64,
+    loss: f64,
+    mss_bytes: f64,
+) -> Result<f64, NetsimError> {
+    validate_path(rtt_ms, loss)?;
+    if !(capacity_mbps.is_finite() && capacity_mbps > 0.0) {
+        return Err(NetsimError::invalid(
+            "capacity_mbps",
+            format!("{capacity_mbps} must be positive"),
+        ));
+    }
+    if !(mss_bytes.is_finite() && mss_bytes > 0.0) {
+        return Err(NetsimError::invalid(
+            "mss_bytes",
+            format!("{mss_bytes} must be positive"),
+        ));
+    }
+    if loss <= 0.0 {
+        return Ok(capacity_mbps);
+    }
+    let rtt_s = rtt_ms / 1000.0;
+    let rate_bps = (mss_bytes * 8.0 / rtt_s) * (1.22 / loss.sqrt());
+    Ok((rate_bps / 1e6).min(capacity_mbps))
+}
+
+/// PFTK (Padhye et al.) model including retransmission timeouts.
+///
+/// `T = MSS / (RTT·√(2bp/3) + t_RTO·min(1, 3·√(3bp/8))·p·(1+32p²))`
+/// with `b = 2` (delayed ACKs) and `t_RTO = max(4·RTT, 200 ms)`. Capped at
+/// `capacity_mbps`. Dominates Mathis at loss above a few percent, where
+/// timeouts — not fast recovery — set the pace.
+pub fn pftk_throughput_mbps(
+    capacity_mbps: f64,
+    rtt_ms: f64,
+    loss: f64,
+    mss_bytes: f64,
+) -> Result<f64, NetsimError> {
+    validate_path(rtt_ms, loss)?;
+    if !(capacity_mbps.is_finite() && capacity_mbps > 0.0) {
+        return Err(NetsimError::invalid(
+            "capacity_mbps",
+            format!("{capacity_mbps} must be positive"),
+        ));
+    }
+    if loss <= 0.0 {
+        return Ok(capacity_mbps);
+    }
+    let b = 2.0;
+    let rtt_s = rtt_ms / 1000.0;
+    let t_rto = (4.0 * rtt_s).max(0.2);
+    let p = loss;
+    let denominator = rtt_s * (2.0 * b * p / 3.0).sqrt()
+        + t_rto * (1.0_f64).min(3.0 * (3.0 * b * p / 8.0).sqrt()) * p * (1.0 + 32.0 * p * p);
+    let rate_bps = mss_bytes * 8.0 / denominator;
+    Ok((rate_bps / 1e6).min(capacity_mbps))
+}
+
+/// Slow-start-aware effective throughput of a short transfer.
+///
+/// Models a flow that starts at `initial_cwnd` segments and doubles every
+/// RTT until it reaches the path rate, then cruises. Returns
+/// `transfer_bytes / completion_time` in Mb/s — the number a file-ladder
+/// speed test computes for that file size.
+///
+/// Small files never leave slow start, so their effective throughput is a
+/// small fraction of capacity and grows with file size — the systematic
+/// low bias of Cloudflare's small probes.
+pub fn short_flow_throughput_mbps(
+    transfer_bytes: f64,
+    capacity_mbps: f64,
+    rtt_ms: f64,
+    mss_bytes: f64,
+    initial_cwnd: f64,
+) -> Result<f64, NetsimError> {
+    if !(transfer_bytes.is_finite() && transfer_bytes > 0.0) {
+        return Err(NetsimError::invalid(
+            "transfer_bytes",
+            format!("{transfer_bytes} must be positive"),
+        ));
+    }
+    if !(capacity_mbps.is_finite() && capacity_mbps > 0.0) {
+        return Err(NetsimError::invalid(
+            "capacity_mbps",
+            format!("{capacity_mbps} must be positive"),
+        ));
+    }
+    validate_path(rtt_ms, 0.0)?;
+    if !(mss_bytes > 0.0) || !(initial_cwnd >= 1.0) {
+        return Err(NetsimError::invalid(
+            "mss_bytes/initial_cwnd",
+            "mss must be positive, initial_cwnd >= 1",
+        ));
+    }
+
+    let rtt_s = rtt_ms / 1000.0;
+    let rate_bytes_per_s = capacity_mbps * 1e6 / 8.0;
+    // Segments deliverable per RTT at line rate.
+    let segments_per_rtt_at_capacity = (rate_bytes_per_s * rtt_s / mss_bytes).max(1.0);
+
+    let mut remaining = transfer_bytes;
+    let mut cwnd = initial_cwnd;
+    let mut elapsed_s = rtt_s; // connection setup: one RTT handshake
+    // Slow-start rounds: each RTT delivers cwnd segments, then doubles.
+    loop {
+        if cwnd >= segments_per_rtt_at_capacity {
+            // Reached line rate: remainder streams at capacity.
+            elapsed_s += remaining / rate_bytes_per_s;
+            break;
+        }
+        let round_bytes = cwnd * mss_bytes;
+        if round_bytes >= remaining {
+            // Final partial round: count the RTT to deliver it.
+            elapsed_s += rtt_s;
+            break;
+        }
+        remaining -= round_bytes;
+        elapsed_s += rtt_s;
+        cwnd *= 2.0;
+    }
+    Ok(transfer_bytes * 8.0 / 1e6 / elapsed_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mathis_zero_loss_is_capacity() {
+        let t = mathis_throughput_mbps(1000.0, 10.0, 0.0, DEFAULT_MSS_BYTES).unwrap();
+        assert_eq!(t, 1000.0);
+    }
+
+    #[test]
+    fn mathis_known_value() {
+        // MSS 1460 B, RTT 10 ms, p = 1e-4:
+        // T = 1460·8/0.01 · 1.22/0.01 = 142.5 Mb/s (to 3 significant figures).
+        let t = mathis_throughput_mbps(10_000.0, 10.0, 1e-4, DEFAULT_MSS_BYTES).unwrap();
+        assert!((t - 142.5).abs() < 0.2, "got {t}");
+    }
+
+    #[test]
+    fn mathis_caps_at_capacity() {
+        let t = mathis_throughput_mbps(50.0, 10.0, 1e-6, DEFAULT_MSS_BYTES).unwrap();
+        assert_eq!(t, 50.0);
+    }
+
+    #[test]
+    fn mathis_decreases_with_rtt_and_loss() {
+        let base = mathis_throughput_mbps(1e6, 10.0, 1e-4, DEFAULT_MSS_BYTES).unwrap();
+        let slower_rtt = mathis_throughput_mbps(1e6, 40.0, 1e-4, DEFAULT_MSS_BYTES).unwrap();
+        let more_loss = mathis_throughput_mbps(1e6, 10.0, 1e-3, DEFAULT_MSS_BYTES).unwrap();
+        assert!(slower_rtt < base);
+        assert!(more_loss < base);
+        // Inverse-√p: 10× loss → √10 ≈ 3.16× slower.
+        assert!((base / more_loss - 10f64.sqrt()).abs() < 0.01);
+    }
+
+    #[test]
+    fn mathis_rejects_bad_parameters() {
+        assert!(mathis_throughput_mbps(0.0, 10.0, 0.0, 1460.0).is_err());
+        assert!(mathis_throughput_mbps(100.0, 0.0, 0.0, 1460.0).is_err());
+        assert!(mathis_throughput_mbps(100.0, 10.0, 1.5, 1460.0).is_err());
+        assert!(mathis_throughput_mbps(100.0, 10.0, 0.1, -1.0).is_err());
+    }
+
+    #[test]
+    fn pftk_at_most_mathis() {
+        // The timeout term only slows things down.
+        for loss in [1e-4, 1e-3, 1e-2, 0.05, 0.2] {
+            let m = mathis_throughput_mbps(1e6, 30.0, loss, DEFAULT_MSS_BYTES).unwrap();
+            let p = pftk_throughput_mbps(1e6, 30.0, loss, DEFAULT_MSS_BYTES).unwrap();
+            assert!(p <= m * 1.35, "loss {loss}: pftk {p} vs mathis {m}");
+        }
+    }
+
+    #[test]
+    fn pftk_timeout_regime_punishes_high_loss() {
+        // At 10% loss the timeout term must dominate: PFTK well below Mathis.
+        let m = mathis_throughput_mbps(1e6, 30.0, 0.1, DEFAULT_MSS_BYTES).unwrap();
+        let p = pftk_throughput_mbps(1e6, 30.0, 0.1, DEFAULT_MSS_BYTES).unwrap();
+        assert!(p < 0.5 * m, "pftk {p} vs mathis {m}");
+    }
+
+    #[test]
+    fn pftk_zero_loss_is_capacity() {
+        assert_eq!(
+            pftk_throughput_mbps(200.0, 20.0, 0.0, DEFAULT_MSS_BYTES).unwrap(),
+            200.0
+        );
+    }
+
+    #[test]
+    fn short_flow_small_file_underreports() {
+        // 100 kB on a gigabit/10 ms path: dominated by handshake and
+        // slow-start rounds, far below line rate.
+        let t = short_flow_throughput_mbps(
+            100_000.0,
+            1000.0,
+            10.0,
+            DEFAULT_MSS_BYTES,
+            DEFAULT_INITIAL_CWND,
+        )
+        .unwrap();
+        assert!(t < 250.0, "small file reported {t} Mb/s");
+        assert!(t > 1.0);
+    }
+
+    #[test]
+    fn short_flow_throughput_grows_with_size() {
+        let sizes = [1e5, 1e6, 1e7, 1e8];
+        let mut prev = 0.0;
+        for s in sizes {
+            let t = short_flow_throughput_mbps(
+                s,
+                1000.0,
+                10.0,
+                DEFAULT_MSS_BYTES,
+                DEFAULT_INITIAL_CWND,
+            )
+            .unwrap();
+            assert!(t > prev, "size {s}: {t} not > {prev}");
+            prev = t;
+        }
+        // A 100 MB transfer approaches line rate.
+        assert!(prev > 800.0, "large transfer only reached {prev} Mb/s");
+    }
+
+    #[test]
+    fn short_flow_never_exceeds_capacity() {
+        for cap in [10.0, 100.0, 1000.0] {
+            for size in [1e5, 1e6, 1e8] {
+                let t = short_flow_throughput_mbps(
+                    size,
+                    cap,
+                    25.0,
+                    DEFAULT_MSS_BYTES,
+                    DEFAULT_INITIAL_CWND,
+                )
+                .unwrap();
+                assert!(t <= cap + 1e-9, "cap {cap}, size {size}: {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_flow_punishes_long_rtt() {
+        let near = short_flow_throughput_mbps(1e6, 500.0, 10.0, DEFAULT_MSS_BYTES, 10.0).unwrap();
+        let far = short_flow_throughput_mbps(1e6, 500.0, 200.0, DEFAULT_MSS_BYTES, 10.0).unwrap();
+        assert!(
+            near > 4.0 * far,
+            "RTT should dominate short flows: near {near}, far {far}"
+        );
+    }
+
+    #[test]
+    fn short_flow_rejects_bad_parameters() {
+        assert!(short_flow_throughput_mbps(0.0, 100.0, 10.0, 1460.0, 10.0).is_err());
+        assert!(short_flow_throughput_mbps(1e6, 100.0, 10.0, 1460.0, 0.5).is_err());
+        assert!(short_flow_throughput_mbps(1e6, -5.0, 10.0, 1460.0, 10.0).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the network simulator: physical invariants
+//! that must hold for any parameter combination.
+
+use iqb_netsim::aqm::AqmPolicy;
+use iqb_netsim::link::{Direction, LinkSpec};
+use iqb_netsim::loss::LossModel;
+use iqb_netsim::protocol::{
+    CloudflareProtocol, NdtProtocol, OoklaProtocol, SpeedTestProtocol,
+};
+use iqb_netsim::tcp::{
+    mathis_throughput_mbps, pftk_throughput_mbps, short_flow_throughput_mbps, DEFAULT_MSS_BYTES,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a physically plausible link.
+fn link() -> impl Strategy<Value = LinkSpec> {
+    (
+        1.0..5_000.0f64,   // down
+        0.5..2_000.0f64,   // up
+        1.0..700.0f64,     // base rtt
+        0.0..500.0f64,     // buffer
+        0.0..0.05f64,      // mean loss
+        prop_oneof![Just(false), Just(true)], // AQM on/off
+    )
+        .prop_map(|(down, up, rtt, buffer, loss, codel)| LinkSpec {
+            down_mbps: down,
+            up_mbps: up,
+            base_rtt_ms: rtt,
+            buffer_ms: buffer,
+            loss: LossModel::Bernoulli { p: loss },
+            aqm: if codel {
+                AqmPolicy::codel_default()
+            } else {
+                AqmPolicy::DropTail
+            },
+            boost: None,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mathis_is_positive_and_capped(
+        cap in 0.1..10_000.0f64,
+        rtt in 0.1..1_000.0f64,
+        loss in 0.0..1.0f64,
+    ) {
+        let t = mathis_throughput_mbps(cap, rtt, loss, DEFAULT_MSS_BYTES).unwrap();
+        prop_assert!(t > 0.0);
+        prop_assert!(t <= cap);
+    }
+
+    #[test]
+    fn pftk_never_exceeds_capacity(
+        cap in 0.1..10_000.0f64,
+        rtt in 0.1..1_000.0f64,
+        loss in 0.0..1.0f64,
+    ) {
+        let t = pftk_throughput_mbps(cap, rtt, loss, DEFAULT_MSS_BYTES).unwrap();
+        prop_assert!(t > 0.0);
+        prop_assert!(t <= cap);
+    }
+
+    #[test]
+    fn throughput_models_monotone_in_loss(
+        cap in 1.0..10_000.0f64,
+        rtt in 1.0..500.0f64,
+        loss_lo in 0.0001..0.5f64,
+        bump in 1.0..10.0f64,
+    ) {
+        let loss_hi = (loss_lo * bump).min(1.0);
+        let lo = mathis_throughput_mbps(cap, rtt, loss_lo, DEFAULT_MSS_BYTES).unwrap();
+        let hi = mathis_throughput_mbps(cap, rtt, loss_hi, DEFAULT_MSS_BYTES).unwrap();
+        prop_assert!(hi <= lo + 1e-9, "more loss cannot raise throughput");
+    }
+
+    #[test]
+    fn short_flow_bounded_by_capacity(
+        bytes in 1_000.0..1e9f64,
+        cap in 0.5..10_000.0f64,
+        rtt in 0.5..800.0f64,
+    ) {
+        let t = short_flow_throughput_mbps(bytes, cap, rtt, DEFAULT_MSS_BYTES, 10.0).unwrap();
+        prop_assert!(t > 0.0);
+        prop_assert!(t <= cap + 1e-9);
+    }
+
+    #[test]
+    fn loaded_rtt_at_least_base(l in link(), util in 0.0..1.0f64) {
+        let rtt = l.loaded_rtt_ms(util);
+        prop_assert!(rtt >= l.base_rtt_ms);
+        prop_assert!(rtt <= l.base_rtt_ms + l.buffer_ms + 1e-9);
+    }
+
+    #[test]
+    fn every_protocol_yields_physical_results(l in link(), util in 0.0..0.99f64, seed in 0..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ndt = NdtProtocol::default().run(&l, util, &mut rng).unwrap();
+        let ookla = OoklaProtocol::default().run(&l, util, &mut rng).unwrap();
+        let cf = CloudflareProtocol::default().run(&l, util, &mut rng).unwrap();
+        for r in [ndt, ookla, cf] {
+            r.validate().unwrap();
+            prop_assert!(r.download_mbps <= l.down_mbps + 1e-9);
+            prop_assert!(r.upload_mbps <= l.up_mbps + 1e-9);
+            prop_assert!(r.latency_ms > 0.0);
+            prop_assert!((0.0..=100.0).contains(&r.loss_pct));
+        }
+    }
+
+    #[test]
+    fn available_capacity_monotone_in_utilization(
+        l in link(),
+        u1 in 0.0..0.99f64,
+        u2 in 0.0..0.99f64,
+    ) {
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(
+            l.available_capacity(Direction::Down, hi)
+                <= l.available_capacity(Direction::Down, lo) + 1e-9
+        );
+    }
+
+    #[test]
+    fn codel_delay_never_exceeds_droptail(
+        buffer in 0.0..1_000.0f64,
+        util in 0.0..1.0f64,
+    ) {
+        let droptail = AqmPolicy::DropTail.queue_delay_ms(buffer, util);
+        let codel = AqmPolicy::codel_default().queue_delay_ms(buffer, util);
+        prop_assert!(codel <= droptail + 1e-12);
+    }
+
+    #[test]
+    fn gilbert_elliott_mean_loss_matches_target(
+        target in 0.0..0.5f64,
+        burst in 1.0..50.0f64,
+    ) {
+        let model = LossModel::bursty(target, burst).unwrap();
+        prop_assert!((model.mean_loss() - target).abs() < 1e-9);
+        model.validate().unwrap();
+    }
+}

@@ -1,0 +1,260 @@
+//! Comparing two scored runs: period-over-period, config-over-config.
+//!
+//! Decision-makers rarely want one score; they want *movement* — did the
+//! upgrade program lift the county, did switching to graded scoring
+//! reshuffle the ranking? [`compare`] diffs two [`RegionalReport`]s
+//! region by region, reporting score deltas, grade transitions, rank
+//! moves, and the rank correlation between the two orderings.
+
+use iqb_data::record::RegionId;
+use serde::{Deserialize, Serialize};
+
+use crate::error::PipelineError;
+use crate::runner::RegionalReport;
+use crate::table::TextTable;
+
+/// The per-region delta between two runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionDelta {
+    /// The region.
+    pub region: RegionId,
+    /// Score in the baseline run.
+    pub before: f64,
+    /// Score in the comparison run.
+    pub after: f64,
+    /// Grade letters before → after.
+    pub grade_before: char,
+    /// Grade letter after.
+    pub grade_after: char,
+    /// 1-based rank before → after (best = 1).
+    pub rank_before: usize,
+    /// Rank after.
+    pub rank_after: usize,
+}
+
+impl RegionDelta {
+    /// Score movement (`after − before`).
+    pub fn delta(&self) -> f64 {
+        self.after - self.before
+    }
+}
+
+/// Result of comparing two regional reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Regions present in both runs, sorted by descending |delta|.
+    pub deltas: Vec<RegionDelta>,
+    /// Regions only in the baseline.
+    pub only_before: Vec<RegionId>,
+    /// Regions only in the comparison run.
+    pub only_after: Vec<RegionId>,
+    /// Kendall τ between the two rankings over the common regions
+    /// (`None` when undefined: fewer than two common regions or a fully
+    /// tied side).
+    pub rank_correlation: Option<f64>,
+}
+
+/// Diffs two regional reports.
+pub fn compare(before: &RegionalReport, after: &RegionalReport) -> Result<Comparison, PipelineError> {
+    let rank_of = |report: &RegionalReport| -> std::collections::BTreeMap<RegionId, usize> {
+        report
+            .ranked()
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (r.region.clone(), i + 1))
+            .collect()
+    };
+    let ranks_before = rank_of(before);
+    let ranks_after = rank_of(after);
+
+    let mut deltas = Vec::new();
+    let mut only_before = Vec::new();
+    for (region, b) in &before.regions {
+        match after.regions.get(region) {
+            Some(a) => deltas.push(RegionDelta {
+                region: region.clone(),
+                before: b.report.score,
+                after: a.report.score,
+                grade_before: b.grade.label(),
+                grade_after: a.grade.label(),
+                rank_before: ranks_before[region],
+                rank_after: ranks_after[region],
+            }),
+            None => only_before.push(region.clone()),
+        }
+    }
+    let only_after: Vec<RegionId> = after
+        .regions
+        .keys()
+        .filter(|r| !before.regions.contains_key(*r))
+        .cloned()
+        .collect();
+
+    let rank_correlation = if deltas.len() >= 2 {
+        let a: Vec<f64> = deltas.iter().map(|d| d.before).collect();
+        let b: Vec<f64> = deltas.iter().map(|d| d.after).collect();
+        iqb_stats::correlation::kendall_tau(&a, &b).ok()
+    } else {
+        None
+    };
+
+    deltas.sort_by(|x, y| {
+        y.delta()
+            .abs()
+            .partial_cmp(&x.delta().abs())
+            .expect("finite deltas")
+    });
+    Ok(Comparison {
+        deltas,
+        only_before,
+        only_after,
+        rank_correlation,
+    })
+}
+
+/// Renders a comparison as an aligned text table.
+pub fn render_comparison(comparison: &Comparison) -> String {
+    let mut table = TextTable::new([
+        "Region", "Before", "After", "Delta", "Grade", "Rank",
+    ]);
+    for d in &comparison.deltas {
+        table.row([
+            d.region.to_string(),
+            format!("{:.3}", d.before),
+            format!("{:.3}", d.after),
+            format!("{:+.3}", d.delta()),
+            format!("{} → {}", d.grade_before, d.grade_after),
+            format!("{} → {}", d.rank_before, d.rank_after),
+        ]);
+    }
+    let mut out = table.render();
+    if let Some(tau) = comparison.rank_correlation {
+        out.push_str(&format!("\nRanking correlation (Kendall τ): {tau:.3}\n"));
+    }
+    if !comparison.only_before.is_empty() {
+        out.push_str(&format!(
+            "Only in baseline: {}\n",
+            comparison
+                .only_before
+                .iter()
+                .map(|r| r.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    if !comparison.only_after.is_empty() {
+        out.push_str(&format!(
+            "Only in comparison: {}\n",
+            comparison
+                .only_after
+                .iter()
+                .map(|r| r.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::score_all_regions;
+    use iqb_core::config::{IqbConfig, ScoringMode};
+    use iqb_core::dataset::DatasetId;
+    use iqb_data::aggregate::AggregationSpec;
+    use iqb_data::record::TestRecord;
+    use iqb_data::store::{MeasurementStore, QueryFilter};
+
+    fn store(regions: &[(&str, f64)]) -> MeasurementStore {
+        let mut store = MeasurementStore::new();
+        for (name, down) in regions {
+            let region = RegionId::new(*name).unwrap();
+            for d in DatasetId::BUILTIN {
+                for i in 0..10 {
+                    store
+                        .push(TestRecord {
+                            timestamp: i,
+                            region: region.clone(),
+                            dataset: d.clone(),
+                            download_mbps: *down,
+                            upload_mbps: down / 3.0,
+                            latency_ms: 25.0,
+                            loss_pct: Some(0.05),
+                            tech: None,
+                        })
+                        .unwrap();
+                }
+            }
+        }
+        store
+    }
+
+    fn scored(store: &MeasurementStore, config: &IqbConfig) -> RegionalReport {
+        score_all_regions(
+            store,
+            config,
+            &AggregationSpec::paper_default(),
+            &QueryFilter::all(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_runs_have_zero_deltas_and_tau_one() {
+        let s = store(&[("a", 400.0), ("b", 120.0), ("c", 30.0)]);
+        let config = IqbConfig::paper_default();
+        let before = scored(&s, &config);
+        let comparison = compare(&before, &before.clone()).unwrap();
+        assert_eq!(comparison.deltas.len(), 3);
+        assert!(comparison.deltas.iter().all(|d| d.delta() == 0.0));
+        assert!((comparison.rank_correlation.unwrap() - 1.0).abs() < 1e-12);
+        assert!(comparison.only_before.is_empty());
+        assert!(comparison.only_after.is_empty());
+    }
+
+    #[test]
+    fn config_change_shows_up_as_deltas() {
+        let s = store(&[("a", 400.0), ("b", 60.0)]);
+        let binary = scored(&s, &IqbConfig::paper_default());
+        let graded_config = IqbConfig::builder()
+            .scoring_mode(ScoringMode::Graded)
+            .build()
+            .unwrap();
+        let graded = scored(&s, &graded_config);
+        let comparison = compare(&binary, &graded).unwrap();
+        // Graded >= binary everywhere.
+        assert!(comparison.deltas.iter().all(|d| d.delta() >= 0.0));
+        // Sorted by |delta| descending.
+        for pair in comparison.deltas.windows(2) {
+            assert!(pair[0].delta().abs() >= pair[1].delta().abs());
+        }
+    }
+
+    #[test]
+    fn disjoint_regions_are_reported() {
+        let before = scored(&store(&[("a", 100.0), ("b", 50.0)]), &IqbConfig::paper_default());
+        let after = scored(&store(&[("b", 50.0), ("c", 70.0)]), &IqbConfig::paper_default());
+        let comparison = compare(&before, &after).unwrap();
+        assert_eq!(comparison.deltas.len(), 1);
+        assert_eq!(comparison.only_before, vec![RegionId::new("a").unwrap()]);
+        assert_eq!(comparison.only_after, vec![RegionId::new("c").unwrap()]);
+        assert!(comparison.rank_correlation.is_none(), "single common region");
+    }
+
+    #[test]
+    fn render_mentions_movement() {
+        let s = store(&[("a", 400.0), ("b", 60.0)]);
+        let binary = scored(&s, &IqbConfig::paper_default());
+        let graded = scored(
+            &s,
+            &IqbConfig::builder()
+                .scoring_mode(ScoringMode::Graded)
+                .build()
+                .unwrap(),
+        );
+        let text = render_comparison(&compare(&binary, &graded).unwrap());
+        assert!(text.contains("Delta"));
+        assert!(text.contains('→'));
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the pipeline layer.
+
+use std::fmt;
+
+/// Errors produced by the end-to-end pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Error bubbled up from the core framework.
+    Core(iqb_core::CoreError),
+    /// Error bubbled up from the dataset layer.
+    Data(iqb_data::DataError),
+    /// Error bubbled up from the statistics substrate.
+    Stats(iqb_stats::StatsError),
+    /// A pipeline configuration problem.
+    InvalidConfig(String),
+    /// A worker thread panicked during parallel scoring.
+    WorkerPanic(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Core(e) => write!(f, "core error: {e}"),
+            PipelineError::Data(e) => write!(f, "dataset error: {e}"),
+            PipelineError::Stats(e) => write!(f, "statistics error: {e}"),
+            PipelineError::InvalidConfig(why) => write!(f, "invalid pipeline config: {why}"),
+            PipelineError::WorkerPanic(why) => write!(f, "worker thread panicked: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Core(e) => Some(e),
+            PipelineError::Data(e) => Some(e),
+            PipelineError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<iqb_core::CoreError> for PipelineError {
+    fn from(e: iqb_core::CoreError) -> Self {
+        PipelineError::Core(e)
+    }
+}
+
+impl From<iqb_data::DataError> for PipelineError {
+    fn from(e: iqb_data::DataError) -> Self {
+        PipelineError::Data(e)
+    }
+}
+
+impl From<iqb_stats::StatsError> for PipelineError {
+    fn from(e: iqb_stats::StatsError) -> Self {
+        PipelineError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e: PipelineError = iqb_core::CoreError::NothingToScore.into();
+        assert!(e.to_string().contains("core"));
+        assert!(e.source().is_some());
+        let e = PipelineError::InvalidConfig("x".into());
+        assert!(e.source().is_none());
+    }
+}

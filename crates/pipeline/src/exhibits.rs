@@ -1,0 +1,168 @@
+//! Regenerators for the paper's three exhibits.
+//!
+//! The poster contains exactly three exhibits; each function renders its
+//! reproduction from a live [`IqbConfig`], so the printed rows come from
+//! the same tables the scoring code evaluates — not from a hard-coded
+//! string. EXPERIMENTS.md records the outputs as E1–E3.
+
+use iqb_core::config::IqbConfig;
+use iqb_core::metric::Metric;
+use iqb_core::threshold::QualityLevel;
+
+use crate::table::TextTable;
+
+/// E1 — Fig. 1: the three-tier framework, rendered as a text diagram.
+///
+/// Tier contents come from the configuration: use cases from
+/// `config.use_cases`, requirements from [`Metric::ALL`], datasets from
+/// `config.datasets`.
+pub fn render_fig1(config: &IqbConfig) -> String {
+    let use_cases: Vec<String> = config.use_cases.iter().map(|u| u.label().to_string()).collect();
+    let requirements: Vec<String> = Metric::ALL.iter().map(|m| m.label().to_string()).collect();
+    let datasets: Vec<String> = config.datasets.iter().map(|d| d.label().to_string()).collect();
+
+    let mut out = String::new();
+    out.push_str("The IQB framework: three tiers\n");
+    out.push_str("==============================\n\n");
+    out.push_str("  [ IQB score ]\n");
+    out.push_str("        ^\n");
+    out.push_str(&format!(
+        "  Tier 3: USE CASES            {}\n",
+        use_cases.join(" | ")
+    ));
+    out.push_str("        ^  (weights w_u; requirement weights w_u,r — Table 1)\n");
+    out.push_str(&format!(
+        "  Tier 2: NETWORK REQUIREMENTS {}\n",
+        requirements.join(" | ")
+    ));
+    out.push_str("        ^  (thresholds for min/high quality — Fig. 2; dataset weights w_u,r,d)\n");
+    out.push_str(&format!(
+        "  Tier 1: DATASETS             {}\n",
+        datasets.join(" | ")
+    ));
+    out.push_str("        ^  (95th-percentile aggregation per region)\n");
+    out.push_str("  [ measurements ]\n");
+    out
+}
+
+/// E2 — Fig. 2: the min/high quality threshold table, one row per use
+/// case, two columns per requirement, rendered exactly from the config.
+pub fn render_fig2(config: &IqbConfig) -> String {
+    let mut table = TextTable::new([
+        "Use case".to_string(),
+        "Down (min)".to_string(),
+        "Down (high)".to_string(),
+        "Up (min)".to_string(),
+        "Up (high)".to_string(),
+        "Latency (min)".to_string(),
+        "Latency (high)".to_string(),
+        "Loss (min)".to_string(),
+        "Loss (high)".to_string(),
+    ]);
+    for use_case in &config.use_cases {
+        let mut cells = vec![use_case.label().to_string()];
+        for metric in Metric::ALL {
+            let suffix = metric.unit().suffix();
+            for level in QualityLevel::ALL {
+                let cell = config
+                    .thresholds
+                    .get(use_case, metric, level)
+                    .map(|spec| spec.render(suffix))
+                    .unwrap_or_else(|| "—".to_string());
+                cells.push(cell);
+            }
+        }
+        table.row(cells);
+    }
+    table.render()
+}
+
+/// E3 — Table 1: the requirement weights per use case.
+pub fn render_table1(config: &IqbConfig) -> String {
+    let mut table = TextTable::new([
+        "Use Case",
+        "Download speed",
+        "Upload speed",
+        "Latency",
+        "Packet loss",
+    ]);
+    for use_case in &config.use_cases {
+        let mut cells = vec![use_case.label().to_string()];
+        for metric in Metric::ALL {
+            let cell = config
+                .requirement_weights
+                .get(use_case, metric)
+                .map(|w| w.to_string())
+                .unwrap_or_else(|| "—".to_string());
+            cells.push(cell);
+        }
+        table.row(cells);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_names_all_tiers() {
+        let text = render_fig1(&IqbConfig::paper_default());
+        for needle in [
+            "USE CASES",
+            "NETWORK REQUIREMENTS",
+            "DATASETS",
+            "Web Browsing",
+            "Gaming",
+            "Latency",
+            "M-Lab NDT",
+            "Ookla",
+            "95th-percentile",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn fig2_matches_paper_cells() {
+        let text = render_fig2(&IqbConfig::paper_default());
+        // Spot-check distinctive cells from the paper's Fig. 2.
+        for needle in [
+            "50-100Mb/s", // video streaming high download range
+            "Other",      // web-browsing / gaming upload high
+            "20ms",       // video conferencing high latency
+            "200Mb/s",    // online backup high upload
+            "0.1%",       // high-quality loss for most rows
+        ] {
+            assert!(text.contains(needle), "missing {needle}\n{text}");
+        }
+        assert_eq!(text.lines().count(), 2 + 6, "header + rule + 6 rows");
+    }
+
+    #[test]
+    fn table1_matches_paper_weights() {
+        let text = render_table1(&IqbConfig::paper_default());
+        let gaming_row = text
+            .lines()
+            .find(|l| l.starts_with("Gaming"))
+            .expect("gaming row");
+        let cells: Vec<&str> = gaming_row.split_whitespace().collect();
+        assert_eq!(&cells[1..], &["4", "4", "5", "4"]);
+        let audio_row = text
+            .lines()
+            .find(|l| l.starts_with("Audio Streaming"))
+            .expect("audio row");
+        let cells: Vec<&str> = audio_row.split_whitespace().collect();
+        assert_eq!(&cells[2..], &["4", "1", "3", "4"]);
+    }
+
+    #[test]
+    fn custom_config_renders_without_panic() {
+        let mut config = IqbConfig::paper_default();
+        config.use_cases.truncate(2);
+        let fig2 = render_fig2(&config);
+        assert_eq!(fig2.lines().count(), 2 + 2);
+        let table1 = render_table1(&config);
+        assert!(table1.contains("Web Browsing"));
+    }
+}

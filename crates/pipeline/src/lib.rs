@@ -1,0 +1,38 @@
+//! # iqb-pipeline — end-to-end IQB evaluation
+//!
+//! Orchestrates the full paper workflow: measurement records → per-region
+//! aggregation (the dataset tier) → the IQB score (eq. 1–5) → human- and
+//! machine-readable reports.
+//!
+//! * [`runner`] — scores every region of a store (or a set of
+//!   [`iqb_data::source::DataSource`]s) in parallel with crossbeam scoped
+//!   threads.
+//! * [`rank`] — regional rankings plus bootstrap ranking-stability
+//!   analysis (experiment E10).
+//! * [`trend`] — windowed temporal scoring (experiment E9).
+//! * [`table`] — a small text-table renderer used by every exhibit.
+//! * [`exhibits`] — regenerators for the paper's three exhibits: the
+//!   Fig. 1 tier diagram, the Fig. 2 threshold table and Table 1 weights.
+//! * [`report`] — markdown / CSV / JSON report rendering of scored
+//!   regions.
+//!
+//! ```
+//! use iqb_pipeline::exhibits;
+//! let table1 = exhibits::render_table1(&iqb_core::IqbConfig::paper_default());
+//! assert!(table1.contains("Gaming"));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod compare;
+pub mod error;
+pub mod exhibits;
+pub mod rank;
+pub mod report;
+pub mod runner;
+pub mod table;
+pub mod trend;
+
+pub use error::PipelineError;
+pub use runner::{score_all_regions, RegionScore, RegionalReport};

@@ -1,0 +1,314 @@
+//! Regional rankings and their statistical stability.
+//!
+//! IQB's binary cells make the composite sensitive to aggregates that sit
+//! near a threshold: resampling the underlying tests can flip a cell and
+//! reshuffle a ranking. [`score_stability`] quantifies that (experiment
+//! E10) with a bootstrap over the region's records: resample tests with
+//! replacement, re-aggregate, re-score, and report the distribution of
+//! composite scores.
+
+use iqb_core::config::IqbConfig;
+use iqb_core::input::AggregateInput;
+use iqb_core::metric::Metric;
+use iqb_core::score::score_iqb;
+use iqb_data::aggregate::AggregationSpec;
+use iqb_data::record::RegionId;
+use iqb_data::store::{MeasurementStore, QueryFilter};
+use iqb_stats::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+use crate::error::PipelineError;
+use crate::runner::RegionalReport;
+
+/// One row of a ranking table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankEntry {
+    /// 1-based rank (best first).
+    pub rank: usize,
+    /// The region.
+    pub region: RegionId,
+    /// Composite score.
+    pub score: f64,
+    /// Letter grade.
+    pub grade: char,
+    /// Credit-style score.
+    pub credit: u32,
+}
+
+/// Builds a best-first ranking from a regional report.
+pub fn ranking(report: &RegionalReport) -> Vec<RankEntry> {
+    report
+        .ranked()
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| RankEntry {
+            rank: i + 1,
+            region: r.region.clone(),
+            score: r.report.score,
+            grade: r.grade.label(),
+            credit: r.credit,
+        })
+        .collect()
+}
+
+/// Bootstrap distribution of one region's composite score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreStability {
+    /// The region analysed.
+    pub region: RegionId,
+    /// Score on the full (un-resampled) data.
+    pub point_score: f64,
+    /// Bootstrap scores, sorted ascending.
+    pub bootstrap_scores: Vec<f64>,
+    /// 2.5th percentile of the bootstrap scores.
+    pub lower: f64,
+    /// 97.5th percentile of the bootstrap scores.
+    pub upper: f64,
+}
+
+impl ScoreStability {
+    /// Width of the 95% bootstrap interval.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Fraction of bootstrap scores that differ from the point score by
+    /// more than `epsilon` — how often resampling materially moves the
+    /// composite.
+    pub fn flip_fraction(&self, epsilon: f64) -> f64 {
+        if self.bootstrap_scores.is_empty() {
+            return 0.0;
+        }
+        let flips = self
+            .bootstrap_scores
+            .iter()
+            .filter(|s| (**s - self.point_score).abs() > epsilon)
+            .count();
+        flips as f64 / self.bootstrap_scores.len() as f64
+    }
+}
+
+/// Bootstraps one region's composite score.
+///
+/// For each replicate, every (dataset, metric) column is independently
+/// resampled with replacement, re-aggregated at the spec's quantiles, and
+/// the composite recomputed. Deterministic for a fixed `seed`.
+pub fn score_stability(
+    store: &MeasurementStore,
+    region: &RegionId,
+    config: &IqbConfig,
+    spec: &AggregationSpec,
+    replicates: usize,
+    seed: u64,
+) -> Result<ScoreStability, PipelineError> {
+    if replicates < 2 {
+        return Err(PipelineError::InvalidConfig(
+            "bootstrap needs at least 2 replicates".into(),
+        ));
+    }
+    config.validate()?;
+    // Collect each (dataset, metric) column once.
+    let mut columns: Vec<(iqb_core::dataset::DatasetId, Metric, Vec<f64>)> = Vec::new();
+    for dataset in &config.datasets {
+        let filter = QueryFilter::all()
+            .region(region.clone())
+            .dataset(dataset.clone());
+        for metric in Metric::ALL {
+            let column = store.metric_column(&filter, metric);
+            if column.len() >= spec.min_samples.max(1) {
+                columns.push((dataset.clone(), metric, column));
+            }
+        }
+    }
+    if columns.is_empty() {
+        return Err(PipelineError::Data(iqb_data::DataError::NoData {
+            context: format!("region {region} has no columns to bootstrap"),
+        }));
+    }
+
+    // Point estimate from the full columns.
+    let point_input = input_from_columns(&columns, spec, None)?;
+    let point_score = score_iqb(config, &point_input)?.score;
+
+    let mut rng = SplitMix64::new(seed);
+    let mut scores = Vec::with_capacity(replicates);
+    for _ in 0..replicates {
+        let input = input_from_columns(&columns, spec, Some(&mut rng))?;
+        scores.push(score_iqb(config, &input)?.score);
+    }
+    scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    let lower = iqb_stats::exact::quantile_sorted(
+        &scores,
+        0.025,
+        iqb_stats::exact::QuantileMethod::Linear,
+    )?;
+    let upper = iqb_stats::exact::quantile_sorted(
+        &scores,
+        0.975,
+        iqb_stats::exact::QuantileMethod::Linear,
+    )?;
+    Ok(ScoreStability {
+        region: region.clone(),
+        point_score,
+        bootstrap_scores: scores,
+        lower,
+        upper,
+    })
+}
+
+/// Aggregates columns into a scoring input; with an RNG, each column is
+/// resampled with replacement first.
+fn input_from_columns(
+    columns: &[(iqb_core::dataset::DatasetId, Metric, Vec<f64>)],
+    spec: &AggregationSpec,
+    mut rng: Option<&mut SplitMix64>,
+) -> Result<AggregateInput, PipelineError> {
+    let mut input = AggregateInput::new();
+    let mut resampled = Vec::new();
+    for (dataset, metric, column) in columns {
+        let values: &[f64] = match rng.as_deref_mut() {
+            Some(rng) => {
+                resampled.clear();
+                resampled.reserve(column.len());
+                for _ in 0..column.len() {
+                    resampled.push(column[rng.next_index(column.len())]);
+                }
+                &resampled
+            }
+            None => column,
+        };
+        let q = spec.quantile_for(*metric)?;
+        let value = iqb_stats::quantile(values, q)?;
+        input.set(dataset.clone(), *metric, value);
+    }
+    Ok(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqb_core::dataset::DatasetId;
+    use iqb_data::record::TestRecord;
+
+    fn store_for(region: &RegionId, base_down: f64, spread: f64, n: usize) -> MeasurementStore {
+        let mut store = MeasurementStore::new();
+        let mut rng = SplitMix64::new(7);
+        for d in DatasetId::BUILTIN {
+            for i in 0..n {
+                let wiggle = (rng.next_f64() * 2.0 - 1.0) * spread;
+                store
+                    .push(TestRecord {
+                        timestamp: i as u64,
+                        region: region.clone(),
+                        dataset: d.clone(),
+                        download_mbps: (base_down + wiggle).max(0.1),
+                        upload_mbps: 30.0,
+                        latency_ms: 40.0,
+                        loss_pct: Some(0.2),
+                        tech: None,
+                    })
+                    .unwrap();
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn stability_brackets_point_score() {
+        let region = RegionId::new("r").unwrap();
+        let store = store_for(&region, 120.0, 60.0, 200);
+        let s = score_stability(
+            &store,
+            &region,
+            &IqbConfig::paper_default(),
+            &AggregationSpec::paper_default(),
+            100,
+            1,
+        )
+        .unwrap();
+        assert!(s.lower <= s.upper);
+        assert!(s.bootstrap_scores.len() == 100);
+        assert!((0.0..=1.0).contains(&s.point_score));
+        assert!(s.width() >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let region = RegionId::new("r").unwrap();
+        let store = store_for(&region, 90.0, 40.0, 100);
+        let config = IqbConfig::paper_default();
+        let spec = AggregationSpec::paper_default();
+        let a = score_stability(&store, &region, &config, &spec, 50, 5).unwrap();
+        let b = score_stability(&store, &region, &config, &spec, 50, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threshold_straddling_region_is_less_stable() {
+        // Downloads whose p95 sits at the 100 Mb/s high threshold → cells
+        // flip under resampling. A region far from every threshold is
+        // stable. (base 72 ± 30 puts the p95 of the column right at ~100.)
+        let region = RegionId::new("r").unwrap();
+        let straddling = store_for(&region, 72.0, 30.0, 60);
+        let config = IqbConfig::paper_default();
+        let spec = AggregationSpec::paper_default();
+        let unstable = score_stability(&straddling, &region, &config, &spec, 100, 3).unwrap();
+        let comfortable = store_for(&region, 800.0, 30.0, 60);
+        let stable = score_stability(&comfortable, &region, &config, &spec, 100, 3).unwrap();
+        assert!(
+            unstable.flip_fraction(1e-6) > stable.flip_fraction(1e-6),
+            "straddling flips {} vs comfortable {}",
+            unstable.flip_fraction(1e-6),
+            stable.flip_fraction(1e-6)
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_replicates_and_missing_region() {
+        let region = RegionId::new("r").unwrap();
+        let store = store_for(&region, 90.0, 10.0, 20);
+        let config = IqbConfig::paper_default();
+        let spec = AggregationSpec::paper_default();
+        assert!(score_stability(&store, &region, &config, &spec, 1, 0).is_err());
+        let ghost = RegionId::new("ghost").unwrap();
+        assert!(score_stability(&store, &ghost, &config, &spec, 10, 0).is_err());
+    }
+
+    #[test]
+    fn ranking_is_best_first() {
+        use iqb_data::store::QueryFilter;
+        let mut store = MeasurementStore::new();
+        for (name, down) in [("good", 500.0), ("bad", 20.0), ("mid", 120.0)] {
+            let region = RegionId::new(name).unwrap();
+            for d in DatasetId::BUILTIN {
+                for i in 0..10 {
+                    store
+                        .push(TestRecord {
+                            timestamp: i,
+                            region: region.clone(),
+                            dataset: d.clone(),
+                            download_mbps: down,
+                            upload_mbps: down / 3.0,
+                            latency_ms: 25.0,
+                            loss_pct: Some(0.05),
+                            tech: None,
+                        })
+                        .unwrap();
+                }
+            }
+        }
+        let report = crate::runner::score_all_regions(
+            &store,
+            &IqbConfig::paper_default(),
+            &AggregationSpec::paper_default(),
+            &QueryFilter::all(),
+        )
+        .unwrap();
+        let ranks = ranking(&report);
+        assert_eq!(ranks.len(), 3);
+        assert_eq!(ranks[0].region.as_str(), "good");
+        assert_eq!(ranks[2].region.as_str(), "bad");
+        assert_eq!(ranks[0].rank, 1);
+        assert!(ranks[0].score >= ranks[1].score);
+    }
+}

@@ -1,0 +1,257 @@
+//! Report rendering for scored regions.
+//!
+//! Three consumers, three formats: a text/markdown summary for humans, a
+//! CSV for spreadsheets, and JSON for machines. All render from the same
+//! [`RegionalReport`], and the per-use-case drill-down explains *why* —
+//! including each region's limiting requirement, the actionable insight
+//! the paper positions IQB to provide to decision-makers.
+
+use iqb_core::metric::Metric;
+use iqb_core::usecase::UseCase;
+
+use crate::error::PipelineError;
+use crate::runner::RegionalReport;
+use crate::table::TextTable;
+
+/// Renders the regional summary as an aligned text table:
+/// one row per region, best first.
+pub fn render_summary(report: &RegionalReport) -> String {
+    let mut table = TextTable::new([
+        "Rank", "Region", "IQB score", "Grade", "Credit-style", "Weakest use case",
+    ]);
+    for (i, r) in report.ranked().into_iter().enumerate() {
+        let weakest = r
+            .report
+            .weakest_use_case()
+            .map(|(u, s)| format!("{} ({:.2})", u.label(), s.score))
+            .unwrap_or_else(|| "—".to_string());
+        table.row([
+            (i + 1).to_string(),
+            r.region.to_string(),
+            format!("{:.3}", r.report.score),
+            r.grade.to_string(),
+            r.credit.to_string(),
+            weakest,
+        ]);
+    }
+    let mut out = table.render();
+    if !report.skipped.is_empty() {
+        out.push_str(&format!(
+            "\nSkipped (no data): {}\n",
+            report
+                .skipped
+                .iter()
+                .map(|r| r.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    out
+}
+
+/// Renders one region's full drill-down: per-use-case scores, per-
+/// requirement agreements, and the limiting factor.
+pub fn render_drilldown(report: &RegionalReport, region: &iqb_data::record::RegionId) -> String {
+    let Some(scored) = report.regions.get(region) else {
+        return format!("region {region}: no scored data\n");
+    };
+    let mut out = format!(
+        "Region {region}: IQB = {:.3} (grade {}, credit-style {})\n\n",
+        scored.report.score, scored.grade, scored.credit
+    );
+    let mut table = TextTable::new([
+        "Use case",
+        "Score",
+        "Down",
+        "Up",
+        "Latency",
+        "Loss",
+        "Limiting requirement",
+    ]);
+    for (use_case, ucs) in &scored.report.use_cases {
+        let cell = |metric: Metric| -> String {
+            ucs.requirements
+                .get(&metric)
+                .map(|r| format!("{:.2}", r.agreement))
+                .unwrap_or_else(|| "—".to_string())
+        };
+        let limiting = ucs
+            .limiting_requirement()
+            .map(|(m, _)| m.label().to_string())
+            .unwrap_or_else(|| "—".to_string());
+        table.row([
+            use_case.label().to_string(),
+            format!("{:.2}", ucs.score),
+            cell(Metric::DownloadThroughput),
+            cell(Metric::UploadThroughput),
+            cell(Metric::Latency),
+            cell(Metric::PacketLoss),
+            limiting,
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+/// Renders the regional summary as GitHub-flavoured markdown (same rows
+/// as [`render_summary`]), for READMEs and issue trackers.
+pub fn render_markdown(report: &RegionalReport) -> String {
+    let mut table = TextTable::new([
+        "Rank", "Region", "IQB score", "Grade", "Credit-style", "Weakest use case",
+    ]);
+    for (i, r) in report.ranked().into_iter().enumerate() {
+        let weakest = r
+            .report
+            .weakest_use_case()
+            .map(|(u, s)| format!("{} ({:.2})", u.label(), s.score))
+            .unwrap_or_else(|| "—".to_string());
+        table.row([
+            (i + 1).to_string(),
+            r.region.to_string(),
+            format!("{:.3}", r.report.score),
+            r.grade.to_string(),
+            r.credit.to_string(),
+            weakest,
+        ]);
+    }
+    table.render_markdown()
+}
+
+/// Renders the summary as CSV (one row per region plus per-use-case
+/// columns).
+pub fn render_csv(report: &RegionalReport) -> String {
+    let mut header: Vec<String> = vec![
+        "region".into(),
+        "iqb_score".into(),
+        "grade".into(),
+        "credit".into(),
+    ];
+    for u in UseCase::BUILTIN {
+        header.push(format!(
+            "score_{}",
+            u.label().to_lowercase().replace(' ', "_")
+        ));
+    }
+    let mut table = TextTable::new(header);
+    for r in report.ranked() {
+        let mut row = vec![
+            r.region.to_string(),
+            format!("{:.6}", r.report.score),
+            r.grade.to_string(),
+            r.credit.to_string(),
+        ];
+        for u in UseCase::BUILTIN {
+            row.push(
+                r.report
+                    .use_cases
+                    .get(&u)
+                    .map(|s| format!("{:.6}", s.score))
+                    .unwrap_or_default(),
+            );
+        }
+        table.row(row);
+    }
+    table.render_csv()
+}
+
+/// Serializes the full report (scores, decompositions, inputs) as
+/// pretty-printed JSON.
+pub fn render_json(report: &RegionalReport) -> Result<String, PipelineError> {
+    serde_json::to_string_pretty(report)
+        .map_err(|e| PipelineError::InvalidConfig(format!("JSON render failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqb_core::config::IqbConfig;
+    use iqb_core::dataset::DatasetId;
+    use iqb_data::aggregate::AggregationSpec;
+    use iqb_data::record::{RegionId, TestRecord};
+    use iqb_data::store::{MeasurementStore, QueryFilter};
+
+    fn scored_report() -> RegionalReport {
+        let mut store = MeasurementStore::new();
+        for (name, down, rtt) in [("alpha", 400.0, 10.0), ("beta", 30.0, 90.0)] {
+            let region = RegionId::new(name).unwrap();
+            for d in DatasetId::BUILTIN {
+                for i in 0..10 {
+                    store
+                        .push(TestRecord {
+                            timestamp: i,
+                            region: region.clone(),
+                            dataset: d.clone(),
+                            download_mbps: down,
+                            upload_mbps: down / 2.0,
+                            latency_ms: rtt,
+                            loss_pct: Some(0.05),
+                            tech: None,
+                        })
+                        .unwrap();
+                }
+            }
+        }
+        crate::runner::score_all_regions(
+            &store,
+            &IqbConfig::paper_default(),
+            &AggregationSpec::paper_default(),
+            &QueryFilter::all(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn summary_lists_regions_best_first() {
+        let report = scored_report();
+        let text = render_summary(&report);
+        let alpha_pos = text.find("alpha").unwrap();
+        let beta_pos = text.find("beta").unwrap();
+        assert!(alpha_pos < beta_pos, "alpha should rank first\n{text}");
+        assert!(text.contains("Grade"));
+    }
+
+    #[test]
+    fn drilldown_names_limiting_requirement() {
+        let report = scored_report();
+        let region = RegionId::new("beta").unwrap();
+        let text = render_drilldown(&report, &region);
+        assert!(text.contains("Region beta"));
+        assert!(text.contains("Limiting requirement"));
+        // Beta's 30 Mb/s fails most 100 Mb/s download thresholds.
+        assert!(text.contains("Gaming"));
+    }
+
+    #[test]
+    fn drilldown_for_unknown_region_is_graceful() {
+        let report = scored_report();
+        let ghost = RegionId::new("ghost").unwrap();
+        let text = render_drilldown(&report, &ghost);
+        assert!(text.contains("no scored data"));
+    }
+
+    #[test]
+    fn markdown_summary_is_a_table() {
+        let report = scored_report();
+        let md = render_markdown(&report);
+        assert!(md.starts_with("| Rank | Region |"));
+        assert!(md.contains("| alpha |") || md.contains("| 1 | alpha |"));
+        assert_eq!(md.lines().count(), 2 + 2, "header + rule + 2 regions");
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_region() {
+        let report = scored_report();
+        let csv = render_csv(&report);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("region,iqb_score,grade,credit,score_web_browsing"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = scored_report();
+        let json = render_json(&report).unwrap();
+        let back: RegionalReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,296 @@
+//! Parallel regional scoring.
+//!
+//! [`score_all_regions`] takes a measurement store, an
+//! [`IqbConfig`] and an [`AggregationSpec`], and produces one scored
+//! report per region. Regions are independent, so they are fanned out
+//! over crossbeam scoped threads reading the store immutably; results are
+//! collected over a channel and returned in deterministic (sorted-region)
+//! order regardless of completion order.
+
+use std::collections::BTreeMap;
+
+use iqb_core::config::IqbConfig;
+use iqb_core::grade::{credit_scale, GradeBands, LetterGrade};
+use iqb_core::input::AggregateInput;
+use iqb_core::score::{score_iqb, IqbReport};
+use iqb_data::aggregate::{aggregate_region_filtered, AggregationSpec};
+use iqb_data::record::RegionId;
+use iqb_data::store::{MeasurementStore, QueryFilter};
+use serde::{Deserialize, Serialize};
+
+use crate::error::PipelineError;
+
+/// One region's scored result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionScore {
+    /// The region.
+    pub region: RegionId,
+    /// Full decomposed score report.
+    pub report: IqbReport,
+    /// Nutri-Score-style letter grade (default bands).
+    pub grade: LetterGrade,
+    /// Credit-score-style 300–850 rendering.
+    pub credit: u32,
+    /// The scoring input the report was computed from (for drill-down).
+    pub input: AggregateInput,
+}
+
+/// Scored results for a set of regions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionalReport {
+    /// Region → scored result, in region order.
+    pub regions: BTreeMap<RegionId, RegionScore>,
+    /// Regions that had no scoreable data (skipped, not failed).
+    pub skipped: Vec<RegionId>,
+}
+
+impl RegionalReport {
+    /// Regions ranked best-first by score, ties broken by region id.
+    pub fn ranked(&self) -> Vec<&RegionScore> {
+        let mut out: Vec<&RegionScore> = self.regions.values().collect();
+        out.sort_by(|a, b| {
+            b.report
+                .score
+                .partial_cmp(&a.report.score)
+                .expect("scores are finite")
+                .then_with(|| a.region.cmp(&b.region))
+        });
+        out
+    }
+}
+
+/// Scores every region in the store under `filter`, in parallel.
+///
+/// Regions whose filtered data is empty are reported in
+/// [`RegionalReport::skipped`] rather than failing the whole run; any
+/// other error aborts.
+pub fn score_all_regions(
+    store: &MeasurementStore,
+    config: &IqbConfig,
+    spec: &AggregationSpec,
+    filter: &QueryFilter,
+) -> Result<RegionalReport, PipelineError> {
+    config.validate()?;
+    let regions = store.regions();
+    let grade_bands = GradeBands::default();
+
+    // Fan regions out over scoped worker threads; each worker owns a
+    // disjoint chunk and sends results over a channel.
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(regions.len().max(1));
+    let chunk_size = regions.len().div_ceil(workers.max(1)).max(1);
+
+    type WorkerResult = Result<(RegionId, Option<Box<(IqbReport, AggregateInput)>>), PipelineError>;
+    let (sender, receiver) = crossbeam::channel::unbounded::<WorkerResult>();
+
+    crossbeam::scope(|scope| {
+        for chunk in regions.chunks(chunk_size) {
+            let sender = sender.clone();
+            scope.spawn(move |_| {
+                for region in chunk {
+                    let outcome = score_one_region(store, config, spec, filter, region);
+                    let message = match outcome {
+                        Ok(Some((report, input))) => {
+                            Ok((region.clone(), Some(Box::new((report, input)))))
+                        }
+                        Ok(None) => Ok((region.clone(), None)),
+                        Err(e) => Err(e),
+                    };
+                    // The receiver outlives the scope; ignore send failure
+                    // (only possible if the parent already bailed).
+                    let _ = sender.send(message);
+                }
+            });
+        }
+        drop(sender);
+        Ok::<(), PipelineError>(())
+    })
+    .map_err(|panic| {
+        PipelineError::WorkerPanic(format!("scoring worker panicked: {panic:?}"))
+    })??;
+
+    let mut scored = BTreeMap::new();
+    let mut skipped = Vec::new();
+    for message in receiver.iter() {
+        match message? {
+            (region, Some(boxed)) => {
+                let (report, input) = *boxed;
+                let grade = grade_bands.grade(report.score)?;
+                let credit = credit_scale(report.score)?;
+                scored.insert(
+                    region.clone(),
+                    RegionScore {
+                        region,
+                        report,
+                        grade,
+                        credit,
+                        input,
+                    },
+                );
+            }
+            (region, None) => skipped.push(region),
+        }
+    }
+    skipped.sort();
+    Ok(RegionalReport {
+        regions: scored,
+        skipped,
+    })
+}
+
+/// Scores one region; `Ok(None)` means "no data under this filter".
+fn score_one_region(
+    store: &MeasurementStore,
+    config: &IqbConfig,
+    spec: &AggregationSpec,
+    filter: &QueryFilter,
+    region: &RegionId,
+) -> Result<Option<(IqbReport, AggregateInput)>, PipelineError> {
+    let input =
+        match aggregate_region_filtered(store, region, &config.datasets, spec, filter) {
+            Ok(input) => input,
+            Err(iqb_data::DataError::NoData { .. }) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+    match score_iqb(config, &input) {
+        Ok(report) => Ok(Some((report, input))),
+        Err(iqb_core::CoreError::NothingToScore) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqb_core::dataset::DatasetId;
+    use iqb_data::record::TestRecord;
+
+    /// A store with `regions` regions of graded quality: region k gets
+    /// download (k+1)*base and latency shrinking with k.
+    fn graded_store(regions: usize, tests_per_region: usize) -> MeasurementStore {
+        let mut store = MeasurementStore::new();
+        for k in 0..regions {
+            let region = RegionId::new(format!("region-{k:02}")).unwrap();
+            for d in DatasetId::BUILTIN {
+                for i in 0..tests_per_region {
+                    store
+                        .push(TestRecord {
+                            timestamp: i as u64,
+                            region: region.clone(),
+                            dataset: d.clone(),
+                            download_mbps: 30.0 * (k + 1) as f64,
+                            upload_mbps: 10.0 * (k + 1) as f64,
+                            latency_ms: 120.0 / (k + 1) as f64,
+                            loss_pct: if d == DatasetId::Ookla {
+                                None
+                            } else {
+                                Some(1.0 / (k + 1) as f64)
+                            },
+                            tech: None,
+                        })
+                        .unwrap();
+                }
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn scores_every_region() {
+        let store = graded_store(6, 20);
+        let report = score_all_regions(
+            &store,
+            &IqbConfig::paper_default(),
+            &AggregationSpec::paper_default(),
+            &QueryFilter::all(),
+        )
+        .unwrap();
+        assert_eq!(report.regions.len(), 6);
+        assert!(report.skipped.is_empty());
+    }
+
+    #[test]
+    fn better_regions_rank_higher() {
+        let store = graded_store(6, 20);
+        let report = score_all_regions(
+            &store,
+            &IqbConfig::paper_default(),
+            &AggregationSpec::paper_default(),
+            &QueryFilter::all(),
+        )
+        .unwrap();
+        let ranked = report.ranked();
+        // Scores must be non-increasing down the ranking.
+        for pair in ranked.windows(2) {
+            assert!(pair[0].report.score >= pair[1].report.score);
+        }
+        // The best-provisioned region (region-05) must beat the worst.
+        let best = &report.regions[&RegionId::new("region-05").unwrap()];
+        let worst = &report.regions[&RegionId::new("region-00").unwrap()];
+        assert!(best.report.score > worst.report.score);
+        assert!(best.credit > worst.credit);
+        assert!(best.grade <= worst.grade, "grades order A-best");
+    }
+
+    #[test]
+    fn parallel_result_is_deterministic() {
+        let store = graded_store(12, 10);
+        let run = || {
+            score_all_regions(
+                &store,
+                &IqbConfig::paper_default(),
+                &AggregationSpec::paper_default(),
+                &QueryFilter::all(),
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_store_reports_nothing() {
+        let store = MeasurementStore::new();
+        let report = score_all_regions(
+            &store,
+            &IqbConfig::paper_default(),
+            &AggregationSpec::paper_default(),
+            &QueryFilter::all(),
+        )
+        .unwrap();
+        assert!(report.regions.is_empty());
+        assert!(report.skipped.is_empty());
+    }
+
+    #[test]
+    fn filtered_out_region_is_skipped_not_failed() {
+        let store = graded_store(2, 5);
+        // Filter to a window none of the timestamps (0..5) can satisfy.
+        let filter = QueryFilter::all().time_range(1_000_000, 2_000_000);
+        let report = score_all_regions(
+            &store,
+            &IqbConfig::paper_default(),
+            &AggregationSpec::paper_default(),
+            &filter,
+        )
+        .unwrap();
+        assert!(report.regions.is_empty());
+        assert_eq!(report.skipped.len(), 2);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let store = graded_store(2, 10);
+        let report = score_all_regions(
+            &store,
+            &IqbConfig::paper_default(),
+            &AggregationSpec::paper_default(),
+            &QueryFilter::all(),
+        )
+        .unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RegionalReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

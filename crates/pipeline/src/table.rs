@@ -1,0 +1,196 @@
+//! Minimal text-table renderer.
+//!
+//! Every exhibit and report in the workspace renders through this: fixed
+//! column alignment, a header rule, no external dependencies. Output is
+//! plain ASCII so it diff-checks cleanly in EXPERIMENTS.md.
+
+/// A simple text table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given header cells.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows
+    /// extend the column count.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns and a rule under the header.
+    pub fn render(&self) -> String {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut out = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                // Pad all but the last column.
+                if i + 1 < widths.len() {
+                    for _ in cell.chars().count()..*width {
+                        out.push(' ');
+                    }
+                }
+            }
+            out.trim_end().to_string()
+        };
+
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        let rule_len = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as GitHub-flavoured markdown.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.header.join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.header {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+
+    /// Renders as CSV (naive quoting: cells containing commas or quotes
+    /// are quoted with doubled inner quotes).
+    pub fn render_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TextTable {
+        let mut t = TextTable::new(["Region", "Score", "Grade"]);
+        t.row(["metro-1", "0.83", "B"]);
+        t.row(["rural-2", "0.41", "D"]);
+        t
+    }
+
+    #[test]
+    fn renders_aligned_columns() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Region"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // "Score" column starts at the same offset in every row.
+        let offset = lines[0].find("Score").unwrap();
+        assert_eq!(lines[2].find("0.83").unwrap(), offset);
+        assert_eq!(lines[3].find("0.41").unwrap(), offset);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(["A", "B", "C"]);
+        t.row(["only"]);
+        let text = t.render();
+        assert!(text.contains("only"));
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = sample().render_markdown();
+        assert!(md.starts_with("| Region | Score | Grade |"));
+        assert!(md.contains("|---|---|---|"));
+        assert!(md.contains("| metro-1 | 0.83 | B |"));
+    }
+
+    #[test]
+    fn csv_quotes_when_needed() {
+        let mut t = TextTable::new(["name", "note"]);
+        t.row(["a", "plain"]);
+        t.row(["b", "has, comma"]);
+        t.row(["c", "has \"quotes\""]);
+        let csv = t.render_csv();
+        assert!(csv.contains("a,plain"));
+        assert!(csv.contains("b,\"has, comma\""));
+        assert!(csv.contains("c,\"has \"\"quotes\"\"\""));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new(["X"]);
+        assert!(t.is_empty());
+        let text = t.render();
+        assert!(text.starts_with("X\n"));
+    }
+}

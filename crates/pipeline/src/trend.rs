@@ -1,0 +1,276 @@
+//! Temporal trends: the IQB score as a function of time.
+//!
+//! Experiment E9: slice the campaign window into fixed-width windows,
+//! aggregate and score each independently, and trace the composite over
+//! time. On diurnal synthetic data the evening windows score visibly
+//! worse — the "quality weather" a static annual score hides.
+
+use iqb_core::config::IqbConfig;
+use iqb_data::aggregate::AggregationSpec;
+use iqb_data::record::RegionId;
+use iqb_data::store::{MeasurementStore, QueryFilter};
+use serde::{Deserialize, Serialize};
+
+use crate::error::PipelineError;
+use crate::runner::score_all_regions;
+
+/// The score of one region in one time window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrendPoint {
+    /// Window start timestamp (campaign seconds).
+    pub window_start: u64,
+    /// Window width in seconds.
+    pub window_s: u64,
+    /// Composite score for the window, `None` when the window had no
+    /// scoreable data.
+    pub score: Option<f64>,
+    /// Number of records that fell in the window.
+    pub samples: usize,
+}
+
+/// Scores one region per time window across `[start, end)`.
+pub fn score_trend(
+    store: &MeasurementStore,
+    region: &RegionId,
+    config: &IqbConfig,
+    spec: &AggregationSpec,
+    start: u64,
+    end: u64,
+    window_s: u64,
+) -> Result<Vec<TrendPoint>, PipelineError> {
+    if window_s == 0 {
+        return Err(PipelineError::InvalidConfig(
+            "window width must be positive".into(),
+        ));
+    }
+    if end <= start {
+        return Err(PipelineError::InvalidConfig(format!(
+            "empty trend range [{start}, {end})"
+        )));
+    }
+    let mut points = Vec::new();
+    let mut window_start = start;
+    while window_start < end {
+        let window_end = (window_start + window_s).min(end);
+        let filter = QueryFilter::all()
+            .region(region.clone())
+            .time_range(window_start, window_end);
+        let samples = store.count(&filter);
+        // Reuse the parallel runner on the single region via the filter;
+        // simpler: aggregate+score directly through score_all_regions
+        // would rescan all regions, so score just this one.
+        let score = if samples == 0 {
+            None
+        } else {
+            match iqb_data::aggregate::aggregate_region_filtered(
+                store,
+                region,
+                &config.datasets,
+                spec,
+                &QueryFilter::all().time_range(window_start, window_end),
+            ) {
+                Ok(input) => match iqb_core::score::score_iqb(config, &input) {
+                    Ok(report) => Some(report.score),
+                    Err(iqb_core::CoreError::NothingToScore) => None,
+                    Err(e) => return Err(e.into()),
+                },
+                Err(iqb_data::DataError::NoData { .. }) => None,
+                Err(e) => return Err(e.into()),
+            }
+        };
+        points.push(TrendPoint {
+            window_start,
+            window_s,
+            score,
+            samples,
+        });
+        window_start = window_end;
+    }
+    Ok(points)
+}
+
+/// Mean score per hour-of-day across a multi-day campaign — the diurnal
+/// profile of quality. Index `h` holds the mean score of windows whose
+/// start falls in hour `h`, `None` when no window scored there.
+pub fn diurnal_profile(points: &[TrendPoint]) -> [Option<f64>; 24] {
+    let mut sums = [0.0f64; 24];
+    let mut counts = [0usize; 24];
+    for p in points {
+        if let Some(score) = p.score {
+            let hour = ((p.window_start % 86_400) / 3_600) as usize;
+            sums[hour] += score;
+            counts[hour] += 1;
+        }
+    }
+    std::array::from_fn(|h| (counts[h] > 0).then(|| sums[h] / counts[h] as f64))
+}
+
+/// Convenience: trend for every region (sequentially per region, parallel
+/// inside the full-store scoring path is not reused here because windows
+/// are many and small).
+pub fn score_trends_all_regions(
+    store: &MeasurementStore,
+    config: &IqbConfig,
+    spec: &AggregationSpec,
+    start: u64,
+    end: u64,
+    window_s: u64,
+) -> Result<Vec<(RegionId, Vec<TrendPoint>)>, PipelineError> {
+    let _ = score_all_regions; // see module docs; kept for API symmetry
+    store
+        .regions()
+        .into_iter()
+        .map(|region| {
+            score_trend(store, &region, config, spec, start, end, window_s)
+                .map(|points| (region, points))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqb_core::dataset::DatasetId;
+    use iqb_data::record::TestRecord;
+
+    /// Store whose quality alternates: good in even hours, bad in odd.
+    fn alternating_store(region: &RegionId, hours: u64) -> MeasurementStore {
+        let mut store = MeasurementStore::new();
+        for h in 0..hours {
+            let good = h % 2 == 0;
+            for d in DatasetId::BUILTIN {
+                for i in 0..5 {
+                    store
+                        .push(TestRecord {
+                            timestamp: h * 3600 + i * 600,
+                            region: region.clone(),
+                            dataset: d.clone(),
+                            download_mbps: if good { 400.0 } else { 15.0 },
+                            upload_mbps: if good { 250.0 } else { 3.0 },
+                            latency_ms: if good { 10.0 } else { 180.0 },
+                            loss_pct: if d == DatasetId::Ookla {
+                                None
+                            } else {
+                                Some(if good { 0.05 } else { 2.0 })
+                            },
+                            tech: None,
+                        })
+                        .unwrap();
+                }
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn windows_cover_range_without_overlap() {
+        let region = RegionId::new("r").unwrap();
+        let store = alternating_store(&region, 6);
+        let points = score_trend(
+            &store,
+            &region,
+            &IqbConfig::paper_default(),
+            &AggregationSpec::paper_default(),
+            0,
+            6 * 3600,
+            3600,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 6);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.window_start, i as u64 * 3600);
+            assert_eq!(p.samples, 15);
+        }
+    }
+
+    #[test]
+    fn alternating_quality_is_visible_in_trend() {
+        let region = RegionId::new("r").unwrap();
+        let store = alternating_store(&region, 8);
+        let points = score_trend(
+            &store,
+            &region,
+            &IqbConfig::paper_default(),
+            &AggregationSpec::paper_default(),
+            0,
+            8 * 3600,
+            3600,
+        )
+        .unwrap();
+        for (i, p) in points.iter().enumerate() {
+            let score = p.score.unwrap();
+            if i % 2 == 0 {
+                assert!(score > 0.5, "even window {i} score {score}");
+            } else {
+                assert!(score < 0.3, "odd window {i} score {score}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_windows_score_none() {
+        let region = RegionId::new("r").unwrap();
+        let store = alternating_store(&region, 2);
+        // Range extends past the data.
+        let points = score_trend(
+            &store,
+            &region,
+            &IqbConfig::paper_default(),
+            &AggregationSpec::paper_default(),
+            0,
+            4 * 3600,
+            3600,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 4);
+        assert!(points[3].score.is_none());
+        assert_eq!(points[3].samples, 0);
+    }
+
+    #[test]
+    fn rejects_degenerate_ranges() {
+        let region = RegionId::new("r").unwrap();
+        let store = alternating_store(&region, 2);
+        let config = IqbConfig::paper_default();
+        let spec = AggregationSpec::paper_default();
+        assert!(score_trend(&store, &region, &config, &spec, 0, 100, 0).is_err());
+        assert!(score_trend(&store, &region, &config, &spec, 100, 100, 10).is_err());
+    }
+
+    #[test]
+    fn diurnal_profile_buckets_by_hour() {
+        let region = RegionId::new("r").unwrap();
+        let store = alternating_store(&region, 24);
+        let points = score_trend(
+            &store,
+            &region,
+            &IqbConfig::paper_default(),
+            &AggregationSpec::paper_default(),
+            0,
+            24 * 3600,
+            3600,
+        )
+        .unwrap();
+        let profile = diurnal_profile(&points);
+        assert!(profile[0].unwrap() > profile[1].unwrap());
+        assert!(profile.iter().all(|s| s.is_some()));
+    }
+
+    #[test]
+    fn all_regions_trend() {
+        let east = RegionId::new("east").unwrap();
+        let store = alternating_store(&east, 3);
+        let trends = score_trends_all_regions(
+            &store,
+            &IqbConfig::paper_default(),
+            &AggregationSpec::paper_default(),
+            0,
+            3 * 3600,
+            3600,
+        )
+        .unwrap();
+        assert_eq!(trends.len(), 1);
+        assert_eq!(trends[0].0, east);
+        assert_eq!(trends[0].1.len(), 3);
+    }
+}

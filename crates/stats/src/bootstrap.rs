@@ -1,0 +1,273 @@
+//! Bootstrap confidence intervals for percentile estimates.
+//!
+//! IQB's binary requirement scores hinge on a single number — the p95 of a
+//! region's measurements — so sampling noise can flip a score. The
+//! ranking-stability experiment (E10 in DESIGN.md) quantifies that with a
+//! percentile bootstrap: resample the region's tests with replacement,
+//! recompute the p95, and report the spread of the resampled estimates.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+use crate::exact::{quantile_sorted, QuantileMethod};
+use crate::rng::SplitMix64;
+
+/// A bootstrap confidence interval for a sample statistic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower bound (the `alpha/2` quantile of the bootstrap distribution).
+    pub lower: f64,
+    /// Upper bound (the `1 - alpha/2` quantile of the bootstrap distribution).
+    pub upper: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub level: f64,
+    /// Number of bootstrap replicates used.
+    pub replicates: usize,
+}
+
+impl ConfidenceInterval {
+    /// Interval width (`upper - lower`).
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Whether `x` lies inside the interval (inclusive).
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lower && x <= self.upper
+    }
+}
+
+/// Configuration for a percentile bootstrap.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BootstrapConfig {
+    /// Number of resamples (replicates). 200–1000 is typical.
+    pub replicates: usize,
+    /// Confidence level in `(0, 1)`, e.g. `0.95`.
+    pub level: f64,
+    /// RNG seed, making every interval reproducible.
+    pub seed: u64,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        BootstrapConfig {
+            replicates: 500,
+            level: 0.95,
+            seed: 0x1_0B,
+        }
+    }
+}
+
+impl BootstrapConfig {
+    fn validate(&self) -> Result<(), StatsError> {
+        if self.replicates < 2 {
+            return Err(StatsError::InvalidParameter {
+                name: "replicates",
+                reason: format!("need at least 2, got {}", self.replicates),
+            });
+        }
+        if !(self.level > 0.0 && self.level < 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "level",
+                reason: format!("must be in (0, 1), got {}", self.level),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Bootstrap confidence interval for quantile `q` of `data`.
+///
+/// ```
+/// use iqb_stats::bootstrap::{quantile_ci, BootstrapConfig};
+///
+/// let data: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+/// let ci = quantile_ci(&data, 0.95, &BootstrapConfig::default()).unwrap();
+/// assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+/// ```
+pub fn quantile_ci(
+    data: &[f64],
+    q: f64,
+    config: &BootstrapConfig,
+) -> Result<ConfidenceInterval, StatsError> {
+    config.validate()?;
+    statistic_ci(
+        data,
+        config,
+        |sorted| quantile_sorted(sorted, q, QuantileMethod::Linear),
+    )
+}
+
+/// Bootstrap CI for an arbitrary statistic of a *sorted* resample.
+///
+/// The statistic callback receives each bootstrap resample sorted ascending;
+/// most order-statistics-based callers need exactly that. Errors from the
+/// statistic propagate.
+pub fn statistic_ci(
+    data: &[f64],
+    config: &BootstrapConfig,
+    statistic: impl Fn(&[f64]) -> Result<f64, StatsError>,
+) -> Result<ConfidenceInterval, StatsError> {
+    config.validate()?;
+    if data.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    for &v in data {
+        if !v.is_finite() {
+            return Err(StatsError::NonFiniteValue(v));
+        }
+    }
+    let mut base = data.to_vec();
+    base.sort_by(|a, b| a.partial_cmp(b).expect("validated"));
+    let estimate = statistic(&base)?;
+
+    let mut rng = SplitMix64::new(config.seed);
+    let mut replicate_stats = Vec::with_capacity(config.replicates);
+    let mut resample = vec![0.0; data.len()];
+    for _ in 0..config.replicates {
+        for slot in resample.iter_mut() {
+            *slot = data[rng.next_index(data.len())];
+        }
+        resample.sort_by(|a, b| a.partial_cmp(b).expect("validated"));
+        replicate_stats.push(statistic(&resample)?);
+    }
+    replicate_stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
+    let alpha = 1.0 - config.level;
+    let lower = quantile_sorted(&replicate_stats, alpha / 2.0, QuantileMethod::Linear)?;
+    let upper = quantile_sorted(&replicate_stats, 1.0 - alpha / 2.0, QuantileMethod::Linear)?;
+    Ok(ConfidenceInterval {
+        estimate,
+        lower,
+        upper,
+        level: config.level,
+        replicates: config.replicates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_f64() * 100.0).collect()
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let data = [1.0, 2.0, 3.0];
+        let bad_reps = BootstrapConfig {
+            replicates: 1,
+            ..Default::default()
+        };
+        assert!(quantile_ci(&data, 0.5, &bad_reps).is_err());
+        let bad_level = BootstrapConfig {
+            level: 1.0,
+            ..Default::default()
+        };
+        assert!(quantile_ci(&data, 0.5, &bad_level).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        let cfg = BootstrapConfig::default();
+        assert!(quantile_ci(&[], 0.5, &cfg).is_err());
+        assert!(quantile_ci(&[1.0, f64::NAN], 0.5, &cfg).is_err());
+    }
+
+    #[test]
+    fn interval_brackets_estimate() {
+        let data = uniform(3, 500);
+        let ci = quantile_ci(&data, 0.95, &BootstrapConfig::default()).unwrap();
+        assert!(ci.lower <= ci.estimate);
+        assert!(ci.estimate <= ci.upper);
+        assert!(ci.width() >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let data = uniform(5, 300);
+        let cfg = BootstrapConfig::default();
+        let a = quantile_ci(&data, 0.95, &cfg).unwrap();
+        let b = quantile_ci(&data, 0.95, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_vary_bounds() {
+        let data = uniform(5, 300);
+        let a = quantile_ci(&data, 0.95, &BootstrapConfig::default()).unwrap();
+        let b = quantile_ci(
+            &data,
+            0.95,
+            &BootstrapConfig {
+                seed: 999,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(a.estimate, b.estimate, "point estimate is seed-free");
+        assert!(a.lower != b.lower || a.upper != b.upper);
+    }
+
+    #[test]
+    fn more_data_narrows_interval() {
+        let small = uniform(7, 50);
+        let large = uniform(7, 5_000);
+        let cfg = BootstrapConfig::default();
+        let ci_small = quantile_ci(&small, 0.5, &cfg).unwrap();
+        let ci_large = quantile_ci(&large, 0.5, &cfg).unwrap();
+        assert!(
+            ci_large.width() < ci_small.width(),
+            "large-sample CI ({}) should be narrower than small-sample ({})",
+            ci_large.width(),
+            ci_small.width()
+        );
+    }
+
+    #[test]
+    fn constant_sample_gives_zero_width() {
+        let data = [42.0; 100];
+        let ci = quantile_ci(&data, 0.95, &BootstrapConfig::default()).unwrap();
+        assert_eq!(ci.estimate, 42.0);
+        assert_eq!(ci.width(), 0.0);
+        assert!(ci.contains(42.0));
+    }
+
+    #[test]
+    fn custom_statistic_mean() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let ci = statistic_ci(&data, &BootstrapConfig::default(), |s| {
+            Ok(s.iter().sum::<f64>() / s.len() as f64)
+        })
+        .unwrap();
+        assert_eq!(ci.estimate, 2.5);
+        assert!(ci.contains(2.5));
+    }
+
+    #[test]
+    fn coverage_sanity_for_median_of_uniform() {
+        // Rough coverage check: the true median (50.0) should fall inside
+        // the 95% CI for the vast majority of independent samples.
+        let mut covered = 0;
+        let trials = 40;
+        for t in 0..trials {
+            let data = uniform(1000 + t, 400);
+            let cfg = BootstrapConfig {
+                replicates: 300,
+                seed: t,
+                ..Default::default()
+            };
+            let ci = quantile_ci(&data, 0.5, &cfg).unwrap();
+            if ci.contains(50.0) {
+                covered += 1;
+            }
+        }
+        assert!(
+            covered >= trials * 8 / 10,
+            "coverage too low: {covered}/{trials}"
+        );
+    }
+}

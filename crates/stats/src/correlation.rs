@@ -1,0 +1,204 @@
+//! Rank correlation between orderings.
+//!
+//! The ablation experiments (E7, E8) change a framework knob and ask: did
+//! the *ranking* of regions survive? Kendall's τ and Spearman's ρ quantify
+//! that. Both operate on paired score vectors; ties are handled with the
+//! standard corrections (τ-b, and mid-ranks for ρ).
+
+use crate::error::StatsError;
+
+/// Validates a pair of equal-length, finite sample vectors.
+fn validate_pairs(a: &[f64], b: &[f64]) -> Result<(), StatsError> {
+    if a.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if a.len() != b.len() {
+        return Err(StatsError::InvalidParameter {
+            name: "pairs",
+            reason: format!("length mismatch: {} vs {}", a.len(), b.len()),
+        });
+    }
+    for &v in a.iter().chain(b) {
+        if !v.is_finite() {
+            return Err(StatsError::NonFiniteValue(v));
+        }
+    }
+    Ok(())
+}
+
+/// Kendall's τ-b rank correlation between two paired vectors.
+///
+/// Returns a value in `[-1, 1]`: 1 for identical orderings, −1 for exactly
+/// reversed, near 0 for unrelated. The τ-b form corrects for ties on
+/// either side. `None` (as an error) when every value on one side is tied
+/// (the ordering carries no information).
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    validate_pairs(a, b)?;
+    let n = a.len();
+    if n == 1 {
+        return Err(StatsError::InvalidParameter {
+            name: "pairs",
+            reason: "rank correlation needs at least two pairs".into(),
+        });
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_a = 0i64;
+    let mut ties_b = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da == 0.0 && db == 0.0 {
+                // tied on both sides: contributes to neither
+                ties_a += 1;
+                ties_b += 1;
+            } else if da == 0.0 {
+                ties_a += 1;
+            } else if db == 0.0 {
+                ties_b += 1;
+            } else if (da > 0.0) == (db > 0.0) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let total = (n * (n - 1) / 2) as i64;
+    let denom_a = (total - ties_a) as f64;
+    let denom_b = (total - ties_b) as f64;
+    if denom_a <= 0.0 || denom_b <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "pairs",
+            reason: "one side is entirely tied; ordering is undefined".into(),
+        });
+    }
+    Ok((concordant - discordant) as f64 / (denom_a * denom_b).sqrt())
+}
+
+/// Mid-ranks of a sample (average rank for ties), 1-based.
+fn mid_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).expect("validated finite"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average of ranks i+1..=j+1.
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman's ρ: the Pearson correlation of the mid-ranks.
+pub fn spearman_rho(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    validate_pairs(a, b)?;
+    if a.len() < 2 {
+        return Err(StatsError::InvalidParameter {
+            name: "pairs",
+            reason: "rank correlation needs at least two pairs".into(),
+        });
+    }
+    let ra = mid_ranks(a);
+    let rb = mid_ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Pearson correlation of two (already validated) vectors.
+fn pearson(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
+    let n = a.len() as f64;
+    let mean_a = a.iter().sum::<f64>() / n;
+    let mean_b = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - mean_a) * (y - mean_b);
+        var_a += (x - mean_a).powi(2);
+        var_b += (y - mean_b).powi(2);
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "pairs",
+            reason: "zero variance on one side; correlation is undefined".into(),
+        });
+    }
+    Ok(cov / (var_a * var_b).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_orderings_are_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((kendall_tau(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_orderings_are_minus_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+        assert!((spearman_rho(&a, &b).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_swap_known_tau() {
+        // 4 items, one adjacent swap: τ = (C − D)/total = (5 − 1)/6.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 3.0, 2.0, 4.0];
+        assert!((kendall_tau(&a, &b).unwrap() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_are_handled() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let tau = kendall_tau(&a, &b).unwrap();
+        assert!(tau > 0.8 && tau <= 1.0, "tau {tau}");
+        let rho = spearman_rho(&a, &b).unwrap();
+        assert!(rho > 0.8 && rho <= 1.0, "rho {rho}");
+    }
+
+    #[test]
+    fn all_tied_side_is_rejected() {
+        let a = [2.0, 2.0, 2.0];
+        let b = [1.0, 2.0, 3.0];
+        assert!(kendall_tau(&a, &b).is_err());
+        assert!(spearman_rho(&a, &b).is_err());
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(kendall_tau(&[], &[]).is_err());
+        assert!(kendall_tau(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(kendall_tau(&[1.0, f64::NAN], &[1.0, 2.0]).is_err());
+        assert!(kendall_tau(&[1.0], &[2.0]).is_err(), "single pair");
+    }
+
+    #[test]
+    fn mid_ranks_average_ties() {
+        let r = mid_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_equals_pearson_on_ranks() {
+        // Monotone but non-linear relation: ρ = 1 while Pearson < 1.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman_rho(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+}

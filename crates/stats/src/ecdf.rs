@@ -1,0 +1,138 @@
+//! Empirical CDF utilities.
+//!
+//! The corroboration experiment compares distributions produced by the three
+//! emulated datasets (NDT / Ookla / Cloudflare methodologies). The ECDF plus
+//! the Kolmogorov–Smirnov distance quantify how far apart two methodologies'
+//! views of the same network are.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+
+/// An immutable empirical CDF built from a finite sample.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ecdf {
+    /// Sorted, validated sample.
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample (need not be sorted; NaN/∞ rejected).
+    pub fn new(data: &[f64]) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        for &v in data {
+            if !v.is_finite() {
+                return Err(StatsError::NonFiniteValue(v));
+            }
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// Sample size.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Fraction of the sample ≤ `x` (right-continuous step function).
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF via nearest-rank.
+    pub fn quantile(&self, q: f64) -> Result<f64, StatsError> {
+        crate::exact::quantile_sorted(&self.sorted, q, crate::exact::QuantileMethod::NearestRank)
+    }
+
+    /// The sorted sample (for plotting `(x, F(x))` step series).
+    pub fn support(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Two-sample Kolmogorov–Smirnov distance: `sup_x |F_a(x) − F_b(x)|`.
+    ///
+    /// Returned value is in `[0, 1]`; 0 means the samples have identical
+    /// empirical distributions.
+    pub fn ks_distance(&self, other: &Ecdf) -> f64 {
+        let mut d: f64 = 0.0;
+        // The supremum is attained at a sample point of either ECDF.
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            d = d.max((self.eval(x) - other.eval(x)).abs());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        assert!(Ecdf::new(&[]).is_err());
+        assert!(Ecdf::new(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn step_function_values() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn eval_handles_duplicates() {
+        let e = Ecdf::new(&[2.0, 2.0, 2.0, 5.0]).unwrap();
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(1.9), 0.0);
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0, 50.0]).unwrap();
+        assert_eq!(e.quantile(0.5).unwrap(), 30.0);
+        assert_eq!(e.quantile(1.0).unwrap(), 50.0);
+    }
+
+    #[test]
+    fn ks_distance_identical_is_zero() {
+        let a = Ecdf::new(&[1.0, 2.0, 3.0]).unwrap();
+        let b = Ecdf::new(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a.ks_distance(&b), 0.0);
+    }
+
+    #[test]
+    fn ks_distance_disjoint_is_one() {
+        let a = Ecdf::new(&[1.0, 2.0]).unwrap();
+        let b = Ecdf::new(&[10.0, 20.0]).unwrap();
+        assert_eq!(a.ks_distance(&b), 1.0);
+    }
+
+    #[test]
+    fn ks_distance_symmetric() {
+        let a = Ecdf::new(&[1.0, 3.0, 5.0, 9.0]).unwrap();
+        let b = Ecdf::new(&[2.0, 3.0, 8.0]).unwrap();
+        assert!((a.ks_distance(&b) - b.ks_distance(&a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ks_distance_known_value() {
+        // F_a jumps at 1 and 2; F_b at 1.5 and 2. At x=1: |0.5 - 0| = 0.5.
+        let a = Ecdf::new(&[1.0, 2.0]).unwrap();
+        let b = Ecdf::new(&[1.5, 2.0]).unwrap();
+        assert!((a.ks_distance(&b) - 0.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type shared by the statistics substrate.
+
+use std::fmt;
+
+/// Errors produced by the statistics substrate.
+///
+/// All estimators in this crate validate their inputs eagerly and report
+/// failures through this enum rather than panicking, so the scoring pipeline
+/// can surface data problems (empty regions, NaN measurements) as actionable
+/// diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// An aggregate was requested from an empty sample.
+    EmptySample,
+    /// A quantile rank outside `[0, 1]` was requested.
+    InvalidQuantile(f64),
+    /// A non-finite value (NaN or infinity) was fed to an estimator.
+    NonFiniteValue(f64),
+    /// A structural parameter (compression, bucket count, window width …)
+    /// was out of its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// Two aggregates with incompatible configurations were merged.
+    IncompatibleMerge(String),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptySample => write!(f, "cannot aggregate an empty sample"),
+            StatsError::InvalidQuantile(q) => {
+                write!(f, "quantile rank {q} is outside [0, 1]")
+            }
+            StatsError::NonFiniteValue(v) => {
+                write!(f, "non-finite value {v} fed to an estimator")
+            }
+            StatsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            StatsError::IncompatibleMerge(why) => {
+                write!(f, "cannot merge incompatible aggregates: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StatsError::InvalidQuantile(1.5);
+        assert!(e.to_string().contains("1.5"));
+        let e = StatsError::InvalidParameter {
+            name: "compression",
+            reason: "must be >= 10".into(),
+        };
+        assert!(e.to_string().contains("compression"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

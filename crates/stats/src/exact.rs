@@ -1,0 +1,349 @@
+//! Exact order-statistics quantiles.
+//!
+//! This is the reference aggregation path: sort the sample, pick (or
+//! interpolate) the order statistic. The IQB paper's rule — *"IQB uses the
+//! 95th percentile of a dataset to evaluate a metric"* — maps to
+//! `quantile(&data, 0.95)` here. Streaming estimators ([`crate::p2`],
+//! [`crate::tdigest`]) are validated against this module in their tests.
+
+use crate::error::StatsError;
+
+/// Interpolation scheme used when a quantile rank falls between two order
+/// statistics. Names follow Hyndman & Fan (1996) types where applicable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum QuantileMethod {
+    /// Hyndman–Fan type 7 (linear interpolation, the default of R, NumPy
+    /// and most measurement tooling). `h = (n - 1) q`.
+    #[default]
+    Linear,
+    /// Nearest-rank (Hyndman–Fan type 1): the smallest value with
+    /// `cdf(x) >= q`. This is what the FCC's Measuring Broadband America
+    /// reports use; it never fabricates a value that is not in the sample.
+    NearestRank,
+    /// Lower order statistic: `floor(h)`.
+    Lower,
+    /// Higher order statistic: `ceil(h)`.
+    Higher,
+    /// Midpoint of the lower and higher order statistics.
+    Midpoint,
+}
+
+/// Computes quantile `q` of `data` with the default [`QuantileMethod::Linear`]
+/// scheme.
+///
+/// `data` need not be sorted. Returns [`StatsError::EmptySample`] for empty
+/// input, [`StatsError::InvalidQuantile`] for `q` outside `[0, 1]`, and
+/// [`StatsError::NonFiniteValue`] if the sample contains NaN or infinities.
+///
+/// ```
+/// let sample = vec![10.0, 20.0, 30.0, 40.0];
+/// assert_eq!(iqb_stats::quantile(&sample, 0.5).unwrap(), 25.0);
+/// ```
+pub fn quantile(data: &[f64], q: f64) -> Result<f64, StatsError> {
+    quantile_with(data, q, QuantileMethod::Linear)
+}
+
+/// Computes quantile `q` of `data` with an explicit interpolation scheme.
+pub fn quantile_with(data: &[f64], q: f64, method: QuantileMethod) -> Result<f64, StatsError> {
+    let mut sorted = validated_copy(data)?;
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values validated finite"));
+    quantile_sorted(&sorted, q, method)
+}
+
+/// Computes several quantiles in one pass over a single sort.
+///
+/// More efficient than repeated [`quantile_with`] calls when evaluating the
+/// full threshold matrix, which queries each metric sample once per quantile
+/// in the percentile-ablation experiment.
+pub fn quantiles_with(
+    data: &[f64],
+    qs: &[f64],
+    method: QuantileMethod,
+) -> Result<Vec<f64>, StatsError> {
+    let mut sorted = validated_copy(data)?;
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values validated finite"));
+    qs.iter()
+        .map(|&q| quantile_sorted(&sorted, q, method))
+        .collect()
+}
+
+/// Computes quantile `q` assuming `sorted` is already ascending.
+///
+/// This is the hot path used by [`quantiles_with`]; callers must guarantee
+/// ordering and finiteness (checked in debug builds).
+pub fn quantile_sorted(sorted: &[f64], q: f64, method: QuantileMethod) -> Result<f64, StatsError> {
+    if sorted.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if !(0.0..=1.0).contains(&q) || q.is_nan() {
+        return Err(StatsError::InvalidQuantile(q));
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "quantile_sorted requires ascending input"
+    );
+    let n = sorted.len();
+    if n == 1 {
+        return Ok(sorted[0]);
+    }
+    let value = match method {
+        QuantileMethod::Linear => {
+            let h = (n - 1) as f64 * q;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            let frac = h - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        }
+        QuantileMethod::NearestRank => {
+            // Smallest k such that k / n >= q  =>  k = ceil(q * n), 1-based.
+            let k = (q * n as f64).ceil().max(1.0) as usize;
+            sorted[k - 1]
+        }
+        QuantileMethod::Lower => {
+            let h = (n - 1) as f64 * q;
+            sorted[h.floor() as usize]
+        }
+        QuantileMethod::Higher => {
+            let h = (n - 1) as f64 * q;
+            sorted[h.ceil() as usize]
+        }
+        QuantileMethod::Midpoint => {
+            let h = (n - 1) as f64 * q;
+            (sorted[h.floor() as usize] + sorted[h.ceil() as usize]) / 2.0
+        }
+    };
+    Ok(value)
+}
+
+/// Computes the median (`q = 0.5`, linear interpolation).
+pub fn median(data: &[f64]) -> Result<f64, StatsError> {
+    quantile(data, 0.5)
+}
+
+/// Computes a weighted quantile: each `data[i]` carries `weights[i]` mass.
+///
+/// Used when scoring from pre-aggregated (Ookla-style) datasets where each
+/// row summarises many tests. The quantile is the smallest value whose
+/// cumulative normalized weight reaches `q` (weighted nearest-rank).
+pub fn weighted_quantile(data: &[f64], weights: &[f64], q: f64) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    if data.len() != weights.len() {
+        return Err(StatsError::InvalidParameter {
+            name: "weights",
+            reason: format!(
+                "length mismatch: {} values vs {} weights",
+                data.len(),
+                weights.len()
+            ),
+        });
+    }
+    if !(0.0..=1.0).contains(&q) || q.is_nan() {
+        return Err(StatsError::InvalidQuantile(q));
+    }
+    let mut total = 0.0;
+    for (&v, &w) in data.iter().zip(weights) {
+        if !v.is_finite() {
+            return Err(StatsError::NonFiniteValue(v));
+        }
+        if !w.is_finite() || w < 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "weights",
+                reason: format!("weight {w} must be finite and non-negative"),
+            });
+        }
+        total += w;
+    }
+    if total <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name: "weights",
+            reason: "total weight must be positive".into(),
+        });
+    }
+    let mut pairs: Vec<(f64, f64)> = data.iter().copied().zip(weights.iter().copied()).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("validated finite"));
+    let target = q * total;
+    let mut cum = 0.0;
+    for (v, w) in &pairs {
+        cum += w;
+        if cum >= target {
+            return Ok(*v);
+        }
+    }
+    Ok(pairs.last().expect("non-empty").0)
+}
+
+/// Validates finiteness and returns an owned copy ready for sorting.
+fn validated_copy(data: &[f64]) -> Result<Vec<f64>, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptySample);
+    }
+    for &v in data {
+        if !v.is_finite() {
+            return Err(StatsError::NonFiniteValue(v));
+        }
+    }
+    Ok(data.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn near(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn empty_sample_errors() {
+        assert_eq!(quantile(&[], 0.5), Err(StatsError::EmptySample));
+    }
+
+    #[test]
+    fn out_of_range_quantile_errors() {
+        assert_eq!(
+            quantile(&[1.0], 1.5),
+            Err(StatsError::InvalidQuantile(1.5))
+        );
+        assert_eq!(
+            quantile(&[1.0], -0.1),
+            Err(StatsError::InvalidQuantile(-0.1))
+        );
+    }
+
+    #[test]
+    fn nan_input_errors() {
+        assert!(matches!(
+            quantile(&[1.0, f64::NAN], 0.5),
+            Err(StatsError::NonFiniteValue(_))
+        ));
+    }
+
+    #[test]
+    fn nan_quantile_rank_errors() {
+        assert!(matches!(
+            quantile(&[1.0, 2.0], f64::NAN),
+            Err(StatsError::InvalidQuantile(_))
+        ));
+    }
+
+    #[test]
+    fn single_element_all_quantiles() {
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(quantile(&[42.0], q).unwrap(), 42.0);
+        }
+    }
+
+    #[test]
+    fn linear_matches_numpy_reference() {
+        // numpy.percentile([1,2,3,4], [0,25,50,75,95,100]) reference values.
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert!(near(quantile(&data, 0.0).unwrap(), 1.0));
+        assert!(near(quantile(&data, 0.25).unwrap(), 1.75));
+        assert!(near(quantile(&data, 0.5).unwrap(), 2.5));
+        assert!(near(quantile(&data, 0.75).unwrap(), 3.25));
+        assert!(near(quantile(&data, 0.95).unwrap(), 3.85));
+        assert!(near(quantile(&data, 1.0).unwrap(), 4.0));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let data = [4.0, 1.0, 3.0, 2.0];
+        assert!(near(quantile(&data, 0.5).unwrap(), 2.5));
+    }
+
+    #[test]
+    fn nearest_rank_matches_definition() {
+        // Classic nearest-rank example: p95 of 1..=100 is the 95th value.
+        let data: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let v = quantile_with(&data, 0.95, QuantileMethod::NearestRank).unwrap();
+        assert_eq!(v, 95.0);
+        // p50 of 5 elements is the 3rd (ceil(0.5*5) = 3).
+        let data = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let v = quantile_with(&data, 0.5, QuantileMethod::NearestRank).unwrap();
+        assert_eq!(v, 30.0);
+    }
+
+    #[test]
+    fn nearest_rank_returns_sample_members_only() {
+        let data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        for q in [0.01, 0.2, 0.33, 0.5, 0.77, 0.95, 1.0] {
+            let v = quantile_with(&data, q, QuantileMethod::NearestRank).unwrap();
+            assert!(data.contains(&v), "q={q} produced {v} not in sample");
+        }
+    }
+
+    #[test]
+    fn lower_higher_midpoint_bracket_linear() {
+        let data = [1.0, 5.0, 7.0, 12.0, 40.0];
+        for q in [0.1, 0.3, 0.62, 0.9] {
+            let lo = quantile_with(&data, q, QuantileMethod::Lower).unwrap();
+            let hi = quantile_with(&data, q, QuantileMethod::Higher).unwrap();
+            let mid = quantile_with(&data, q, QuantileMethod::Midpoint).unwrap();
+            let lin = quantile_with(&data, q, QuantileMethod::Linear).unwrap();
+            assert!(lo <= lin && lin <= hi);
+            assert!(near(mid, (lo + hi) / 2.0));
+        }
+    }
+
+    #[test]
+    fn quantiles_with_matches_individual_calls() {
+        let data = [9.0, 2.0, 7.0, 7.0, 1.0, 3.0];
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.95, 1.0];
+        let batch = quantiles_with(&data, &qs, QuantileMethod::Linear).unwrap();
+        for (i, &q) in qs.iter().enumerate() {
+            assert!(near(batch[i], quantile(&data, q).unwrap()));
+        }
+    }
+
+    #[test]
+    fn median_is_linear_half() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert!(near(median(&data).unwrap(), 2.5));
+    }
+
+    #[test]
+    fn weighted_quantile_uniform_weights_matches_nearest_rank() {
+        let data = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let w = [1.0; 5];
+        for q in [0.2, 0.5, 0.95] {
+            let wq = weighted_quantile(&data, &w, q).unwrap();
+            let nr = quantile_with(&data, q, QuantileMethod::NearestRank).unwrap();
+            assert_eq!(wq, nr);
+        }
+    }
+
+    #[test]
+    fn weighted_quantile_respects_mass() {
+        // 90% of the mass sits on 5.0, so p50 must be 5.0.
+        let data = [5.0, 100.0];
+        let w = [9.0, 1.0];
+        assert_eq!(weighted_quantile(&data, &w, 0.5).unwrap(), 5.0);
+        // The top 5% of mass is the heavy tail value.
+        assert_eq!(weighted_quantile(&data, &w, 0.96).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn weighted_quantile_rejects_bad_weights() {
+        assert!(weighted_quantile(&[1.0], &[-1.0], 0.5).is_err());
+        assert!(weighted_quantile(&[1.0], &[0.0], 0.5).is_err());
+        assert!(weighted_quantile(&[1.0, 2.0], &[1.0], 0.5).is_err());
+        assert!(weighted_quantile(&[], &[], 0.5).is_err());
+    }
+
+    #[test]
+    fn extreme_quantiles_are_extrema() {
+        let data = [3.0, -2.0, 8.5, 0.0];
+        assert_eq!(quantile(&data, 0.0).unwrap(), -2.0);
+        assert_eq!(quantile(&data, 1.0).unwrap(), 8.5);
+    }
+
+    #[test]
+    fn duplicates_are_stable() {
+        let data = [5.0; 10];
+        for q in [0.0, 0.33, 0.95, 1.0] {
+            assert_eq!(quantile(&data, q).unwrap(), 5.0);
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Log-bucketed histogram for long-tailed metrics.
+//!
+//! Latency and throughput distributions span orders of magnitude; a
+//! fixed-relative-error histogram (HDR-style, but log-linear) records them in
+//! bounded memory with a configurable relative precision. The dataset layer
+//! uses it for compact distribution snapshots in reports; quantile queries
+//! carry the bucket's relative error.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+
+/// A histogram whose bucket boundaries grow geometrically, giving a bounded
+/// *relative* error per bucket.
+///
+/// Values below `min_value` are clamped into the first bucket; the histogram
+/// tracks true min/max separately so extremes stay exact.
+///
+/// ```
+/// use iqb_stats::histogram::LogHistogram;
+///
+/// let mut h = LogHistogram::new(0.1, 1e5, 0.05).unwrap();
+/// for v in [12.0, 48.0, 7.5, 103.0, 55.5] {
+///     h.record(v).unwrap();
+/// }
+/// let p50 = h.quantile(0.5).unwrap();
+/// assert!(p50 >= 40.0 && p50 <= 60.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    min_value: f64,
+    max_value: f64,
+    /// Geometric growth factor between consecutive bucket lower bounds.
+    growth: f64,
+    /// ln(growth), cached for bucket-index computation.
+    ln_growth: f64,
+    counts: Vec<u64>,
+    total: u64,
+    observed_min: f64,
+    observed_max: f64,
+    /// Count of values that arrived below `min_value` (clamped into bucket 0).
+    underflow: u64,
+    /// Count of values that arrived above `max_value` (clamped into the last bucket).
+    overflow: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram covering `[min_value, max_value]` with per-bucket
+    /// relative error at most `rel_err` (e.g. `0.05` for 5%).
+    pub fn new(min_value: f64, max_value: f64, rel_err: f64) -> Result<Self, StatsError> {
+        if !(min_value.is_finite() && min_value > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "min_value",
+                reason: format!("must be finite and positive, got {min_value}"),
+            });
+        }
+        if !(max_value.is_finite() && max_value > min_value) {
+            return Err(StatsError::InvalidParameter {
+                name: "max_value",
+                reason: format!("must be finite and > min_value, got {max_value}"),
+            });
+        }
+        if !(rel_err.is_finite() && rel_err > 0.0 && rel_err < 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "rel_err",
+                reason: format!("must be in (0, 1), got {rel_err}"),
+            });
+        }
+        // Bucket [b, b*growth) has midpoint error <= rel_err when
+        // growth = (1 + rel_err) / (1 - rel_err).
+        let growth = (1.0 + rel_err) / (1.0 - rel_err);
+        let ln_growth = growth.ln();
+        let n_buckets = ((max_value / min_value).ln() / ln_growth).ceil() as usize + 1;
+        Ok(LogHistogram {
+            min_value,
+            max_value,
+            growth,
+            ln_growth,
+            counts: vec![0; n_buckets],
+            total: 0,
+            observed_min: f64::INFINITY,
+            observed_max: f64::NEG_INFINITY,
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Bucket index for a (positive, in-range) value.
+    fn bucket_index(&self, value: f64) -> usize {
+        if value <= self.min_value {
+            return 0;
+        }
+        let idx = ((value / self.min_value).ln() / self.ln_growth) as usize;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Lower bound of bucket `i`.
+    fn bucket_lo(&self, i: usize) -> f64 {
+        self.min_value * self.growth.powi(i as i32)
+    }
+
+    /// Records one observation. Non-positive values are rejected (the
+    /// covered metrics — Mb/s, ms, % — are non-negative; exact zeros should
+    /// be recorded via a side counter by the caller if they are meaningful).
+    pub fn record(&mut self, value: f64) -> Result<(), StatsError> {
+        if !value.is_finite() {
+            return Err(StatsError::NonFiniteValue(value));
+        }
+        if value <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "value",
+                reason: format!("LogHistogram covers positive values only, got {value}"),
+            });
+        }
+        if value < self.min_value {
+            self.underflow += 1;
+        } else if value > self.max_value {
+            self.overflow += 1;
+        }
+        let idx = self.bucket_index(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.observed_min = self.observed_min.min(value);
+        self.observed_max = self.observed_max.max(value);
+        Ok(())
+    }
+
+    /// Total recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations that were clamped from below / above the covered range.
+    pub fn clamped(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Quantile estimate: the geometric midpoint of the bucket containing the
+    /// target rank (extremes are exact).
+    pub fn quantile(&self, q: f64) -> Result<f64, StatsError> {
+        if self.total == 0 {
+            return Err(StatsError::EmptySample);
+        }
+        if !(0.0..=1.0).contains(&q) || q.is_nan() {
+            return Err(StatsError::InvalidQuantile(q));
+        }
+        if q == 0.0 {
+            return Ok(self.observed_min);
+        }
+        if q == 1.0 {
+            return Ok(self.observed_max);
+        }
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let lo = self.bucket_lo(i).max(self.observed_min);
+                let hi = (self.bucket_lo(i + 1)).min(self.observed_max);
+                return Ok((lo * hi).sqrt().clamp(self.observed_min, self.observed_max));
+            }
+        }
+        Ok(self.observed_max)
+    }
+
+    /// Merges another histogram recorded with identical parameters.
+    pub fn merge(&mut self, other: &LogHistogram) -> Result<(), StatsError> {
+        if self.counts.len() != other.counts.len()
+            || self.min_value != other.min_value
+            || self.growth != other.growth
+        {
+            return Err(StatsError::IncompatibleMerge(
+                "histogram bucket layouts differ".into(),
+            ));
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.observed_min = self.observed_min.min(other.observed_min);
+        self.observed_max = self.observed_max.max(other.observed_max);
+        Ok(())
+    }
+
+    /// Iterates `(bucket_lower_bound, count)` for non-empty buckets — the
+    /// series a report renderer plots.
+    pub fn nonempty_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bucket_lo(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogHistogram::new(0.0, 10.0, 0.05).is_err());
+        assert!(LogHistogram::new(-1.0, 10.0, 0.05).is_err());
+        assert!(LogHistogram::new(10.0, 10.0, 0.05).is_err());
+        assert!(LogHistogram::new(1.0, 10.0, 0.0).is_err());
+        assert!(LogHistogram::new(1.0, 10.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let mut h = LogHistogram::new(1.0, 100.0, 0.05).unwrap();
+        assert!(h.record(f64::NAN).is_err());
+        assert!(h.record(0.0).is_err());
+        assert!(h.record(-5.0).is_err());
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn empty_quantile_errors() {
+        let h = LogHistogram::new(1.0, 100.0, 0.05).unwrap();
+        assert_eq!(h.quantile(0.5), Err(StatsError::EmptySample));
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut h = LogHistogram::new(0.1, 1e4, 0.05).unwrap();
+        for v in [3.7, 912.0, 0.5, 44.4] {
+            h.record(v).unwrap();
+        }
+        assert_eq!(h.quantile(0.0).unwrap(), 0.5);
+        assert_eq!(h.quantile(1.0).unwrap(), 912.0);
+    }
+
+    #[test]
+    fn quantile_within_relative_error() {
+        let rel_err = 0.05;
+        let mut h = LogHistogram::new(0.1, 1e5, rel_err).unwrap();
+        let mut rng = SplitMix64::new(19);
+        let mut data = Vec::new();
+        for _ in 0..20_000 {
+            // Log-uniform over [1, 1e4].
+            let v = 10f64.powf(rng.next_f64() * 4.0);
+            data.push(v);
+            h.record(v).unwrap();
+        }
+        for q in [0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
+            let exact = crate::exact::quantile(&data, q).unwrap();
+            let approx = h.quantile(q).unwrap();
+            let rel = (approx - exact).abs() / exact;
+            assert!(
+                rel <= 2.5 * rel_err,
+                "q={q}: {approx} vs {exact} rel {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn clamping_is_counted() {
+        let mut h = LogHistogram::new(1.0, 100.0, 0.05).unwrap();
+        h.record(0.01).unwrap();
+        h.record(1e6).unwrap();
+        h.record(50.0).unwrap();
+        assert_eq!(h.clamped(), (1, 1));
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHistogram::new(1.0, 1e4, 0.05).unwrap();
+        let mut b = LogHistogram::new(1.0, 1e4, 0.05).unwrap();
+        let mut all = LogHistogram::new(1.0, 1e4, 0.05).unwrap();
+        let mut rng = SplitMix64::new(7);
+        for i in 0..5000 {
+            let v = 1.0 + rng.next_f64() * 999.0;
+            if i % 2 == 0 {
+                a.record(v).unwrap();
+            } else {
+                b.record(v).unwrap();
+            }
+            all.record(v).unwrap();
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), all.count());
+        for q in [0.5, 0.95] {
+            assert_eq!(a.quantile(q).unwrap(), all.quantile(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_layouts() {
+        let mut a = LogHistogram::new(1.0, 1e4, 0.05).unwrap();
+        let b = LogHistogram::new(1.0, 1e4, 0.01).unwrap();
+        assert!(matches!(
+            a.merge(&b),
+            Err(StatsError::IncompatibleMerge(_))
+        ));
+    }
+
+    #[test]
+    fn nonempty_buckets_cover_all_counts() {
+        let mut h = LogHistogram::new(1.0, 1e3, 0.1).unwrap();
+        for v in [2.0, 2.1, 50.0, 900.0] {
+            h.record(v).unwrap();
+        }
+        let total: u64 = h.nonempty_buckets().map(|(_, c)| c).sum();
+        assert_eq!(total, 4);
+    }
+}

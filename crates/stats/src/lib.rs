@@ -1,0 +1,69 @@
+//! # iqb-stats — statistics substrate for the Internet Quality Barometer
+//!
+//! The IQB framework (Ohlsen et al., IMC 2025) evaluates a region's Internet
+//! quality by aggregating measurement datasets: *"IQB uses the 95th percentile
+//! of a dataset to evaluate a metric"*. This crate provides everything that
+//! aggregation step needs, plus the machinery used by the extension
+//! experiments:
+//!
+//! * [`exact`] — exact order-statistics quantiles with the standard
+//!   interpolation schemes (the reference implementation the estimators are
+//!   tested against).
+//! * [`moments`] — numerically stable streaming moments (Welford), mergeable.
+//! * [`p2`] — the P² streaming quantile estimator (Jain & Chlamtac 1985):
+//!   constant memory, one pass.
+//! * [`tdigest`] — a from-scratch merging t-digest (Dunning & Ertl):
+//!   mergeable, accurate in the tails, bounded memory. This is what the
+//!   pipeline uses for large measurement sets.
+//! * [`histogram`] — log-bucketed histogram for latency-style long-tailed
+//!   metrics.
+//! * [`summary`] — [`summary::StreamingSummary`], the one-stop per-metric
+//!   aggregate (count, moments, extremes, t-digest) used by the dataset layer.
+//! * [`ecdf`] — empirical CDF utilities.
+//! * [`bootstrap`] — bootstrap confidence intervals for percentile estimates
+//!   (used by the ranking-stability experiment).
+//! * [`window`] — time-bucketed windowed aggregation for trend analysis.
+//! * [`correlation`] — Kendall τ / Spearman ρ rank correlation (ranking
+//!   stability across ablations).
+//! * [`reservoir`] — Vitter's Algorithm R uniform stream sampling.
+//!
+//! All estimators are deterministic; the bootstrap uses a small embedded
+//! SplitMix64 generator so this crate stays dependency-free apart from
+//! `serde`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use iqb_stats::summary::StreamingSummary;
+//!
+//! let mut s = StreamingSummary::new();
+//! for v in [12.0, 48.0, 7.5, 103.0, 55.5] {
+//!     s.insert(v);
+//! }
+//! assert_eq!(s.count(), 5);
+//! let p95 = s.quantile(0.95).unwrap();
+//! assert!(p95 > 55.5 && p95 <= 103.0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bootstrap;
+pub mod correlation;
+pub mod ecdf;
+pub mod error;
+pub mod exact;
+pub mod histogram;
+pub mod moments;
+pub mod p2;
+pub mod reservoir;
+pub mod rng;
+pub mod summary;
+pub mod tdigest;
+pub mod window;
+
+pub use error::StatsError;
+pub use exact::{quantile, QuantileMethod};
+pub use moments::Moments;
+pub use summary::StreamingSummary;
+pub use tdigest::TDigest;

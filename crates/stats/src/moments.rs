@@ -1,0 +1,267 @@
+//! Numerically stable streaming moments.
+//!
+//! [`Moments`] tracks count, mean, variance (Welford's online algorithm),
+//! minimum, maximum and sum in constant memory, and merges exactly (Chan et
+//! al. parallel update). The dataset layer keeps one per metric stream so
+//! every summary can report basic shape alongside its percentile.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+
+/// Streaming count / mean / variance / extremes accumulator.
+///
+/// ```
+/// use iqb_stats::Moments;
+///
+/// let mut m = Moments::new();
+/// for v in [2.0, 4.0, 6.0] {
+///     m.insert(v).unwrap();
+/// }
+/// assert_eq!(m.count(), 3);
+/// assert_eq!(m.mean(), Some(4.0));
+/// assert_eq!(m.min(), Some(2.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Moments {
+    count: u64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean (Welford's `M2`).
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Moments {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Moments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Moments {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Inserts one observation. Rejects NaN/infinite values so a single bad
+    /// measurement cannot poison a region's aggregate.
+    pub fn insert(&mut self, value: f64) -> Result<(), StatsError> {
+        if !value.is_finite() {
+            return Err(StatsError::NonFiniteValue(value));
+        }
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = value - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        Ok(())
+    }
+
+    /// Number of observations inserted.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no observations have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Sum of all observations, or `None` when empty.
+    pub fn sum(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.mean * self.count as f64)
+    }
+
+    /// Population variance (`M2 / n`), or `None` when empty.
+    pub fn variance_population(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Sample variance (`M2 / (n - 1)`), or `None` with fewer than two
+    /// observations.
+    pub fn variance_sample(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Sample standard deviation, or `None` with fewer than two observations.
+    pub fn stddev_sample(&self) -> Option<f64> {
+        self.variance_sample().map(f64::sqrt)
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Coefficient of variation (stddev / mean), or `None` when undefined.
+    ///
+    /// Used by the synthetic-data tests to check that generated throughput
+    /// dispersion matches the configured technology profile.
+    pub fn coefficient_of_variation(&self) -> Option<f64> {
+        match (self.stddev_sample(), self.mean()) {
+            (Some(sd), Some(mean)) if mean != 0.0 => Some(sd / mean.abs()),
+            _ => None,
+        }
+    }
+
+    /// Merges another accumulator into this one (Chan et al. update).
+    ///
+    /// Equivalent to having inserted both observation streams into a single
+    /// accumulator, up to floating-point rounding.
+    pub fn merge(&mut self, other: &Moments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let total_f = total as f64;
+        self.m2 += other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total_f;
+        self.mean += delta * (other.count as f64) / total_f;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn near(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    #[test]
+    fn empty_reports_none() {
+        let m = Moments::new();
+        assert!(m.is_empty());
+        assert_eq!(m.mean(), None);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.max(), None);
+        assert_eq!(m.sum(), None);
+        assert_eq!(m.variance_population(), None);
+        assert_eq!(m.variance_sample(), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut m = Moments::new();
+        m.insert(7.0).unwrap();
+        assert_eq!(m.mean(), Some(7.0));
+        assert_eq!(m.min(), Some(7.0));
+        assert_eq!(m.max(), Some(7.0));
+        assert_eq!(m.variance_population(), Some(0.0));
+        assert_eq!(m.variance_sample(), None);
+    }
+
+    #[test]
+    fn matches_naive_computation() {
+        let data = [3.2, -1.0, 4.4, 9.9, 0.0, 2.5];
+        let mut m = Moments::new();
+        for &v in &data {
+            m.insert(v).unwrap();
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        assert!(near(m.mean().unwrap(), mean));
+        assert!(near(m.variance_sample().unwrap(), var));
+        assert!(near(m.sum().unwrap(), data.iter().sum()));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut m = Moments::new();
+        assert!(m.insert(f64::NAN).is_err());
+        assert!(m.insert(f64::INFINITY).is_err());
+        assert!(m.is_empty(), "rejected values must not be counted");
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a_data = [1.0, 2.0, 3.0];
+        let b_data = [10.0, 20.0, 30.0, 40.0];
+        let mut a = Moments::new();
+        let mut b = Moments::new();
+        let mut all = Moments::new();
+        for &v in &a_data {
+            a.insert(v).unwrap();
+            all.insert(v).unwrap();
+        }
+        for &v in &b_data {
+            b.insert(v).unwrap();
+            all.insert(v).unwrap();
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!(near(a.mean().unwrap(), all.mean().unwrap()));
+        assert!(near(
+            a.variance_sample().unwrap(),
+            all.variance_sample().unwrap()
+        ));
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m = Moments::new();
+        m.insert(5.0).unwrap();
+        let before = m.clone();
+        m.merge(&Moments::new());
+        assert_eq!(m, before);
+
+        let mut empty = Moments::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn numerical_stability_large_offset() {
+        // Classic catastrophic-cancellation case: small variance on a huge
+        // offset. Welford must keep the variance accurate.
+        let mut m = Moments::new();
+        for v in [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0] {
+            m.insert(v).unwrap();
+        }
+        assert!(near(m.mean().unwrap(), 1e9 + 10.0));
+        assert!((m.variance_sample().unwrap() - 30.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn coefficient_of_variation() {
+        let mut m = Moments::new();
+        for v in [10.0, 10.0, 10.0] {
+            m.insert(v).unwrap();
+        }
+        assert_eq!(m.coefficient_of_variation(), Some(0.0));
+        let mut zero_mean = Moments::new();
+        zero_mean.insert(-1.0).unwrap();
+        zero_mean.insert(1.0).unwrap();
+        assert_eq!(zero_mean.coefficient_of_variation(), None);
+    }
+
+}

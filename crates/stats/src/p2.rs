@@ -1,0 +1,265 @@
+//! P² (P-square) streaming quantile estimator.
+//!
+//! Jain & Chlamtac (1985): tracks a single quantile with five markers and
+//! piecewise-parabolic interpolation — O(1) memory and O(1) per observation.
+//! The pipeline offers it as the cheapest estimator tier for memory-starved
+//! deployments (e.g. running IQB aggregation on a measurement agent itself);
+//! the default tier is the mergeable [`crate::tdigest::TDigest`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+
+/// Streaming estimator for one pre-declared quantile.
+///
+/// ```
+/// use iqb_stats::p2::P2Quantile;
+///
+/// let mut est = P2Quantile::new(0.95).unwrap();
+/// for i in 1..=1000 {
+///     est.insert(i as f64).unwrap();
+/// }
+/// let p95 = est.estimate().unwrap();
+/// assert!((p95 - 950.0).abs() < 15.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimated values at the marker positions).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far; the first five are buffered verbatim.
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q` in `(0, 1)`.
+    pub fn new(q: f64) -> Result<Self, StatsError> {
+        if !(q > 0.0 && q < 1.0) {
+            return Err(StatsError::InvalidQuantile(q));
+        }
+        Ok(P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        })
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn quantile_rank(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations inserted.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Inserts one observation.
+    pub fn insert(&mut self, value: f64) -> Result<(), StatsError> {
+        if !value.is_finite() {
+            return Err(StatsError::NonFiniteValue(value));
+        }
+        if self.count < 5 {
+            self.heights[self.count as usize] = value;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            }
+            return Ok(());
+        }
+        self.count += 1;
+
+        // Find the cell the observation falls into and update extremes.
+        let k = if value < self.heights[0] {
+            self.heights[0] = value;
+            0
+        } else if value < self.heights[1] {
+            0
+        } else if value < self.heights[2] {
+            1
+        } else if value < self.heights[3] {
+            2
+        } else if value <= self.heights[4] {
+            3
+        } else {
+            self.heights[4] = value;
+            3
+        };
+
+        // Shift positions of markers above the insertion cell.
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let step_up = self.positions[i + 1] - self.positions[i];
+            let step_down = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && step_up > 1.0) || (d <= -1.0 && step_down < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                    self.heights[i] = candidate;
+                } else {
+                    self.heights[i] = self.linear(i, d);
+                }
+                self.positions[i] += d;
+            }
+        }
+        Ok(())
+    }
+
+    /// Piecewise-parabolic (P²) height prediction for marker `i` moved by
+    /// `d` (±1).
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    /// Linear fallback when the parabolic prediction is non-monotone.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate, or an error if no observations were inserted.
+    ///
+    /// With fewer than five observations the exact order statistic of the
+    /// buffered values is returned.
+    pub fn estimate(&self) -> Result<f64, StatsError> {
+        if self.count == 0 {
+            return Err(StatsError::EmptySample);
+        }
+        if self.count < 5 {
+            let mut buf: Vec<f64> = self.heights[..self.count as usize].to_vec();
+            buf.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            return crate::exact::quantile_sorted(&buf, self.q, crate::exact::QuantileMethod::Linear);
+        }
+        Ok(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random stream via the crate's SplitMix64.
+    fn uniform_stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = crate::rng::SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_f64() * 100.0).collect()
+    }
+
+    #[test]
+    fn rejects_degenerate_quantiles() {
+        assert!(P2Quantile::new(0.0).is_err());
+        assert!(P2Quantile::new(1.0).is_err());
+        assert!(P2Quantile::new(-0.5).is_err());
+        assert!(P2Quantile::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn empty_estimate_errors() {
+        let est = P2Quantile::new(0.5).unwrap();
+        assert_eq!(est.estimate(), Err(StatsError::EmptySample));
+    }
+
+    #[test]
+    fn small_sample_is_exact() {
+        let mut est = P2Quantile::new(0.5).unwrap();
+        est.insert(3.0).unwrap();
+        est.insert(1.0).unwrap();
+        est.insert(2.0).unwrap();
+        assert_eq!(est.estimate().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut est = P2Quantile::new(0.5).unwrap();
+        assert!(est.insert(f64::NAN).is_err());
+        assert!(est.insert(f64::NEG_INFINITY).is_err());
+        assert_eq!(est.count(), 0);
+    }
+
+    #[test]
+    fn median_of_uniform_converges() {
+        let data = uniform_stream(11, 50_000);
+        let mut est = P2Quantile::new(0.5).unwrap();
+        for &v in &data {
+            est.insert(v).unwrap();
+        }
+        let exact = crate::exact::quantile(&data, 0.5).unwrap();
+        let approx = est.estimate().unwrap();
+        assert!(
+            (approx - exact).abs() < 1.0,
+            "P2 median {approx} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn p95_of_uniform_converges() {
+        let data = uniform_stream(23, 50_000);
+        let mut est = P2Quantile::new(0.95).unwrap();
+        for &v in &data {
+            est.insert(v).unwrap();
+        }
+        let exact = crate::exact::quantile(&data, 0.95).unwrap();
+        let approx = est.estimate().unwrap();
+        assert!(
+            (approx - exact).abs() < 1.5,
+            "P2 p95 {approx} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn sorted_adversarial_input_stays_bounded() {
+        // Monotone input is the classic worst case for P²; the estimate must
+        // still land inside the observed range and within a loose band.
+        let mut est = P2Quantile::new(0.9).unwrap();
+        for i in 0..10_000 {
+            est.insert(i as f64).unwrap();
+        }
+        let e = est.estimate().unwrap();
+        assert!((0.0..=9999.0).contains(&e));
+        assert!((e - 9000.0).abs() < 500.0, "estimate {e} too far from 9000");
+    }
+
+    #[test]
+    fn estimate_within_observed_range() {
+        let data = uniform_stream(5, 1000);
+        let mut est = P2Quantile::new(0.75).unwrap();
+        for &v in &data {
+            est.insert(v).unwrap();
+        }
+        let e = est.estimate().unwrap();
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(e >= min && e <= max);
+    }
+
+    #[test]
+    fn constant_stream_returns_constant() {
+        let mut est = P2Quantile::new(0.95).unwrap();
+        for _ in 0..1000 {
+            est.insert(42.0).unwrap();
+        }
+        assert_eq!(est.estimate().unwrap(), 42.0);
+    }
+}

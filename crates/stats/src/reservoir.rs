@@ -1,0 +1,155 @@
+//! Reservoir sampling: a fixed-size uniform sample of an unbounded stream.
+//!
+//! Bootstrap analysis over very large regions would otherwise need the
+//! whole metric column in memory; a reservoir (Vitter's Algorithm R) keeps
+//! a uniform `k`-subset in one pass with O(k) memory, deterministic from
+//! its seed.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+use crate::rng::SplitMix64;
+
+/// Fixed-capacity uniform reservoir over a stream of `f64` observations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Reservoir {
+    capacity: usize,
+    seen: u64,
+    sample: Vec<f64>,
+    rng: SplitMix64State,
+}
+
+/// Serializable SplitMix64 state (the generator itself keeps its state
+/// private, so the reservoir persists the seed word directly).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SplitMix64State {
+    state: u64,
+}
+
+impl Reservoir {
+    /// Creates a reservoir holding at most `capacity` observations.
+    pub fn new(capacity: usize, seed: u64) -> Result<Self, StatsError> {
+        if capacity == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "capacity",
+                reason: "reservoir must hold at least one observation".into(),
+            });
+        }
+        Ok(Reservoir {
+            capacity,
+            seen: 0,
+            sample: Vec::with_capacity(capacity),
+            rng: SplitMix64State { state: seed },
+        })
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut gen = SplitMix64::new(self.rng.state);
+        let value = gen.next_u64();
+        // Advance the persisted state the same way SplitMix64 does.
+        self.rng.state = self.rng.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        value
+    }
+
+    /// Observes one value.
+    pub fn observe(&mut self, value: f64) -> Result<(), StatsError> {
+        if !value.is_finite() {
+            return Err(StatsError::NonFiniteValue(value));
+        }
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(value);
+            return Ok(());
+        }
+        // Algorithm R: replace a random slot with probability capacity/seen.
+        let j = (((self.next_u64() as u128) * (self.seen as u128)) >> 64) as u64;
+        if (j as usize) < self.capacity {
+            self.sample[j as usize] = value;
+        }
+        Ok(())
+    }
+
+    /// Total observations seen (not just retained).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The retained sample (order is not meaningful).
+    pub fn sample(&self) -> &[f64] {
+        &self.sample
+    }
+
+    /// Whether the reservoir has filled to capacity.
+    pub fn is_full(&self) -> bool {
+        self.sample.len() == self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_capacity_and_nan() {
+        assert!(Reservoir::new(0, 1).is_err());
+        let mut r = Reservoir::new(4, 1).unwrap();
+        assert!(r.observe(f64::NAN).is_err());
+        assert_eq!(r.seen(), 0);
+    }
+
+    #[test]
+    fn short_stream_is_kept_verbatim() {
+        let mut r = Reservoir::new(10, 7).unwrap();
+        for v in [1.0, 2.0, 3.0] {
+            r.observe(v).unwrap();
+        }
+        assert_eq!(r.sample(), &[1.0, 2.0, 3.0]);
+        assert!(!r.is_full());
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded() {
+        let mut r = Reservoir::new(16, 3).unwrap();
+        for i in 0..10_000 {
+            r.observe(i as f64).unwrap();
+        }
+        assert_eq!(r.sample().len(), 16);
+        assert_eq!(r.seen(), 10_000);
+        assert!(r.is_full());
+    }
+
+    #[test]
+    fn sampling_is_approximately_uniform() {
+        // Stream 0..1000 into a 100-slot reservoir many times; each value's
+        // retention frequency should be ~10%.
+        let n_trials = 400;
+        let mut early = 0usize; // values < 100 retained
+        let mut late = 0usize; // values >= 900 retained
+        for t in 0..n_trials {
+            let mut r = Reservoir::new(100, 1000 + t).unwrap();
+            for i in 0..1000 {
+                r.observe(i as f64).unwrap();
+            }
+            early += r.sample().iter().filter(|&&v| v < 100.0).count();
+            late += r.sample().iter().filter(|&&v| v >= 900.0).count();
+        }
+        // Expected ~10 per trial on each side.
+        let early_rate = early as f64 / n_trials as f64;
+        let late_rate = late as f64 / n_trials as f64;
+        assert!((early_rate - 10.0).abs() < 1.5, "early {early_rate}");
+        assert!((late_rate - 10.0).abs() < 1.5, "late {late_rate}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut r = Reservoir::new(8, seed).unwrap();
+            for i in 0..500 {
+                r.observe(i as f64).unwrap();
+            }
+            r.sample().to_vec()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

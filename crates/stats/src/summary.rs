@@ -1,0 +1,212 @@
+//! The per-metric streaming aggregate used throughout the pipeline.
+//!
+//! [`StreamingSummary`] bundles [`crate::moments::Moments`] with a
+//! [`crate::tdigest::TDigest`], so one pass over a measurement stream yields
+//! count, mean, dispersion, extremes and any quantile — in particular the
+//! 95th percentile that the IQB paper's dataset tier prescribes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+use crate::moments::Moments;
+use crate::tdigest::TDigest;
+
+/// One-pass mergeable summary of a metric stream.
+///
+/// ```
+/// use iqb_stats::StreamingSummary;
+///
+/// let mut s = StreamingSummary::new();
+/// s.extend([5.0, 9.0, 14.0, 2.0]).unwrap();
+/// assert_eq!(s.count(), 4);
+/// assert_eq!(s.min(), Some(2.0));
+/// assert!(s.quantile(0.95).unwrap() <= 14.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+pub struct StreamingSummary {
+    moments: Moments,
+    digest: TDigest,
+}
+
+impl StreamingSummary {
+    /// Creates an empty summary with the default digest compression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty summary with an explicit t-digest compression.
+    pub fn with_compression(compression: f64) -> Result<Self, StatsError> {
+        Ok(StreamingSummary {
+            moments: Moments::new(),
+            digest: TDigest::with_compression(compression)?,
+        })
+    }
+
+    /// Inserts one observation (rejects non-finite values).
+    pub fn insert(&mut self, value: f64) -> Result<(), StatsError> {
+        // Validate once; both sinks accept the same domain.
+        self.moments.insert(value)?;
+        self.digest
+            .insert(value)
+            .expect("digest accepts any finite value");
+        Ok(())
+    }
+
+    /// Inserts many observations, stopping at the first invalid one.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) -> Result<(), StatsError> {
+        for v in values {
+            self.insert(v)?;
+        }
+        Ok(())
+    }
+
+    /// Builds a summary from a slice in one call.
+    pub fn from_slice(values: &[f64]) -> Result<Self, StatsError> {
+        let mut s = Self::new();
+        s.extend(values.iter().copied())?;
+        Ok(s)
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// Whether the summary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.moments.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        self.moments.mean()
+    }
+
+    /// Sample standard deviation, or `None` with fewer than two observations.
+    pub fn stddev(&self) -> Option<f64> {
+        self.moments.stddev_sample()
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.moments.min()
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.moments.max()
+    }
+
+    /// Quantile estimate from the embedded t-digest.
+    pub fn quantile(&self, q: f64) -> Result<f64, StatsError> {
+        self.digest.quantile(q)
+    }
+
+    /// Median convenience accessor.
+    pub fn median(&self) -> Result<f64, StatsError> {
+        self.quantile(0.5)
+    }
+
+    /// The IQB paper's prescribed aggregate: the 95th percentile.
+    pub fn p95(&self) -> Result<f64, StatsError> {
+        self.quantile(0.95)
+    }
+
+    /// Estimated fraction of observations ≤ `x`.
+    pub fn cdf(&self, x: f64) -> Result<f64, StatsError> {
+        self.digest.cdf(x)
+    }
+
+    /// Access to the underlying moments accumulator.
+    pub fn moments(&self) -> &Moments {
+        &self.moments
+    }
+
+    /// Access to the underlying digest.
+    pub fn digest(&self) -> &TDigest {
+        &self.digest
+    }
+
+    /// Merges another summary (as if both streams had been inserted here).
+    pub fn merge(&mut self, other: &StreamingSummary) {
+        self.moments.merge(&other.moments);
+        self.digest.merge(&other.digest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn empty_summary_behaviour() {
+        let s = StreamingSummary::new();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), None);
+        assert!(s.quantile(0.95).is_err());
+    }
+
+    #[test]
+    fn insert_updates_all_views() {
+        let mut s = StreamingSummary::new();
+        s.extend([10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), Some(20.0));
+        assert_eq!(s.min(), Some(10.0));
+        assert_eq!(s.max(), Some(30.0));
+        assert_eq!(s.quantile(1.0).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn invalid_value_leaves_summary_consistent() {
+        let mut s = StreamingSummary::new();
+        s.insert(5.0).unwrap();
+        assert!(s.insert(f64::NAN).is_err());
+        // Both sinks must agree on the count after a rejected insert.
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.digest().count(), 1);
+    }
+
+    #[test]
+    fn from_slice_equals_extend() {
+        let data = [4.0, 8.0, 15.0, 16.0, 23.0, 42.0];
+        let a = StreamingSummary::from_slice(&data).unwrap();
+        let mut b = StreamingSummary::new();
+        b.extend(data.iter().copied()).unwrap();
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.mean(), b.mean());
+        assert_eq!(a.p95().unwrap(), b.p95().unwrap());
+    }
+
+    #[test]
+    fn p95_close_to_exact_on_large_stream() {
+        let mut rng = SplitMix64::new(31);
+        let data: Vec<f64> = (0..40_000).map(|_| rng.next_f64() * 500.0).collect();
+        let s = StreamingSummary::from_slice(&data).unwrap();
+        let exact = crate::exact::quantile(&data, 0.95).unwrap();
+        assert!(
+            (s.p95().unwrap() - exact).abs() / exact < 0.01,
+            "p95 {} vs exact {exact}",
+            s.p95().unwrap()
+        );
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = StreamingSummary::from_slice(&[1.0, 2.0, 3.0]).unwrap();
+        let b = StreamingSummary::from_slice(&[100.0, 200.0]).unwrap();
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.min(), Some(1.0));
+        assert_eq!(a.max(), Some(200.0));
+    }
+
+    #[test]
+    fn custom_compression_is_respected() {
+        let s = StreamingSummary::with_compression(300.0).unwrap();
+        assert_eq!(s.digest().compression(), 300.0);
+        assert!(StreamingSummary::with_compression(1.0).is_err());
+    }
+}

@@ -1,0 +1,533 @@
+//! A from-scratch merging t-digest (Dunning & Ertl).
+//!
+//! The t-digest summarises a distribution as a list of centroids whose
+//! allowed mass shrinks near the tails, so extreme quantiles — exactly the
+//! p95 the IQB paper prescribes — stay accurate while memory stays bounded.
+//! Two digests merge exactly the way two measurement shards do, which is what
+//! lets the pipeline aggregate per-region datasets in parallel and combine
+//! the results.
+//!
+//! This implementation uses the *merging* variant with the scale function
+//! `k₁(q) = δ/(2π)·asin(2q−1)`: incoming points are buffered, then buffer and
+//! existing centroids are merged in one sorted sweep, greedily packing
+//! neighbouring centroids while the k-size budget allows.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+
+/// Default compression (δ). 100 gives ≈ 1% worst-case quantile error with a
+/// few hundred centroids — ample for threshold comparisons.
+pub const DEFAULT_COMPRESSION: f64 = 100.0;
+
+/// Number of buffered points that triggers a compaction.
+const BUFFER_FACTOR: usize = 10;
+
+/// A single centroid: a weighted point mass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Centroid {
+    /// Mean of the observations merged into this centroid.
+    pub mean: f64,
+    /// Number of observations merged into this centroid.
+    pub weight: f64,
+}
+
+/// Mergeable streaming quantile sketch.
+///
+/// ```
+/// use iqb_stats::TDigest;
+///
+/// let mut d = TDigest::new();
+/// for i in 1..=10_000 {
+///     d.insert(i as f64).unwrap();
+/// }
+/// let p95 = d.quantile(0.95).unwrap();
+/// assert!((p95 - 9500.0).abs() / 9500.0 < 0.01);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TDigest {
+    compression: f64,
+    centroids: Vec<Centroid>,
+    buffer: Vec<f64>,
+    count: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for TDigest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TDigest {
+    /// Creates a digest with [`DEFAULT_COMPRESSION`].
+    pub fn new() -> Self {
+        Self::with_compression(DEFAULT_COMPRESSION).expect("default compression is valid")
+    }
+
+    /// Creates a digest with an explicit compression δ (≥ 10).
+    ///
+    /// Larger δ → more centroids → more accuracy and memory.
+    pub fn with_compression(compression: f64) -> Result<Self, StatsError> {
+        if !compression.is_finite() || compression < 10.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "compression",
+                reason: format!("must be finite and >= 10, got {compression}"),
+            });
+        }
+        Ok(TDigest {
+            compression,
+            centroids: Vec::new(),
+            buffer: Vec::new(),
+            count: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        })
+    }
+
+    /// The compression parameter δ.
+    pub fn compression(&self) -> f64 {
+        self.compression
+    }
+
+    /// Total number of observations inserted.
+    pub fn count(&self) -> u64 {
+        (self.count + self.buffer.len() as f64) as u64
+    }
+
+    /// Whether the digest holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0.0 && self.buffer.is_empty()
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(
+                self.buffer
+                    .iter()
+                    .fold(self.min, |acc, &v| acc.min(v)),
+            )
+        }
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(
+                self.buffer
+                    .iter()
+                    .fold(self.max, |acc, &v| acc.max(v)),
+            )
+        }
+    }
+
+    /// Inserts one observation.
+    pub fn insert(&mut self, value: f64) -> Result<(), StatsError> {
+        if !value.is_finite() {
+            return Err(StatsError::NonFiniteValue(value));
+        }
+        self.buffer.push(value);
+        if self.buffer.len() >= BUFFER_FACTOR * self.compression as usize {
+            self.compress();
+        }
+        Ok(())
+    }
+
+    /// Inserts many observations.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) -> Result<(), StatsError> {
+        for v in values {
+            self.insert(v)?;
+        }
+        Ok(())
+    }
+
+    /// Number of centroids currently held (after flushing the buffer).
+    pub fn centroid_count(&mut self) -> usize {
+        self.compress();
+        self.centroids.len()
+    }
+
+    /// A snapshot of the centroids (after flushing the buffer).
+    pub fn centroids(&mut self) -> &[Centroid] {
+        self.compress();
+        &self.centroids
+    }
+
+    /// Merges another digest into this one.
+    ///
+    /// The result answers quantile queries as if both observation streams had
+    /// been inserted into a single digest.
+    pub fn merge(&mut self, other: &TDigest) {
+        let mut incoming = other.clone();
+        incoming.compress();
+        self.compress();
+        if incoming.centroids.is_empty() {
+            return;
+        }
+        self.min = self.min.min(incoming.min);
+        self.max = self.max.max(incoming.max);
+        self.count += incoming.count;
+        let mut all = std::mem::take(&mut self.centroids);
+        all.extend(incoming.centroids);
+        self.centroids = Self::merge_centroids(all, self.count, self.compression);
+    }
+
+    /// Flushes buffered points into the centroid list.
+    fn compress(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        let buffered = std::mem::take(&mut self.buffer);
+        for &v in &buffered {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += buffered.len() as f64;
+        let mut all = std::mem::take(&mut self.centroids);
+        all.extend(buffered.into_iter().map(|v| Centroid {
+            mean: v,
+            weight: 1.0,
+        }));
+        self.centroids = Self::merge_centroids(all, self.count, self.compression);
+    }
+
+    /// Scale function k₁: maps quantile to k-space where each centroid may
+    /// span at most one unit.
+    fn k_scale(q: f64, compression: f64) -> f64 {
+        compression / (2.0 * std::f64::consts::PI) * (2.0 * q - 1.0).asin()
+    }
+
+    /// Single-sweep greedy merge of a centroid soup into a valid digest.
+    fn merge_centroids(mut all: Vec<Centroid>, total: f64, compression: f64) -> Vec<Centroid> {
+        if all.is_empty() {
+            return all;
+        }
+        all.sort_by(|a, b| a.mean.partial_cmp(&b.mean).expect("finite means"));
+        let mut merged: Vec<Centroid> = Vec::with_capacity(all.len());
+        let mut current = all[0];
+        // Mass (in observations) accumulated strictly before `current`.
+        let mut mass_before = 0.0_f64;
+        let mut k_lo = Self::k_scale(0.0, compression);
+        for &c in &all[1..] {
+            let proposed_weight = current.weight + c.weight;
+            let q_hi = (mass_before + proposed_weight) / total;
+            let k_hi = Self::k_scale(q_hi.min(1.0), compression);
+            if k_hi - k_lo <= 1.0 {
+                // Budget allows: fold c into current.
+                let w = proposed_weight;
+                current.mean += (c.mean - current.mean) * c.weight / w;
+                current.weight = w;
+            } else {
+                mass_before += current.weight;
+                merged.push(current);
+                k_lo = Self::k_scale(mass_before / total, compression);
+                current = c;
+            }
+        }
+        merged.push(current);
+        merged
+    }
+
+    /// Estimates quantile `q` (linear interpolation between centroid means,
+    /// with exact handling of the extremes).
+    pub fn quantile(&self, q: f64) -> Result<f64, StatsError> {
+        if !(0.0..=1.0).contains(&q) || q.is_nan() {
+            return Err(StatsError::InvalidQuantile(q));
+        }
+        let mut snapshot = self.clone();
+        snapshot.compress();
+        snapshot.quantile_compressed(q)
+    }
+
+    /// Quantile on an already-compressed digest (no clone). Call after
+    /// mutating APIs when querying many quantiles.
+    pub fn quantile_mut(&mut self, q: f64) -> Result<f64, StatsError> {
+        if !(0.0..=1.0).contains(&q) || q.is_nan() {
+            return Err(StatsError::InvalidQuantile(q));
+        }
+        self.compress();
+        self.quantile_compressed(q)
+    }
+
+    fn quantile_compressed(&self, q: f64) -> Result<f64, StatsError> {
+        if self.centroids.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if self.centroids.len() == 1 {
+            return Ok(self.centroids[0].mean);
+        }
+        let target = q * self.count;
+        // Exact extremes.
+        if target <= 0.5 {
+            return Ok(self.min);
+        }
+        if target >= self.count - 0.5 {
+            return Ok(self.max);
+        }
+        // Walk centroids, treating each as a point mass at its mean with its
+        // weight spread half before / half after.
+        let mut cum = 0.0;
+        for i in 0..self.centroids.len() {
+            let c = self.centroids[i];
+            let c_mid = cum + c.weight / 2.0;
+            if target < c_mid {
+                // Interpolate between previous centroid midpoint and this one.
+                if i == 0 {
+                    let prev_mid = 0.5; // the min occupies rank ~0.5
+                    let frac = (target - prev_mid) / (c_mid - prev_mid).max(f64::MIN_POSITIVE);
+                    return Ok(self.min + (c.mean - self.min) * frac.clamp(0.0, 1.0));
+                }
+                let p = self.centroids[i - 1];
+                let prev_mid = cum - p.weight / 2.0;
+                let frac = (target - prev_mid) / (c_mid - prev_mid).max(f64::MIN_POSITIVE);
+                return Ok(p.mean + (c.mean - p.mean) * frac.clamp(0.0, 1.0));
+            }
+            cum += c.weight;
+        }
+        // target beyond the last centroid midpoint: interpolate toward max.
+        let last = *self.centroids.last().expect("non-empty");
+        let last_mid = self.count - last.weight / 2.0;
+        let frac = (target - last_mid) / (self.count - 0.5 - last_mid).max(f64::MIN_POSITIVE);
+        Ok(last.mean + (self.max - last.mean) * frac.clamp(0.0, 1.0))
+    }
+
+    /// Estimates the CDF at `x`: fraction of observations ≤ `x`.
+    pub fn cdf(&self, x: f64) -> Result<f64, StatsError> {
+        let mut snapshot = self.clone();
+        snapshot.compress();
+        if snapshot.centroids.is_empty() {
+            return Err(StatsError::EmptySample);
+        }
+        if !x.is_finite() {
+            return Err(StatsError::NonFiniteValue(x));
+        }
+        if x < snapshot.min {
+            return Ok(0.0);
+        }
+        if x >= snapshot.max {
+            return Ok(1.0);
+        }
+        let mut cum = 0.0;
+        let mut prev_mean = snapshot.min;
+        let mut prev_mid = 0.0;
+        for c in &snapshot.centroids {
+            let mid = cum + c.weight / 2.0;
+            if x < c.mean {
+                let frac = if c.mean > prev_mean {
+                    (x - prev_mean) / (c.mean - prev_mean)
+                } else {
+                    0.0
+                };
+                return Ok(((prev_mid + (mid - prev_mid) * frac) / snapshot.count).clamp(0.0, 1.0));
+            }
+            cum += c.weight;
+            prev_mean = c.mean;
+            prev_mid = mid;
+        }
+        Ok(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn stream(seed: u64, n: usize, f: impl Fn(f64) -> f64) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| f(rng.next_f64())).collect()
+    }
+
+    fn assert_quantile_close(data: &[f64], digest: &TDigest, q: f64, tol_rel: f64) {
+        let exact = crate::exact::quantile(data, q).unwrap();
+        let approx = digest.quantile(q).unwrap();
+        let spread = {
+            let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            max - min
+        };
+        assert!(
+            (approx - exact).abs() <= tol_rel * spread.max(1e-12),
+            "q={q}: digest {approx} vs exact {exact} (tol {tol_rel} of spread {spread})"
+        );
+    }
+
+    #[test]
+    fn rejects_low_compression() {
+        assert!(TDigest::with_compression(5.0).is_err());
+        assert!(TDigest::with_compression(f64::NAN).is_err());
+        assert!(TDigest::with_compression(10.0).is_ok());
+    }
+
+    #[test]
+    fn empty_digest_errors() {
+        let d = TDigest::new();
+        assert!(d.is_empty());
+        assert_eq!(d.quantile(0.5), Err(StatsError::EmptySample));
+        assert_eq!(d.min(), None);
+        assert_eq!(d.max(), None);
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let mut d = TDigest::new();
+        assert!(d.insert(f64::NAN).is_err());
+        assert!(d.insert(f64::INFINITY).is_err());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn single_value() {
+        let mut d = TDigest::new();
+        d.insert(3.25).unwrap();
+        assert_eq!(d.quantile(0.0).unwrap(), 3.25);
+        assert_eq!(d.quantile(0.5).unwrap(), 3.25);
+        assert_eq!(d.quantile(1.0).unwrap(), 3.25);
+        assert_eq!(d.count(), 1);
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let data = stream(3, 10_000, |u| u * 1000.0 - 500.0);
+        let mut d = TDigest::new();
+        d.extend(data.iter().copied()).unwrap();
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(d.quantile(0.0).unwrap(), min);
+        assert_eq!(d.quantile(1.0).unwrap(), max);
+        assert_eq!(d.min(), Some(min));
+        assert_eq!(d.max(), Some(max));
+    }
+
+    #[test]
+    fn uniform_quantiles_accurate() {
+        let data = stream(17, 50_000, |u| u * 100.0);
+        let mut d = TDigest::new();
+        d.extend(data.iter().copied()).unwrap();
+        for q in [0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
+            assert_quantile_close(&data, &d, q, 0.01);
+        }
+    }
+
+    #[test]
+    fn lognormal_tail_accurate() {
+        // Log-normal-ish long tail, the shape of real throughput data.
+        let data = stream(29, 50_000, |u| (-2.0 * (1.0 - u).ln()).exp());
+        let mut d = TDigest::new();
+        d.extend(data.iter().copied()).unwrap();
+        for q in [0.9, 0.95, 0.99] {
+            assert_quantile_close(&data, &d, q, 0.02);
+        }
+    }
+
+    #[test]
+    fn centroid_count_is_bounded() {
+        let data = stream(41, 200_000, |u| u * 1e6);
+        let mut d = TDigest::new();
+        d.extend(data.iter().copied()).unwrap();
+        let n = d.centroid_count();
+        // The merging digest bound is ~2δ centroids.
+        assert!(n <= 2 * DEFAULT_COMPRESSION as usize + 10, "{n} centroids");
+    }
+
+    #[test]
+    fn merge_matches_combined_stream() {
+        let a_data = stream(1, 20_000, |u| u * 50.0);
+        let b_data = stream(2, 30_000, |u| 50.0 + u * 50.0);
+        let mut a = TDigest::new();
+        a.extend(a_data.iter().copied()).unwrap();
+        let mut b = TDigest::new();
+        b.extend(b_data.iter().copied()).unwrap();
+        a.merge(&b);
+        let mut all = a_data.clone();
+        all.extend(&b_data);
+        assert_eq!(a.count(), all.len() as u64);
+        for q in [0.1, 0.5, 0.9, 0.95] {
+            assert_quantile_close(&all, &a, q, 0.015);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let data = stream(9, 1000, |u| u * 10.0);
+        let mut d = TDigest::new();
+        d.extend(data.iter().copied()).unwrap();
+        let p95_before = d.quantile(0.95).unwrap();
+        d.merge(&TDigest::new());
+        assert_eq!(d.quantile(0.95).unwrap(), p95_before);
+
+        let mut empty = TDigest::new();
+        empty.merge(&d);
+        assert!((empty.quantile(0.95).unwrap() - p95_before).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let data = stream(55, 20_000, |u| (u * 40.0).sin() * 100.0 + u * 10.0);
+        let mut d = TDigest::new();
+        d.extend(data.iter().copied()).unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = d.quantile(q).unwrap();
+            assert!(v >= prev - 1e-9, "quantile not monotone at q={q}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn cdf_and_quantile_are_roughly_inverse() {
+        let data = stream(77, 30_000, |u| u * 200.0);
+        let mut d = TDigest::new();
+        d.extend(data.iter().copied()).unwrap();
+        for q in [0.1, 0.3, 0.5, 0.7, 0.9, 0.95] {
+            let x = d.quantile(q).unwrap();
+            let q_back = d.cdf(x).unwrap();
+            assert!(
+                (q_back - q).abs() < 0.02,
+                "cdf(quantile({q})) = {q_back}"
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_edges() {
+        let mut d = TDigest::new();
+        d.extend([1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(d.cdf(0.0).unwrap(), 0.0);
+        assert_eq!(d.cdf(3.0).unwrap(), 1.0);
+        assert_eq!(d.cdf(10.0).unwrap(), 1.0);
+        assert!(d.cdf(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn higher_compression_is_more_accurate() {
+        let data = stream(101, 100_000, |u| (-(1.0 - u).ln()).powf(2.0) * 30.0);
+        let exact = crate::exact::quantile(&data, 0.95).unwrap();
+        let mut err_by_compression = Vec::new();
+        for delta in [20.0, 100.0, 500.0] {
+            let mut d = TDigest::with_compression(delta).unwrap();
+            d.extend(data.iter().copied()).unwrap();
+            err_by_compression.push((d.quantile(0.95).unwrap() - exact).abs());
+        }
+        assert!(
+            err_by_compression[2] <= err_by_compression[0] + 1e-9,
+            "errors {err_by_compression:?} should shrink with compression"
+        );
+    }
+
+    #[test]
+    fn total_weight_is_preserved() {
+        let data = stream(13, 12_345, |u| u * 7.0);
+        let mut d = TDigest::new();
+        d.extend(data.iter().copied()).unwrap();
+        let total: f64 = d.centroids().iter().map(|c| c.weight).sum();
+        assert!((total - 12_345.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,200 @@
+//! Time-bucketed windowed aggregation.
+//!
+//! The temporal-trend experiment (E9) computes an IQB score per time window
+//! (e.g. every 2 hours across a week of synthetic measurements). This module
+//! buckets timestamped observations into fixed-width windows, each backed by
+//! a [`StreamingSummary`], so per-window percentiles come out in one pass.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+use crate::summary::StreamingSummary;
+
+/// Fixed-width tumbling windows over a timestamped value stream.
+///
+/// Timestamps are opaque `u64`s (the workspace uses seconds since an epoch);
+/// window `k` covers `[origin + k·width, origin + (k+1)·width)`.
+///
+/// ```
+/// use iqb_stats::window::WindowedAggregator;
+///
+/// let mut w = WindowedAggregator::new(0, 3600).unwrap();
+/// w.insert(100, 5.0).unwrap();    // window 0
+/// w.insert(3700, 7.0).unwrap();   // window 1
+/// assert_eq!(w.window_count(), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowedAggregator {
+    origin: u64,
+    width: u64,
+    windows: BTreeMap<u64, StreamingSummary>,
+}
+
+impl WindowedAggregator {
+    /// Creates an aggregator with windows of `width` time units starting at
+    /// `origin`. `width` must be positive.
+    pub fn new(origin: u64, width: u64) -> Result<Self, StatsError> {
+        if width == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "width",
+                reason: "window width must be positive".into(),
+            });
+        }
+        Ok(WindowedAggregator {
+            origin,
+            width,
+            windows: BTreeMap::new(),
+        })
+    }
+
+    /// Window width in time units.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Index of the window containing `timestamp`, or an error for
+    /// timestamps before the origin.
+    pub fn window_index(&self, timestamp: u64) -> Result<u64, StatsError> {
+        if timestamp < self.origin {
+            return Err(StatsError::InvalidParameter {
+                name: "timestamp",
+                reason: format!(
+                    "timestamp {timestamp} precedes aggregator origin {}",
+                    self.origin
+                ),
+            });
+        }
+        Ok((timestamp - self.origin) / self.width)
+    }
+
+    /// Start timestamp of window `index`.
+    pub fn window_start(&self, index: u64) -> u64 {
+        self.origin + index * self.width
+    }
+
+    /// Inserts a timestamped observation.
+    pub fn insert(&mut self, timestamp: u64, value: f64) -> Result<(), StatsError> {
+        let idx = self.window_index(timestamp)?;
+        self.windows.entry(idx).or_default().insert(value)
+    }
+
+    /// Number of non-empty windows.
+    pub fn window_count(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Summary for window `index`, if any observation landed there.
+    pub fn window(&self, index: u64) -> Option<&StreamingSummary> {
+        self.windows.get(&index)
+    }
+
+    /// Iterates `(window_index, summary)` in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &StreamingSummary)> {
+        self.windows.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Per-window quantile series `(window_start_timestamp, quantile_value)`,
+    /// skipping empty windows — the series a trend plot consumes.
+    pub fn quantile_series(&self, q: f64) -> Result<Vec<(u64, f64)>, StatsError> {
+        self.windows
+            .iter()
+            .map(|(&idx, s)| Ok((self.window_start(idx), s.quantile(q)?)))
+            .collect()
+    }
+
+    /// Collapses all windows into a single summary (for whole-period stats).
+    pub fn collapse(&self) -> StreamingSummary {
+        let mut total = StreamingSummary::new();
+        for s in self.windows.values() {
+            total.merge(s);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(WindowedAggregator::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn timestamps_bucket_correctly() {
+        let w = WindowedAggregator::new(1000, 60).unwrap();
+        assert_eq!(w.window_index(1000).unwrap(), 0);
+        assert_eq!(w.window_index(1059).unwrap(), 0);
+        assert_eq!(w.window_index(1060).unwrap(), 1);
+        assert!(w.window_index(999).is_err());
+    }
+
+    #[test]
+    fn window_start_round_trips() {
+        let w = WindowedAggregator::new(500, 100).unwrap();
+        for ts in [500u64, 555, 600, 1234] {
+            let idx = w.window_index(ts).unwrap();
+            let start = w.window_start(idx);
+            assert!(start <= ts && ts < start + w.width());
+        }
+    }
+
+    #[test]
+    fn values_land_in_their_windows() {
+        let mut w = WindowedAggregator::new(0, 10).unwrap();
+        w.insert(5, 1.0).unwrap();
+        w.insert(15, 2.0).unwrap();
+        w.insert(16, 4.0).unwrap();
+        assert_eq!(w.window_count(), 2);
+        assert_eq!(w.window(0).unwrap().count(), 1);
+        assert_eq!(w.window(1).unwrap().count(), 2);
+        assert_eq!(w.window(1).unwrap().mean(), Some(3.0));
+        assert!(w.window(2).is_none());
+    }
+
+    #[test]
+    fn invalid_value_propagates() {
+        let mut w = WindowedAggregator::new(0, 10).unwrap();
+        assert!(w.insert(5, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn quantile_series_skips_empty_windows() {
+        let mut w = WindowedAggregator::new(0, 10).unwrap();
+        w.insert(5, 1.0).unwrap();
+        w.insert(35, 9.0).unwrap(); // window 3; windows 1, 2 empty
+        let series = w.quantile_series(0.5).unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, 0);
+        assert_eq!(series[1].0, 30);
+    }
+
+    #[test]
+    fn series_is_time_ordered() {
+        let mut w = WindowedAggregator::new(0, 10).unwrap();
+        for ts in [95u64, 5, 55, 25] {
+            w.insert(ts, ts as f64).unwrap();
+        }
+        let series = w.quantile_series(0.5).unwrap();
+        let starts: Vec<u64> = series.iter().map(|(t, _)| *t).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn collapse_equals_flat_summary() {
+        let mut w = WindowedAggregator::new(0, 10).unwrap();
+        let values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        for (i, &v) in values.iter().enumerate() {
+            w.insert(i as u64 * 7, v).unwrap();
+        }
+        let collapsed = w.collapse();
+        assert_eq!(collapsed.count(), values.len() as u64);
+        let flat = StreamingSummary::from_slice(&values).unwrap();
+        assert!((collapsed.mean().unwrap() - flat.mean().unwrap()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the statistics substrate.
+//!
+//! These pin down the invariants the scoring pipeline relies on:
+//! order-statistics bounds, estimator-vs-exact agreement, merge semantics.
+
+use iqb_stats::bootstrap::{quantile_ci, BootstrapConfig};
+use iqb_stats::exact::{quantile, quantile_with, QuantileMethod};
+use iqb_stats::moments::Moments;
+use iqb_stats::summary::StreamingSummary;
+use iqb_stats::tdigest::TDigest;
+use proptest::prelude::*;
+
+/// Strategy: a non-empty vector of finite, reasonably sized floats.
+fn sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e6..1.0e6_f64, 1..400)
+}
+
+/// Strategy: a large sample for estimator-accuracy properties.
+fn large_sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0..1.0e4_f64, 500..2000)
+}
+
+proptest! {
+    #[test]
+    fn exact_quantile_within_sample_range(data in sample(), q in 0.0..=1.0f64) {
+        let v = quantile(&data, q).unwrap();
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min && v <= max);
+    }
+
+    #[test]
+    fn exact_quantile_monotone_in_q(data in sample(), q1 in 0.0..=1.0f64, q2 in 0.0..=1.0f64) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let v_lo = quantile(&data, lo).unwrap();
+        let v_hi = quantile(&data, hi).unwrap();
+        prop_assert!(v_lo <= v_hi + 1e-9);
+    }
+
+    #[test]
+    fn nearest_rank_always_a_sample_member(data in sample(), q in 0.001..=1.0f64) {
+        let v = quantile_with(&data, q, QuantileMethod::NearestRank).unwrap();
+        prop_assert!(data.contains(&v));
+    }
+
+    #[test]
+    fn quantile_invariant_under_permutation(mut data in sample(), q in 0.0..=1.0f64) {
+        let original = quantile(&data, q).unwrap();
+        data.reverse();
+        let reversed = quantile(&data, q).unwrap();
+        prop_assert!((original - reversed).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moments_mean_bounded_by_extremes(data in sample()) {
+        let mut m = Moments::new();
+        for &v in &data {
+            m.insert(v).unwrap();
+        }
+        let mean = m.mean().unwrap();
+        prop_assert!(mean >= m.min().unwrap() - 1e-9);
+        prop_assert!(mean <= m.max().unwrap() + 1e-9);
+        prop_assert!(m.variance_population().unwrap() >= -1e-9);
+    }
+
+    #[test]
+    fn moments_merge_matches_sequential(a in sample(), b in sample()) {
+        let mut left = Moments::new();
+        let mut combined = Moments::new();
+        for &v in &a {
+            left.insert(v).unwrap();
+            combined.insert(v).unwrap();
+        }
+        let mut right = Moments::new();
+        for &v in &b {
+            right.insert(v).unwrap();
+            combined.insert(v).unwrap();
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), combined.count());
+        let scale = combined.mean().unwrap().abs().max(1.0);
+        prop_assert!((left.mean().unwrap() - combined.mean().unwrap()).abs() < 1e-6 * scale);
+        prop_assert_eq!(left.min(), combined.min());
+        prop_assert_eq!(left.max(), combined.max());
+    }
+
+    #[test]
+    fn tdigest_p95_tracks_exact(data in large_sample()) {
+        let mut d = TDigest::new();
+        d.extend(data.iter().copied()).unwrap();
+        let exact = quantile(&data, 0.95).unwrap();
+        let approx = d.quantile(0.95).unwrap();
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let spread = (max - min).max(1e-9);
+        prop_assert!(
+            (approx - exact).abs() <= 0.05 * spread,
+            "approx {} exact {} spread {}", approx, exact, spread
+        );
+    }
+
+    #[test]
+    fn tdigest_count_and_extremes_exact(data in sample()) {
+        let mut d = TDigest::new();
+        d.extend(data.iter().copied()).unwrap();
+        prop_assert_eq!(d.count(), data.len() as u64);
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(d.min(), Some(min));
+        prop_assert_eq!(d.max(), Some(max));
+    }
+
+    #[test]
+    fn tdigest_merge_preserves_count(a in sample(), b in sample()) {
+        let mut da = TDigest::new();
+        da.extend(a.iter().copied()).unwrap();
+        let mut db = TDigest::new();
+        db.extend(b.iter().copied()).unwrap();
+        da.merge(&db);
+        prop_assert_eq!(da.count(), (a.len() + b.len()) as u64);
+    }
+
+    #[test]
+    fn summary_quantiles_bounded(data in sample(), q in 0.0..=1.0f64) {
+        let s = StreamingSummary::from_slice(&data).unwrap();
+        let v = s.quantile(q).unwrap();
+        prop_assert!(v >= s.min().unwrap() - 1e-9);
+        prop_assert!(v <= s.max().unwrap() + 1e-9);
+    }
+
+    #[test]
+    fn bootstrap_interval_brackets_estimate(data in prop::collection::vec(0.0..1e4f64, 10..200)) {
+        let cfg = BootstrapConfig { replicates: 50, level: 0.9, seed: 7 };
+        let ci = quantile_ci(&data, 0.95, &cfg).unwrap();
+        prop_assert!(ci.lower <= ci.estimate + 1e-9);
+        prop_assert!(ci.estimate <= ci.upper + 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Diurnal cross-traffic model.
+//!
+//! Access networks breathe daily: utilization bottoms out around 04:00 and
+//! peaks in the evening (the 20:00–22:00 "Netflix peak"). The temporal
+//! experiment (E9) relies on this: an IQB score computed from evening
+//! tests is worse than one computed from early-morning tests on the same
+//! infrastructure.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SynthError;
+
+/// Sinusoidal time-of-day utilization with configurable floor and peak.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalModel {
+    /// Utilization at the quietest hour, in `[0, 1)`.
+    pub floor: f64,
+    /// Utilization at the busiest hour, in `[0, 1)`; must exceed `floor`.
+    pub peak: f64,
+    /// Hour of day (0–24) at which utilization peaks.
+    pub peak_hour: f64,
+    /// Random per-observation spread (uniform ± this value).
+    pub noise: f64,
+}
+
+impl Default for DiurnalModel {
+    /// Floor 10% at ~04:00, peak 70% at 21:00, ±5% noise.
+    fn default() -> Self {
+        DiurnalModel {
+            floor: 0.10,
+            peak: 0.70,
+            peak_hour: 21.0,
+            noise: 0.05,
+        }
+    }
+}
+
+impl DiurnalModel {
+    /// Validates the model parameters.
+    pub fn validate(&self) -> Result<(), SynthError> {
+        for (name, v) in [("floor", self.floor), ("peak", self.peak)] {
+            if !(0.0..1.0).contains(&v) {
+                return Err(SynthError::invalid(name, format!("{v} not in [0, 1)")));
+            }
+        }
+        if self.peak <= self.floor {
+            return Err(SynthError::invalid(
+                "peak",
+                format!("peak {} must exceed floor {}", self.peak, self.floor),
+            ));
+        }
+        if !(0.0..=24.0).contains(&self.peak_hour) {
+            return Err(SynthError::invalid(
+                "peak_hour",
+                format!("{} not in [0, 24]", self.peak_hour),
+            ));
+        }
+        if !(0.0..0.5).contains(&self.noise) {
+            return Err(SynthError::invalid(
+                "noise",
+                format!("{} not in [0, 0.5)", self.noise),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Deterministic utilization at a time of day (`timestamp` seconds into
+    /// the campaign; day length 86 400 s).
+    pub fn utilization_at(&self, timestamp: u64) -> f64 {
+        let hour = (timestamp % 86_400) as f64 / 3_600.0;
+        let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        let mid = (self.floor + self.peak) / 2.0;
+        let amplitude = (self.peak - self.floor) / 2.0;
+        mid + amplitude * phase.cos()
+    }
+
+    /// Utilization at a time of day with sampling noise, clamped to
+    /// `[0, 0.98]` so protocol emulators always get a valid value.
+    pub fn sample_utilization<R: Rng + ?Sized>(&self, timestamp: u64, rng: &mut R) -> f64 {
+        let base = self.utilization_at(timestamp);
+        let noisy = base + self.noise * (rng.gen::<f64>() * 2.0 - 1.0);
+        noisy.clamp(0.0, 0.98)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn at_hour(h: f64) -> u64 {
+        (h * 3600.0) as u64
+    }
+
+    #[test]
+    fn default_validates() {
+        DiurnalModel::default().validate().unwrap();
+    }
+
+    #[test]
+    fn peak_and_trough_land_where_configured() {
+        let m = DiurnalModel::default();
+        let peak = m.utilization_at(at_hour(21.0));
+        let trough = m.utilization_at(at_hour(9.0)); // 12h opposite
+        assert!((peak - 0.70).abs() < 1e-9, "peak {peak}");
+        assert!((trough - 0.10).abs() < 1e-9, "trough {trough}");
+    }
+
+    #[test]
+    fn utilization_bounded_all_day() {
+        let m = DiurnalModel::default();
+        for h in 0..24 {
+            let u = m.utilization_at(at_hour(h as f64));
+            assert!((0.0..1.0).contains(&u), "hour {h}: {u}");
+        }
+    }
+
+    #[test]
+    fn evening_busier_than_dawn() {
+        let m = DiurnalModel::default();
+        assert!(m.utilization_at(at_hour(21.0)) > m.utilization_at(at_hour(4.0)) + 0.3);
+    }
+
+    #[test]
+    fn repeats_daily() {
+        let m = DiurnalModel::default();
+        let day1 = m.utilization_at(at_hour(15.0));
+        let day3 = m.utilization_at(at_hour(15.0) + 2 * 86_400);
+        assert!((day1 - day3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_utilization_stays_valid() {
+        let m = DiurnalModel::default();
+        let mut rng = StdRng::seed_from_u64(8);
+        for ts in (0..86_400).step_by(600) {
+            let u = m.sample_utilization(ts, &mut rng);
+            assert!((0.0..=0.98).contains(&u));
+        }
+    }
+
+    #[test]
+    fn invalid_models_rejected() {
+        let mut m = DiurnalModel::default();
+        m.peak = 0.05; // below floor
+        assert!(m.validate().is_err());
+        let mut m = DiurnalModel::default();
+        m.floor = 1.0;
+        assert!(m.validate().is_err());
+        let mut m = DiurnalModel::default();
+        m.peak_hour = 30.0;
+        assert!(m.validate().is_err());
+        let mut m = DiurnalModel::default();
+        m.noise = 0.5;
+        assert!(m.validate().is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the synthesis layer.
+
+use std::fmt;
+
+/// Errors produced while configuring or running synthesis.
+#[derive(Debug)]
+pub enum SynthError {
+    /// A generation parameter is out of range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// Error bubbled up from the network simulator.
+    Netsim(iqb_netsim::NetsimError),
+    /// Error bubbled up from the dataset layer.
+    Data(iqb_data::DataError),
+}
+
+impl SynthError {
+    /// Convenience constructor for [`SynthError::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        SynthError::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::InvalidParameter { name, reason } => {
+                write!(f, "invalid synthesis parameter `{name}`: {reason}")
+            }
+            SynthError::Netsim(e) => write!(f, "network simulator error: {e}"),
+            SynthError::Data(e) => write!(f, "dataset error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthError::Netsim(e) => Some(e),
+            SynthError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<iqb_netsim::NetsimError> for SynthError {
+    fn from(e: iqb_netsim::NetsimError) -> Self {
+        SynthError::Netsim(e)
+    }
+}
+
+impl From<iqb_data::DataError> for SynthError {
+    fn from(e: iqb_data::DataError) -> Self {
+        SynthError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = SynthError::invalid("subscribers", "must be positive");
+        assert!(e.to_string().contains("subscribers"));
+        let e: SynthError = iqb_netsim::NetsimError::EmptyWorkload("x").into();
+        assert!(e.to_string().contains("simulator"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # iqb-synth — synthetic measurement-dataset generation
+//!
+//! The IQB paper consumes real NDT / Cloudflare / Ookla feeds; offline,
+//! this crate generates their synthetic equivalents (DESIGN.md §2). The
+//! generative chain is:
+//!
+//! 1. [`tech`] — access-technology profiles (fiber, cable, DSL, GEO/LEO
+//!    satellite, 4G/5G) sample a per-subscriber
+//!    [`iqb_netsim::link::LinkSpec`] from realistic capacity tiers.
+//! 2. [`region`] — a region is a technology mix plus a subscriber
+//!    population (urban fiber-rich through rural satellite presets).
+//! 3. [`diurnal`] — time-of-day cross-traffic utilization (evening peak),
+//!    so measurements taken at 21:00 see a busier network than at 04:00.
+//! 4. [`campaign`] — a measurement campaign samples subscribers and times,
+//!    runs each dataset's protocol emulator, and emits
+//!    [`iqb_data::record::TestRecord`]s — plus Ookla-style pre-aggregated
+//!    rows ([`ookla_agg`]), because Ookla publishes aggregates only.
+//!
+//! Everything is deterministic from the campaign seed.
+//!
+//! ```
+//! use iqb_synth::campaign::{run_campaign, CampaignConfig};
+//! use iqb_synth::region::RegionSpec;
+//!
+//! let region = RegionSpec::suburban_cable("suburbia", 200);
+//! let config = CampaignConfig { tests_per_dataset: 300, ..Default::default() };
+//! let output = run_campaign(&region, &config).unwrap();
+//! assert_eq!(output.records.len() as u64, 3 * 300); // 3 datasets
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod campaign;
+pub mod diurnal;
+pub mod error;
+pub mod ookla_agg;
+pub mod region;
+pub mod tech;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignOutput};
+pub use error::SynthError;
+pub use region::RegionSpec;
+pub use tech::Technology;

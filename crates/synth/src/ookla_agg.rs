@@ -1,0 +1,167 @@
+//! Ookla-style pre-aggregation.
+//!
+//! Ookla's open data publishes period aggregates (average speeds, average
+//! latency, test counts) rather than raw tests. This module performs that
+//! aggregation over synthesized Ookla-methodology records, producing
+//! [`AggregateRow`]s for the aggregate-only code path
+//! ([`iqb_data::source::AggregateSource`]). Loss is withheld, matching
+//! the published schema.
+
+use std::collections::BTreeMap;
+
+use iqb_core::dataset::DatasetId;
+use iqb_data::agg_record::AggregateRow;
+use iqb_data::record::TestRecord;
+
+use crate::error::SynthError;
+
+/// Aggregates per-test records into period rows of `period_s` seconds.
+///
+/// Only records for [`DatasetId::Ookla`] are folded in (others are
+/// ignored), one row per (region, period) with at least one test.
+pub fn aggregate_ookla_rows(
+    records: &[TestRecord],
+    period_s: u64,
+) -> Result<Vec<AggregateRow>, SynthError> {
+    if period_s == 0 {
+        return Err(SynthError::invalid("period_s", "must be positive"));
+    }
+    // (region, period index) → accumulator.
+    struct Acc {
+        down: f64,
+        up: f64,
+        latency: f64,
+        tests: u64,
+    }
+    let mut buckets: BTreeMap<(iqb_data::record::RegionId, u64), Acc> = BTreeMap::new();
+    for r in records {
+        if r.dataset != DatasetId::Ookla {
+            continue;
+        }
+        let period = r.timestamp / period_s;
+        let acc = buckets
+            .entry((r.region.clone(), period))
+            .or_insert(Acc {
+                down: 0.0,
+                up: 0.0,
+                latency: 0.0,
+                tests: 0,
+            });
+        acc.down += r.download_mbps;
+        acc.up += r.upload_mbps;
+        acc.latency += r.latency_ms;
+        acc.tests += 1;
+    }
+    let rows = buckets
+        .into_iter()
+        .map(|((region, period), acc)| {
+            let n = acc.tests as f64;
+            AggregateRow {
+                region,
+                dataset: DatasetId::Ookla,
+                period_start: period * period_s,
+                avg_download_mbps: acc.down / n,
+                avg_upload_mbps: acc.up / n,
+                avg_latency_ms: acc.latency / n,
+                avg_loss_pct: None, // Ookla open data withholds loss
+                tests: acc.tests,
+            }
+        })
+        .collect();
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqb_data::record::RegionId;
+
+    fn record(region: &str, dataset: DatasetId, ts: u64, down: f64) -> TestRecord {
+        TestRecord {
+            timestamp: ts,
+            region: RegionId::new(region).unwrap(),
+            dataset,
+            download_mbps: down,
+            upload_mbps: down / 10.0,
+            latency_ms: 20.0,
+            loss_pct: None,
+            tech: None,
+        }
+    }
+
+    #[test]
+    fn zero_period_rejected() {
+        assert!(aggregate_ookla_rows(&[], 0).is_err());
+    }
+
+    #[test]
+    fn empty_input_yields_no_rows() {
+        assert!(aggregate_ookla_rows(&[], 3600).unwrap().is_empty());
+    }
+
+    #[test]
+    fn averages_per_period() {
+        let records = vec![
+            record("r", DatasetId::Ookla, 10, 100.0),
+            record("r", DatasetId::Ookla, 20, 200.0),
+            record("r", DatasetId::Ookla, 3_700, 400.0), // next hour
+        ];
+        let rows = aggregate_ookla_rows(&records, 3600).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].period_start, 0);
+        assert_eq!(rows[0].avg_download_mbps, 150.0);
+        assert_eq!(rows[0].tests, 2);
+        assert_eq!(rows[1].period_start, 3600);
+        assert_eq!(rows[1].avg_download_mbps, 400.0);
+        for row in &rows {
+            row.validate().unwrap();
+            assert_eq!(row.avg_loss_pct, None);
+        }
+    }
+
+    #[test]
+    fn non_ookla_records_ignored() {
+        let records = vec![
+            record("r", DatasetId::Ndt, 10, 100.0),
+            record("r", DatasetId::Ookla, 10, 300.0),
+        ];
+        let rows = aggregate_ookla_rows(&records, 3600).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].avg_download_mbps, 300.0);
+    }
+
+    #[test]
+    fn regions_kept_separate() {
+        let records = vec![
+            record("east", DatasetId::Ookla, 10, 100.0),
+            record("west", DatasetId::Ookla, 10, 900.0),
+        ];
+        let rows = aggregate_ookla_rows(&records, 3600).unwrap();
+        assert_eq!(rows.len(), 2);
+        let east = rows.iter().find(|r| r.region.as_str() == "east").unwrap();
+        assert_eq!(east.avg_download_mbps, 100.0);
+    }
+
+    #[test]
+    fn rows_feed_aggregate_source() {
+        use iqb_data::source::{AggregateSource, DataSource};
+        let records = vec![
+            record("r", DatasetId::Ookla, 10, 100.0),
+            record("r", DatasetId::Ookla, 20, 200.0),
+        ];
+        let rows = aggregate_ookla_rows(&records, 3600).unwrap();
+        let source = AggregateSource::new(DatasetId::Ookla, rows).unwrap();
+        let mut input = iqb_core::input::AggregateInput::new();
+        source
+            .contribute(
+                &RegionId::new("r").unwrap(),
+                &iqb_data::store::QueryFilter::all(),
+                &iqb_data::aggregate::AggregationSpec::paper_default(),
+                &mut input,
+            )
+            .unwrap();
+        assert!(input
+            .get(&DatasetId::Ookla, iqb_core::metric::Metric::DownloadThroughput)
+            .is_some());
+    }
+}

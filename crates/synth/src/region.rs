@@ -1,0 +1,182 @@
+//! Synthetic regions: technology mixes over subscriber populations.
+//!
+//! A region is the unit IQB scores. Synthetically, it is a technology mix
+//! (market shares), a subscriber count, and a diurnal load model. The
+//! presets span the spectrum the extension experiments sweep: an urban
+//! fiber market, a suburban cable market, a rural DSL/satellite market,
+//! and a mobile-first market.
+
+use iqb_data::record::RegionId;
+use serde::{Deserialize, Serialize};
+
+use crate::diurnal::DiurnalModel;
+use crate::error::SynthError;
+use crate::tech::Technology;
+
+/// A synthetic region specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionSpec {
+    /// Region identifier used on every emitted record.
+    pub id: RegionId,
+    /// `(technology, market share)` mix; shares need not sum to 1 (they
+    /// are normalized at sampling time) but must be non-negative with a
+    /// positive total.
+    pub tech_mix: Vec<(Technology, f64)>,
+    /// Number of subscribers to synthesize.
+    pub subscribers: usize,
+    /// Time-of-day load model.
+    pub diurnal: DiurnalModel,
+}
+
+impl RegionSpec {
+    /// Validates the specification.
+    pub fn validate(&self) -> Result<(), SynthError> {
+        if self.tech_mix.is_empty() {
+            return Err(SynthError::invalid("tech_mix", "must not be empty"));
+        }
+        let total: f64 = self.tech_mix.iter().map(|(_, w)| w).sum();
+        if !(total > 0.0) {
+            return Err(SynthError::invalid(
+                "tech_mix",
+                "shares must sum positive",
+            ));
+        }
+        for &(t, w) in &self.tech_mix {
+            if !(w >= 0.0 && w.is_finite()) {
+                return Err(SynthError::invalid(
+                    "tech_mix",
+                    format!("share {w} for {t} is invalid"),
+                ));
+            }
+        }
+        if self.subscribers == 0 {
+            return Err(SynthError::invalid("subscribers", "must be positive"));
+        }
+        self.diurnal.validate()
+    }
+
+    /// Urban fiber-rich market: mostly fiber, some cable and 5G.
+    pub fn urban_fiber(id: &str, subscribers: usize) -> Self {
+        RegionSpec {
+            id: RegionId::new(id).expect("caller provides non-empty id"),
+            tech_mix: vec![
+                (Technology::Fiber, 0.6),
+                (Technology::Cable, 0.3),
+                (Technology::Mobile5g, 0.1),
+            ],
+            subscribers,
+            diurnal: DiurnalModel::default(),
+        }
+    }
+
+    /// Suburban cable market: cable-dominated with fiber overbuild.
+    pub fn suburban_cable(id: &str, subscribers: usize) -> Self {
+        RegionSpec {
+            id: RegionId::new(id).expect("caller provides non-empty id"),
+            tech_mix: vec![
+                (Technology::Cable, 0.65),
+                (Technology::Fiber, 0.2),
+                (Technology::Dsl, 0.1),
+                (Technology::Mobile5g, 0.05),
+            ],
+            subscribers,
+            diurnal: DiurnalModel::default(),
+        }
+    }
+
+    /// Rural copper/satellite market: DSL-dominated, satellite tail.
+    pub fn rural_dsl(id: &str, subscribers: usize) -> Self {
+        RegionSpec {
+            id: RegionId::new(id).expect("caller provides non-empty id"),
+            tech_mix: vec![
+                (Technology::Dsl, 0.5),
+                (Technology::Mobile4g, 0.2),
+                (Technology::SatelliteLeo, 0.15),
+                (Technology::SatelliteGeo, 0.15),
+            ],
+            subscribers,
+            diurnal: DiurnalModel {
+                // Rural backhaul saturates harder at peak.
+                peak: 0.8,
+                ..DiurnalModel::default()
+            },
+        }
+    }
+
+    /// Mobile-first market: 4G/5G dominated.
+    pub fn mobile_first(id: &str, subscribers: usize) -> Self {
+        RegionSpec {
+            id: RegionId::new(id).expect("caller provides non-empty id"),
+            tech_mix: vec![
+                (Technology::Mobile4g, 0.45),
+                (Technology::Mobile5g, 0.45),
+                (Technology::Dsl, 0.1),
+            ],
+            subscribers,
+            diurnal: DiurnalModel::default(),
+        }
+    }
+
+    /// Single-technology region: every subscriber on `technology`. The E4
+    /// experiment scores one of these per technology.
+    pub fn single_tech(id: &str, technology: Technology, subscribers: usize) -> Self {
+        RegionSpec {
+            id: RegionId::new(id).expect("caller provides non-empty id"),
+            tech_mix: vec![(technology, 1.0)],
+            subscribers,
+            diurnal: DiurnalModel::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        RegionSpec::urban_fiber("u", 100).validate().unwrap();
+        RegionSpec::suburban_cable("s", 100).validate().unwrap();
+        RegionSpec::rural_dsl("r", 100).validate().unwrap();
+        RegionSpec::mobile_first("m", 100).validate().unwrap();
+        RegionSpec::single_tech("t", Technology::Fiber, 10)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut spec = RegionSpec::urban_fiber("u", 100);
+        spec.tech_mix.clear();
+        assert!(spec.validate().is_err());
+        let mut spec = RegionSpec::urban_fiber("u", 100);
+        spec.subscribers = 0;
+        assert!(spec.validate().is_err());
+        let mut spec = RegionSpec::urban_fiber("u", 100);
+        spec.tech_mix[0].1 = f64::NAN;
+        assert!(spec.validate().is_err());
+        let mut spec = RegionSpec::urban_fiber("u", 100);
+        for share in spec.tech_mix.iter_mut() {
+            share.1 = 0.0;
+        }
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn preset_mixes_reflect_their_names() {
+        let urban = RegionSpec::urban_fiber("u", 10);
+        assert_eq!(urban.tech_mix[0].0, Technology::Fiber);
+        let rural = RegionSpec::rural_dsl("r", 10);
+        assert!(rural
+            .tech_mix
+            .iter()
+            .any(|(t, _)| *t == Technology::SatelliteGeo));
+        assert!(!rural.tech_mix.iter().any(|(t, _)| *t == Technology::Fiber));
+    }
+
+    #[test]
+    fn single_tech_has_one_entry() {
+        let spec = RegionSpec::single_tech("t", Technology::Dsl, 5);
+        assert_eq!(spec.tech_mix, vec![(Technology::Dsl, 1.0)]);
+    }
+}

@@ -1,0 +1,288 @@
+//! Access-technology profiles.
+//!
+//! A [`Technology`] names the access medium; its [`TechProfile`] describes
+//! the *market* for it — the capacity tiers subscribers actually buy, with
+//! weights — plus per-subscriber variation. Sampling a profile yields a
+//! concrete [`LinkSpec`] for one subscriber.
+
+use iqb_netsim::link::LinkSpec;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::error::SynthError;
+
+/// The access technologies the synthetic regions are built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Technology {
+    /// FTTH fiber.
+    Fiber,
+    /// DOCSIS cable.
+    Cable,
+    /// DSL over copper.
+    Dsl,
+    /// GEO satellite.
+    SatelliteGeo,
+    /// LEO satellite constellation.
+    SatelliteLeo,
+    /// 4G/LTE fixed wireless or mobile.
+    Mobile4g,
+    /// 5G fixed wireless or mobile.
+    Mobile5g,
+}
+
+impl Technology {
+    /// All technologies, best-infrastructure first.
+    pub const ALL: [Technology; 7] = [
+        Technology::Fiber,
+        Technology::Cable,
+        Technology::Mobile5g,
+        Technology::SatelliteLeo,
+        Technology::Mobile4g,
+        Technology::Dsl,
+        Technology::SatelliteGeo,
+    ];
+
+    /// Stable lowercase tag used in `TestRecord::tech`.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Technology::Fiber => "fiber",
+            Technology::Cable => "cable",
+            Technology::Dsl => "dsl",
+            Technology::SatelliteGeo => "satellite-geo",
+            Technology::SatelliteLeo => "satellite-leo",
+            Technology::Mobile4g => "mobile-4g",
+            Technology::Mobile5g => "mobile-5g",
+        }
+    }
+
+    /// Parses a tag back to a technology.
+    pub fn from_tag(tag: &str) -> Option<Technology> {
+        Technology::ALL.into_iter().find(|t| t.tag() == tag)
+    }
+
+    /// The default market profile for this technology.
+    pub fn profile(&self) -> TechProfile {
+        // (down, up) Mb/s tiers with market-share weights.
+        let tiers: Vec<(f64, f64, f64)> = match self {
+            Technology::Fiber => vec![
+                (300.0, 300.0, 0.3),
+                (1000.0, 1000.0, 0.5),
+                (2000.0, 1000.0, 0.2),
+            ],
+            Technology::Cable => vec![
+                (100.0, 10.0, 0.3),
+                (300.0, 20.0, 0.4),
+                (600.0, 35.0, 0.2),
+                (1200.0, 50.0, 0.1),
+            ],
+            Technology::Dsl => vec![(10.0, 1.0, 0.4), (25.0, 3.0, 0.4), (50.0, 8.0, 0.2)],
+            Technology::SatelliteGeo => vec![(25.0, 3.0, 0.6), (100.0, 5.0, 0.4)],
+            Technology::SatelliteLeo => vec![(100.0, 15.0, 0.5), (220.0, 25.0, 0.5)],
+            Technology::Mobile4g => vec![(20.0, 5.0, 0.4), (50.0, 10.0, 0.4), (100.0, 20.0, 0.2)],
+            Technology::Mobile5g => vec![
+                (100.0, 20.0, 0.3),
+                (300.0, 50.0, 0.5),
+                (900.0, 100.0, 0.2),
+            ],
+        };
+        TechProfile {
+            technology: *self,
+            tiers,
+            capacity_jitter: 0.10,
+            rtt_jitter: 0.15,
+        }
+    }
+}
+
+impl std::fmt::Display for Technology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// The subscriber market for one technology.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechProfile {
+    /// The technology this profile describes.
+    pub technology: Technology,
+    /// `(down_mbps, up_mbps, weight)` capacity tiers.
+    pub tiers: Vec<(f64, f64, f64)>,
+    /// Relative spread of per-subscriber provisioned capacity around the
+    /// tier value (accounts for over/under-provisioning).
+    pub capacity_jitter: f64,
+    /// Relative spread of per-subscriber base RTT around the technology's
+    /// typical value (distance to the test server).
+    pub rtt_jitter: f64,
+}
+
+impl TechProfile {
+    /// Validates tier weights and jitters.
+    pub fn validate(&self) -> Result<(), SynthError> {
+        if self.tiers.is_empty() {
+            return Err(SynthError::invalid("tiers", "at least one tier required"));
+        }
+        let total: f64 = self.tiers.iter().map(|(_, _, w)| w).sum();
+        if !(total > 0.0) {
+            return Err(SynthError::invalid("tiers", "weights must sum positive"));
+        }
+        for &(down, up, w) in &self.tiers {
+            if !(down > 0.0 && up > 0.0 && w >= 0.0) {
+                return Err(SynthError::invalid(
+                    "tiers",
+                    format!("tier ({down}, {up}, {w}) is not physical"),
+                ));
+            }
+        }
+        for (name, v) in [
+            ("capacity_jitter", self.capacity_jitter),
+            ("rtt_jitter", self.rtt_jitter),
+        ] {
+            if !(0.0..1.0).contains(&v) {
+                return Err(SynthError::invalid(name, format!("{v} not in [0, 1)")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Samples one subscriber's link from the profile.
+    pub fn sample_link<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<LinkSpec, SynthError> {
+        self.validate()?;
+        let total: f64 = self.tiers.iter().map(|(_, _, w)| w).sum();
+        let mut pick = rng.gen_range(0.0..total);
+        let mut chosen = self.tiers[self.tiers.len() - 1];
+        for &tier in &self.tiers {
+            if pick < tier.2 {
+                chosen = tier;
+                break;
+            }
+            pick -= tier.2;
+        }
+        let (down_tier, up_tier, _) = chosen;
+        let cap_factor = 1.0 + self.capacity_jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+        let rtt_factor = 1.0 + self.rtt_jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+        let base = match self.technology {
+            Technology::Fiber => LinkSpec::fiber(down_tier, up_tier),
+            Technology::Cable => LinkSpec::cable(down_tier, up_tier),
+            Technology::Dsl => LinkSpec::dsl(down_tier, up_tier),
+            Technology::SatelliteGeo => LinkSpec::satellite_geo(down_tier, up_tier),
+            Technology::SatelliteLeo => LinkSpec::satellite_leo(down_tier, up_tier),
+            Technology::Mobile4g => LinkSpec::mobile_4g(down_tier, up_tier),
+            Technology::Mobile5g => LinkSpec::mobile_5g(down_tier, up_tier),
+        };
+        let link = LinkSpec {
+            down_mbps: base.down_mbps * cap_factor,
+            up_mbps: base.up_mbps * cap_factor,
+            base_rtt_ms: base.base_rtt_ms * rtt_factor,
+            ..base
+        };
+        link.validate()?;
+        Ok(link)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_profiles_validate() {
+        for t in Technology::ALL {
+            t.profile().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for t in Technology::ALL {
+            assert_eq!(Technology::from_tag(t.tag()), Some(t));
+        }
+        assert_eq!(Technology::from_tag("dial-up"), None);
+    }
+
+    #[test]
+    fn sampled_links_are_valid_and_vary() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for t in Technology::ALL {
+            let profile = t.profile();
+            let links: Vec<LinkSpec> = (0..50)
+                .map(|_| profile.sample_link(&mut rng).unwrap())
+                .collect();
+            for l in &links {
+                l.validate().unwrap();
+            }
+            let downs: std::collections::BTreeSet<u64> =
+                links.iter().map(|l| l.down_mbps.to_bits()).collect();
+            assert!(downs.len() > 10, "{t}: sampled links should vary");
+        }
+    }
+
+    #[test]
+    fn tier_weights_shape_the_mix() {
+        // Fiber: 50% of subscribers sit on the 1000/1000 tier; with jitter
+        // ±10% their provisioned rate lands in [900, 1100].
+        let mut rng = StdRng::seed_from_u64(11);
+        let profile = Technology::Fiber.profile();
+        let n = 2000;
+        let gig = (0..n)
+            .filter(|_| {
+                let l = profile.sample_link(&mut rng).unwrap();
+                (900.0..=1100.0).contains(&l.down_mbps)
+            })
+            .count();
+        let share = gig as f64 / n as f64;
+        assert!((share - 0.5).abs() < 0.06, "gig tier share {share}");
+    }
+
+    #[test]
+    fn fiber_beats_dsl_distributionally() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let fiber_mean: f64 = (0..200)
+            .map(|_| {
+                Technology::Fiber
+                    .profile()
+                    .sample_link(&mut rng)
+                    .unwrap()
+                    .down_mbps
+            })
+            .sum::<f64>()
+            / 200.0;
+        let dsl_mean: f64 = (0..200)
+            .map(|_| {
+                Technology::Dsl
+                    .profile()
+                    .sample_link(&mut rng)
+                    .unwrap()
+                    .down_mbps
+            })
+            .sum::<f64>()
+            / 200.0;
+        assert!(fiber_mean > 10.0 * dsl_mean);
+    }
+
+    #[test]
+    fn invalid_profile_rejected() {
+        let mut p = Technology::Cable.profile();
+        p.tiers.clear();
+        assert!(p.validate().is_err());
+        let mut p = Technology::Cable.profile();
+        p.capacity_jitter = 1.0;
+        assert!(p.validate().is_err());
+        let mut p = Technology::Cable.profile();
+        p.tiers[0].0 = -5.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let profile = Technology::Cable.profile();
+        let a = profile
+            .sample_link(&mut StdRng::seed_from_u64(42))
+            .unwrap();
+        let b = profile
+            .sample_link(&mut StdRng::seed_from_u64(42))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: score one connection with the paper-default IQB framework.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds the published configuration (Fig. 2 thresholds, Table 1
+//! weights), hands it per-dataset aggregates for a decent cable
+//! connection, and prints the composite score, its grades, and the
+//! per-use-case breakdown.
+
+use iqb::core::grade::{credit_scale, GradeBands};
+use iqb::core::{score_iqb, AggregateInput, DatasetId, IqbConfig, Metric};
+
+fn main() {
+    // The configuration published in the poster.
+    let config = IqbConfig::paper_default();
+
+    // Aggregates for a 300/20 cable subscription as the three datasets
+    // would report it (p95 per region; here typed in by hand — see the
+    // other examples for computing them from measurement data).
+    let mut input = AggregateInput::new();
+    for (dataset, down, up, rtt, loss) in [
+        (DatasetId::Ndt, 180.0, 17.0, 45.0, Some(0.35)),
+        (DatasetId::Cloudflare, 240.0, 18.0, 38.0, Some(0.30)),
+        (DatasetId::Ookla, 295.0, 19.5, 21.0, None), // no loss published
+    ] {
+        input.set(dataset.clone(), Metric::DownloadThroughput, down);
+        input.set(dataset.clone(), Metric::UploadThroughput, up);
+        input.set(dataset.clone(), Metric::Latency, rtt);
+        if let Some(loss) = loss {
+            input.set(dataset, Metric::PacketLoss, loss);
+        }
+    }
+
+    let report = score_iqb(&config, &input).expect("valid config and input");
+
+    println!("IQB score: {:.3}  (scale 0..1, high-quality thresholds)", report.score);
+    let grade = GradeBands::default()
+        .grade(report.score)
+        .expect("score is in [0,1]");
+    let credit = credit_scale(report.score).expect("score is in [0,1]");
+    println!("As a Nutri-Score-style grade: {grade}");
+    println!("As a credit-style score:      {credit} (300-850)\n");
+
+    println!("Per use case:");
+    for (use_case, ucs) in &report.use_cases {
+        let limiting = ucs
+            .limiting_requirement()
+            .map(|(m, r)| format!("{m} (agreement {:.2})", r.agreement))
+            .unwrap_or_default();
+        println!("  {use_case:<20} {:.2}   limiting: {limiting}", ucs.score);
+    }
+
+    println!(
+        "\nCoverage: {} cells evaluated, {} missing (Ookla loss), {} 'Other' requirements skipped",
+        report.coverage.evaluated_cells,
+        report.coverage.missing_data_cells,
+        report.coverage.unspecified_requirements,
+    );
+}

@@ -1,0 +1,53 @@
+//! # iqb — the Internet Quality Barometer, in Rust
+//!
+//! A facade crate re-exporting the full IQB workspace: a reproduction of
+//! *"Poster: The Internet Quality Barometer Framework"* (Ohlsen, Sermpezis,
+//! Newcomb — Measurement Lab, IMC 2025).
+//!
+//! The IQB framework redefines Internet quality beyond "speed": it scores a
+//! connection or region against *use cases* (web browsing, video
+//! conferencing, gaming, …), each with expert-elicited network-requirement
+//! thresholds and weights, corroborated across multiple measurement
+//! datasets, and rolls everything into a composite **IQB score** in
+//! `[0, 1]`.
+//!
+//! ## Crate map
+//!
+//! | Module | Backing crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `iqb-core` | use cases, thresholds (Fig. 2), weights (Table 1), the score (eq. 1–5), grades, sensitivity |
+//! | [`stats`] | `iqb-stats` | quantiles, t-digest, bootstrap, windowed aggregation |
+//! | [`netsim`] | `iqb-netsim` | access-network simulator and speed-test protocol emulation |
+//! | [`synth`] | `iqb-synth` | synthetic measurement campaigns over technology/region models |
+//! | [`data`] | `iqb-data` | per-test records, stores, CSV/JSONL I/O, aggregation to scoring input |
+//! | [`pipeline`] | `iqb-pipeline` | end-to-end runner, regional reports, rankings, trends, comparisons, exhibits |
+//!
+//! A command-line front end (`iqb-cli`, binary name `iqb`) drives the same
+//! APIs: `iqb synth | score | compare | trend | whatif | exhibits`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use iqb::core::{score_iqb, AggregateInput, DatasetId, IqbConfig, Metric};
+//!
+//! let config = IqbConfig::paper_default();
+//! let mut input = AggregateInput::new();
+//! for d in [DatasetId::Ndt, DatasetId::Cloudflare, DatasetId::Ookla] {
+//!     input.set(d.clone(), Metric::DownloadThroughput, 250.0);
+//!     input.set(d.clone(), Metric::UploadThroughput, 110.0);
+//!     input.set(d.clone(), Metric::Latency, 14.0);
+//!     input.set(d, Metric::PacketLoss, 0.05);
+//! }
+//! let report = score_iqb(&config, &input).unwrap();
+//! println!("IQB score: {:.3}", report.score);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios driving the synthetic dataset
+//! generator and the full pipeline.
+
+pub use iqb_core as core;
+pub use iqb_data as data;
+pub use iqb_netsim as netsim;
+pub use iqb_pipeline as pipeline;
+pub use iqb_stats as stats;
+pub use iqb_synth as synth;

@@ -1,0 +1,179 @@
+//! End-to-end integration: synthesis → store → aggregation → score →
+//! report, across every crate in the workspace.
+
+use iqb::core::IqbConfig;
+use iqb::data::aggregate::AggregationSpec;
+use iqb::data::store::{MeasurementStore, QueryFilter};
+use iqb::pipeline::rank::ranking;
+use iqb::pipeline::report::{render_csv, render_summary};
+use iqb::pipeline::runner::score_all_regions;
+use iqb::synth::campaign::{run_campaign, CampaignConfig};
+use iqb::synth::region::RegionSpec;
+use iqb::synth::tech::Technology;
+
+const SEED: u64 = 0xE2E;
+
+fn fleet_store(tests_per_dataset: u64) -> MeasurementStore {
+    let regions = vec![
+        RegionSpec::urban_fiber("urban-fiber", 60),
+        RegionSpec::suburban_cable("suburban-cable", 60),
+        RegionSpec::rural_dsl("rural-dsl", 60),
+        RegionSpec::mobile_first("mobile-first", 60),
+    ];
+    let mut store = MeasurementStore::new();
+    for region in &regions {
+        let output = run_campaign(
+            region,
+            &CampaignConfig {
+                tests_per_dataset,
+                seed: SEED,
+                ..Default::default()
+            },
+        )
+        .expect("campaign runs");
+        store.extend(output.records).expect("valid records");
+    }
+    store
+}
+
+#[test]
+fn full_pipeline_scores_all_regions() {
+    let store = fleet_store(400);
+    let report = score_all_regions(
+        &store,
+        &IqbConfig::paper_default(),
+        &AggregationSpec::paper_default(),
+        &QueryFilter::all(),
+    )
+    .expect("pipeline succeeds");
+    assert_eq!(report.regions.len(), 4);
+    assert!(report.skipped.is_empty());
+    for scored in report.regions.values() {
+        assert!((0.0..=1.0).contains(&scored.report.score));
+        assert!((300..=850).contains(&scored.credit));
+        // All six use cases must have been evaluated (data covers all
+        // datasets and metrics except Ookla loss).
+        assert_eq!(scored.report.use_cases.len(), 6);
+    }
+}
+
+#[test]
+fn infrastructure_ordering_survives_the_whole_stack() {
+    // The headline sanity check: after protocol emulation, p95
+    // aggregation and weighted scoring, better infrastructure must still
+    // score better.
+    let store = fleet_store(600);
+    let report = score_all_regions(
+        &store,
+        &IqbConfig::paper_default(),
+        &AggregationSpec::paper_default(),
+        &QueryFilter::all(),
+    )
+    .expect("pipeline succeeds");
+    let score = |name: &str| {
+        report.regions[&iqb::data::record::RegionId::new(name).unwrap()]
+            .report
+            .score
+    };
+    assert!(
+        score("urban-fiber") >= score("rural-dsl"),
+        "fiber {} vs dsl {}",
+        score("urban-fiber"),
+        score("rural-dsl")
+    );
+    assert!(
+        score("suburban-cable") >= score("rural-dsl"),
+        "cable {} vs dsl {}",
+        score("suburban-cable"),
+        score("rural-dsl")
+    );
+}
+
+#[test]
+fn single_tech_extremes_bracket_everything() {
+    let mut store = MeasurementStore::new();
+    for (name, tech) in [
+        ("all-fiber", Technology::Fiber),
+        ("all-geo", Technology::SatelliteGeo),
+    ] {
+        let region = RegionSpec::single_tech(name, tech, 40);
+        let output = run_campaign(
+            &region,
+            &CampaignConfig {
+                tests_per_dataset: 500,
+                seed: SEED,
+                ..Default::default()
+            },
+        )
+        .expect("campaign runs");
+        store.extend(output.records).expect("valid records");
+    }
+    let report = score_all_regions(
+        &store,
+        &IqbConfig::paper_default(),
+        &AggregationSpec::paper_default(),
+        &QueryFilter::all(),
+    )
+    .expect("pipeline succeeds");
+    let ranks = ranking(&report);
+    assert_eq!(ranks[0].region.as_str(), "all-fiber");
+    assert_eq!(ranks[1].region.as_str(), "all-geo");
+    assert!(ranks[0].score > ranks[1].score + 0.2);
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let a = fleet_store(200);
+    let b = fleet_store(200);
+    let config = IqbConfig::paper_default();
+    let spec = AggregationSpec::paper_default();
+    let ra = score_all_regions(&a, &config, &spec, &QueryFilter::all()).unwrap();
+    let rb = score_all_regions(&b, &config, &spec, &QueryFilter::all()).unwrap();
+    assert_eq!(ra, rb);
+}
+
+#[test]
+fn reports_render_from_live_pipeline() {
+    let store = fleet_store(200);
+    let report = score_all_regions(
+        &store,
+        &IqbConfig::paper_default(),
+        &AggregationSpec::paper_default(),
+        &QueryFilter::all(),
+    )
+    .unwrap();
+    let summary = render_summary(&report);
+    for name in ["urban-fiber", "suburban-cable", "rural-dsl", "mobile-first"] {
+        assert!(summary.contains(name), "summary missing {name}\n{summary}");
+    }
+    let csv = render_csv(&report);
+    assert_eq!(csv.trim_end().lines().count(), 1 + 4);
+    assert!(csv.starts_with("region,iqb_score,grade,credit"));
+}
+
+#[test]
+fn time_filter_restricts_scoring_window() {
+    let store = fleet_store(400);
+    let config = IqbConfig::paper_default();
+    let spec = AggregationSpec::paper_default();
+    // A one-hour window somewhere mid-week still scores (campaigns spread
+    // tests across the whole week).
+    let narrow = QueryFilter::all().time_range(3 * 86_400, 3 * 86_400 + 8 * 3_600);
+    let windowed = score_all_regions(&store, &config, &spec, &narrow).unwrap();
+    let full = score_all_regions(&store, &config, &spec, &QueryFilter::all()).unwrap();
+    assert!(!windowed.regions.is_empty());
+    // Fewer samples in the window than in the full campaign.
+    for (region, scored) in &windowed.regions {
+        let full_cells = &full.regions[region].input;
+        for ((dataset, metric), cell) in scored.input.iter() {
+            let windowed_n = cell.provenance.unwrap().sample_count;
+            let full_n = full_cells
+                .get_cell(dataset, *metric)
+                .unwrap()
+                .provenance
+                .unwrap()
+                .sample_count;
+            assert!(windowed_n < full_n);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Integration tests for the framework-adaptation surface the paper's §4
+//! promises: named profiles, what-if planning, PowerBoost provisioning
+//! and report comparison — all through the public facade.
+
+use iqb::core::profiles;
+use iqb::core::whatif::{evaluate_interventions, standard_interventions};
+use iqb::core::{DatasetId, IqbConfig, Metric};
+use iqb::data::aggregate::{aggregate_region, AggregationSpec};
+use iqb::data::store::{MeasurementStore, QueryFilter};
+use iqb::netsim::protocol::{CloudflareProtocol, NdtProtocol, SpeedTestProtocol};
+use iqb::netsim::shaper::BoostSpec;
+use iqb::pipeline::compare::compare;
+use iqb::pipeline::runner::score_all_regions;
+use iqb::synth::campaign::{run_campaign, CampaignConfig};
+use iqb::synth::region::RegionSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cable_store(aqm: Option<iqb::netsim::aqm::AqmPolicy>) -> MeasurementStore {
+    let region = RegionSpec::suburban_cable("suburbia", 80);
+    let output = run_campaign(
+        &region,
+        &CampaignConfig {
+            tests_per_dataset: 600,
+            seed: 0xADA7,
+            aqm,
+            ..Default::default()
+        },
+    )
+    .expect("campaign runs");
+    let mut store = MeasurementStore::new();
+    store.extend(output.records).expect("valid records");
+    store
+}
+
+#[test]
+fn every_profile_scores_the_same_store() {
+    let store = cable_store(None);
+    let spec = AggregationSpec::paper_default();
+    let mut scores = std::collections::BTreeMap::new();
+    for name in profiles::PROFILE_NAMES {
+        let config = profiles::by_name(name).unwrap();
+        let report = score_all_regions(&store, &config, &spec, &QueryFilter::all()).unwrap();
+        scores.insert(name, report.regions.values().next().unwrap().report.score);
+    }
+    // Profiles must actually differ in their verdicts on real-shaped data.
+    let distinct: std::collections::BTreeSet<u64> =
+        scores.values().map(|s| s.to_bits()).collect();
+    assert!(
+        distinct.len() >= 3,
+        "profiles too similar: {scores:?}"
+    );
+    assert!(scores["minimum-access"] > scores["paper-default"]);
+}
+
+#[test]
+fn whatif_ranks_interventions_on_campaign_data() {
+    let store = cable_store(None);
+    let region = store.regions()[0].clone();
+    let config = IqbConfig::paper_default();
+    let input = aggregate_region(
+        &store,
+        &region,
+        &config.datasets,
+        &AggregationSpec::paper_default(),
+    )
+    .unwrap();
+    let outcomes = evaluate_interventions(&config, &input, &standard_interventions()).unwrap();
+    assert_eq!(outcomes.len(), 4);
+    for o in &outcomes {
+        assert!(o.gain() >= -1e-12);
+        assert!((0.0..=1.0).contains(&o.improved));
+    }
+    // Sorted descending by gain.
+    for pair in outcomes.windows(2) {
+        assert!(pair[0].gain() >= pair[1].gain());
+    }
+}
+
+#[test]
+fn aqm_upgrade_improves_the_composite_comparison() {
+    let before_store = cable_store(None);
+    let after_store = cable_store(Some(iqb::netsim::aqm::AqmPolicy::codel_default()));
+    let config = IqbConfig::paper_default();
+    let spec = AggregationSpec::paper_default();
+    let before = score_all_regions(&before_store, &config, &spec, &QueryFilter::all()).unwrap();
+    let after = score_all_regions(&after_store, &config, &spec, &QueryFilter::all()).unwrap();
+    let comparison = compare(&before, &after).unwrap();
+    assert_eq!(comparison.deltas.len(), 1);
+    assert!(
+        comparison.deltas[0].delta() > 0.1,
+        "AQM should lift the score substantially, got {:+.3}",
+        comparison.deltas[0].delta()
+    );
+}
+
+#[test]
+fn powerboost_widens_the_cloudflare_ndt_gap() {
+    // Boost inflates exactly the short-transfer methodology: the gap
+    // between Cloudflare-style and NDT-style results widens, which the
+    // corroboration tier then has to absorb.
+    let plain = iqb::netsim::link::LinkSpec::cable(100.0, 10.0);
+    let boosted = plain.with_boost(BoostSpec {
+        factor: 2.0,
+        burst_bytes: 5e7,
+    });
+    let mean = |link: &iqb::netsim::link::LinkSpec, seed: u64, cf: bool| -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..40)
+            .map(|_| {
+                if cf {
+                    CloudflareProtocol::default()
+                        .run(link, 0.1, &mut rng)
+                        .unwrap()
+                        .download_mbps
+                } else {
+                    NdtProtocol::default()
+                        .run(link, 0.1, &mut rng)
+                        .unwrap()
+                        .download_mbps
+                }
+            })
+            .sum::<f64>()
+            / 40.0
+    };
+    let gap_plain = mean(&plain, 1, true) / mean(&plain, 2, false);
+    let gap_boosted = mean(&boosted, 3, true) / mean(&boosted, 4, false);
+    assert!(
+        gap_boosted > gap_plain * 1.2,
+        "boost should widen the CF/NDT gap: {gap_boosted:.2} vs {gap_plain:.2}"
+    );
+}
+
+#[test]
+fn custom_dataset_flows_through_the_whole_stack() {
+    // A custom dataset id survives synthesis (Cloudflare-style emulation),
+    // CSV round trip, aggregation and scoring.
+    let campus = DatasetId::Custom("campus-probes".into());
+    let region = RegionSpec::urban_fiber("campus", 40);
+    let output = run_campaign(
+        &region,
+        &CampaignConfig {
+            tests_per_dataset: 200,
+            datasets: vec![DatasetId::Ndt, campus.clone()],
+            seed: 0xCA_11,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut buf = Vec::new();
+    iqb::data::csv_io::write_csv(&mut buf, &output.records).unwrap();
+    let store = iqb::data::csv_io::read_csv_into_store(buf.as_slice()).unwrap();
+
+    let config = IqbConfig::builder()
+        .datasets(vec![DatasetId::Ndt, campus.clone()])
+        .build()
+        .unwrap();
+    let input = aggregate_region(
+        &store,
+        &region.id,
+        &config.datasets,
+        &AggregationSpec::paper_default(),
+    )
+    .unwrap();
+    assert!(input.get(&campus, Metric::DownloadThroughput).is_some());
+    let report = iqb::core::score_iqb(&config, &input).unwrap();
+    assert!((0.0..=1.0).contains(&report.score));
+}

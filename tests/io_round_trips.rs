@@ -1,0 +1,104 @@
+//! Interchange-format round trips on realistic (synthesized) data.
+
+use iqb::core::IqbConfig;
+use iqb::data::csv_io::{read_csv, read_csv_into_store, write_csv};
+use iqb::data::jsonl::{read_jsonl, write_jsonl};
+use iqb::synth::campaign::{run_campaign, CampaignConfig};
+use iqb::synth::region::RegionSpec;
+
+fn campaign_records() -> Vec<iqb::data::record::TestRecord> {
+    run_campaign(
+        &RegionSpec::suburban_cable("io-region", 40),
+        &CampaignConfig {
+            tests_per_dataset: 300,
+            seed: 0x10,
+            ..Default::default()
+        },
+    )
+    .expect("campaign runs")
+    .records
+}
+
+#[test]
+fn csv_round_trip_on_campaign_output() {
+    let records = campaign_records();
+    let mut buf = Vec::new();
+    let written = write_csv(&mut buf, &records).unwrap();
+    assert_eq!(written, records.len());
+    let back = read_csv(buf.as_slice()).unwrap();
+    assert_eq!(back, records);
+}
+
+#[test]
+fn jsonl_round_trip_on_campaign_output() {
+    let records = campaign_records();
+    let mut buf = Vec::new();
+    write_jsonl(&mut buf, &records).unwrap();
+    let back = read_jsonl(buf.as_slice()).unwrap();
+    assert_eq!(back, records);
+}
+
+#[test]
+fn csv_import_preserves_scoring_result() {
+    // Scoring from the original records and from a CSV round trip must
+    // agree exactly.
+    let records = campaign_records();
+    let mut original = iqb::data::store::MeasurementStore::new();
+    original.extend(records.iter().cloned()).unwrap();
+
+    let mut buf = Vec::new();
+    write_csv(&mut buf, &records).unwrap();
+    let imported = read_csv_into_store(buf.as_slice()).unwrap();
+
+    let config = IqbConfig::paper_default();
+    let spec = iqb::data::aggregate::AggregationSpec::paper_default();
+    let filter = iqb::data::store::QueryFilter::all();
+    let a = iqb::pipeline::runner::score_all_regions(&original, &config, &spec, &filter).unwrap();
+    let b = iqb::pipeline::runner::score_all_regions(&imported, &config, &spec, &filter).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn config_json_round_trip_with_customisations() {
+    use iqb::core::dataset::DatasetId;
+    use iqb::core::metric::Metric;
+    use iqb::core::usecase::UseCase;
+    use iqb::core::weights::Weight;
+
+    let mut config = IqbConfig::paper_default();
+    config.use_case_weights.set(UseCase::Gaming, Weight::new(5).unwrap());
+    config.dataset_weights.set(
+        UseCase::Gaming,
+        Metric::Latency,
+        DatasetId::Ookla,
+        Weight::ZERO,
+    );
+    config
+        .dataset_weights
+        .set(
+            UseCase::custom("Remote Surgery").unwrap(),
+            Metric::Latency,
+            DatasetId::Custom("clinic-probes".into()),
+            Weight::new(3).unwrap(),
+        );
+    let json = serde_json::to_string_pretty(&config).unwrap();
+    let back: IqbConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, config);
+}
+
+#[test]
+fn regional_report_json_round_trip() {
+    let records = campaign_records();
+    let mut store = iqb::data::store::MeasurementStore::new();
+    store.extend(records).unwrap();
+    let report = iqb::pipeline::runner::score_all_regions(
+        &store,
+        &IqbConfig::paper_default(),
+        &iqb::data::aggregate::AggregationSpec::paper_default(),
+        &iqb::data::store::QueryFilter::all(),
+    )
+    .unwrap();
+    let json = iqb::pipeline::report::render_json(&report).unwrap();
+    let back: iqb::pipeline::runner::RegionalReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+}

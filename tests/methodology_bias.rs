@@ -1,0 +1,120 @@
+//! Cross-crate checks of the measurement-methodology biases the netsim
+//! substrate reproduces, observed through the *full* data layer (campaign
+//! → store → p95 aggregation) rather than raw protocol outputs.
+
+use iqb::core::{DatasetId, Metric};
+use iqb::data::aggregate::{aggregate_region, AggregationSpec};
+use iqb::data::store::MeasurementStore;
+use iqb::synth::campaign::{run_campaign, CampaignConfig};
+use iqb::synth::region::RegionSpec;
+use iqb::synth::tech::Technology;
+
+fn aggregated_input(tech: Technology) -> (iqb::core::AggregateInput, iqb::data::record::RegionId) {
+    let region = RegionSpec::single_tech(&format!("bias-{}", tech.tag()), tech, 50);
+    let output = run_campaign(
+        &region,
+        &CampaignConfig {
+            tests_per_dataset: 1_000,
+            seed: 0xB1A5,
+            ..Default::default()
+        },
+    )
+    .expect("campaign runs");
+    let mut store = MeasurementStore::new();
+    store.extend(output.records).expect("valid records");
+    let input = aggregate_region(
+        &store,
+        &region.id,
+        &DatasetId::BUILTIN,
+        &AggregationSpec::paper_default(),
+    )
+    .expect("aggregation succeeds");
+    (input, region.id)
+}
+
+#[test]
+fn single_stream_ndt_trails_multi_stream_ookla_on_fiber() {
+    let (input, _) = aggregated_input(Technology::Fiber);
+    let ndt = input
+        .get(&DatasetId::Ndt, Metric::DownloadThroughput)
+        .unwrap();
+    let ookla = input
+        .get(&DatasetId::Ookla, Metric::DownloadThroughput)
+        .unwrap();
+    assert!(
+        ookla > 1.3 * ndt,
+        "p95 download: ookla {ookla} should exceed ndt {ndt} on fiber"
+    );
+}
+
+#[test]
+fn methodology_gap_shrinks_on_dsl() {
+    let gap = |tech: Technology| {
+        let (input, _) = aggregated_input(tech);
+        let ndt = input
+            .get(&DatasetId::Ndt, Metric::DownloadThroughput)
+            .unwrap();
+        let ookla = input
+            .get(&DatasetId::Ookla, Metric::DownloadThroughput)
+            .unwrap();
+        ookla / ndt
+    };
+    let fiber_gap = gap(Technology::Fiber);
+    let dsl_gap = gap(Technology::Dsl);
+    assert!(
+        fiber_gap > dsl_gap,
+        "methodology gap should shrink with BDP: fiber {fiber_gap} vs dsl {dsl_gap}"
+    );
+}
+
+#[test]
+fn ookla_latency_reads_lower_than_loaded_ndt_latency() {
+    // Idle ping vs during-transfer RTT on a bufferbloated technology.
+    let (input, _) = aggregated_input(Technology::Cable);
+    let ndt = input.get(&DatasetId::Ndt, Metric::Latency).unwrap();
+    let ookla = input.get(&DatasetId::Ookla, Metric::Latency).unwrap();
+    assert!(
+        ndt > ookla,
+        "loaded NDT p95 RTT {ndt} should exceed idle Ookla ping {ookla}"
+    );
+}
+
+#[test]
+fn ookla_never_contributes_packet_loss() {
+    for tech in [Technology::Fiber, Technology::Dsl, Technology::Mobile4g] {
+        let (input, _) = aggregated_input(tech);
+        assert!(input.get(&DatasetId::Ookla, Metric::PacketLoss).is_none());
+        assert!(input.get(&DatasetId::Ndt, Metric::PacketLoss).is_some());
+        assert!(input
+            .get(&DatasetId::Cloudflare, Metric::PacketLoss)
+            .is_some());
+    }
+}
+
+#[test]
+fn p95_loss_exceeds_mean_loss() {
+    // The p95 aggregation is tail-sensitive by design: on a bursty-loss
+    // technology the p95 of per-test loss sits well above the mean.
+    let region = RegionSpec::single_tech("bursty", Technology::Mobile4g, 50);
+    let output = run_campaign(
+        &region,
+        &CampaignConfig {
+            tests_per_dataset: 2_000,
+            seed: 0xB1A5,
+            ..Default::default()
+        },
+    )
+    .expect("campaign runs");
+    let losses: Vec<f64> = output
+        .records
+        .iter()
+        .filter(|r| r.dataset == DatasetId::Ndt)
+        .filter_map(|r| r.loss_pct)
+        .collect();
+    let mean = losses.iter().sum::<f64>() / losses.len() as f64;
+    let p95 = iqb::stats::quantile(&losses, 0.95).unwrap();
+    assert!(
+        p95 > 1.5 * mean,
+        "bursty loss: p95 {p95} should sit well above mean {mean}"
+    );
+}

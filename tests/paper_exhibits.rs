@@ -1,0 +1,98 @@
+//! Golden tests pinning the regenerated paper exhibits (E1–E3) to the
+//! poster's published values. If a default threshold or weight drifts,
+//! these fail.
+
+use iqb::core::metric::Metric;
+use iqb::core::threshold::{QualityLevel, ThresholdSpec};
+use iqb::core::usecase::UseCase;
+use iqb::core::IqbConfig;
+use iqb::pipeline::exhibits::{render_fig1, render_fig2, render_table1};
+
+#[test]
+fn fig2_exhibit_rows_match_paper() {
+    let text = render_fig2(&IqbConfig::paper_default());
+    // One golden line per use case, transcribed from the poster's Fig. 2
+    // (cells joined in column order: down min/high, up min/high, latency
+    // min/high, loss min/high).
+    let expectations = [
+        ("Web Browsing", vec!["10Mb/s", "100Mb/s", "10Mb/s", "Other", "100ms", "50ms", "1%", "0.5%"]),
+        ("Video Streaming", vec!["25Mb/s", "50-100Mb/s", "10Mb/s", "10Mb/s", "100ms", "50ms", "1%", "0.1%"]),
+        ("Video Conferencing", vec!["10Mb/s", "100Mb/s", "25Mb/s", "100Mb/s", "50ms", "20ms", "0.5%", "0.1%"]),
+        ("Audio Streaming", vec!["10Mb/s", "50Mb/s", "10Mb/s", "50Mb/s", "100ms", "50ms", "1%", "0.1%"]),
+        ("Online Backup", vec!["10Mb/s", "10Mb/s", "25Mb/s", "200Mb/s", "100ms", "100ms", "1%", "0.1%"]),
+        ("Gaming", vec!["10Mb/s", "100Mb/s", "10Mb/s", "Other", "100ms", "50ms", "1%", "0.5%"]),
+    ];
+    for (use_case, cells) in expectations {
+        let line = text
+            .lines()
+            .find(|l| l.starts_with(use_case))
+            .unwrap_or_else(|| panic!("no row for {use_case}"));
+        let got: Vec<&str> = line[use_case.len()..].split_whitespace().collect();
+        assert_eq!(got, cells, "row mismatch for {use_case}");
+    }
+}
+
+#[test]
+fn table1_exhibit_rows_match_paper() {
+    let text = render_table1(&IqbConfig::paper_default());
+    let expectations = [
+        ("Web Browsing", ["3", "2", "4", "4"]),
+        ("Video Streaming", ["4", "2", "4", "4"]),
+        ("Video Conferencing", ["4", "4", "4", "4"]),
+        ("Audio Streaming", ["4", "1", "3", "4"]),
+        ("Online Backup", ["4", "4", "2", "4"]),
+        ("Gaming", ["4", "4", "5", "4"]),
+    ];
+    for (use_case, weights) in expectations {
+        let line = text
+            .lines()
+            .find(|l| l.starts_with(use_case))
+            .unwrap_or_else(|| panic!("no row for {use_case}"));
+        let got: Vec<&str> = line[use_case.len()..].split_whitespace().collect();
+        assert_eq!(got, weights, "weights mismatch for {use_case}");
+    }
+}
+
+#[test]
+fn fig1_lists_tier_membership() {
+    let text = render_fig1(&IqbConfig::paper_default());
+    // Tier 3: the six use cases in paper order.
+    let tier3 = text.lines().find(|l| l.contains("USE CASES")).unwrap();
+    let idx = |needle: &str| tier3.find(needle).unwrap();
+    assert!(idx("Web Browsing") < idx("Video Streaming"));
+    assert!(idx("Video Streaming") < idx("Gaming"));
+    // Tier 1: the three datasets.
+    let tier1 = text.lines().find(|l| l.contains("DATASETS")).unwrap();
+    for d in ["M-Lab NDT", "Cloudflare", "Ookla"] {
+        assert!(tier1.contains(d));
+    }
+}
+
+#[test]
+fn programmatic_defaults_match_exhibit_rendering() {
+    // Exhibits render from the same structures the scorer evaluates; this
+    // confirms a few cells through the programmatic API as well.
+    let config = IqbConfig::paper_default();
+    assert_eq!(
+        config
+            .thresholds
+            .get(&UseCase::Gaming, Metric::Latency, QualityLevel::Minimum),
+        Some(ThresholdSpec::Value(100.0))
+    );
+    assert_eq!(
+        config
+            .thresholds
+            .get(&UseCase::OnlineBackup, Metric::UploadThroughput, QualityLevel::High),
+        Some(ThresholdSpec::Value(200.0))
+    );
+    assert_eq!(
+        config
+            .requirement_weights
+            .get(&UseCase::Gaming, Metric::Latency)
+            .unwrap()
+            .get(),
+        5
+    );
+    assert_eq!(config.use_cases.len(), 6);
+    assert_eq!(config.datasets.len(), 3);
+}

@@ -1,0 +1,165 @@
+//! Scenario suite: hand-constructed connections with known expected
+//! verdicts, exercising the scoring semantics end to end through the
+//! public API.
+
+use iqb::core::config::{IqbConfig, ScoringMode};
+use iqb::core::grade::GradeBands;
+use iqb::core::threshold::QualityLevel;
+use iqb::core::usecase::UseCase;
+use iqb::core::{score_iqb, AggregateInput, DatasetId, Metric};
+
+/// Input where every dataset reports the same four aggregates.
+fn connection(down: f64, up: f64, rtt: f64, loss: f64) -> AggregateInput {
+    let mut input = AggregateInput::new();
+    for d in DatasetId::BUILTIN {
+        input.set(d.clone(), Metric::DownloadThroughput, down);
+        input.set(d.clone(), Metric::UploadThroughput, up);
+        input.set(d.clone(), Metric::Latency, rtt);
+        input.set(d, Metric::PacketLoss, loss);
+    }
+    input
+}
+
+#[test]
+fn gigabit_fiber_gets_an_a() {
+    let report = score_iqb(
+        &IqbConfig::paper_default(),
+        &connection(940.0, 880.0, 4.0, 0.01),
+    )
+    .unwrap();
+    assert!(report.score > 0.95, "{}", report.score);
+    assert_eq!(
+        GradeBands::default().grade(report.score).unwrap().label(),
+        'A'
+    );
+}
+
+#[test]
+fn legacy_dsl_fails_high_quality_but_partially_meets_minimum() {
+    let input = connection(18.0, 1.5, 70.0, 0.9);
+    let high = score_iqb(&IqbConfig::paper_default(), &input).unwrap();
+    assert!(high.score < 0.2, "high-level score {}", high.score);
+    let min_config = IqbConfig::builder()
+        .quality_level(QualityLevel::Minimum)
+        .build()
+        .unwrap();
+    let min = score_iqb(&min_config, &input).unwrap();
+    assert!(
+        min.score > high.score,
+        "minimum {} vs high {}",
+        min.score,
+        high.score
+    );
+}
+
+#[test]
+fn upload_starved_cable_is_limited_by_upload_everywhere_it_matters() {
+    // Classic DOCSIS asymmetry: 500 down, 11 up.
+    let report = score_iqb(
+        &IqbConfig::paper_default(),
+        &connection(500.0, 11.0, 15.0, 0.05),
+    )
+    .unwrap();
+    for use_case in [UseCase::VideoConferencing, UseCase::OnlineBackup] {
+        let ucs = &report.use_cases[&use_case];
+        assert_eq!(
+            ucs.limiting_requirement().unwrap().0,
+            Metric::UploadThroughput,
+            "{use_case} should be upload-limited"
+        );
+    }
+    // Web browsing's high-quality upload is "Other": unaffected.
+    let wb = &report.use_cases[&UseCase::WebBrowsing];
+    assert!((wb.score - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn satellite_latency_caps_gaming_regardless_of_throughput() {
+    let report = score_iqb(
+        &IqbConfig::paper_default(),
+        &connection(200.0, 20.0, 620.0, 0.4),
+    )
+    .unwrap();
+    let gaming = &report.use_cases[&UseCase::Gaming];
+    let latency = &gaming.requirements[&Metric::Latency];
+    assert_eq!(latency.agreement, 0.0);
+    assert_eq!(
+        gaming.limiting_requirement().unwrap().0,
+        Metric::Latency
+    );
+}
+
+#[test]
+fn loss_spike_hits_streaming_harder_than_browsing() {
+    // 0.3% loss: below browsing/gaming's 0.5% high bar, above the 0.1%
+    // bar of streaming/conferencing/backup.
+    let report = score_iqb(
+        &IqbConfig::paper_default(),
+        &connection(300.0, 250.0, 12.0, 0.3),
+    )
+    .unwrap();
+    let loss_agreement = |u: &UseCase| report.use_cases[u].requirements[&Metric::PacketLoss].agreement;
+    assert_eq!(loss_agreement(&UseCase::WebBrowsing), 1.0);
+    assert_eq!(loss_agreement(&UseCase::Gaming), 1.0);
+    assert_eq!(loss_agreement(&UseCase::VideoStreaming), 0.0);
+    assert_eq!(loss_agreement(&UseCase::AudioStreaming), 0.0);
+}
+
+#[test]
+fn missing_dataset_changes_nothing_when_verdicts_agree() {
+    let full = connection(940.0, 880.0, 4.0, 0.01);
+    let mut partial = AggregateInput::new();
+    for ((d, m), cell) in full.iter() {
+        if *d == DatasetId::Cloudflare {
+            continue; // drop one whole dataset
+        }
+        partial.set(d.clone(), *m, cell.value);
+    }
+    let config = IqbConfig::paper_default();
+    let a = score_iqb(&config, &full).unwrap().score;
+    let b = score_iqb(&config, &partial).unwrap().score;
+    assert!((a - b).abs() < 1e-12, "unanimous verdicts: {a} vs {b}");
+}
+
+#[test]
+fn graded_mode_separates_identical_binary_scores() {
+    // Two connections that fail the same binary cells but by different
+    // margins: binary cannot tell them apart, graded must.
+    let nearly = connection(95.0, 95.0, 22.0, 0.12); // just misses several bars
+    let badly = connection(52.0, 52.0, 45.0, 0.45); // misses the same bars, worse
+    let binary = IqbConfig::paper_default();
+    let graded = IqbConfig::builder()
+        .scoring_mode(ScoringMode::Graded)
+        .build()
+        .unwrap();
+    let b_nearly = score_iqb(&binary, &nearly).unwrap().score;
+    let b_badly = score_iqb(&binary, &badly).unwrap().score;
+    let g_nearly = score_iqb(&graded, &nearly).unwrap().score;
+    let g_badly = score_iqb(&graded, &badly).unwrap().score;
+    assert_eq!(b_nearly, b_badly, "binary collapses the two connections");
+    assert!(
+        g_nearly > g_badly + 0.1,
+        "graded must separate them: {g_nearly} vs {g_badly}"
+    );
+}
+
+#[test]
+fn sensitivity_tools_run_on_public_api() {
+    use iqb::core::sensitivity::{requirement_weight_tornado, threshold_sweep};
+    let config = IqbConfig::paper_default();
+    let input = connection(120.0, 15.0, 18.0, 0.05);
+    let rows = requirement_weight_tornado(&config, &input).unwrap();
+    assert_eq!(rows.len(), 24);
+    let sweep = threshold_sweep(
+        &config,
+        &input,
+        &UseCase::Gaming,
+        Metric::Latency,
+        QualityLevel::High,
+        &[0.5, 1.0, 2.0],
+    )
+    .unwrap();
+    assert_eq!(sweep.len(), 3);
+    // Laxer latency threshold cannot lower the score.
+    assert!(sweep[2].score >= sweep[0].score);
+}
