@@ -1,0 +1,106 @@
+//! Criterion benches for the streaming aggregation backends and the
+//! incremental scoring session.
+//!
+//! Two questions, answered on a large synthesized store:
+//!
+//! 1. What does each quantile engine (exact | t-digest | P²) cost for a
+//!    full single-pass regional aggregation?
+//! 2. What does a one-region update cost through
+//!    [`ScoringSession::rescore`] versus rerunning the whole batch —
+//!    i.e. what is the incrementality actually worth?
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use iqb_bench::{build_store, standard_regions, MASTER_SEED};
+use iqb_core::config::IqbConfig;
+use iqb_data::aggregate::{aggregate_region, AggregationSpec, AggregatorBackend};
+use iqb_data::record::TestRecord;
+use iqb_data::store::QueryFilter;
+use iqb_pipeline::runner::score_all_regions;
+use iqb_pipeline::session::ScoringSession;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agg_backend");
+    group.sample_size(10);
+
+    let regions = standard_regions(50);
+    let (store, _) = build_store(&regions, 2_000, MASTER_SEED);
+    let config = IqbConfig::paper_default();
+    let first_region = store.regions()[0].clone();
+
+    // Single-pass aggregation of one region (3 datasets × 4 metrics)
+    // under each backend.
+    for backend in [
+        AggregatorBackend::Exact,
+        AggregatorBackend::tdigest_default(),
+        AggregatorBackend::P2,
+    ] {
+        let spec = AggregationSpec::paper_default().with_backend(backend);
+        group.bench_function(format!("aggregate_one_region_6000/{backend}"), |b| {
+            b.iter(|| {
+                aggregate_region(
+                    black_box(&store),
+                    &first_region,
+                    &config.datasets,
+                    &spec,
+                )
+                .unwrap()
+            })
+        });
+    }
+
+    // Full regional batch score under each backend.
+    for backend in [AggregatorBackend::Exact, AggregatorBackend::tdigest_default()] {
+        let spec = AggregationSpec::paper_default().with_backend(backend);
+        group.bench_function(format!("score_all_regions_4x6000/{backend}"), |b| {
+            b.iter(|| {
+                score_all_regions(black_box(&store), &config, &spec, &QueryFilter::all())
+                    .unwrap()
+            })
+        });
+    }
+
+    // Incremental vs full rescore after a one-region update batch.
+    let all_records: Vec<TestRecord> = store
+        .regions()
+        .iter()
+        .flat_map(|r| {
+            let filter = QueryFilter::all().region(r.clone());
+            store
+                .query(&filter)
+                .cloned()
+                .collect::<Vec<TestRecord>>()
+        })
+        .collect();
+    let update: Vec<TestRecord> = {
+        let filter = QueryFilter::all().region(first_region.clone());
+        store.query(&filter).take(100).cloned().collect()
+    };
+    let spec = AggregationSpec::paper_default();
+
+    group.bench_function("incremental_one_region_update", |b| {
+        // Pre-warm a session with the whole fleet, then measure a
+        // 100-record single-region ingest + rescore (clone per iter so
+        // the warm session is reused).
+        let mut warm = ScoringSession::new(config.clone(), spec.clone()).unwrap();
+        warm.ingest(all_records.iter().cloned()).unwrap();
+        warm.rescore().unwrap();
+        b.iter(|| {
+            let mut session = warm.clone();
+            session.ingest(update.iter().cloned()).unwrap();
+            black_box(session.rescore().unwrap());
+        })
+    });
+
+    group.bench_function("full_rescore_after_one_region_update", |b| {
+        // The non-incremental alternative: rebuild nothing, but rescore
+        // every region from the store.
+        b.iter(|| {
+            score_all_regions(black_box(&store), &config, &spec, &QueryFilter::all()).unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -55,7 +55,7 @@ fn main() {
     let report = score_all_regions(
         &store,
         &IqbConfig::paper_default(),
-        &AggregationSpec::paper_default(),
+        &AggregationSpec::paper_default().with_backend(iqb_bench::agg_backend_from_env()),
         &QueryFilter::all(),
     )
     .expect("static experiment parameters");

@@ -23,7 +23,7 @@ fn main() {
     );
     let regions = standard_regions(150);
     let (store, _) = build_store(&regions, 1_500, MASTER_SEED);
-    let spec = AggregationSpec::paper_default();
+    let spec = AggregationSpec::paper_default().with_backend(iqb_bench::agg_backend_from_env());
 
     let score_with = |datasets: Vec<DatasetId>| {
         let config = IqbConfig::builder()

@@ -21,7 +21,7 @@ fn main() {
     );
     let regions = standard_regions(150);
     let (store, _) = build_store(&regions, 1_500, MASTER_SEED);
-    let spec = AggregationSpec::paper_default();
+    let spec = AggregationSpec::paper_default().with_backend(iqb_bench::agg_backend_from_env());
 
     let binary = score_all_regions(
         &store,

@@ -32,7 +32,9 @@ fn main() {
     }
     let mut rows: std::collections::BTreeMap<String, Vec<String>> = Default::default();
     for p in percentiles {
-        let spec = AggregationSpec::uniform_quantile(p).expect("valid quantile");
+        let spec = AggregationSpec::uniform_quantile(p)
+            .expect("valid quantile")
+            .with_backend(iqb_bench::agg_backend_from_env());
         let report = score_all_regions(&store, &config, &spec, &QueryFilter::all())
             .expect("static experiment parameters");
         for (region, scored) in &report.regions {

@@ -20,7 +20,7 @@ fn main() {
     let regions = standard_regions(150);
     let (store, _) = build_store(&regions, 1_500, MASTER_SEED);
     let config = IqbConfig::paper_default();
-    let spec = AggregationSpec::paper_default();
+    let spec = AggregationSpec::paper_default().with_backend(iqb_bench::agg_backend_from_env());
 
     let mut table = TextTable::new([
         "Region",
@@ -47,8 +47,7 @@ fn main() {
     // Do 95% intervals of adjacent ranks overlap?
     results.sort_by(|a, b| {
         b.point_score
-            .partial_cmp(&a.point_score)
-            .expect("finite scores")
+            .total_cmp(&a.point_score)
     });
     println!();
     for pair in results.windows(2) {

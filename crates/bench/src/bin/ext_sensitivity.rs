@@ -26,7 +26,7 @@ fn main() {
         &store,
         &region.id,
         &config.datasets,
-        &AggregationSpec::paper_default(),
+        &AggregationSpec::paper_default().with_backend(iqb_bench::agg_backend_from_env()),
     )
     .expect("campaign produced data");
 

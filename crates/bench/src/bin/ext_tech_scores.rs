@@ -22,7 +22,7 @@ fn main() {
     );
     let regions = single_tech_regions(100);
     let (store, _) = build_store(&regions, 2_000, MASTER_SEED);
-    let spec = AggregationSpec::paper_default();
+    let spec = AggregationSpec::paper_default().with_backend(iqb_bench::agg_backend_from_env());
 
     let high = score_all_regions(
         &store,

@@ -21,7 +21,7 @@ fn main() {
     let region = RegionSpec::suburban_cable("suburban-cable", 150);
     let (store, _) = build_store(std::slice::from_ref(&region), 20_000, MASTER_SEED);
     let config = IqbConfig::paper_default();
-    let spec = AggregationSpec::paper_default();
+    let spec = AggregationSpec::paper_default().with_backend(iqb_bench::agg_backend_from_env());
 
     let window_s = 2 * 3_600;
     let points = score_trend(

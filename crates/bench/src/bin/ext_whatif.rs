@@ -22,7 +22,7 @@ fn main() {
     let regions = standard_regions(150);
     let (store, _) = build_store(&regions, 1_500, MASTER_SEED);
     let config = IqbConfig::paper_default();
-    let spec = AggregationSpec::paper_default();
+    let spec = AggregationSpec::paper_default().with_backend(iqb_bench::agg_backend_from_env());
 
     let mut table = TextTable::new([
         "Region",

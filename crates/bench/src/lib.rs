@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+use iqb_data::aggregate::AggregatorBackend;
 use iqb_data::store::MeasurementStore;
 use iqb_synth::campaign::{run_campaign, CampaignConfig, CampaignOutput};
 use iqb_synth::region::RegionSpec;
@@ -78,11 +79,33 @@ pub fn build_store(
     (store, outputs)
 }
 
+/// The aggregation backend every `ext_*` binary runs under, selected via
+/// the `IQB_AGG_BACKEND` env var (`exact|tdigest|p2`, default `exact`).
+///
+/// The default keeps the committed `results/` exhibits byte-identical;
+/// setting the variable reruns an experiment on a streaming estimator to
+/// see how far its approximation moves the published numbers.
+pub fn agg_backend_from_env() -> AggregatorBackend {
+    match std::env::var("IQB_AGG_BACKEND") {
+        Ok(raw) => raw
+            .parse()
+            .unwrap_or_else(|e| panic!("IQB_AGG_BACKEND: {e}")),
+        Err(_) => AggregatorBackend::Exact,
+    }
+}
+
 /// Prints the standard experiment banner (id, description, seed) so each
-/// regenerated exhibit records its provenance.
+/// regenerated exhibit records its provenance. When a non-default
+/// aggregation backend is active (via `IQB_AGG_BACKEND`) it is recorded
+/// too; under the default exact backend the banner is unchanged so the
+/// committed exhibits stay byte-identical.
 pub fn banner(id: &str, description: &str, seed: u64) {
     println!("=== {id}: {description}");
     println!("=== seed: {seed:#x}; deterministic — rerun reproduces this output exactly");
+    let backend = agg_backend_from_env();
+    if backend != AggregatorBackend::Exact {
+        println!("=== agg backend: {backend} (non-default; approximate quantiles)");
+    }
     println!();
 }
 

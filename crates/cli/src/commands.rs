@@ -7,7 +7,7 @@ use iqb_core::config::{IqbConfig, ScoringMode};
 use iqb_core::profiles;
 use iqb_core::threshold::QualityLevel;
 use iqb_core::whatif::{evaluate_interventions, standard_interventions};
-use iqb_data::aggregate::{aggregate_region, AggregationSpec};
+use iqb_data::aggregate::{aggregate_region, AggregationSpec, AggregatorBackend};
 use iqb_data::clean::Cleaner;
 use iqb_data::csv_io;
 use iqb_data::record::RegionId;
@@ -147,12 +147,27 @@ fn build_config(args: &ParsedArgs) -> Result<IqbConfig, Box<dyn std::error::Erro
         .build()?)
 }
 
+/// Shared aggregation-spec builder from `--quantile` and `--agg-backend`.
+///
+/// `--agg-backend exact|tdigest|p2` selects the streaming quantile engine
+/// (default: exact, which reproduces the paper's batch aggregation
+/// bit-for-bit).
+fn build_spec(args: &ParsedArgs) -> Result<AggregationSpec, Box<dyn std::error::Error>> {
+    let quantile: f64 = args.get_parsed_or("quantile", 0.95)?;
+    let backend: AggregatorBackend = args
+        .get_or("agg-backend", "exact")
+        .parse()
+        .map_err(|e: iqb_data::DataError| usage(e.to_string()))?;
+    let spec = AggregationSpec::uniform_quantile(quantile)?.with_backend(backend);
+    spec.validate()?;
+    Ok(spec)
+}
+
 /// `iqb score --input <file.csv> [...]`
 pub fn score(args: &ParsedArgs) -> CliResult {
     let store = load_store(args)?;
     let config = build_config(args)?;
-    let quantile: f64 = args.get_parsed_or("quantile", 0.95)?;
-    let spec = AggregationSpec::uniform_quantile(quantile)?;
+    let spec = build_spec(args)?;
     let report = score_all_regions(&store, &config, &spec, &QueryFilter::all())?;
 
     match args.get_or("format", "text") {
@@ -171,8 +186,7 @@ pub fn score(args: &ParsedArgs) -> CliResult {
 /// `iqb compare --before <a.csv> --after <b.csv> [config options]`
 pub fn compare(args: &ParsedArgs) -> CliResult {
     let config = build_config(args)?;
-    let quantile: f64 = args.get_parsed_or("quantile", 0.95)?;
-    let spec = AggregationSpec::uniform_quantile(quantile)?;
+    let spec = build_spec(args)?;
     let load = |key: &str| -> Result<MeasurementStore, Box<dyn std::error::Error>> {
         let path = args.require(key)?;
         let file = File::open(path)
@@ -194,7 +208,7 @@ pub fn trend(args: &ParsedArgs) -> CliResult {
     let store = load_store(args)?;
     let region = RegionId::new(args.require("region")?)?;
     let config = build_config(args)?;
-    let spec = AggregationSpec::uniform_quantile(args.get_parsed_or("quantile", 0.95)?)?;
+    let spec = build_spec(args)?;
     let window_hours: u64 = args.get_parsed_or("window-hours", 2)?;
     if window_hours == 0 {
         return Err(usage("--window-hours must be positive"));
@@ -235,7 +249,7 @@ pub fn whatif(args: &ParsedArgs) -> CliResult {
     let store = load_store(args)?;
     let region = RegionId::new(args.require("region")?)?;
     let config = build_config(args)?;
-    let spec = AggregationSpec::uniform_quantile(args.get_parsed_or("quantile", 0.95)?)?;
+    let spec = build_spec(args)?;
     let input = aggregate_region(&store, &region, &config.datasets, &spec)?;
     let outcomes = evaluate_interventions(&config, &input, &standard_interventions())?;
 
@@ -275,6 +289,22 @@ mod tests {
         assert_eq!(c.scoring_mode, ScoringMode::Graded);
         assert!(build_config(&parsed(&["score", "--level", "medium"])).is_err());
         assert!(build_config(&parsed(&["score", "--mode", "fuzzy"])).is_err());
+    }
+
+    #[test]
+    fn build_spec_selects_backend() {
+        let s = build_spec(&parsed(&["score"])).unwrap();
+        assert_eq!(s.backend, AggregatorBackend::Exact);
+        let s = build_spec(&parsed(&["score", "--agg-backend", "tdigest"])).unwrap();
+        assert_eq!(s.backend, AggregatorBackend::tdigest_default());
+        let s = build_spec(&parsed(&["score", "--agg-backend", "p2"])).unwrap();
+        assert_eq!(s.backend, AggregatorBackend::P2);
+        let err = build_spec(&parsed(&["score", "--agg-backend", "magic"])).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+        // P² cannot track the q = 1 extreme.
+        assert!(
+            build_spec(&parsed(&["score", "--agg-backend", "p2", "--quantile", "1.0"])).is_err()
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@ COMMANDS:
         --profile <name>              Named config profile (paper-default, minimum-access,
                                       realtime, streaming-household, graded)
         --quantile <q>                Aggregation quantile (default 0.95, the paper's)
+        --agg-backend <exact|tdigest|p2>  Streaming quantile engine (default exact)
         --level <high|min>            Quality level (default high)
         --mode <binary|graded>        Cell scoring mode (default binary)
         --clean                       Dedup + outlier-screen before scoring
@@ -46,6 +47,7 @@ COMMANDS:
     compare                           Diff two measurement CSVs region by region
         --before <a.csv>              Baseline measurements (required)
         --after <b.csv>               Comparison measurements (required)
+        --agg-backend <exact|tdigest|p2>  Streaming quantile engine (default exact)
     trend                             Windowed score trend for one region
         --input <file.csv>            Input path (required)
         --region <name>               Region id (required)

@@ -16,6 +16,54 @@ use crate::dataset::DatasetId;
 use crate::error::CoreError;
 use crate::metric::Metric;
 
+/// Which aggregation engine reduced the raw measurements to the cell
+/// value. Recorded in provenance so a report is auditable: an exact
+/// order-statistics value and a sketch estimate are not interchangeable
+/// claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum AggregationBackend {
+    /// Exact order statistics over the full sample (the paper-faithful
+    /// reference, and the default).
+    #[default]
+    Exact,
+    /// Mergeable t-digest sketch (Dunning & Ertl).
+    TDigest,
+    /// P² single-quantile estimator (Jain & Chlamtac).
+    P2,
+}
+
+impl AggregationBackend {
+    /// Stable lowercase tag used on the CLI and in rendered provenance.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AggregationBackend::Exact => "exact",
+            AggregationBackend::TDigest => "tdigest",
+            AggregationBackend::P2 => "p2",
+        }
+    }
+}
+
+impl std::fmt::Display for AggregationBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+impl std::str::FromStr for AggregationBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(AggregationBackend::Exact),
+            "tdigest" => Ok(AggregationBackend::TDigest),
+            "p2" => Ok(AggregationBackend::P2),
+            other => Err(format!(
+                "unknown aggregation backend `{other}` (expected exact|tdigest|p2)"
+            )),
+        }
+    }
+}
+
 /// Provenance of one aggregate cell: how many raw measurements produced it.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CellProvenance {
@@ -23,6 +71,10 @@ pub struct CellProvenance {
     pub sample_count: u64,
     /// Quantile rank used for aggregation (0.95 per the paper).
     pub quantile: f64,
+    /// Aggregation engine that produced the value (defaults to the exact
+    /// reference for inputs recorded before backends existed).
+    #[serde(default)]
+    pub backend: AggregationBackend,
 }
 
 /// One aggregate value with optional provenance.
@@ -197,6 +249,7 @@ mod tests {
             CellProvenance {
                 sample_count: 1234,
                 quantile: 0.95,
+                backend: AggregationBackend::Exact,
             },
         );
         let cell = input
@@ -237,6 +290,7 @@ mod tests {
             CellProvenance {
                 sample_count: 9,
                 quantile: 0.95,
+                backend: AggregationBackend::TDigest,
             },
         );
         let json = serde_json::to_string(&input).unwrap();

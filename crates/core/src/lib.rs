@@ -78,7 +78,7 @@ pub mod whatif;
 pub use config::IqbConfig;
 pub use dataset::DatasetId;
 pub use error::CoreError;
-pub use input::AggregateInput;
+pub use input::{AggregateInput, AggregationBackend};
 pub use metric::{Metric, Polarity};
 pub use score::{score_iqb, IqbReport};
 pub use threshold::{QualityLevel, ThresholdSpec};

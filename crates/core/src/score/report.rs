@@ -69,8 +69,7 @@ impl UseCaseScore {
             .iter()
             .min_by(|(_, a), (_, b)| {
                 a.agreement
-                    .partial_cmp(&b.agreement)
-                    .expect("scores are finite")
+                    .total_cmp(&b.agreement)
                     .then(b.weight.cmp(&a.weight))
             })
             .map(|(m, r)| (*m, r))
@@ -124,14 +123,14 @@ impl IqbReport {
     /// The use case with the lowest score, ties broken by label order.
     pub fn weakest_use_case(&self) -> Option<(&UseCase, &UseCaseScore)> {
         self.use_cases.iter().min_by(|(_, a), (_, b)| {
-            a.score.partial_cmp(&b.score).expect("scores are finite")
+            a.score.total_cmp(&b.score)
         })
     }
 
     /// The use case with the highest score.
     pub fn strongest_use_case(&self) -> Option<(&UseCase, &UseCaseScore)> {
         self.use_cases.iter().max_by(|(_, a), (_, b)| {
-            a.score.partial_cmp(&b.score).expect("scores are finite")
+            a.score.total_cmp(&b.score)
         })
     }
 

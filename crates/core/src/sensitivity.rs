@@ -100,7 +100,7 @@ pub fn requirement_weight_tornado(
             });
         }
     }
-    rows.sort_by(|a, b| b.swing().partial_cmp(&a.swing()).expect("finite swings"));
+    rows.sort_by(|a, b| b.swing().total_cmp(&a.swing()));
     Ok(rows)
 }
 
@@ -137,7 +137,7 @@ pub fn use_case_weight_tornado(
             baseline_score: baseline,
         });
     }
-    rows.sort_by(|a, b| b.swing().partial_cmp(&a.swing()).expect("finite swings"));
+    rows.sort_by(|a, b| b.swing().total_cmp(&a.swing()));
     Ok(rows)
 }
 

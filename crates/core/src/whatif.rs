@@ -125,7 +125,7 @@ pub fn evaluate_interventions(
             improved,
         });
     }
-    outcomes.sort_by(|a, b| b.gain().partial_cmp(&a.gain()).expect("finite gains"));
+    outcomes.sort_by(|a, b| b.gain().total_cmp(&a.gain()));
     Ok(outcomes)
 }
 

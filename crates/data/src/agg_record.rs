@@ -119,6 +119,10 @@ pub fn reduce_rows(
             CellProvenance {
                 sample_count: total_tests,
                 quantile: q,
+                // Weighted quantiles over pre-aggregated rows are always
+                // computed exactly; streaming backends apply to per-test
+                // record streams only.
+                backend: iqb_core::input::AggregationBackend::Exact,
             },
         );
     }

@@ -4,19 +4,174 @@
 //! evaluate a metric"* — is the default here, but the percentile is
 //! configurable per metric so the E7 ablation (p50/p75/p90/p95/p99) and
 //! downstream adaptations can deviate. The output is an
-//! [`AggregateInput`] with provenance (sample counts and the quantile
-//! used), ready for [`iqb_core::score::score_iqb`].
+//! [`AggregateInput`] with provenance (sample counts, the quantile used
+//! and the aggregation backend), ready for [`iqb_core::score::score_iqb`].
+//!
+//! Aggregation is a *single pass*: records stream out of the store's
+//! (region, dataset) index and into one [`MetricSink`] per
+//! (dataset, metric) cell. The sink is selected by
+//! [`AggregationSpec::backend`]:
+//!
+//! * [`AggregatorBackend::Exact`] — keeps every value, answers with exact
+//!   order statistics. Bit-identical to the historical
+//!   materialize-column-then-sort path; the default.
+//! * [`AggregatorBackend::TDigest`] — bounded-memory mergeable sketch;
+//!   the serving-scale choice.
+//! * [`AggregatorBackend::P2`] — O(1) memory per cell; the
+//!   measurement-agent choice.
 
 use std::collections::BTreeMap;
 
 use iqb_core::dataset::DatasetId;
-use iqb_core::input::{AggregateInput, CellProvenance};
+use iqb_core::input::{AggregateInput, AggregationBackend, CellProvenance};
 use iqb_core::metric::Metric;
+use iqb_stats::p2::P2Quantile;
+use iqb_stats::sink::{ExactSink, QuantileSink};
+use iqb_stats::tdigest::TDigest;
 use serde::{Deserialize, Serialize};
 
 use crate::error::DataError;
 use crate::record::RegionId;
 use crate::store::{MeasurementStore, QueryFilter};
+
+/// Which streaming engine reduces a metric stream to its quantile.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum AggregatorBackend {
+    /// Exact order statistics over the full sample (paper-faithful
+    /// reference; memory grows with the stream). The default.
+    #[default]
+    Exact,
+    /// Mergeable t-digest sketch with compression δ.
+    TDigest {
+        /// Compression parameter δ (≥ 10); larger is more accurate.
+        compression: f64,
+    },
+    /// P² marker estimator: O(1) memory, tracks the configured quantile.
+    P2,
+}
+
+impl AggregatorBackend {
+    /// The t-digest backend at its default compression.
+    pub fn tdigest_default() -> Self {
+        AggregatorBackend::TDigest {
+            compression: iqb_stats::tdigest::DEFAULT_COMPRESSION,
+        }
+    }
+
+    /// The provenance tag recorded on cells this backend produces.
+    pub fn provenance(&self) -> AggregationBackend {
+        match self {
+            AggregatorBackend::Exact => AggregationBackend::Exact,
+            AggregatorBackend::TDigest { .. } => AggregationBackend::TDigest,
+            AggregatorBackend::P2 => AggregationBackend::P2,
+        }
+    }
+
+    /// Validates backend parameters (t-digest compression bounds).
+    pub fn validate(&self) -> Result<(), DataError> {
+        if let AggregatorBackend::TDigest { compression } = self {
+            if !compression.is_finite() || *compression < 10.0 {
+                return Err(DataError::InvalidAggregation(format!(
+                    "t-digest compression {compression} must be finite and >= 10"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for AggregatorBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.provenance().tag())
+    }
+}
+
+impl std::str::FromStr for AggregatorBackend {
+    type Err = DataError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "exact" => Ok(AggregatorBackend::Exact),
+            "tdigest" => Ok(AggregatorBackend::tdigest_default()),
+            "p2" => Ok(AggregatorBackend::P2),
+            other => Err(DataError::InvalidAggregation(format!(
+                "unknown aggregation backend `{other}` (expected exact|tdigest|p2)"
+            ))),
+        }
+    }
+}
+
+/// One cell's streaming state: the backend-selected estimator behind the
+/// [`QuantileSink`] contract.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum MetricSink {
+    /// Exact order statistics (keeps all values).
+    Exact(ExactSink),
+    /// Bounded-memory t-digest sketch.
+    TDigest(TDigest),
+    /// O(1)-memory P² estimator for one declared quantile.
+    P2(P2Quantile),
+}
+
+impl MetricSink {
+    /// Creates the sink a backend prescribes for a cell whose configured
+    /// quantile is `q` (the P² estimator must know it up front).
+    pub fn for_backend(backend: AggregatorBackend, q: f64) -> Result<Self, DataError> {
+        match backend {
+            AggregatorBackend::Exact => Ok(MetricSink::Exact(ExactSink::new())),
+            AggregatorBackend::TDigest { compression } => {
+                Ok(MetricSink::TDigest(TDigest::with_compression(compression)?))
+            }
+            AggregatorBackend::P2 => Ok(MetricSink::P2(P2Quantile::new(q)?)),
+        }
+    }
+
+    /// The provenance tag of the engine behind this sink.
+    pub fn provenance(&self) -> AggregationBackend {
+        match self {
+            MetricSink::Exact(_) => AggregationBackend::Exact,
+            MetricSink::TDigest(_) => AggregationBackend::TDigest,
+            MetricSink::P2(_) => AggregationBackend::P2,
+        }
+    }
+}
+
+impl QuantileSink for MetricSink {
+    fn push(&mut self, value: f64) -> Result<(), iqb_stats::StatsError> {
+        match self {
+            MetricSink::Exact(s) => s.push(value),
+            MetricSink::TDigest(s) => s.push(value),
+            MetricSink::P2(s) => QuantileSink::push(s, value),
+        }
+    }
+
+    fn quantile(&self, q: f64) -> Result<f64, iqb_stats::StatsError> {
+        match self {
+            MetricSink::Exact(s) => s.quantile(q),
+            MetricSink::TDigest(s) => QuantileSink::quantile(s, q),
+            MetricSink::P2(s) => QuantileSink::quantile(s, q),
+        }
+    }
+
+    fn count(&self) -> u64 {
+        match self {
+            MetricSink::Exact(s) => s.count(),
+            MetricSink::TDigest(s) => QuantileSink::count(s),
+            MetricSink::P2(s) => QuantileSink::count(s),
+        }
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), iqb_stats::StatsError> {
+        match (self, other) {
+            (MetricSink::Exact(a), MetricSink::Exact(b)) => a.merge(b),
+            (MetricSink::TDigest(a), MetricSink::TDigest(b)) => QuantileSink::merge(a, b),
+            (MetricSink::P2(a), MetricSink::P2(b)) => QuantileSink::merge(a, b),
+            _ => Err(iqb_stats::StatsError::IncompatibleMerge(
+                "cannot merge sinks of different backends".into(),
+            )),
+        }
+    }
+}
 
 /// How records are reduced to one value per (dataset, metric).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -26,11 +181,14 @@ pub struct AggregationSpec {
     /// Minimum number of samples required to emit a cell; sparser cells
     /// are dropped (the score normalization absorbs the gap).
     pub min_samples: usize,
+    /// The streaming engine that reduces each cell's value stream.
+    #[serde(default)]
+    pub backend: AggregatorBackend,
 }
 
 impl AggregationSpec {
     /// The paper's default: 95th percentile for every metric, at least one
-    /// sample.
+    /// sample, exact order statistics.
     pub fn paper_default() -> Self {
         Self::uniform_quantile(0.95).expect("0.95 is a valid quantile")
     }
@@ -45,6 +203,7 @@ impl AggregationSpec {
         Ok(AggregationSpec {
             quantiles: Metric::ALL.into_iter().map(|m| (m, q)).collect(),
             min_samples: 1,
+            backend: AggregatorBackend::Exact,
         })
     }
 
@@ -62,6 +221,12 @@ impl AggregationSpec {
     /// Sets the minimum sample count per cell.
     pub fn with_min_samples(mut self, min_samples: usize) -> Self {
         self.min_samples = min_samples;
+        self
+    }
+
+    /// Selects the aggregation backend.
+    pub fn with_backend(mut self, backend: AggregatorBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -86,18 +251,38 @@ impl AggregationSpec {
                     "quantile {q} for {m} not in (0, 1]"
                 )));
             }
+            // The P² estimator cannot track the extreme rank q = 1.
+            if matches!(self.backend, AggregatorBackend::P2) && q >= 1.0 {
+                return Err(DataError::InvalidAggregation(format!(
+                    "quantile {q} for {m}: the p2 backend requires q in (0, 1)"
+                )));
+            }
         }
-        Ok(())
+        self.backend.validate()
+    }
+
+    /// Creates one fresh sink per metric, keyed with its configured
+    /// quantile. Shared by the batch path below and the pipeline's
+    /// incremental `ScoringSession`.
+    pub fn new_sinks(&self) -> Result<Vec<(Metric, f64, MetricSink)>, DataError> {
+        Metric::ALL
+            .into_iter()
+            .map(|metric| {
+                let q = self.quantile_for(metric)?;
+                Ok((metric, q, MetricSink::for_backend(self.backend, q)?))
+            })
+            .collect()
     }
 }
 
 /// Aggregates one region's records across the given datasets into a
 /// scoring input.
 ///
-/// For each (dataset, metric) the metric column is collected via the
-/// store's index and reduced to `quantile_for(metric)` with exact
-/// order statistics. Cells with fewer than `min_samples` observations are
-/// omitted. An input with zero cells is an error ([`DataError::NoData`]).
+/// For each (dataset, metric) the store's indexed records stream through
+/// a backend-selected [`MetricSink`] in one pass and are reduced to
+/// `quantile_for(metric)`. Cells with fewer than `min_samples`
+/// observations are omitted. An input with zero cells is an error
+/// ([`DataError::NoData`]).
 pub fn aggregate_region(
     store: &MeasurementStore,
     region: &RegionId,
@@ -125,20 +310,28 @@ pub fn aggregate_region_filtered(
             dataset: Some(dataset.clone()),
             ..base_filter.clone()
         };
-        for metric in Metric::ALL {
-            let column = store.metric_column(&filter, metric);
-            if column.len() < spec.min_samples.max(1) {
+        let mut sinks = spec.new_sinks()?;
+        // One pass: each record feeds every metric sink that has a value.
+        for record in store.query(&filter) {
+            for (metric, _, sink) in sinks.iter_mut() {
+                if let Some(value) = record.metric_value(*metric) {
+                    sink.push(value)?;
+                }
+            }
+        }
+        for (metric, q, sink) in sinks {
+            if (sink.count() as usize) < spec.min_samples.max(1) {
                 continue;
             }
-            let q = spec.quantile_for(metric)?;
-            let value = iqb_stats::quantile(&column, q)?;
+            let value = sink.quantile(q)?;
             input.set_with_provenance(
                 dataset.clone(),
                 metric,
                 value,
                 CellProvenance {
-                    sample_count: column.len() as u64,
+                    sample_count: sink.count(),
                     quantile: q,
+                    backend: sink.provenance(),
                 },
             );
         }
@@ -185,6 +378,7 @@ mod tests {
             assert_eq!(spec.quantile_for(m).unwrap(), 0.95);
         }
         assert_eq!(spec.min_samples, 1);
+        assert_eq!(spec.backend, AggregatorBackend::Exact);
     }
 
     #[test]
@@ -193,6 +387,44 @@ mod tests {
         assert!(AggregationSpec::uniform_quantile(1.01).is_err());
         assert!(AggregationSpec::uniform_quantile(f64::NAN).is_err());
         assert!(AggregationSpec::uniform_quantile(1.0).is_ok());
+    }
+
+    #[test]
+    fn p2_backend_rejects_extreme_quantile() {
+        let spec = AggregationSpec::uniform_quantile(1.0)
+            .unwrap()
+            .with_backend(AggregatorBackend::P2);
+        assert!(spec.validate().is_err());
+        let spec = AggregationSpec::paper_default().with_backend(AggregatorBackend::P2);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn tdigest_backend_validates_compression() {
+        let spec = AggregationSpec::paper_default()
+            .with_backend(AggregatorBackend::TDigest { compression: 2.0 });
+        assert!(spec.validate().is_err());
+        let spec =
+            AggregationSpec::paper_default().with_backend(AggregatorBackend::tdigest_default());
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn backend_parses_from_str() {
+        assert_eq!(
+            "exact".parse::<AggregatorBackend>().unwrap(),
+            AggregatorBackend::Exact
+        );
+        assert_eq!(
+            "tdigest".parse::<AggregatorBackend>().unwrap(),
+            AggregatorBackend::tdigest_default()
+        );
+        assert_eq!(
+            "p2".parse::<AggregatorBackend>().unwrap(),
+            AggregatorBackend::P2
+        );
+        assert!("median".parse::<AggregatorBackend>().is_err());
+        assert_eq!(AggregatorBackend::tdigest_default().to_string(), "tdigest");
     }
 
     #[test]
@@ -218,6 +450,43 @@ mod tests {
         let prov = cell.provenance.unwrap();
         assert_eq!(prov.sample_count, 100);
         assert_eq!(prov.quantile, 0.95);
+        assert_eq!(prov.backend, iqb_core::input::AggregationBackend::Exact);
+    }
+
+    #[test]
+    fn streaming_backends_approximate_exact() {
+        let region = RegionId::new("r").unwrap();
+        let mut store = MeasurementStore::new();
+        push_tests(&mut store, &region, DatasetId::Ndt, 2_000);
+        let exact = aggregate_region(
+            &store,
+            &region,
+            &[DatasetId::Ndt],
+            &AggregationSpec::paper_default(),
+        )
+        .unwrap();
+        for backend in [AggregatorBackend::tdigest_default(), AggregatorBackend::P2] {
+            let spec = AggregationSpec::paper_default().with_backend(backend);
+            let approx =
+                aggregate_region(&store, &region, &[DatasetId::Ndt], &spec).unwrap();
+            let e = exact
+                .get(&DatasetId::Ndt, Metric::DownloadThroughput)
+                .unwrap();
+            let a = approx
+                .get(&DatasetId::Ndt, Metric::DownloadThroughput)
+                .unwrap();
+            // Downloads span 1..=2000; 1% of the spread is the contract.
+            assert!(
+                (a - e).abs() <= 0.01 * 2_000.0,
+                "{backend}: {a} vs exact {e}"
+            );
+            let prov = approx
+                .get_cell(&DatasetId::Ndt, Metric::DownloadThroughput)
+                .unwrap()
+                .provenance
+                .unwrap();
+            assert_eq!(prov.backend, backend.provenance());
+        }
     }
 
     #[test]
@@ -324,5 +593,19 @@ mod tests {
         assert!(input.get(&DatasetId::Ndt, Metric::Latency).is_some());
         assert!(input.get(&DatasetId::Cloudflare, Metric::Latency).is_some());
         assert!(input.get(&DatasetId::Ookla, Metric::Latency).is_none());
+    }
+
+    #[test]
+    fn spec_serde_defaults_backend_to_exact() {
+        // A spec serialized before backends existed must still load.
+        let legacy = r#"{"quantiles":{"DownloadThroughput":0.95,"UploadThroughput":0.95,"Latency":0.95,"PacketLoss":0.95},"min_samples":1}"#;
+        let spec: AggregationSpec = serde_json::from_str(legacy).unwrap();
+        assert_eq!(spec.backend, AggregatorBackend::Exact);
+        let json = serde_json::to_string(
+            &AggregationSpec::paper_default().with_backend(AggregatorBackend::tdigest_default()),
+        )
+        .unwrap();
+        let back: AggregationSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.backend, AggregatorBackend::tdigest_default());
     }
 }

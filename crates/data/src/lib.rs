@@ -11,10 +11,12 @@
 //!   dataset / time-range queries.
 //! * [`agg_record`] — Ookla-style pre-aggregated rows (tile summaries)
 //!   for datasets published without per-test data.
-//! * [`aggregate`] — the aggregation step: records → per-(dataset, metric)
-//!   percentiles → an [`iqb_core::input::AggregateInput`] ready for
-//!   scoring. The percentile is configurable per metric (paper default:
-//!   p95 everywhere), which powers the E7 ablation.
+//! * [`aggregate`] — the aggregation step: records stream once through
+//!   per-(dataset, metric) [`aggregate::MetricSink`]s → an
+//!   [`iqb_core::input::AggregateInput`] ready for scoring. The percentile
+//!   is configurable per metric (paper default: p95 everywhere), which
+//!   powers the E7 ablation, and the estimator is selected by
+//!   [`aggregate::AggregatorBackend`] (exact | t-digest | P²).
 //! * [`source`] — the [`source::DataSource`] abstraction unifying per-test
 //!   and aggregate-only datasets.
 //! * [`csv_io`] / [`jsonl`] — interchange formats for measurement data.
@@ -61,7 +63,7 @@ pub mod record;
 pub mod source;
 pub mod store;
 
-pub use aggregate::AggregationSpec;
+pub use aggregate::{AggregationSpec, AggregatorBackend, MetricSink};
 pub use error::DataError;
 pub use record::{RegionId, TestRecord};
 pub use store::MeasurementStore;

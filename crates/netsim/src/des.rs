@@ -33,8 +33,7 @@ impl<E> Ord for Scheduled<E> {
         // BinaryHeap is a max-heap; invert to pop the earliest event first.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times are finite")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }

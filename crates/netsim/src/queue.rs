@@ -149,7 +149,7 @@ pub fn simulate_droptail<R: Rng + ?Sized>(
     }
     let mean_wait_s = waits.iter().sum::<f64>() / served as f64;
     let mut sorted = waits;
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let p95_idx = ((0.95 * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
     Ok(QueueSimResult {
         mean_wait_s,

@@ -101,8 +101,7 @@ pub fn compare(before: &RegionalReport, after: &RegionalReport) -> Result<Compar
     deltas.sort_by(|x, y| {
         y.delta()
             .abs()
-            .partial_cmp(&x.delta().abs())
-            .expect("finite deltas")
+            .total_cmp(&x.delta().abs())
     });
     Ok(Comparison {
         deltas,

@@ -7,6 +7,9 @@
 //! * [`runner`] — scores every region of a store (or a set of
 //!   [`iqb_data::source::DataSource`]s) in parallel with crossbeam scoped
 //!   threads.
+//! * [`session`] — [`session::ScoringSession`], the incremental
+//!   counterpart: ingest record batches, then `rescore()` recomputes only
+//!   the regions the batch touched and patches the cached report.
 //! * [`rank`] — regional rankings plus bootstrap ranking-stability
 //!   analysis (experiment E10).
 //! * [`trend`] — windowed temporal scoring (experiment E9).
@@ -31,8 +34,10 @@ pub mod exhibits;
 pub mod rank;
 pub mod report;
 pub mod runner;
+pub mod session;
 pub mod table;
 pub mod trend;
 
 pub use error::PipelineError;
 pub use runner::{score_all_regions, RegionScore, RegionalReport};
+pub use session::ScoringSession;

@@ -136,7 +136,7 @@ pub fn score_stability(
         let input = input_from_columns(&columns, spec, Some(&mut rng))?;
         scores.push(score_iqb(config, &input)?.score);
     }
-    scores.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    scores.sort_by(|a, b| a.total_cmp(b));
     let lower = iqb_stats::exact::quantile_sorted(
         &scores,
         0.025,

@@ -46,17 +46,93 @@ pub struct RegionalReport {
 
 impl RegionalReport {
     /// Regions ranked best-first by score, ties broken by region id.
+    ///
+    /// Uses `total_cmp` so a pathological NaN score (which `validate`
+    /// upstream should prevent, but deserialized reports may carry) sorts
+    /// deterministically instead of panicking.
     pub fn ranked(&self) -> Vec<&RegionScore> {
         let mut out: Vec<&RegionScore> = self.regions.values().collect();
         out.sort_by(|a, b| {
             b.report
                 .score
-                .partial_cmp(&a.report.score)
-                .expect("scores are finite")
+                .total_cmp(&a.report.score)
                 .then_with(|| a.region.cmp(&b.region))
         });
         out
     }
+}
+
+/// Fans `work` out over the given regions on crossbeam scoped threads and
+/// returns `(region, result)` pairs in region order, regardless of
+/// completion order.
+///
+/// This is the parallel skeleton shared by the batch path
+/// ([`score_all_regions`]) and the incremental
+/// [`crate::session::ScoringSession::rescore`], which only passes its
+/// dirty regions.
+pub(crate) fn fan_out_regions<T, F>(
+    regions: &[RegionId],
+    work: F,
+) -> Result<Vec<(RegionId, T)>, PipelineError>
+where
+    T: Send,
+    F: Fn(&RegionId) -> Result<T, PipelineError> + Sync,
+{
+    if regions.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(regions.len());
+    let chunk_size = regions.len().div_ceil(workers.max(1)).max(1);
+
+    type WorkerResult<T> = Result<(RegionId, T), PipelineError>;
+    let (sender, receiver) = crossbeam::channel::unbounded::<WorkerResult<T>>();
+    let work = &work;
+
+    crossbeam::scope(|scope| {
+        for chunk in regions.chunks(chunk_size) {
+            let sender = sender.clone();
+            scope.spawn(move |_| {
+                for region in chunk {
+                    let message = work(region).map(|t| (region.clone(), t));
+                    // The receiver outlives the scope; ignore send failure
+                    // (only possible if the parent already bailed).
+                    let _ = sender.send(message);
+                }
+            });
+        }
+        drop(sender);
+        Ok::<(), PipelineError>(())
+    })
+    .map_err(|panic| PipelineError::WorkerPanic(format!("scoring worker panicked: {panic:?}")))??;
+
+    let mut out: Vec<(RegionId, T)> = Vec::with_capacity(regions.len());
+    for message in receiver.iter() {
+        out.push(message?);
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// Grades a scored input into a [`RegionScore`]; shared by the batch and
+/// incremental paths so both produce identical cells.
+pub(crate) fn build_region_score(
+    region: &RegionId,
+    report: IqbReport,
+    input: AggregateInput,
+    bands: &GradeBands,
+) -> Result<RegionScore, PipelineError> {
+    let grade = bands.grade(report.score)?;
+    let credit = credit_scale(report.score)?;
+    Ok(RegionScore {
+        region: region.clone(),
+        report,
+        grade,
+        credit,
+        input,
+    })
 }
 
 /// Scores every region in the store under `filter`, in parallel.
@@ -74,63 +150,26 @@ pub fn score_all_regions(
     let regions = store.regions();
     let grade_bands = GradeBands::default();
 
-    // Fan regions out over scoped worker threads; each worker owns a
-    // disjoint chunk and sends results over a channel.
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(regions.len().max(1));
-    let chunk_size = regions.len().div_ceil(workers.max(1)).max(1);
-
-    type WorkerResult = Result<(RegionId, Option<Box<(IqbReport, AggregateInput)>>), PipelineError>;
-    let (sender, receiver) = crossbeam::channel::unbounded::<WorkerResult>();
-
-    crossbeam::scope(|scope| {
-        for chunk in regions.chunks(chunk_size) {
-            let sender = sender.clone();
-            scope.spawn(move |_| {
-                for region in chunk {
-                    let outcome = score_one_region(store, config, spec, filter, region);
-                    let message = match outcome {
-                        Ok(Some((report, input))) => {
-                            Ok((region.clone(), Some(Box::new((report, input)))))
-                        }
-                        Ok(None) => Ok((region.clone(), None)),
-                        Err(e) => Err(e),
-                    };
-                    // The receiver outlives the scope; ignore send failure
-                    // (only possible if the parent already bailed).
-                    let _ = sender.send(message);
-                }
-            });
+    let results = fan_out_regions(&regions, |region| {
+        match score_one_region(store, config, spec, filter, region)? {
+            Some((report, input)) => Ok(Some(Box::new(build_region_score(
+                region,
+                report,
+                input,
+                &grade_bands,
+            )?))),
+            None => Ok(None),
         }
-        drop(sender);
-        Ok::<(), PipelineError>(())
-    })
-    .map_err(|panic| {
-        PipelineError::WorkerPanic(format!("scoring worker panicked: {panic:?}"))
-    })??;
+    })?;
 
     let mut scored = BTreeMap::new();
     let mut skipped = Vec::new();
-    for message in receiver.iter() {
-        match message? {
-            (region, Some(boxed)) => {
-                let (report, input) = *boxed;
-                let grade = grade_bands.grade(report.score)?;
-                let credit = credit_scale(report.score)?;
-                scored.insert(
-                    region.clone(),
-                    RegionScore {
-                        region,
-                        report,
-                        grade,
-                        credit,
-                        input,
-                    },
-                );
+    for (region, outcome) in results {
+        match outcome {
+            Some(score) => {
+                scored.insert(region, *score);
             }
-            (region, None) => skipped.push(region),
+            None => skipped.push(region),
         }
     }
     skipped.sort();

@@ -1,0 +1,356 @@
+//! Incremental regional scoring.
+//!
+//! [`ScoringSession`] is the long-lived counterpart of the batch
+//! [`crate::runner::score_all_regions`]: it owns a [`MeasurementStore`]
+//! plus one persistent [`MetricSink`] per (region, dataset, metric), so
+//! measurement batches can be ingested as they arrive and only the
+//! regions a batch touched are rescored. The cached [`RegionalReport`] is
+//! patched in place; untouched regions keep their cells verbatim.
+//!
+//! With the default [`AggregatorBackend::Exact`](iqb_data::aggregate::AggregatorBackend)
+//! backend, `ingest` + `rescore` is *exactly* equivalent to rebuilding
+//! the store and running the batch path: the sinks accumulate values in
+//! the same order the store's index would replay them, so every quantile
+//! — and therefore every score, grade and credit — is bit-identical. The
+//! streaming backends trade that identity for bounded memory.
+//!
+//! The session counts region recomputations
+//! ([`ScoringSession::region_recomputes`]), making incrementality an
+//! assertable property rather than a hope: ingesting a batch that touches
+//! 1 of N regions must bump the counter by exactly 1.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use iqb_core::config::IqbConfig;
+use iqb_core::dataset::DatasetId;
+use iqb_core::grade::GradeBands;
+use iqb_core::input::{AggregateInput, CellProvenance};
+use iqb_core::metric::Metric;
+use iqb_core::score::score_iqb;
+use iqb_data::aggregate::{AggregationSpec, MetricSink};
+use iqb_data::record::{RegionId, TestRecord};
+use iqb_data::store::MeasurementStore;
+use iqb_stats::sink::QuantileSink;
+
+use crate::error::PipelineError;
+use crate::runner::{build_region_score, fan_out_regions, RegionalReport};
+
+/// Per-region streaming state: one sink per (dataset, metric) cell.
+type RegionSinks = BTreeMap<(DatasetId, Metric), (f64, MetricSink)>;
+
+/// A long-lived scoring session that ingests measurement batches and
+/// rescores only the regions each batch touched.
+///
+/// ```
+/// use iqb_core::config::IqbConfig;
+/// use iqb_data::aggregate::AggregationSpec;
+/// use iqb_pipeline::session::ScoringSession;
+///
+/// let mut session = ScoringSession::new(
+///     IqbConfig::paper_default(),
+///     AggregationSpec::paper_default(),
+/// ).unwrap();
+/// assert_eq!(session.region_recomputes(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScoringSession {
+    config: IqbConfig,
+    spec: AggregationSpec,
+    store: MeasurementStore,
+    sinks: BTreeMap<RegionId, RegionSinks>,
+    dirty: BTreeSet<RegionId>,
+    cached: RegionalReport,
+    region_recomputes: u64,
+}
+
+impl ScoringSession {
+    /// Creates an empty session. Both the scoring config and the
+    /// aggregation spec are validated up front so every later `ingest` /
+    /// `rescore` works from a known-good configuration.
+    pub fn new(config: IqbConfig, spec: AggregationSpec) -> Result<Self, PipelineError> {
+        config.validate()?;
+        spec.validate()?;
+        Ok(ScoringSession {
+            config,
+            spec,
+            store: MeasurementStore::new(),
+            sinks: BTreeMap::new(),
+            dirty: BTreeSet::new(),
+            cached: RegionalReport {
+                regions: BTreeMap::new(),
+                skipped: Vec::new(),
+            },
+            region_recomputes: 0,
+        })
+    }
+
+    /// Ingests a batch of records, feeding the per-cell sinks and marking
+    /// every touched region dirty. Returns the number of records
+    /// ingested. No scoring happens here — call [`Self::rescore`].
+    pub fn ingest<I>(&mut self, records: I) -> Result<usize, PipelineError>
+    where
+        I: IntoIterator<Item = TestRecord>,
+    {
+        let mut ingested = 0;
+        for record in records {
+            // The store validates and remains the replayable source of
+            // truth; the sinks are the streaming view of the same data.
+            self.store.push(record.clone())?;
+            // Regions whose only data is an unscored dataset must still
+            // reconcile (into `skipped`), matching batch semantics.
+            self.dirty.insert(record.region.clone());
+            if self.config.datasets.contains(&record.dataset) {
+                let region_sinks = self.sinks.entry(record.region.clone()).or_default();
+                for metric in Metric::ALL {
+                    let Some(value) = record.metric_value(metric) else {
+                        continue;
+                    };
+                    let entry = region_sinks.entry((record.dataset.clone(), metric));
+                    let (_, sink) = match entry {
+                        std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
+                        std::collections::btree_map::Entry::Vacant(v) => {
+                            let q = self.spec.quantile_for(metric)?;
+                            let sink = MetricSink::for_backend(self.spec.backend, q)?;
+                            v.insert((q, sink))
+                        }
+                    };
+                    sink.push(value)?;
+                }
+            }
+            ingested += 1;
+        }
+        Ok(ingested)
+    }
+
+    /// Rescores the dirty regions — and only those — patching the cached
+    /// report in place. Returns the up-to-date report.
+    ///
+    /// The dirty set is fanned out over the same crossbeam skeleton the
+    /// batch path uses, so a large first batch still scores in parallel
+    /// while a single-region update costs exactly one region's work.
+    pub fn rescore(&mut self) -> Result<&RegionalReport, PipelineError> {
+        let dirty: Vec<RegionId> = self.dirty.iter().cloned().collect();
+        if dirty.is_empty() {
+            return Ok(&self.cached);
+        }
+        let bands = GradeBands::default();
+        let sinks = &self.sinks;
+        let config = &self.config;
+        let min_samples = self.spec.min_samples.max(1);
+
+        let results = fan_out_regions(&dirty, |region| {
+            let mut input = AggregateInput::new();
+            if let Some(region_sinks) = sinks.get(region) {
+                for ((dataset, metric), (q, sink)) in region_sinks {
+                    if (sink.count() as usize) < min_samples {
+                        continue;
+                    }
+                    let value = sink.quantile(*q)?;
+                    input.set_with_provenance(
+                        dataset.clone(),
+                        *metric,
+                        value,
+                        CellProvenance {
+                            sample_count: sink.count(),
+                            quantile: *q,
+                            backend: sink.provenance(),
+                        },
+                    );
+                }
+            }
+            if input.is_empty() {
+                return Ok(None);
+            }
+            match score_iqb(config, &input) {
+                Ok(report) => Ok(Some(Box::new(build_region_score(
+                    region, report, input, &bands,
+                )?))),
+                Err(iqb_core::CoreError::NothingToScore) => Ok(None),
+                Err(e) => Err(e.into()),
+            }
+        })?;
+
+        for (region, outcome) in results {
+            match outcome {
+                Some(score) => {
+                    self.cached.skipped.retain(|r| r != &region);
+                    self.cached.regions.insert(region, *score);
+                }
+                None => {
+                    self.cached.regions.remove(&region);
+                    self.cached.skipped.push(region);
+                }
+            }
+        }
+        self.cached.skipped.sort();
+        self.cached.skipped.dedup();
+        self.region_recomputes += dirty.len() as u64;
+        self.dirty.clear();
+        Ok(&self.cached)
+    }
+
+    /// The cached report as of the last [`Self::rescore`] (dirty regions
+    /// are stale until then).
+    pub fn report(&self) -> &RegionalReport {
+        &self.cached
+    }
+
+    /// Regions ingested since the last rescore, in region order.
+    pub fn dirty_regions(&self) -> Vec<RegionId> {
+        self.dirty.iter().cloned().collect()
+    }
+
+    /// Total region recomputations across all rescores — the
+    /// incrementality meter. A batch touching 1 of N regions must bump
+    /// this by exactly 1.
+    pub fn region_recomputes(&self) -> u64 {
+        self.region_recomputes
+    }
+
+    /// The underlying store (every record ever ingested).
+    pub fn store(&self) -> &MeasurementStore {
+        &self.store
+    }
+
+    /// The scoring configuration.
+    pub fn config(&self) -> &IqbConfig {
+        &self.config
+    }
+
+    /// The aggregation spec.
+    pub fn spec(&self) -> &AggregationSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::score_all_regions;
+    use iqb_data::store::QueryFilter;
+
+    fn record(region: &str, dataset: DatasetId, i: usize, down: f64) -> TestRecord {
+        TestRecord {
+            timestamp: i as u64,
+            region: RegionId::new(region).unwrap(),
+            dataset: dataset.clone(),
+            download_mbps: down,
+            upload_mbps: down / 3.0,
+            latency_ms: 40.0 + (i % 7) as f64,
+            loss_pct: if dataset == DatasetId::Ookla {
+                None
+            } else {
+                Some(0.2)
+            },
+            tech: None,
+        }
+    }
+
+    fn batch(region: &str, n: usize, down: f64) -> Vec<TestRecord> {
+        let mut out = Vec::new();
+        for d in DatasetId::BUILTIN {
+            for i in 0..n {
+                out.push(record(region, d.clone(), i, down + i as f64));
+            }
+        }
+        out
+    }
+
+    fn default_session() -> ScoringSession {
+        ScoringSession::new(IqbConfig::paper_default(), AggregationSpec::paper_default())
+            .unwrap()
+    }
+
+    #[test]
+    fn incremental_equals_batch() {
+        let mut session = default_session();
+        let mut store = MeasurementStore::new();
+        for (k, region) in ["alpha", "beta", "gamma"].iter().enumerate() {
+            let records = batch(region, 40, 25.0 * (k + 1) as f64);
+            for r in &records {
+                store.push(r.clone()).unwrap();
+            }
+            session.ingest(records).unwrap();
+        }
+        let incremental = session.rescore().unwrap().clone();
+        let full = score_all_regions(
+            &store,
+            &IqbConfig::paper_default(),
+            &AggregationSpec::paper_default(),
+            &QueryFilter::all(),
+        )
+        .unwrap();
+        // Exact backend: the incremental report is bit-identical to the
+        // from-scratch batch run — scores, grades, provenance, everything.
+        assert_eq!(incremental, full);
+    }
+
+    #[test]
+    fn incremental_stays_consistent_across_many_batches() {
+        let mut session = default_session();
+        let mut store = MeasurementStore::new();
+        // Interleave batches across regions, rescoring between them.
+        for round in 0..3 {
+            for (k, region) in ["alpha", "beta"].iter().enumerate() {
+                let records = batch(region, 15, 30.0 * (k + round + 1) as f64);
+                for r in &records {
+                    store.push(r.clone()).unwrap();
+                }
+                session.ingest(records).unwrap();
+                session.rescore().unwrap();
+            }
+        }
+        let full = score_all_regions(
+            &store,
+            &IqbConfig::paper_default(),
+            &AggregationSpec::paper_default(),
+            &QueryFilter::all(),
+        )
+        .unwrap();
+        assert_eq!(session.report(), &full);
+    }
+
+    #[test]
+    fn one_region_ingest_recomputes_exactly_one_region() {
+        let mut session = default_session();
+        for (k, region) in ["alpha", "beta", "gamma", "delta"].iter().enumerate() {
+            session
+                .ingest(batch(region, 30, 20.0 * (k + 1) as f64))
+                .unwrap();
+        }
+        session.rescore().unwrap();
+        assert_eq!(session.region_recomputes(), 4);
+
+        // A follow-up batch touching only beta.
+        session.ingest(batch("beta", 10, 400.0)).unwrap();
+        assert_eq!(session.dirty_regions().len(), 1);
+        session.rescore().unwrap();
+        assert_eq!(session.region_recomputes(), 5, "only beta recomputed");
+    }
+
+    #[test]
+    fn rescore_without_ingest_is_free() {
+        let mut session = default_session();
+        session.ingest(batch("alpha", 10, 100.0)).unwrap();
+        session.rescore().unwrap();
+        let before = session.region_recomputes();
+        session.rescore().unwrap();
+        assert_eq!(session.region_recomputes(), before);
+    }
+
+    #[test]
+    fn unscored_dataset_region_lands_in_skipped() {
+        let mut session = default_session();
+        // A region whose only data is a dataset the config does not score.
+        let rec = record("ghost", DatasetId::Custom("probes".into()), 0, 50.0);
+        session.ingest([rec]).unwrap();
+        let report = session.rescore().unwrap();
+        assert!(report.regions.is_empty());
+        assert_eq!(report.skipped, vec![RegionId::new("ghost").unwrap()]);
+        // Real data later pulls it out of skipped.
+        session.ingest(batch("ghost", 20, 80.0)).unwrap();
+        let report = session.rescore().unwrap();
+        assert!(report.regions.contains_key(&RegionId::new("ghost").unwrap()));
+        assert!(report.skipped.is_empty());
+    }
+}

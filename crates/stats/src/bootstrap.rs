@@ -120,7 +120,7 @@ pub fn statistic_ci(
         }
     }
     let mut base = data.to_vec();
-    base.sort_by(|a, b| a.partial_cmp(b).expect("validated"));
+    base.sort_by(|a, b| a.total_cmp(b));
     let estimate = statistic(&base)?;
 
     let mut rng = SplitMix64::new(config.seed);
@@ -130,10 +130,10 @@ pub fn statistic_ci(
         for slot in resample.iter_mut() {
             *slot = data[rng.next_index(data.len())];
         }
-        resample.sort_by(|a, b| a.partial_cmp(b).expect("validated"));
+        resample.sort_by(|a, b| a.total_cmp(b));
         replicate_stats.push(statistic(&resample)?);
     }
-    replicate_stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
+    replicate_stats.sort_by(|a, b| a.total_cmp(b));
     let alpha = 1.0 - config.level;
     let lower = quantile_sorted(&replicate_stats, alpha / 2.0, QuantileMethod::Linear)?;
     let upper = quantile_sorted(&replicate_stats, 1.0 - alpha / 2.0, QuantileMethod::Linear)?;

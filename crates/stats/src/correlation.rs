@@ -80,7 +80,7 @@ pub fn kendall_tau(a: &[f64], b: &[f64]) -> Result<f64, StatsError> {
 fn mid_ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).expect("validated finite"));
+    order.sort_by(|&i, &j| values[i].total_cmp(&values[j]));
     let mut ranks = vec![0.0; n];
     let mut i = 0;
     while i < n {

@@ -28,7 +28,7 @@ impl Ecdf {
             }
         }
         let mut sorted = data.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("validated finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Ok(Ecdf { sorted })
     }
 

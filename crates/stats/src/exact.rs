@@ -46,7 +46,7 @@ pub fn quantile(data: &[f64], q: f64) -> Result<f64, StatsError> {
 /// Computes quantile `q` of `data` with an explicit interpolation scheme.
 pub fn quantile_with(data: &[f64], q: f64, method: QuantileMethod) -> Result<f64, StatsError> {
     let mut sorted = validated_copy(data)?;
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values validated finite"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     quantile_sorted(&sorted, q, method)
 }
 
@@ -61,7 +61,7 @@ pub fn quantiles_with(
     method: QuantileMethod,
 ) -> Result<Vec<f64>, StatsError> {
     let mut sorted = validated_copy(data)?;
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values validated finite"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     qs.iter()
         .map(|&q| quantile_sorted(&sorted, q, method))
         .collect()
@@ -162,7 +162,7 @@ pub fn weighted_quantile(data: &[f64], weights: &[f64], q: f64) -> Result<f64, S
         });
     }
     let mut pairs: Vec<(f64, f64)> = data.iter().copied().zip(weights.iter().copied()).collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("validated finite"));
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     let target = q * total;
     let mut cum = 0.0;
     for (v, w) in &pairs {

@@ -19,6 +19,10 @@
 //!   metrics.
 //! * [`summary`] — [`summary::StreamingSummary`], the one-stop per-metric
 //!   aggregate (count, moments, extremes, t-digest) used by the dataset layer.
+//! * [`sink`] — the [`sink::QuantileSink`] trait unifying the exact,
+//!   t-digest and P² estimators behind one push/quantile/merge contract;
+//!   this is what the dataset tier's streaming aggregation backends plug
+//!   into.
 //! * [`ecdf`] — empirical CDF utilities.
 //! * [`bootstrap`] — bootstrap confidence intervals for percentile estimates
 //!   (used by the ranking-stability experiment).
@@ -58,6 +62,7 @@ pub mod moments;
 pub mod p2;
 pub mod reservoir;
 pub mod rng;
+pub mod sink;
 pub mod summary;
 pub mod tdigest;
 pub mod window;
@@ -65,5 +70,6 @@ pub mod window;
 pub use error::StatsError;
 pub use exact::{quantile, QuantileMethod};
 pub use moments::Moments;
+pub use sink::{ExactSink, QuantileSink};
 pub use summary::StreamingSummary;
 pub use tdigest::TDigest;

@@ -73,7 +73,7 @@ impl P2Quantile {
             self.count += 1;
             if self.count == 5 {
                 self.heights
-                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                    .sort_by(|a, b| a.total_cmp(b));
             }
             return Ok(());
         }
@@ -150,7 +150,7 @@ impl P2Quantile {
         }
         if self.count < 5 {
             let mut buf: Vec<f64> = self.heights[..self.count as usize].to_vec();
-            buf.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            buf.sort_by(|a, b| a.total_cmp(b));
             return crate::exact::quantile_sorted(&buf, self.q, crate::exact::QuantileMethod::Linear);
         }
         Ok(self.heights[2])

@@ -1,0 +1,286 @@
+//! [`QuantileSink`] — the single-pass aggregation contract.
+//!
+//! The IQB aggregation step reduces a stream of per-test metric values to
+//! one quantile (the paper's p95 by default). Historically the dataset
+//! tier materialized every metric column and sorted it; this trait lets
+//! the same call site run on *any* one-pass estimator instead:
+//!
+//! * [`ExactSink`] — keeps every observation and answers with exact order
+//!   statistics (the paper-faithful reference; memory grows with the
+//!   stream).
+//! * [`crate::tdigest::TDigest`] — bounded-memory mergeable sketch,
+//!   accurate in the tails.
+//! * [`crate::p2::P2Quantile`] — O(1) memory, tracks one pre-declared
+//!   quantile.
+//!
+//! All three implement [`QuantileSink`], so the dataset tier can feed
+//! records straight into per-(dataset, metric) sinks as they arrive and
+//! query the configured quantile at the end — one pass, no intermediate
+//! columns.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StatsError;
+use crate::exact::{quantile_with, QuantileMethod};
+use crate::p2::P2Quantile;
+use crate::tdigest::TDigest;
+
+/// A streaming consumer of one metric's observations that can answer
+/// quantile queries.
+///
+/// `merge` combines two sinks over disjoint shards of the same stream;
+/// estimators for which merging is not defined (P²) report
+/// [`StatsError::IncompatibleMerge`].
+pub trait QuantileSink {
+    /// Feeds one observation (non-finite values are rejected).
+    fn push(&mut self, value: f64) -> Result<(), StatsError>;
+
+    /// The estimate for quantile rank `q` over everything pushed so far.
+    fn quantile(&self, q: f64) -> Result<f64, StatsError>;
+
+    /// Number of observations pushed so far.
+    fn count(&self) -> u64;
+
+    /// Merges another sink of the same kind into this one, as if its
+    /// observations had been pushed here.
+    fn merge(&mut self, other: &Self) -> Result<(), StatsError>
+    where
+        Self: Sized;
+
+    /// Whether no observation has been pushed.
+    fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+}
+
+/// The exact reference sink: keeps every observation, answers with exact
+/// order statistics.
+///
+/// This reproduces the pre-streaming batch path bit-for-bit: the values
+/// accumulate in arrival order and `quantile` sorts a copy, exactly as
+/// the old materialize-then-sort aggregation did.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExactSink {
+    values: Vec<f64>,
+    method: QuantileMethod,
+}
+
+impl ExactSink {
+    /// Creates an empty sink using [`QuantileMethod::Linear`] (the
+    /// default of R/NumPy and of the batch aggregation path).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty sink with an explicit interpolation scheme.
+    pub fn with_method(method: QuantileMethod) -> Self {
+        ExactSink {
+            values: Vec::new(),
+            method,
+        }
+    }
+
+    /// The observations accumulated so far, in arrival order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl QuantileSink for ExactSink {
+    fn push(&mut self, value: f64) -> Result<(), StatsError> {
+        if !value.is_finite() {
+            return Err(StatsError::NonFiniteValue(value));
+        }
+        self.values.push(value);
+        Ok(())
+    }
+
+    fn quantile(&self, q: f64) -> Result<f64, StatsError> {
+        quantile_with(&self.values, q, self.method)
+    }
+
+    fn count(&self) -> u64 {
+        self.values.len() as u64
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), StatsError> {
+        if self.method != other.method {
+            return Err(StatsError::IncompatibleMerge(
+                "exact sinks use different interpolation methods".into(),
+            ));
+        }
+        self.values.extend_from_slice(&other.values);
+        Ok(())
+    }
+}
+
+impl QuantileSink for TDigest {
+    fn push(&mut self, value: f64) -> Result<(), StatsError> {
+        self.insert(value)
+    }
+
+    fn quantile(&self, q: f64) -> Result<f64, StatsError> {
+        TDigest::quantile(self, q)
+    }
+
+    fn count(&self) -> u64 {
+        TDigest::count(self)
+    }
+
+    fn merge(&mut self, other: &Self) -> Result<(), StatsError> {
+        TDigest::merge(self, other);
+        Ok(())
+    }
+}
+
+impl QuantileSink for P2Quantile {
+    fn push(&mut self, value: f64) -> Result<(), StatsError> {
+        self.insert(value)
+    }
+
+    /// Only the quantile declared at construction is answerable; asking
+    /// for any other rank is a configuration error, not an approximation.
+    fn quantile(&self, q: f64) -> Result<f64, StatsError> {
+        if (q - self.quantile_rank()).abs() > 1e-12 {
+            return Err(StatsError::InvalidParameter {
+                name: "quantile",
+                reason: format!(
+                    "P² sink tracks q={}, cannot answer q={q}",
+                    self.quantile_rank()
+                ),
+            });
+        }
+        self.estimate()
+    }
+
+    fn count(&self) -> u64 {
+        P2Quantile::count(self)
+    }
+
+    fn merge(&mut self, _other: &Self) -> Result<(), StatsError> {
+        Err(StatsError::IncompatibleMerge(
+            "P² marker state is not mergeable; use the t-digest backend for sharded streams"
+                .into(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_f64() * 100.0).collect()
+    }
+
+    /// Drives any sink through the trait and returns its p95.
+    fn run_sink<S: QuantileSink>(sink: &mut S, data: &[f64]) -> f64 {
+        for &v in data {
+            sink.push(v).unwrap();
+        }
+        assert_eq!(sink.count(), data.len() as u64);
+        sink.quantile(0.95).unwrap()
+    }
+
+    #[test]
+    fn exact_sink_matches_batch_quantile() {
+        let data = stream(7, 5_000);
+        let mut sink = ExactSink::new();
+        let p95 = run_sink(&mut sink, &data);
+        assert_eq!(p95, crate::exact::quantile(&data, 0.95).unwrap());
+    }
+
+    #[test]
+    fn exact_sink_rejects_non_finite() {
+        let mut sink = ExactSink::new();
+        assert!(sink.push(f64::NAN).is_err());
+        assert!(sink.push(f64::INFINITY).is_err());
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn exact_sink_merge_equals_combined_stream() {
+        let a_data = stream(1, 2_000);
+        let b_data = stream(2, 3_000);
+        let mut a = ExactSink::new();
+        let mut b = ExactSink::new();
+        for &v in &a_data {
+            a.push(v).unwrap();
+        }
+        for &v in &b_data {
+            b.push(v).unwrap();
+        }
+        a.merge(&b).unwrap();
+        let mut all = a_data;
+        all.extend(b_data);
+        assert_eq!(a.count(), all.len() as u64);
+        assert_eq!(
+            a.quantile(0.95).unwrap(),
+            crate::exact::quantile(&all, 0.95).unwrap()
+        );
+    }
+
+    #[test]
+    fn exact_sink_merge_rejects_method_mismatch() {
+        let mut a = ExactSink::new();
+        let b = ExactSink::with_method(QuantileMethod::NearestRank);
+        assert!(matches!(a.merge(&b), Err(StatsError::IncompatibleMerge(_))));
+    }
+
+    #[test]
+    fn tdigest_sink_is_close_to_exact() {
+        let data = stream(11, 50_000);
+        let mut sink = TDigest::new();
+        let p95 = run_sink(&mut sink, &data);
+        let exact = crate::exact::quantile(&data, 0.95).unwrap();
+        assert!((p95 - exact).abs() < 1.0, "tdigest {p95} vs exact {exact}");
+    }
+
+    #[test]
+    fn tdigest_sink_merges_through_trait() {
+        let data = stream(13, 10_000);
+        let (left, right) = data.split_at(4_000);
+        let mut a = TDigest::new();
+        let mut b = TDigest::new();
+        for &v in left {
+            QuantileSink::push(&mut a, v).unwrap();
+        }
+        for &v in right {
+            QuantileSink::push(&mut b, v).unwrap();
+        }
+        QuantileSink::merge(&mut a, &b).unwrap();
+        assert_eq!(QuantileSink::count(&a), data.len() as u64);
+        let exact = crate::exact::quantile(&data, 0.95).unwrap();
+        let merged = QuantileSink::quantile(&a, 0.95).unwrap();
+        assert!((merged - exact).abs() < 2.0, "{merged} vs {exact}");
+    }
+
+    #[test]
+    fn p2_sink_answers_only_declared_quantile() {
+        let data = stream(17, 20_000);
+        let mut sink = P2Quantile::new(0.95).unwrap();
+        let p95 = run_sink(&mut sink, &data);
+        let exact = crate::exact::quantile(&data, 0.95).unwrap();
+        assert!((p95 - exact).abs() < 2.0, "p2 {p95} vs exact {exact}");
+        assert!(QuantileSink::quantile(&sink, 0.5).is_err());
+    }
+
+    #[test]
+    fn p2_sink_refuses_merge() {
+        let mut a = P2Quantile::new(0.95).unwrap();
+        let b = P2Quantile::new(0.95).unwrap();
+        assert!(matches!(
+            QuantileSink::merge(&mut a, &b),
+            Err(StatsError::IncompatibleMerge(_))
+        ));
+    }
+
+    #[test]
+    fn empty_sinks_error_on_quantile() {
+        assert!(QuantileSink::quantile(&ExactSink::new(), 0.95).is_err());
+        assert!(QuantileSink::quantile(&TDigest::new(), 0.95).is_err());
+        assert!(QuantileSink::quantile(&P2Quantile::new(0.95).unwrap(), 0.95).is_err());
+    }
+}

@@ -208,7 +208,7 @@ impl TDigest {
         if all.is_empty() {
             return all;
         }
-        all.sort_by(|a, b| a.mean.partial_cmp(&b.mean).expect("finite means"));
+        all.sort_by(|a, b| a.mean.total_cmp(&b.mean));
         let mut merged: Vec<Centroid> = Vec::with_capacity(all.len());
         let mut current = all[0];
         // Mass (in observations) accumulated strictly before `current`.

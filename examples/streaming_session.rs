@@ -1,0 +1,125 @@
+//! Streaming session: ingest → rescore → only-dirty recompute.
+//!
+//! ```sh
+//! cargo run --release --example streaming_session
+//! ```
+//!
+//! A monitoring deployment doesn't rescore the world on every new
+//! measurement batch. This example drives a [`ScoringSession`]: four
+//! markets are ingested and scored, then a fresh batch arrives for just
+//! one region — and the session's recompute counter proves only that
+//! region was rescored, while the patched report stays identical to a
+//! from-scratch batch run.
+
+use iqb::core::IqbConfig;
+use iqb::data::aggregate::AggregationSpec;
+use iqb::data::store::{MeasurementStore, QueryFilter};
+use iqb::pipeline::runner::score_all_regions;
+use iqb::pipeline::session::ScoringSession;
+use iqb::synth::campaign::{run_campaign, CampaignConfig};
+use iqb::synth::region::RegionSpec;
+
+fn main() {
+    let seed = 0x5E_55_10;
+    let fleet = vec![
+        RegionSpec::urban_fiber("urban-fiber", 80),
+        RegionSpec::suburban_cable("suburban-cable", 80),
+        RegionSpec::rural_dsl("rural-dsl", 80),
+        RegionSpec::mobile_first("mobile-first", 80),
+    ];
+
+    let mut session = ScoringSession::new(
+        IqbConfig::paper_default(),
+        AggregationSpec::paper_default(),
+    )
+    .expect("paper defaults are valid");
+
+    // --- First wave: every region reports. -------------------------------
+    let mut store = MeasurementStore::new(); // batch twin, for comparison
+    for region in &fleet {
+        let output = run_campaign(
+            region,
+            &CampaignConfig {
+                tests_per_dataset: 1_000,
+                seed,
+                ..Default::default()
+            },
+        )
+        .expect("static campaign parameters");
+        store
+            .extend(output.records.iter().cloned())
+            .expect("valid records");
+        session.ingest(output.records).expect("valid records");
+    }
+    session.rescore().expect("paper defaults score");
+    println!(
+        "wave 1: {} regions scored, {} region recomputes\n",
+        session.report().regions.len(),
+        session.region_recomputes()
+    );
+    for scored in session.report().ranked() {
+        println!(
+            "  {:<16} score {:.3}  grade {}  credit {}",
+            scored.region.to_string(),
+            scored.report.score,
+            scored.grade,
+            scored.credit
+        );
+    }
+
+    // --- Second wave: only rural-dsl reports (say, a fiber build-out). ---
+    let upgraded = RegionSpec::urban_fiber("rural-dsl", 80);
+    let output = run_campaign(
+        &upgraded,
+        &CampaignConfig {
+            tests_per_dataset: 1_000,
+            seed: seed + 1,
+            ..Default::default()
+        },
+    )
+    .expect("static campaign parameters");
+    store
+        .extend(output.records.iter().cloned())
+        .expect("valid records");
+
+    let before = session.region_recomputes();
+    session.ingest(output.records).expect("valid records");
+    println!(
+        "\nwave 2: batch touches {} dirty region(s): {:?}",
+        session.dirty_regions().len(),
+        session
+            .dirty_regions()
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+    );
+    session.rescore().expect("rescore succeeds");
+    println!(
+        "rescore recomputed {} region(s) (counter {} -> {})",
+        session.region_recomputes() - before,
+        before,
+        session.region_recomputes()
+    );
+    assert_eq!(session.region_recomputes() - before, 1, "only rural-dsl");
+
+    // The patched report equals a from-scratch batch rerun, bit for bit.
+    let full = score_all_regions(
+        &store,
+        session.config(),
+        session.spec(),
+        &QueryFilter::all(),
+    )
+    .expect("batch path scores");
+    assert_eq!(session.report(), &full);
+    println!("\npatched report == from-scratch batch rerun ✓\n");
+
+    for scored in session.report().ranked() {
+        println!(
+            "  {:<16} score {:.3}  grade {}  credit {}",
+            scored.region.to_string(),
+            scored.report.score,
+            scored.grade,
+            scored.credit
+        );
+    }
+}

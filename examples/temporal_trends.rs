@@ -57,13 +57,11 @@ fn main() {
     let (best_t, best) = scored
         .iter()
         .cloned()
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .expect("windows scored");
+        .max_by(|a, b| a.1.total_cmp(&b.1).unwrap());
     let (worst_t, worst) = scored
         .iter()
         .cloned()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        .expect("windows scored");
+        .min_by(|a, b| a.1.total_cmp(&b.1).unwrap());
     println!(
         "\nBest window:  day {} {:02}:00  IQB {best:.3}",
         best_t / 86_400 + 1,

@@ -1,0 +1,187 @@
+//! Equivalence suite for the streaming aggregation backends.
+//!
+//! Three contracts, checked on synthesized measurement campaigns:
+//!
+//! 1. **Approximation tolerance** — the t-digest and P² backends must
+//!    land within a documented tolerance of the exact backend's
+//!    per-cell quantiles (2 % of each cell's observed value range at
+//!    1 500 tests per dataset).
+//! 2. **Grade agreement** — after scoring, all three backends must
+//!    agree on every region's letter grade: the approximation must not
+//!    move a region across a grade band on realistic data volumes.
+//! 3. **Incremental ≡ batch** (proptest) — `ScoringSession::ingest` +
+//!    `rescore` with the exact backend must equal a from-scratch batch
+//!    run over the same records, bit for bit, for arbitrary record
+//!    streams and batch splits.
+
+use iqb::core::IqbConfig;
+use iqb::data::aggregate::{aggregate_region, AggregationSpec, AggregatorBackend};
+use iqb::data::record::{RegionId, TestRecord};
+use iqb::data::store::{MeasurementStore, QueryFilter};
+use iqb::pipeline::runner::score_all_regions;
+use iqb::pipeline::session::ScoringSession;
+use iqb::synth::campaign::{run_campaign, CampaignConfig};
+use iqb::synth::region::RegionSpec;
+use proptest::prelude::*;
+
+const SEED: u64 = 0xA66B;
+
+fn fleet_store(tests_per_dataset: u64) -> MeasurementStore {
+    let regions = vec![
+        RegionSpec::urban_fiber("urban-fiber", 60),
+        RegionSpec::suburban_cable("suburban-cable", 60),
+        RegionSpec::rural_dsl("rural-dsl", 60),
+        RegionSpec::mobile_first("mobile-first", 60),
+    ];
+    let mut store = MeasurementStore::new();
+    for region in &regions {
+        let output = run_campaign(
+            region,
+            &CampaignConfig {
+                tests_per_dataset,
+                seed: SEED,
+                ..Default::default()
+            },
+        )
+        .expect("campaign runs");
+        store.extend(output.records).expect("valid records");
+    }
+    store
+}
+
+/// Tolerance contract: at n = 1 500 per dataset, each streaming cell is
+/// within 2 % of that metric column's observed value range of the exact
+/// p95. (Both estimators' published error bounds are far tighter at the
+/// tails; 2 % of range keeps the test robust to distribution shape.)
+#[test]
+fn streaming_quantiles_within_documented_tolerance() {
+    let store = fleet_store(1_500);
+    let config = IqbConfig::paper_default();
+    let exact_spec = AggregationSpec::paper_default();
+    for backend in [AggregatorBackend::tdigest_default(), AggregatorBackend::P2] {
+        let spec = AggregationSpec::paper_default().with_backend(backend);
+        for region in store.regions() {
+            let exact =
+                aggregate_region(&store, &region, &config.datasets, &exact_spec).unwrap();
+            let approx = aggregate_region(&store, &region, &config.datasets, &spec).unwrap();
+            assert_eq!(exact.len(), approx.len(), "{backend}/{region}: cell sets differ");
+            for ((dataset, metric), cell) in exact.iter() {
+                let filter = QueryFilter::all()
+                    .region(region.clone())
+                    .dataset(dataset.clone());
+                let column = store.metric_column(&filter, *metric);
+                let (lo, hi) = column
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                        (lo.min(v), hi.max(v))
+                    });
+                let tolerance = 0.02 * (hi - lo).max(f64::EPSILON);
+                let a = approx.get(dataset, *metric).unwrap();
+                assert!(
+                    (a - cell.value).abs() <= tolerance,
+                    "{backend}/{region}/{dataset}/{metric}: {a} vs exact {} (tol {tolerance})",
+                    cell.value
+                );
+            }
+        }
+    }
+}
+
+/// Grade agreement: the letter grade (Nutri-Score-style) every region
+/// earns must be identical under all three backends.
+#[test]
+fn all_backends_agree_on_letter_grades() {
+    let store = fleet_store(1_500);
+    let config = IqbConfig::paper_default();
+    let exact = score_all_regions(
+        &store,
+        &config,
+        &AggregationSpec::paper_default(),
+        &QueryFilter::all(),
+    )
+    .unwrap();
+    for backend in [AggregatorBackend::tdigest_default(), AggregatorBackend::P2] {
+        let spec = AggregationSpec::paper_default().with_backend(backend);
+        let report = score_all_regions(&store, &config, &spec, &QueryFilter::all()).unwrap();
+        assert_eq!(report.regions.len(), exact.regions.len());
+        for (region, scored) in &exact.regions {
+            let approx = &report.regions[region];
+            assert_eq!(
+                approx.grade, scored.grade,
+                "{backend}/{region}: grade {} vs exact {} (scores {} vs {})",
+                approx.grade, scored.grade, approx.report.score, scored.report.score
+            );
+        }
+    }
+}
+
+/// Provenance carries the backend tag through to the scored cells.
+#[test]
+fn provenance_records_the_selected_backend() {
+    let store = fleet_store(200);
+    let config = IqbConfig::paper_default();
+    for backend in [
+        AggregatorBackend::Exact,
+        AggregatorBackend::tdigest_default(),
+        AggregatorBackend::P2,
+    ] {
+        let spec = AggregationSpec::paper_default().with_backend(backend);
+        let report = score_all_regions(&store, &config, &spec, &QueryFilter::all()).unwrap();
+        for scored in report.regions.values() {
+            for (_, cell) in scored.input.iter() {
+                assert_eq!(cell.provenance.unwrap().backend, backend.provenance());
+            }
+        }
+    }
+}
+
+const PROP_REGIONS: [&str; 4] = ["r0", "r1", "r2", "r3"];
+
+/// One arbitrary, physically plausible test record.
+fn arb_record() -> impl Strategy<Value = TestRecord> {
+    (
+        0..PROP_REGIONS.len(),
+        0..iqb::core::DatasetId::BUILTIN.len(),
+        1.0..500.0f64,
+        1.0..100.0f64,
+        1.0..200.0f64,
+        proptest::option::of(0.0..5.0f64),
+        0..1_000u64,
+    )
+        .prop_map(|(r, d, down, up, latency, loss, ts)| TestRecord {
+            timestamp: ts,
+            region: RegionId::new(PROP_REGIONS[r]).unwrap(),
+            dataset: iqb::core::DatasetId::BUILTIN[d].clone(),
+            download_mbps: down,
+            upload_mbps: up,
+            latency_ms: latency,
+            loss_pct: loss,
+            tech: None,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With the exact backend, ingesting arbitrary record streams in
+    /// arbitrary batch splits (rescoring after each batch) produces a
+    /// report identical to one from-scratch batch run.
+    #[test]
+    fn session_ingest_rescore_equals_batch(
+        records in proptest::collection::vec(arb_record(), 1..150),
+        split in 1..8usize,
+    ) {
+        let config = IqbConfig::paper_default();
+        let spec = AggregationSpec::paper_default();
+        let mut session = ScoringSession::new(config.clone(), spec.clone()).unwrap();
+        let chunk = records.len().div_ceil(split).max(1);
+        for batch in records.chunks(chunk) {
+            session.ingest(batch.iter().cloned()).unwrap();
+            session.rescore().unwrap();
+        }
+        let mut store = MeasurementStore::new();
+        store.extend(records.iter().cloned()).unwrap();
+        let full = score_all_regions(&store, &config, &spec, &QueryFilter::all()).unwrap();
+        prop_assert_eq!(session.report(), &full);
+    }
+}
