@@ -10,11 +10,13 @@ use iqb_core::whatif::{evaluate_interventions, standard_interventions};
 use iqb_data::aggregate::{aggregate_region, AggregationSpec, AggregatorBackend};
 use iqb_data::clean::Cleaner;
 use iqb_data::csv_io;
-use iqb_data::record::RegionId;
+use iqb_data::quarantine::IngestMode;
+use iqb_data::record::{RegionId, TestRecord};
 use iqb_data::store::{MeasurementStore, QueryFilter};
 use iqb_netsim::aqm::AqmPolicy;
 use iqb_pipeline::compare::{compare as compare_reports, render_comparison};
 use iqb_pipeline::exhibits;
+use iqb_pipeline::quality::DataQualityReport;
 use iqb_pipeline::report::{render_csv, render_drilldown, render_json, render_summary};
 use iqb_pipeline::runner::score_all_regions;
 use iqb_pipeline::table::TextTable;
@@ -87,12 +89,37 @@ pub fn synth(args: &ParsedArgs) -> CliResult {
     Ok(())
 }
 
+/// Shared `--ingest-mode strict|lenient` selector (default strict, which
+/// keeps every historical invocation — and `results/` — byte-identical).
+fn ingest_mode(args: &ParsedArgs) -> Result<IngestMode, Box<dyn std::error::Error>> {
+    args.get_or("ingest-mode", "strict")
+        .parse()
+        .map_err(|e: iqb_data::DataError| usage(e.to_string()))
+}
+
+/// Reads the CSV named by `--<key>` under the selected ingest mode.
+/// Lenient mode prints the data-quality ledger to stderr when anything
+/// was quarantined, so a degraded load is never silent.
+fn read_records_arg(
+    args: &ParsedArgs,
+    key: &str,
+) -> Result<Vec<TestRecord>, Box<dyn std::error::Error>> {
+    let path = args.require(key)?;
+    let file = File::open(path)
+        .map_err(|e| usage(format!("cannot open --{key} {path}: {e}")))?;
+    let mode = ingest_mode(args)?;
+    let (records, quarantine) = csv_io::read_csv_mode(BufReader::new(file), mode)?;
+    if mode == IngestMode::Lenient && !quarantine.is_clean() {
+        let mut quality = DataQualityReport::new(mode);
+        quality.quarantine = quarantine;
+        eprint!("{}", quality.render());
+    }
+    Ok(records)
+}
+
 /// Shared loader: CSV path → (optionally cleaned) store.
 fn load_store(args: &ParsedArgs) -> Result<MeasurementStore, Box<dyn std::error::Error>> {
-    let input = args.require("input")?;
-    let file = File::open(input)
-        .map_err(|e| usage(format!("cannot open --input {input}: {e}")))?;
-    let records = csv_io::read_csv(BufReader::new(file))?;
+    let records = read_records_arg(args, "input")?;
     let records = if args.has_flag("clean") {
         let (kept, report) = Cleaner::default().clean(records)?;
         eprintln!(
@@ -188,11 +215,8 @@ pub fn compare(args: &ParsedArgs) -> CliResult {
     let config = build_config(args)?;
     let spec = build_spec(args)?;
     let load = |key: &str| -> Result<MeasurementStore, Box<dyn std::error::Error>> {
-        let path = args.require(key)?;
-        let file = File::open(path)
-            .map_err(|e| usage(format!("cannot open --{key} {path}: {e}")))?;
         let mut store = MeasurementStore::new();
-        store.extend(csv_io::read_csv(BufReader::new(file))?)?;
+        store.extend(read_records_arg(args, key)?)?;
         Ok(store)
     };
     let before_store = load("before")?;
@@ -346,6 +370,44 @@ mod tests {
     fn compare_requires_both_inputs() {
         let err = compare(&parsed(&["compare", "--before", "a.csv"])).unwrap_err();
         assert!(err.to_string().contains("--after") || err.to_string().contains("a.csv"));
+    }
+
+    #[test]
+    fn ingest_mode_flag_parses_and_rejects_garbage() {
+        assert_eq!(ingest_mode(&parsed(&["score"])).unwrap(), IngestMode::Strict);
+        assert_eq!(
+            ingest_mode(&parsed(&["score", "--ingest-mode", "lenient"])).unwrap(),
+            IngestMode::Lenient
+        );
+        assert!(ingest_mode(&parsed(&["score", "--ingest-mode", "yolo"])).is_err());
+    }
+
+    #[test]
+    fn lenient_ingest_scores_a_corrupt_file_strict_aborts() {
+        let dir = std::env::temp_dir().join("iqb-cli-ingest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.csv");
+        let mut csv = String::from(
+            "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n",
+        );
+        for i in 0..30 {
+            csv.push_str(&format!("{},metro,ndt,90.0,20.0,25.0,0.1,\n", i * 60));
+        }
+        csv.push_str("1800,metro,ndt,NaN,20.0,25.0,0.1,\n");
+        csv.push_str("1860,,ndt,90.0,20.0,25.0,0.1,\n");
+        std::fs::write(&path, csv).unwrap();
+        let path_str = path.to_str().unwrap();
+
+        assert!(score(&parsed(&["score", "--input", path_str])).is_err());
+        score(&parsed(&[
+            "score",
+            "--input",
+            path_str,
+            "--ingest-mode",
+            "lenient",
+        ]))
+        .unwrap();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -41,6 +41,9 @@ COMMANDS:
         --agg-backend <exact|tdigest|p2>  Streaming quantile engine (default exact)
         --level <high|min>            Quality level (default high)
         --mode <binary|graded>        Cell scoring mode (default binary)
+        --ingest-mode <strict|lenient>  strict (default) aborts on the first bad
+                                      row; lenient quarantines bad rows, scores
+                                      the rest and reports every drop on stderr
         --clean                       Dedup + outlier-screen before scoring
         --format <text|csv|json>      Output format (default text)
         --drilldown <region>          Also print one region's breakdown
@@ -48,13 +51,16 @@ COMMANDS:
         --before <a.csv>              Baseline measurements (required)
         --after <b.csv>               Comparison measurements (required)
         --agg-backend <exact|tdigest|p2>  Streaming quantile engine (default exact)
+        --ingest-mode <strict|lenient>  Fault handling for both inputs (default strict)
     trend                             Windowed score trend for one region
         --input <file.csv>            Input path (required)
         --region <name>               Region id (required)
         --window-hours <h>            Window width (default 2)
+        --ingest-mode <strict|lenient>  Fault handling (default strict)
     whatif                            Rank improvements for one region
         --input <file.csv>            Input path (required)
         --region <name>               Region id (required)
+        --ingest-mode <strict|lenient>  Fault handling (default strict)
     help                              Show this message
 ";
 

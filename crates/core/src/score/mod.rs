@@ -212,6 +212,7 @@ pub fn score_iqb(config: &IqbConfig, input: &AggregateInput) -> Result<IqbReport
         scoring_mode: config.scoring_mode,
         use_cases,
         coverage,
+        degraded_datasets: Vec::new(),
     })
 }
 

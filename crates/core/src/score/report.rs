@@ -117,6 +117,12 @@ pub struct IqbReport {
     pub use_cases: BTreeMap<UseCase, UseCaseScore>,
     /// Coverage accounting.
     pub coverage: Coverage,
+    /// Labels of datasets whose contribution was degraded by a source
+    /// fault survived in lenient ingest mode (sorted, deduplicated).
+    /// Empty — and absent from serialized output — for strict runs and
+    /// fault-free lenient runs, so historical reports are unchanged.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub degraded_datasets: Vec<String>,
 }
 
 impl IqbReport {

@@ -19,6 +19,7 @@ use iqb_core::dataset::DatasetId;
 use serde::{Deserialize, Serialize};
 
 use crate::error::DataError;
+use crate::quarantine::{FaultKind, IngestMode, Quarantined, QuarantineReport};
 use crate::record::{RegionId, TestRecord};
 use crate::store::MeasurementStore;
 
@@ -101,14 +102,45 @@ pub fn write_csv<'a, W: Write, I: IntoIterator<Item = &'a TestRecord>>(
     Ok(written)
 }
 
-/// Reads records from CSV (with header), validating each row.
+/// Reads records from CSV (with header), validating each row. Aborts on
+/// the first faulty row (strict mode).
 pub fn read_csv<R: Read>(reader: R) -> Result<Vec<TestRecord>, DataError> {
+    read_csv_mode(reader, IngestMode::Strict).map(|(records, _)| records)
+}
+
+/// Reads records from CSV under an explicit [`IngestMode`].
+///
+/// Strict mode aborts with the first row's error, exactly like
+/// [`read_csv`]. Lenient mode quarantines faulty rows (classified by
+/// [`FaultKind`], with their 1-based file line) and keeps reading; the
+/// returned [`QuarantineReport`] accounts for every drop.
+pub fn read_csv_mode<R: Read>(
+    reader: R,
+    mode: IngestMode,
+) -> Result<(Vec<TestRecord>, QuarantineReport), DataError> {
     let mut csv_reader = csv::Reader::from_reader(reader);
     let mut out = Vec::new();
-    for row in csv_reader.deserialize::<CsvRow>() {
-        out.push(row?.into_record()?);
+    let mut report = QuarantineReport::new();
+    for (index, row) in csv_reader.deserialize::<CsvRow>().enumerate() {
+        report.scanned += 1;
+        let record = row.map_err(DataError::from).and_then(CsvRow::into_record);
+        match record {
+            Ok(record) => {
+                report.kept += 1;
+                out.push(record);
+            }
+            Err(e) if mode == IngestMode::Strict => return Err(e),
+            Err(e) => report.record(Quarantined {
+                source: "csv".into(),
+                // Line 1 is the header, so data row `index` sits on
+                // file line `index + 2` (modulo quoted multi-line rows).
+                line: Some(index + 2),
+                kind: FaultKind::classify(&e),
+                detail: e.to_string(),
+            }),
+        }
     }
-    Ok(out)
+    Ok((out, report))
 }
 
 /// Reads a CSV file straight into a [`MeasurementStore`].
@@ -218,5 +250,33 @@ mod tests {
     fn empty_csv_is_empty_vec() {
         let csv = "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n";
         assert!(read_csv(csv.as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn lenient_read_quarantines_bad_rows_and_keeps_good_ones() {
+        let csv = "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n\
+                   10,metro,ndt,5.0,1.0,10.0,,\n\
+                   20,metro,ndt,-5.0,1.0,10.0,,\n\
+                   30,,ndt,5.0,1.0,10.0,,\n\
+                   40,metro,ndt,not-a-number,1.0,10.0,,\n\
+                   50,metro,ookla,9.0,2.0,12.0,,\n";
+        let (records, report) = read_csv_mode(csv.as_bytes(), IngestMode::Lenient).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(report.scanned, 5);
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.quarantined(), 3);
+        assert_eq!(report.count(FaultKind::InvalidValue), 1);
+        assert_eq!(report.count(FaultKind::InvalidRegion), 1);
+        assert_eq!(report.count(FaultKind::Parse), 1);
+        // Bad rows sit on file lines 3, 4 and 5 (line 1 is the header).
+        let lines: Vec<Option<usize>> = report.exemplars.iter().map(|q| q.line).collect();
+        assert_eq!(lines, vec![Some(3), Some(4), Some(5)]);
+    }
+
+    #[test]
+    fn strict_mode_matches_read_csv_on_faults() {
+        let csv = "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n\
+                   10,metro,ndt,-5.0,1.0,10.0,,\n";
+        assert!(read_csv_mode(csv.as_bytes(), IngestMode::Strict).is_err());
     }
 }

@@ -29,6 +29,10 @@ pub enum DataError {
     Csv(csv::Error),
     /// JSON parse/serialize failure.
     Json(serde_json::Error),
+    /// A data source panicked; the payload is the captured panic message.
+    /// Produced at the pipeline's isolation boundary, where panics are
+    /// caught and demoted to errors so one source cannot kill a run.
+    SourcePanic(String),
 }
 
 impl fmt::Display for DataError {
@@ -43,6 +47,7 @@ impl fmt::Display for DataError {
             DataError::Io(e) => write!(f, "I/O error: {e}"),
             DataError::Csv(e) => write!(f, "CSV error: {e}"),
             DataError::Json(e) => write!(f, "JSON error: {e}"),
+            DataError::SourcePanic(msg) => write!(f, "data source panicked: {msg}"),
         }
     }
 }

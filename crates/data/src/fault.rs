@@ -1,0 +1,371 @@
+//! Fault injection: adversarial inputs for hardening tests.
+//!
+//! The quarantine layer claims that no single bad record or misbehaving
+//! source can kill a scoring run. This module is how that claim gets
+//! *proven* rather than asserted: a corrupting proxy [`ChaosSource`]
+//! that wraps any real [`DataSource`] and misbehaves on demand, plus
+//! byte/field-level [`Mutation`]s for corrupting CSV/JSONL fixtures.
+//!
+//! It ships in the library (not `#[cfg(test)]`) so integration tests,
+//! downstream crates, and future soak harnesses can all reuse it; it has
+//! no cost unless constructed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use iqb_core::dataset::DatasetId;
+use iqb_core::input::AggregateInput;
+use iqb_core::metric::Metric;
+
+use crate::error::DataError;
+use crate::record::RegionId;
+use crate::source::DataSource;
+use crate::store::QueryFilter;
+
+use crate::aggregate::AggregationSpec;
+
+/// How a [`ChaosSource`] misbehaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Behave exactly like the wrapped source (control case).
+    Passthrough,
+    /// Every `contribute` call fails with a structural error.
+    ErrorAlways,
+    /// The first `n` `contribute` calls fail, then behave normally —
+    /// the shape a retry policy must recover from.
+    ErrorFirstN(u64),
+    /// Every `contribute` call panics (tests the isolation boundary).
+    Panic,
+    /// Contribute the wrapped source's cells with every value replaced
+    /// by NaN (value corruption that parses fine).
+    NanMetrics,
+    /// Contribute the wrapped source's cells with throughput values
+    /// negated (out-of-domain but finite).
+    NegativeThroughput,
+    /// Contribute nothing, silently (a dried-up feed).
+    Empty,
+}
+
+/// A corrupting proxy around any [`DataSource`].
+pub struct ChaosSource<S: DataSource> {
+    inner: S,
+    mode: ChaosMode,
+    calls: AtomicU64,
+}
+
+impl<S: DataSource> ChaosSource<S> {
+    /// Wraps `inner` with the given failure mode.
+    pub fn new(inner: S, mode: ChaosMode) -> Self {
+        ChaosSource {
+            inner,
+            mode,
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// How many `contribute` calls have been observed.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Contributes the inner source's cells with values rewritten by
+    /// `rewrite(metric, value)`.
+    fn contribute_rewritten(
+        &self,
+        region: &RegionId,
+        filter: &QueryFilter,
+        spec: &AggregationSpec,
+        input: &mut AggregateInput,
+        rewrite: impl Fn(Metric, f64) -> f64,
+    ) -> Result<(), DataError> {
+        let mut scratch = AggregateInput::new();
+        self.inner.contribute(region, filter, spec, &mut scratch)?;
+        for ((dataset, metric), cell) in scratch.iter() {
+            input.set(dataset.clone(), *metric, rewrite(*metric, cell.value));
+        }
+        Ok(())
+    }
+}
+
+impl<S: DataSource> DataSource for ChaosSource<S> {
+    fn dataset(&self) -> DatasetId {
+        self.inner.dataset()
+    }
+
+    fn regions(&self) -> Vec<RegionId> {
+        self.inner.regions()
+    }
+
+    fn contribute(
+        &self,
+        region: &RegionId,
+        filter: &QueryFilter,
+        spec: &AggregationSpec,
+        input: &mut AggregateInput,
+    ) -> Result<(), DataError> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        match self.mode {
+            ChaosMode::Passthrough => self.inner.contribute(region, filter, spec, input),
+            ChaosMode::ErrorAlways => Err(DataError::NoData {
+                context: format!("chaos: {} feed unavailable", self.inner.dataset()),
+            }),
+            ChaosMode::ErrorFirstN(n) if call < n => Err(DataError::NoData {
+                context: format!(
+                    "chaos: {} transient failure {} of {n}",
+                    self.inner.dataset(),
+                    call + 1
+                ),
+            }),
+            ChaosMode::ErrorFirstN(_) => self.inner.contribute(region, filter, spec, input),
+            ChaosMode::Panic => panic!("chaos: injected panic in {} source", self.inner.dataset()),
+            ChaosMode::NanMetrics => {
+                self.contribute_rewritten(region, filter, spec, input, |_, _| f64::NAN)
+            }
+            ChaosMode::NegativeThroughput => {
+                self.contribute_rewritten(region, filter, spec, input, |metric, value| {
+                    match metric {
+                        Metric::DownloadThroughput | Metric::UploadThroughput => -value.abs(),
+                        _ => value,
+                    }
+                })
+            }
+            ChaosMode::Empty => Ok(()),
+        }
+    }
+}
+
+/// A byte/field-level corruption applied to a CSV/JSONL fixture.
+///
+/// Line and column numbers are 1-based (matching what a reader would see
+/// in the file); out-of-range targets leave the input unchanged so
+/// table-driven tests can share fixtures of different sizes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Cut the byte stream at an absolute offset (a truncated download).
+    TruncateAt(usize),
+    /// Replace one line with bytes that are not valid UTF-8.
+    GarbageUtf8Line(usize),
+    /// Replace one comma-separated field on one line.
+    ReplaceField {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based field number within the line.
+        column: usize,
+        /// Replacement field text.
+        value: String,
+    },
+    /// Repeat one line `copies` extra times (a stuttering feed).
+    DuplicateLine {
+        /// 1-based line number.
+        line: usize,
+        /// Extra copies to insert after the original.
+        copies: usize,
+    },
+    /// Delete one line entirely.
+    DeleteLine(usize),
+    /// Append one line of non-record garbage at the end.
+    AppendGarbageLine,
+}
+
+/// Applies a [`Mutation`] to a byte fixture, returning the corrupted copy.
+pub fn mutate(bytes: &[u8], mutation: &Mutation) -> Vec<u8> {
+    match mutation {
+        Mutation::TruncateAt(offset) => bytes[..(*offset).min(bytes.len())].to_vec(),
+        Mutation::AppendGarbageLine => {
+            let mut out = bytes.to_vec();
+            if !out.is_empty() && !out.ends_with(b"\n") {
+                out.push(b'\n');
+            }
+            out.extend_from_slice(b"### not a record ###\n");
+            out
+        }
+        Mutation::GarbageUtf8Line(line) => {
+            rewrite_line(bytes, *line, |_| Some(vec![0xFF, 0xFE, 0x80, 0x81]))
+        }
+        Mutation::DeleteLine(line) => rewrite_line(bytes, *line, |_| None),
+        Mutation::DuplicateLine { line, copies } => {
+            let lines = split_lines(bytes);
+            let mut out: Vec<Vec<u8>> = Vec::with_capacity(lines.len() + copies);
+            for (i, content) in lines.iter().enumerate() {
+                out.push(content.clone());
+                if i + 1 == *line {
+                    for _ in 0..*copies {
+                        out.push(content.clone());
+                    }
+                }
+            }
+            join_lines(out, bytes.ends_with(b"\n"))
+        }
+        Mutation::ReplaceField {
+            line,
+            column,
+            value,
+        } => rewrite_line(bytes, *line, |content| {
+            let mut fields: Vec<Vec<u8>> =
+                content.split(|&b| b == b',').map(|f| f.to_vec()).collect();
+            if *column >= 1 && *column <= fields.len() {
+                fields[*column - 1] = value.as_bytes().to_vec();
+            }
+            Some(fields.join(&b','))
+        }),
+    }
+}
+
+/// Splits into lines without trailing newlines (the final empty segment a
+/// trailing `\n` produces is dropped).
+fn split_lines(bytes: &[u8]) -> Vec<Vec<u8>> {
+    let mut lines: Vec<Vec<u8>> = bytes.split(|&b| b == b'\n').map(|l| l.to_vec()).collect();
+    if bytes.ends_with(b"\n") {
+        lines.pop();
+    }
+    lines
+}
+
+fn join_lines(lines: Vec<Vec<u8>>, trailing_newline: bool) -> Vec<u8> {
+    let mut out = lines.join(&b'\n');
+    if trailing_newline && !lines.is_empty() {
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Rewrites one 1-based line via `edit` (returning `None` deletes it).
+fn rewrite_line(
+    bytes: &[u8],
+    line: usize,
+    edit: impl Fn(&[u8]) -> Option<Vec<u8>>,
+) -> Vec<u8> {
+    let lines = split_lines(bytes);
+    let mut out: Vec<Vec<u8>> = Vec::with_capacity(lines.len());
+    for (i, content) in lines.into_iter().enumerate() {
+        if i + 1 == line {
+            if let Some(replacement) = edit(&content) {
+                out.push(replacement);
+            }
+        } else {
+            out.push(content);
+        }
+    }
+    join_lines(out, bytes.ends_with(b"\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TestRecord;
+    use crate::store::MeasurementStore;
+    use std::sync::Arc;
+
+    fn sample_source() -> crate::source::PerTestSource {
+        let region = RegionId::new("r").unwrap();
+        let mut store = MeasurementStore::new();
+        for i in 0..10 {
+            store
+                .push(TestRecord {
+                    timestamp: i,
+                    region: region.clone(),
+                    dataset: DatasetId::Ndt,
+                    download_mbps: 100.0,
+                    upload_mbps: 20.0,
+                    latency_ms: 30.0,
+                    loss_pct: Some(0.2),
+                    tech: None,
+                })
+                .unwrap();
+        }
+        crate::source::PerTestSource::new(Arc::new(store), DatasetId::Ndt)
+    }
+
+    fn contribute(source: &dyn DataSource) -> Result<AggregateInput, DataError> {
+        let region = RegionId::new("r").unwrap();
+        let mut input = AggregateInput::new();
+        source.contribute(
+            &region,
+            &QueryFilter::all(),
+            &AggregationSpec::paper_default(),
+            &mut input,
+        )?;
+        Ok(input)
+    }
+
+    #[test]
+    fn passthrough_matches_inner() {
+        let chaos = ChaosSource::new(sample_source(), ChaosMode::Passthrough);
+        let input = contribute(&chaos).unwrap();
+        assert_eq!(input.get(&DatasetId::Ndt, Metric::Latency), Some(30.0));
+        assert_eq!(chaos.calls(), 1);
+    }
+
+    #[test]
+    fn error_first_n_recovers() {
+        let chaos = ChaosSource::new(sample_source(), ChaosMode::ErrorFirstN(2));
+        assert!(contribute(&chaos).is_err());
+        assert!(contribute(&chaos).is_err());
+        assert!(contribute(&chaos).is_ok());
+        assert_eq!(chaos.calls(), 3);
+    }
+
+    #[test]
+    fn nan_metrics_poisons_every_cell() {
+        let chaos = ChaosSource::new(sample_source(), ChaosMode::NanMetrics);
+        let input = contribute(&chaos).unwrap();
+        assert!(input
+            .get(&DatasetId::Ndt, Metric::Latency)
+            .unwrap()
+            .is_nan());
+    }
+
+    #[test]
+    fn negative_throughput_spares_latency() {
+        let chaos = ChaosSource::new(sample_source(), ChaosMode::NegativeThroughput);
+        let input = contribute(&chaos).unwrap();
+        assert!(input.get(&DatasetId::Ndt, Metric::DownloadThroughput).unwrap() < 0.0);
+        assert_eq!(input.get(&DatasetId::Ndt, Metric::Latency), Some(30.0));
+    }
+
+    #[test]
+    fn empty_contributes_nothing() {
+        let chaos = ChaosSource::new(sample_source(), ChaosMode::Empty);
+        assert!(contribute(&chaos).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncate_and_append() {
+        let fixture = b"line-1\nline-2\n";
+        assert_eq!(mutate(fixture, &Mutation::TruncateAt(9)), b"line-1\nli");
+        assert_eq!(mutate(fixture, &Mutation::TruncateAt(999)), fixture);
+        let appended = mutate(fixture, &Mutation::AppendGarbageLine);
+        assert!(appended.starts_with(fixture));
+        assert!(appended.ends_with(b"### not a record ###\n"));
+    }
+
+    #[test]
+    fn line_mutations() {
+        let fixture = b"a,b,c\nd,e,f\ng,h,i\n";
+        let garbage = mutate(fixture, &Mutation::GarbageUtf8Line(2));
+        assert!(std::str::from_utf8(&garbage).is_err());
+        assert!(garbage.starts_with(b"a,b,c\n"));
+        assert!(garbage.ends_with(b"\ng,h,i\n"));
+
+        assert_eq!(mutate(fixture, &Mutation::DeleteLine(2)), b"a,b,c\ng,h,i\n");
+        assert_eq!(
+            mutate(
+                fixture,
+                &Mutation::DuplicateLine { line: 2, copies: 2 }
+            ),
+            b"a,b,c\nd,e,f\nd,e,f\nd,e,f\ng,h,i\n"
+        );
+        assert_eq!(
+            mutate(
+                fixture,
+                &Mutation::ReplaceField {
+                    line: 2,
+                    column: 2,
+                    value: "NaN".into()
+                }
+            ),
+            b"a,b,c\nd,NaN,f\ng,h,i\n"
+        );
+        // Out-of-range targets are no-ops.
+        assert_eq!(mutate(fixture, &Mutation::DeleteLine(99)), fixture);
+    }
+}

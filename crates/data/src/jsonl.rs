@@ -8,6 +8,7 @@
 use std::io::{BufRead, BufReader, Read, Write};
 
 use crate::error::DataError;
+use crate::quarantine::{FaultKind, IngestMode, Quarantined, QuarantineReport};
 use crate::record::TestRecord;
 use crate::store::MeasurementStore;
 
@@ -27,21 +28,73 @@ pub fn write_jsonl<'a, W: Write, I: IntoIterator<Item = &'a TestRecord>>(
 }
 
 /// Reads JSON-lines records, validating each. Blank lines are skipped.
+/// Aborts on the first faulty line (strict mode).
 pub fn read_jsonl<R: Read>(reader: R) -> Result<Vec<TestRecord>, DataError> {
-    let buffered = BufReader::new(reader);
+    read_jsonl_mode(reader, IngestMode::Strict).map(|(records, _)| records)
+}
+
+/// Reads JSON-lines records under an explicit [`IngestMode`].
+///
+/// Strict mode aborts with the first line's error, exactly like
+/// [`read_jsonl`]. Lenient mode quarantines faulty lines — including
+/// lines that are not valid UTF-8, which a `lines()`-based reader would
+/// abort the whole stream on — and keeps reading.
+pub fn read_jsonl_mode<R: Read>(
+    reader: R,
+    mode: IngestMode,
+) -> Result<(Vec<TestRecord>, QuarantineReport), DataError> {
+    let mut buffered = BufReader::new(reader);
     let mut out = Vec::new();
-    for (line_no, line) in buffered.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    let mut report = QuarantineReport::new();
+    let mut raw = Vec::new();
+    let mut line_no = 0;
+    loop {
+        raw.clear();
+        // Read raw bytes per line so an invalid-UTF-8 line is one
+        // quarantinable fault, not the end of the stream.
+        if buffered.read_until(b'\n', &mut raw)? == 0 {
+            break;
         }
-        let record: TestRecord = serde_json::from_str(&line).map_err(|e| {
-            DataError::InvalidRecord(format!("line {}: {e}", line_no + 1))
-        })?;
-        record.validate()?;
-        out.push(record);
+        line_no += 1;
+        // Classify at the point of failure: encoding vs parse vs
+        // domain-validation faults are distinguishable only here.
+        let parsed: Result<TestRecord, (FaultKind, DataError)> =
+            match std::str::from_utf8(&raw) {
+                Err(e) => Err((
+                    FaultKind::Encoding,
+                    DataError::InvalidRecord(format!("line {line_no}: invalid UTF-8: {e}")),
+                )),
+                Ok(text) if text.trim().is_empty() => continue,
+                Ok(text) => {
+                    match serde_json::from_str::<TestRecord>(text.trim_end_matches(['\n', '\r']))
+                    {
+                        Err(e) => Err((
+                            FaultKind::Parse,
+                            DataError::InvalidRecord(format!("line {line_no}: {e}")),
+                        )),
+                        Ok(record) => match record.validate() {
+                            Ok(()) => Ok(record),
+                            Err(e) => Err((FaultKind::classify(&e), e)),
+                        },
+                    }
+                }
+            };
+        report.scanned += 1;
+        match parsed {
+            Ok(record) => {
+                report.kept += 1;
+                out.push(record);
+            }
+            Err((_, e)) if mode == IngestMode::Strict => return Err(e),
+            Err((kind, e)) => report.record(Quarantined {
+                source: "jsonl".into(),
+                line: Some(line_no),
+                kind,
+                detail: e.to_string(),
+            }),
+        }
     }
-    Ok(out)
+    Ok((out, report))
 }
 
 /// Reads JSON lines straight into a store.
@@ -134,5 +187,39 @@ mod tests {
         write_jsonl(&mut buf, &records()).unwrap();
         let store = read_jsonl_into_store(buf.as_slice()).unwrap();
         assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn lenient_read_quarantines_bad_lines() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &records()).unwrap();
+        buf.extend_from_slice(b"{ not json\n");
+        buf.extend_from_slice(&[0xFF, 0xFE, 0x80, b'\n']);
+        let mut poisoned = records().remove(0);
+        poisoned.loss_pct = Some(150.0);
+        buf.extend_from_slice(serde_json::to_string(&poisoned).unwrap().as_bytes());
+        buf.extend_from_slice(b"\n");
+        let (kept, report) = read_jsonl_mode(buf.as_slice(), IngestMode::Lenient).unwrap();
+        assert_eq!(kept, records());
+        assert_eq!(report.scanned, 5);
+        assert_eq!(report.kept, 2);
+        assert_eq!(report.quarantined(), 3);
+        assert_eq!(report.count(FaultKind::Parse), 1);
+        assert_eq!(report.count(FaultKind::Encoding), 1);
+        assert_eq!(report.count(FaultKind::InvalidValue), 1);
+        // The garbage JSON line is line 3 and the detail says so.
+        let parse = report
+            .exemplars
+            .iter()
+            .find(|q| q.kind == FaultKind::Parse)
+            .unwrap();
+        assert_eq!(parse.line, Some(3));
+        assert!(parse.detail.contains("line 3"), "{}", parse.detail);
+    }
+
+    #[test]
+    fn strict_mode_aborts_on_invalid_utf8() {
+        let bytes = [0xFF, 0xFE, 0x80, b'\n'];
+        assert!(read_jsonl_mode(&bytes[..], IngestMode::Strict).is_err());
     }
 }

@@ -20,6 +20,13 @@
 //! * [`source`] — the [`source::DataSource`] abstraction unifying per-test
 //!   and aggregate-only datasets.
 //! * [`csv_io`] / [`jsonl`] — interchange formats for measurement data.
+//! * [`quarantine`] — the fault taxonomy, strict/lenient
+//!   [`quarantine::IngestMode`], [`quarantine::QuarantineReport`]
+//!   accounting and bounded [`quarantine::RetryPolicy`] that let ingest
+//!   survive malformed feeds without losing track of a single drop.
+//! * [`fault`] — the fault-injection harness (corrupting
+//!   [`fault::ChaosSource`] proxy + byte/field [`fault::Mutation`]s)
+//!   that adversarial tests use to prove the above.
 //!
 //! ## Example
 //!
@@ -58,12 +65,15 @@ pub mod aggregate;
 pub mod clean;
 pub mod csv_io;
 pub mod error;
+pub mod fault;
 pub mod jsonl;
+pub mod quarantine;
 pub mod record;
 pub mod source;
 pub mod store;
 
 pub use aggregate::{AggregationSpec, AggregatorBackend, MetricSink};
 pub use error::DataError;
+pub use quarantine::{FaultKind, IngestMode, QuarantineReport, RetryPolicy};
 pub use record::{RegionId, TestRecord};
 pub use store::MeasurementStore;

@@ -1,0 +1,519 @@
+//! Quarantine: typed accounting of everything the ingest→score path drops.
+//!
+//! IQB's p95 comparison makes a score exquisitely sensitive to a handful
+//! of broken records, and production feeds *will* deliver them: truncated
+//! files, garbage encodings, NaN metrics, impossible loss percentages.
+//! The historical behavior — abort the whole multi-region run on the
+//! first bad byte — is the right default for reproducing the paper
+//! ([`IngestMode::Strict`]), but a serving system needs the other mode:
+//! capture the fault, keep the run alive, and account for every dropped
+//! record ([`IngestMode::Lenient`]).
+//!
+//! This module is the accounting half of that story:
+//!
+//! * [`FaultKind`] — the error taxonomy every quarantined record is
+//!   classified under;
+//! * [`Quarantined`] — one captured exemplar (source, line, kind, detail);
+//! * [`QuarantineReport`] — per-kind and per-source counts plus the
+//!   first-N exemplars, mergeable across ingest calls;
+//! * [`RetryPolicy`] — a bounded retry-with-backoff wrapper for flaky
+//!   source loading.
+//!
+//! The enforcement half lives in the mode-aware readers
+//! ([`crate::csv_io::read_csv_mode`], [`crate::jsonl::read_jsonl_mode`])
+//! and in the pipeline's fault-isolating source runner.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DataError;
+
+/// How the ingest→score path reacts to faulty input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum IngestMode {
+    /// Abort on the first fault. Byte-identical to the historical
+    /// behavior — the committed `results/` exhibits are produced under
+    /// this mode. The default.
+    #[default]
+    Strict,
+    /// Quarantine faulty records and degrade failing sources instead of
+    /// aborting; every drop is accounted for in a [`QuarantineReport`].
+    Lenient,
+}
+
+impl IngestMode {
+    /// Stable lowercase tag used on the CLI.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            IngestMode::Strict => "strict",
+            IngestMode::Lenient => "lenient",
+        }
+    }
+}
+
+impl fmt::Display for IngestMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+impl std::str::FromStr for IngestMode {
+    type Err = DataError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "strict" => Ok(IngestMode::Strict),
+            "lenient" => Ok(IngestMode::Lenient),
+            other => Err(DataError::InvalidAggregation(format!(
+                "unknown ingest mode `{other}` (expected strict|lenient)"
+            ))),
+        }
+    }
+}
+
+/// The error taxonomy: why a record or source contribution was dropped.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum FaultKind {
+    /// A row or line could not be parsed at all (malformed CSV/JSON,
+    /// truncated record, wrong column count).
+    Parse,
+    /// Bytes that are not valid UTF-8 where text was required.
+    Encoding,
+    /// Parsed, but a metric value is outside its physical domain
+    /// (NaN, infinite, negative, loss above 100 %).
+    InvalidValue,
+    /// An empty or malformed region identifier.
+    InvalidRegion,
+    /// An empty or malformed dataset token.
+    UnknownDataset,
+    /// An I/O failure while reading the byte stream.
+    Io,
+    /// A `DataSource` returned a structural error while contributing.
+    SourceError,
+    /// A `DataSource` panicked (caught at an isolation boundary).
+    SourcePanic,
+}
+
+impl FaultKind {
+    /// Every kind, in severity-agnostic display order.
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::Parse,
+        FaultKind::Encoding,
+        FaultKind::InvalidValue,
+        FaultKind::InvalidRegion,
+        FaultKind::UnknownDataset,
+        FaultKind::Io,
+        FaultKind::SourceError,
+        FaultKind::SourcePanic,
+    ];
+
+    /// Stable lowercase tag used in rendered reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultKind::Parse => "parse",
+            FaultKind::Encoding => "encoding",
+            FaultKind::InvalidValue => "invalid-value",
+            FaultKind::InvalidRegion => "invalid-region",
+            FaultKind::UnknownDataset => "unknown-dataset",
+            FaultKind::Io => "io",
+            FaultKind::SourceError => "source-error",
+            FaultKind::SourcePanic => "source-panic",
+        }
+    }
+
+    /// Classifies a [`DataError`] into the taxonomy.
+    ///
+    /// The `dataset token` message probe exists because the CSV token
+    /// layer reports unknown datasets through [`DataError::InvalidRecord`];
+    /// it is covered by tests so the coupling cannot drift silently.
+    pub fn classify(error: &DataError) -> FaultKind {
+        match error {
+            DataError::InvalidRecord(why) if why.contains("dataset token") => {
+                FaultKind::UnknownDataset
+            }
+            DataError::InvalidRecord(_) => FaultKind::InvalidValue,
+            DataError::InvalidRegion(_) => FaultKind::InvalidRegion,
+            DataError::Io(_) => FaultKind::Io,
+            DataError::Csv(e) => match e.kind() {
+                csv::ErrorKind::Utf8 { .. } => FaultKind::Encoding,
+                csv::ErrorKind::Io(_) => FaultKind::Io,
+                _ => FaultKind::Parse,
+            },
+            DataError::Json(_) => FaultKind::Parse,
+            DataError::SourcePanic(_) => FaultKind::SourcePanic,
+            DataError::InvalidAggregation(_)
+            | DataError::NoData { .. }
+            | DataError::Stats(_)
+            | DataError::Core(_) => FaultKind::SourceError,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One captured exemplar of a quarantined record or contribution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quarantined {
+    /// Where the fault came from (a file label, `csv`/`jsonl`, or a
+    /// dataset tag for source-level faults).
+    pub source: String,
+    /// 1-based line number in the originating stream, when known.
+    pub line: Option<usize>,
+    /// Taxonomy classification.
+    pub kind: FaultKind,
+    /// Human-readable detail (the underlying error message).
+    pub detail: String,
+}
+
+/// Default cap on retained exemplars: enough to diagnose, bounded so a
+/// wholly corrupt feed cannot balloon the report.
+pub const DEFAULT_MAX_EXEMPLARS: usize = 8;
+
+/// Full accounting of what ingest dropped: per-kind counts, per-source
+/// counts, and the first-N exemplars.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineReport {
+    /// Records examined (faulty or not).
+    pub scanned: u64,
+    /// Records that passed validation and were kept.
+    pub kept: u64,
+    /// Quarantined count per fault kind.
+    pub counts: BTreeMap<FaultKind, u64>,
+    /// Quarantined count per source label.
+    pub per_source: BTreeMap<String, u64>,
+    /// First-N captured exemplars (N = [`Self::max_exemplars`]).
+    pub exemplars: Vec<Quarantined>,
+    /// Exemplar retention cap.
+    pub max_exemplars: usize,
+}
+
+impl Default for QuarantineReport {
+    fn default() -> Self {
+        QuarantineReport {
+            scanned: 0,
+            kept: 0,
+            counts: BTreeMap::new(),
+            per_source: BTreeMap::new(),
+            exemplars: Vec::new(),
+            max_exemplars: DEFAULT_MAX_EXEMPLARS,
+        }
+    }
+}
+
+impl QuarantineReport {
+    /// Creates an empty report with the default exemplar cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one quarantined exemplar, updating every counter.
+    pub fn record(&mut self, exemplar: Quarantined) {
+        *self.counts.entry(exemplar.kind).or_insert(0) += 1;
+        *self.per_source.entry(exemplar.source.clone()).or_insert(0) += 1;
+        if self.exemplars.len() < self.max_exemplars {
+            self.exemplars.push(exemplar);
+        }
+    }
+
+    /// Total quarantined records across all kinds.
+    pub fn quarantined(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Quarantined count for one kind.
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Whether nothing was quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Merges another report into this one (exemplars still capped at
+    /// this report's `max_exemplars`).
+    pub fn merge(&mut self, other: &QuarantineReport) {
+        self.scanned += other.scanned;
+        self.kept += other.kept;
+        for (kind, n) in &other.counts {
+            *self.counts.entry(*kind).or_insert(0) += n;
+        }
+        for (source, n) in &other.per_source {
+            *self.per_source.entry(source.clone()).or_insert(0) += n;
+        }
+        for exemplar in &other.exemplars {
+            if self.exemplars.len() >= self.max_exemplars {
+                break;
+            }
+            self.exemplars.push(exemplar.clone());
+        }
+    }
+
+    /// Renders a compact human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "quarantine: {} scanned, {} kept, {} quarantined\n",
+            self.scanned,
+            self.kept,
+            self.quarantined()
+        );
+        for (kind, n) in &self.counts {
+            out.push_str(&format!("  {kind}: {n}\n"));
+        }
+        for exemplar in &self.exemplars {
+            let line = exemplar
+                .line
+                .map(|n| format!(":{n}"))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "  e.g. [{}] {}{line}: {}\n",
+                exemplar.kind, exemplar.source, exemplar.detail
+            ));
+        }
+        out
+    }
+}
+
+/// Bounded retry with exponential backoff for source loading.
+///
+/// `max_attempts` counts the first try: `max_attempts == 1` means no
+/// retries. The backoff before retry *k* (1-based) is
+/// `base_backoff_ms << (k - 1)` milliseconds, capped at one second so a
+/// misconfigured policy cannot stall a worker thread for long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (must be ≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff in milliseconds, doubled per retry. Zero disables
+    /// sleeping (the choice for tests).
+    pub base_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 50,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no sleeping).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 0,
+        }
+    }
+
+    /// Validates the policy.
+    pub fn validate(&self) -> Result<(), DataError> {
+        if self.max_attempts == 0 {
+            return Err(DataError::InvalidAggregation(
+                "retry policy must allow at least one attempt".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Runs `op` up to `max_attempts` times, sleeping between attempts.
+    ///
+    /// `op` receives the 1-based attempt number. Returns the first `Ok`
+    /// (or the last `Err`) together with the number of attempts used.
+    pub fn run<T, F>(&self, mut op: F) -> (Result<T, DataError>, u32)
+    where
+        F: FnMut(u32) -> Result<T, DataError>,
+    {
+        let attempts = self.max_attempts.max(1);
+        let mut last_err: Option<DataError> = None;
+        for attempt in 1..=attempts {
+            if attempt > 1 && self.base_backoff_ms > 0 {
+                let shift = (attempt - 2).min(10);
+                let backoff = (self.base_backoff_ms << shift).min(1_000);
+                std::thread::sleep(std::time::Duration::from_millis(backoff));
+            }
+            match op(attempt) {
+                Ok(value) => return (Ok(value), attempt),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        (
+            Err(last_err.expect("at least one attempt ran")),
+            attempts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exemplar(kind: FaultKind, source: &str) -> Quarantined {
+        Quarantined {
+            source: source.into(),
+            line: Some(3),
+            kind,
+            detail: "boom".into(),
+        }
+    }
+
+    #[test]
+    fn ingest_mode_parses_and_defaults_to_strict() {
+        assert_eq!(IngestMode::default(), IngestMode::Strict);
+        assert_eq!("strict".parse::<IngestMode>().unwrap(), IngestMode::Strict);
+        assert_eq!(
+            "lenient".parse::<IngestMode>().unwrap(),
+            IngestMode::Lenient
+        );
+        assert!("chaotic".parse::<IngestMode>().is_err());
+        assert_eq!(IngestMode::Lenient.to_string(), "lenient");
+    }
+
+    #[test]
+    fn classify_covers_the_taxonomy() {
+        assert_eq!(
+            FaultKind::classify(&DataError::InvalidRecord("latency: NaN".into())),
+            FaultKind::InvalidValue
+        );
+        assert_eq!(
+            FaultKind::classify(&DataError::InvalidRecord("empty dataset token".into())),
+            FaultKind::UnknownDataset
+        );
+        assert_eq!(
+            FaultKind::classify(&DataError::InvalidRegion("empty".into())),
+            FaultKind::InvalidRegion
+        );
+        assert_eq!(
+            FaultKind::classify(&DataError::Io(std::io::Error::other("disk"))),
+            FaultKind::Io
+        );
+        assert_eq!(
+            FaultKind::classify(&DataError::SourcePanic("help".into())),
+            FaultKind::SourcePanic
+        );
+        assert_eq!(
+            FaultKind::classify(&DataError::NoData { context: "x".into() }),
+            FaultKind::SourceError
+        );
+        let json_err = serde_json::from_str::<serde_json::Value>("{").unwrap_err();
+        assert_eq!(
+            FaultKind::classify(&DataError::Json(json_err)),
+            FaultKind::Parse
+        );
+    }
+
+    #[test]
+    fn report_counts_and_caps_exemplars() {
+        let mut report = QuarantineReport {
+            max_exemplars: 2,
+            ..Default::default()
+        };
+        for _ in 0..5 {
+            report.record(exemplar(FaultKind::Parse, "a.csv"));
+        }
+        report.record(exemplar(FaultKind::Io, "b.csv"));
+        assert_eq!(report.quarantined(), 6);
+        assert_eq!(report.count(FaultKind::Parse), 5);
+        assert_eq!(report.count(FaultKind::Io), 1);
+        assert_eq!(report.count(FaultKind::Encoding), 0);
+        assert_eq!(report.per_source["a.csv"], 5);
+        assert_eq!(report.exemplars.len(), 2, "capped");
+        assert!(!report.is_clean());
+        let text = report.render();
+        assert!(text.contains("parse: 5"), "{text}");
+        assert!(text.contains("a.csv"), "{text}");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = QuarantineReport::new();
+        a.scanned = 10;
+        a.kept = 9;
+        a.record(exemplar(FaultKind::Parse, "x"));
+        let mut b = QuarantineReport::new();
+        b.scanned = 5;
+        b.kept = 3;
+        b.record(exemplar(FaultKind::Parse, "y"));
+        b.record(exemplar(FaultKind::Encoding, "y"));
+        a.merge(&b);
+        assert_eq!(a.scanned, 15);
+        assert_eq!(a.kept, 12);
+        assert_eq!(a.quarantined(), 3);
+        assert_eq!(a.count(FaultKind::Parse), 2);
+        assert_eq!(a.exemplars.len(), 3);
+    }
+
+    #[test]
+    fn report_serde_round_trip() {
+        let mut report = QuarantineReport::new();
+        report.scanned = 4;
+        report.kept = 3;
+        report.record(exemplar(FaultKind::InvalidValue, "feed"));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: QuarantineReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn retry_policy_succeeds_after_transient_failures() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 0,
+        };
+        policy.validate().unwrap();
+        let mut calls = 0;
+        let (result, attempts) = policy.run(|attempt| {
+            calls += 1;
+            if attempt < 3 {
+                Err(DataError::NoData {
+                    context: "transient".into(),
+                })
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(result.unwrap(), 42);
+        assert_eq!(attempts, 3);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retry_policy_is_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff_ms: 0,
+        };
+        let mut calls = 0;
+        let (result, attempts) = policy.run(|_| -> Result<(), DataError> {
+            calls += 1;
+            Err(DataError::NoData {
+                context: "permanent".into(),
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(attempts, 2);
+        assert_eq!(calls, 2, "no unbounded retrying");
+    }
+
+    #[test]
+    fn retry_policy_none_tries_once() {
+        let (result, attempts) = RetryPolicy::none().run(|_| Ok(7));
+        assert_eq!(result.unwrap(), 7);
+        assert_eq!(attempts, 1);
+        assert!(RetryPolicy {
+            max_attempts: 0,
+            base_backoff_ms: 0
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`session`] — [`session::ScoringSession`], the incremental
 //!   counterpart: ingest record batches, then `rescore()` recomputes only
 //!   the regions the batch touched and patches the cached report.
+//! * [`quality`] — the [`quality::DataQualityReport`] ledger a
+//!   fault-tolerant run returns: quarantined records, source incidents
+//!   survived behind the isolation boundary, retry recoveries.
 //! * [`rank`] — regional rankings plus bootstrap ranking-stability
 //!   analysis (experiment E10).
 //! * [`trend`] — windowed temporal scoring (experiment E9).
@@ -31,6 +34,7 @@
 pub mod compare;
 pub mod error;
 pub mod exhibits;
+pub mod quality;
 pub mod rank;
 pub mod report;
 pub mod runner;
@@ -39,5 +43,9 @@ pub mod table;
 pub mod trend;
 
 pub use error::PipelineError;
-pub use runner::{score_all_regions, RegionScore, RegionalReport};
+pub use quality::{DataQualityReport, SourceIncident};
+pub use runner::{
+    score_all_regions, score_sources, RegionScore, RegionalReport, ScoredSources,
+    SourceRunOptions,
+};
 pub use session::ScoringSession;

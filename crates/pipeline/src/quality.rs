@@ -1,0 +1,175 @@
+//! Data-quality reporting: what a fault-tolerant run had to tolerate.
+//!
+//! A lenient run that quietly dropped half its input would be worse than
+//! an aborted one. [`DataQualityReport`] is the ledger that prevents
+//! that: it rolls the ingest-level [`QuarantineReport`] together with
+//! source-level [`SourceIncident`]s (errors, panics, value corruption
+//! caught at the isolation boundary) and the retry counters, and the CLI
+//! renders it next to the scores so a degraded run is visibly degraded.
+
+use iqb_core::dataset::DatasetId;
+use iqb_data::quarantine::{FaultKind, IngestMode, QuarantineReport};
+use iqb_data::record::RegionId;
+use serde::{Deserialize, Serialize};
+
+/// One failure of a `DataSource` observed at the isolation boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceIncident {
+    /// The dataset whose source failed.
+    pub dataset: DatasetId,
+    /// The region being scored when it failed (`None` for failures
+    /// outside any region, e.g. while enumerating regions).
+    pub region: Option<RegionId>,
+    /// Taxonomy classification of the failure.
+    pub kind: FaultKind,
+    /// Human-readable detail (error message or panic payload).
+    pub detail: String,
+    /// How many attempts the retry policy spent before giving up.
+    pub attempts: u32,
+}
+
+/// The rolled-up data-quality ledger for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataQualityReport {
+    /// The ingest mode the run executed under.
+    pub mode: IngestMode,
+    /// Record-level quarantine accounting (file/stream ingest).
+    pub quarantine: QuarantineReport,
+    /// Source-level failures survived (lenient) or, in strict mode,
+    /// always empty — strict aborts instead.
+    pub incidents: Vec<SourceIncident>,
+    /// Source loads that failed at least once but succeeded on retry.
+    pub retry_successes: u64,
+}
+
+impl DataQualityReport {
+    /// An empty ledger for a run in `mode`.
+    pub fn new(mode: IngestMode) -> Self {
+        DataQualityReport {
+            mode,
+            quarantine: QuarantineReport::new(),
+            incidents: Vec::new(),
+            retry_successes: 0,
+        }
+    }
+
+    /// Whether the run saw no faults at all (nothing quarantined, no
+    /// incidents, no retries needed).
+    pub fn is_clean(&self) -> bool {
+        self.quarantine.is_clean() && self.incidents.is_empty() && self.retry_successes == 0
+    }
+
+    /// Labels of datasets that lost at least one contribution, sorted
+    /// and deduplicated — the provenance view of degradation.
+    pub fn degraded_datasets(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .incidents
+            .iter()
+            .map(|i| i.dataset.label().to_string())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Renders the ledger for the CLI (compact; empty sections omitted).
+    pub fn render(&self) -> String {
+        let mut out = format!("data quality ({} mode)\n", self.mode);
+        if self.is_clean() {
+            out.push_str("  clean: no faults observed\n");
+            return out;
+        }
+        if !self.quarantine.is_clean() || self.quarantine.scanned > 0 {
+            for line in self.quarantine.render().lines() {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        if !self.incidents.is_empty() {
+            out.push_str(&format!(
+                "  degraded datasets: {}\n",
+                self.degraded_datasets().join(", ")
+            ));
+            for incident in &self.incidents {
+                let region = incident
+                    .region
+                    .as_ref()
+                    .map(|r| format!(" region {r}"))
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "  incident [{}] {}{}: {} ({} attempts)\n",
+                    incident.kind,
+                    incident.dataset.label(),
+                    region,
+                    incident.detail,
+                    incident.attempts
+                ));
+            }
+        }
+        if self.retry_successes > 0 {
+            out.push_str(&format!(
+                "  recovered by retry: {} source loads\n",
+                self.retry_successes
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn incident(dataset: DatasetId, kind: FaultKind) -> SourceIncident {
+        SourceIncident {
+            dataset,
+            region: Some(RegionId::new("r").unwrap()),
+            kind,
+            detail: "boom".into(),
+            attempts: 3,
+        }
+    }
+
+    #[test]
+    fn clean_report_renders_clean() {
+        let report = DataQualityReport::new(IngestMode::Strict);
+        assert!(report.is_clean());
+        assert!(report.render().contains("clean"));
+        assert!(report.degraded_datasets().is_empty());
+    }
+
+    #[test]
+    fn degraded_datasets_sorted_and_deduped() {
+        let mut report = DataQualityReport::new(IngestMode::Lenient);
+        report.incidents.push(incident(DatasetId::Ookla, FaultKind::SourcePanic));
+        report.incidents.push(incident(DatasetId::Ndt, FaultKind::SourceError));
+        report.incidents.push(incident(DatasetId::Ookla, FaultKind::SourceError));
+        assert!(!report.is_clean());
+        assert_eq!(
+            report.degraded_datasets(),
+            vec!["M-Lab NDT".to_string(), "Ookla".to_string()]
+        );
+        let text = report.render();
+        assert!(text.contains("degraded datasets"), "{text}");
+        assert!(text.contains("source-panic"), "{text}");
+    }
+
+    #[test]
+    fn retry_successes_rendered() {
+        let mut report = DataQualityReport::new(IngestMode::Lenient);
+        report.retry_successes = 2;
+        assert!(!report.is_clean());
+        assert!(report.render().contains("recovered by retry: 2"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut report = DataQualityReport::new(IngestMode::Lenient);
+        report.incidents.push(incident(DatasetId::Cloudflare, FaultKind::Io));
+        report.retry_successes = 1;
+        let json = serde_json::to_string(&report).unwrap();
+        let back: DataQualityReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

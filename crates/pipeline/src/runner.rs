@@ -7,18 +7,23 @@
 //! collected over a channel and returned in deterministic (sorted-region)
 //! order regardless of completion order.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use iqb_core::config::IqbConfig;
 use iqb_core::grade::{credit_scale, GradeBands, LetterGrade};
 use iqb_core::input::AggregateInput;
 use iqb_core::score::{score_iqb, IqbReport};
 use iqb_data::aggregate::{aggregate_region_filtered, AggregationSpec};
+use iqb_data::quarantine::{FaultKind, IngestMode, RetryPolicy};
 use iqb_data::record::RegionId;
+use iqb_data::source::DataSource;
 use iqb_data::store::{MeasurementStore, QueryFilter};
+use iqb_data::DataError;
 use serde::{Deserialize, Serialize};
 
 use crate::error::PipelineError;
+use crate::quality::{DataQualityReport, SourceIncident};
 
 /// One region's scored result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -179,6 +184,215 @@ pub fn score_all_regions(
     })
 }
 
+/// Options for the fault-tolerant source path ([`score_sources`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SourceRunOptions {
+    /// Strict (default) aborts on the first source fault; lenient
+    /// degrades the failing source and completes the run.
+    pub mode: IngestMode,
+    /// Bounded retry for source loads. The default retries twice with
+    /// backoff; [`RetryPolicy::none`] disables retrying.
+    pub retry: RetryPolicy,
+}
+
+impl SourceRunOptions {
+    /// Lenient mode with the default retry policy — the serving-path
+    /// configuration: survive what can be survived, account for it.
+    pub fn lenient() -> Self {
+        SourceRunOptions {
+            mode: IngestMode::Lenient,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// The result of a fault-tolerant source run: scores plus the
+/// data-quality ledger accounting for everything that went wrong.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredSources {
+    /// The scored regions (lenient mode: possibly degraded — see
+    /// [`IqbReport::degraded_datasets`] per region and `quality`).
+    pub report: RegionalReport,
+    /// Everything the run survived: incidents, retries, degradation.
+    pub quality: DataQualityReport,
+}
+
+/// Extracts a printable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
+
+/// One source's contribution for one region, retried per policy and
+/// isolated behind `catch_unwind` so a panicking source is an error, not
+/// a dead run. Returns the contributed cells plus the attempts used.
+fn contribute_isolated(
+    source: &dyn DataSource,
+    region: &RegionId,
+    filter: &QueryFilter,
+    spec: &AggregationSpec,
+    retry: &RetryPolicy,
+) -> (Result<AggregateInput, DataError>, u32) {
+    retry.run(|_| {
+        let mut partial = AggregateInput::new();
+        match catch_unwind(AssertUnwindSafe(|| {
+            source.contribute(region, filter, spec, &mut partial)
+        })) {
+            Ok(Ok(())) => Ok(partial),
+            Ok(Err(e)) => Err(e),
+            Err(payload) => Err(DataError::SourcePanic(panic_message(payload))),
+        }
+    })
+}
+
+/// Validates every cell a source contributed; a source that returns
+/// `Ok` but hands back NaN or out-of-domain values is still a fault.
+fn validate_contribution(partial: &AggregateInput) -> Result<(), DataError> {
+    for ((dataset, metric), cell) in partial.iter() {
+        if let Err(why) = metric.validate(cell.value) {
+            return Err(DataError::InvalidRecord(format!(
+                "{} {}: {why}",
+                dataset.label(),
+                metric
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Scores every region any source claims, composing the sources'
+/// contributions with per-source fault isolation.
+///
+/// In strict mode the first source fault (error, panic, or corrupt
+/// value) aborts the run with a precise error, matching the historical
+/// behavior of [`iqb_data::source::merge_sources`]. In lenient mode a
+/// failing source only degrades its own dataset's contribution for that
+/// region: the run completes, the region's [`IqbReport::degraded_datasets`]
+/// names what was lost, and every incident lands in the returned
+/// [`DataQualityReport`]. Regions with no surviving cells are skipped,
+/// never failed.
+pub fn score_sources(
+    sources: &[Box<dyn DataSource>],
+    config: &IqbConfig,
+    spec: &AggregationSpec,
+    filter: &QueryFilter,
+    options: &SourceRunOptions,
+) -> Result<ScoredSources, PipelineError> {
+    config.validate()?;
+    options.retry.validate()?;
+    let mut quality = DataQualityReport::new(options.mode);
+
+    // Enumerate the region universe, isolating even `regions()`: a
+    // source that panics while listing regions is dropped wholesale in
+    // lenient mode (one incident, no region attribution).
+    let mut regions: BTreeSet<RegionId> = BTreeSet::new();
+    for source in sources {
+        match catch_unwind(AssertUnwindSafe(|| source.regions())) {
+            Ok(listed) => regions.extend(listed),
+            Err(payload) => {
+                let e = DataError::SourcePanic(panic_message(payload));
+                if options.mode == IngestMode::Strict {
+                    return Err(e.into());
+                }
+                quality.incidents.push(SourceIncident {
+                    dataset: source.dataset(),
+                    region: None,
+                    kind: FaultKind::SourcePanic,
+                    detail: e.to_string(),
+                    attempts: 1,
+                });
+            }
+        }
+    }
+    let regions: Vec<RegionId> = regions.into_iter().collect();
+    let bands = GradeBands::default();
+    let strict = options.mode == IngestMode::Strict;
+
+    type RegionOutcome = (Option<Box<RegionScore>>, Vec<SourceIncident>, u64);
+    let results = fan_out_regions(&regions, |region| -> Result<RegionOutcome, PipelineError> {
+        let mut merged = AggregateInput::new();
+        let mut incidents: Vec<SourceIncident> = Vec::new();
+        let mut retry_successes = 0u64;
+        let mut degraded: BTreeSet<String> = BTreeSet::new();
+        for source in sources {
+            let (result, attempts) =
+                contribute_isolated(source.as_ref(), region, filter, spec, &options.retry);
+            let fault = match result {
+                Ok(partial) => match validate_contribution(&partial) {
+                    Ok(()) => {
+                        if attempts > 1 {
+                            retry_successes += 1;
+                        }
+                        for ((dataset, metric), cell) in partial.iter() {
+                            match cell.provenance {
+                                Some(p) => merged.set_with_provenance(
+                                    dataset.clone(),
+                                    *metric,
+                                    cell.value,
+                                    p,
+                                ),
+                                None => merged.set(dataset.clone(), *metric, cell.value),
+                            }
+                        }
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Err(e) => e,
+            };
+            if strict {
+                return Err(fault.into());
+            }
+            degraded.insert(source.dataset().label().to_string());
+            incidents.push(SourceIncident {
+                dataset: source.dataset(),
+                region: Some(region.clone()),
+                kind: FaultKind::classify(&fault),
+                detail: fault.to_string(),
+                attempts,
+            });
+        }
+        if merged.is_empty() {
+            return Ok((None, incidents, retry_successes));
+        }
+        match score_iqb(config, &merged) {
+            Ok(mut report) => {
+                report.degraded_datasets = degraded.into_iter().collect();
+                let score = build_region_score(region, report, merged, &bands)?;
+                Ok((Some(Box::new(score)), incidents, retry_successes))
+            }
+            Err(iqb_core::CoreError::NothingToScore) => Ok((None, incidents, retry_successes)),
+            Err(e) => Err(e.into()),
+        }
+    })?;
+
+    let mut scored = BTreeMap::new();
+    let mut skipped = Vec::new();
+    for (region, (outcome, incidents, retry_successes)) in results {
+        quality.incidents.extend(incidents);
+        quality.retry_successes += retry_successes;
+        match outcome {
+            Some(score) => {
+                scored.insert(region, *score);
+            }
+            None => skipped.push(region),
+        }
+    }
+    skipped.sort();
+    Ok(ScoredSources {
+        report: RegionalReport {
+            regions: scored,
+            skipped,
+        },
+        quality,
+    })
+}
+
 /// Scores one region; `Ok(None)` means "no data under this filter".
 fn score_one_region(
     store: &MeasurementStore,
@@ -331,5 +545,183 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: RegionalReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn fan_out_surfaces_worker_panic_without_hanging() {
+        let regions: Vec<RegionId> = (0..8)
+            .map(|i| RegionId::new(format!("r{i}")).unwrap())
+            .collect();
+        let started = std::time::Instant::now();
+        let result = fan_out_regions(&regions, |region| -> Result<(), PipelineError> {
+            if region.as_str() == "r3" {
+                panic!("injected worker panic");
+            }
+            Ok(())
+        });
+        assert!(
+            matches!(result, Err(PipelineError::WorkerPanic(_))),
+            "{result:?}"
+        );
+        // A hang would be a join that never returns; 30 s is far beyond
+        // any sane join time for 8 trivial workers.
+        assert!(started.elapsed() < std::time::Duration::from_secs(30));
+    }
+
+    mod sources {
+        use super::*;
+        use iqb_core::metric::Metric;
+        use iqb_data::fault::{ChaosMode, ChaosSource};
+        use iqb_data::quarantine::FaultKind;
+        use iqb_data::source::{DataSource, PerTestSource};
+        use std::sync::Arc;
+
+        fn shared_store() -> Arc<MeasurementStore> {
+            Arc::new(graded_store(2, 20))
+        }
+
+        fn per_test(store: &Arc<MeasurementStore>, dataset: DatasetId) -> PerTestSource {
+            PerTestSource::new(Arc::clone(store), dataset)
+        }
+
+        fn healthy_sources(store: &Arc<MeasurementStore>) -> Vec<Box<dyn DataSource>> {
+            DatasetId::BUILTIN
+                .into_iter()
+                .map(|d| Box::new(per_test(store, d)) as Box<dyn DataSource>)
+                .collect()
+        }
+
+        fn run(
+            sources: Vec<Box<dyn DataSource>>,
+            options: &SourceRunOptions,
+        ) -> Result<ScoredSources, PipelineError> {
+            score_sources(
+                &sources,
+                &IqbConfig::paper_default(),
+                &AggregationSpec::paper_default(),
+                &QueryFilter::all(),
+                options,
+            )
+        }
+
+        #[test]
+        fn healthy_sources_match_store_path_in_both_modes() {
+            let store = shared_store();
+            let batch = score_all_regions(
+                &store,
+                &IqbConfig::paper_default(),
+                &AggregationSpec::paper_default(),
+                &QueryFilter::all(),
+            )
+            .unwrap();
+            for options in [SourceRunOptions::default(), SourceRunOptions::lenient()] {
+                let scored = run(healthy_sources(&store), &options).unwrap();
+                assert!(scored.quality.is_clean());
+                assert_eq!(scored.report.regions.len(), batch.regions.len());
+                for (region, score) in &scored.report.regions {
+                    assert_eq!(score.report.score, batch.regions[region].report.score);
+                    assert!(score.report.degraded_datasets.is_empty());
+                }
+            }
+        }
+
+        #[test]
+        fn panicking_source_degrades_in_lenient_and_aborts_in_strict() {
+            let store = shared_store();
+            let chaos = |mode| {
+                let mut sources = healthy_sources(&store);
+                sources.push(Box::new(ChaosSource::new(
+                    per_test(&store, DatasetId::Custom("flaky".into())),
+                    mode,
+                )) as Box<dyn DataSource>);
+                sources
+            };
+
+            let scored = run(chaos(ChaosMode::Panic), &SourceRunOptions::lenient()).unwrap();
+            assert_eq!(scored.report.regions.len(), 2, "run completed");
+            assert_eq!(scored.quality.incidents.len(), 2, "one incident per region");
+            assert!(scored
+                .quality
+                .incidents
+                .iter()
+                .all(|i| i.kind == FaultKind::SourcePanic));
+            assert_eq!(scored.quality.degraded_datasets(), vec!["flaky".to_string()]);
+            for score in scored.report.regions.values() {
+                assert_eq!(score.report.degraded_datasets, vec!["flaky".to_string()]);
+            }
+
+            let strict = run(chaos(ChaosMode::Panic), &SourceRunOptions::default());
+            match strict {
+                Err(PipelineError::Data(DataError::SourcePanic(msg))) => {
+                    assert!(msg.contains("injected panic"), "{msg}");
+                }
+                other => panic!("expected SourcePanic, got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn nan_contribution_is_a_fault_not_a_score() {
+            let store = shared_store();
+            let sources: Vec<Box<dyn DataSource>> = vec![
+                Box::new(per_test(&store, DatasetId::Ndt)),
+                Box::new(ChaosSource::new(
+                    per_test(&store, DatasetId::Cloudflare),
+                    ChaosMode::NanMetrics,
+                )),
+            ];
+            let scored = run(sources, &SourceRunOptions::lenient()).unwrap();
+            assert_eq!(scored.report.regions.len(), 2);
+            for score in scored.report.regions.values() {
+                assert_eq!(
+                    score.report.degraded_datasets,
+                    vec!["Cloudflare".to_string()]
+                );
+                assert!(score.input.get(&DatasetId::Cloudflare, Metric::Latency).is_none());
+            }
+            assert!(scored
+                .quality
+                .incidents
+                .iter()
+                .all(|i| i.kind == FaultKind::InvalidValue));
+
+            let sources: Vec<Box<dyn DataSource>> = vec![Box::new(ChaosSource::new(
+                per_test(&store, DatasetId::Ndt),
+                ChaosMode::NanMetrics,
+            ))];
+            assert!(run(sources, &SourceRunOptions::default()).is_err());
+        }
+
+        #[test]
+        fn transient_failures_recover_with_retry() {
+            let store = Arc::new(graded_store(1, 20));
+            let sources: Vec<Box<dyn DataSource>> = vec![Box::new(ChaosSource::new(
+                per_test(&store, DatasetId::Ndt),
+                ChaosMode::ErrorFirstN(2),
+            ))];
+            let options = SourceRunOptions {
+                mode: IngestMode::Lenient,
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    base_backoff_ms: 0,
+                },
+            };
+            let scored = run(sources, &options).unwrap();
+            assert_eq!(scored.report.regions.len(), 1);
+            assert!(scored.quality.incidents.is_empty());
+            assert_eq!(scored.quality.retry_successes, 1);
+        }
+
+        #[test]
+        fn all_sources_failing_skips_regions_instead_of_failing() {
+            let store = shared_store();
+            let sources: Vec<Box<dyn DataSource>> = vec![Box::new(ChaosSource::new(
+                per_test(&store, DatasetId::Ndt),
+                ChaosMode::ErrorAlways,
+            ))];
+            let scored = run(sources, &SourceRunOptions::lenient()).unwrap();
+            assert!(scored.report.regions.is_empty());
+            assert_eq!(scored.report.skipped.len(), 2);
+            assert_eq!(scored.quality.incidents.len(), 2);
+        }
     }
 }

@@ -28,6 +28,7 @@ use iqb_core::input::{AggregateInput, CellProvenance};
 use iqb_core::metric::Metric;
 use iqb_core::score::score_iqb;
 use iqb_data::aggregate::{AggregationSpec, MetricSink};
+use iqb_data::quarantine::{FaultKind, Quarantined, QuarantineReport};
 use iqb_data::record::{RegionId, TestRecord};
 use iqb_data::store::MeasurementStore;
 use iqb_stats::sink::QuantileSink;
@@ -120,6 +121,41 @@ impl ScoringSession {
             ingested += 1;
         }
         Ok(ingested)
+    }
+
+    /// Like [`Self::ingest`], but poisoned records are quarantined
+    /// instead of aborting the batch.
+    ///
+    /// Every record is validated *before* it touches the store or any
+    /// sink, so a poisoned batch leaves the session's streaming state
+    /// exactly as if the batch had contained only its clean records —
+    /// the invariant the fault proptests pin down. Returns the number of
+    /// records ingested plus the quarantine accounting for the rest.
+    pub fn ingest_lenient<I>(
+        &mut self,
+        records: I,
+    ) -> Result<(usize, QuarantineReport), PipelineError>
+    where
+        I: IntoIterator<Item = TestRecord>,
+    {
+        let mut report = QuarantineReport::new();
+        let mut ingested = 0;
+        for record in records {
+            report.scanned += 1;
+            match record.validate() {
+                Ok(()) => {
+                    ingested += self.ingest(std::iter::once(record))?;
+                    report.kept += 1;
+                }
+                Err(e) => report.record(Quarantined {
+                    source: "session".into(),
+                    line: None,
+                    kind: FaultKind::classify(&e),
+                    detail: e.to_string(),
+                }),
+            }
+        }
+        Ok((ingested, report))
     }
 
     /// Rescores the dirty regions — and only those — patching the cached
@@ -336,6 +372,44 @@ mod tests {
         let before = session.region_recomputes();
         session.rescore().unwrap();
         assert_eq!(session.region_recomputes(), before);
+    }
+
+    #[test]
+    fn lenient_ingest_quarantines_poisoned_records() {
+        use iqb_data::quarantine::FaultKind;
+
+        let mut clean_session = default_session();
+        let mut lenient_session = default_session();
+        let clean = batch("alpha", 20, 60.0);
+        let mut poisoned = clean.clone();
+        let mut bad = clean[0].clone();
+        bad.download_mbps = f64::NAN;
+        poisoned.insert(3, bad);
+        let mut bad = clean[1].clone();
+        bad.upload_mbps = -4.0;
+        poisoned.push(bad);
+        let mut bad = clean[2].clone();
+        bad.loss_pct = Some(180.0);
+        poisoned.push(bad);
+
+        clean_session.ingest(clean.clone()).unwrap();
+        let (ingested, report) = lenient_session.ingest_lenient(poisoned).unwrap();
+        assert_eq!(ingested, clean.len());
+        assert_eq!(report.scanned as usize, clean.len() + 3);
+        assert_eq!(report.quarantined(), 3);
+        assert_eq!(report.count(FaultKind::InvalidValue), 3);
+        // The poisoned batch left the session exactly where the clean
+        // batch would have: same report, same store size.
+        assert_eq!(
+            lenient_session.rescore().unwrap().clone(),
+            clean_session.rescore().unwrap().clone()
+        );
+        assert_eq!(lenient_session.store().len(), clean_session.store().len());
+        // Strict ingest of the same poison aborts.
+        let mut strict_session = default_session();
+        let mut bad = clean[0].clone();
+        bad.latency_ms = f64::INFINITY;
+        assert!(strict_session.ingest([bad]).is_err());
     }
 
     #[test]

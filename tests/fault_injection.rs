@@ -1,0 +1,497 @@
+//! Adversarial fault-injection suite for the ingest→score path.
+//!
+//! Every scenario runs the same corrupted input through both ingest
+//! modes and asserts the dual contract from both sides:
+//!
+//! * **lenient** — the run completes, the clean records survive, and the
+//!   `QuarantineReport` accounts for every drop with the right
+//!   [`FaultKind`];
+//! * **strict** — the run aborts on the first fault (and completes with
+//!   identical results when the input is clean).
+//!
+//! Corruption is produced by the reusable harness in `iqb::data::fault`:
+//! byte/field [`Mutation`]s for flat-file fixtures and the
+//! [`ChaosSource`] proxy for source-level failures (errors, panics,
+//! value corruption, transient faults recovered by retry).
+
+use iqb::core::dataset::DatasetId;
+use iqb::core::metric::Metric;
+use iqb::core::IqbConfig;
+use iqb::data::aggregate::AggregationSpec;
+use iqb::data::csv_io::read_csv_mode;
+use iqb::data::fault::{mutate, ChaosMode, ChaosSource, Mutation};
+use iqb::data::jsonl::{read_jsonl_mode, write_jsonl};
+use iqb::data::quarantine::{FaultKind, IngestMode, RetryPolicy};
+use iqb::data::record::{RegionId, TestRecord};
+use iqb::data::source::{DataSource, PerTestSource};
+use iqb::data::store::{MeasurementStore, QueryFilter};
+use iqb::pipeline::runner::{score_sources, ScoredSources, SourceRunOptions};
+use iqb::pipeline::PipelineError;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Flat-file scenarios (CSV + JSONL), table-driven.
+// ---------------------------------------------------------------------------
+
+const ROWS: usize = 10;
+
+/// A clean 10-row CSV fixture: header on line 1, data on lines 2–11.
+fn clean_csv() -> Vec<u8> {
+    let mut out = String::from(
+        "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n",
+    );
+    for i in 0..ROWS {
+        out.push_str(&format!(
+            "{},metro,ndt,{}.0,20.0,25.0,0.1,cable\n",
+            i * 60,
+            90 + i
+        ));
+    }
+    out.into_bytes()
+}
+
+struct Scenario {
+    name: &'static str,
+    mutations: Vec<Mutation>,
+    /// Records expected to survive lenient ingest.
+    expect_kept: usize,
+    /// Expected (kind, count) quarantine tally; empty means clean input.
+    expect_faults: Vec<(FaultKind, u64)>,
+}
+
+fn csv_scenarios() -> Vec<Scenario> {
+    let base = clean_csv();
+    let header_end = base.iter().position(|&b| b == b'\n').unwrap() + 1;
+    // Start of the last data row: the byte after the second-to-last
+    // newline (the fixture ends with one).
+    let last_row_start = base[..base.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .unwrap()
+        + 1;
+    let field = |line, column, value: &str| Mutation::ReplaceField {
+        line,
+        column,
+        value: value.to_string(),
+    };
+    vec![
+        Scenario {
+            name: "control: untouched fixture is clean",
+            mutations: vec![],
+            expect_kept: ROWS,
+            expect_faults: vec![],
+        },
+        Scenario {
+            name: "file truncated mid-row",
+            // Cut 14 bytes into the last row: too few fields to parse.
+            mutations: vec![Mutation::TruncateAt(last_row_start + 14)],
+            expect_kept: ROWS - 1,
+            expect_faults: vec![(FaultKind::Parse, 1)],
+        },
+        Scenario {
+            // The whole line becomes one field of garbage bytes, so the
+            // structural (column-count) check trips before the encoding
+            // one; a field-level encoding fault is exercised separately
+            // in `csv_invalid_utf8_field_is_an_encoding_fault`.
+            name: "whole line replaced by garbage UTF-8",
+            mutations: vec![Mutation::GarbageUtf8Line(5)],
+            expect_kept: ROWS - 1,
+            expect_faults: vec![(FaultKind::Parse, 1)],
+        },
+        Scenario {
+            name: "NaN download",
+            mutations: vec![field(3, 4, "NaN")],
+            expect_kept: ROWS - 1,
+            expect_faults: vec![(FaultKind::InvalidValue, 1)],
+        },
+        Scenario {
+            name: "infinite latency",
+            mutations: vec![field(4, 6, "inf")],
+            expect_kept: ROWS - 1,
+            expect_faults: vec![(FaultKind::InvalidValue, 1)],
+        },
+        Scenario {
+            name: "negative throughput",
+            mutations: vec![field(5, 4, "-50.0")],
+            expect_kept: ROWS - 1,
+            expect_faults: vec![(FaultKind::InvalidValue, 1)],
+        },
+        Scenario {
+            name: "packet loss above 100%",
+            mutations: vec![field(6, 7, "150.0")],
+            expect_kept: ROWS - 1,
+            expect_faults: vec![(FaultKind::InvalidValue, 1)],
+        },
+        Scenario {
+            name: "empty region id",
+            mutations: vec![field(7, 2, "")],
+            expect_kept: ROWS - 1,
+            expect_faults: vec![(FaultKind::InvalidRegion, 1)],
+        },
+        Scenario {
+            name: "empty dataset token",
+            mutations: vec![field(8, 3, "")],
+            expect_kept: ROWS - 1,
+            expect_faults: vec![(FaultKind::UnknownDataset, 1)],
+        },
+        Scenario {
+            name: "non-numeric garbage in a numeric column",
+            mutations: vec![field(9, 4, "banana")],
+            expect_kept: ROWS - 1,
+            expect_faults: vec![(FaultKind::Parse, 1)],
+        },
+        Scenario {
+            name: "appended non-record garbage line",
+            mutations: vec![Mutation::AppendGarbageLine],
+            expect_kept: ROWS,
+            expect_faults: vec![(FaultKind::Parse, 1)],
+        },
+        Scenario {
+            name: "duplicated lines are valid records, not faults",
+            mutations: vec![Mutation::DuplicateLine { line: 4, copies: 3 }],
+            expect_kept: ROWS + 3,
+            expect_faults: vec![],
+        },
+        Scenario {
+            name: "deleted line shrinks the batch cleanly",
+            mutations: vec![Mutation::DeleteLine(6)],
+            expect_kept: ROWS - 1,
+            expect_faults: vec![],
+        },
+        Scenario {
+            name: "header-only file is empty, not faulty",
+            mutations: vec![Mutation::TruncateAt(header_end)],
+            expect_kept: 0,
+            expect_faults: vec![],
+        },
+        Scenario {
+            name: "compound corruption: every drop accounted for",
+            mutations: vec![
+                field(3, 4, "NaN"),
+                field(5, 2, ""),
+                Mutation::GarbageUtf8Line(8),
+                Mutation::AppendGarbageLine,
+            ],
+            expect_kept: ROWS - 3,
+            expect_faults: vec![
+                (FaultKind::Parse, 2),
+                (FaultKind::InvalidValue, 1),
+                (FaultKind::InvalidRegion, 1),
+            ],
+        },
+    ]
+}
+
+#[test]
+fn csv_fault_scenarios_lenient_and_strict() {
+    for scenario in csv_scenarios() {
+        let mut bytes = clean_csv();
+        for mutation in &scenario.mutations {
+            bytes = mutate(&bytes, mutation);
+        }
+        let total_faults: u64 = scenario.expect_faults.iter().map(|(_, n)| n).sum();
+
+        // Lenient: completes, keeps the clean rows, accounts for every drop.
+        let (records, report) = read_csv_mode(bytes.as_slice(), IngestMode::Lenient)
+            .unwrap_or_else(|e| panic!("[{}] lenient ingest aborted: {e}", scenario.name));
+        assert_eq!(records.len(), scenario.expect_kept, "[{}] kept", scenario.name);
+        assert_eq!(report.kept as usize, scenario.expect_kept, "[{}]", scenario.name);
+        assert_eq!(report.quarantined(), total_faults, "[{}]", scenario.name);
+        assert_eq!(
+            report.scanned,
+            report.kept + report.quarantined(),
+            "[{}] every scanned row is kept or accounted for",
+            scenario.name
+        );
+        for (kind, count) in &scenario.expect_faults {
+            assert_eq!(
+                report.count(*kind),
+                *count,
+                "[{}] count for {kind}",
+                scenario.name
+            );
+        }
+
+        // Strict: aborts iff the input has a fault; identical otherwise.
+        let strict = read_csv_mode(bytes.as_slice(), IngestMode::Strict);
+        if total_faults == 0 {
+            let (strict_records, strict_report) =
+                strict.unwrap_or_else(|e| panic!("[{}] strict: {e}", scenario.name));
+            assert_eq!(strict_records, records, "[{}]", scenario.name);
+            assert!(strict_report.is_clean(), "[{}]", scenario.name);
+        } else {
+            assert!(strict.is_err(), "[{}] strict must abort", scenario.name);
+        }
+    }
+}
+
+#[test]
+fn csv_invalid_utf8_field_is_an_encoding_fault() {
+    // Eight well-formed fields with invalid bytes inside one of them:
+    // the record is structurally fine, so the encoding check is what
+    // trips (unlike a whole-line replacement, which breaks the column
+    // count first).
+    let mut bytes = clean_csv();
+    bytes.extend_from_slice(b"600,metro,ndt,95.0,20.0,25.0,0.1,ca");
+    bytes.extend_from_slice(&[0xFF, 0xFE]);
+    bytes.push(b'\n');
+
+    let (records, report) = read_csv_mode(bytes.as_slice(), IngestMode::Lenient).unwrap();
+    assert_eq!(records.len(), ROWS);
+    assert_eq!(report.count(FaultKind::Encoding), 1);
+    assert!(read_csv_mode(bytes.as_slice(), IngestMode::Strict).is_err());
+}
+
+fn jsonl_record(region: &str, i: u64) -> TestRecord {
+    TestRecord {
+        timestamp: i,
+        region: RegionId::new(region).unwrap(),
+        dataset: DatasetId::Cloudflare,
+        download_mbps: 50.0 + i as f64,
+        upload_mbps: 10.0,
+        latency_ms: 30.0,
+        loss_pct: Some(0.2),
+        tech: None,
+    }
+}
+
+#[test]
+fn jsonl_fault_scenarios_lenient_and_strict() {
+    let clean: Vec<TestRecord> = (0..6).map(|i| jsonl_record("metro", i)).collect();
+    let mut buf = Vec::new();
+    write_jsonl(&mut buf, &clean).unwrap();
+
+    // Blank lines are not faults.
+    let mut blanky = b"\n".to_vec();
+    blanky.extend_from_slice(&buf);
+    blanky.extend_from_slice(b"\n\n");
+    let (records, report) = read_jsonl_mode(blanky.as_slice(), IngestMode::Lenient).unwrap();
+    assert_eq!(records, clean);
+    assert!(report.is_clean());
+
+    // Garbage JSON line: Parse fault carrying the line number.
+    let garbage = mutate(&buf, &Mutation::AppendGarbageLine);
+    let (records, report) = read_jsonl_mode(garbage.as_slice(), IngestMode::Lenient).unwrap();
+    assert_eq!(records.len(), 6);
+    assert_eq!(report.count(FaultKind::Parse), 1);
+    assert_eq!(report.exemplars[0].line, Some(7));
+    assert!(read_jsonl_mode(garbage.as_slice(), IngestMode::Strict).is_err());
+
+    // Invalid UTF-8 line: Encoding fault, stream keeps going.
+    let corrupt = mutate(&buf, &Mutation::GarbageUtf8Line(2));
+    let (records, report) = read_jsonl_mode(corrupt.as_slice(), IngestMode::Lenient).unwrap();
+    assert_eq!(records.len(), 5);
+    assert_eq!(report.count(FaultKind::Encoding), 1);
+    assert!(read_jsonl_mode(corrupt.as_slice(), IngestMode::Strict).is_err());
+
+    // Out-of-domain value that parses fine: InvalidValue fault.
+    let mut poisoned = jsonl_record("metro", 99);
+    poisoned.loss_pct = Some(150.0);
+    let mut with_poison = buf.clone();
+    with_poison.extend_from_slice(serde_json::to_string(&poisoned).unwrap().as_bytes());
+    with_poison.push(b'\n');
+    let (records, report) = read_jsonl_mode(with_poison.as_slice(), IngestMode::Lenient).unwrap();
+    assert_eq!(records.len(), 6);
+    assert_eq!(report.count(FaultKind::InvalidValue), 1);
+    assert!(read_jsonl_mode(with_poison.as_slice(), IngestMode::Strict).is_err());
+}
+
+// ---------------------------------------------------------------------------
+// Source-level scenarios: ChaosSource behind the pipeline's isolation
+// boundary, end-to-end through score_sources.
+// ---------------------------------------------------------------------------
+
+fn two_region_store() -> Arc<MeasurementStore> {
+    let mut store = MeasurementStore::new();
+    for (k, region) in ["east", "west"].iter().enumerate() {
+        let region = RegionId::new(*region).unwrap();
+        for dataset in DatasetId::BUILTIN {
+            for i in 0..25u64 {
+                store
+                    .push(TestRecord {
+                        timestamp: i,
+                        region: region.clone(),
+                        dataset: dataset.clone(),
+                        download_mbps: 60.0 * (k + 1) as f64 + i as f64,
+                        upload_mbps: 15.0 * (k + 1) as f64,
+                        latency_ms: 80.0 / (k + 1) as f64,
+                        loss_pct: if dataset == DatasetId::Ookla {
+                            None
+                        } else {
+                            Some(0.4)
+                        },
+                        tech: None,
+                    })
+                    .unwrap();
+            }
+        }
+    }
+    Arc::new(store)
+}
+
+fn run_sources(
+    sources: Vec<Box<dyn DataSource>>,
+    options: &SourceRunOptions,
+) -> Result<ScoredSources, PipelineError> {
+    score_sources(
+        &sources,
+        &IqbConfig::paper_default(),
+        &AggregationSpec::paper_default(),
+        &QueryFilter::all(),
+        options,
+    )
+}
+
+fn builtin_sources(store: &Arc<MeasurementStore>) -> Vec<Box<dyn DataSource>> {
+    DatasetId::BUILTIN
+        .into_iter()
+        .map(|d| Box::new(PerTestSource::new(Arc::clone(store), d)) as Box<dyn DataSource>)
+        .collect()
+}
+
+#[test]
+fn panicking_source_is_isolated_in_lenient_mode() {
+    let store = two_region_store();
+    let build = || {
+        let mut sources = builtin_sources(&store);
+        sources.push(Box::new(ChaosSource::new(
+            PerTestSource::new(Arc::clone(&store), DatasetId::Custom("flaky".into())),
+            ChaosMode::Panic,
+        )) as Box<dyn DataSource>);
+        sources
+    };
+
+    let scored = run_sources(build(), &SourceRunOptions::lenient()).unwrap();
+    assert_eq!(scored.report.regions.len(), 2, "run completed");
+    assert_eq!(scored.quality.incidents.len(), 2);
+    assert!(scored
+        .quality
+        .incidents
+        .iter()
+        .all(|i| i.kind == FaultKind::SourcePanic));
+    for score in scored.report.regions.values() {
+        assert_eq!(score.report.degraded_datasets, vec!["flaky".to_string()]);
+    }
+
+    // Strict: the same fleet aborts with the precise panic error.
+    let err = run_sources(build(), &SourceRunOptions::default()).unwrap_err();
+    assert!(err.to_string().contains("panicked"), "{err}");
+}
+
+#[test]
+fn erroring_source_degrades_without_poisoning_scores() {
+    let store = two_region_store();
+    let healthy = run_sources(builtin_sources(&store), &SourceRunOptions::lenient()).unwrap();
+    assert!(healthy.quality.is_clean());
+
+    let mut sources = builtin_sources(&store);
+    sources.push(Box::new(ChaosSource::new(
+        PerTestSource::new(Arc::clone(&store), DatasetId::Custom("down".into())),
+        ChaosMode::ErrorAlways,
+    )) as Box<dyn DataSource>);
+    let degraded = run_sources(sources, &SourceRunOptions::lenient()).unwrap();
+
+    // The three healthy datasets still produce exactly the same scores.
+    for (region, score) in &healthy.report.regions {
+        assert_eq!(
+            score.report.score,
+            degraded.report.regions[region].report.score,
+            "healthy datasets' contribution unchanged for {region}"
+        );
+    }
+    assert_eq!(degraded.quality.degraded_datasets(), vec!["down".to_string()]);
+}
+
+#[test]
+fn value_corrupting_source_is_quarantined_not_scored() {
+    let store = two_region_store();
+    let mut sources = builtin_sources(&store);
+    sources.push(Box::new(ChaosSource::new(
+        PerTestSource::new(Arc::clone(&store), DatasetId::Ndt),
+        ChaosMode::NegativeThroughput,
+    )) as Box<dyn DataSource>);
+    let scored = run_sources(sources, &SourceRunOptions::lenient()).unwrap();
+    assert_eq!(scored.report.regions.len(), 2);
+    assert!(scored
+        .quality
+        .incidents
+        .iter()
+        .all(|i| i.kind == FaultKind::InvalidValue));
+    for score in scored.report.regions.values() {
+        // The clean NDT source contributed before the corrupting proxy;
+        // its cells survive and are finite.
+        let down = score
+            .input
+            .get(&DatasetId::Ndt, Metric::DownloadThroughput)
+            .unwrap();
+        assert!(down.is_finite() && down > 0.0);
+    }
+}
+
+#[test]
+fn transient_source_failure_recovers_via_retry() {
+    let store = two_region_store();
+    // Two regions share the chaos call counter, so fail only the very
+    // first call: one region retries once, everything else is clean.
+    let sources: Vec<Box<dyn DataSource>> = vec![Box::new(ChaosSource::new(
+        PerTestSource::new(Arc::clone(&store), DatasetId::Ndt),
+        ChaosMode::ErrorFirstN(1),
+    ))];
+    let options = SourceRunOptions {
+        mode: IngestMode::Lenient,
+        retry: RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 0,
+        },
+    };
+    let scored = run_sources(sources, &options).unwrap();
+    assert_eq!(scored.report.regions.len(), 2);
+    assert!(scored.quality.incidents.is_empty());
+    assert_eq!(scored.quality.retry_successes, 1);
+
+    // Without retries the same fleet records an incident instead.
+    let sources: Vec<Box<dyn DataSource>> = vec![Box::new(ChaosSource::new(
+        PerTestSource::new(Arc::clone(&store), DatasetId::Ndt),
+        ChaosMode::ErrorFirstN(1),
+    ))];
+    let no_retry = SourceRunOptions {
+        mode: IngestMode::Lenient,
+        retry: RetryPolicy::none(),
+    };
+    let scored = run_sources(sources, &no_retry).unwrap();
+    assert_eq!(scored.quality.incidents.len(), 1);
+    assert_eq!(scored.quality.retry_successes, 0);
+}
+
+#[test]
+fn empty_source_is_absence_not_a_fault() {
+    let store = two_region_store();
+    let mut sources = builtin_sources(&store);
+    sources.push(Box::new(ChaosSource::new(
+        PerTestSource::new(Arc::clone(&store), DatasetId::Custom("dried-up".into())),
+        ChaosMode::Empty,
+    )) as Box<dyn DataSource>);
+    let scored = run_sources(sources, &SourceRunOptions::lenient()).unwrap();
+    assert!(scored.quality.is_clean(), "silence is not a fault");
+    assert_eq!(scored.report.regions.len(), 2);
+    for score in scored.report.regions.values() {
+        assert!(score.report.degraded_datasets.is_empty());
+        assert!(score
+            .input
+            .get(&DatasetId::Custom("dried-up".into()), Metric::Latency)
+            .is_none());
+    }
+}
+
+#[test]
+fn all_sources_failing_still_completes_leniently() {
+    let store = two_region_store();
+    let sources: Vec<Box<dyn DataSource>> = vec![Box::new(ChaosSource::new(
+        PerTestSource::new(Arc::clone(&store), DatasetId::Ndt),
+        ChaosMode::ErrorAlways,
+    ))];
+    let scored = run_sources(sources, &SourceRunOptions::lenient()).unwrap();
+    assert!(scored.report.regions.is_empty());
+    assert_eq!(scored.report.skipped.len(), 2, "skipped, not failed");
+    assert_eq!(scored.quality.incidents.len(), 2);
+}

@@ -1,0 +1,64 @@
+//! Golden-exhibit regression tests.
+//!
+//! The committed `results/` files are the paper-reproduction contract:
+//! strict-mode runs must keep them byte-identical. These tests re-render
+//! the Fig. 1 / Fig. 2 / Table 1 exhibits from `IqbConfig::paper_default()`
+//! and diff them row-for-row against the committed outputs (minus the
+//! two-line run banner), so any drift in thresholds, weights, or
+//! rendering is pinned to the exact row that changed.
+
+use iqb::core::IqbConfig;
+use iqb::pipeline::exhibits::{render_fig1, render_fig2, render_table1};
+
+fn golden(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()))
+}
+
+/// Strips the leading `=== ` banner lines and the blank line after them.
+/// (Exhibit bodies contain pure-`=` rules, so only the `=== `-prefixed
+/// banner lines are stripped.)
+fn body(text: &str) -> Vec<&str> {
+    let mut lines = text.lines().peekable();
+    while lines.peek().map_or(false, |l| l.starts_with("=== ")) {
+        lines.next();
+    }
+    if lines.peek().map_or(false, |l| l.trim().is_empty()) {
+        lines.next();
+    }
+    lines.collect()
+}
+
+fn assert_rows_match(name: &str, rendered: &str, golden_text: &str) {
+    let expected = body(golden_text);
+    let actual: Vec<&str> = rendered.lines().collect();
+    for (i, (a, e)) in actual.iter().zip(&expected).enumerate() {
+        assert_eq!(a, e, "{name}: row {} drifted from results/", i + 1);
+    }
+    assert_eq!(
+        actual.len(),
+        expected.len(),
+        "{name}: row count drifted from results/"
+    );
+}
+
+#[test]
+fn fig1_framework_matches_committed_results() {
+    let rendered = render_fig1(&IqbConfig::paper_default());
+    assert_rows_match("fig1", &rendered, &golden("fig1_framework.txt"));
+}
+
+#[test]
+fn fig2_thresholds_match_committed_results() {
+    let rendered = render_fig2(&IqbConfig::paper_default());
+    assert_rows_match("fig2", &rendered, &golden("fig2_thresholds.txt"));
+}
+
+#[test]
+fn table1_weights_match_committed_results() {
+    let rendered = render_table1(&IqbConfig::paper_default());
+    assert_rows_match("table1", &rendered, &golden("table1_weights.txt"));
+}

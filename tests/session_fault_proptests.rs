@@ -1,0 +1,147 @@
+//! Property tests for `ScoringSession` under poisoned batches.
+//!
+//! The contract pinned down here: for *any* record stream, *any*
+//! injected poison (NaN/∞ metrics, negative throughput, impossible
+//! loss), and *any* batch split, `ingest_lenient` + `rescore` must land
+//! the session exactly where a from-scratch batch run over only the
+//! clean records lands — with every dropped record accounted for as an
+//! `invalid-value` quarantine entry. Strict `ingest` must abort exactly
+//! when the stream carries poison.
+
+use iqb::core::{DatasetId, IqbConfig};
+use iqb::data::aggregate::AggregationSpec;
+use iqb::data::quarantine::FaultKind;
+use iqb::data::record::{RegionId, TestRecord};
+use iqb::data::store::{MeasurementStore, QueryFilter};
+use iqb::pipeline::runner::score_all_regions;
+use iqb::pipeline::session::ScoringSession;
+use proptest::prelude::*;
+use proptest::sample::Index;
+
+const PROP_REGIONS: [&str; 3] = ["east", "west", "north"];
+
+/// One arbitrary, physically plausible test record.
+fn clean_record() -> impl Strategy<Value = TestRecord> {
+    (
+        0..PROP_REGIONS.len(),
+        0..DatasetId::BUILTIN.len(),
+        1.0..500.0f64,
+        1.0..100.0f64,
+        1.0..200.0f64,
+        proptest::option::of(0.0..5.0f64),
+        0..1_000u64,
+    )
+        .prop_map(|(r, d, down, up, latency, loss, ts)| TestRecord {
+            timestamp: ts,
+            region: RegionId::new(PROP_REGIONS[r]).unwrap(),
+            dataset: DatasetId::BUILTIN[d].clone(),
+            download_mbps: down,
+            upload_mbps: up,
+            latency_ms: latency,
+            loss_pct: loss,
+            tech: None,
+        })
+}
+
+/// The ways a record can be out of its physical domain while still being
+/// representable (everything `TestRecord::validate` must catch).
+#[derive(Debug, Clone, Copy)]
+enum Poison {
+    NanDownload,
+    NegativeUpload,
+    InfiniteLatency,
+    ImpossibleLoss,
+}
+
+fn arb_poison() -> impl Strategy<Value = Poison> {
+    prop_oneof![
+        Just(Poison::NanDownload),
+        Just(Poison::NegativeUpload),
+        Just(Poison::InfiniteLatency),
+        Just(Poison::ImpossibleLoss),
+    ]
+}
+
+fn apply(poison: Poison, mut record: TestRecord) -> TestRecord {
+    match poison {
+        Poison::NanDownload => record.download_mbps = f64::NAN,
+        Poison::NegativeUpload => record.upload_mbps = -10.0,
+        Poison::InfiniteLatency => record.latency_ms = f64::INFINITY,
+        Poison::ImpossibleLoss => record.loss_pct = Some(250.0),
+    }
+    record
+}
+
+/// Interleaves poisoned copies of clean records into the stream at
+/// arbitrary positions; the clean subsequence keeps its order.
+fn poison_stream(clean: &[TestRecord], poisons: &[(Index, Poison)]) -> Vec<TestRecord> {
+    let mut stream = clean.to_vec();
+    for (index, poison) in poisons {
+        let victim = clean[index.index(clean.len())].clone();
+        let at = index.index(stream.len() + 1);
+        stream.insert(at, apply(*poison, victim));
+    }
+    stream
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Lenient ingest of a poisoned stream, split into arbitrary batches
+    /// with a rescore after each, equals a batch run over the retained
+    /// clean records — and the quarantine ledger balances exactly.
+    #[test]
+    fn lenient_session_equals_clean_batch_run(
+        clean in proptest::collection::vec(clean_record(), 1..100),
+        poisons in proptest::collection::vec((any::<Index>(), arb_poison()), 0..16),
+        split in 1..6usize,
+    ) {
+        let stream = poison_stream(&clean, &poisons);
+        let config = IqbConfig::paper_default();
+        let spec = AggregationSpec::paper_default();
+        let mut session = ScoringSession::new(config.clone(), spec.clone()).unwrap();
+
+        let chunk = stream.len().div_ceil(split).max(1);
+        let mut ingested_total = 0usize;
+        let mut quarantined_total = 0u64;
+        for batch in stream.chunks(chunk) {
+            let (ingested, report) = session.ingest_lenient(batch.iter().cloned()).unwrap();
+            prop_assert_eq!(report.scanned, batch.len() as u64, "every record scanned");
+            prop_assert!(
+                report.counts.keys().all(|k| *k == FaultKind::InvalidValue),
+                "domain poison classifies as invalid-value: {:?}",
+                report.counts
+            );
+            ingested_total += ingested;
+            quarantined_total += report.quarantined();
+            session.rescore().unwrap();
+        }
+
+        // The ledger balances: kept + quarantined == stream, and the
+        // quarantined count is exactly the injected poison.
+        prop_assert_eq!(ingested_total, clean.len());
+        prop_assert_eq!(quarantined_total, poisons.len() as u64);
+        prop_assert_eq!(session.store().len(), clean.len());
+
+        // Poison left no trace: identical to a clean-only batch run.
+        let mut store = MeasurementStore::new();
+        store.extend(clean.iter().cloned()).unwrap();
+        let full = score_all_regions(&store, &config, &spec, &QueryFilter::all()).unwrap();
+        prop_assert_eq!(session.report(), &full);
+    }
+
+    /// Strict ingest aborts precisely when the stream carries poison.
+    #[test]
+    fn strict_ingest_aborts_iff_poisoned(
+        clean in proptest::collection::vec(clean_record(), 1..40),
+        poisons in proptest::collection::vec((any::<Index>(), arb_poison()), 0..4),
+    ) {
+        let stream = poison_stream(&clean, &poisons);
+        let mut session = ScoringSession::new(
+            IqbConfig::paper_default(),
+            AggregationSpec::paper_default(),
+        ).unwrap();
+        let result = session.ingest(stream.iter().cloned());
+        prop_assert_eq!(result.is_err(), !poisons.is_empty());
+    }
+}
