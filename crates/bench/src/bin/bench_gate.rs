@@ -1,0 +1,75 @@
+//! CI bench-regression gate: diffs a fresh `BENCH_pipeline.json` against
+//! the committed baseline and exits non-zero when any cell's median wall
+//! time regressed past the tolerance (see [`iqb_bench::gate`]).
+//!
+//! ```text
+//! bench_gate --baseline BENCH_pipeline.json --current target/BENCH_pipeline.json [--tolerance 0.25]
+//! ```
+
+use iqb_bench::gate::{gate_bench, BenchDoc};
+
+const USAGE: &str =
+    "usage: bench_gate --baseline <file.json> --current <file.json> [--tolerance <fraction>]";
+
+fn main() {
+    let mut baseline_path: Option<String> = None;
+    let mut current_path: Option<String> = None;
+    let mut tolerance = 0.25;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--baseline" => baseline_path = Some(value("--baseline")),
+            "--current" => current_path = Some(value("--current")),
+            "--tolerance" => {
+                let raw = value("--tolerance");
+                tolerance = raw.parse().unwrap_or_else(|e| {
+                    eprintln!("error: --tolerance {raw}: {e}");
+                    std::process::exit(2);
+                });
+                if !(0.0..10.0).contains(&tolerance) {
+                    eprintln!("error: --tolerance must be a fraction in [0, 10), got {tolerance}");
+                    std::process::exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let baseline = read_doc(baseline_path.as_deref().unwrap_or_else(|| {
+        eprintln!("error: --baseline is required\n{USAGE}");
+        std::process::exit(2);
+    }));
+    let current = read_doc(current_path.as_deref().unwrap_or_else(|| {
+        eprintln!("error: --current is required\n{USAGE}");
+        std::process::exit(2);
+    }));
+
+    let report = gate_bench(&baseline, &current, tolerance);
+    print!("{}", report.render());
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}
+
+fn read_doc(path: &str) -> BenchDoc {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path} is not a BenchDoc: {e}");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,147 @@
+//! Pipeline benchmark harness: scores a synthetic corpus at three sizes,
+//! across the three aggregation backends, in batch and incremental mode,
+//! and emits a `BENCH_pipeline.json` document ([`iqb_bench::gate::BenchDoc`]).
+//!
+//! ```text
+//! bench_runner [--quick] [--out BENCH_pipeline.json]
+//! ```
+//!
+//! `--quick` selects the small CI sizing (and 3 runs per cell instead
+//! of 5). Without `--out` the document goes to stdout; progress always
+//! goes to stderr so stdout stays pure JSON.
+
+use std::time::Instant;
+
+use iqb_bench::gate::{sample_quantile, BenchDoc, BenchRow, BENCH_SCHEMA};
+use iqb_bench::{build_store, standard_regions, MASTER_SEED};
+use iqb_core::config::IqbConfig;
+use iqb_data::aggregate::{AggregationSpec, AggregatorBackend};
+use iqb_data::record::TestRecord;
+use iqb_data::store::{MeasurementStore, QueryFilter};
+use iqb_pipeline::runner::score_all_regions;
+use iqb_pipeline::session::ScoringSession;
+
+const USAGE: &str = "usage: bench_runner [--quick] [--out <file.json>]";
+
+/// How many chunks the incremental case feeds through the session, with
+/// a rescore after each — the "stream arrives in batches" shape.
+const INCREMENTAL_CHUNKS: usize = 8;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("error: --out needs a path\n{USAGE}");
+                    std::process::exit(2);
+                }))
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // (subscribers per region, tests per dataset): small / medium / large.
+    let sizes: [(usize, u64); 3] = if quick {
+        [(20, 150), (30, 400), (40, 800)]
+    } else {
+        [(40, 500), (60, 1_500), (80, 3_000)]
+    };
+    let runs = if quick { 3 } else { 5 };
+    let config = IqbConfig::paper_default();
+
+    let mut rows = Vec::new();
+    for (subscribers, tests_per_dataset) in sizes {
+        eprintln!("bench_runner: corpus {subscribers}x{tests_per_dataset}");
+        let fleet = standard_regions(subscribers);
+        let (store, _) = build_store(&fleet, tests_per_dataset, MASTER_SEED);
+        let records: Vec<TestRecord> = store.query(&QueryFilter::all()).cloned().collect();
+        for backend_tag in ["exact", "tdigest", "p2"] {
+            let backend: AggregatorBackend =
+                backend_tag.parse().expect("tags are the valid set");
+            let spec = AggregationSpec::uniform_quantile(0.95)
+                .expect("0.95 is a valid quantile")
+                .with_backend(backend);
+            for case in ["batch", "incremental"] {
+                let samples: Vec<f64> = (0..runs)
+                    .map(|_| match case {
+                        "batch" => time_batch(&store, &config, &spec),
+                        _ => time_incremental(&records, &config, &spec),
+                    })
+                    .collect();
+                let median_ms = sample_quantile(&samples, 0.5);
+                rows.push(BenchRow {
+                    case: case.to_string(),
+                    backend: backend_tag.to_string(),
+                    subscribers,
+                    tests_per_dataset,
+                    records: records.len(),
+                    runs,
+                    median_ms,
+                    p95_ms: sample_quantile(&samples, 0.95),
+                    throughput_rps: records.len() as f64 / (median_ms / 1e3),
+                    peak_rss_bytes: iqb_obs::procinfo::peak_rss_bytes(),
+                });
+                eprintln!(
+                    "bench_runner:   {case}/{backend_tag}: median {median_ms:.2}ms over {runs} runs"
+                );
+            }
+        }
+    }
+
+    let doc = BenchDoc {
+        schema: BENCH_SCHEMA,
+        quick,
+        estimated: false,
+        seed: MASTER_SEED,
+        rows,
+    };
+    let mut json = serde_json::to_string_pretty(&doc).expect("document serializes");
+    json.push('\n');
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, json).unwrap_or_else(|e| {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!("bench_runner: wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+}
+
+/// One full batch scoring pass; returns wall milliseconds.
+fn time_batch(store: &MeasurementStore, config: &IqbConfig, spec: &AggregationSpec) -> f64 {
+    let started = Instant::now();
+    let report = score_all_regions(store, config, spec, &QueryFilter::all())
+        .expect("synthetic corpus scores");
+    assert!(!report.regions.is_empty());
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+/// Chunked session ingest with a rescore per chunk; returns wall
+/// milliseconds for the whole stream.
+fn time_incremental(records: &[TestRecord], config: &IqbConfig, spec: &AggregationSpec) -> f64 {
+    let started = Instant::now();
+    let mut session = ScoringSession::new(config.clone(), spec.clone())
+        .expect("config and spec are pre-validated");
+    let chunk_size = records.len().div_ceil(INCREMENTAL_CHUNKS).max(1);
+    for chunk in records.chunks(chunk_size) {
+        session
+            .ingest(chunk.iter().cloned())
+            .expect("synthetic records are pre-validated");
+        session.rescore().expect("synthetic corpus scores");
+    }
+    assert!(!session.report().regions.is_empty());
+    started.elapsed().as_secs_f64() * 1e3
+}

@@ -1,0 +1,325 @@
+//! The bench-regression document and gate.
+//!
+//! `bench_runner` emits a [`BenchDoc`] (`BENCH_pipeline.json`): one
+//! [`BenchRow`] per (case, backend, corpus size) cell, carrying the
+//! median and p95 wall time over several runs, throughput, and a
+//! peak-RSS proxy. CI archives the document and [`gate_bench`] diffs it
+//! against the baseline committed at the repo root, failing the build
+//! when any cell's median regresses past the tolerance.
+//!
+//! A baseline marked `"estimated": true` (hand-written because the
+//! machine that authored it could not run the harness) only enforces the
+//! loose [`ESTIMATED_BASELINE_CEILING`]; CI tightens the gate to the
+//! real tolerance by regenerating and committing a measured baseline.
+
+use serde::{Deserialize, Serialize};
+
+/// Multiplier allowed over an `estimated` (hand-written) baseline before
+/// the gate fails. Deliberately loose: it only catches order-of-magnitude
+/// blowups until a measured baseline lands.
+pub const ESTIMATED_BASELINE_CEILING: f64 = 10.0;
+
+/// One benchmark cell: a scoring case run against one backend at one
+/// corpus size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// Scoring case: `batch` (one `score_all_regions` pass) or
+    /// `incremental` (chunked `ScoringSession` ingest + rescore).
+    pub case: String,
+    /// Aggregation backend tag (`exact` | `tdigest` | `p2`).
+    pub backend: String,
+    /// Subscribers per region in the synthetic fleet.
+    pub subscribers: usize,
+    /// Tests per dataset in the synthetic fleet.
+    pub tests_per_dataset: u64,
+    /// Total records scored per run.
+    pub records: usize,
+    /// Number of timed runs behind the quantiles.
+    pub runs: usize,
+    /// Median wall time per run, milliseconds.
+    pub median_ms: f64,
+    /// 95th-percentile wall time per run, milliseconds.
+    pub p95_ms: f64,
+    /// Records scored per second at the median wall time.
+    pub throughput_rps: f64,
+    /// Peak resident set (VmHWM) after the cell ran, bytes. A proxy, not
+    /// a per-cell measurement: the high-water mark is process-wide and
+    /// monotone. `null` off Linux.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+impl BenchRow {
+    /// The identity CI matches rows on when diffing against a baseline.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}/{}x{}",
+            self.case, self.backend, self.subscribers, self.tests_per_dataset
+        )
+    }
+}
+
+/// The whole `BENCH_pipeline.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchDoc {
+    /// Document schema version (bump on breaking shape changes).
+    pub schema: u32,
+    /// Whether the harness ran in `--quick` (CI) sizing.
+    pub quick: bool,
+    /// True when the numbers are hand-estimated rather than measured;
+    /// the gate then only enforces [`ESTIMATED_BASELINE_CEILING`].
+    #[serde(default)]
+    pub estimated: bool,
+    /// Master seed the synthetic corpora were generated from.
+    pub seed: u64,
+    /// One row per (case, backend, size) cell.
+    pub rows: Vec<BenchRow>,
+}
+
+/// Current schema version written by `bench_runner`.
+pub const BENCH_SCHEMA: u32 = 1;
+
+/// The verdict for one baseline row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateOutcome {
+    /// Row identity ([`BenchRow::key`]).
+    pub key: String,
+    /// Baseline median wall time, milliseconds.
+    pub baseline_median_ms: f64,
+    /// Current median wall time; `None` when the current document is
+    /// missing the row entirely (which fails the gate).
+    pub current_median_ms: Option<f64>,
+    /// Maximum allowed current/baseline ratio for this row.
+    pub limit_ratio: f64,
+    /// Whether the row passed.
+    pub pass: bool,
+}
+
+/// Everything `bench_gate` prints and exits on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateReport {
+    /// Tolerance the gate ran with (e.g. 0.25 = +25 % median allowed).
+    pub tolerance: f64,
+    /// Whether the baseline was hand-estimated (loose ceiling applied).
+    pub estimated_baseline: bool,
+    /// Per-row verdicts, in baseline order.
+    pub outcomes: Vec<GateOutcome>,
+}
+
+impl GateReport {
+    /// True when every baseline row was found and within its limit.
+    pub fn passed(&self) -> bool {
+        !self.outcomes.is_empty() && self.outcomes.iter().all(|o| o.pass)
+    }
+
+    /// Human-readable verdict table for CI logs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench gate: tolerance +{:.0}%{}\n",
+            self.tolerance * 100.0,
+            if self.estimated_baseline {
+                ", baseline is estimated — enforcing loose ceiling only"
+            } else {
+                ""
+            }
+        ));
+        for o in &self.outcomes {
+            match o.current_median_ms {
+                Some(current) => {
+                    let ratio = current / o.baseline_median_ms;
+                    out.push_str(&format!(
+                        "  [{}] {}: {:.2}ms -> {:.2}ms ({:.2}x, limit {:.2}x)\n",
+                        if o.pass { "ok" } else { "FAIL" },
+                        o.key,
+                        o.baseline_median_ms,
+                        current,
+                        ratio,
+                        o.limit_ratio
+                    ));
+                }
+                None => out.push_str(&format!(
+                    "  [FAIL] {}: row missing from current document\n",
+                    o.key
+                )),
+            }
+        }
+        out.push_str(if self.passed() {
+            "bench gate: PASS\n"
+        } else {
+            "bench gate: FAIL\n"
+        });
+        out
+    }
+}
+
+/// Diffs `current` against `baseline`: every baseline row must exist in
+/// `current` and its median must not exceed `baseline * (1 + tolerance)`
+/// (or [`ESTIMATED_BASELINE_CEILING`] when the baseline is estimated).
+/// Extra rows in `current` are ignored — adding cells is not a
+/// regression.
+pub fn gate_bench(baseline: &BenchDoc, current: &BenchDoc, tolerance: f64) -> GateReport {
+    let limit_ratio = if baseline.estimated {
+        ESTIMATED_BASELINE_CEILING
+    } else {
+        1.0 + tolerance
+    };
+    let outcomes = baseline
+        .rows
+        .iter()
+        .map(|base| {
+            let current_row = current.rows.iter().find(|r| r.key() == base.key());
+            let current_median_ms = current_row.map(|r| r.median_ms);
+            let pass = match current_median_ms {
+                Some(ms) => ms <= base.median_ms * limit_ratio,
+                None => false,
+            };
+            GateOutcome {
+                key: base.key(),
+                baseline_median_ms: base.median_ms,
+                current_median_ms,
+                limit_ratio,
+                pass,
+            }
+        })
+        .collect();
+    GateReport {
+        tolerance,
+        estimated_baseline: baseline.estimated,
+        outcomes,
+    }
+}
+
+/// Nearest-rank quantile over raw samples (not pre-sorted). `q` in
+/// `[0, 1]`; empty input returns NaN.
+pub fn sample_quantile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(case: &str, backend: &str, median_ms: f64) -> BenchRow {
+        BenchRow {
+            case: case.into(),
+            backend: backend.into(),
+            subscribers: 20,
+            tests_per_dataset: 150,
+            records: 9_000,
+            runs: 3,
+            median_ms,
+            p95_ms: median_ms * 1.2,
+            throughput_rps: 9_000.0 / (median_ms / 1e3),
+            peak_rss_bytes: Some(64 << 20),
+        }
+    }
+
+    fn doc(estimated: bool, rows: Vec<BenchRow>) -> BenchDoc {
+        BenchDoc {
+            schema: BENCH_SCHEMA,
+            quick: true,
+            estimated,
+            seed: crate::MASTER_SEED,
+            rows,
+        }
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let base = doc(false, vec![row("batch", "exact", 100.0)]);
+        let current = doc(false, vec![row("batch", "exact", 120.0)]);
+        let report = gate_bench(&base, &current, 0.25);
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn gate_fails_past_tolerance() {
+        let base = doc(false, vec![row("batch", "exact", 100.0)]);
+        let current = doc(false, vec![row("batch", "exact", 130.0)]);
+        let report = gate_bench(&base, &current, 0.25);
+        assert!(!report.passed());
+        assert!(report.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn gate_fails_on_missing_row() {
+        let base = doc(
+            false,
+            vec![row("batch", "exact", 100.0), row("incremental", "p2", 50.0)],
+        );
+        let current = doc(false, vec![row("batch", "exact", 100.0)]);
+        let report = gate_bench(&base, &current, 0.25);
+        assert!(!report.passed());
+        assert!(report.render().contains("missing"));
+    }
+
+    #[test]
+    fn gate_fails_on_empty_baseline() {
+        let report = gate_bench(&doc(false, vec![]), &doc(false, vec![]), 0.25);
+        assert!(!report.passed(), "an empty baseline gates nothing");
+    }
+
+    #[test]
+    fn estimated_baseline_applies_the_loose_ceiling() {
+        let base = doc(true, vec![row("batch", "exact", 10.0)]);
+        // 5x slower than the estimate: fine while estimated...
+        let current = doc(false, vec![row("batch", "exact", 50.0)]);
+        assert!(gate_bench(&base, &current, 0.25).passed());
+        // ...but an order-of-magnitude blowup still fails.
+        let blowup = doc(false, vec![row("batch", "exact", 150.0)]);
+        assert!(!gate_bench(&base, &blowup, 0.25).passed());
+    }
+
+    #[test]
+    fn extra_current_rows_are_ignored() {
+        let base = doc(false, vec![row("batch", "exact", 100.0)]);
+        let current = doc(
+            false,
+            vec![row("batch", "exact", 100.0), row("batch", "tdigest", 999.0)],
+        );
+        assert!(gate_bench(&base, &current, 0.25).passed());
+    }
+
+    #[test]
+    fn row_key_distinguishes_every_dimension() {
+        let a = row("batch", "exact", 1.0);
+        let mut b = a.clone();
+        b.backend = "p2".into();
+        let mut c = a.clone();
+        c.tests_per_dataset = 400;
+        let keys: std::collections::BTreeSet<String> =
+            [a.key(), b.key(), c.key()].into_iter().collect();
+        assert_eq!(keys.len(), 3);
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let samples = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(sample_quantile(&samples, 0.5), 3.0);
+        assert_eq!(sample_quantile(&samples, 0.95), 5.0);
+        assert_eq!(sample_quantile(&samples, 0.0), 1.0);
+        assert!(sample_quantile(&[], 0.5).is_nan());
+        assert_eq!(sample_quantile(&[7.5], 0.5), 7.5);
+    }
+
+    #[test]
+    fn bench_doc_serde_round_trips() {
+        let original = doc(false, vec![row("batch", "exact", 100.0)]);
+        let json = serde_json::to_string_pretty(&original).unwrap();
+        let back: BenchDoc = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn estimated_defaults_to_false_when_absent() {
+        let json = r#"{"schema":1,"quick":true,"seed":1,"rows":[]}"#;
+        let doc: BenchDoc = serde_json::from_str(json).unwrap();
+        assert!(!doc.estimated);
+    }
+}

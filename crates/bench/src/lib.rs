@@ -24,6 +24,8 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod gate;
+
 use iqb_data::aggregate::AggregatorBackend;
 use iqb_data::store::MeasurementStore;
 use iqb_synth::campaign::{run_campaign, CampaignConfig, CampaignOutput};
@@ -79,19 +81,46 @@ pub fn build_store(
     (store, outputs)
 }
 
+/// Parses an `IQB_AGG_BACKEND`-style backend choice. `None` (variable
+/// unset) selects the default exact backend; anything else must name a
+/// valid backend. Pure so the rejection paths are unit-testable without
+/// racing on process environment.
+pub fn parse_backend_choice(raw: Option<&str>) -> Result<AggregatorBackend, String> {
+    match raw {
+        None => Ok(AggregatorBackend::Exact),
+        Some(text) => text.parse().map_err(|e| {
+            format!("IQB_AGG_BACKEND: {e}; valid backends are exact, tdigest, p2")
+        }),
+    }
+}
+
+/// Reads `IQB_AGG_BACKEND` from the environment without exiting.
+/// Non-unicode values are an error, not a silent fall-through to the
+/// default.
+pub fn try_agg_backend_from_env() -> Result<AggregatorBackend, String> {
+    match std::env::var("IQB_AGG_BACKEND") {
+        Ok(raw) => parse_backend_choice(Some(&raw)),
+        Err(std::env::VarError::NotPresent) => parse_backend_choice(None),
+        Err(std::env::VarError::NotUnicode(_)) => {
+            Err("IQB_AGG_BACKEND: value is not valid unicode; valid backends are exact, tdigest, p2".to_string())
+        }
+    }
+}
+
 /// The aggregation backend every `ext_*` binary runs under, selected via
 /// the `IQB_AGG_BACKEND` env var (`exact|tdigest|p2`, default `exact`).
 ///
 /// The default keeps the committed `results/` exhibits byte-identical;
 /// setting the variable reruns an experiment on a streaming estimator to
-/// see how far its approximation moves the published numbers.
+/// see how far its approximation moves the published numbers. An
+/// unrecognized (or non-unicode) value terminates the binary with an
+/// error naming the valid backends — an exhibit silently regenerated
+/// under the wrong backend would be worse than no exhibit.
 pub fn agg_backend_from_env() -> AggregatorBackend {
-    match std::env::var("IQB_AGG_BACKEND") {
-        Ok(raw) => raw
-            .parse()
-            .unwrap_or_else(|e| panic!("IQB_AGG_BACKEND: {e}")),
-        Err(_) => AggregatorBackend::Exact,
-    }
+    try_agg_backend_from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Prints the standard experiment banner (id, description, seed) so each
@@ -135,5 +164,28 @@ mod tests {
         assert_eq!(store.regions().len(), 4);
         assert_eq!(outputs.len(), 4);
         assert_eq!(store.len(), 4 * 3 * 30);
+    }
+
+    #[test]
+    fn backend_choice_parses_all_valid_backends() {
+        assert_eq!(parse_backend_choice(None).unwrap(), AggregatorBackend::Exact);
+        assert_eq!(
+            parse_backend_choice(Some("exact")).unwrap(),
+            AggregatorBackend::Exact
+        );
+        assert_eq!(
+            parse_backend_choice(Some("tdigest")).unwrap(),
+            AggregatorBackend::tdigest_default()
+        );
+        assert_eq!(parse_backend_choice(Some("p2")).unwrap(), AggregatorBackend::P2);
+    }
+
+    #[test]
+    fn backend_choice_rejects_garbage_naming_the_valid_backends() {
+        let err = parse_backend_choice(Some("magic")).unwrap_err();
+        assert!(err.contains("magic"), "{err}");
+        assert!(err.contains("exact, tdigest, p2"), "{err}");
+        // The empty string is not the same as an unset variable.
+        assert!(parse_backend_choice(Some("")).is_err());
     }
 }

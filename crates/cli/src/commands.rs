@@ -1,7 +1,15 @@
 //! Implementations of the `iqb` subcommands.
+//!
+//! Every command writes its user-facing output to an injected
+//! `&mut dyn Write` (stdout in `main`, a buffer in tests) so the
+//! byte-identity of command output is a testable property. Observability
+//! is strictly off by default: the scoring commands accept
+//! `--metrics text|json|off` (default `off`), `--trace <file>` and
+//! `--metrics-out <file>`, and anything they emit goes to stderr or the
+//! named file — stdout stays byte-identical either way.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 
 use iqb_core::config::{IqbConfig, ScoringMode};
 use iqb_core::profiles;
@@ -14,6 +22,7 @@ use iqb_data::quarantine::IngestMode;
 use iqb_data::record::{RegionId, TestRecord};
 use iqb_data::store::{MeasurementStore, QueryFilter};
 use iqb_netsim::aqm::AqmPolicy;
+use iqb_obs::{EventSink, RunTelemetry, Span, StageClock};
 use iqb_pipeline::compare::{compare as compare_reports, render_comparison};
 use iqb_pipeline::exhibits;
 use iqb_pipeline::quality::DataQualityReport;
@@ -32,21 +41,113 @@ fn usage(message: impl Into<String>) -> Box<dyn std::error::Error> {
     Box::new(UsageError(message.into()))
 }
 
+/// What `--metrics` asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsMode {
+    Off,
+    Text,
+    Json,
+}
+
+/// Per-command observability lifecycle: snapshots the global registry at
+/// construction, records coarse stage wall times, optionally traces
+/// spans to a JSONL file, and emits a [`RunTelemetry`] delta at the end.
+///
+/// With `--metrics off` (the default) nothing is emitted at all, and
+/// whatever *is* emitted goes to stderr or `--metrics-out <file>` —
+/// never stdout, so command output stays byte-identical.
+struct Telemetry {
+    mode: MetricsMode,
+    out_path: Option<String>,
+    before: iqb_obs::RegistrySnapshot,
+    clock: StageClock,
+    root: Option<Span>,
+    current: Option<Span>,
+}
+
+impl Telemetry {
+    fn from_args(command: &str, args: &ParsedArgs) -> Result<Self, Box<dyn std::error::Error>> {
+        let mode = match args.get_or("metrics", "off") {
+            "off" => MetricsMode::Off,
+            "text" => MetricsMode::Text,
+            "json" => MetricsMode::Json,
+            other => {
+                return Err(usage(format!(
+                    "unknown metrics mode `{other}` (expected text|json|off)"
+                )))
+            }
+        };
+        let root = match args.get("trace") {
+            Some(path) => {
+                let file = File::create(path)
+                    .map_err(|e| usage(format!("cannot create --trace {path}: {e}")))?;
+                let sink = EventSink::new(Box::new(BufWriter::new(file)));
+                Some(Span::with_sink(command, sink))
+            }
+            None => None,
+        };
+        Ok(Telemetry {
+            mode,
+            out_path: args.get("metrics-out").map(str::to_string),
+            before: iqb_obs::global().snapshot(),
+            clock: StageClock::new(),
+            root,
+            current: None,
+        })
+    }
+
+    /// Close the previous stage (and its trace span) and start `name`.
+    fn stage(&mut self, name: &str) {
+        self.clock.stage(name);
+        // Drop the previous child before starting the next so the JSONL
+        // events stay well-nested.
+        self.current = None;
+        if let Some(root) = &self.root {
+            self.current = Some(root.child(name));
+        }
+    }
+
+    /// Close all spans and, unless `--metrics off`, write the telemetry
+    /// document to stderr (or `--metrics-out`).
+    fn emit(mut self) -> CliResult {
+        self.current = None;
+        self.root = None;
+        let stages = self.clock.finish();
+        if self.mode == MetricsMode::Off {
+            return Ok(());
+        }
+        let delta = iqb_obs::global().snapshot().diff(&self.before);
+        let doc = RunTelemetry::from_delta(&delta, stages);
+        let rendered = match self.mode {
+            MetricsMode::Text => doc.render_text(),
+            MetricsMode::Json => {
+                let mut json = doc.to_json();
+                json.push('\n');
+                json
+            }
+            MetricsMode::Off => unreachable!("returned above"),
+        };
+        match &self.out_path {
+            Some(path) => std::fs::write(path, rendered)
+                .map_err(|e| usage(format!("cannot write --metrics-out {path}: {e}")))?,
+            None => eprint!("{rendered}"),
+        }
+        Ok(())
+    }
+}
+
 /// `iqb exhibits [fig1|fig2|table1|all]`
-pub fn exhibits(args: &ParsedArgs) -> CliResult {
+pub fn exhibits(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
     let which = args.positional(1).unwrap_or("all");
     let config = IqbConfig::paper_default();
-    let print_fig1 = || println!("{}", exhibits::render_fig1(&config));
-    let print_fig2 = || println!("{}", exhibits::render_fig2(&config));
-    let print_table1 = || println!("{}", exhibits::render_table1(&config));
     match which {
-        "fig1" => print_fig1(),
-        "fig2" => print_fig2(),
-        "table1" => print_table1(),
+        "fig1" => writeln!(out, "{}", exhibits::render_fig1(&config))?,
+        "fig2" => writeln!(out, "{}", exhibits::render_fig2(&config))?,
+        "table1" => writeln!(out, "{}", exhibits::render_table1(&config))?,
         "all" => {
-            print_fig1();
-            print_fig2();
-            print_table1();
+            writeln!(out, "{}", exhibits::render_fig1(&config))?;
+            writeln!(out, "{}", exhibits::render_fig2(&config))?;
+            writeln!(out, "{}", exhibits::render_table1(&config))?;
         }
         other => return Err(usage(format!("unknown exhibit `{other}`"))),
     }
@@ -54,7 +155,7 @@ pub fn exhibits(args: &ParsedArgs) -> CliResult {
 }
 
 /// `iqb synth --preset <p> --out <file.csv> [...]`
-pub fn synth(args: &ParsedArgs) -> CliResult {
+pub fn synth(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
     let out_path = args.require("out")?;
     let preset = args.get_or("preset", "urban-fiber");
     let subscribers: usize = args.get_parsed_or("subscribers", 100)?;
@@ -82,10 +183,11 @@ pub fn synth(args: &ParsedArgs) -> CliResult {
     let output = run_campaign(&region, &config)?;
     let file = File::create(out_path)?;
     let written = csv_io::write_csv(BufWriter::new(file), &output.records)?;
-    println!(
+    writeln!(
+        out,
         "Wrote {written} test records for region `{}` (preset {preset}, seed {:#x}) to {out_path}",
         region.id, config.seed
-    );
+    )?;
     Ok(())
 }
 
@@ -191,29 +293,35 @@ fn build_spec(args: &ParsedArgs) -> Result<AggregationSpec, Box<dyn std::error::
 }
 
 /// `iqb score --input <file.csv> [...]`
-pub fn score(args: &ParsedArgs) -> CliResult {
+pub fn score(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
+    let mut telemetry = Telemetry::from_args("score", args)?;
+    telemetry.stage("ingest");
     let store = load_store(args)?;
     let config = build_config(args)?;
     let spec = build_spec(args)?;
+    telemetry.stage("score");
     let report = score_all_regions(&store, &config, &spec, &QueryFilter::all())?;
 
+    telemetry.stage("render");
     match args.get_or("format", "text") {
-        "text" => print!("{}", render_summary(&report)),
-        "csv" => print!("{}", render_csv(&report)),
-        "json" => println!("{}", render_json(&report)?),
+        "text" => write!(out, "{}", render_summary(&report))?,
+        "csv" => write!(out, "{}", render_csv(&report))?,
+        "json" => writeln!(out, "{}", render_json(&report)?)?,
         other => return Err(usage(format!("unknown format `{other}`"))),
     }
     if let Some(region) = args.get("drilldown") {
         let region = RegionId::new(region)?;
-        println!("\n{}", render_drilldown(&report, &region));
+        writeln!(out, "\n{}", render_drilldown(&report, &region))?;
     }
-    Ok(())
+    telemetry.emit()
 }
 
 /// `iqb compare --before <a.csv> --after <b.csv> [config options]`
-pub fn compare(args: &ParsedArgs) -> CliResult {
+pub fn compare(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
+    let mut telemetry = Telemetry::from_args("compare", args)?;
     let config = build_config(args)?;
     let spec = build_spec(args)?;
+    telemetry.stage("ingest");
     let load = |key: &str| -> Result<MeasurementStore, Box<dyn std::error::Error>> {
         let mut store = MeasurementStore::new();
         store.extend(read_records_arg(args, key)?)?;
@@ -221,14 +329,18 @@ pub fn compare(args: &ParsedArgs) -> CliResult {
     };
     let before_store = load("before")?;
     let after_store = load("after")?;
+    telemetry.stage("score");
     let before = score_all_regions(&before_store, &config, &spec, &QueryFilter::all())?;
     let after = score_all_regions(&after_store, &config, &spec, &QueryFilter::all())?;
-    print!("{}", render_comparison(&compare_reports(&before, &after)?));
-    Ok(())
+    telemetry.stage("render");
+    write!(out, "{}", render_comparison(&compare_reports(&before, &after)?))?;
+    telemetry.emit()
 }
 
 /// `iqb trend --input <file.csv> --region <r> [--window-hours <h>]`
-pub fn trend(args: &ParsedArgs) -> CliResult {
+pub fn trend(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
+    let mut telemetry = Telemetry::from_args("trend", args)?;
+    telemetry.stage("ingest");
     let store = load_store(args)?;
     let region = RegionId::new(args.require("region")?)?;
     let config = build_config(args)?;
@@ -245,6 +357,7 @@ pub fn trend(args: &ParsedArgs) -> CliResult {
     if min_ts > max_ts {
         return Err(usage(format!("no records for region `{region}`")));
     }
+    telemetry.stage("score");
     let points = score_trend(
         &store,
         &region,
@@ -254,6 +367,7 @@ pub fn trend(args: &ParsedArgs) -> CliResult {
         max_ts + 1,
         window_hours * 3_600,
     )?;
+    telemetry.stage("render");
     let mut table = TextTable::new(["Window start (h)", "Samples", "IQB score"]);
     for p in &points {
         table.row([
@@ -264,26 +378,31 @@ pub fn trend(args: &ParsedArgs) -> CliResult {
                 .unwrap_or_else(|| "—".into()),
         ]);
     }
-    print!("{}", table.render());
-    Ok(())
+    write!(out, "{}", table.render())?;
+    telemetry.emit()
 }
 
 /// `iqb whatif --input <file.csv> --region <r>`
-pub fn whatif(args: &ParsedArgs) -> CliResult {
+pub fn whatif(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
+    let mut telemetry = Telemetry::from_args("whatif", args)?;
+    telemetry.stage("ingest");
     let store = load_store(args)?;
     let region = RegionId::new(args.require("region")?)?;
     let config = build_config(args)?;
     let spec = build_spec(args)?;
+    telemetry.stage("score");
     let input = aggregate_region(&store, &region, &config.datasets, &spec)?;
     let outcomes = evaluate_interventions(&config, &input, &standard_interventions())?;
 
-    println!(
+    telemetry.stage("render");
+    writeln!(
+        out,
         "Region `{region}` baseline IQB: {:.3}\n",
         outcomes
             .first()
             .map(|o| o.baseline)
             .unwrap_or(f64::NAN)
-    );
+    )?;
     let mut table = TextTable::new(["Intervention", "New score", "Gain"]);
     for o in &outcomes {
         table.row([
@@ -292,18 +411,27 @@ pub fn whatif(args: &ParsedArgs) -> CliResult {
             format!("{:+.3}", o.gain()),
         ]);
     }
-    print!("{}", table.render());
-    println!("\n(Interventions scale every dataset's aggregate for the metric; the menu is");
-    println!("double throughput / halve latency / halve loss.)");
-    Ok(())
+    write!(out, "{}", table.render())?;
+    writeln!(out, "\n(Interventions scale every dataset's aggregate for the metric; the menu is")?;
+    writeln!(out, "double throughput / halve latency / halve loss.)")?;
+    telemetry.emit()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard};
 
     fn parsed(args: &[&str]) -> ParsedArgs {
         ParsedArgs::parse(args.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    /// Serializes tests that ingest records (and therefore bump the
+    /// process-global metrics registry), so the telemetry-asserting
+    /// tests see only their own run in the snapshot delta.
+    fn ingest_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     #[test]
@@ -332,20 +460,33 @@ mod tests {
     }
 
     #[test]
+    fn metrics_mode_parses_and_rejects_garbage() {
+        let t = Telemetry::from_args("score", &parsed(&["score"])).unwrap();
+        assert_eq!(t.mode, MetricsMode::Off, "default is off");
+        let t = Telemetry::from_args("score", &parsed(&["score", "--metrics", "text"])).unwrap();
+        assert_eq!(t.mode, MetricsMode::Text);
+        let t = Telemetry::from_args("score", &parsed(&["score", "--metrics", "json"])).unwrap();
+        assert_eq!(t.mode, MetricsMode::Json);
+        let err =
+            Telemetry::from_args("score", &parsed(&["score", "--metrics", "loud"])).unwrap_err();
+        assert!(err.to_string().contains("text|json|off"), "{err}");
+    }
+
+    #[test]
     fn exhibits_rejects_unknown_names() {
-        assert!(exhibits(&parsed(&["exhibits", "fig9"])).is_err());
-        assert!(exhibits(&parsed(&["exhibits", "table1"])).is_ok());
+        assert!(exhibits(&parsed(&["exhibits", "fig9"]), &mut Vec::new()).is_err());
+        assert!(exhibits(&parsed(&["exhibits", "table1"]), &mut Vec::new()).is_ok());
     }
 
     #[test]
     fn synth_requires_out() {
-        let err = synth(&parsed(&["synth"])).unwrap_err();
+        let err = synth(&parsed(&["synth"]), &mut Vec::new()).unwrap_err();
         assert!(err.to_string().contains("--out"));
     }
 
     #[test]
     fn score_requires_input() {
-        let err = score(&parsed(&["score"])).unwrap_err();
+        let err = score(&parsed(&["score"]), &mut Vec::new()).unwrap_err();
         assert!(err.to_string().contains("--input"));
     }
 
@@ -368,7 +509,7 @@ mod tests {
 
     #[test]
     fn compare_requires_both_inputs() {
-        let err = compare(&parsed(&["compare", "--before", "a.csv"])).unwrap_err();
+        let err = compare(&parsed(&["compare", "--before", "a.csv"]), &mut Vec::new()).unwrap_err();
         assert!(err.to_string().contains("--after") || err.to_string().contains("a.csv"));
     }
 
@@ -382,64 +523,190 @@ mod tests {
         assert!(ingest_mode(&parsed(&["score", "--ingest-mode", "yolo"])).is_err());
     }
 
-    #[test]
-    fn lenient_ingest_scores_a_corrupt_file_strict_aborts() {
-        let dir = std::env::temp_dir().join("iqb-cli-ingest-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("corrupt.csv");
+    fn write_corrupt_csv(path: &std::path::Path, clean_rows: usize, bad_rows: usize) {
         let mut csv = String::from(
             "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n",
         );
-        for i in 0..30 {
+        for i in 0..clean_rows {
             csv.push_str(&format!("{},metro,ndt,90.0,20.0,25.0,0.1,\n", i * 60));
         }
-        csv.push_str("1800,metro,ndt,NaN,20.0,25.0,0.1,\n");
-        csv.push_str("1860,,ndt,90.0,20.0,25.0,0.1,\n");
-        std::fs::write(&path, csv).unwrap();
+        for i in 0..bad_rows {
+            csv.push_str(&format!("{},metro,ndt,NaN,20.0,25.0,0.1,\n", 100_000 + i));
+        }
+        std::fs::write(path, csv).unwrap();
+    }
+
+    #[test]
+    fn lenient_ingest_scores_a_corrupt_file_strict_aborts() {
+        let _guard = ingest_lock();
+        let dir = std::env::temp_dir().join("iqb-cli-ingest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.csv");
+        write_corrupt_csv(&path, 30, 2);
         let path_str = path.to_str().unwrap();
 
-        assert!(score(&parsed(&["score", "--input", path_str])).is_err());
-        score(&parsed(&[
-            "score",
-            "--input",
-            path_str,
-            "--ingest-mode",
-            "lenient",
-        ]))
+        assert!(score(&parsed(&["score", "--input", path_str]), &mut Vec::new()).is_err());
+        score(
+            &parsed(&["score", "--input", path_str, "--ingest-mode", "lenient"]),
+            &mut Vec::new(),
+        )
         .unwrap();
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
+    fn metrics_off_keeps_stdout_byte_identical() {
+        let _guard = ingest_lock();
+        let dir = std::env::temp_dir().join("iqb-cli-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("clean.csv");
+        write_corrupt_csv(&input, 40, 0);
+        let input_str = input.to_str().unwrap();
+        let metrics_out = dir.join("telemetry.json");
+        let trace_out = dir.join("trace.jsonl");
+
+        let mut plain = Vec::new();
+        score(&parsed(&["score", "--input", input_str]), &mut plain).unwrap();
+
+        let mut with_metrics = Vec::new();
+        score(
+            &parsed(&[
+                "score",
+                "--input",
+                input_str,
+                "--metrics",
+                "json",
+                "--metrics-out",
+                metrics_out.to_str().unwrap(),
+                "--trace",
+                trace_out.to_str().unwrap(),
+            ]),
+            &mut with_metrics,
+        )
+        .unwrap();
+
+        assert!(!plain.is_empty());
+        assert_eq!(
+            plain, with_metrics,
+            "--metrics json + --trace must not change stdout by a single byte"
+        );
+
+        // The telemetry document accounts for exactly this run's ingest.
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_out).unwrap()).unwrap();
+        assert_eq!(doc["sources"]["csv"]["scanned"], 40);
+        assert_eq!(doc["sources"]["csv"]["kept"], 40);
+        assert_eq!(doc["sources"]["csv"]["quarantined"], 0);
+        assert_eq!(doc["regions_scored"], 1);
+        let stages: Vec<&str> = doc["stages"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|s| s["stage"].as_str().unwrap())
+            .collect();
+        assert_eq!(stages, vec!["ingest", "score", "render"]);
+
+        // The trace is well-nested JSONL: root span wrapping the stages.
+        let trace = std::fs::read_to_string(&trace_out).unwrap();
+        let mut depth = 0i64;
+        for line in trace.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            match v["event"].as_str().unwrap() {
+                "span_start" => {
+                    assert_eq!(v["depth"].as_i64().unwrap(), depth);
+                    depth += 1;
+                }
+                "span_end" => {
+                    depth -= 1;
+                    assert_eq!(v["depth"].as_i64().unwrap(), depth);
+                }
+                other => panic!("unknown event {other}"),
+            }
+        }
+        assert_eq!(depth, 0, "every span closed");
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&metrics_out).ok();
+        std::fs::remove_file(&trace_out).ok();
+    }
+
+    #[test]
+    fn telemetry_counts_match_quarantine_on_a_lenient_run() {
+        let _guard = ingest_lock();
+        let dir = std::env::temp_dir().join("iqb-cli-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("corrupt.csv");
+        write_corrupt_csv(&input, 25, 3);
+        let metrics_out = dir.join("telemetry.json");
+
+        score(
+            &parsed(&[
+                "score",
+                "--input",
+                input.to_str().unwrap(),
+                "--ingest-mode",
+                "lenient",
+                "--metrics",
+                "json",
+                "--metrics-out",
+                metrics_out.to_str().unwrap(),
+            ]),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        let doc: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&metrics_out).unwrap()).unwrap();
+        // 25 clean + 3 NaN rows: the telemetry numbers are definitionally
+        // the QuarantineReport numbers (same mirror_to choke point).
+        assert_eq!(doc["sources"]["csv"]["scanned"], 28);
+        assert_eq!(doc["sources"]["csv"]["kept"], 25);
+        assert_eq!(doc["sources"]["csv"]["quarantined"], 3);
+        assert_eq!(doc["faults"]["invalid-value"], 3);
+        std::fs::remove_file(&input).ok();
+        std::fs::remove_file(&metrics_out).ok();
+    }
+
+    #[test]
     fn synth_score_round_trip_through_temp_file() {
+        let _guard = ingest_lock();
         let dir = std::env::temp_dir().join("iqb-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("tests.csv");
         let path_str = path.to_str().unwrap();
-        synth(&parsed(&[
-            "synth",
-            "--preset",
-            "rural-dsl",
-            "--subscribers",
-            "20",
-            "--tests",
-            "50",
-            "--out",
-            path_str,
-        ]))
+        synth(
+            &parsed(&[
+                "synth",
+                "--preset",
+                "rural-dsl",
+                "--subscribers",
+                "20",
+                "--tests",
+                "50",
+                "--out",
+                path_str,
+            ]),
+            &mut Vec::new(),
+        )
         .unwrap();
-        score(&parsed(&["score", "--input", path_str, "--clean"])).unwrap();
-        trend(&parsed(&[
-            "trend",
-            "--input",
-            path_str,
-            "--region",
-            "rural-dsl",
-            "--window-hours",
-            "24",
-        ]))
+        score(&parsed(&["score", "--input", path_str, "--clean"]), &mut Vec::new()).unwrap();
+        trend(
+            &parsed(&[
+                "trend",
+                "--input",
+                path_str,
+                "--region",
+                "rural-dsl",
+                "--window-hours",
+                "24",
+            ]),
+            &mut Vec::new(),
+        )
         .unwrap();
-        whatif(&parsed(&["whatif", "--input", path_str, "--region", "rural-dsl"])).unwrap();
+        whatif(
+            &parsed(&["whatif", "--input", path_str, "--region", "rural-dsl"]),
+            &mut Vec::new(),
+        )
+        .unwrap();
         std::fs::remove_file(&path).ok();
     }
 }

@@ -15,6 +15,8 @@
 mod args;
 mod commands;
 
+use std::io::Write;
+
 use args::{ParsedArgs, UsageError};
 
 const USAGE: &str = "\
@@ -47,26 +49,36 @@ COMMANDS:
         --clean                       Dedup + outlier-screen before scoring
         --format <text|csv|json>      Output format (default text)
         --drilldown <region>          Also print one region's breakdown
+        --metrics <text|json|off>     Emit run telemetry (counters, per-source
+                                      ingest accounting, stage wall times) after
+                                      the command. Default off; never on stdout
+        --metrics-out <file>          Write telemetry to a file instead of stderr
+        --trace <file>                Stream span_start/span_end JSONL events
     compare                           Diff two measurement CSVs region by region
         --before <a.csv>              Baseline measurements (required)
         --after <b.csv>               Comparison measurements (required)
         --agg-backend <exact|tdigest|p2>  Streaming quantile engine (default exact)
         --ingest-mode <strict|lenient>  Fault handling for both inputs (default strict)
+        --metrics / --metrics-out / --trace   As for `score`
     trend                             Windowed score trend for one region
         --input <file.csv>            Input path (required)
         --region <name>               Region id (required)
         --window-hours <h>            Window width (default 2)
         --ingest-mode <strict|lenient>  Fault handling (default strict)
+        --metrics / --metrics-out / --trace   As for `score`
     whatif                            Rank improvements for one region
         --input <file.csv>            Input path (required)
         --region <name>               Region id (required)
         --ingest-mode <strict|lenient>  Fault handling (default strict)
+        --metrics / --metrics-out / --trace   As for `score`
     help                              Show this message
 ";
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    match run(raw) {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match run(raw, &mut out) {
         Ok(()) => {}
         Err(e) => {
             eprintln!("error: {e}");
@@ -76,19 +88,19 @@ fn main() {
     }
 }
 
-fn run(raw: Vec<String>) -> Result<(), Box<dyn std::error::Error>> {
+fn run(raw: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std::error::Error>> {
     let parsed = ParsedArgs::parse(raw)?;
     match parsed.positional(0) {
         None | Some("help") => {
-            println!("{USAGE}");
+            writeln!(out, "{USAGE}")?;
             Ok(())
         }
-        Some("exhibits") => commands::exhibits(&parsed),
-        Some("synth") => commands::synth(&parsed),
-        Some("score") => commands::score(&parsed),
-        Some("compare") => commands::compare(&parsed),
-        Some("trend") => commands::trend(&parsed),
-        Some("whatif") => commands::whatif(&parsed),
+        Some("exhibits") => commands::exhibits(&parsed, out),
+        Some("synth") => commands::synth(&parsed, out),
+        Some("score") => commands::score(&parsed, out),
+        Some("compare") => commands::compare(&parsed, out),
+        Some("trend") => commands::trend(&parsed, out),
+        Some("whatif") => commands::whatif(&parsed, out),
         Some(other) => Err(Box::new(UsageError(format!(
             "unknown command `{other}`"
         )))),

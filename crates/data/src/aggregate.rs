@@ -162,14 +162,20 @@ impl QuantileSink for MetricSink {
     }
 
     fn merge(&mut self, other: &Self) -> Result<(), iqb_stats::StatsError> {
-        match (self, other) {
+        let result = match (&mut *self, other) {
             (MetricSink::Exact(a), MetricSink::Exact(b)) => a.merge(b),
             (MetricSink::TDigest(a), MetricSink::TDigest(b)) => QuantileSink::merge(a, b),
             (MetricSink::P2(a), MetricSink::P2(b)) => QuantileSink::merge(a, b),
             _ => Err(iqb_stats::StatsError::IncompatibleMerge(
                 "cannot merge sinks of different backends".into(),
             )),
+        };
+        if result.is_ok() {
+            iqb_obs::global()
+                .counter(iqb_obs::names::AGG_SINK_MERGES)
+                .inc();
         }
+        result
     }
 }
 
@@ -304,6 +310,7 @@ pub fn aggregate_region_filtered(
 ) -> Result<AggregateInput, DataError> {
     spec.validate()?;
     let mut input = AggregateInput::new();
+    let mut pushed: u64 = 0;
     for dataset in datasets {
         let filter = QueryFilter {
             region: Some(region.clone()),
@@ -316,6 +323,7 @@ pub fn aggregate_region_filtered(
             for (metric, _, sink) in sinks.iter_mut() {
                 if let Some(value) = record.metric_value(*metric) {
                     sink.push(value)?;
+                    pushed += 1;
                 }
             }
         }
@@ -336,6 +344,10 @@ pub fn aggregate_region_filtered(
             );
         }
     }
+    // Batched once per call: one atomic add, not one per record.
+    iqb_obs::global()
+        .counter(iqb_obs::names::AGG_VALUES_PUSHED)
+        .add(pushed);
     if input.is_empty() {
         return Err(DataError::NoData {
             context: format!("region {region} across {} datasets", datasets.len()),

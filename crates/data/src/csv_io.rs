@@ -140,6 +140,7 @@ pub fn read_csv_mode<R: Read>(
             }),
         }
     }
+    report.mirror_to(iqb_obs::global(), "csv");
     Ok((out, report))
 }
 

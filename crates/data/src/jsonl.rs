@@ -94,6 +94,7 @@ pub fn read_jsonl_mode<R: Read>(
             }),
         }
     }
+    report.mirror_to(iqb_obs::global(), "jsonl");
     Ok((out, report))
 }
 

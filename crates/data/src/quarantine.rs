@@ -257,6 +257,33 @@ impl QuarantineReport {
         }
     }
 
+    /// Mirrors this report's totals into a metrics registry under the
+    /// canonical `ingest.*` names (see [`iqb_obs::names`]).
+    ///
+    /// This is the single choke point tying quarantine accounting to
+    /// telemetry: readers call it exactly once per completed ingest, so
+    /// `ingest.scanned.<label> == ingest.kept.<label> +
+    /// ingest.quarantined.<label>` holds by construction and a
+    /// `RunTelemetry` built from the registry delta reports the same
+    /// numbers as this report.
+    pub fn mirror_to(&self, registry: &iqb_obs::MetricsRegistry, source_label: &str) {
+        use iqb_obs::names;
+        registry
+            .counter(&names::per_source(names::INGEST_SCANNED, source_label))
+            .add(self.scanned);
+        registry
+            .counter(&names::per_source(names::INGEST_KEPT, source_label))
+            .add(self.kept);
+        registry
+            .counter(&names::per_source(names::INGEST_QUARANTINED, source_label))
+            .add(self.quarantined());
+        for (kind, n) in &self.counts {
+            registry
+                .counter(&names::per_source(names::INGEST_FAULT, kind.tag()))
+                .add(*n);
+        }
+    }
+
     /// Renders a compact human-readable summary.
     pub fn render(&self) -> String {
         let mut out = format!(
@@ -450,6 +477,27 @@ mod tests {
         assert_eq!(a.quarantined(), 3);
         assert_eq!(a.count(FaultKind::Parse), 2);
         assert_eq!(a.exemplars.len(), 3);
+    }
+
+    #[test]
+    fn mirror_to_preserves_the_accounting_identity() {
+        let mut report = QuarantineReport::new();
+        report.scanned = 10;
+        report.kept = 8;
+        report.record(exemplar(FaultKind::Parse, "feed"));
+        report.record(exemplar(FaultKind::Io, "feed"));
+        let registry = iqb_obs::MetricsRegistry::new();
+        report.mirror_to(&registry, "csv");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ingest.scanned.csv"), 10);
+        assert_eq!(snap.counter("ingest.kept.csv"), 8);
+        assert_eq!(snap.counter("ingest.quarantined.csv"), 2);
+        assert_eq!(snap.counter("ingest.fault.parse"), 1);
+        assert_eq!(snap.counter("ingest.fault.io"), 1);
+        assert_eq!(
+            snap.counter("ingest.scanned.csv"),
+            snap.counter("ingest.kept.csv") + snap.counter("ingest.quarantined.csv")
+        );
     }
 
     #[test]

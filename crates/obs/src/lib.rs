@@ -1,0 +1,82 @@
+//! # iqb-obs — observability for the ingest→score pipeline
+//!
+//! Before the pipeline can be scaled (sharding, parallel fan-out, new
+//! backends), it has to be *measurable*: where do records go, where does
+//! wall time go, and did a change move either? This crate is that layer,
+//! kept dependency-light (`parking_lot` + serde only) and free of
+//! `unsafe` so every other crate can afford to depend on it:
+//!
+//! * [`registry`] — a [`registry::MetricsRegistry`] of named counters,
+//!   gauges and fixed-bucket latency histograms. Handles are `Arc`-backed
+//!   and atomic, cheap enough to bump on hot paths; snapshots are
+//!   serializable and diffable, so a run's contribution is
+//!   `after.diff(&before)` even on the shared [`global()`] registry.
+//! * [`span`] — a [`span::Span`]/[`span::Timer`] API with an optional
+//!   structured JSONL [`span::EventSink`], plus the [`span::StageClock`]
+//!   the CLI uses to time ingest/score/render stages.
+//! * [`telemetry`] — [`telemetry::RunTelemetry`], the end-of-run summary
+//!   document (records scanned/kept/quarantined per source, sink merges,
+//!   regions scored/rescored, stage wall times, CPU time, peak RSS).
+//! * [`procinfo`] — `/proc`-based CPU-time and peak-RSS probes (Linux;
+//!   `None` elsewhere), used for the bench harness's peak-RSS proxy.
+//! * [`names`] — the canonical metric-name catalog shared by the
+//!   instrumented crates, so producers and consumers cannot drift.
+//!
+//! ## Default-off contract
+//!
+//! Instrumented code *counts* unconditionally (atomic increments cost
+//! nanoseconds) but never prints: rendering only happens when a consumer
+//! asks (`iqb score --metrics text|json`). With `--metrics off` (the
+//! default) CLI stdout and the committed `results/` exhibits stay
+//! byte-identical to the uninstrumented binary.
+//!
+//! ```
+//! use iqb_obs::registry::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! registry.counter("demo.events").inc();
+//! let before = registry.snapshot();
+//! registry.counter("demo.events").add(2);
+//! assert_eq!(registry.snapshot().diff(&before).counter("demo.events"), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod names;
+pub mod procinfo;
+pub mod registry;
+pub mod span;
+pub mod telemetry;
+
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, RegistrySnapshot};
+pub use span::{EventSink, SharedBuffer, Span, StageClock, Timer};
+pub use telemetry::{RunTelemetry, SourceTelemetry, StageTiming};
+
+use std::sync::OnceLock;
+
+/// The process-wide registry the instrumented crates (`iqb-data`,
+/// `iqb-pipeline`, the CLI) report into.
+///
+/// Consumers never read absolute values from it — they take a
+/// [`RegistrySnapshot`] before a run and diff after, so concurrent runs
+/// in one process (e.g. parallel tests) only contaminate each other when
+/// they overlap in time *and* touch the same metric names. Tests that
+/// assert exact deltas serialize themselves around their ingest calls.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_shared() {
+        let before = global().snapshot();
+        global().counter("obs.test.global").inc();
+        let delta = global().snapshot().diff(&before);
+        assert_eq!(delta.counter("obs.test.global"), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Canonical metric names shared by the instrumented crates.
+//!
+//! Producers (`iqb-data`, `iqb-pipeline`, the CLI) and consumers
+//! ([`crate::telemetry::RunTelemetry`], tests, the bench harness) both
+//! import these constants, so a renamed metric is a compile error rather
+//! than a silently empty dashboard.
+//!
+//! Per-source ingest counters are the prefix constants joined with the
+//! source label by a dot: `ingest.kept.csv`, `ingest.quarantined.session`.
+//! Use [`per_source`] to build them and
+//! [`crate::registry::RegistrySnapshot::labelled`] to read them back.
+
+/// Records examined by a reader, prefix (suffix = source label).
+pub const INGEST_SCANNED: &str = "ingest.scanned";
+/// Records accepted by a reader, prefix (suffix = source label).
+pub const INGEST_KEPT: &str = "ingest.kept";
+/// Records quarantined by a reader, prefix (suffix = source label).
+pub const INGEST_QUARANTINED: &str = "ingest.quarantined";
+/// Quarantined records by fault kind, prefix (suffix = `FaultKind::tag()`).
+pub const INGEST_FAULT: &str = "ingest.fault";
+
+/// Values pushed into quantile sinks during aggregation.
+pub const AGG_VALUES_PUSHED: &str = "agg.values_pushed";
+/// Sink-into-sink merges (incremental session re-aggregation).
+pub const AGG_SINK_MERGES: &str = "agg.sink_merges";
+
+/// Regions fully scored by the batch runner.
+pub const PIPELINE_REGIONS_SCORED: &str = "pipeline.regions_scored";
+/// Regions skipped by the batch runner (no usable measurements).
+pub const PIPELINE_REGIONS_SKIPPED: &str = "pipeline.regions_skipped";
+/// Chunks dispatched by `fan_out_regions`.
+pub const PIPELINE_FAN_OUT_BATCHES: &str = "pipeline.fan_out.batches";
+/// Regions dispatched through `fan_out_regions`.
+pub const PIPELINE_FAN_OUT_REGIONS: &str = "pipeline.fan_out.regions";
+/// Per-region scoring latency histogram, in milliseconds.
+pub const PIPELINE_REGION_SCORE_MS: &str = "pipeline.region_score_ms";
+
+/// Records ingested into a `ScoringSession`.
+pub const SESSION_RECORDS_INGESTED: &str = "session.records_ingested";
+/// `rescore` calls on a `ScoringSession`.
+pub const SESSION_RESCORE_CALLS: &str = "session.rescore_calls";
+/// Dirty regions recomputed across all `rescore` calls.
+pub const SESSION_REGIONS_RESCORED: &str = "session.regions_rescored";
+
+/// Source incidents (panic or error) absorbed by the isolated runner.
+pub const SOURCE_INCIDENTS: &str = "source.incidents";
+/// Source retries that subsequently succeeded.
+pub const SOURCE_RETRY_SUCCESSES: &str = "source.retry_successes";
+
+/// Join a per-source prefix with its source label: `per_source(INGEST_KEPT,
+/// "csv")` → `"ingest.kept.csv"`.
+pub fn per_source(prefix: &str, label: &str) -> String {
+    format!("{prefix}.{label}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_source_joins_with_dot() {
+        assert_eq!(per_source(INGEST_KEPT, "csv"), "ingest.kept.csv");
+        assert_eq!(
+            per_source(INGEST_QUARANTINED, "session"),
+            "ingest.quarantined.session"
+        );
+    }
+}

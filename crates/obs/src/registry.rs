@@ -1,0 +1,501 @@
+//! Named counters, gauges and fixed-bucket latency histograms.
+//!
+//! The registry hands out cheap `Arc`-backed handles: a [`Counter`] is an
+//! atomic `u64`, a [`Gauge`] stores `f64` bits in an atomic `u64`, and a
+//! [`Histogram`] is a short `parking_lot::Mutex`-guarded bucket array.
+//! Lookup takes a read lock on the name map only once per handle — hot
+//! paths keep the handle and pay a single atomic per increment.
+//!
+//! Snapshots ([`RegistrySnapshot`]) are plain serializable data and can
+//! be subtracted ([`RegistrySnapshot::diff`]) so callers can measure one
+//! run's contribution on a long-lived (or process-global) registry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+/// Monotonic event counter. Cloning shares the underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating point gauge.
+///
+/// Stored as the `f64`'s bit pattern inside an `AtomicU64`, so reads and
+/// writes are lock-free without any `unsafe`.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Overwrite the gauge value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 if never set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Default latency bucket upper bounds, in milliseconds.
+///
+/// Chosen to cover everything from a sub-millisecond per-region score to
+/// a multi-second full-corpus bench run; the final implicit bucket is
+/// `+inf`.
+pub const DEFAULT_LATENCY_BUCKETS_MS: &[f64] = &[
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+];
+
+#[derive(Debug)]
+struct HistState {
+    /// One count per bound in `bounds`, plus a trailing overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Fixed-bucket histogram of `f64` observations (typically milliseconds).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bounds: Arc<Vec<f64>>,
+    state: Arc<Mutex<HistState>>,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: Arc::new(bounds.to_vec()),
+            state: Arc::new(Mutex::new(HistState {
+                counts: vec![0; bounds.len() + 1],
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            })),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(self.bounds.len());
+        let mut s = self.state.lock();
+        s.counts[idx] += 1;
+        s.count += 1;
+        s.sum += v;
+        if v < s.min {
+            s.min = v;
+        }
+        if v > s.max {
+            s.max = v;
+        }
+    }
+
+    /// Number of observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.state.lock().count
+    }
+
+    /// Serializable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let s = self.state.lock();
+        HistogramSnapshot {
+            bounds: self.bounds.as_ref().clone(),
+            counts: s.counts.clone(),
+            count: s.count,
+            sum: s.sum,
+            min: if s.count == 0 { 0.0 } else { s.min },
+            max: if s.count == 0 { 0.0 } else { s.max },
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds; observations above the last bound land in a
+    /// trailing overflow bucket.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (`bounds.len() + 1` entries, last = overflow).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (0.0 when empty).
+    pub min: f64,
+    /// Largest observation (0.0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile from the bucket boundaries: returns the upper
+    /// bound of the bucket containing the `q`-th observation (the last
+    /// finite bound for the overflow bucket). Good enough for coarse
+    /// latency reporting; exact quantiles come from the bench harness.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i < self.bounds.len() {
+                    self.bounds[i]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+}
+
+/// A registry of named metrics.
+///
+/// Names are free-form dotted strings; the canonical catalog lives in
+/// [`crate::names`]. Each kind (counter/gauge/histogram) has its own
+/// namespace map; registering the same name twice returns the existing
+/// handle.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter called `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.counters.read().get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the gauge called `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.gauges.read().get(name) {
+            return g.clone();
+        }
+        self.gauges
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the histogram called `name` with the default
+    /// latency buckets.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with_buckets(name, DEFAULT_LATENCY_BUCKETS_MS)
+    }
+
+    /// Get or create the histogram called `name`; `bounds` applies only
+    /// on first registration.
+    pub fn histogram_with_buckets(&self, name: &str, bounds: &[f64]) -> Histogram {
+        if let Some(h) = self.histograms.read().get(name) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// Serializable point-in-time copy of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Serializable point-in-time copy of a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name (0.0 when absent).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Histogram snapshot by name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Counters whose name starts with `prefix` followed by a `.`,
+    /// keyed by the remaining suffix (the "label"). Used to recover
+    /// per-source breakdowns such as `ingest.kept.csv`.
+    pub fn labelled(&self, prefix: &str) -> BTreeMap<String, u64> {
+        let full = format!("{prefix}.");
+        self.counters
+            .iter()
+            .filter_map(|(k, v)| k.strip_prefix(&full).map(|s| (s.to_string(), *v)))
+            .collect()
+    }
+
+    /// Subtract an earlier snapshot from this one, yielding the delta.
+    ///
+    /// Counters subtract (saturating); gauges keep this snapshot's
+    /// value (they are last-write-wins, not cumulative); histograms keep
+    /// this snapshot's state minus the earlier counts where both exist.
+    pub fn diff(&self, earlier: &RegistrySnapshot) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| {
+                let prior = earlier.counters.get(k).copied().unwrap_or(0);
+                (k.clone(), v.saturating_sub(prior))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let mut h = h.clone();
+                if let Some(prior) = earlier.histograms.get(k) {
+                    if prior.bounds == h.bounds && prior.counts.len() == h.counts.len() {
+                        for (c, p) in h.counts.iter_mut().zip(prior.counts.iter()) {
+                            *c = c.saturating_sub(*p);
+                        }
+                        h.count = h.count.saturating_sub(prior.count);
+                        h.sum -= prior.sum;
+                    }
+                }
+                (k.clone(), h)
+            })
+            .collect();
+        RegistrySnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Human-readable one-metric-per-line rendering (counters and gauges
+    /// sorted by name, histograms as `count/mean/max`). Zero-valued
+    /// counters are skipped so diffs read cleanly.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            if *v != 0 {
+                out.push_str(&format!("{k} = {v}\n"));
+            }
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("{k} = {v:.3}\n"));
+        }
+        for (k, h) in &self.histograms {
+            if h.count != 0 {
+                out.push_str(&format!(
+                    "{k} = count {} mean {:.3}ms max {:.3}ms\n",
+                    h.count,
+                    h.mean(),
+                    h.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x").get(), 3);
+    }
+
+    #[test]
+    fn gauge_round_trips_f64() {
+        let r = MetricsRegistry::new();
+        r.gauge("g").set(1.25);
+        assert_eq!(r.gauge("g").get(), 1.25);
+        r.gauge("g").set(-0.5);
+        assert_eq!(r.gauge("g").get(), -0.5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram_with_buckets("h", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![1, 1, 1]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 50.0);
+        assert!((s.mean() - 55.5 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantile_is_bucket_bound() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram_with_buckets("q", &[1.0, 10.0, 100.0]);
+        for _ in 0..90 {
+            h.observe(0.5);
+        }
+        for _ in 0..10 {
+            h.observe(50.0);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 1.0);
+        assert_eq!(s.quantile(0.95), 100.0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let r = MetricsRegistry::new();
+        let s = r.histogram("empty").snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_a_window() {
+        let r = MetricsRegistry::new();
+        r.counter("c").add(5);
+        r.histogram_with_buckets("h", &[1.0]).observe(0.5);
+        let before = r.snapshot();
+        r.counter("c").add(2);
+        r.histogram_with_buckets("h", &[1.0]).observe(0.5);
+        r.histogram_with_buckets("h", &[1.0]).observe(2.0);
+        let delta = r.snapshot().diff(&before);
+        assert_eq!(delta.counter("c"), 2);
+        let h = delta.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn labelled_extracts_suffixes() {
+        let r = MetricsRegistry::new();
+        r.counter("ingest.kept.csv").add(3);
+        r.counter("ingest.kept.jsonl").add(7);
+        r.counter("ingest.scanned.csv").add(4);
+        let snap = r.snapshot();
+        let kept = snap.labelled("ingest.kept");
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept["csv"], 3);
+        assert_eq!(kept["jsonl"], 7);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let r = MetricsRegistry::new();
+        r.counter("c").inc();
+        r.gauge("g").set(2.0);
+        let json = serde_json::to_string(&r.snapshot()).unwrap();
+        let back: RegistrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.counter("c"), 1);
+        assert_eq!(back.gauge("g"), 2.0);
+    }
+
+    #[test]
+    fn render_text_skips_zero_counters() {
+        let r = MetricsRegistry::new();
+        r.counter("zero");
+        r.counter("one").inc();
+        let text = r.snapshot().render_text();
+        assert!(text.contains("one = 1"));
+        assert!(!text.contains("zero"));
+    }
+}

@@ -1,0 +1,327 @@
+//! Spans, timers and the structured JSONL event sink.
+//!
+//! A [`Span`] brackets a region of work; when an [`EventSink`] is
+//! attached it emits `span_start`/`span_end` JSONL events carrying a
+//! global sequence number and the span's nesting depth, so a consumer
+//! can verify well-formedness (every end matches the most recent
+//! unclosed start) without any thread-local machinery. A [`Timer`]
+//! feeds a [`crate::registry::Histogram`] on drop. [`StageClock`]
+//! records coarse named stage wall times for [`crate::telemetry`].
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::registry::Histogram;
+
+/// Destination for structured span events, one JSON object per line.
+///
+/// Event schema:
+///
+/// ```json
+/// {"seq":0,"event":"span_start","span":"ingest","depth":0,"elapsed_us":12}
+/// {"seq":1,"event":"span_end","span":"ingest","depth":0,"elapsed_us":845}
+/// ```
+///
+/// `seq` is a sink-global monotonic sequence number, `depth` the span's
+/// nesting depth at start (0 = root), and `elapsed_us` microseconds
+/// since the sink was created (for `span_start`) or since the span
+/// started (for `span_end`).
+pub struct EventSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    seq: AtomicU64,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventSink")
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl EventSink {
+    /// Wrap a writer (file, stderr, [`SharedBuffer`], …).
+    pub fn new(out: Box<dyn Write + Send>) -> Arc<Self> {
+        Arc::new(EventSink {
+            out: Mutex::new(out),
+            seq: AtomicU64::new(0),
+            epoch: Instant::now(),
+        })
+    }
+
+    fn emit(&self, event: &str, span: &str, depth: u32, elapsed_us: u128) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let line = format!(
+            "{{\"seq\":{seq},\"event\":\"{event}\",\"span\":{},\"depth\":{depth},\"elapsed_us\":{elapsed_us}}}\n",
+            serde_json::to_string(span).unwrap_or_else(|_| "\"?\"".to_string()),
+        );
+        let mut out = self.out.lock();
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.flush();
+    }
+}
+
+/// An in-memory `Write` target tests can hand to [`EventSink::new`] and
+/// read back afterwards.
+#[derive(Clone, Debug, Default)]
+pub struct SharedBuffer {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl SharedBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bytes written so far, as a UTF-8 string (lossy).
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.buf.lock()).into_owned()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.lock().extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A named bracket of work. Emits `span_start` on creation and
+/// `span_end` on drop (or [`Span::finish`]) when a sink is attached;
+/// always records its own wall time.
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    depth: u32,
+    started: Instant,
+    sink: Option<Arc<EventSink>>,
+    finished: bool,
+}
+
+impl Span {
+    /// Start a root span with no sink (pure timer semantics).
+    pub fn root(name: &str) -> Span {
+        Span::start(name, 0, None)
+    }
+
+    /// Start a root span that reports to `sink`.
+    pub fn with_sink(name: &str, sink: Arc<EventSink>) -> Span {
+        Span::start(name, 0, Some(sink))
+    }
+
+    fn start(name: &str, depth: u32, sink: Option<Arc<EventSink>>) -> Span {
+        if let Some(s) = &sink {
+            s.emit("span_start", name, depth, s.epoch.elapsed().as_micros());
+        }
+        Span {
+            name: name.to_string(),
+            depth,
+            started: Instant::now(),
+            sink,
+            finished: false,
+        }
+    }
+
+    /// Start a child span one level deeper, sharing this span's sink.
+    pub fn child(&self, name: &str) -> Span {
+        Span::start(name, self.depth + 1, self.sink.clone())
+    }
+
+    /// Wall time since the span started.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// End the span now and return its wall time in milliseconds.
+    pub fn finish(mut self) -> f64 {
+        self.close();
+        self.elapsed_ms()
+    }
+
+    fn close(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if let Some(s) = &self.sink {
+            s.emit(
+                "span_end",
+                &self.name,
+                self.depth,
+                self.started.elapsed().as_micros(),
+            );
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Observes its own lifetime into a [`Histogram`] (in milliseconds) on
+/// drop, unless [`Timer::stop`] already did.
+#[derive(Debug)]
+pub struct Timer {
+    histogram: Histogram,
+    started: Instant,
+    stopped: bool,
+}
+
+impl Timer {
+    /// Start timing into `histogram`.
+    pub fn start(histogram: Histogram) -> Timer {
+        Timer {
+            histogram,
+            started: Instant::now(),
+            stopped: false,
+        }
+    }
+
+    /// Stop now, record, and return the elapsed milliseconds.
+    pub fn stop(mut self) -> f64 {
+        self.observe()
+    }
+
+    fn observe(&mut self) -> f64 {
+        let ms = self.started.elapsed().as_secs_f64() * 1e3;
+        if !self.stopped {
+            self.stopped = true;
+            self.histogram.observe(ms);
+        }
+        ms
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        self.observe();
+    }
+}
+
+/// Coarse named-stage wall clock for end-of-run telemetry.
+///
+/// The CLI runs strictly sequential stages (ingest → score → render), so
+/// a simple "close the previous stage when the next begins" model is
+/// enough; no nesting.
+#[derive(Debug, Default)]
+pub struct StageClock {
+    stages: Vec<(String, f64)>,
+    current: Option<(String, Instant)>,
+}
+
+impl StageClock {
+    /// A clock with no stages yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Close any open stage and start `name`.
+    pub fn stage(&mut self, name: &str) {
+        self.close_current();
+        self.current = Some((name.to_string(), Instant::now()));
+    }
+
+    fn close_current(&mut self) {
+        if let Some((name, started)) = self.current.take() {
+            self.stages
+                .push((name, started.elapsed().as_secs_f64() * 1e3));
+        }
+    }
+
+    /// Close the open stage and return `(name, wall_ms)` pairs in order.
+    pub fn finish(mut self) -> Vec<(String, f64)> {
+        self.close_current();
+        self.stages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn span_events_are_well_formed_jsonl() {
+        let buf = SharedBuffer::new();
+        let sink = EventSink::new(Box::new(buf.clone()));
+        {
+            let root = Span::with_sink("run", sink.clone());
+            let child = root.child("ingest");
+            drop(child);
+            let scored = root.child("score");
+            scored.finish();
+        }
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        let mut stack: Vec<(String, u64)> = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v["seq"].as_u64().unwrap(), i as u64);
+            let name = v["span"].as_str().unwrap().to_string();
+            let depth = v["depth"].as_u64().unwrap();
+            match v["event"].as_str().unwrap() {
+                "span_start" => {
+                    assert_eq!(depth, stack.len() as u64);
+                    stack.push((name, depth));
+                }
+                "span_end" => {
+                    let (top, d) = stack.pop().expect("end without start");
+                    assert_eq!(top, name);
+                    assert_eq!(d, depth);
+                }
+                other => panic!("unknown event {other}"),
+            }
+        }
+        assert!(stack.is_empty());
+    }
+
+    #[test]
+    fn span_without_sink_still_times() {
+        let s = Span::root("quiet");
+        assert!(s.finish() >= 0.0);
+    }
+
+    #[test]
+    fn timer_records_once() {
+        let r = MetricsRegistry::new();
+        let h = r.histogram("t");
+        let t = Timer::start(h.clone());
+        let ms = t.stop();
+        assert!(ms >= 0.0);
+        assert_eq!(h.count(), 1);
+        {
+            let _t = Timer::start(h.clone());
+        }
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn stage_clock_closes_stages_in_order() {
+        let mut clock = StageClock::new();
+        clock.stage("ingest");
+        clock.stage("score");
+        clock.stage("render");
+        let stages = clock.finish();
+        let names: Vec<&str> = stages.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["ingest", "score", "render"]);
+        assert!(stages.iter().all(|(_, ms)| *ms >= 0.0));
+    }
+
+    #[test]
+    fn empty_stage_clock_finishes_empty() {
+        assert!(StageClock::new().finish().is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! The end-of-run telemetry summary.
+//!
+//! [`RunTelemetry::from_delta`] reads a [`RegistrySnapshot`] delta (see
+//! [`RegistrySnapshot::diff`]) back into a structured document. Because
+//! it parses the very counters the instrumented readers bump through
+//! `QuarantineReport::mirror_to`, its per-source numbers are definitionally
+//! equal to the quarantine accounting on the same run — there is no
+//! second bookkeeping path to drift.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::names;
+use crate::procinfo;
+use crate::registry::RegistrySnapshot;
+
+/// Per-source ingest accounting, mirrored from the `ingest.*.<source>`
+/// counters.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct SourceTelemetry {
+    /// Records examined.
+    pub scanned: u64,
+    /// Records accepted.
+    pub kept: u64,
+    /// Records quarantined.
+    pub quarantined: u64,
+}
+
+/// One named pipeline stage and its wall time.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct StageTiming {
+    /// Stage name (`ingest`, `score`, `render`, …).
+    pub stage: String,
+    /// Wall time in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Machine- and human-readable summary of one pipeline run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunTelemetry {
+    /// Per-source ingest accounting, keyed by source label.
+    pub sources: BTreeMap<String, SourceTelemetry>,
+    /// Quarantined records by fault kind tag.
+    pub faults: BTreeMap<String, u64>,
+    /// Values pushed into quantile sinks.
+    pub agg_values_pushed: u64,
+    /// Sink-into-sink merges.
+    pub agg_sink_merges: u64,
+    /// Regions fully scored.
+    pub regions_scored: u64,
+    /// Regions skipped (no usable measurements).
+    pub regions_skipped: u64,
+    /// Chunks dispatched by `fan_out_regions`.
+    pub fan_out_batches: u64,
+    /// Regions dispatched through `fan_out_regions`.
+    pub fan_out_regions: u64,
+    /// Records ingested into scoring sessions.
+    pub session_records_ingested: u64,
+    /// `rescore` calls on scoring sessions.
+    pub session_rescore_calls: u64,
+    /// Dirty regions recomputed across `rescore` calls.
+    pub session_regions_rescored: u64,
+    /// Source incidents absorbed by the isolated runner.
+    pub source_incidents: u64,
+    /// Source retries that subsequently succeeded.
+    pub source_retry_successes: u64,
+    /// Named stage wall times, in execution order.
+    pub stages: Vec<StageTiming>,
+    /// Process CPU time (user+system) in milliseconds, when available.
+    pub cpu_time_ms: Option<f64>,
+    /// Process peak RSS in bytes, when available.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+impl RunTelemetry {
+    /// Build a summary from a snapshot delta.
+    ///
+    /// `stages` comes from [`crate::span::StageClock::finish`]; CPU time
+    /// and peak RSS are probed from `/proc` at call time (absolute for
+    /// the process, not windowed to the delta).
+    pub fn from_delta(delta: &RegistrySnapshot, stages: Vec<(String, f64)>) -> RunTelemetry {
+        let mut sources: BTreeMap<String, SourceTelemetry> = BTreeMap::new();
+        for (label, v) in delta.labelled(names::INGEST_SCANNED) {
+            sources.entry(label).or_default().scanned = v;
+        }
+        for (label, v) in delta.labelled(names::INGEST_KEPT) {
+            sources.entry(label).or_default().kept = v;
+        }
+        for (label, v) in delta.labelled(names::INGEST_QUARANTINED) {
+            sources.entry(label).or_default().quarantined = v;
+        }
+        // A source that appears only with zeros is noise in the report.
+        sources.retain(|_, s| s.scanned + s.kept + s.quarantined > 0);
+        let faults = delta
+            .labelled(names::INGEST_FAULT)
+            .into_iter()
+            .filter(|(_, v)| *v > 0)
+            .collect();
+        RunTelemetry {
+            sources,
+            faults,
+            agg_values_pushed: delta.counter(names::AGG_VALUES_PUSHED),
+            agg_sink_merges: delta.counter(names::AGG_SINK_MERGES),
+            regions_scored: delta.counter(names::PIPELINE_REGIONS_SCORED),
+            regions_skipped: delta.counter(names::PIPELINE_REGIONS_SKIPPED),
+            fan_out_batches: delta.counter(names::PIPELINE_FAN_OUT_BATCHES),
+            fan_out_regions: delta.counter(names::PIPELINE_FAN_OUT_REGIONS),
+            session_records_ingested: delta.counter(names::SESSION_RECORDS_INGESTED),
+            session_rescore_calls: delta.counter(names::SESSION_RESCORE_CALLS),
+            session_regions_rescored: delta.counter(names::SESSION_REGIONS_RESCORED),
+            source_incidents: delta.counter(names::SOURCE_INCIDENTS),
+            source_retry_successes: delta.counter(names::SOURCE_RETRY_SUCCESSES),
+            stages: stages
+                .into_iter()
+                .map(|(stage, wall_ms)| StageTiming { stage, wall_ms })
+                .collect(),
+            cpu_time_ms: procinfo::cpu_time_ms(),
+            peak_rss_bytes: procinfo::peak_rss_bytes(),
+        }
+    }
+
+    /// Pretty JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("run telemetry\n");
+        for (label, s) in &self.sources {
+            out.push_str(&format!(
+                "  ingest[{label}]: scanned {} kept {} quarantined {}\n",
+                s.scanned, s.kept, s.quarantined
+            ));
+        }
+        for (kind, n) in &self.faults {
+            out.push_str(&format!("  fault[{kind}]: {n}\n"));
+        }
+        out.push_str(&format!(
+            "  aggregation: {} values pushed, {} sink merges\n",
+            self.agg_values_pushed, self.agg_sink_merges
+        ));
+        out.push_str(&format!(
+            "  regions: {} scored, {} skipped ({} fanned out in {} batches)\n",
+            self.regions_scored, self.regions_skipped, self.fan_out_regions, self.fan_out_batches
+        ));
+        if self.session_rescore_calls > 0 || self.session_records_ingested > 0 {
+            out.push_str(&format!(
+                "  session: {} records ingested, {} regions rescored over {} rescore calls\n",
+                self.session_records_ingested,
+                self.session_regions_rescored,
+                self.session_rescore_calls
+            ));
+        }
+        if self.source_incidents > 0 || self.source_retry_successes > 0 {
+            out.push_str(&format!(
+                "  sources: {} incidents, {} retry successes\n",
+                self.source_incidents, self.source_retry_successes
+            ));
+        }
+        for t in &self.stages {
+            out.push_str(&format!("  stage[{}]: {:.1}ms\n", t.stage, t.wall_ms));
+        }
+        if let Some(cpu) = self.cpu_time_ms {
+            out.push_str(&format!("  cpu: {cpu:.0}ms\n"));
+        }
+        if let Some(rss) = self.peak_rss_bytes {
+            out.push_str(&format!("  peak rss: {:.1} MiB\n", rss as f64 / 1048576.0));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let r = MetricsRegistry::new();
+        r.counter(&names::per_source(names::INGEST_SCANNED, "csv"))
+            .add(10);
+        r.counter(&names::per_source(names::INGEST_KEPT, "csv")).add(8);
+        r.counter(&names::per_source(names::INGEST_QUARANTINED, "csv"))
+            .add(2);
+        r.counter(&names::per_source(names::INGEST_FAULT, "parse"))
+            .add(2);
+        r.counter(names::AGG_VALUES_PUSHED).add(100);
+        r.counter(names::PIPELINE_REGIONS_SCORED).add(4);
+        r
+    }
+
+    #[test]
+    fn from_delta_reconstructs_per_source_accounting() {
+        let r = sample_registry();
+        let t = RunTelemetry::from_delta(&r.snapshot(), vec![("ingest".into(), 1.5)]);
+        let csv = &t.sources["csv"];
+        assert_eq!(csv.scanned, 10);
+        assert_eq!(csv.kept, 8);
+        assert_eq!(csv.quarantined, 2);
+        assert_eq!(csv.scanned, csv.kept + csv.quarantined);
+        assert_eq!(t.faults["parse"], 2);
+        assert_eq!(t.agg_values_pushed, 100);
+        assert_eq!(t.regions_scored, 4);
+        assert_eq!(t.stages.len(), 1);
+        assert_eq!(t.stages[0].stage, "ingest");
+    }
+
+    #[test]
+    fn zero_only_sources_are_dropped() {
+        let r = MetricsRegistry::new();
+        r.counter(&names::per_source(names::INGEST_SCANNED, "ghost"));
+        let t = RunTelemetry::from_delta(&r.snapshot(), Vec::new());
+        assert!(t.sources.is_empty());
+        assert!(t.faults.is_empty());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample_registry();
+        let t = RunTelemetry::from_delta(&r.snapshot(), Vec::new());
+        let back: RunTelemetry = serde_json::from_str(&t.to_json()).unwrap();
+        assert_eq!(back.sources, t.sources);
+        assert_eq!(back.agg_values_pushed, t.agg_values_pushed);
+    }
+
+    #[test]
+    fn render_text_mentions_every_source() {
+        let r = sample_registry();
+        let t = RunTelemetry::from_delta(&r.snapshot(), vec![("score".into(), 2.0)]);
+        let text = t.render_text();
+        assert!(text.contains("ingest[csv]: scanned 10 kept 8 quarantined 2"));
+        assert!(text.contains("fault[parse]: 2"));
+        assert!(text.contains("stage[score]"));
+    }
+}

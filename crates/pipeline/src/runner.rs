@@ -92,6 +92,13 @@ where
         .min(regions.len());
     let chunk_size = regions.len().div_ceil(workers.max(1)).max(1);
 
+    let registry = iqb_obs::global();
+    registry
+        .counter(iqb_obs::names::PIPELINE_FAN_OUT_REGIONS)
+        .add(regions.len() as u64);
+    let score_hist = registry.histogram(iqb_obs::names::PIPELINE_REGION_SCORE_MS);
+    let batches = registry.counter(iqb_obs::names::PIPELINE_FAN_OUT_BATCHES);
+
     type WorkerResult<T> = Result<(RegionId, T), PipelineError>;
     let (sender, receiver) = crossbeam::channel::unbounded::<WorkerResult<T>>();
     let work = &work;
@@ -99,9 +106,13 @@ where
     crossbeam::scope(|scope| {
         for chunk in regions.chunks(chunk_size) {
             let sender = sender.clone();
+            let score_hist = score_hist.clone();
+            batches.inc();
             scope.spawn(move |_| {
                 for region in chunk {
+                    let timer = iqb_obs::Timer::start(score_hist.clone());
                     let message = work(region).map(|t| (region.clone(), t));
+                    drop(timer);
                     // The receiver outlives the scope; ignore send failure
                     // (only possible if the parent already bailed).
                     let _ = sender.send(message);
@@ -178,6 +189,13 @@ pub fn score_all_regions(
         }
     }
     skipped.sort();
+    let registry = iqb_obs::global();
+    registry
+        .counter(iqb_obs::names::PIPELINE_REGIONS_SCORED)
+        .add(scored.len() as u64);
+    registry
+        .counter(iqb_obs::names::PIPELINE_REGIONS_SKIPPED)
+        .add(skipped.len() as u64);
     Ok(RegionalReport {
         regions: scored,
         skipped,
@@ -384,6 +402,19 @@ pub fn score_sources(
         }
     }
     skipped.sort();
+    let registry = iqb_obs::global();
+    registry
+        .counter(iqb_obs::names::SOURCE_INCIDENTS)
+        .add(quality.incidents.len() as u64);
+    registry
+        .counter(iqb_obs::names::SOURCE_RETRY_SUCCESSES)
+        .add(quality.retry_successes);
+    registry
+        .counter(iqb_obs::names::PIPELINE_REGIONS_SCORED)
+        .add(scored.len() as u64);
+    registry
+        .counter(iqb_obs::names::PIPELINE_REGIONS_SKIPPED)
+        .add(skipped.len() as u64);
     Ok(ScoredSources {
         report: RegionalReport {
             regions: scored,

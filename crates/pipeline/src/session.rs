@@ -120,6 +120,9 @@ impl ScoringSession {
             }
             ingested += 1;
         }
+        iqb_obs::global()
+            .counter(iqb_obs::names::SESSION_RECORDS_INGESTED)
+            .add(ingested as u64);
         Ok(ingested)
     }
 
@@ -155,6 +158,7 @@ impl ScoringSession {
                 }),
             }
         }
+        report.mirror_to(iqb_obs::global(), "session");
         Ok((ingested, report))
     }
 
@@ -221,6 +225,13 @@ impl ScoringSession {
         self.cached.skipped.sort();
         self.cached.skipped.dedup();
         self.region_recomputes += dirty.len() as u64;
+        let registry = iqb_obs::global();
+        registry
+            .counter(iqb_obs::names::SESSION_RESCORE_CALLS)
+            .inc();
+        registry
+            .counter(iqb_obs::names::SESSION_REGIONS_RESCORED)
+            .add(dirty.len() as u64);
         self.dirty.clear();
         Ok(&self.cached)
     }

@@ -1,0 +1,199 @@
+//! Observability invariants across the instrumented crates (PR 3).
+//!
+//! Exercises the real ingest and scoring paths and checks that what the
+//! metrics registry says happened is exactly what the quarantine and
+//! pipeline accounting say happened. The global registry is shared by
+//! every test in this binary, so tests that assert exact deltas hold
+//! [`ingest_lock`] around their window.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
+
+use iqb_core::config::IqbConfig;
+use iqb_data::aggregate::AggregationSpec;
+use iqb_data::csv_io;
+use iqb_data::quarantine::IngestMode;
+use iqb_data::store::{MeasurementStore, QueryFilter};
+use iqb_obs::{names, EventSink, RunTelemetry, SharedBuffer, Span};
+use iqb_pipeline::runner::score_all_regions;
+
+/// Serializes registry-window tests so concurrent tests in this binary
+/// cannot contaminate each other's snapshot deltas.
+fn ingest_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn corrupt_csv(clean_rows: usize, bad_rows: usize) -> String {
+    let mut csv = String::from(
+        "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n",
+    );
+    for i in 0..clean_rows {
+        csv.push_str(&format!("{},metro,ndt,90.0,20.0,25.0,0.1,\n", i * 60));
+    }
+    for i in 0..bad_rows {
+        csv.push_str(&format!("{},metro,ndt,NaN,20.0,25.0,0.1,\n", 900_000 + i * 60));
+    }
+    csv
+}
+
+#[test]
+fn registry_mirrors_quarantine_accounting_exactly() {
+    let _guard = ingest_lock();
+    let before = iqb_obs::global().snapshot();
+    let (records, report) =
+        csv_io::read_csv_mode(corrupt_csv(12, 3).as_bytes(), IngestMode::Lenient).unwrap();
+    let delta = iqb_obs::global().snapshot().diff(&before);
+
+    assert_eq!(records.len(), 12);
+    // The registry numbers ARE the QuarantineReport numbers — same
+    // mirror_to choke point, no second bookkeeping path to drift.
+    assert_eq!(
+        delta.counter(&names::per_source(names::INGEST_SCANNED, "csv")),
+        report.scanned
+    );
+    assert_eq!(
+        delta.counter(&names::per_source(names::INGEST_KEPT, "csv")),
+        report.kept
+    );
+    assert_eq!(
+        delta.counter(&names::per_source(names::INGEST_QUARANTINED, "csv")),
+        report.quarantined()
+    );
+    // The accounting identity holds inside the registry itself.
+    assert_eq!(
+        delta.counter(&names::per_source(names::INGEST_SCANNED, "csv")),
+        delta.counter(&names::per_source(names::INGEST_KEPT, "csv"))
+            + delta.counter(&names::per_source(names::INGEST_QUARANTINED, "csv"))
+    );
+    // Fault-kind counters sum to the quarantined total.
+    let faults: u64 = delta.labelled(names::INGEST_FAULT).values().sum();
+    assert_eq!(faults, report.quarantined());
+}
+
+#[test]
+fn run_telemetry_equals_quarantine_report_on_the_same_run() {
+    let _guard = ingest_lock();
+    let before = iqb_obs::global().snapshot();
+    let (records, report) =
+        csv_io::read_csv_mode(corrupt_csv(30, 5).as_bytes(), IngestMode::Lenient).unwrap();
+    let mut store = MeasurementStore::new();
+    store.extend(records).unwrap();
+    let config = IqbConfig::paper_default();
+    let spec = AggregationSpec::uniform_quantile(0.95).unwrap();
+    let scored = score_all_regions(&store, &config, &spec, &QueryFilter::all()).unwrap();
+    let delta = iqb_obs::global().snapshot().diff(&before);
+
+    let telemetry = RunTelemetry::from_delta(&delta, vec![("score".into(), 1.0)]);
+    let csv = &telemetry.sources["csv"];
+    assert_eq!(csv.scanned, report.scanned);
+    assert_eq!(csv.kept, report.kept);
+    assert_eq!(csv.quarantined, report.quarantined());
+    let fault_totals: BTreeMap<String, u64> = report
+        .counts
+        .iter()
+        .map(|(kind, n)| (kind.tag().to_string(), *n))
+        .collect();
+    assert_eq!(telemetry.faults, fault_totals);
+    // The scoring pass is accounted too: one region scored, values
+    // pushed for every kept record's metrics.
+    assert_eq!(telemetry.regions_scored, scored.regions.len() as u64);
+    assert!(telemetry.agg_values_pushed > 0);
+    // Both documents render and serialize.
+    assert!(telemetry.render_text().contains("ingest[csv]"));
+    let json: serde_json::Value = serde_json::from_str(&telemetry.to_json()).unwrap();
+    assert_eq!(json["sources"]["csv"]["scanned"], report.scanned);
+}
+
+#[test]
+fn scoring_is_counted_in_the_registry() {
+    let _guard = ingest_lock();
+    let regions = iqb_synth::region::RegionSpec::urban_fiber("obs-urban", 15);
+    let campaign = iqb_synth::campaign::run_campaign(
+        &regions,
+        &iqb_synth::campaign::CampaignConfig {
+            tests_per_dataset: 40,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut store = MeasurementStore::new();
+    store.extend(campaign.records.iter().cloned()).unwrap();
+
+    let before = iqb_obs::global().snapshot();
+    let config = IqbConfig::paper_default();
+    let spec = AggregationSpec::uniform_quantile(0.95).unwrap();
+    let report = score_all_regions(&store, &config, &spec, &QueryFilter::all()).unwrap();
+    let delta = iqb_obs::global().snapshot().diff(&before);
+
+    assert_eq!(report.regions.len(), 1);
+    assert_eq!(delta.counter(names::PIPELINE_REGIONS_SCORED), 1);
+    assert_eq!(delta.counter(names::PIPELINE_REGIONS_SKIPPED), 0);
+    // Every (region, metric, dataset) cell pushes its samples through a
+    // sink; the exact count is data-dependent but must cover at least
+    // one value per kept record once across the metric columns.
+    assert!(delta.counter(names::AGG_VALUES_PUSHED) >= store.len() as u64);
+    // Region scoring wall time landed in the histogram.
+    let hist = delta
+        .histogram(names::PIPELINE_REGION_SCORE_MS)
+        .expect("region score histogram recorded");
+    assert_eq!(hist.count, 1);
+}
+
+#[test]
+fn span_sink_emits_well_nested_jsonl() {
+    let buf = SharedBuffer::new();
+    let sink = EventSink::new(Box::new(buf.clone()));
+    {
+        let root = Span::with_sink("run", sink);
+        {
+            let ingest = root.child("ingest");
+            drop(ingest);
+        }
+        let score = root.child("score");
+        let _grandchild = score.child("region");
+    }
+    let text = buf.contents();
+    let mut stack: Vec<String> = Vec::new();
+    let mut seqs = Vec::new();
+    for line in text.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("each line is JSON");
+        seqs.push(v["seq"].as_u64().unwrap());
+        let name = v["span"].as_str().unwrap().to_string();
+        let depth = v["depth"].as_u64().unwrap() as usize;
+        match v["event"].as_str().unwrap() {
+            "span_start" => {
+                assert_eq!(depth, stack.len(), "start depth matches nesting");
+                stack.push(name);
+            }
+            "span_end" => {
+                assert_eq!(stack.pop().as_deref(), Some(name.as_str()));
+                assert_eq!(depth, stack.len(), "end depth matches nesting");
+            }
+            other => panic!("unknown event `{other}`"),
+        }
+    }
+    assert!(stack.is_empty(), "every span closed");
+    assert_eq!(seqs, (0..8).collect::<Vec<u64>>(), "gap-free sequence");
+}
+
+#[test]
+fn strict_ingest_mirrors_nothing_extra_on_clean_input() {
+    let _guard = ingest_lock();
+    let before = iqb_obs::global().snapshot();
+    let (records, report) =
+        csv_io::read_csv_mode(corrupt_csv(7, 0).as_bytes(), IngestMode::Strict).unwrap();
+    let delta = iqb_obs::global().snapshot().diff(&before);
+    assert_eq!(records.len(), 7);
+    assert!(report.is_clean());
+    assert_eq!(
+        delta.counter(&names::per_source(names::INGEST_SCANNED, "csv")),
+        7
+    );
+    assert_eq!(delta.counter(&names::per_source(names::INGEST_KEPT, "csv")), 7);
+    assert_eq!(
+        delta.counter(&names::per_source(names::INGEST_QUARANTINED, "csv")),
+        0
+    );
+    assert!(delta.labelled(names::INGEST_FAULT).values().all(|v| *v == 0));
+}
