@@ -37,24 +37,20 @@ fn bench_backends(c: &mut Criterion) {
         let spec = AggregationSpec::paper_default().with_backend(backend);
         group.bench_function(format!("aggregate_one_region_6000/{backend}"), |b| {
             b.iter(|| {
-                aggregate_region(
-                    black_box(&store),
-                    &first_region,
-                    &config.datasets,
-                    &spec,
-                )
-                .unwrap()
+                aggregate_region(black_box(&store), &first_region, &config.datasets, &spec).unwrap()
             })
         });
     }
 
     // Full regional batch score under each backend.
-    for backend in [AggregatorBackend::Exact, AggregatorBackend::tdigest_default()] {
+    for backend in [
+        AggregatorBackend::Exact,
+        AggregatorBackend::tdigest_default(),
+    ] {
         let spec = AggregationSpec::paper_default().with_backend(backend);
         group.bench_function(format!("score_all_regions_4x6000/{backend}"), |b| {
             b.iter(|| {
-                score_all_regions(black_box(&store), &config, &spec, &QueryFilter::all())
-                    .unwrap()
+                score_all_regions(black_box(&store), &config, &spec, &QueryFilter::all()).unwrap()
             })
         });
     }
@@ -67,13 +63,17 @@ fn bench_backends(c: &mut Criterion) {
             let filter = QueryFilter::all().region(r.clone());
             store
                 .query(&filter)
-                .cloned()
+                .map(|row| row.to_record())
                 .collect::<Vec<TestRecord>>()
         })
         .collect();
     let update: Vec<TestRecord> = {
         let filter = QueryFilter::all().region(first_region.clone());
-        store.query(&filter).take(100).cloned().collect()
+        store
+            .query(&filter)
+            .take(100)
+            .map(|row| row.to_record())
+            .collect()
     };
     let spec = AggregationSpec::paper_default();
 

@@ -22,13 +22,14 @@ fn bench_store(c: &mut Criterion) {
     });
 
     c.bench_function("store/aggregate_region_p95", |b| {
-        b.iter(|| {
-            aggregate_region(black_box(&store), &region, &DatasetId::BUILTIN, &spec).unwrap()
-        })
+        b.iter(|| aggregate_region(black_box(&store), &region, &DatasetId::BUILTIN, &spec).unwrap())
     });
 
     c.bench_function("store/ingest_6000_records", |b| {
-        let records: Vec<_> = store.query(&QueryFilter::all()).cloned().collect();
+        let records: Vec<_> = store
+            .query(&QueryFilter::all())
+            .map(|r| r.to_record())
+            .collect();
         b.iter(|| {
             let mut fresh = iqb_data::store::MeasurementStore::new();
             fresh.extend(black_box(records.iter().cloned())).unwrap()
@@ -36,13 +37,37 @@ fn bench_store(c: &mut Criterion) {
     });
 
     c.bench_function("csv/round_trip_6000_records", |b| {
-        let records: Vec<_> = store.query(&QueryFilter::all()).cloned().collect();
+        let records: Vec<_> = store
+            .query(&QueryFilter::all())
+            .map(|r| r.to_record())
+            .collect();
         b.iter(|| {
             let mut buf = Vec::new();
             csv_io::write_csv(&mut buf, black_box(&records)).unwrap();
             csv_io::read_csv(buf.as_slice()).unwrap()
         })
     });
+
+    // Chunked parallel CSV reader straight into the columnar store, at
+    // 1 and 4 worker threads (output is identical; only speed differs).
+    let records: Vec<_> = store
+        .query(&QueryFilter::all())
+        .map(|r| r.to_record())
+        .collect();
+    let mut csv_text = Vec::new();
+    csv_io::write_csv(&mut csv_text, &records).unwrap();
+    for threads in [1usize, 4] {
+        c.bench_function(&format!("csv/read_store_{threads}thread"), |b| {
+            b.iter(|| {
+                iqb_data::ingest::read_csv_store(
+                    black_box(csv_text.as_slice()),
+                    iqb_data::quarantine::IngestMode::Strict,
+                    threads,
+                )
+                .unwrap()
+            })
+        });
+    }
 }
 
 criterion_group!(benches, bench_store);

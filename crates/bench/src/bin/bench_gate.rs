@@ -3,18 +3,20 @@
 //! time regressed past the tolerance (see [`iqb_bench::gate`]).
 //!
 //! ```text
-//! bench_gate --baseline BENCH_pipeline.json --current target/BENCH_pipeline.json [--tolerance 0.25]
+//! bench_gate --baseline BENCH_pipeline.json --current target/BENCH_pipeline.json \
+//!     [--tolerance 0.25] [--ratio-ceiling 1.5]
 //! ```
 
-use iqb_bench::gate::{gate_bench, BenchDoc};
+use iqb_bench::gate::{gate_bench, BenchDoc, DEFAULT_RATIO_CEILING};
 
-const USAGE: &str =
-    "usage: bench_gate --baseline <file.json> --current <file.json> [--tolerance <fraction>]";
+const USAGE: &str = "usage: bench_gate --baseline <file.json> --current <file.json> \
+     [--tolerance <fraction>] [--ratio-ceiling <multiplier>]";
 
 fn main() {
     let mut baseline_path: Option<String> = None;
     let mut current_path: Option<String> = None;
     let mut tolerance = 0.25;
+    let mut ratio_ceiling = DEFAULT_RATIO_CEILING;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -37,6 +39,19 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--ratio-ceiling" => {
+                let raw = value("--ratio-ceiling");
+                ratio_ceiling = raw.parse().unwrap_or_else(|e| {
+                    eprintln!("error: --ratio-ceiling {raw}: {e}");
+                    std::process::exit(2);
+                });
+                if !(ratio_ceiling > 0.0 && ratio_ceiling.is_finite()) {
+                    eprintln!(
+                        "error: --ratio-ceiling must be a positive multiplier, got {ratio_ceiling}"
+                    );
+                    std::process::exit(2);
+                }
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -56,7 +71,7 @@ fn main() {
         std::process::exit(2);
     }));
 
-    let report = gate_bench(&baseline, &current, tolerance);
+    let report = gate_bench(&baseline, &current, tolerance, ratio_ceiling);
     print!("{}", report.render());
     if !report.passed() {
         std::process::exit(1);

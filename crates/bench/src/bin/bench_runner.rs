@@ -1,6 +1,7 @@
 //! Pipeline benchmark harness: scores a synthetic corpus at three sizes,
 //! across the three aggregation backends, in batch and incremental mode,
-//! and emits a `BENCH_pipeline.json` document ([`iqb_bench::gate::BenchDoc`]).
+//! plus chunked CSV-ingest throughput (serial vs 4 worker threads), and
+//! emits a `BENCH_pipeline.json` document ([`iqb_bench::gate::BenchDoc`]).
 //!
 //! ```text
 //! bench_runner [--quick] [--out BENCH_pipeline.json]
@@ -16,6 +17,9 @@ use iqb_bench::gate::{sample_quantile, BenchDoc, BenchRow, BENCH_SCHEMA};
 use iqb_bench::{build_store, standard_regions, MASTER_SEED};
 use iqb_core::config::IqbConfig;
 use iqb_data::aggregate::{AggregationSpec, AggregatorBackend};
+use iqb_data::csv_io;
+use iqb_data::ingest::read_csv_store;
+use iqb_data::quarantine::IngestMode;
 use iqb_data::record::TestRecord;
 use iqb_data::store::{MeasurementStore, QueryFilter};
 use iqb_pipeline::runner::score_all_regions;
@@ -65,10 +69,37 @@ fn main() {
         eprintln!("bench_runner: corpus {subscribers}x{tests_per_dataset}");
         let fleet = standard_regions(subscribers);
         let (store, _) = build_store(&fleet, tests_per_dataset, MASTER_SEED);
-        let records: Vec<TestRecord> = store.query(&QueryFilter::all()).cloned().collect();
+        let records: Vec<TestRecord> = store
+            .query(&QueryFilter::all())
+            .map(|r| r.to_record())
+            .collect();
+
+        // Chunked-reader throughput: the same corpus as CSV text, parsed
+        // serially and with 4 worker threads. The parallel reader is
+        // deterministic in the thread count, so these rows differ only
+        // in wall time.
+        let mut csv_text: Vec<u8> = Vec::new();
+        csv_io::write_csv(&mut csv_text, &records).expect("in-memory CSV write");
+        for (case, threads) in [("ingest-serial", 1usize), ("ingest-parallel4", 4usize)] {
+            let samples: Vec<f64> = (0..runs).map(|_| time_ingest(&csv_text, threads)).collect();
+            let median_ms = sample_quantile(&samples, 0.5);
+            rows.push(BenchRow {
+                case: case.to_string(),
+                backend: "csv".to_string(),
+                subscribers,
+                tests_per_dataset,
+                records: records.len(),
+                runs,
+                median_ms,
+                p95_ms: sample_quantile(&samples, 0.95),
+                throughput_rps: records.len() as f64 / (median_ms / 1e3),
+                peak_rss_bytes: iqb_obs::procinfo::peak_rss_bytes(),
+            });
+            eprintln!("bench_runner:   {case}/csv: median {median_ms:.2}ms over {runs} runs");
+        }
+
         for backend_tag in ["exact", "tdigest", "p2"] {
-            let backend: AggregatorBackend =
-                backend_tag.parse().expect("tags are the valid set");
+            let backend: AggregatorBackend = backend_tag.parse().expect("tags are the valid set");
             let spec = AggregationSpec::uniform_quantile(0.95)
                 .expect("0.95 is a valid quantile")
                 .with_backend(backend);
@@ -120,6 +151,17 @@ fn main() {
     }
 }
 
+/// One chunked CSV parse of the whole corpus into a columnar store at
+/// the given worker-thread count; returns wall milliseconds.
+fn time_ingest(csv_text: &[u8], threads: usize) -> f64 {
+    let started = Instant::now();
+    let (store, report) =
+        read_csv_store(csv_text, IngestMode::Strict, threads).expect("synthetic CSV is clean");
+    assert!(report.is_clean());
+    assert!(!store.is_empty());
+    started.elapsed().as_secs_f64() * 1e3
+}
+
 /// One full batch scoring pass; returns wall milliseconds.
 fn time_batch(store: &MeasurementStore, config: &IqbConfig, spec: &AggregationSpec) -> f64 {
     let started = Instant::now();
@@ -138,7 +180,7 @@ fn time_incremental(records: &[TestRecord], config: &IqbConfig, spec: &Aggregati
     let chunk_size = records.len().div_ceil(INCREMENTAL_CHUNKS).max(1);
     for chunk in records.chunks(chunk_size) {
         session
-            .ingest(chunk.iter().cloned())
+            .ingest_refs(chunk.iter())
             .expect("synthetic records are pre-validated");
         session.rescore().expect("synthetic corpus scores");
     }

@@ -19,6 +19,12 @@ use serde::{Deserialize, Serialize};
 /// blowups until a measured baseline lands.
 pub const ESTIMATED_BASELINE_CEILING: f64 = 10.0;
 
+/// Default ceiling on the incremental/batch median ratio within the
+/// *current* document: incrementality is supposed to be cheap, so an
+/// incremental run costing more than 1.5x its batch twin at the same
+/// backend and corpus size is a regression regardless of the baseline.
+pub const DEFAULT_RATIO_CEILING: f64 = 1.5;
+
 /// One benchmark cell: a scoring case run against one backend at one
 /// corpus size.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -94,6 +100,26 @@ pub struct GateOutcome {
     pub pass: bool,
 }
 
+/// The verdict for one incremental-vs-batch pairing in the current
+/// document (same backend and corpus size).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RatioOutcome {
+    /// Backend tag shared by the paired rows.
+    pub backend: String,
+    /// Subscribers per region of the paired rows.
+    pub subscribers: usize,
+    /// Tests per dataset of the paired rows.
+    pub tests_per_dataset: u64,
+    /// The batch row's median wall time, milliseconds.
+    pub batch_median_ms: f64,
+    /// The incremental row's median wall time, milliseconds.
+    pub incremental_median_ms: f64,
+    /// Maximum allowed incremental/batch ratio.
+    pub limit_ratio: f64,
+    /// Whether the pairing passed.
+    pub pass: bool,
+}
+
 /// Everything `bench_gate` prints and exits on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GateReport {
@@ -103,12 +129,20 @@ pub struct GateReport {
     pub estimated_baseline: bool,
     /// Per-row verdicts, in baseline order.
     pub outcomes: Vec<GateOutcome>,
+    /// Incremental/batch pairings checked within the current document.
+    /// Defaults to empty when deserializing documents written before the
+    /// ratio check existed.
+    #[serde(default)]
+    pub ratios: Vec<RatioOutcome>,
 }
 
 impl GateReport {
-    /// True when every baseline row was found and within its limit.
+    /// True when every baseline row was found and within its limit, and
+    /// every incremental/batch pairing stayed under the ratio ceiling.
     pub fn passed(&self) -> bool {
-        !self.outcomes.is_empty() && self.outcomes.iter().all(|o| o.pass)
+        !self.outcomes.is_empty()
+            && self.outcomes.iter().all(|o| o.pass)
+            && self.ratios.iter().all(|r| r.pass)
     }
 
     /// Human-readable verdict table for CI logs.
@@ -143,6 +177,20 @@ impl GateReport {
                 )),
             }
         }
+        for r in &self.ratios {
+            let ratio = r.incremental_median_ms / r.batch_median_ms;
+            out.push_str(&format!(
+                "  [{}] incremental/batch {}/{}x{}: {:.2}ms vs {:.2}ms ({:.2}x, limit {:.2}x)\n",
+                if r.pass { "ok" } else { "FAIL" },
+                r.backend,
+                r.subscribers,
+                r.tests_per_dataset,
+                r.incremental_median_ms,
+                r.batch_median_ms,
+                ratio,
+                r.limit_ratio
+            ));
+        }
         out.push_str(if self.passed() {
             "bench gate: PASS\n"
         } else {
@@ -157,7 +205,17 @@ impl GateReport {
 /// (or [`ESTIMATED_BASELINE_CEILING`] when the baseline is estimated).
 /// Extra rows in `current` are ignored — adding cells is not a
 /// regression.
-pub fn gate_bench(baseline: &BenchDoc, current: &BenchDoc, tolerance: f64) -> GateReport {
+///
+/// Independently of the baseline, every `incremental` row in `current`
+/// with a `batch` twin (same backend, same corpus size) must stay under
+/// `ratio_ceiling` times the twin's median — the absolute incrementality
+/// contract, enforced even while the baseline is estimated.
+pub fn gate_bench(
+    baseline: &BenchDoc,
+    current: &BenchDoc,
+    tolerance: f64,
+    ratio_ceiling: f64,
+) -> GateReport {
     let limit_ratio = if baseline.estimated {
         ESTIMATED_BASELINE_CEILING
     } else {
@@ -182,10 +240,33 @@ pub fn gate_bench(baseline: &BenchDoc, current: &BenchDoc, tolerance: f64) -> Ga
             }
         })
         .collect();
+    let ratios = current
+        .rows
+        .iter()
+        .filter(|r| r.case == "incremental")
+        .filter_map(|inc| {
+            let batch = current.rows.iter().find(|b| {
+                b.case == "batch"
+                    && b.backend == inc.backend
+                    && b.subscribers == inc.subscribers
+                    && b.tests_per_dataset == inc.tests_per_dataset
+            })?;
+            Some(RatioOutcome {
+                backend: inc.backend.clone(),
+                subscribers: inc.subscribers,
+                tests_per_dataset: inc.tests_per_dataset,
+                batch_median_ms: batch.median_ms,
+                incremental_median_ms: inc.median_ms,
+                limit_ratio: ratio_ceiling,
+                pass: inc.median_ms <= batch.median_ms * ratio_ceiling,
+            })
+        })
+        .collect();
     GateReport {
         tolerance,
         estimated_baseline: baseline.estimated,
         outcomes,
+        ratios,
     }
 }
 
@@ -234,7 +315,7 @@ mod tests {
     fn gate_passes_within_tolerance() {
         let base = doc(false, vec![row("batch", "exact", 100.0)]);
         let current = doc(false, vec![row("batch", "exact", 120.0)]);
-        let report = gate_bench(&base, &current, 0.25);
+        let report = gate_bench(&base, &current, 0.25, DEFAULT_RATIO_CEILING);
         assert!(report.passed(), "{}", report.render());
     }
 
@@ -242,7 +323,7 @@ mod tests {
     fn gate_fails_past_tolerance() {
         let base = doc(false, vec![row("batch", "exact", 100.0)]);
         let current = doc(false, vec![row("batch", "exact", 130.0)]);
-        let report = gate_bench(&base, &current, 0.25);
+        let report = gate_bench(&base, &current, 0.25, DEFAULT_RATIO_CEILING);
         assert!(!report.passed());
         assert!(report.render().contains("FAIL"));
     }
@@ -254,14 +335,19 @@ mod tests {
             vec![row("batch", "exact", 100.0), row("incremental", "p2", 50.0)],
         );
         let current = doc(false, vec![row("batch", "exact", 100.0)]);
-        let report = gate_bench(&base, &current, 0.25);
+        let report = gate_bench(&base, &current, 0.25, DEFAULT_RATIO_CEILING);
         assert!(!report.passed());
         assert!(report.render().contains("missing"));
     }
 
     #[test]
     fn gate_fails_on_empty_baseline() {
-        let report = gate_bench(&doc(false, vec![]), &doc(false, vec![]), 0.25);
+        let report = gate_bench(
+            &doc(false, vec![]),
+            &doc(false, vec![]),
+            0.25,
+            DEFAULT_RATIO_CEILING,
+        );
         assert!(!report.passed(), "an empty baseline gates nothing");
     }
 
@@ -270,10 +356,10 @@ mod tests {
         let base = doc(true, vec![row("batch", "exact", 10.0)]);
         // 5x slower than the estimate: fine while estimated...
         let current = doc(false, vec![row("batch", "exact", 50.0)]);
-        assert!(gate_bench(&base, &current, 0.25).passed());
+        assert!(gate_bench(&base, &current, 0.25, DEFAULT_RATIO_CEILING).passed());
         // ...but an order-of-magnitude blowup still fails.
         let blowup = doc(false, vec![row("batch", "exact", 150.0)]);
-        assert!(!gate_bench(&base, &blowup, 0.25).passed());
+        assert!(!gate_bench(&base, &blowup, 0.25, DEFAULT_RATIO_CEILING).passed());
     }
 
     #[test]
@@ -283,7 +369,55 @@ mod tests {
             false,
             vec![row("batch", "exact", 100.0), row("batch", "tdigest", 999.0)],
         );
-        assert!(gate_bench(&base, &current, 0.25).passed());
+        assert!(gate_bench(&base, &current, 0.25, DEFAULT_RATIO_CEILING).passed());
+    }
+
+    #[test]
+    fn ratio_check_fails_slow_incremental_even_with_estimated_baseline() {
+        let base = doc(true, vec![row("batch", "exact", 10.0)]);
+        // Baseline rows pass the loose estimated ceiling, but the current
+        // document's own incremental/batch pairing blows the ratio.
+        let current = doc(
+            false,
+            vec![
+                row("batch", "exact", 12.0),
+                row("incremental", "exact", 30.0),
+            ],
+        );
+        let report = gate_bench(&base, &current, 0.25, DEFAULT_RATIO_CEILING);
+        assert_eq!(report.ratios.len(), 1);
+        assert!(!report.ratios[0].pass);
+        assert!(!report.passed());
+        assert!(report.render().contains("incremental/batch"));
+        // Under the ceiling the same pairing passes.
+        let fast = doc(
+            false,
+            vec![
+                row("batch", "exact", 12.0),
+                row("incremental", "exact", 15.0),
+            ],
+        );
+        assert!(gate_bench(&base, &fast, 0.25, DEFAULT_RATIO_CEILING).passed());
+    }
+
+    #[test]
+    fn ratio_check_pairs_only_matching_backend_and_size() {
+        let base = doc(false, vec![row("batch", "exact", 100.0)]);
+        let mut other_size = row("incremental", "exact", 999.0);
+        other_size.tests_per_dataset = 400;
+        // No batch twin at 20x400 and no exact/tdigest cross-pairing, so
+        // nothing to check — unpaired rows are ignored, not failed.
+        let current = doc(
+            false,
+            vec![
+                row("batch", "exact", 100.0),
+                row("incremental", "tdigest", 500.0),
+                other_size,
+            ],
+        );
+        let report = gate_bench(&base, &current, 0.25, DEFAULT_RATIO_CEILING);
+        assert!(report.ratios.is_empty());
+        assert!(report.passed());
     }
 
     #[test]

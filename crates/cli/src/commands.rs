@@ -199,16 +199,51 @@ fn ingest_mode(args: &ParsedArgs) -> Result<IngestMode, Box<dyn std::error::Erro
         .map_err(|e: iqb_data::DataError| usage(e.to_string()))
 }
 
-/// Reads the CSV named by `--<key>` under the selected ingest mode.
-/// Lenient mode prints the data-quality ledger to stderr when anything
-/// was quarantined, so a degraded load is never silent.
+/// Shared `--ingest-threads <n>` selector (default: available
+/// parallelism). The chunked reader is deterministic in the thread
+/// count, so this only changes speed, never output.
+fn ingest_threads(args: &ParsedArgs) -> Result<usize, Box<dyn std::error::Error>> {
+    let threads: usize =
+        args.get_parsed_or("ingest-threads", iqb_data::ingest::default_ingest_threads())?;
+    if threads == 0 {
+        return Err(usage("--ingest-threads must be positive"));
+    }
+    Ok(threads)
+}
+
+/// Reads the CSV named by `--<key>` straight into a columnar
+/// [`MeasurementStore`] with the chunked parallel reader — no
+/// intermediate `Vec<TestRecord>`. Lenient mode prints the data-quality
+/// ledger to stderr when anything was quarantined, so a degraded load is
+/// never silent.
+fn read_store_arg(
+    args: &ParsedArgs,
+    key: &str,
+) -> Result<MeasurementStore, Box<dyn std::error::Error>> {
+    let path = args.require(key)?;
+    let file = File::open(path).map_err(|e| usage(format!("cannot open --{key} {path}: {e}")))?;
+    let mode = ingest_mode(args)?;
+    let threads = ingest_threads(args)?;
+    let (store, quarantine) =
+        iqb_data::ingest::read_csv_store(BufReader::new(file), mode, threads)?;
+    if mode == IngestMode::Lenient && !quarantine.is_clean() {
+        let mut quality = DataQualityReport::new(mode);
+        quality.quarantine = quarantine;
+        eprint!("{}", quality.render());
+    }
+    Ok(store)
+}
+
+/// Reads the CSV named by `--<key>` under the selected ingest mode into
+/// owned records (the `--clean` path needs them as a `Vec`). Lenient
+/// mode prints the data-quality ledger to stderr when anything was
+/// quarantined, so a degraded load is never silent.
 fn read_records_arg(
     args: &ParsedArgs,
     key: &str,
 ) -> Result<Vec<TestRecord>, Box<dyn std::error::Error>> {
     let path = args.require(key)?;
-    let file = File::open(path)
-        .map_err(|e| usage(format!("cannot open --{key} {path}: {e}")))?;
+    let file = File::open(path).map_err(|e| usage(format!("cannot open --{key} {path}: {e}")))?;
     let mode = ingest_mode(args)?;
     let (records, quarantine) = csv_io::read_csv_mode(BufReader::new(file), mode)?;
     if mode == IngestMode::Lenient && !quarantine.is_clean() {
@@ -219,22 +254,23 @@ fn read_records_arg(
     Ok(records)
 }
 
-/// Shared loader: CSV path → (optionally cleaned) store.
+/// Shared loader: CSV path → (optionally cleaned) store. Without
+/// `--clean` the records go straight into the columnar store via the
+/// chunked parallel reader; the cleaner needs owned records, so that
+/// path still materializes a `Vec` first.
 fn load_store(args: &ParsedArgs) -> Result<MeasurementStore, Box<dyn std::error::Error>> {
-    let records = read_records_arg(args, "input")?;
-    let records = if args.has_flag("clean") {
+    if args.has_flag("clean") {
+        let records = read_records_arg(args, "input")?;
         let (kept, report) = Cleaner::default().clean(records)?;
         eprintln!(
             "cleaning: {} in, {} duplicates, {} outliers, {} retained",
             report.input, report.duplicates, report.outliers, report.retained
         );
-        kept
-    } else {
-        records
-    };
-    let mut store = MeasurementStore::new();
-    store.extend(records)?;
-    Ok(store)
+        let mut store = MeasurementStore::new();
+        store.extend(kept)?;
+        return Ok(store);
+    }
+    read_store_arg(args, "input")
 }
 
 /// Shared config builder from `--profile`, `--level`, `--mode`.
@@ -322,18 +358,17 @@ pub fn compare(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
     let config = build_config(args)?;
     let spec = build_spec(args)?;
     telemetry.stage("ingest");
-    let load = |key: &str| -> Result<MeasurementStore, Box<dyn std::error::Error>> {
-        let mut store = MeasurementStore::new();
-        store.extend(read_records_arg(args, key)?)?;
-        Ok(store)
-    };
-    let before_store = load("before")?;
-    let after_store = load("after")?;
+    let before_store = read_store_arg(args, "before")?;
+    let after_store = read_store_arg(args, "after")?;
     telemetry.stage("score");
     let before = score_all_regions(&before_store, &config, &spec, &QueryFilter::all())?;
     let after = score_all_regions(&after_store, &config, &spec, &QueryFilter::all())?;
     telemetry.stage("render");
-    write!(out, "{}", render_comparison(&compare_reports(&before, &after)?))?;
+    write!(
+        out,
+        "{}",
+        render_comparison(&compare_reports(&before, &after)?)
+    )?;
     telemetry.emit()
 }
 
@@ -352,7 +387,7 @@ pub fn trend(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
     // Span the observed data range.
     let filter = QueryFilter::all().region(region.clone());
     let (min_ts, max_ts) = store.query(&filter).fold((u64::MAX, 0u64), |acc, r| {
-        (acc.0.min(r.timestamp), acc.1.max(r.timestamp))
+        (acc.0.min(r.timestamp()), acc.1.max(r.timestamp()))
     });
     if min_ts > max_ts {
         return Err(usage(format!("no records for region `{region}`")));
@@ -398,10 +433,7 @@ pub fn whatif(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
     writeln!(
         out,
         "Region `{region}` baseline IQB: {:.3}\n",
-        outcomes
-            .first()
-            .map(|o| o.baseline)
-            .unwrap_or(f64::NAN)
+        outcomes.first().map(|o| o.baseline).unwrap_or(f64::NAN)
     )?;
     let mut table = TextTable::new(["Intervention", "New score", "Gain"]);
     for o in &outcomes {
@@ -412,7 +444,10 @@ pub fn whatif(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
         ]);
     }
     write!(out, "{}", table.render())?;
-    writeln!(out, "\n(Interventions scale every dataset's aggregate for the metric; the menu is")?;
+    writeln!(
+        out,
+        "\n(Interventions scale every dataset's aggregate for the metric; the menu is"
+    )?;
     writeln!(out, "double throughput / halve latency / halve loss.)")?;
     telemetry.emit()
 }
@@ -454,9 +489,14 @@ mod tests {
         let err = build_spec(&parsed(&["score", "--agg-backend", "magic"])).unwrap_err();
         assert!(err.to_string().contains("magic"));
         // P² cannot track the q = 1 extreme.
-        assert!(
-            build_spec(&parsed(&["score", "--agg-backend", "p2", "--quantile", "1.0"])).is_err()
-        );
+        assert!(build_spec(&parsed(&[
+            "score",
+            "--agg-backend",
+            "p2",
+            "--quantile",
+            "1.0"
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -515,12 +555,58 @@ mod tests {
 
     #[test]
     fn ingest_mode_flag_parses_and_rejects_garbage() {
-        assert_eq!(ingest_mode(&parsed(&["score"])).unwrap(), IngestMode::Strict);
+        assert_eq!(
+            ingest_mode(&parsed(&["score"])).unwrap(),
+            IngestMode::Strict
+        );
         assert_eq!(
             ingest_mode(&parsed(&["score", "--ingest-mode", "lenient"])).unwrap(),
             IngestMode::Lenient
         );
         assert!(ingest_mode(&parsed(&["score", "--ingest-mode", "yolo"])).is_err());
+    }
+
+    #[test]
+    fn ingest_threads_flag_defaults_parses_and_rejects_zero() {
+        assert!(ingest_threads(&parsed(&["score"])).unwrap() >= 1);
+        assert_eq!(
+            ingest_threads(&parsed(&["score", "--ingest-threads", "4"])).unwrap(),
+            4
+        );
+        assert!(ingest_threads(&parsed(&["score", "--ingest-threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn score_output_is_identical_across_ingest_thread_counts() {
+        let _guard = ingest_lock();
+        let dir = std::env::temp_dir().join("iqb-cli-threads-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("threads.csv");
+        write_corrupt_csv(&path, 30, 2);
+        let path_str = path.to_str().unwrap();
+
+        let run = |threads: &str| {
+            let mut out = Vec::new();
+            score(
+                &parsed(&[
+                    "score",
+                    "--input",
+                    path_str,
+                    "--ingest-mode",
+                    "lenient",
+                    "--ingest-threads",
+                    threads,
+                ]),
+                &mut out,
+            )
+            .unwrap();
+            out
+        };
+        let one = run("1");
+        assert!(!one.is_empty());
+        assert_eq!(one, run("2"));
+        assert_eq!(one, run("8"));
+        std::fs::remove_file(&path).ok();
     }
 
     fn write_corrupt_csv(path: &std::path::Path, clean_rows: usize, bad_rows: usize) {
@@ -688,7 +774,11 @@ mod tests {
             &mut Vec::new(),
         )
         .unwrap();
-        score(&parsed(&["score", "--input", path_str, "--clean"]), &mut Vec::new()).unwrap();
+        score(
+            &parsed(&["score", "--input", path_str, "--clean"]),
+            &mut Vec::new(),
+        )
+        .unwrap();
         trend(
             &parsed(&[
                 "trend",

@@ -312,14 +312,11 @@ pub fn aggregate_region_filtered(
     let mut input = AggregateInput::new();
     let mut pushed: u64 = 0;
     for dataset in datasets {
-        let filter = QueryFilter {
-            region: Some(region.clone()),
-            dataset: Some(dataset.clone()),
-            ..base_filter.clone()
-        };
         let mut sinks = spec.new_sinks()?;
         // One pass: each record feeds every metric sink that has a value.
-        for record in store.query(&filter) {
+        // `query_cell` pins (region, dataset) under the base filter's
+        // time/tech constraints without cloning a QueryFilter per cell.
+        for record in store.query_cell(region, dataset, base_filter) {
             for (metric, _, sink) in sinks.iter_mut() {
                 if let Some(value) = record.metric_value(*metric) {
                     sink.push(value)?;
@@ -479,8 +476,7 @@ mod tests {
         .unwrap();
         for backend in [AggregatorBackend::tdigest_default(), AggregatorBackend::P2] {
             let spec = AggregationSpec::paper_default().with_backend(backend);
-            let approx =
-                aggregate_region(&store, &region, &[DatasetId::Ndt], &spec).unwrap();
+            let approx = aggregate_region(&store, &region, &[DatasetId::Ndt], &spec).unwrap();
             let e = exact
                 .get(&DatasetId::Ndt, Metric::DownloadThroughput)
                 .unwrap();

@@ -19,17 +19,20 @@ use iqb_core::dataset::DatasetId;
 use serde::{Deserialize, Serialize};
 
 use crate::error::DataError;
-use crate::quarantine::{FaultKind, IngestMode, Quarantined, QuarantineReport};
+use crate::quarantine::{FaultKind, IngestMode, QuarantineReport, Quarantined};
 use crate::record::{RegionId, TestRecord};
 use crate::store::MeasurementStore;
 
 /// Compact dataset token used in flat files.
-pub fn dataset_token(dataset: &DatasetId) -> String {
+///
+/// Builtin datasets yield `'static` tokens; custom datasets borrow
+/// their name — no call allocates.
+pub fn dataset_token(dataset: &DatasetId) -> &str {
     match dataset {
-        DatasetId::Ndt => "ndt".to_string(),
-        DatasetId::Cloudflare => "cloudflare".to_string(),
-        DatasetId::Ookla => "ookla".to_string(),
-        DatasetId::Custom(name) => name.clone(),
+        DatasetId::Ndt => "ndt",
+        DatasetId::Cloudflare => "cloudflare",
+        DatasetId::Ookla => "ookla",
+        DatasetId::Custom(name) => name,
     }
 }
 
@@ -62,7 +65,7 @@ impl CsvRow {
         CsvRow {
             timestamp: r.timestamp,
             region: r.region.as_str().to_string(),
-            dataset: dataset_token(&r.dataset),
+            dataset: dataset_token(&r.dataset).to_string(),
             download_mbps: r.download_mbps,
             upload_mbps: r.upload_mbps,
             latency_ms: r.latency_ms,

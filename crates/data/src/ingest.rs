@@ -1,0 +1,823 @@
+//! Chunked, optionally parallel CSV/JSONL ingest straight into the
+//! columnar [`MeasurementStore`].
+//!
+//! The serial readers ([`crate::csv_io::read_csv_mode`],
+//! [`crate::jsonl::read_jsonl_mode`]) deserialize every row into an
+//! owned record of `String`s before the store ever sees it. At
+//! "millions of users" scale that allocation dominates the pipeline, so
+//! this module takes the other path:
+//!
+//! 1. the calling thread reads the whole byte stream and splits it on
+//!    row boundaries (quote-aware for CSV) into up to `threads` chunks;
+//! 2. crossbeam-scoped parser workers parse their chunk borrowed in
+//!    place — field slices, `u32` symbols from chunk-local interning
+//!    tables, no per-row `String` — each emitting a
+//!    [`RecordBatch`] plus a per-chunk [`QuarantineReport`];
+//! 3. batches are appended to the store *in chunk order*, remapping
+//!    chunk-local symbols onto the store's global tables, and the
+//!    per-chunk reports merge in the same order.
+//!
+//! Because chunks are contiguous, ordered slices of the input and both
+//! interning sides assign symbols in first-seen order, the resulting
+//! store, quarantine counts and exemplars are identical whatever
+//! `threads` is — 1, 2 and 8 threads produce byte-equal results, and
+//! strict mode still surfaces the first faulty row's error.
+//!
+//! Accounting matches the serial readers row for row: the same rows are
+//! scanned/kept/quarantined under the same [`FaultKind`]s with the same
+//! line numbers, and JSONL fault details are byte-identical. The one
+//! documented divergence: CSV `parse`/`encoding` fault *detail strings*
+//! come from this module's field parser rather than the `csv` crate, so
+//! their wording differs from the serial reader (kind, line and count
+//! accounting do not).
+
+use std::borrow::Cow;
+use std::io::Read;
+use std::ops::Range;
+use std::str::FromStr;
+use std::time::Instant;
+
+use crate::error::DataError;
+use crate::quarantine::{FaultKind, IngestMode, QuarantineReport, Quarantined};
+use crate::record::{validate_metrics, TestRecord};
+use crate::store::{BatchRow, MeasurementStore, RecordBatch};
+
+/// Default parser-worker count: the machine's available parallelism.
+pub fn default_ingest_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One contiguous slice of the input body handed to a parser worker.
+struct Chunk {
+    range: Range<usize>,
+    /// Non-blank records (CSV) or physical lines (JSONL) before this
+    /// chunk — the worker's offset for global line numbering.
+    before: usize,
+}
+
+/// What one parser worker hands back.
+#[derive(Default)]
+struct ChunkOutput {
+    batch: RecordBatch,
+    report: QuarantineReport,
+    /// Set only in strict mode: the chunk's first faulty row's error.
+    first_error: Option<DataError>,
+}
+
+/// Reads CSV (with header) into a columnar store, parsing with up to
+/// `threads` workers. Semantics per [`IngestMode`] match
+/// [`crate::csv_io::read_csv_mode`] (see the module docs for the one
+/// fault-detail-wording divergence).
+pub fn read_csv_store<R: Read>(
+    mut reader: R,
+    mode: IngestMode,
+    threads: usize,
+) -> Result<(MeasurementStore, QuarantineReport), DataError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    let started = Instant::now();
+    let header_end = data
+        .iter()
+        .position(|&b| b == b'\n')
+        .map_or(data.len(), |i| i + 1);
+    let header_text = std::str::from_utf8(&data[..header_end])
+        .map_err(|e| DataError::InvalidRecord(format!("csv header: invalid UTF-8: {e}")))?;
+    let header = HeaderMap::parse(header_text);
+    let body = &data[header_end..];
+    let chunks = split_csv_chunks(body, threads.max(1));
+    let outputs = run_workers(&chunks, |chunk| {
+        parse_csv_chunk(&body[chunk.range.clone()], chunk.before, &header, mode)
+    })?;
+    finish(outputs, mode, chunks.len(), started, "csv")
+}
+
+/// Reads JSON lines into a columnar store, parsing with up to `threads`
+/// workers. Semantics per [`IngestMode`] match
+/// [`crate::jsonl::read_jsonl_mode`], including fault detail strings.
+pub fn read_jsonl_store<R: Read>(
+    mut reader: R,
+    mode: IngestMode,
+    threads: usize,
+) -> Result<(MeasurementStore, QuarantineReport), DataError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    let started = Instant::now();
+    let chunks = split_line_chunks(&data, threads.max(1));
+    let outputs = run_workers(&chunks, |chunk| {
+        parse_jsonl_chunk(&data[chunk.range.clone()], chunk.before, mode)
+    })?;
+    finish(outputs, mode, chunks.len(), started, "jsonl")
+}
+
+/// Runs one parser per chunk on scoped threads (inline when there is at
+/// most one chunk), returning outputs in chunk order.
+fn run_workers<F>(chunks: &[Chunk], parse: F) -> Result<Vec<ChunkOutput>, DataError>
+where
+    F: Fn(&Chunk) -> ChunkOutput + Sync,
+{
+    if chunks.len() <= 1 {
+        return Ok(chunks.iter().map(|c| parse(c)).collect());
+    }
+    crossbeam::scope(|s| {
+        let parse = &parse;
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| s.spawn(move |_| parse(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| DataError::SourcePanic("ingest parser worker panicked".into()))
+            })
+            .collect()
+    })
+    .map_err(|_| DataError::SourcePanic("ingest worker pool panicked".into()))?
+}
+
+/// Merges worker outputs in chunk order: strict mode surfaces the
+/// globally first faulty row's error; lenient mode merges reports (so
+/// exemplars stay in input order) and appends every batch.
+fn finish(
+    outputs: Vec<ChunkOutput>,
+    mode: IngestMode,
+    chunk_count: usize,
+    started: Instant,
+    label: &str,
+) -> Result<(MeasurementStore, QuarantineReport), DataError> {
+    let mut store = MeasurementStore::new();
+    let mut report = QuarantineReport::new();
+    for out in outputs {
+        if mode == IngestMode::Strict {
+            if let Some(e) = out.first_error {
+                return Err(e);
+            }
+        }
+        store.append_batch(&out.batch);
+        report.merge(&out.report);
+    }
+    let registry = iqb_obs::global();
+    registry
+        .counter(iqb_obs::names::INGEST_CHUNKS)
+        .add(chunk_count as u64);
+    registry
+        .counter(iqb_obs::names::INGEST_PARSE_NS)
+        .add(started.elapsed().as_nanos() as u64);
+    report.mirror_to(registry, label);
+    Ok((store, report))
+}
+
+/// Index of the `\n` terminating the CSV record starting at `start`
+/// (`data.len()` when the record runs to the end). Quote-aware: a
+/// newline inside a quoted field does not terminate the record, and a
+/// `"` inside an unquoted field is literal, mirroring the `csv` crate.
+fn next_record_end(data: &[u8], start: usize) -> usize {
+    enum S {
+        FieldStart,
+        Unquoted,
+        Quoted,
+        QuoteEnd,
+    }
+    let mut state = S::FieldStart;
+    let mut i = start;
+    while i < data.len() {
+        match state {
+            S::FieldStart => match data[i] {
+                b'"' => state = S::Quoted,
+                b',' => {}
+                b'\n' => return i,
+                _ => state = S::Unquoted,
+            },
+            S::Unquoted => match data[i] {
+                b',' => state = S::FieldStart,
+                b'\n' => return i,
+                _ => {}
+            },
+            S::Quoted => {
+                if data[i] == b'"' {
+                    state = S::QuoteEnd;
+                }
+            }
+            S::QuoteEnd => match data[i] {
+                b'"' => state = S::Quoted,
+                b',' => state = S::FieldStart,
+                b'\n' => return i,
+                _ => state = S::Unquoted,
+            },
+        }
+        i += 1;
+    }
+    data.len()
+}
+
+/// A record the `csv` crate would skip entirely (and never count).
+fn is_blank_record(bytes: &[u8]) -> bool {
+    bytes.is_empty() || bytes == b"\r"
+}
+
+/// Splits the CSV body (header already stripped) into up to `want`
+/// chunks cut only at record boundaries, tracking how many non-blank
+/// records precede each chunk.
+fn split_csv_chunks(data: &[u8], want: usize) -> Vec<Chunk> {
+    let mut chunks = Vec::new();
+    if data.is_empty() {
+        return chunks;
+    }
+    let mut pos = 0usize;
+    let mut records = 0usize;
+    let mut chunk_start = 0usize;
+    let mut chunk_before = 0usize;
+    while pos < data.len() {
+        let end = next_record_end(data, pos);
+        if !is_blank_record(&data[pos..end]) {
+            records += 1;
+        }
+        let after = (end + 1).min(data.len());
+        pos = after;
+        let next_target = (chunks.len() + 1) * data.len() / want;
+        if after < data.len() && after >= next_target && chunks.len() + 1 < want {
+            chunks.push(Chunk {
+                range: chunk_start..after,
+                before: chunk_before,
+            });
+            chunk_start = after;
+            chunk_before = records;
+        }
+    }
+    chunks.push(Chunk {
+        range: chunk_start..data.len(),
+        before: chunk_before,
+    });
+    chunks
+}
+
+/// Splits JSONL input into up to `want` chunks cut at line boundaries,
+/// tracking how many physical lines precede each chunk.
+fn split_line_chunks(data: &[u8], want: usize) -> Vec<Chunk> {
+    let mut chunks = Vec::new();
+    if data.is_empty() {
+        return chunks;
+    }
+    let mut lines = 0usize;
+    let mut chunk_start = 0usize;
+    let mut chunk_before = 0usize;
+    for (i, &b) in data.iter().enumerate() {
+        if b != b'\n' {
+            continue;
+        }
+        lines += 1;
+        let after = i + 1;
+        let next_target = (chunks.len() + 1) * data.len() / want;
+        if after < data.len() && after >= next_target && chunks.len() + 1 < want {
+            chunks.push(Chunk {
+                range: chunk_start..after,
+                before: chunk_before,
+            });
+            chunk_start = after;
+            chunk_before = lines;
+        }
+    }
+    chunks.push(Chunk {
+        range: chunk_start..data.len(),
+        before: chunk_before,
+    });
+    chunks
+}
+
+/// Column positions resolved from the CSV header, by name (so reordered
+/// columns parse like the serde reader); unknown columns are ignored.
+struct HeaderMap {
+    timestamp: Option<usize>,
+    region: Option<usize>,
+    dataset: Option<usize>,
+    download: Option<usize>,
+    upload: Option<usize>,
+    latency: Option<usize>,
+    loss: Option<usize>,
+    tech: Option<usize>,
+    field_count: usize,
+}
+
+impl HeaderMap {
+    fn parse(line: &str) -> Self {
+        let line = line.strip_suffix('\n').unwrap_or(line);
+        let line = line.strip_suffix('\r').unwrap_or(line);
+        let mut map = HeaderMap {
+            timestamp: None,
+            region: None,
+            dataset: None,
+            download: None,
+            upload: None,
+            latency: None,
+            loss: None,
+            tech: None,
+            field_count: 0,
+        };
+        if line.is_empty() {
+            return map;
+        }
+        for (i, name) in line.split(',').enumerate() {
+            map.field_count = i + 1;
+            match name {
+                "timestamp" => map.timestamp = Some(i),
+                "region" => map.region = Some(i),
+                "dataset" => map.dataset = Some(i),
+                "download_mbps" => map.download = Some(i),
+                "upload_mbps" => map.upload = Some(i),
+                "latency_ms" => map.latency = Some(i),
+                "loss_pct" => map.loss = Some(i),
+                "tech" => map.tech = Some(i),
+                _ => {}
+            }
+        }
+        map
+    }
+}
+
+fn parse_csv_chunk(
+    data: &[u8],
+    records_before: usize,
+    header: &HeaderMap,
+    mode: IngestMode,
+) -> ChunkOutput {
+    let mut out = ChunkOutput::default();
+    let mut fields: Vec<Cow<'_, str>> = Vec::with_capacity(header.field_count);
+    let mut records = records_before;
+    let mut pos = 0usize;
+    while pos < data.len() {
+        let end = next_record_end(data, pos);
+        let record = &data[pos..end];
+        pos = (end + 1).min(data.len());
+        if is_blank_record(record) {
+            continue;
+        }
+        records += 1;
+        out.report.scanned += 1;
+        // Line 1 is the header, so data record `k` (1-based, blank
+        // lines excluded) sits on "line" `k + 1` — the same numbering
+        // the serial reader derives from its record index.
+        let line = records + 1;
+        match parse_csv_record(record, header, line, &mut fields, &mut out.batch) {
+            Ok(()) => out.report.kept += 1,
+            Err((_, e)) if mode == IngestMode::Strict => {
+                out.first_error = Some(e);
+                return out;
+            }
+            Err((kind, e)) => out.report.record(Quarantined {
+                source: "csv".into(),
+                line: Some(line),
+                kind,
+                detail: e.to_string(),
+            }),
+        }
+    }
+    out
+}
+
+/// Parses one CSV record into the batch, reproducing the serial path's
+/// fault precedence: malformed fields (`Parse`/`Encoding`) before
+/// region (`InvalidRegion`) before dataset (`UnknownDataset`) before
+/// metric domains (`InvalidValue`). Nothing is interned until every
+/// check has passed, so quarantined rows never plant symbols in the
+/// batch tables.
+fn parse_csv_record<'a>(
+    record: &'a [u8],
+    header: &HeaderMap,
+    line: usize,
+    fields: &mut Vec<Cow<'a, str>>,
+    batch: &mut RecordBatch,
+) -> Result<(), (FaultKind, DataError)> {
+    let text = std::str::from_utf8(record).map_err(|e| {
+        (
+            FaultKind::Encoding,
+            DataError::InvalidRecord(format!("row {line}: invalid UTF-8: {e}")),
+        )
+    })?;
+    let text = text.strip_suffix('\r').unwrap_or(text);
+    split_csv_fields(text, fields);
+    if fields.len() != header.field_count {
+        return Err((
+            FaultKind::Parse,
+            DataError::InvalidRecord(format!(
+                "row {line}: expected {} fields, found {}",
+                header.field_count,
+                fields.len()
+            )),
+        ));
+    }
+    let timestamp: u64 = parse_field(fields, header.timestamp, "timestamp", line)?;
+    let download_mbps: f64 = parse_field(fields, header.download, "download_mbps", line)?;
+    let upload_mbps: f64 = parse_field(fields, header.upload, "upload_mbps", line)?;
+    let latency_ms: f64 = parse_field(fields, header.latency, "latency_ms", line)?;
+    let loss_pct: Option<f64> = match optional_field(fields, header.loss) {
+        Some(raw) if !raw.is_empty() => Some(parse_value(raw, "loss_pct", line)?),
+        _ => None,
+    };
+    let region = required_field(fields, header.region, "region", line)?;
+    if region.trim().is_empty() {
+        // The only failure mode of `RegionId::new`, reproduced here so
+        // a rejected region is never interned.
+        return Err((
+            FaultKind::InvalidRegion,
+            DataError::InvalidRegion("region id must be non-empty".into()),
+        ));
+    }
+    let dataset = required_field(fields, header.dataset, "dataset", line)?;
+    if dataset.trim().is_empty() {
+        // The only failure mode of `parse_dataset_token`, likewise.
+        return Err((
+            FaultKind::UnknownDataset,
+            DataError::InvalidRecord("empty dataset token".into()),
+        ));
+    }
+    validate_metrics(download_mbps, upload_mbps, latency_ms, loss_pct)
+        .map_err(|e| (FaultKind::classify(&e), e))?;
+    let region = batch
+        .intern_region(region)
+        .map_err(|e| (FaultKind::classify(&e), e))?;
+    let dataset = batch
+        .intern_dataset_token(dataset)
+        .map_err(|e| (FaultKind::classify(&e), e))?;
+    let tech = match optional_field(fields, header.tech) {
+        Some(t) if !t.is_empty() => Some(batch.intern_tech(t)),
+        _ => None,
+    };
+    batch.push_row(BatchRow {
+        timestamp,
+        region,
+        dataset,
+        download_mbps,
+        upload_mbps,
+        latency_ms,
+        loss_pct,
+        tech,
+    });
+    Ok(())
+}
+
+/// Splits one CSV record into fields in place. Unquoted fields and
+/// quoted fields without escapes borrow the record; only a field with
+/// doubled-quote escapes allocates.
+fn split_csv_fields<'a>(text: &'a str, out: &mut Vec<Cow<'a, str>>) {
+    out.clear();
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    loop {
+        if i < bytes.len() && bytes[i] == b'"' {
+            let start = i + 1;
+            let mut j = start;
+            let mut escaped = false;
+            while j < bytes.len() {
+                if bytes[j] == b'"' {
+                    if j + 1 < bytes.len() && bytes[j + 1] == b'"' {
+                        escaped = true;
+                        j += 2;
+                        continue;
+                    }
+                    break;
+                }
+                j += 1;
+            }
+            let inner = &text[start..j.min(bytes.len())];
+            out.push(if escaped {
+                Cow::Owned(inner.replace("\"\"", "\""))
+            } else {
+                Cow::Borrowed(inner)
+            });
+            i = j + 1;
+            while i < bytes.len() && bytes[i] != b',' {
+                i += 1;
+            }
+        } else {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b',' {
+                i += 1;
+            }
+            out.push(Cow::Borrowed(&text[start..i]));
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        i += 1;
+    }
+}
+
+fn required_field<'f>(
+    fields: &'f [Cow<'f, str>],
+    idx: Option<usize>,
+    col: &str,
+    line: usize,
+) -> Result<&'f str, (FaultKind, DataError)> {
+    match idx {
+        Some(i) => Ok(fields[i].as_ref()),
+        None => Err((
+            FaultKind::Parse,
+            DataError::InvalidRecord(format!("row {line}: missing column `{col}`")),
+        )),
+    }
+}
+
+/// Optional columns (`loss_pct`, `tech`) may be absent from the header
+/// entirely; that reads as "no value", like the serde reader.
+fn optional_field<'f>(fields: &'f [Cow<'f, str>], idx: Option<usize>) -> Option<&'f str> {
+    idx.map(|i| fields[i].as_ref())
+}
+
+fn parse_value<T: FromStr>(raw: &str, col: &str, line: usize) -> Result<T, (FaultKind, DataError)>
+where
+    T::Err: std::fmt::Display,
+{
+    raw.parse::<T>().map_err(|e| {
+        (
+            FaultKind::Parse,
+            DataError::InvalidRecord(format!("row {line}: column `{col}`: {e} (value `{raw}`)")),
+        )
+    })
+}
+
+fn parse_field<T: FromStr>(
+    fields: &[Cow<'_, str>],
+    idx: Option<usize>,
+    col: &str,
+    line: usize,
+) -> Result<T, (FaultKind, DataError)>
+where
+    T::Err: std::fmt::Display,
+{
+    parse_value(required_field(fields, idx, col, line)?, col, line)
+}
+
+/// Parses one JSONL chunk, mirroring the serial reader line for line:
+/// same UTF-8/parse/validation classification, same global line
+/// numbers, same detail strings, blank lines skipped without counting.
+fn parse_jsonl_chunk(data: &[u8], lines_before: usize, mode: IngestMode) -> ChunkOutput {
+    let mut out = ChunkOutput::default();
+    let mut line_no = lines_before;
+    let mut pos = 0usize;
+    while pos < data.len() {
+        // Keep the trailing newline in the checked slice, exactly like
+        // the serial reader's `read_until`, so UTF-8 error details match
+        // byte for byte.
+        let (raw, next) = match data[pos..].iter().position(|&b| b == b'\n') {
+            Some(off) => (&data[pos..pos + off + 1], pos + off + 1),
+            None => (&data[pos..], data.len()),
+        };
+        pos = next;
+        line_no += 1;
+        let parsed: Result<TestRecord, (FaultKind, DataError)> = match std::str::from_utf8(raw) {
+            Err(e) => Err((
+                FaultKind::Encoding,
+                DataError::InvalidRecord(format!("line {line_no}: invalid UTF-8: {e}")),
+            )),
+            Ok(text) if text.trim().is_empty() => continue,
+            Ok(text) => {
+                match serde_json::from_str::<TestRecord>(text.trim_end_matches(['\n', '\r'])) {
+                    Err(e) => Err((
+                        FaultKind::Parse,
+                        DataError::InvalidRecord(format!("line {line_no}: {e}")),
+                    )),
+                    Ok(record) => match record.validate() {
+                        Ok(()) => Ok(record),
+                        Err(e) => Err((FaultKind::classify(&e), e)),
+                    },
+                }
+            }
+        };
+        out.report.scanned += 1;
+        match parsed {
+            Ok(record) => {
+                out.report.kept += 1;
+                out.batch.push_record(&record);
+            }
+            Err((_, e)) if mode == IngestMode::Strict => {
+                out.first_error = Some(e);
+                return out;
+            }
+            Err((kind, e)) => out.report.record(Quarantined {
+                source: "jsonl".into(),
+                line: Some(line_no),
+                kind,
+                detail: e.to_string(),
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv_io::{read_csv_mode, write_csv};
+    use crate::jsonl::{read_jsonl_mode, write_jsonl};
+    use crate::record::RegionId;
+    use crate::store::QueryFilter;
+    use iqb_core::dataset::DatasetId;
+
+    fn records() -> Vec<TestRecord> {
+        let mut out = Vec::new();
+        for i in 0..40u64 {
+            let region = ["east", "west", "north"][(i % 3) as usize];
+            let dataset = match i % 4 {
+                0 => DatasetId::Ndt,
+                1 => DatasetId::Ookla,
+                2 => DatasetId::Cloudflare,
+                _ => DatasetId::Custom("ripe-atlas".into()),
+            };
+            out.push(TestRecord {
+                timestamp: 100 + i,
+                region: RegionId::new(region).unwrap(),
+                dataset,
+                download_mbps: 50.0 + i as f64,
+                upload_mbps: 10.0 + i as f64,
+                latency_ms: 20.0,
+                loss_pct: if i % 5 == 0 { None } else { Some(0.2) },
+                tech: if i % 2 == 0 {
+                    Some("cable".into())
+                } else {
+                    None
+                },
+            });
+        }
+        out
+    }
+
+    fn store_rows(store: &MeasurementStore) -> Vec<TestRecord> {
+        store
+            .query(&QueryFilter::all())
+            .map(|r| r.to_record())
+            .collect()
+    }
+
+    #[test]
+    fn csv_clean_corpus_matches_serial_reader() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &records()).unwrap();
+        let (serial, serial_report) = read_csv_mode(buf.as_slice(), IngestMode::Lenient).unwrap();
+        for threads in [1, 3, 8] {
+            let (store, report) =
+                read_csv_store(buf.as_slice(), IngestMode::Lenient, threads).unwrap();
+            assert_eq!(store_rows(&store), serial, "threads={threads}");
+            assert_eq!(report, serial_report, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn csv_lenient_faults_match_serial_accounting() {
+        let csv = "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n\
+                   10,metro,ndt,5.0,1.0,10.0,,\n\
+                   20,metro,ndt,-5.0,1.0,10.0,,\n\
+                   30,,ndt,5.0,1.0,10.0,,\n\
+                   40,metro,ndt,not-a-number,1.0,10.0,,\n\
+                   50,metro,ookla,9.0,2.0,12.0,,\n";
+        let (_, serial_report) = read_csv_mode(csv.as_bytes(), IngestMode::Lenient).unwrap();
+        for threads in [1, 2, 8] {
+            let (store, report) =
+                read_csv_store(csv.as_bytes(), IngestMode::Lenient, threads).unwrap();
+            assert_eq!(store.len(), 2, "threads={threads}");
+            assert_eq!(report.scanned, serial_report.scanned);
+            assert_eq!(report.kept, serial_report.kept);
+            assert_eq!(report.counts, serial_report.counts);
+            let kinds_lines: Vec<(FaultKind, Option<usize>)> =
+                report.exemplars.iter().map(|q| (q.kind, q.line)).collect();
+            let serial_kinds_lines: Vec<(FaultKind, Option<usize>)> = serial_report
+                .exemplars
+                .iter()
+                .map(|q| (q.kind, q.line))
+                .collect();
+            assert_eq!(kinds_lines, serial_kinds_lines);
+            // The invalid-region detail comes from the same constructor
+            // as the serial path, so it matches byte for byte.
+            let region_fault = report
+                .exemplars
+                .iter()
+                .find(|q| q.kind == FaultKind::InvalidRegion)
+                .unwrap();
+            let serial_region_fault = serial_report
+                .exemplars
+                .iter()
+                .find(|q| q.kind == FaultKind::InvalidRegion)
+                .unwrap();
+            assert_eq!(region_fault.detail, serial_region_fault.detail);
+        }
+    }
+
+    #[test]
+    fn csv_thread_counts_are_deterministic() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &records()).unwrap();
+        // Poison a few rows so quarantine merging is exercised too.
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("9000,,ndt,1.0,1.0,1.0,,\n");
+        text.push_str("9001,late,ndt,-3.0,1.0,1.0,,\n");
+        let (store1, report1) = read_csv_store(text.as_bytes(), IngestMode::Lenient, 1).unwrap();
+        for threads in [2, 8] {
+            let (store, report) =
+                read_csv_store(text.as_bytes(), IngestMode::Lenient, threads).unwrap();
+            assert_eq!(store, store1, "threads={threads}");
+            assert_eq!(store.regions(), store1.regions());
+            assert_eq!(store.datasets(), store1.datasets());
+            assert_eq!(report, report1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn csv_strict_mode_surfaces_first_error() {
+        let csv = "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n\
+                   10,metro,ndt,5.0,1.0,10.0,,\n\
+                   20,metro,ndt,-5.0,1.0,10.0,,\n";
+        for threads in [1, 4] {
+            assert!(read_csv_store(csv.as_bytes(), IngestMode::Strict, threads).is_err());
+        }
+        let clean = "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n\
+                     10,metro,ndt,5.0,1.0,10.0,,\n";
+        let (store, report) = read_csv_store(clean.as_bytes(), IngestMode::Strict, 4).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(report.scanned, 1);
+        assert_eq!(report.kept, 1);
+    }
+
+    #[test]
+    fn csv_quoted_fields_and_embedded_newlines() {
+        let original = vec![TestRecord {
+            timestamp: 1,
+            region: RegionId::new("metro, central\nannex").unwrap(),
+            dataset: DatasetId::Custom("probes \"beta\"".into()),
+            download_mbps: 10.0,
+            upload_mbps: 5.0,
+            latency_ms: 30.0,
+            loss_pct: None,
+            tech: Some("fiber".into()),
+        }];
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &original).unwrap();
+        for threads in [1, 4] {
+            let (store, report) =
+                read_csv_store(buf.as_slice(), IngestMode::Strict, threads).unwrap();
+            assert_eq!(store_rows(&store), original, "threads={threads}");
+            assert_eq!(report.kept, 1);
+        }
+    }
+
+    #[test]
+    fn csv_quarantined_rows_never_plant_symbols() {
+        let csv = "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n\
+                   10,ghost,ndt,-5.0,1.0,10.0,,phantom\n\
+                   20,real,ookla,5.0,1.0,10.0,,\n";
+        let (store, report) = read_csv_store(csv.as_bytes(), IngestMode::Lenient, 1).unwrap();
+        assert_eq!(report.quarantined(), 1);
+        assert_eq!(store.regions(), vec![RegionId::new("real").unwrap()]);
+        assert_eq!(store.datasets(), vec![DatasetId::Ookla]);
+        assert_eq!(store.count(&QueryFilter::all().tech("phantom")), 0);
+    }
+
+    #[test]
+    fn csv_empty_and_header_only_inputs() {
+        let (store, report) = read_csv_store(&b""[..], IngestMode::Strict, 4).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(report.scanned, 0);
+        let header =
+            "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n";
+        let (store, report) = read_csv_store(header.as_bytes(), IngestMode::Strict, 4).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(report.scanned, 0);
+    }
+
+    #[test]
+    fn jsonl_matches_serial_reader_including_details() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &records()).unwrap();
+        buf.extend_from_slice(b"{ not json\n");
+        buf.extend_from_slice(&[0xFF, 0xFE, 0x80, b'\n']);
+        buf.extend_from_slice(b"\n");
+        let mut poisoned = records().remove(0);
+        poisoned.loss_pct = Some(150.0);
+        buf.extend_from_slice(serde_json::to_string(&poisoned).unwrap().as_bytes());
+        buf.extend_from_slice(b"\n");
+        let (serial, serial_report) = read_jsonl_mode(buf.as_slice(), IngestMode::Lenient).unwrap();
+        for threads in [1, 2, 8] {
+            let (store, report) =
+                read_jsonl_store(buf.as_slice(), IngestMode::Lenient, threads).unwrap();
+            assert_eq!(store_rows(&store), serial, "threads={threads}");
+            // JSONL fault details are byte-identical to the serial
+            // reader, so whole-report equality holds.
+            assert_eq!(report, serial_report, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn jsonl_strict_mode_matches_serial() {
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf, &records()).unwrap();
+        buf.extend_from_slice(b"{ not json\n");
+        for threads in [1, 4] {
+            assert!(read_jsonl_store(buf.as_slice(), IngestMode::Strict, threads).is_err());
+        }
+    }
+
+    #[test]
+    fn default_ingest_threads_is_positive() {
+        assert!(default_ingest_threads() >= 1);
+    }
+}

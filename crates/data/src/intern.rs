@@ -1,0 +1,304 @@
+//! String interning for the ingest hot path.
+//!
+//! Parsing millions of per-test rows must not allocate one `String` per
+//! region/dataset/tech field. This module maps those strings to dense
+//! `u32` [`Symbol`]s at parse time: a [`RegionTable`] and [`DatasetTable`]
+//! own the canonical [`RegionId`]/[`DatasetId`] values (allocated once,
+//! on first sight), and an [`Interner`] handles free-form tech tags. The
+//! columnar [`crate::store::MeasurementStore`] stores only symbols per
+//! row and resolves back to the string-typed public API at the boundary.
+//!
+//! Symbols are assigned in first-seen order, so two tables built from the
+//! same value sequence are identical — the property the chunked parallel
+//! reader relies on to make N-thread ingest byte-equivalent to serial.
+
+use std::collections::HashMap;
+
+use iqb_core::dataset::DatasetId;
+
+use crate::csv_io::parse_dataset_token;
+use crate::error::DataError;
+use crate::record::RegionId;
+
+/// A dense `u32` handle into one interning table.
+///
+/// A symbol is only meaningful relative to the table that issued it;
+/// [`crate::store::MeasurementStore::append_batch`] remaps chunk-local
+/// symbols onto the store's global tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The dense index this symbol resolves through.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(index: usize) -> Symbol {
+        debug_assert!(index <= u32::MAX as usize, "interner overflow");
+        Symbol(index as u32)
+    }
+}
+
+/// First-seen-order interner for free-form strings (tech tags).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Interner {
+    by_name: HashMap<Box<str>, u32>,
+    items: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a string, allocating only on first sight.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&id) = self.by_name.get(name) {
+            return Symbol(id);
+        }
+        let id = self.items.len() as u32;
+        let boxed: Box<str> = name.into();
+        self.by_name.insert(boxed.clone(), id);
+        self.items.push(boxed);
+        Symbol(id)
+    }
+
+    /// Looks a string up without inserting it.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.by_name.get(name).map(|&id| Symbol(id))
+    }
+
+    /// Resolves a symbol issued by this interner.
+    pub fn resolve(&self, symbol: Symbol) -> &str {
+        &self.items[symbol.index()]
+    }
+
+    /// The interned strings, in first-seen (symbol) order.
+    pub fn items(&self) -> impl Iterator<Item = &str> {
+        self.items.iter().map(|s| s.as_ref())
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Interning table for [`RegionId`]s, validating names on first sight.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegionTable {
+    by_name: HashMap<Box<str>, u32>,
+    items: Vec<RegionId>,
+}
+
+impl RegionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an already-validated region id.
+    pub fn intern(&mut self, region: &RegionId) -> Symbol {
+        if let Some(&id) = self.by_name.get(region.as_str()) {
+            return Symbol(id);
+        }
+        let id = self.items.len() as u32;
+        self.by_name.insert(region.as_str().into(), id);
+        self.items.push(region.clone());
+        Symbol(id)
+    }
+
+    /// Interns a raw name, validating it exactly like [`RegionId::new`].
+    ///
+    /// The validation runs only on first sight; repeats are one hash
+    /// lookup with no allocation.
+    pub fn intern_str(&mut self, name: &str) -> Result<Symbol, DataError> {
+        if let Some(&id) = self.by_name.get(name) {
+            return Ok(Symbol(id));
+        }
+        let region = RegionId::new(name)?;
+        let id = self.items.len() as u32;
+        self.by_name.insert(name.into(), id);
+        self.items.push(region);
+        Ok(Symbol(id))
+    }
+
+    /// Looks a region up without inserting it.
+    pub fn get(&self, region: &RegionId) -> Option<Symbol> {
+        self.by_name.get(region.as_str()).map(|&id| Symbol(id))
+    }
+
+    /// Resolves a symbol issued by this table.
+    pub fn resolve(&self, symbol: Symbol) -> &RegionId {
+        &self.items[symbol.index()]
+    }
+
+    /// The interned regions, in first-seen (symbol) order.
+    pub fn items(&self) -> &[RegionId] {
+        &self.items
+    }
+
+    /// Number of distinct regions interned.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Interning table for [`DatasetId`]s.
+///
+/// Deduplication is by dataset *identity*, not token: `Custom("ndt")`
+/// shares the token `"ndt"` with [`DatasetId::Ndt`] but is a distinct
+/// dataset, so the token fast path only caches what
+/// [`parse_dataset_token`] itself produced for that token.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DatasetTable {
+    /// Token → symbol fast path, keyed by the raw flat-file token.
+    by_token: HashMap<Box<str>, u32>,
+    /// Identity dedup for [`intern`](Self::intern)ed ids.
+    by_id: HashMap<DatasetId, u32>,
+    items: Vec<DatasetId>,
+}
+
+impl DatasetTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a dataset id by identity.
+    pub fn intern(&mut self, dataset: &DatasetId) -> Symbol {
+        if let Some(&id) = self.by_id.get(dataset) {
+            return Symbol(id);
+        }
+        let id = self.items.len() as u32;
+        self.by_id.insert(dataset.clone(), id);
+        self.items.push(dataset.clone());
+        Symbol(id)
+    }
+
+    /// Interns a flat-file token, parsing it exactly like
+    /// [`parse_dataset_token`]. Repeats of the same token are one hash
+    /// lookup with no allocation.
+    pub fn intern_token(&mut self, token: &str) -> Result<Symbol, DataError> {
+        if let Some(&id) = self.by_token.get(token) {
+            return Ok(Symbol(id));
+        }
+        let dataset = parse_dataset_token(token)?;
+        let symbol = self.intern(&dataset);
+        self.by_token.insert(token.into(), symbol.0);
+        Ok(symbol)
+    }
+
+    /// Looks a dataset up without inserting it.
+    pub fn get(&self, dataset: &DatasetId) -> Option<Symbol> {
+        self.by_id.get(dataset).map(|&id| Symbol(id))
+    }
+
+    /// Resolves a symbol issued by this table.
+    pub fn resolve(&self, symbol: Symbol) -> &DatasetId {
+        &self.items[symbol.index()]
+    }
+
+    /// The interned datasets, in first-seen (symbol) order.
+    pub fn items(&self) -> &[DatasetId] {
+        &self.items
+    }
+
+    /// Number of distinct datasets interned.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_is_first_seen_ordered_and_idempotent() {
+        let mut i = Interner::new();
+        let cable = i.intern("cable");
+        let fiber = i.intern("fiber");
+        assert_eq!(i.intern("cable"), cable);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(cable), "cable");
+        assert_eq!(i.resolve(fiber), "fiber");
+        assert_eq!(cable.index(), 0);
+        assert_eq!(fiber.index(), 1);
+        assert_eq!(i.get("dsl"), None);
+    }
+
+    #[test]
+    fn region_table_validates_on_first_sight() {
+        let mut t = RegionTable::new();
+        assert!(t.intern_str("").is_err());
+        assert!(t.intern_str("   ").is_err());
+        let east = t.intern_str("east").unwrap();
+        assert_eq!(t.intern_str("east").unwrap(), east);
+        assert_eq!(t.resolve(east).as_str(), "east");
+        assert_eq!(t.len(), 1);
+        let east_id = RegionId::new("east").unwrap();
+        assert_eq!(t.get(&east_id), Some(east));
+        assert_eq!(t.intern(&east_id), east);
+    }
+
+    #[test]
+    fn dataset_table_dedups_by_identity_not_token() {
+        let mut t = DatasetTable::new();
+        let ndt = t.intern(&DatasetId::Ndt);
+        // Custom("ndt") shares the token but is a different dataset.
+        let custom = t.intern(&DatasetId::Custom("ndt".into()));
+        assert_ne!(ndt, custom);
+        assert_eq!(t.len(), 2);
+        // The token fast path resolves to what parse_dataset_token
+        // produces: the builtin.
+        assert_eq!(t.intern_token("ndt").unwrap(), ndt);
+        assert_eq!(t.resolve(ndt), &DatasetId::Ndt);
+        assert_eq!(t.resolve(custom), &DatasetId::Custom("ndt".into()));
+    }
+
+    #[test]
+    fn dataset_token_path_matches_parse() {
+        let mut t = DatasetTable::new();
+        let probes = t.intern_token("probes").unwrap();
+        assert_eq!(t.resolve(probes), &DatasetId::Custom("probes".into()));
+        assert_eq!(t.intern_token("probes").unwrap(), probes);
+        assert!(t.intern_token("").is_err());
+        assert!(t.intern_token("  ").is_err());
+    }
+
+    #[test]
+    fn tables_built_from_same_sequence_are_equal() {
+        let build = || {
+            let mut t = RegionTable::new();
+            for name in ["b", "a", "b", "c", "a"] {
+                t.intern_str(name).unwrap();
+            }
+            t
+        };
+        assert_eq!(build(), build());
+        let t = build();
+        assert_eq!(
+            t.items().iter().map(|r| r.as_str()).collect::<Vec<_>>(),
+            vec!["b", "a", "c"],
+            "symbol order is first-seen order, not sorted order"
+        );
+    }
+}

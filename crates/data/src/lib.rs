@@ -7,8 +7,15 @@
 //!
 //! * [`record`] — the per-test record schema shared by all datasets
 //!   (timestamp, region, dataset, download/upload/latency/loss).
+//! * [`intern`] — `u32` [`intern::Symbol`] interning for region /
+//!   dataset / tech values, so the ingest hot path allocates only on
+//!   first sight of each distinct string.
 //! * [`store`] — an indexed in-memory measurement store with region /
-//!   dataset / time-range queries.
+//!   dataset / time-range queries; columnar (struct-of-arrays over
+//!   symbols) since the ingest optimization pass.
+//! * [`ingest`] — chunked, optionally parallel CSV/JSONL readers that
+//!   parse straight into columnar [`store::RecordBatch`]es with
+//!   quarantine accounting identical to the serial readers.
 //! * [`agg_record`] — Ookla-style pre-aggregated rows (tile summaries)
 //!   for datasets published without per-test data.
 //! * [`aggregate`] — the aggregation step: records stream once through
@@ -66,6 +73,8 @@ pub mod clean;
 pub mod csv_io;
 pub mod error;
 pub mod fault;
+pub mod ingest;
+pub mod intern;
 pub mod jsonl;
 pub mod quarantine;
 pub mod record;

@@ -79,23 +79,43 @@ pub struct TestRecord {
     pub tech: Option<String>,
 }
 
+/// Validates one row's metric values against their physical domains,
+/// without requiring an owned [`TestRecord`].
+///
+/// This is exactly the check [`TestRecord::validate`] performs; the
+/// columnar ingest path calls it on parsed fields before a row is
+/// admitted to a batch.
+pub fn validate_metrics(
+    download_mbps: f64,
+    upload_mbps: f64,
+    latency_ms: f64,
+    loss_pct: Option<f64>,
+) -> Result<(), DataError> {
+    let checks = [
+        (Metric::DownloadThroughput, Some(download_mbps)),
+        (Metric::UploadThroughput, Some(upload_mbps)),
+        (Metric::Latency, Some(latency_ms)),
+        (Metric::PacketLoss, loss_pct),
+    ];
+    for (metric, value) in checks {
+        if let Some(v) = value {
+            metric
+                .validate(v)
+                .map_err(|why| DataError::InvalidRecord(format!("{metric}: {why}")))?;
+        }
+    }
+    Ok(())
+}
+
 impl TestRecord {
     /// Validates every metric value against its physical domain.
     pub fn validate(&self) -> Result<(), DataError> {
-        let checks = [
-            (Metric::DownloadThroughput, Some(self.download_mbps)),
-            (Metric::UploadThroughput, Some(self.upload_mbps)),
-            (Metric::Latency, Some(self.latency_ms)),
-            (Metric::PacketLoss, self.loss_pct),
-        ];
-        for (metric, value) in checks {
-            if let Some(v) = value {
-                metric
-                    .validate(v)
-                    .map_err(|why| DataError::InvalidRecord(format!("{metric}: {why}")))?;
-            }
-        }
-        Ok(())
+        validate_metrics(
+            self.download_mbps,
+            self.upload_mbps,
+            self.latency_ms,
+            self.loss_pct,
+        )
     }
 
     /// The value of one metric on this record (`None` for unreported loss).

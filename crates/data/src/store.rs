@@ -1,17 +1,31 @@
-//! Indexed in-memory measurement store.
+//! Indexed in-memory measurement store, columnar since the ingest
+//! optimization pass.
 //!
-//! [`MeasurementStore`] holds validated [`TestRecord`]s with a
-//! (region, dataset) index so regional aggregation never scans unrelated
-//! rows. A [`QueryFilter`] narrows by region, dataset, time range and
-//! technology tag. The store is the substrate the pipeline's parallel
-//! region workers read from (shared immutably across threads).
+//! [`MeasurementStore`] holds validated rows in struct-of-arrays form:
+//! one `Vec` per field, with region/dataset/tech resolved to interned
+//! [`Symbol`]s (see [`crate::intern`]) and a `(Symbol, Symbol)` index so
+//! regional aggregation never scans unrelated rows. Query results come
+//! back as cheap [`RowRef`] views; the string-typed API ([`RegionId`],
+//! [`DatasetId`]) is preserved at the boundary by table lookup, and the
+//! serde representation is still `{"records": [...]}` so serialized
+//! stores from the row-of-structs era round-trip unchanged.
+//!
+//! [`RecordBatch`] is the unit the chunked parallel readers
+//! ([`crate::ingest`]) emit: a chunk-local columnar buffer whose symbols
+//! [`MeasurementStore::append_batch`] remaps onto the store's global
+//! tables. Because both sides intern in first-seen order, appending the
+//! batches in chunk order reproduces the exact store a serial pass over
+//! the same rows would have built — regardless of how many threads
+//! parsed them.
 
 use std::collections::BTreeMap;
 
 use iqb_core::dataset::DatasetId;
-use serde::{Deserialize, Serialize};
+use iqb_core::metric::Metric;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
 use crate::error::DataError;
+use crate::intern::{DatasetTable, Interner, RegionTable, Symbol};
 use crate::record::{RegionId, TestRecord};
 
 /// Query predicate over stored records. All populated fields must match.
@@ -91,13 +105,304 @@ impl QueryFilter {
     }
 }
 
-/// In-memory measurement store with a (region, dataset) index.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// Sentinel in the tech column for rows without a technology tag.
+const NO_TECH: u32 = u32::MAX;
+
+/// One validated row headed into columnar storage.
+#[derive(Debug, Clone, Copy)]
+struct RawRow {
+    timestamp: u64,
+    region: Symbol,
+    dataset: Symbol,
+    download: f64,
+    upload: f64,
+    latency: f64,
+    loss: Option<f64>,
+    tech: u32,
+}
+
+/// Struct-of-arrays storage. `loss` pairs with a validity bitmask
+/// (absent slots store 0.0); `techs` stores [`NO_TECH`] for untagged
+/// rows.
+#[derive(Debug, Clone, Default)]
+struct Columns {
+    timestamps: Vec<u64>,
+    regions: Vec<Symbol>,
+    datasets: Vec<Symbol>,
+    download: Vec<f64>,
+    upload: Vec<f64>,
+    latency: Vec<f64>,
+    loss: Vec<f64>,
+    loss_valid: Vec<u64>,
+    techs: Vec<u32>,
+}
+
+impl Columns {
+    fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    fn push(&mut self, row: RawRow) {
+        let at = self.timestamps.len();
+        if at % 64 == 0 {
+            self.loss_valid.push(0);
+        }
+        match row.loss {
+            Some(loss) => {
+                self.loss.push(loss);
+                self.loss_valid[at / 64] |= 1u64 << (at % 64);
+            }
+            None => self.loss.push(0.0),
+        }
+        self.timestamps.push(row.timestamp);
+        self.regions.push(row.region);
+        self.datasets.push(row.dataset);
+        self.download.push(row.download);
+        self.upload.push(row.upload);
+        self.latency.push(row.latency);
+        self.techs.push(row.tech);
+    }
+
+    fn loss_at(&self, row: usize) -> Option<f64> {
+        if (self.loss_valid[row / 64] >> (row % 64)) & 1 == 1 {
+            Some(self.loss[row])
+        } else {
+            None
+        }
+    }
+}
+
+/// One validated row headed into a [`RecordBatch`].
+///
+/// Symbols must come from the batch's own interning methods; metric
+/// values must already satisfy [`crate::record::validate_metrics`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRow {
+    /// Measurement time, seconds since the campaign epoch.
+    pub timestamp: u64,
+    /// Region symbol from [`RecordBatch::intern_region`].
+    pub region: Symbol,
+    /// Dataset symbol from [`RecordBatch::intern_dataset_token`].
+    pub dataset: Symbol,
+    /// Download throughput in Mb/s.
+    pub download_mbps: f64,
+    /// Upload throughput in Mb/s.
+    pub upload_mbps: f64,
+    /// Round-trip latency in ms.
+    pub latency_ms: f64,
+    /// Packet loss in percent, when reported.
+    pub loss_pct: Option<f64>,
+    /// Tech symbol from [`RecordBatch::intern_tech`], when tagged.
+    pub tech: Option<Symbol>,
+}
+
+/// A chunk-local columnar buffer of validated rows, with its own
+/// interning tables.
+///
+/// Parser workers fill one batch per input chunk without touching shared
+/// state; [`MeasurementStore::append_batch`] then remaps the chunk-local
+/// symbols onto the store's global tables in chunk order, which makes
+/// the result independent of how the input was chunked.
+#[derive(Debug, Clone, Default)]
+pub struct RecordBatch {
+    regions: RegionTable,
+    datasets: DatasetTable,
+    techs: Interner,
+    cols: Columns,
+}
+
+impl RecordBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of rows buffered.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.cols.len() == 0
+    }
+
+    /// Interns a region name, validating it exactly like
+    /// [`RegionId::new`].
+    pub fn intern_region(&mut self, name: &str) -> Result<Symbol, DataError> {
+        self.regions.intern_str(name)
+    }
+
+    /// Interns a dataset flat-file token, parsing it exactly like
+    /// [`crate::csv_io::parse_dataset_token`].
+    pub fn intern_dataset_token(&mut self, token: &str) -> Result<Symbol, DataError> {
+        self.datasets.intern_token(token)
+    }
+
+    /// Interns a dataset id directly (the JSONL path, which deserializes
+    /// full [`DatasetId`]s).
+    pub fn intern_dataset(&mut self, dataset: &DatasetId) -> Symbol {
+        self.datasets.intern(dataset)
+    }
+
+    /// Interns a technology tag.
+    pub fn intern_tech(&mut self, tech: &str) -> Symbol {
+        self.techs.intern(tech)
+    }
+
+    /// Appends one validated row.
+    pub fn push_row(&mut self, row: BatchRow) {
+        self.cols.push(RawRow {
+            timestamp: row.timestamp,
+            region: row.region,
+            dataset: row.dataset,
+            download: row.download_mbps,
+            upload: row.upload_mbps,
+            latency: row.latency_ms,
+            loss: row.loss_pct,
+            tech: row.tech.map_or(NO_TECH, |t| t.index() as u32),
+        });
+    }
+
+    /// Appends one already-validated [`TestRecord`].
+    pub fn push_record(&mut self, record: &TestRecord) {
+        let region = self.regions.intern(&record.region);
+        let dataset = self.datasets.intern(&record.dataset);
+        let tech = record.tech.as_deref().map(|t| self.techs.intern(t));
+        self.push_row(BatchRow {
+            timestamp: record.timestamp,
+            region,
+            dataset,
+            download_mbps: record.download_mbps,
+            upload_mbps: record.upload_mbps,
+            latency_ms: record.latency_ms,
+            loss_pct: record.loss_pct,
+            tech,
+        });
+    }
+}
+
+/// A borrowed view of one stored row.
+///
+/// `Copy`-cheap: two machine words. Field accessors resolve symbols back
+/// to the owning store's tables; [`to_record`](Self::to_record)
+/// materializes an owned [`TestRecord`] for callers that need one.
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    store: &'a MeasurementStore,
+    row: u32,
+}
+
+impl<'a> RowRef<'a> {
+    /// Measurement time, seconds since the campaign epoch.
+    pub fn timestamp(self) -> u64 {
+        self.store.cols.timestamps[self.row as usize]
+    }
+
+    /// Region the subscriber belongs to.
+    pub fn region(self) -> &'a RegionId {
+        self.store
+            .regions
+            .resolve(self.store.cols.regions[self.row as usize])
+    }
+
+    /// Which dataset (methodology) produced the test.
+    pub fn dataset(self) -> &'a DatasetId {
+        self.store
+            .datasets
+            .resolve(self.store.cols.datasets[self.row as usize])
+    }
+
+    /// Download throughput in Mb/s.
+    pub fn download_mbps(self) -> f64 {
+        self.store.cols.download[self.row as usize]
+    }
+
+    /// Upload throughput in Mb/s.
+    pub fn upload_mbps(self) -> f64 {
+        self.store.cols.upload[self.row as usize]
+    }
+
+    /// Round-trip latency in ms.
+    pub fn latency_ms(self) -> f64 {
+        self.store.cols.latency[self.row as usize]
+    }
+
+    /// Packet loss in percent; `None` when the methodology does not
+    /// report it.
+    pub fn loss_pct(self) -> Option<f64> {
+        self.store.cols.loss_at(self.row as usize)
+    }
+
+    /// Access-technology tag, when present.
+    pub fn tech(self) -> Option<&'a str> {
+        match self.store.cols.techs[self.row as usize] {
+            NO_TECH => None,
+            t => Some(self.store.techs.resolve(Symbol::from_index(t as usize))),
+        }
+    }
+
+    /// The value of one metric on this row (`None` for unreported loss).
+    pub fn metric_value(self, metric: Metric) -> Option<f64> {
+        match metric {
+            Metric::DownloadThroughput => Some(self.download_mbps()),
+            Metric::UploadThroughput => Some(self.upload_mbps()),
+            Metric::Latency => Some(self.latency_ms()),
+            Metric::PacketLoss => self.loss_pct(),
+        }
+    }
+
+    /// Materializes an owned [`TestRecord`].
+    pub fn to_record(self) -> TestRecord {
+        TestRecord {
+            timestamp: self.timestamp(),
+            region: self.region().clone(),
+            dataset: self.dataset().clone(),
+            download_mbps: self.download_mbps(),
+            upload_mbps: self.upload_mbps(),
+            latency_ms: self.latency_ms(),
+            loss_pct: self.loss_pct(),
+            tech: self.tech().map(str::to_string),
+        }
+    }
+}
+
+impl std::fmt::Debug for RowRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RowRef")
+            .field("timestamp", &self.timestamp())
+            .field("region", self.region())
+            .field("dataset", self.dataset())
+            .field("download_mbps", &self.download_mbps())
+            .field("upload_mbps", &self.upload_mbps())
+            .field("latency_ms", &self.latency_ms())
+            .field("loss_pct", &self.loss_pct())
+            .field("tech", &self.tech())
+            .finish()
+    }
+}
+
+/// A [`QueryFilter`] pre-resolved to symbols. `None` for a field means
+/// unconstrained; a constrained field naming a value the store has never
+/// interned resolves the whole query to the empty set before it starts.
+#[derive(Debug, Clone, Copy)]
+struct ResolvedFilter {
+    region: Option<Symbol>,
+    dataset: Option<Symbol>,
+    from: Option<u64>,
+    to: Option<u64>,
+    tech: Option<u32>,
+}
+
+/// In-memory columnar measurement store with a (region, dataset) index.
+#[derive(Debug, Clone, Default)]
 pub struct MeasurementStore {
-    records: Vec<TestRecord>,
-    /// (region, dataset) → indices into `records`.
-    #[serde(skip)]
-    index: BTreeMap<(RegionId, DatasetId), Vec<usize>>,
+    regions: RegionTable,
+    datasets: DatasetTable,
+    techs: Interner,
+    cols: Columns,
+    /// (region, dataset) → row indices, in insertion order.
+    index: BTreeMap<(Symbol, Symbol), Vec<u32>>,
 }
 
 impl MeasurementStore {
@@ -108,10 +413,31 @@ impl MeasurementStore {
 
     /// Validates and inserts one record.
     pub fn push(&mut self, record: TestRecord) -> Result<(), DataError> {
+        self.push_ref(&record)
+    }
+
+    /// Validates and inserts one record from a borrow, allocating only
+    /// for first-seen region/dataset/tech values.
+    pub fn push_ref(&mut self, record: &TestRecord) -> Result<(), DataError> {
         record.validate()?;
-        let key = (record.region.clone(), record.dataset.clone());
-        self.index.entry(key).or_default().push(self.records.len());
-        self.records.push(record);
+        let region = self.regions.intern(&record.region);
+        let dataset = self.datasets.intern(&record.dataset);
+        let tech = match record.tech.as_deref() {
+            Some(t) => self.techs.intern(t).index() as u32,
+            None => NO_TECH,
+        };
+        let row = self.cols.len() as u32;
+        self.cols.push(RawRow {
+            timestamp: record.timestamp,
+            region,
+            dataset,
+            download: record.download_mbps,
+            upload: record.upload_mbps,
+            latency: record.latency_ms,
+            loss: record.loss_pct,
+            tech,
+        });
+        self.index.entry((region, dataset)).or_default().push(row);
         Ok(())
     }
 
@@ -122,70 +448,209 @@ impl MeasurementStore {
     ) -> Result<usize, DataError> {
         let mut inserted = 0;
         for r in records {
-            self.push(r)?;
+            self.push_ref(&r)?;
             inserted += 1;
         }
         Ok(inserted)
     }
 
-    /// Rebuilds the index (needed after deserialization, which skips it).
-    pub fn rebuild_index(&mut self) {
-        self.index.clear();
-        for (i, r) in self.records.iter().enumerate() {
-            self.index
-                .entry((r.region.clone(), r.dataset.clone()))
-                .or_default()
-                .push(i);
+    /// Appends a parsed [`RecordBatch`], remapping its chunk-local
+    /// symbols onto this store's tables.
+    ///
+    /// Batches appended in chunk order reproduce the store a serial pass
+    /// over the concatenated rows would build, because both sides intern
+    /// in first-seen order. Rows are trusted as validated (the batch API
+    /// only admits validated rows).
+    pub fn append_batch(&mut self, batch: &RecordBatch) {
+        let region_map: Vec<Symbol> = batch
+            .regions
+            .items()
+            .iter()
+            .map(|r| self.regions.intern(r))
+            .collect();
+        let dataset_map: Vec<Symbol> = batch
+            .datasets
+            .items()
+            .iter()
+            .map(|d| self.datasets.intern(d))
+            .collect();
+        let tech_map: Vec<u32> = batch
+            .techs
+            .items()
+            .map(|t| self.techs.intern(t).index() as u32)
+            .collect();
+        for i in 0..batch.cols.len() {
+            let region = region_map[batch.cols.regions[i].index()];
+            let dataset = dataset_map[batch.cols.datasets[i].index()];
+            let tech = match batch.cols.techs[i] {
+                NO_TECH => NO_TECH,
+                t => tech_map[t as usize],
+            };
+            let row = self.cols.len() as u32;
+            self.cols.push(RawRow {
+                timestamp: batch.cols.timestamps[i],
+                region,
+                dataset,
+                download: batch.cols.download[i],
+                upload: batch.cols.upload[i],
+                latency: batch.cols.latency[i],
+                loss: batch.cols.loss_at(i),
+                tech,
+            });
+            self.index.entry((region, dataset)).or_default().push(row);
         }
     }
 
+    /// Retained for API compatibility with the row-of-structs store,
+    /// whose serde path skipped the index. The columnar store maintains
+    /// its index on every insertion (including deserialization), so this
+    /// is a no-op.
+    pub fn rebuild_index(&mut self) {}
+
     /// Total number of records.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.cols.len()
     }
 
     /// Whether the store holds no records.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.cols.len() == 0
     }
 
     /// All distinct regions, sorted.
     pub fn regions(&self) -> Vec<RegionId> {
-        let mut out: Vec<RegionId> = self.index.keys().map(|(r, _)| r.clone()).collect();
-        out.dedup();
+        let mut out = self.regions.items().to_vec();
+        out.sort();
         out
     }
 
     /// All distinct datasets present, sorted.
     pub fn datasets(&self) -> Vec<DatasetId> {
-        let mut out: Vec<DatasetId> = self.index.keys().map(|(_, d)| d.clone()).collect();
+        let mut out = self.datasets.items().to_vec();
         out.sort();
-        out.dedup();
         out
     }
 
-    /// Iterates records matching a filter.
-    ///
-    /// Uses the (region, dataset) index when both are pinned; falls back to
-    /// a filtered scan otherwise.
-    pub fn query<'a>(
-        &'a self,
-        filter: &'a QueryFilter,
-    ) -> Box<dyn Iterator<Item = &'a TestRecord> + 'a> {
-        if let (Some(region), Some(dataset)) = (&filter.region, &filter.dataset) {
-            let key = (region.clone(), dataset.clone());
-            match self.index.get(&key) {
-                Some(indices) => Box::new(
-                    indices
-                        .iter()
-                        .map(move |&i| &self.records[i])
-                        .filter(move |r| filter.matches(r)),
+    fn row(&self, row: u32) -> RowRef<'_> {
+        RowRef { store: self, row }
+    }
+
+    /// Resolves a filter's string fields to symbols; `None` when some
+    /// constrained field can never match.
+    fn resolve_filter(&self, filter: &QueryFilter) -> Option<ResolvedFilter> {
+        let region = match &filter.region {
+            Some(r) => Some(self.regions.get(r)?),
+            None => None,
+        };
+        let dataset = match &filter.dataset {
+            Some(d) => Some(self.datasets.get(d)?),
+            None => None,
+        };
+        let tech = match &filter.tech {
+            Some(t) => Some(self.techs.get(t)?.index() as u32),
+            None => None,
+        };
+        Some(ResolvedFilter {
+            region,
+            dataset,
+            from: filter.from,
+            to: filter.to,
+            tech,
+        })
+    }
+
+    fn row_matches(&self, row: usize, f: ResolvedFilter) -> bool {
+        if let Some(region) = f.region {
+            if self.cols.regions[row] != region {
+                return false;
+            }
+        }
+        if let Some(dataset) = f.dataset {
+            if self.cols.datasets[row] != dataset {
+                return false;
+            }
+        }
+        let ts = self.cols.timestamps[row];
+        if let Some(from) = f.from {
+            if ts < from {
+                return false;
+            }
+        }
+        if let Some(to) = f.to {
+            if ts >= to {
+                return false;
+            }
+        }
+        if let Some(tech) = f.tech {
+            if self.cols.techs[row] != tech {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn iter_resolved(&self, f: ResolvedFilter) -> Box<dyn Iterator<Item = RowRef<'_>> + '_> {
+        if let (Some(region), Some(dataset)) = (f.region, f.dataset) {
+            return match self.index.get(&(region, dataset)) {
+                Some(rows) => Box::new(
+                    rows.iter()
+                        .filter(move |&&i| self.row_matches(i as usize, f))
+                        .map(move |&i| self.row(i)),
                 ),
                 None => Box::new(std::iter::empty()),
-            }
-        } else {
-            Box::new(self.records.iter().filter(move |r| filter.matches(r)))
+            };
         }
+        Box::new(
+            (0..self.cols.len() as u32)
+                .filter(move |&i| self.row_matches(i as usize, f))
+                .map(move |i| self.row(i)),
+        )
+    }
+
+    /// Iterates rows matching a filter.
+    ///
+    /// The filter is resolved to symbols up front — a filter naming a
+    /// region/dataset/tech the store has never seen yields an empty
+    /// iterator without scanning — and the (region, dataset) index is
+    /// used when both are pinned.
+    pub fn query<'a>(&'a self, filter: &QueryFilter) -> Box<dyn Iterator<Item = RowRef<'a>> + 'a> {
+        match self.resolve_filter(filter) {
+            Some(f) => self.iter_resolved(f),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    /// Iterates one (region, dataset) cell under `base`'s residual
+    /// time/tech constraints, ignoring `base`'s own region/dataset
+    /// fields.
+    ///
+    /// This is the aggregation hot path: the per-cell loop pins region
+    /// and dataset directly instead of cloning a [`QueryFilter`] (and
+    /// its heap-backed ids) per cell.
+    pub fn query_cell<'a>(
+        &'a self,
+        region: &RegionId,
+        dataset: &DatasetId,
+        base: &QueryFilter,
+    ) -> Box<dyn Iterator<Item = RowRef<'a>> + 'a> {
+        let (Some(region), Some(dataset)) = (self.regions.get(region), self.datasets.get(dataset))
+        else {
+            return Box::new(std::iter::empty());
+        };
+        let tech = match &base.tech {
+            Some(t) => match self.techs.get(t) {
+                Some(sym) => Some(sym.index() as u32),
+                None => return Box::new(std::iter::empty()),
+            },
+            None => None,
+        };
+        self.iter_resolved(ResolvedFilter {
+            region: Some(region),
+            dataset: Some(dataset),
+            from: base.from,
+            to: base.to,
+            tech,
+        })
     }
 
     /// Number of records matching a filter.
@@ -194,14 +659,68 @@ impl MeasurementStore {
     }
 
     /// Collects one metric column for records matching a filter.
-    pub fn metric_column(
-        &self,
-        filter: &QueryFilter,
-        metric: iqb_core::metric::Metric,
-    ) -> Vec<f64> {
+    pub fn metric_column(&self, filter: &QueryFilter, metric: Metric) -> Vec<f64> {
         self.query(filter)
             .filter_map(|r| r.metric_value(metric))
             .collect()
+    }
+}
+
+impl PartialEq for MeasurementStore {
+    /// Row-wise semantic equality: same records in the same order,
+    /// independent of symbol numbering.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && (0..self.len() as u32).all(|i| {
+                let (a, b) = (self.row(i), other.row(i));
+                a.timestamp() == b.timestamp()
+                    && a.region() == b.region()
+                    && a.dataset() == b.dataset()
+                    && a.download_mbps() == b.download_mbps()
+                    && a.upload_mbps() == b.upload_mbps()
+                    && a.latency_ms() == b.latency_ms()
+                    && a.loss_pct() == b.loss_pct()
+                    && a.tech() == b.tech()
+            })
+    }
+}
+
+impl Serialize for MeasurementStore {
+    /// Serializes as `{"records": [...]}` — the same shape the
+    /// row-of-structs store derived, so persisted stores stay
+    /// interchangeable across the columnar migration.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::{SerializeSeq, SerializeStruct};
+
+        struct Rows<'a>(&'a MeasurementStore);
+        impl Serialize for Rows<'_> {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut seq = serializer.serialize_seq(Some(self.0.len()))?;
+                for i in 0..self.0.len() as u32 {
+                    seq.serialize_element(&self.0.row(i).to_record())?;
+                }
+                seq.end()
+            }
+        }
+
+        let mut s = serializer.serialize_struct("MeasurementStore", 1)?;
+        s.serialize_field("records", &Rows(self))?;
+        s.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for MeasurementStore {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        struct Shim {
+            records: Vec<TestRecord>,
+        }
+        let shim = Shim::deserialize(deserializer)?;
+        let mut store = MeasurementStore::new();
+        store
+            .extend(shim.records)
+            .map_err(serde::de::Error::custom)?;
+        Ok(store)
     }
 }
 
@@ -224,10 +743,18 @@ mod tests {
 
     fn sample_store() -> MeasurementStore {
         let mut store = MeasurementStore::new();
-        store.push(record("east", DatasetId::Ndt, 10, 100.0)).unwrap();
-        store.push(record("east", DatasetId::Ookla, 20, 110.0)).unwrap();
-        store.push(record("west", DatasetId::Ndt, 30, 50.0)).unwrap();
-        store.push(record("west", DatasetId::Ndt, 40, 55.0)).unwrap();
+        store
+            .push(record("east", DatasetId::Ndt, 10, 100.0))
+            .unwrap();
+        store
+            .push(record("east", DatasetId::Ookla, 20, 110.0))
+            .unwrap();
+        store
+            .push(record("west", DatasetId::Ndt, 30, 50.0))
+            .unwrap();
+        store
+            .push(record("west", DatasetId::Ndt, 40, 55.0))
+            .unwrap();
         store
     }
 
@@ -263,10 +790,10 @@ mod tests {
         let filter = QueryFilter::all()
             .region(RegionId::new("west").unwrap())
             .dataset(DatasetId::Ndt);
-        let indexed: Vec<_> = store.query(&filter).collect();
-        let scanned: Vec<_> = store
-            .records
-            .iter()
+        let indexed: Vec<TestRecord> = store.query(&filter).map(|r| r.to_record()).collect();
+        let scanned: Vec<TestRecord> = store
+            .query(&QueryFilter::all())
+            .map(|r| r.to_record())
             .filter(|r| filter.matches(r))
             .collect();
         assert_eq!(indexed, scanned);
@@ -277,7 +804,7 @@ mod tests {
     fn time_range_is_half_open() {
         let store = sample_store();
         let filter = QueryFilter::all().time_range(10, 30);
-        let matched: Vec<u64> = store.query(&filter).map(|r| r.timestamp).collect();
+        let matched: Vec<u64> = store.query(&filter).map(|r| r.timestamp()).collect();
         assert_eq!(matched, vec![10, 20]);
     }
 
@@ -299,11 +826,13 @@ mod tests {
         let mut r = record("east", DatasetId::Ookla, 0, 100.0);
         r.loss_pct = None;
         store.push(r).unwrap();
-        store.push(record("east", DatasetId::Ookla, 1, 100.0)).unwrap();
+        store
+            .push(record("east", DatasetId::Ookla, 1, 100.0))
+            .unwrap();
         let filter = QueryFilter::all();
-        let loss = store.metric_column(&filter, iqb_core::metric::Metric::PacketLoss);
+        let loss = store.metric_column(&filter, Metric::PacketLoss);
         assert_eq!(loss, vec![0.1]);
-        let down = store.metric_column(&filter, iqb_core::metric::Metric::DownloadThroughput);
+        let down = store.metric_column(&filter, Metric::DownloadThroughput);
         assert_eq!(down.len(), 2);
     }
 
@@ -320,6 +849,7 @@ mod tests {
     fn serde_round_trip_with_index_rebuild() {
         let store = sample_store();
         let json = serde_json::to_string(&store).unwrap();
+        assert!(json.starts_with("{\"records\":["), "stable shape: {json}");
         let mut back: MeasurementStore = serde_json::from_str(&json).unwrap();
         back.rebuild_index();
         assert_eq!(back.len(), store.len());
@@ -327,5 +857,105 @@ mod tests {
             .region(RegionId::new("west").unwrap())
             .dataset(DatasetId::Ndt);
         assert_eq!(back.count(&filter), store.count(&filter));
+        assert_eq!(back, store);
+    }
+
+    #[test]
+    fn row_ref_round_trips_every_field() {
+        let mut store = MeasurementStore::new();
+        let mut original = record("east", DatasetId::Custom("probes".into()), 7, 12.5);
+        original.loss_pct = None;
+        original.tech = None;
+        store.push_ref(&original).unwrap();
+        store.push(record("west", DatasetId::Ndt, 8, 90.0)).unwrap();
+        let rows: Vec<TestRecord> = store
+            .query(&QueryFilter::all())
+            .map(|r| r.to_record())
+            .collect();
+        assert_eq!(rows[0], original);
+        assert_eq!(rows[1].tech.as_deref(), Some("cable"));
+        assert_eq!(rows[1].loss_pct, Some(0.1));
+    }
+
+    #[test]
+    fn loss_validity_mask_crosses_word_boundaries() {
+        let mut store = MeasurementStore::new();
+        // 130 rows straddle three 64-bit mask words; every odd row has
+        // no loss value.
+        for i in 0..130u64 {
+            let mut r = record("east", DatasetId::Ndt, i, 10.0);
+            r.loss_pct = if i % 2 == 0 {
+                Some(i as f64 / 10.0)
+            } else {
+                None
+            };
+            store.push(r).unwrap();
+        }
+        let with_loss = store.metric_column(&QueryFilter::all(), Metric::PacketLoss);
+        assert_eq!(with_loss.len(), 65);
+        let rows: Vec<TestRecord> = store
+            .query(&QueryFilter::all())
+            .map(|r| r.to_record())
+            .collect();
+        assert_eq!(rows[64].loss_pct, Some(6.4));
+        assert_eq!(rows[65].loss_pct, None);
+    }
+
+    #[test]
+    fn append_batch_is_chunking_invariant() {
+        let records: Vec<TestRecord> = vec![
+            record("b", DatasetId::Ookla, 1, 10.0),
+            record("a", DatasetId::Ndt, 2, 20.0),
+            record("b", DatasetId::Ndt, 3, 30.0),
+            record("c", DatasetId::Custom("probes".into()), 4, 40.0),
+            record("a", DatasetId::Ookla, 5, 50.0),
+        ];
+        let serial = {
+            let mut store = MeasurementStore::new();
+            store.extend(records.iter().cloned()).unwrap();
+            store
+        };
+        for split in 1..records.len() {
+            let mut store = MeasurementStore::new();
+            for chunk in [&records[..split], &records[split..]] {
+                let mut batch = RecordBatch::new();
+                for r in chunk {
+                    batch.push_record(r);
+                }
+                store.append_batch(&batch);
+            }
+            assert_eq!(store, serial, "split at {split}");
+            assert_eq!(store.regions(), serial.regions());
+            assert_eq!(store.datasets(), serial.datasets());
+            let filter = QueryFilter::all()
+                .region(RegionId::new("b").unwrap())
+                .dataset(DatasetId::Ndt);
+            assert_eq!(store.count(&filter), 1);
+        }
+    }
+
+    #[test]
+    fn query_cell_matches_filtered_query() {
+        let store = sample_store();
+        let region = RegionId::new("west").unwrap();
+        let base = QueryFilter::all().time_range(0, 35);
+        let via_cell: Vec<u64> = store
+            .query_cell(&region, &DatasetId::Ndt, &base)
+            .map(|r| r.timestamp())
+            .collect();
+        let via_filter: Vec<u64> = store
+            .query(&base.clone().region(region.clone()).dataset(DatasetId::Ndt))
+            .map(|r| r.timestamp())
+            .collect();
+        assert_eq!(via_cell, via_filter);
+        assert_eq!(via_cell, vec![30]);
+        // Unknown region resolves to the empty set without scanning.
+        let unknown = RegionId::new("nowhere").unwrap();
+        assert_eq!(
+            store
+                .query_cell(&unknown, &DatasetId::Ndt, &QueryFilter::all())
+                .count(),
+            0
+        );
     }
 }

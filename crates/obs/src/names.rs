@@ -18,6 +18,10 @@ pub const INGEST_KEPT: &str = "ingest.kept";
 pub const INGEST_QUARANTINED: &str = "ingest.quarantined";
 /// Quarantined records by fault kind, prefix (suffix = `FaultKind::tag()`).
 pub const INGEST_FAULT: &str = "ingest.fault";
+/// Nanoseconds spent parsing input chunks in the chunked readers.
+pub const INGEST_PARSE_NS: &str = "ingest.parse_ns";
+/// Input chunks dispatched to parser workers by the chunked readers.
+pub const INGEST_CHUNKS: &str = "ingest.chunks";
 
 /// Values pushed into quantile sinks during aggregation.
 pub const AGG_VALUES_PUSHED: &str = "agg.values_pushed";

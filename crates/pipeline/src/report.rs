@@ -13,11 +13,16 @@ use crate::error::PipelineError;
 use crate::runner::RegionalReport;
 use crate::table::TextTable;
 
-/// Renders the regional summary as an aligned text table:
-/// one row per region, best first.
-pub fn render_summary(report: &RegionalReport) -> String {
+/// Builds the ranked one-row-per-region summary table shared by the
+/// text and markdown renderers, so the two formats cannot drift apart.
+fn summary_table(report: &RegionalReport) -> TextTable {
     let mut table = TextTable::new([
-        "Rank", "Region", "IQB score", "Grade", "Credit-style", "Weakest use case",
+        "Rank",
+        "Region",
+        "IQB score",
+        "Grade",
+        "Credit-style",
+        "Weakest use case",
     ]);
     for (i, r) in report.ranked().into_iter().enumerate() {
         let weakest = r
@@ -34,7 +39,13 @@ pub fn render_summary(report: &RegionalReport) -> String {
             weakest,
         ]);
     }
-    let mut out = table.render();
+    table
+}
+
+/// Renders the regional summary as an aligned text table:
+/// one row per region, best first.
+pub fn render_summary(report: &RegionalReport) -> String {
+    let mut out = summary_table(report).render();
     if !report.skipped.is_empty() {
         out.push_str(&format!(
             "\nSkipped (no data): {}\n",
@@ -96,25 +107,7 @@ pub fn render_drilldown(report: &RegionalReport, region: &iqb_data::record::Regi
 /// Renders the regional summary as GitHub-flavoured markdown (same rows
 /// as [`render_summary`]), for READMEs and issue trackers.
 pub fn render_markdown(report: &RegionalReport) -> String {
-    let mut table = TextTable::new([
-        "Rank", "Region", "IQB score", "Grade", "Credit-style", "Weakest use case",
-    ]);
-    for (i, r) in report.ranked().into_iter().enumerate() {
-        let weakest = r
-            .report
-            .weakest_use_case()
-            .map(|(u, s)| format!("{} ({:.2})", u.label(), s.score))
-            .unwrap_or_else(|| "—".to_string());
-        table.row([
-            (i + 1).to_string(),
-            r.region.to_string(),
-            format!("{:.3}", r.report.score),
-            r.grade.to_string(),
-            r.credit.to_string(),
-            weakest,
-        ]);
-    }
-    table.render_markdown()
+    summary_table(report).render_markdown()
 }
 
 /// Renders the summary as CSV (one row per region plus per-use-case

@@ -68,15 +68,22 @@ impl RegionalReport {
 }
 
 /// Fans `work` out over the given regions on crossbeam scoped threads and
-/// returns `(region, result)` pairs in region order, regardless of
-/// completion order.
+/// returns `(region, result)` pairs in input order, regardless of
+/// completion order. Every caller passes an already-sorted region list
+/// (store / dirty-set / source universe enumeration all come out of
+/// ordered containers), so input order *is* region order.
+///
+/// The region list is taken by value: workers report `(index, result)`
+/// and the owned ids are zipped back in at the end, so no `RegionId` is
+/// cloned per fan-out — the ids the caller already owns are simply handed
+/// back.
 ///
 /// This is the parallel skeleton shared by the batch path
 /// ([`score_all_regions`]) and the incremental
 /// [`crate::session::ScoringSession::rescore`], which only passes its
 /// dirty regions.
 pub(crate) fn fan_out_regions<T, F>(
-    regions: &[RegionId],
+    regions: Vec<RegionId>,
     work: F,
 ) -> Result<Vec<(RegionId, T)>, PipelineError>
 where
@@ -99,19 +106,20 @@ where
     let score_hist = registry.histogram(iqb_obs::names::PIPELINE_REGION_SCORE_MS);
     let batches = registry.counter(iqb_obs::names::PIPELINE_FAN_OUT_BATCHES);
 
-    type WorkerResult<T> = Result<(RegionId, T), PipelineError>;
+    type WorkerResult<T> = Result<(usize, T), PipelineError>;
     let (sender, receiver) = crossbeam::channel::unbounded::<WorkerResult<T>>();
     let work = &work;
 
     crossbeam::scope(|scope| {
-        for chunk in regions.chunks(chunk_size) {
+        for (chunk_index, chunk) in regions.chunks(chunk_size).enumerate() {
             let sender = sender.clone();
             let score_hist = score_hist.clone();
+            let base = chunk_index * chunk_size;
             batches.inc();
             scope.spawn(move |_| {
-                for region in chunk {
+                for (offset, region) in chunk.iter().enumerate() {
                     let timer = iqb_obs::Timer::start(score_hist.clone());
-                    let message = work(region).map(|t| (region.clone(), t));
+                    let message = work(region).map(|t| (base + offset, t));
                     drop(timer);
                     // The receiver outlives the scope; ignore send failure
                     // (only possible if the parent already bailed).
@@ -124,12 +132,20 @@ where
     })
     .map_err(|panic| PipelineError::WorkerPanic(format!("scoring worker panicked: {panic:?}")))??;
 
-    let mut out: Vec<(RegionId, T)> = Vec::with_capacity(regions.len());
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(regions.len());
+    slots.resize_with(regions.len(), || None);
     for message in receiver.iter() {
-        out.push(message?);
+        let (index, value) = message?;
+        slots[index] = Some(value);
     }
-    out.sort_by(|a, b| a.0.cmp(&b.0));
-    Ok(out)
+    Ok(regions
+        .into_iter()
+        .zip(slots)
+        .map(|(region, slot)| {
+            let value = slot.expect("every fan-out index reports exactly once");
+            (region, value)
+        })
+        .collect())
 }
 
 /// Grades a scored input into a [`RegionScore`]; shared by the batch and
@@ -166,7 +182,7 @@ pub fn score_all_regions(
     let regions = store.regions();
     let grade_bands = GradeBands::default();
 
-    let results = fan_out_regions(&regions, |region| {
+    let results = fan_out_regions(regions, |region| {
         match score_one_region(store, config, spec, filter, region)? {
             Some((report, input)) => Ok(Some(Box::new(build_region_score(
                 region,
@@ -332,7 +348,7 @@ pub fn score_sources(
     let strict = options.mode == IngestMode::Strict;
 
     type RegionOutcome = (Option<Box<RegionScore>>, Vec<SourceIncident>, u64);
-    let results = fan_out_regions(&regions, |region| -> Result<RegionOutcome, PipelineError> {
+    let results = fan_out_regions(regions, |region| -> Result<RegionOutcome, PipelineError> {
         let mut merged = AggregateInput::new();
         let mut incidents: Vec<SourceIncident> = Vec::new();
         let mut retry_successes = 0u64;
@@ -432,12 +448,11 @@ fn score_one_region(
     filter: &QueryFilter,
     region: &RegionId,
 ) -> Result<Option<(IqbReport, AggregateInput)>, PipelineError> {
-    let input =
-        match aggregate_region_filtered(store, region, &config.datasets, spec, filter) {
-            Ok(input) => input,
-            Err(iqb_data::DataError::NoData { .. }) => return Ok(None),
-            Err(e) => return Err(e.into()),
-        };
+    let input = match aggregate_region_filtered(store, region, &config.datasets, spec, filter) {
+        Ok(input) => input,
+        Err(iqb_data::DataError::NoData { .. }) => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
     match score_iqb(config, &input) {
         Ok(report) => Ok(Some((report, input))),
         Err(iqb_core::CoreError::NothingToScore) => Ok(None),
@@ -584,7 +599,7 @@ mod tests {
             .map(|i| RegionId::new(format!("r{i}")).unwrap())
             .collect();
         let started = std::time::Instant::now();
-        let result = fan_out_regions(&regions, |region| -> Result<(), PipelineError> {
+        let result = fan_out_regions(regions, |region| -> Result<(), PipelineError> {
             if region.as_str() == "r3" {
                 panic!("injected worker panic");
             }
@@ -676,7 +691,10 @@ mod tests {
                 .incidents
                 .iter()
                 .all(|i| i.kind == FaultKind::SourcePanic));
-            assert_eq!(scored.quality.degraded_datasets(), vec!["flaky".to_string()]);
+            assert_eq!(
+                scored.quality.degraded_datasets(),
+                vec!["flaky".to_string()]
+            );
             for score in scored.report.regions.values() {
                 assert_eq!(score.report.degraded_datasets, vec!["flaky".to_string()]);
             }
@@ -707,7 +725,10 @@ mod tests {
                     score.report.degraded_datasets,
                     vec!["Cloudflare".to_string()]
                 );
-                assert!(score.input.get(&DatasetId::Cloudflare, Metric::Latency).is_none());
+                assert!(score
+                    .input
+                    .get(&DatasetId::Cloudflare, Metric::Latency)
+                    .is_none());
             }
             assert!(scored
                 .quality

@@ -28,7 +28,7 @@ use iqb_core::input::{AggregateInput, CellProvenance};
 use iqb_core::metric::Metric;
 use iqb_core::score::score_iqb;
 use iqb_data::aggregate::{AggregationSpec, MetricSink};
-use iqb_data::quarantine::{FaultKind, Quarantined, QuarantineReport};
+use iqb_data::quarantine::{FaultKind, QuarantineReport, Quarantined};
 use iqb_data::record::{RegionId, TestRecord};
 use iqb_data::store::MeasurementStore;
 use iqb_stats::sink::QuantileSink;
@@ -36,8 +36,10 @@ use iqb_stats::sink::QuantileSink;
 use crate::error::PipelineError;
 use crate::runner::{build_region_score, fan_out_regions, RegionalReport};
 
-/// Per-region streaming state: one sink per (dataset, metric) cell.
-type RegionSinks = BTreeMap<(DatasetId, Metric), (f64, MetricSink)>;
+/// Per-region streaming state: one sink per (dataset, metric) cell,
+/// nested so the ingest hot path can reach a cell through borrowed
+/// lookups and clone the region / dataset keys only on first sight.
+type RegionSinks = BTreeMap<DatasetId, BTreeMap<Metric, (f64, MetricSink)>>;
 
 /// A long-lived scoring session that ingests measurement batches and
 /// rescores only the regions each batch touched.
@@ -94,36 +96,76 @@ impl ScoringSession {
     {
         let mut ingested = 0;
         for record in records {
-            // The store validates and remains the replayable source of
-            // truth; the sinks are the streaming view of the same data.
-            self.store.push(record.clone())?;
-            // Regions whose only data is an unscored dataset must still
-            // reconcile (into `skipped`), matching batch semantics.
-            self.dirty.insert(record.region.clone());
-            if self.config.datasets.contains(&record.dataset) {
-                let region_sinks = self.sinks.entry(record.region.clone()).or_default();
-                for metric in Metric::ALL {
-                    let Some(value) = record.metric_value(metric) else {
-                        continue;
-                    };
-                    let entry = region_sinks.entry((record.dataset.clone(), metric));
-                    let (_, sink) = match entry {
-                        std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
-                        std::collections::btree_map::Entry::Vacant(v) => {
-                            let q = self.spec.quantile_for(metric)?;
-                            let sink = MetricSink::for_backend(self.spec.backend, q)?;
-                            v.insert((q, sink))
-                        }
-                    };
-                    sink.push(value)?;
-                }
-            }
+            self.ingest_one(&record)?;
             ingested += 1;
         }
         iqb_obs::global()
             .counter(iqb_obs::names::SESSION_RECORDS_INGESTED)
             .add(ingested as u64);
         Ok(ingested)
+    }
+
+    /// Like [`Self::ingest`], but over borrowed records — batches that
+    /// live in a [`MeasurementStore`] (or any other owner) feed the
+    /// session without being cloned first.
+    pub fn ingest_refs<'a, I>(&mut self, records: I) -> Result<usize, PipelineError>
+    where
+        I: IntoIterator<Item = &'a TestRecord>,
+    {
+        let mut ingested = 0;
+        for record in records {
+            self.ingest_one(record)?;
+            ingested += 1;
+        }
+        iqb_obs::global()
+            .counter(iqb_obs::names::SESSION_RECORDS_INGESTED)
+            .add(ingested as u64);
+        Ok(ingested)
+    }
+
+    /// The single-record core of every ingest path: validates into the
+    /// store, marks the region dirty and feeds the streaming sinks.
+    /// Region and dataset keys are cloned only when a map entry is
+    /// created — steady-state ingest allocates nothing per record.
+    fn ingest_one(&mut self, record: &TestRecord) -> Result<(), PipelineError> {
+        // The store validates and remains the replayable source of
+        // truth; the sinks are the streaming view of the same data.
+        self.store.push_ref(record)?;
+        // Regions whose only data is an unscored dataset must still
+        // reconcile (into `skipped`), matching batch semantics.
+        if !self.dirty.contains(&record.region) {
+            self.dirty.insert(record.region.clone());
+        }
+        if self.config.datasets.contains(&record.dataset) {
+            if !self.sinks.contains_key(&record.region) {
+                self.sinks.insert(record.region.clone(), RegionSinks::new());
+            }
+            let region_sinks = self
+                .sinks
+                .get_mut(&record.region)
+                .expect("region entry inserted above");
+            if !region_sinks.contains_key(&record.dataset) {
+                region_sinks.insert(record.dataset.clone(), BTreeMap::new());
+            }
+            let cell_sinks = region_sinks
+                .get_mut(&record.dataset)
+                .expect("dataset entry inserted above");
+            for metric in Metric::ALL {
+                let Some(value) = record.metric_value(metric) else {
+                    continue;
+                };
+                let (_, sink) = match cell_sinks.entry(metric) {
+                    std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        let q = self.spec.quantile_for(metric)?;
+                        let sink = MetricSink::for_backend(self.spec.backend, q)?;
+                        v.insert((q, sink))
+                    }
+                };
+                sink.push(value)?;
+            }
+        }
+        Ok(())
     }
 
     /// Like [`Self::ingest`], but poisoned records are quarantined
@@ -147,7 +189,8 @@ impl ScoringSession {
             report.scanned += 1;
             match record.validate() {
                 Ok(()) => {
-                    ingested += self.ingest(std::iter::once(record))?;
+                    self.ingest_one(&record)?;
+                    ingested += 1;
                     report.kept += 1;
                 }
                 Err(e) => report.record(Quarantined {
@@ -158,6 +201,9 @@ impl ScoringSession {
                 }),
             }
         }
+        iqb_obs::global()
+            .counter(iqb_obs::names::SESSION_RECORDS_INGESTED)
+            .add(ingested as u64);
         report.mirror_to(iqb_obs::global(), "session");
         Ok((ingested, report))
     }
@@ -173,29 +219,32 @@ impl ScoringSession {
         if dirty.is_empty() {
             return Ok(&self.cached);
         }
+        let dirty_count = dirty.len() as u64;
         let bands = GradeBands::default();
         let sinks = &self.sinks;
         let config = &self.config;
         let min_samples = self.spec.min_samples.max(1);
 
-        let results = fan_out_regions(&dirty, |region| {
+        let results = fan_out_regions(dirty, |region| {
             let mut input = AggregateInput::new();
             if let Some(region_sinks) = sinks.get(region) {
-                for ((dataset, metric), (q, sink)) in region_sinks {
-                    if (sink.count() as usize) < min_samples {
-                        continue;
+                for (dataset, cell_sinks) in region_sinks {
+                    for (metric, (q, sink)) in cell_sinks {
+                        if (sink.count() as usize) < min_samples {
+                            continue;
+                        }
+                        let value = sink.quantile(*q)?;
+                        input.set_with_provenance(
+                            dataset.clone(),
+                            *metric,
+                            value,
+                            CellProvenance {
+                                sample_count: sink.count(),
+                                quantile: *q,
+                                backend: sink.provenance(),
+                            },
+                        );
                     }
-                    let value = sink.quantile(*q)?;
-                    input.set_with_provenance(
-                        dataset.clone(),
-                        *metric,
-                        value,
-                        CellProvenance {
-                            sample_count: sink.count(),
-                            quantile: *q,
-                            backend: sink.provenance(),
-                        },
-                    );
                 }
             }
             if input.is_empty() {
@@ -224,14 +273,14 @@ impl ScoringSession {
         }
         self.cached.skipped.sort();
         self.cached.skipped.dedup();
-        self.region_recomputes += dirty.len() as u64;
+        self.region_recomputes += dirty_count;
         let registry = iqb_obs::global();
         registry
             .counter(iqb_obs::names::SESSION_RESCORE_CALLS)
             .inc();
         registry
             .counter(iqb_obs::names::SESSION_REGIONS_RESCORED)
-            .add(dirty.len() as u64);
+            .add(dirty_count);
         self.dirty.clear();
         Ok(&self.cached)
     }
@@ -304,8 +353,7 @@ mod tests {
     }
 
     fn default_session() -> ScoringSession {
-        ScoringSession::new(IqbConfig::paper_default(), AggregationSpec::paper_default())
-            .unwrap()
+        ScoringSession::new(IqbConfig::paper_default(), AggregationSpec::paper_default()).unwrap()
     }
 
     #[test]
@@ -424,6 +472,20 @@ mod tests {
     }
 
     #[test]
+    fn ingest_refs_matches_owned_ingest() {
+        let mut owned = default_session();
+        let mut borrowed = default_session();
+        let records = batch("alpha", 25, 55.0);
+        owned.ingest(records.clone()).unwrap();
+        assert_eq!(borrowed.ingest_refs(records.iter()).unwrap(), records.len());
+        assert_eq!(
+            owned.rescore().unwrap().clone(),
+            borrowed.rescore().unwrap().clone()
+        );
+        assert_eq!(owned.store().len(), borrowed.store().len());
+    }
+
+    #[test]
     fn unscored_dataset_region_lands_in_skipped() {
         let mut session = default_session();
         // A region whose only data is a dataset the config does not score.
@@ -435,7 +497,9 @@ mod tests {
         // Real data later pulls it out of skipped.
         session.ingest(batch("ghost", 20, 80.0)).unwrap();
         let report = session.rescore().unwrap();
-        assert!(report.regions.contains_key(&RegionId::new("ghost").unwrap()));
+        assert!(report
+            .regions
+            .contains_key(&RegionId::new("ghost").unwrap()));
         assert!(report.skipped.is_empty());
     }
 }

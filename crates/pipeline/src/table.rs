@@ -57,8 +57,9 @@ impl TextTable {
             measure(&mut widths, row);
         }
 
-        let render_row = |cells: &[String], widths: &[usize]| -> String {
-            let mut out = String::new();
+        // Appends one rendered row to `out` in place — no intermediate
+        // per-row String.
+        let render_row = |out: &mut String, cells: &[String], widths: &[usize]| {
             for (i, width) in widths.iter().enumerate() {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
                 if i > 0 {
@@ -72,17 +73,19 @@ impl TextTable {
                     }
                 }
             }
-            out.trim_end().to_string()
+            while out.ends_with(' ') {
+                out.pop();
+            }
         };
 
         let mut out = String::new();
-        out.push_str(&render_row(&self.header, &widths));
+        render_row(&mut out, &self.header, &widths);
         out.push('\n');
         let rule_len = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
         out.push_str(&"-".repeat(rule_len));
         out.push('\n');
         for row in &self.rows {
-            out.push_str(&render_row(row, &widths));
+            render_row(&mut out, row, &widths);
             out.push('\n');
         }
         out
@@ -109,26 +112,30 @@ impl TextTable {
     /// Renders as CSV (naive quoting: cells containing commas or quotes
     /// are quoted with doubled inner quotes).
     pub fn render_csv(&self) -> String {
-        let quote = |cell: &str| -> String {
+        // Quoting allocates only for cells that actually need it; plain
+        // cells are appended straight from the stored String.
+        fn push_cell(out: &mut String, cell: &str) {
             if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
-                format!("\"{}\"", cell.replace('"', "\"\""))
+                out.push('"');
+                out.push_str(&cell.replace('"', "\"\""));
+                out.push('"');
             } else {
-                cell.to_string()
+                out.push_str(cell);
             }
-        };
-        let mut out = String::new();
-        out.push_str(
-            &self
-                .header
-                .iter()
-                .map(|c| quote(c))
-                .collect::<Vec<_>>()
-                .join(","),
-        );
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        }
+        fn push_row(out: &mut String, cells: &[String]) {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_cell(out, cell);
+            }
             out.push('\n');
+        }
+        let mut out = String::new();
+        push_row(&mut out, &self.header);
+        for row in &self.rows {
+            push_row(&mut out, row);
         }
         out
     }

@@ -1,0 +1,222 @@
+//! End-to-end equivalence of the chunked parallel ingest path.
+//!
+//! The interned/columnar pipeline (`iqb_data::ingest::read_csv_store`)
+//! must be observationally identical to the historical serial string
+//! path (`csv_io::read_csv_mode` + `MeasurementStore::extend`): same
+//! records, same quarantine accounting, and — the property the paper's
+//! exhibits ride on — the same final IQB scores under every aggregation
+//! backend and both ingest modes, at any worker-thread count.
+
+use iqb_core::config::IqbConfig;
+use iqb_data::aggregate::{AggregationSpec, AggregatorBackend};
+use iqb_data::csv_io;
+use iqb_data::ingest::{read_csv_store, read_jsonl_store};
+use iqb_data::jsonl;
+use iqb_data::quarantine::IngestMode;
+use iqb_data::record::{RegionId, TestRecord};
+use iqb_data::store::{MeasurementStore, QueryFilter};
+use iqb_pipeline::runner::score_all_regions;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary valid record over a small universe.
+fn record() -> impl Strategy<Value = TestRecord> {
+    (
+        0u64..1_000_000,
+        prop_oneof![Just("east"), Just("west"), Just("north")],
+        prop_oneof![
+            Just(iqb_core::dataset::DatasetId::Ndt),
+            Just(iqb_core::dataset::DatasetId::Cloudflare),
+            Just(iqb_core::dataset::DatasetId::Ookla),
+            Just(iqb_core::dataset::DatasetId::Custom("probes".into()))
+        ],
+        0.0..5_000.0f64,
+        0.0..2_000.0f64,
+        0.01..2_000.0f64,
+        prop_oneof![Just(None), (0.0..100.0f64).prop_map(Some)],
+        prop_oneof![Just(None), Just(Some("cable".to_string()))],
+    )
+        .prop_map(
+            |(timestamp, region, dataset, down, up, rtt, loss, tech)| TestRecord {
+                timestamp,
+                region: RegionId::new(region).unwrap(),
+                dataset,
+                download_mbps: down,
+                upload_mbps: up,
+                latency_ms: rtt,
+                loss_pct: loss,
+                tech,
+            },
+        )
+}
+
+/// Corrupts the rendered CSV by appending rows the validator must
+/// quarantine: a NaN metric, an empty region, and an empty dataset
+/// token. Every fault detail here is produced identically by the serial
+/// and parallel parsers, so whole-report equality holds.
+fn poison_csv(csv_text: &mut String) {
+    csv_text.push_str("1,east,ndt,NaN,1.0,10.0,,\n");
+    csv_text.push_str("2,,ndt,5.0,1.0,10.0,,\n");
+    csv_text.push_str("3,east,,5.0,1.0,10.0,,\n");
+}
+
+/// The serial reference: string-typed reader into a store via `extend`.
+fn serial_store(
+    csv_text: &str,
+    mode: IngestMode,
+) -> (MeasurementStore, iqb_data::quarantine::QuarantineReport) {
+    let (records, report) = csv_io::read_csv_mode(csv_text.as_bytes(), mode)
+        .expect("serial read of the generated corpus succeeds");
+    let mut store = MeasurementStore::new();
+    store.extend(records).expect("serial records re-validate");
+    (store, report)
+}
+
+fn score(store: &MeasurementStore, backend: AggregatorBackend) -> String {
+    let spec = AggregationSpec::paper_default().with_backend(backend);
+    let report = score_all_regions(
+        store,
+        &IqbConfig::paper_default(),
+        &spec,
+        &QueryFilter::all(),
+    )
+    .expect("synthetic corpus scores");
+    serde_json::to_string(&report).expect("report serializes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lenient parallel ingest of a poisoned corpus matches the serial
+    /// path record-for-record and count-for-count, and the resulting
+    /// stores score identically under all three backends, at 1, 2 and 8
+    /// threads.
+    #[test]
+    fn parallel_ingest_matches_serial_path(recs in prop::collection::vec(record(), 1..80)) {
+        let mut csv_text = String::new();
+        {
+            let mut buf = Vec::new();
+            csv_io::write_csv(&mut buf, &recs).unwrap();
+            csv_text.push_str(std::str::from_utf8(&buf).unwrap());
+        }
+        poison_csv(&mut csv_text);
+
+        let (expected_store, expected_report) = serial_store(&csv_text, IngestMode::Lenient);
+        for threads in [1usize, 2, 8] {
+            let (store, report) =
+                read_csv_store(csv_text.as_bytes(), IngestMode::Lenient, threads).unwrap();
+            prop_assert_eq!(&store, &expected_store, "threads={}", threads);
+            prop_assert_eq!(&report, &expected_report, "threads={}", threads);
+            for backend in [
+                AggregatorBackend::Exact,
+                AggregatorBackend::tdigest_default(),
+                AggregatorBackend::P2,
+            ] {
+                prop_assert_eq!(
+                    score(&store, backend),
+                    score(&expected_store, backend),
+                    "threads={} backend={}", threads, backend
+                );
+            }
+        }
+    }
+
+    /// Strict mode on a clean corpus is equivalent too; on a poisoned
+    /// corpus both paths refuse.
+    #[test]
+    fn strict_mode_agrees_with_serial_path(recs in prop::collection::vec(record(), 1..60)) {
+        let mut buf = Vec::new();
+        csv_io::write_csv(&mut buf, &recs).unwrap();
+        let clean = String::from_utf8(buf).unwrap();
+
+        let (expected_store, expected_report) = serial_store(&clean, IngestMode::Strict);
+        for threads in [1usize, 3] {
+            let (store, report) =
+                read_csv_store(clean.as_bytes(), IngestMode::Strict, threads).unwrap();
+            prop_assert_eq!(&store, &expected_store);
+            prop_assert_eq!(&report, &expected_report);
+        }
+
+        let mut poisoned = clean;
+        poison_csv(&mut poisoned);
+        prop_assert!(csv_io::read_csv_mode(poisoned.as_bytes(), IngestMode::Strict).is_err());
+        for threads in [1usize, 3] {
+            prop_assert!(
+                read_csv_store(poisoned.as_bytes(), IngestMode::Strict, threads).is_err()
+            );
+        }
+    }
+
+    /// The JSONL reader path: parallel store ingest matches the serial
+    /// reader byte-for-byte (including fault details) and scores
+    /// identically.
+    #[test]
+    fn parallel_jsonl_matches_serial_path(recs in prop::collection::vec(record(), 1..60)) {
+        let mut buf = Vec::new();
+        jsonl::write_jsonl(&mut buf, &recs).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push_str("{\"not\": \"a record\"}\n");
+        text.push_str("this is not json\n");
+
+        let (records, expected_report) =
+            jsonl::read_jsonl_mode(text.as_bytes(), IngestMode::Lenient).unwrap();
+        let mut expected_store = MeasurementStore::new();
+        expected_store.extend(records).unwrap();
+
+        for threads in [1usize, 4] {
+            let (store, report) =
+                read_jsonl_store(text.as_bytes(), IngestMode::Lenient, threads).unwrap();
+            prop_assert_eq!(&store, &expected_store);
+            prop_assert_eq!(&report, &expected_report);
+            prop_assert_eq!(
+                score(&store, AggregatorBackend::Exact),
+                score(&expected_store, AggregatorBackend::Exact)
+            );
+        }
+    }
+}
+
+/// The named CI determinism check: N-thread ingest of a poisoned corpus
+/// yields byte-identical stores and merged quarantine reports (exemplars
+/// included) for every thread count. Run under `RUST_TEST_THREADS=1` and
+/// on the 2-core CI matrix entry.
+#[test]
+fn parallel_ingest_is_deterministic_across_thread_counts() {
+    let mut csv_text = String::from(
+        "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n",
+    );
+    for i in 0..500u64 {
+        let region = ["east", "west", "north"][(i % 3) as usize];
+        let dataset = ["ndt", "cloudflare", "ookla"][(i % 3) as usize];
+        csv_text.push_str(&format!(
+            "{},{region},{dataset},{}.5,{}.25,{}.0,0.{},fiber\n",
+            i * 60,
+            50 + i % 40,
+            10 + i % 20,
+            15 + i % 30,
+            i % 10,
+        ));
+        if i % 50 == 7 {
+            csv_text.push_str(&format!("{},,ndt,5.0,1.0,10.0,,\n", i * 60 + 1));
+        }
+        if i % 50 == 23 {
+            csv_text.push_str(&format!("{},east,ndt,-4.0,1.0,10.0,,\n", i * 60 + 2));
+        }
+    }
+
+    let (base_store, base_report) =
+        read_csv_store(csv_text.as_bytes(), IngestMode::Lenient, 1).unwrap();
+    assert!(
+        base_report.quarantined() > 0,
+        "corpus must exercise quarantine"
+    );
+    for threads in [2usize, 8] {
+        let (store, report) =
+            read_csv_store(csv_text.as_bytes(), IngestMode::Lenient, threads).unwrap();
+        assert_eq!(store, base_store, "store differs at {threads} threads");
+        assert_eq!(report, base_report, "report differs at {threads} threads");
+        assert_eq!(
+            report.exemplars, base_report.exemplars,
+            "exemplar order differs at {threads} threads"
+        );
+    }
+}

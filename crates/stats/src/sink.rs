@@ -18,10 +18,12 @@
 //! query the configured quantile at the end — one pass, no intermediate
 //! columns.
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 use crate::error::StatsError;
-use crate::exact::{quantile_with, QuantileMethod};
+use crate::exact::{quantile_sorted, QuantileMethod};
 use crate::p2::P2Quantile;
 use crate::tdigest::TDigest;
 
@@ -57,12 +59,19 @@ pub trait QuantileSink {
 /// order statistics.
 ///
 /// This reproduces the pre-streaming batch path bit-for-bit: the values
-/// accumulate in arrival order and `quantile` sorts a copy, exactly as
-/// the old materialize-then-sort aggregation did.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// accumulate in arrival order; `quantile` sorts them with the same
+/// `total_cmp` order the old materialize-then-sort aggregation used,
+/// caching the sorted copy so repeated quantile queries between pushes
+/// (one per metric per rescore in the incremental session) sort once
+/// instead of once per call. The cache is invalidated by `push`/`merge`
+/// and excluded from equality and serialization — it never changes an
+/// answer, only the work to produce it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ExactSink {
     values: Vec<f64>,
     method: QuantileMethod,
+    #[serde(skip)]
+    sorted: OnceLock<Vec<f64>>,
 }
 
 impl ExactSink {
@@ -77,6 +86,7 @@ impl ExactSink {
         ExactSink {
             values: Vec::new(),
             method,
+            sorted: OnceLock::new(),
         }
     }
 
@@ -86,17 +96,35 @@ impl ExactSink {
     }
 }
 
+impl PartialEq for ExactSink {
+    /// Equality over observations and method only — the sorted cache is
+    /// derived state.
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values && self.method == other.method
+    }
+}
+
 impl QuantileSink for ExactSink {
     fn push(&mut self, value: f64) -> Result<(), StatsError> {
         if !value.is_finite() {
             return Err(StatsError::NonFiniteValue(value));
         }
         self.values.push(value);
+        self.sorted.take();
         Ok(())
     }
 
     fn quantile(&self, q: f64) -> Result<f64, StatsError> {
-        quantile_with(&self.values, q, self.method)
+        // `push` rejects non-finite values, so the only errors left for
+        // `quantile_with` to raise come from `quantile_sorted` itself
+        // (empty input, invalid q) — answering from the cached sort is
+        // bit-identical to sorting a fresh copy per call.
+        let sorted = self.sorted.get_or_init(|| {
+            let mut copy = self.values.clone();
+            copy.sort_by(|a, b| a.total_cmp(b));
+            copy
+        });
+        quantile_sorted(sorted, q, self.method)
     }
 
     fn count(&self) -> u64 {
@@ -110,6 +138,7 @@ impl QuantileSink for ExactSink {
             ));
         }
         self.values.extend_from_slice(&other.values);
+        self.sorted.take();
         Ok(())
     }
 }
@@ -159,8 +188,7 @@ impl QuantileSink for P2Quantile {
 
     fn merge(&mut self, _other: &Self) -> Result<(), StatsError> {
         Err(StatsError::IncompatibleMerge(
-            "P² marker state is not mergeable; use the t-digest backend for sharded streams"
-                .into(),
+            "P² marker state is not mergeable; use the t-digest backend for sharded streams".into(),
         ))
     }
 }
