@@ -51,11 +51,9 @@ fn main() {
         let single = [&ndt_only, &cloudflare_only, &ookla_only]
             .map(|r| r.regions.get(region).map(|s| s.report.score));
         let values: Vec<f64> = single.iter().flatten().copied().collect();
-        let spread = values
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max)
-            - values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().max_by(|a, b| a.total_cmp(b));
+        let lo = values.iter().copied().min_by(|a, b| a.total_cmp(b));
+        let spread = hi.unwrap_or(f64::NEG_INFINITY) - lo.unwrap_or(f64::INFINITY);
         let cell = |v: Option<f64>| v.map(|s| format!("{s:.3}")).unwrap_or_default();
         table.row([
             region.to_string(),

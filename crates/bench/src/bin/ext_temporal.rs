@@ -24,16 +24,8 @@ fn main() {
     let spec = AggregationSpec::paper_default().with_backend(iqb_bench::agg_backend_from_env());
 
     let window_s = 2 * 3_600;
-    let points = score_trend(
-        &store,
-        &region.id,
-        &config,
-        &spec,
-        0,
-        7 * 86_400,
-        window_s,
-    )
-    .expect("static experiment parameters");
+    let points = score_trend(&store, &region.id, &config, &spec, 0, 7 * 86_400, window_s)
+        .expect("static experiment parameters");
 
     let profile = diurnal_profile(&points);
     let mut table = TextTable::new(["Hour of day", "Mean IQB score", "Bar"]);
@@ -49,8 +41,16 @@ fn main() {
     print!("{}", table.render());
 
     let scored: Vec<f64> = points.iter().filter_map(|p| p.score).collect();
-    let best = scored.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let worst = scored.iter().cloned().fold(f64::INFINITY, f64::min);
+    let best = scored
+        .iter()
+        .copied()
+        .max_by(|a, b| a.total_cmp(b))
+        .unwrap_or(f64::NEG_INFINITY);
+    let worst = scored
+        .iter()
+        .copied()
+        .min_by(|a, b| a.total_cmp(b))
+        .unwrap_or(f64::INFINITY);
     println!();
     println!(
         "Windows scored: {} of {}; best window {best:.3}, worst window {worst:.3}",

@@ -277,7 +277,7 @@ pub fn sample_quantile(samples: &[f64], q: f64) -> f64 {
         return f64::NAN;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }

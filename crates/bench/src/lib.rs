@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # iqb-bench — exhibit regenerators and benchmark harness
 //!
 //! One binary per exhibit/experiment in DESIGN.md §5:
@@ -88,9 +89,9 @@ pub fn build_store(
 pub fn parse_backend_choice(raw: Option<&str>) -> Result<AggregatorBackend, String> {
     match raw {
         None => Ok(AggregatorBackend::Exact),
-        Some(text) => text.parse().map_err(|e| {
-            format!("IQB_AGG_BACKEND: {e}; valid backends are exact, tdigest, p2")
-        }),
+        Some(text) => text
+            .parse()
+            .map_err(|e| format!("IQB_AGG_BACKEND: {e}; valid backends are exact, tdigest, p2")),
     }
 }
 
@@ -101,9 +102,10 @@ pub fn try_agg_backend_from_env() -> Result<AggregatorBackend, String> {
     match std::env::var("IQB_AGG_BACKEND") {
         Ok(raw) => parse_backend_choice(Some(&raw)),
         Err(std::env::VarError::NotPresent) => parse_backend_choice(None),
-        Err(std::env::VarError::NotUnicode(_)) => {
-            Err("IQB_AGG_BACKEND: value is not valid unicode; valid backends are exact, tdigest, p2".to_string())
-        }
+        Err(std::env::VarError::NotUnicode(_)) => Err(
+            "IQB_AGG_BACKEND: value is not valid unicode; valid backends are exact, tdigest, p2"
+                .to_string(),
+        ),
     }
 }
 
@@ -146,8 +148,7 @@ mod tests {
     fn standard_fleet_has_four_distinct_regions() {
         let fleet = standard_regions(10);
         assert_eq!(fleet.len(), 4);
-        let ids: std::collections::BTreeSet<&str> =
-            fleet.iter().map(|r| r.id.as_str()).collect();
+        let ids: std::collections::BTreeSet<&str> = fleet.iter().map(|r| r.id.as_str()).collect();
         assert_eq!(ids.len(), 4);
     }
 
@@ -168,7 +169,10 @@ mod tests {
 
     #[test]
     fn backend_choice_parses_all_valid_backends() {
-        assert_eq!(parse_backend_choice(None).unwrap(), AggregatorBackend::Exact);
+        assert_eq!(
+            parse_backend_choice(None).unwrap(),
+            AggregatorBackend::Exact
+        );
         assert_eq!(
             parse_backend_choice(Some("exact")).unwrap(),
             AggregatorBackend::Exact
@@ -177,7 +181,10 @@ mod tests {
             parse_backend_choice(Some("tdigest")).unwrap(),
             AggregatorBackend::tdigest_default()
         );
-        assert_eq!(parse_backend_choice(Some("p2")).unwrap(), AggregatorBackend::P2);
+        assert_eq!(
+            parse_backend_choice(Some("p2")).unwrap(),
+            AggregatorBackend::P2
+        );
     }
 
     #[test]

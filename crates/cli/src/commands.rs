@@ -457,8 +457,11 @@ mod tests {
     use super::*;
     use std::sync::{Mutex, MutexGuard};
 
-    fn parsed(args: &[&str]) -> ParsedArgs {
-        ParsedArgs::parse(args.iter().map(|s| s.to_string())).unwrap()
+    // Tests return `CliResult` and propagate fallible setup with `?`
+    // through the same error type the commands use, so a setup failure
+    // reports its error instead of a bare panic site.
+    fn parsed(args: &[&str]) -> Result<ParsedArgs, UsageError> {
+        ParsedArgs::parse(args.iter().map(|s| s.to_string()))
     }
 
     /// Serializes tests that ingest records (and therefore bump the
@@ -470,23 +473,24 @@ mod tests {
     }
 
     #[test]
-    fn build_config_variants() {
-        let c = build_config(&parsed(&["score", "--level", "min", "--mode", "graded"])).unwrap();
+    fn build_config_variants() -> CliResult {
+        let c = build_config(&parsed(&["score", "--level", "min", "--mode", "graded"])?)?;
         assert_eq!(c.quality_level, QualityLevel::Minimum);
         assert_eq!(c.scoring_mode, ScoringMode::Graded);
-        assert!(build_config(&parsed(&["score", "--level", "medium"])).is_err());
-        assert!(build_config(&parsed(&["score", "--mode", "fuzzy"])).is_err());
+        assert!(build_config(&parsed(&["score", "--level", "medium"])?).is_err());
+        assert!(build_config(&parsed(&["score", "--mode", "fuzzy"])?).is_err());
+        Ok(())
     }
 
     #[test]
-    fn build_spec_selects_backend() {
-        let s = build_spec(&parsed(&["score"])).unwrap();
+    fn build_spec_selects_backend() -> CliResult {
+        let s = build_spec(&parsed(&["score"])?)?;
         assert_eq!(s.backend, AggregatorBackend::Exact);
-        let s = build_spec(&parsed(&["score", "--agg-backend", "tdigest"])).unwrap();
+        let s = build_spec(&parsed(&["score", "--agg-backend", "tdigest"])?)?;
         assert_eq!(s.backend, AggregatorBackend::tdigest_default());
-        let s = build_spec(&parsed(&["score", "--agg-backend", "p2"])).unwrap();
+        let s = build_spec(&parsed(&["score", "--agg-backend", "p2"])?)?;
         assert_eq!(s.backend, AggregatorBackend::P2);
-        let err = build_spec(&parsed(&["score", "--agg-backend", "magic"])).unwrap_err();
+        let err = build_spec(&parsed(&["score", "--agg-backend", "magic"])?).unwrap_err();
         assert!(err.to_string().contains("magic"));
         // P² cannot track the q = 1 extreme.
         assert!(build_spec(&parsed(&[
@@ -495,44 +499,49 @@ mod tests {
             "p2",
             "--quantile",
             "1.0"
-        ]))
+        ])?)
         .is_err());
+        Ok(())
     }
 
     #[test]
-    fn metrics_mode_parses_and_rejects_garbage() {
-        let t = Telemetry::from_args("score", &parsed(&["score"])).unwrap();
+    fn metrics_mode_parses_and_rejects_garbage() -> CliResult {
+        let t = Telemetry::from_args("score", &parsed(&["score"])?)?;
         assert_eq!(t.mode, MetricsMode::Off, "default is off");
-        let t = Telemetry::from_args("score", &parsed(&["score", "--metrics", "text"])).unwrap();
+        let t = Telemetry::from_args("score", &parsed(&["score", "--metrics", "text"])?)?;
         assert_eq!(t.mode, MetricsMode::Text);
-        let t = Telemetry::from_args("score", &parsed(&["score", "--metrics", "json"])).unwrap();
+        let t = Telemetry::from_args("score", &parsed(&["score", "--metrics", "json"])?)?;
         assert_eq!(t.mode, MetricsMode::Json);
         let err =
-            Telemetry::from_args("score", &parsed(&["score", "--metrics", "loud"])).unwrap_err();
+            Telemetry::from_args("score", &parsed(&["score", "--metrics", "loud"])?).unwrap_err();
         assert!(err.to_string().contains("text|json|off"), "{err}");
+        Ok(())
     }
 
     #[test]
-    fn exhibits_rejects_unknown_names() {
-        assert!(exhibits(&parsed(&["exhibits", "fig9"]), &mut Vec::new()).is_err());
-        assert!(exhibits(&parsed(&["exhibits", "table1"]), &mut Vec::new()).is_ok());
+    fn exhibits_rejects_unknown_names() -> CliResult {
+        assert!(exhibits(&parsed(&["exhibits", "fig9"])?, &mut Vec::new()).is_err());
+        assert!(exhibits(&parsed(&["exhibits", "table1"])?, &mut Vec::new()).is_ok());
+        Ok(())
     }
 
     #[test]
-    fn synth_requires_out() {
-        let err = synth(&parsed(&["synth"]), &mut Vec::new()).unwrap_err();
+    fn synth_requires_out() -> CliResult {
+        let err = synth(&parsed(&["synth"])?, &mut Vec::new()).unwrap_err();
         assert!(err.to_string().contains("--out"));
+        Ok(())
     }
 
     #[test]
-    fn score_requires_input() {
-        let err = score(&parsed(&["score"]), &mut Vec::new()).unwrap_err();
+    fn score_requires_input() -> CliResult {
+        let err = score(&parsed(&["score"])?, &mut Vec::new()).unwrap_err();
         assert!(err.to_string().contains("--input"));
+        Ok(())
     }
 
     #[test]
-    fn profile_option_selects_named_config() {
-        let c = build_config(&parsed(&["score", "--profile", "realtime"])).unwrap();
+    fn profile_option_selects_named_config() -> CliResult {
+        let c = build_config(&parsed(&["score", "--profile", "realtime"])?)?;
         assert_eq!(c.scoring_mode, ScoringMode::Graded);
         // Explicit flags override the profile.
         let c = build_config(&parsed(&[
@@ -541,51 +550,52 @@ mod tests {
             "realtime",
             "--mode",
             "binary",
-        ]))
-        .unwrap();
+        ])?)?;
         assert_eq!(c.scoring_mode, ScoringMode::Binary);
-        assert!(build_config(&parsed(&["score", "--profile", "nope"])).is_err());
+        assert!(build_config(&parsed(&["score", "--profile", "nope"])?).is_err());
+        Ok(())
     }
 
     #[test]
-    fn compare_requires_both_inputs() {
-        let err = compare(&parsed(&["compare", "--before", "a.csv"]), &mut Vec::new()).unwrap_err();
+    fn compare_requires_both_inputs() -> CliResult {
+        let err =
+            compare(&parsed(&["compare", "--before", "a.csv"])?, &mut Vec::new()).unwrap_err();
         assert!(err.to_string().contains("--after") || err.to_string().contains("a.csv"));
+        Ok(())
     }
 
     #[test]
-    fn ingest_mode_flag_parses_and_rejects_garbage() {
+    fn ingest_mode_flag_parses_and_rejects_garbage() -> CliResult {
+        assert_eq!(ingest_mode(&parsed(&["score"])?)?, IngestMode::Strict);
         assert_eq!(
-            ingest_mode(&parsed(&["score"])).unwrap(),
-            IngestMode::Strict
-        );
-        assert_eq!(
-            ingest_mode(&parsed(&["score", "--ingest-mode", "lenient"])).unwrap(),
+            ingest_mode(&parsed(&["score", "--ingest-mode", "lenient"])?)?,
             IngestMode::Lenient
         );
-        assert!(ingest_mode(&parsed(&["score", "--ingest-mode", "yolo"])).is_err());
+        assert!(ingest_mode(&parsed(&["score", "--ingest-mode", "yolo"])?).is_err());
+        Ok(())
     }
 
     #[test]
-    fn ingest_threads_flag_defaults_parses_and_rejects_zero() {
-        assert!(ingest_threads(&parsed(&["score"])).unwrap() >= 1);
+    fn ingest_threads_flag_defaults_parses_and_rejects_zero() -> CliResult {
+        assert!(ingest_threads(&parsed(&["score"])?)? >= 1);
         assert_eq!(
-            ingest_threads(&parsed(&["score", "--ingest-threads", "4"])).unwrap(),
+            ingest_threads(&parsed(&["score", "--ingest-threads", "4"])?)?,
             4
         );
-        assert!(ingest_threads(&parsed(&["score", "--ingest-threads", "0"])).is_err());
+        assert!(ingest_threads(&parsed(&["score", "--ingest-threads", "0"])?).is_err());
+        Ok(())
     }
 
     #[test]
-    fn score_output_is_identical_across_ingest_thread_counts() {
+    fn score_output_is_identical_across_ingest_thread_counts() -> CliResult {
         let _guard = ingest_lock();
         let dir = std::env::temp_dir().join("iqb-cli-threads-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("threads.csv");
-        write_corrupt_csv(&path, 30, 2);
-        let path_str = path.to_str().unwrap();
+        write_corrupt_csv(&path, 30, 2)?;
+        let path_str = path.to_str().ok_or("temp path is not UTF-8")?;
 
-        let run = |threads: &str| {
+        let run = |threads: &str| -> Result<Vec<u8>, Box<dyn std::error::Error>> {
             let mut out = Vec::new();
             score(
                 &parsed(&[
@@ -596,20 +606,20 @@ mod tests {
                     "lenient",
                     "--ingest-threads",
                     threads,
-                ]),
+                ])?,
                 &mut out,
-            )
-            .unwrap();
-            out
+            )?;
+            Ok(out)
         };
-        let one = run("1");
+        let one = run("1")?;
         assert!(!one.is_empty());
-        assert_eq!(one, run("2"));
-        assert_eq!(one, run("8"));
+        assert_eq!(one, run("2")?);
+        assert_eq!(one, run("8")?);
         std::fs::remove_file(&path).ok();
+        Ok(())
     }
 
-    fn write_corrupt_csv(path: &std::path::Path, clean_rows: usize, bad_rows: usize) {
+    fn write_corrupt_csv(path: &std::path::Path, clean_rows: usize, bad_rows: usize) -> CliResult {
         let mut csv = String::from(
             "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n",
         );
@@ -619,40 +629,41 @@ mod tests {
         for i in 0..bad_rows {
             csv.push_str(&format!("{},metro,ndt,NaN,20.0,25.0,0.1,\n", 100_000 + i));
         }
-        std::fs::write(path, csv).unwrap();
+        std::fs::write(path, csv)?;
+        Ok(())
     }
 
     #[test]
-    fn lenient_ingest_scores_a_corrupt_file_strict_aborts() {
+    fn lenient_ingest_scores_a_corrupt_file_strict_aborts() -> CliResult {
         let _guard = ingest_lock();
         let dir = std::env::temp_dir().join("iqb-cli-ingest-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("corrupt.csv");
-        write_corrupt_csv(&path, 30, 2);
-        let path_str = path.to_str().unwrap();
+        write_corrupt_csv(&path, 30, 2)?;
+        let path_str = path.to_str().ok_or("temp path is not UTF-8")?;
 
-        assert!(score(&parsed(&["score", "--input", path_str]), &mut Vec::new()).is_err());
+        assert!(score(&parsed(&["score", "--input", path_str])?, &mut Vec::new()).is_err());
         score(
-            &parsed(&["score", "--input", path_str, "--ingest-mode", "lenient"]),
+            &parsed(&["score", "--input", path_str, "--ingest-mode", "lenient"])?,
             &mut Vec::new(),
-        )
-        .unwrap();
+        )?;
         std::fs::remove_file(&path).ok();
+        Ok(())
     }
 
     #[test]
-    fn metrics_off_keeps_stdout_byte_identical() {
+    fn metrics_off_keeps_stdout_byte_identical() -> CliResult {
         let _guard = ingest_lock();
         let dir = std::env::temp_dir().join("iqb-cli-metrics-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let input = dir.join("clean.csv");
-        write_corrupt_csv(&input, 40, 0);
-        let input_str = input.to_str().unwrap();
+        write_corrupt_csv(&input, 40, 0)?;
+        let input_str = input.to_str().ok_or("temp path is not UTF-8")?;
         let metrics_out = dir.join("telemetry.json");
         let trace_out = dir.join("trace.jsonl");
 
         let mut plain = Vec::new();
-        score(&parsed(&["score", "--input", input_str]), &mut plain).unwrap();
+        score(&parsed(&["score", "--input", input_str])?, &mut plain)?;
 
         let mut with_metrics = Vec::new();
         score(
@@ -663,13 +674,12 @@ mod tests {
                 "--metrics",
                 "json",
                 "--metrics-out",
-                metrics_out.to_str().unwrap(),
+                metrics_out.to_str().ok_or("temp path is not UTF-8")?,
                 "--trace",
-                trace_out.to_str().unwrap(),
-            ]),
+                trace_out.to_str().ok_or("temp path is not UTF-8")?,
+            ])?,
             &mut with_metrics,
-        )
-        .unwrap();
+        )?;
 
         assert!(!plain.is_empty());
         assert_eq!(
@@ -678,33 +688,33 @@ mod tests {
         );
 
         // The telemetry document accounts for exactly this run's ingest.
-        let doc: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string(&metrics_out).unwrap()).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&std::fs::read_to_string(&metrics_out)?)?;
         assert_eq!(doc["sources"]["csv"]["scanned"], 40);
         assert_eq!(doc["sources"]["csv"]["kept"], 40);
         assert_eq!(doc["sources"]["csv"]["quarantined"], 0);
         assert_eq!(doc["regions_scored"], 1);
         let stages: Vec<&str> = doc["stages"]
             .as_array()
-            .unwrap()
+            .ok_or("stages is not an array")?
             .iter()
-            .map(|s| s["stage"].as_str().unwrap())
+            .map(|s| s["stage"].as_str().unwrap_or("<missing>"))
             .collect();
         assert_eq!(stages, vec!["ingest", "score", "render"]);
 
         // The trace is well-nested JSONL: root span wrapping the stages.
-        let trace = std::fs::read_to_string(&trace_out).unwrap();
+        let trace = std::fs::read_to_string(&trace_out)?;
         let mut depth = 0i64;
         for line in trace.lines() {
-            let v: serde_json::Value = serde_json::from_str(line).unwrap();
-            match v["event"].as_str().unwrap() {
+            let v: serde_json::Value = serde_json::from_str(line)?;
+            let depth_field = v["depth"].as_i64().ok_or("span event without depth")?;
+            match v["event"].as_str().ok_or("trace line without event")? {
                 "span_start" => {
-                    assert_eq!(v["depth"].as_i64().unwrap(), depth);
+                    assert_eq!(depth_field, depth);
                     depth += 1;
                 }
                 "span_end" => {
                     depth -= 1;
-                    assert_eq!(v["depth"].as_i64().unwrap(), depth);
+                    assert_eq!(depth_field, depth);
                 }
                 other => panic!("unknown event {other}"),
             }
@@ -713,35 +723,34 @@ mod tests {
         std::fs::remove_file(&input).ok();
         std::fs::remove_file(&metrics_out).ok();
         std::fs::remove_file(&trace_out).ok();
+        Ok(())
     }
 
     #[test]
-    fn telemetry_counts_match_quarantine_on_a_lenient_run() {
+    fn telemetry_counts_match_quarantine_on_a_lenient_run() -> CliResult {
         let _guard = ingest_lock();
         let dir = std::env::temp_dir().join("iqb-cli-telemetry-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let input = dir.join("corrupt.csv");
-        write_corrupt_csv(&input, 25, 3);
+        write_corrupt_csv(&input, 25, 3)?;
         let metrics_out = dir.join("telemetry.json");
 
         score(
             &parsed(&[
                 "score",
                 "--input",
-                input.to_str().unwrap(),
+                input.to_str().ok_or("temp path is not UTF-8")?,
                 "--ingest-mode",
                 "lenient",
                 "--metrics",
                 "json",
                 "--metrics-out",
-                metrics_out.to_str().unwrap(),
-            ]),
+                metrics_out.to_str().ok_or("temp path is not UTF-8")?,
+            ])?,
             &mut Vec::new(),
-        )
-        .unwrap();
+        )?;
 
-        let doc: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string(&metrics_out).unwrap()).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(&std::fs::read_to_string(&metrics_out)?)?;
         // 25 clean + 3 NaN rows: the telemetry numbers are definitionally
         // the QuarantineReport numbers (same mirror_to choke point).
         assert_eq!(doc["sources"]["csv"]["scanned"], 28);
@@ -750,15 +759,16 @@ mod tests {
         assert_eq!(doc["faults"]["invalid-value"], 3);
         std::fs::remove_file(&input).ok();
         std::fs::remove_file(&metrics_out).ok();
+        Ok(())
     }
 
     #[test]
-    fn synth_score_round_trip_through_temp_file() {
+    fn synth_score_round_trip_through_temp_file() -> CliResult {
         let _guard = ingest_lock();
         let dir = std::env::temp_dir().join("iqb-cli-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("tests.csv");
-        let path_str = path.to_str().unwrap();
+        let path_str = path.to_str().ok_or("temp path is not UTF-8")?;
         synth(
             &parsed(&[
                 "synth",
@@ -770,15 +780,13 @@ mod tests {
                 "50",
                 "--out",
                 path_str,
-            ]),
+            ])?,
             &mut Vec::new(),
-        )
-        .unwrap();
+        )?;
         score(
-            &parsed(&["score", "--input", path_str, "--clean"]),
+            &parsed(&["score", "--input", path_str, "--clean"])?,
             &mut Vec::new(),
-        )
-        .unwrap();
+        )?;
         trend(
             &parsed(&[
                 "trend",
@@ -788,15 +796,14 @@ mod tests {
                 "rural-dsl",
                 "--window-hours",
                 "24",
-            ]),
+            ])?,
             &mut Vec::new(),
-        )
-        .unwrap();
+        )?;
         whatif(
-            &parsed(&["whatif", "--input", path_str, "--region", "rural-dsl"]),
+            &parsed(&["whatif", "--input", path_str, "--region", "rural-dsl"])?,
             &mut Vec::new(),
-        )
-        .unwrap();
+        )?;
         std::fs::remove_file(&path).ok();
+        Ok(())
     }
 }

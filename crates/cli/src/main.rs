@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `iqb` — the Internet Quality Barometer command line.
 //!
 //! Subcommands:
@@ -101,8 +102,6 @@ fn run(raw: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std
         Some("compare") => commands::compare(&parsed, out),
         Some("trend") => commands::trend(&parsed, out),
         Some("whatif") => commands::whatif(&parsed, out),
-        Some(other) => Err(Box::new(UsageError(format!(
-            "unknown command `{other}`"
-        )))),
+        Some(other) => Err(Box::new(UsageError(format!("unknown command `{other}`")))),
     }
 }

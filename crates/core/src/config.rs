@@ -198,7 +198,9 @@ impl IqbConfigBuilder {
 
     /// Sets one requirement weight `w_{u,r}`.
     pub fn requirement_weight(mut self, use_case: UseCase, metric: Metric, weight: Weight) -> Self {
-        self.config.requirement_weights.set(use_case, metric, weight);
+        self.config
+            .requirement_weights
+            .set(use_case, metric, weight);
         self
     }
 

@@ -57,7 +57,10 @@ impl fmt::Display for CoreError {
                 use_case,
                 metric,
                 reason,
-            } => write!(f, "inconsistent threshold for {use_case}/{metric}: {reason}"),
+            } => write!(
+                f,
+                "inconsistent threshold for {use_case}/{metric}: {reason}"
+            ),
             CoreError::InvalidConfig(why) => write!(f, "invalid IQB configuration: {why}"),
             CoreError::NothingToScore => write!(
                 f,

@@ -15,9 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::CoreError;
 
 /// Nutri-Score-style letter band, A (best) through E (worst).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum LetterGrade {
     /// Excellent: the connection corroborately meets nearly every
     /// high-quality requirement.

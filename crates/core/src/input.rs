@@ -166,9 +166,7 @@ impl AggregateInput {
 
     /// The aggregate value for a cell, if present.
     pub fn get(&self, dataset: &DatasetId, metric: Metric) -> Option<f64> {
-        self.cells
-            .get(&(dataset.clone(), metric))
-            .map(|c| c.value)
+        self.cells.get(&(dataset.clone(), metric)).map(|c| c.value)
     }
 
     /// The full cell (value + provenance), if present.

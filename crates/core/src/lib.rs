@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # iqb-core — the Internet Quality Barometer framework
 //!
 //! This crate implements the primary contribution of *"Poster: The Internet

@@ -48,9 +48,7 @@ impl fmt::Display for Unit {
 }
 
 /// The four network requirements of the IQB framework's middle tier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Metric {
     /// Download throughput in Mb/s.
     DownloadThroughput,
@@ -141,7 +139,10 @@ mod tests {
             Metric::DownloadThroughput.polarity(),
             Polarity::HigherIsBetter
         );
-        assert_eq!(Metric::UploadThroughput.polarity(), Polarity::HigherIsBetter);
+        assert_eq!(
+            Metric::UploadThroughput.polarity(),
+            Polarity::HigherIsBetter
+        );
         assert_eq!(Metric::Latency.polarity(), Polarity::LowerIsBetter);
         assert_eq!(Metric::PacketLoss.polarity(), Polarity::LowerIsBetter);
     }

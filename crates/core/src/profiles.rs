@@ -48,7 +48,9 @@ pub fn by_name(name: &str) -> Result<IqbConfig, CoreError> {
             .use_case_weight(UseCase::VideoStreaming, Weight::new(3)?)
             .use_case_weight(UseCase::AudioStreaming, Weight::new(3)?)
             .build(),
-        "graded" => IqbConfig::builder().scoring_mode(ScoringMode::Graded).build(),
+        "graded" => IqbConfig::builder()
+            .scoring_mode(ScoringMode::Graded)
+            .build(),
         other => Err(CoreError::InvalidConfig(format!(
             "unknown profile `{other}`; valid profiles: {}",
             PROFILE_NAMES.join(", ")
@@ -94,7 +96,10 @@ mod tests {
 
     #[test]
     fn paper_default_profile_is_the_paper_default() {
-        assert_eq!(by_name("paper-default").unwrap(), IqbConfig::paper_default());
+        assert_eq!(
+            by_name("paper-default").unwrap(),
+            IqbConfig::paper_default()
+        );
     }
 
     #[test]
@@ -125,7 +130,10 @@ mod tests {
     fn realtime_profile_upweights_the_right_rows() {
         let config = by_name("realtime").unwrap();
         assert_eq!(
-            config.use_case_weights.get(&UseCase::VideoConferencing).get(),
+            config
+                .use_case_weights
+                .get(&UseCase::VideoConferencing)
+                .get(),
             3
         );
         assert_eq!(config.use_case_weights.get(&UseCase::Gaming).get(), 3);

@@ -40,6 +40,7 @@ pub fn binary_cell_score(
     let threshold = spec.effective_value(polarity)?;
     let met = spec
         .is_met(value, polarity)
+        // lint: allow(panic) is_met is Some whenever effective_value returned Some
         .expect("effective_value was Some, so is_met is Some");
     Some(CellOutcome {
         score: if met { 1.0 } else { 0.0 },
@@ -80,6 +81,7 @@ pub fn graded_cell_score(
     let threshold = level_spec.effective_value(polarity)?;
     let met = level_spec
         .is_met(value, polarity)
+        // lint: allow(panic) is_met is Some whenever effective_value returned Some
         .expect("numeric threshold");
 
     let score = match polarity {
@@ -136,13 +138,13 @@ mod tests {
     #[test]
     fn binary_high_level_throughput() {
         let p = pair(10.0, 100.0);
-        let hit = binary_cell_score(&p, QualityLevel::High, 150.0, Polarity::HigherIsBetter)
-            .unwrap();
+        let hit =
+            binary_cell_score(&p, QualityLevel::High, 150.0, Polarity::HigherIsBetter).unwrap();
         assert_eq!(hit.score, 1.0);
         assert!(hit.met);
         assert_eq!(hit.threshold, 100.0);
-        let miss = binary_cell_score(&p, QualityLevel::High, 50.0, Polarity::HigherIsBetter)
-            .unwrap();
+        let miss =
+            binary_cell_score(&p, QualityLevel::High, 50.0, Polarity::HigherIsBetter).unwrap();
         assert_eq!(miss.score, 0.0);
         assert!(!miss.met);
     }
@@ -150,8 +152,8 @@ mod tests {
     #[test]
     fn binary_minimum_level_uses_min_threshold() {
         let p = pair(10.0, 100.0);
-        let o = binary_cell_score(&p, QualityLevel::Minimum, 50.0, Polarity::HigherIsBetter)
-            .unwrap();
+        let o =
+            binary_cell_score(&p, QualityLevel::Minimum, 50.0, Polarity::HigherIsBetter).unwrap();
         assert!(o.met);
         assert_eq!(o.threshold, 10.0);
     }
@@ -287,8 +289,8 @@ mod tests {
         let g = graded_cell_score(&p, QualityLevel::High, 50.0, Polarity::HigherIsBetter).unwrap();
         assert!(!g.met);
         assert!(g.score > 0.0);
-        let g = graded_cell_score(&p, QualityLevel::Minimum, 50.0, Polarity::HigherIsBetter)
-            .unwrap();
+        let g =
+            graded_cell_score(&p, QualityLevel::Minimum, 50.0, Polarity::HigherIsBetter).unwrap();
         assert!(g.met);
     }
 }

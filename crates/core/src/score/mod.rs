@@ -38,7 +38,12 @@ use crate::usecase::UseCase;
 use cell::{binary_cell_score, graded_cell_score, CellOutcome};
 
 /// Scores one cell according to the configured mode.
-fn score_cell(config: &IqbConfig, use_case: &UseCase, metric: Metric, value: f64) -> Option<CellOutcome> {
+fn score_cell(
+    config: &IqbConfig,
+    use_case: &UseCase,
+    metric: Metric,
+    value: f64,
+) -> Option<CellOutcome> {
     let pair = config.thresholds.get_pair(use_case, metric)?;
     match config.scoring_mode {
         ScoringMode::Binary => {
@@ -68,6 +73,7 @@ fn evaluate_use_case(
         let pair = config
             .thresholds
             .get_pair(use_case, metric)
+            // lint: allow(panic) ScoreConfig::validate guarantees a complete threshold table
             .expect("config validated: every (use case, metric) has a threshold row");
         let level_spec = match config.quality_level {
             crate::threshold::QualityLevel::Minimum => pair.min,
@@ -122,6 +128,7 @@ fn evaluate_use_case(
         let req_weight = config
             .requirement_weights
             .get(use_case, metric)
+            // lint: allow(panic) ScoreConfig::validate guarantees a complete weight table
             .expect("config validated: every (use case, metric) has a weight");
         requirements.insert(
             metric,
@@ -248,7 +255,10 @@ pub fn score_iqb_flat(config: &IqbConfig, input: &AggregateInput) -> Result<f64,
                 let Some(outcome) = score_cell(config, use_case, metric, value) else {
                     continue;
                 };
-                let w = config.dataset_weights.get(use_case, metric, dataset).as_f64();
+                let w = config
+                    .dataset_weights
+                    .get(use_case, metric, dataset)
+                    .as_f64();
                 if w > 0.0 {
                     *dataset_weight_sums.entry((u_idx, metric)).or_insert(0.0) += w;
                 }
@@ -272,6 +282,7 @@ pub fn score_iqb_flat(config: &IqbConfig, input: &AggregateInput) -> Result<f64,
             let w = config
                 .requirement_weights
                 .get(&config.use_cases[u_idx], metric)
+                // lint: allow(panic) ScoreConfig::validate guarantees a complete weight table
                 .expect("validated")
                 .as_f64();
             *req_weight_sums.entry(u_idx).or_insert(0.0) += w;
@@ -282,7 +293,10 @@ pub fn score_iqb_flat(config: &IqbConfig, input: &AggregateInput) -> Result<f64,
     let mut usecase_included: BTreeMap<usize, bool> = BTreeMap::new();
     for (&u_idx, &rsum) in &req_weight_sums {
         if rsum > 0.0 {
-            usecase_weight_sum += config.use_case_weights.get(&config.use_cases[u_idx]).as_f64();
+            usecase_weight_sum += config
+                .use_case_weights
+                .get(&config.use_cases[u_idx])
+                .as_f64();
             usecase_included.insert(u_idx, true);
         }
     }
@@ -310,6 +324,7 @@ pub fn score_iqb_flat(config: &IqbConfig, input: &AggregateInput) -> Result<f64,
         let w_ur = config
             .requirement_weights
             .get(use_case, cell_entry.metric)
+            // lint: allow(panic) ScoreConfig::validate guarantees a complete weight table
             .expect("validated")
             .as_f64()
             / rsum;
@@ -450,7 +465,9 @@ mod tests {
             DatasetId::Ookla,
             Weight::ZERO,
         );
-        config.use_case_weights.set(UseCase::Gaming, Weight::new(5).unwrap());
+        config
+            .use_case_weights
+            .set(UseCase::Gaming, Weight::new(5).unwrap());
         // Ookla has no packet loss; Cloudflare is missing upload.
         let mut input = uniform_input(80.0, 30.0, 45.0, 0.3);
         let mut trimmed = AggregateInput::new();

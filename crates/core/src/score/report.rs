@@ -128,27 +128,23 @@ pub struct IqbReport {
 impl IqbReport {
     /// The use case with the lowest score, ties broken by label order.
     pub fn weakest_use_case(&self) -> Option<(&UseCase, &UseCaseScore)> {
-        self.use_cases.iter().min_by(|(_, a), (_, b)| {
-            a.score.total_cmp(&b.score)
-        })
+        self.use_cases
+            .iter()
+            .min_by(|(_, a), (_, b)| a.score.total_cmp(&b.score))
     }
 
     /// The use case with the highest score.
     pub fn strongest_use_case(&self) -> Option<(&UseCase, &UseCaseScore)> {
-        self.use_cases.iter().max_by(|(_, a), (_, b)| {
-            a.score.total_cmp(&b.score)
-        })
+        self.use_cases
+            .iter()
+            .max_by(|(_, a), (_, b)| a.score.total_cmp(&b.score))
     }
 
     /// Recomputes the composite from the stored tree (used by tests to
     /// check internal consistency, and by what-if tooling after editing the
     /// tree). Equals [`Self::score`] up to floating-point rounding.
     pub fn recompute_from_tree(&self) -> f64 {
-        let total_w: f64 = self
-            .use_cases
-            .values()
-            .map(|u| u.weight.as_f64())
-            .sum();
+        let total_w: f64 = self.use_cases.values().map(|u| u.weight.as_f64()).sum();
         if total_w == 0.0 {
             return 0.0;
         }

@@ -115,7 +115,8 @@ pub fn use_case_weight_tornado(
         let w = config.use_case_weights.get(use_case);
         let rescore = |new_w: u32| -> Result<f64, CoreError> {
             let mut c = config.clone();
-            c.use_case_weights.set(use_case.clone(), Weight::new(new_w)?);
+            c.use_case_weights
+                .set(use_case.clone(), Weight::new(new_w)?);
             Ok(score_iqb(&c, input)?.score)
         };
         let score_minus = if w.get() > 0 {

@@ -23,9 +23,7 @@ use crate::metric::{Metric, Polarity};
 use crate::usecase::UseCase;
 
 /// The two quality levels of the paper's Fig. 2.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum QualityLevel {
     /// The minimum for the use case to work acceptably.
     Minimum,
@@ -225,7 +223,12 @@ impl ThresholdTable {
     }
 
     /// Looks up the threshold spec for a (use case, metric, level) cell.
-    pub fn get(&self, use_case: &UseCase, metric: Metric, level: QualityLevel) -> Option<ThresholdSpec> {
+    pub fn get(
+        &self,
+        use_case: &UseCase,
+        metric: Metric,
+        level: QualityLevel,
+    ) -> Option<ThresholdSpec> {
         self.cells.get(use_case).and_then(|row| {
             row.get(&metric).map(|pair| match level {
                 QualityLevel::Minimum => pair.min,
@@ -262,13 +265,13 @@ impl ThresholdTable {
                         ThresholdSpec::Unspecified => vec![],
                     };
                     for v in candidates {
-                        metric.validate(v).map_err(|reason| {
-                            CoreError::InconsistentThreshold {
+                        metric
+                            .validate(v)
+                            .map_err(|reason| CoreError::InconsistentThreshold {
                                 use_case: use_case.clone(),
                                 metric,
                                 reason,
-                            }
-                        })?;
+                            })?;
                     }
                 }
                 if let ThresholdSpec::Range { low, high } = pair.min {
@@ -342,26 +345,46 @@ mod tests {
         let t = ThresholdTable::paper_fig2();
         // Video conferencing latency: 50 ms min, 20 ms high.
         assert_eq!(
-            t.get(&UseCase::VideoConferencing, Metric::Latency, QualityLevel::Minimum),
+            t.get(
+                &UseCase::VideoConferencing,
+                Metric::Latency,
+                QualityLevel::Minimum
+            ),
             Some(ThresholdSpec::Value(50.0))
         );
         assert_eq!(
-            t.get(&UseCase::VideoConferencing, Metric::Latency, QualityLevel::High),
+            t.get(
+                &UseCase::VideoConferencing,
+                Metric::Latency,
+                QualityLevel::High
+            ),
             Some(ThresholdSpec::Value(20.0))
         );
         // Online backup upload: 25 min, 200 high.
         assert_eq!(
-            t.get(&UseCase::OnlineBackup, Metric::UploadThroughput, QualityLevel::High),
+            t.get(
+                &UseCase::OnlineBackup,
+                Metric::UploadThroughput,
+                QualityLevel::High
+            ),
             Some(ThresholdSpec::Value(200.0))
         );
         // Web browsing upload high is "Other".
         assert_eq!(
-            t.get(&UseCase::WebBrowsing, Metric::UploadThroughput, QualityLevel::High),
+            t.get(
+                &UseCase::WebBrowsing,
+                Metric::UploadThroughput,
+                QualityLevel::High
+            ),
             Some(ThresholdSpec::Unspecified)
         );
         // Video streaming download high is the 50-100 range.
         assert_eq!(
-            t.get(&UseCase::VideoStreaming, Metric::DownloadThroughput, QualityLevel::High),
+            t.get(
+                &UseCase::VideoStreaming,
+                Metric::DownloadThroughput,
+                QualityLevel::High
+            ),
             Some(ThresholdSpec::Range {
                 low: 50.0,
                 high: 100.0
@@ -376,7 +399,10 @@ mod tests {
         assert_eq!(spec.is_met(99.9, Polarity::HigherIsBetter), Some(false));
         assert_eq!(spec.is_met(100.0, Polarity::LowerIsBetter), Some(true));
         assert_eq!(spec.is_met(100.1, Polarity::LowerIsBetter), Some(false));
-        assert_eq!(ThresholdSpec::Unspecified.is_met(5.0, Polarity::HigherIsBetter), None);
+        assert_eq!(
+            ThresholdSpec::Unspecified.is_met(5.0, Polarity::HigherIsBetter),
+            None
+        );
     }
 
     #[test]

@@ -68,9 +68,7 @@ impl UseCase {
             UseCase::WebBrowsing => {
                 "Loading and interacting with web pages; latency-sensitive page loads"
             }
-            UseCase::VideoStreaming => {
-                "On-demand video playback; sustained download throughput"
-            }
+            UseCase::VideoStreaming => "On-demand video playback; sustained download throughput",
             UseCase::VideoConferencing => {
                 "Real-time interactive video; symmetric throughput and tight latency"
             }

@@ -28,9 +28,7 @@ use crate::usecase::UseCase;
 /// An integer importance weight in the paper's `0..=5` range.
 ///
 /// A weight of 0 removes its term from the weighted average entirely.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[serde(try_from = "u32", into = "u32")]
 pub struct Weight(u8);
 
@@ -125,7 +123,9 @@ impl WeightTable {
         ];
         for (use_case, ws) in rows {
             for (metric, w) in Metric::ALL.into_iter().zip(ws) {
-                t.set(use_case.clone(), metric, Weight::new(w).expect("paper weights are 0..=5"));
+                // lint: allow(panic) the table above only holds weights in 0..=5
+                let weight = Weight::new(w).expect("paper weights are 0..=5");
+                t.set(use_case.clone(), metric, weight);
             }
         }
         t
@@ -133,12 +133,18 @@ impl WeightTable {
 
     /// Sets the weight for a (use case, metric) cell.
     pub fn set(&mut self, use_case: UseCase, metric: Metric, weight: Weight) {
-        self.rows.entry(use_case).or_default().insert(metric, weight);
+        self.rows
+            .entry(use_case)
+            .or_default()
+            .insert(metric, weight);
     }
 
     /// Looks up the weight for a (use case, metric) cell.
     pub fn get(&self, use_case: &UseCase, metric: Metric) -> Option<Weight> {
-        self.rows.get(use_case).and_then(|r| r.get(&metric)).copied()
+        self.rows
+            .get(use_case)
+            .and_then(|r| r.get(&metric))
+            .copied()
     }
 
     /// The use cases with at least one weight row.
@@ -264,7 +270,11 @@ mod tests {
 
     #[test]
     fn normalize_sums_to_one() {
-        let ws = [Weight::new(3).unwrap(), Weight::new(2).unwrap(), Weight::new(5).unwrap()];
+        let ws = [
+            Weight::new(3).unwrap(),
+            Weight::new(2).unwrap(),
+            Weight::new(5).unwrap(),
+        ];
         let n = normalize(&ws).unwrap();
         assert!((n.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!((n[0] - 0.3).abs() < 1e-12);
@@ -298,11 +308,7 @@ mod tests {
         ];
         for (u, expected) in cases {
             for (m, e) in Metric::ALL.into_iter().zip(expected) {
-                assert_eq!(
-                    t.get(&u, m).unwrap().get(),
-                    e,
-                    "weight mismatch at {u}/{m}"
-                );
+                assert_eq!(t.get(&u, m).unwrap().get(), e, "weight mismatch at {u}/{m}");
             }
         }
     }
@@ -341,7 +347,8 @@ mod tests {
     fn dataset_weights_default_uniform() {
         let w = DatasetWeights::uniform();
         assert_eq!(
-            w.get(&UseCase::Gaming, Metric::Latency, &DatasetId::Ndt).get(),
+            w.get(&UseCase::Gaming, Metric::Latency, &DatasetId::Ndt)
+                .get(),
             1
         );
         assert_eq!(w.override_count(), 0);
@@ -362,7 +369,8 @@ mod tests {
         );
         // Other triples untouched.
         assert_eq!(
-            w.get(&UseCase::Gaming, Metric::Latency, &DatasetId::Ndt).get(),
+            w.get(&UseCase::Gaming, Metric::Latency, &DatasetId::Ndt)
+                .get(),
             1
         );
     }

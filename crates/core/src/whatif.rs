@@ -64,7 +64,7 @@ impl Intervention {
                 // Loss is capped at 100% even under a (clamped) factor.
                 let v = cell.value * self.factor;
                 if *metric == Metric::PacketLoss {
-                    v.min(100.0)
+                    v.clamp(0.0, 100.0)
                 } else {
                     v
                 }
@@ -101,11 +101,13 @@ impl InterventionOutcome {
 /// The standard intervention menu: double each throughput, halve latency
 /// and loss.
 pub fn standard_interventions() -> Vec<Intervention> {
+    // lint: allow(panic) the menu factors are compile-time constants Intervention::new accepts
+    let make = |metric, factor| Intervention::new(metric, factor).expect("static factor");
     vec![
-        Intervention::new(Metric::DownloadThroughput, 2.0).expect("static"),
-        Intervention::new(Metric::UploadThroughput, 2.0).expect("static"),
-        Intervention::new(Metric::Latency, 0.5).expect("static"),
-        Intervention::new(Metric::PacketLoss, 0.5).expect("static"),
+        make(Metric::DownloadThroughput, 2.0),
+        make(Metric::UploadThroughput, 2.0),
+        make(Metric::Latency, 0.5),
+        make(Metric::PacketLoss, 0.5),
     ]
 }
 
@@ -256,9 +258,7 @@ mod tests {
     fn gains_are_never_negative() {
         let config = IqbConfig::paper_default();
         let input = connection(60.0, 20.0, 70.0, 0.6);
-        for outcome in
-            evaluate_interventions(&config, &input, &standard_interventions()).unwrap()
-        {
+        for outcome in evaluate_interventions(&config, &input, &standard_interventions()).unwrap() {
             assert!(outcome.gain() >= -1e-12, "{outcome:?}");
         }
     }
@@ -284,7 +284,9 @@ mod tests {
             .expect("reachable: latency is the only failure");
         // Check the found factor actually achieves the target.
         let factor = 1.0 / magnitude;
-        let improved = Intervention::new(Metric::Latency, factor).unwrap().apply(&input);
+        let improved = Intervention::new(Metric::Latency, factor)
+            .unwrap()
+            .apply(&input);
         let achieved = score_iqb(&config, &improved).unwrap().score;
         assert!(achieved >= 0.99, "achieved {achieved} from {baseline}");
         // And that it is close to the true requirement (80 -> 20 ms = 4x).
@@ -299,8 +301,7 @@ mod tests {
         // Terrible on all four axes: fixing latency alone cannot reach 0.9.
         let config = IqbConfig::paper_default();
         let input = connection(5.0, 1.0, 300.0, 5.0);
-        let result =
-            required_improvement(&config, &input, Metric::Latency, 0.9, 1000.0).unwrap();
+        let result = required_improvement(&config, &input, Metric::Latency, 0.9, 1000.0).unwrap();
         assert_eq!(result, None);
     }
 

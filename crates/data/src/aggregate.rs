@@ -196,6 +196,7 @@ impl AggregationSpec {
     /// The paper's default: 95th percentile for every metric, at least one
     /// sample, exact order statistics.
     pub fn paper_default() -> Self {
+        // lint: allow(panic) 0.95 is a compile-time constant inside (0, 1)
         Self::uniform_quantile(0.95).expect("0.95 is a valid quantile")
     }
 

@@ -224,8 +224,9 @@ mod tests {
     #[test]
     fn fences_drop_gross_outliers() {
         // 100 well-behaved records plus one 10-second "latency" stall.
-        let mut records: Vec<TestRecord> =
-            (0..100).map(|i| record(i, 100.0 + (i % 7) as f64, 20.0 + (i % 5) as f64)).collect();
+        let mut records: Vec<TestRecord> = (0..100)
+            .map(|i| record(i, 100.0 + (i % 7) as f64, 20.0 + (i % 5) as f64))
+            .collect();
         records.push(record(200, 100.0, 10_000.0));
         let cleaner = Cleaner::default();
         let (kept, report) = cleaner.clean(records).unwrap();
@@ -258,8 +259,9 @@ mod tests {
     fn cleaning_shifts_the_p95() {
         // The practical point: a handful of broken tests own the p95
         // before cleaning and not after.
-        let mut records: Vec<TestRecord> =
-            (0..100).map(|i| record(i, 100.0, 20.0 + (i % 10) as f64)).collect();
+        let mut records: Vec<TestRecord> = (0..100)
+            .map(|i| record(i, 100.0, 20.0 + (i % 10) as f64))
+            .collect();
         for i in 0..8 {
             records.push(record(500 + i, 100.0, 5_000.0));
         }

@@ -16,9 +16,12 @@
 use std::io::{Read, Write};
 
 use iqb_core::dataset::DatasetId;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use crate::error::DataError;
+use crate::ingest::{
+    is_blank_record, next_record_end, parse_csv_record, split_csv_header, HeaderMap,
+};
 use crate::quarantine::{FaultKind, IngestMode, QuarantineReport, Quarantined};
 use crate::record::{RegionId, TestRecord};
 use crate::store::MeasurementStore;
@@ -47,8 +50,10 @@ pub fn parse_dataset_token(token: &str) -> Result<DatasetId, DataError> {
     }
 }
 
-/// The flat-file row shape (private: the public type is [`TestRecord`]).
-#[derive(Debug, Serialize, Deserialize)]
+/// The flat-file row shape for the write path (private: the public
+/// type is [`TestRecord`]). The read path shares the hand parser in
+/// [`crate::ingest`] instead of deserializing through this struct.
+#[derive(Debug, Serialize)]
 struct CsvRow {
     timestamp: u64,
     region: String,
@@ -72,21 +77,6 @@ impl CsvRow {
             loss_pct: r.loss_pct,
             tech: r.tech.clone(),
         }
-    }
-
-    fn into_record(self) -> Result<TestRecord, DataError> {
-        let record = TestRecord {
-            timestamp: self.timestamp,
-            region: RegionId::new(self.region)?,
-            dataset: parse_dataset_token(&self.dataset)?,
-            download_mbps: self.download_mbps,
-            upload_mbps: self.upload_mbps,
-            latency_ms: self.latency_ms,
-            loss_pct: self.loss_pct,
-            tech: self.tech.filter(|t| !t.is_empty()),
-        };
-        record.validate()?;
-        Ok(record)
     }
 }
 
@@ -117,28 +107,57 @@ pub fn read_csv<R: Read>(reader: R) -> Result<Vec<TestRecord>, DataError> {
 /// [`read_csv`]. Lenient mode quarantines faulty rows (classified by
 /// [`FaultKind`], with their 1-based file line) and keeps reading; the
 /// returned [`QuarantineReport`] accounts for every drop.
+///
+/// Records go through the same parser as the chunked reader
+/// ([`crate::ingest::read_csv_store`]), so the two paths quarantine
+/// identically — same kinds, lines, counts and detail strings.
 pub fn read_csv_mode<R: Read>(
-    reader: R,
+    mut reader: R,
     mode: IngestMode,
 ) -> Result<(Vec<TestRecord>, QuarantineReport), DataError> {
-    let mut csv_reader = csv::Reader::from_reader(reader);
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    let (header_text, body) = split_csv_header(&data)?;
+    let header = HeaderMap::parse(header_text);
     let mut out = Vec::new();
     let mut report = QuarantineReport::new();
-    for (index, row) in csv_reader.deserialize::<CsvRow>().enumerate() {
+    let mut raw_fields = Vec::with_capacity(header.field_count);
+    let mut fields = Vec::with_capacity(header.field_count);
+    let mut records = 0usize;
+    let mut pos = 0usize;
+    while pos < body.len() {
+        let end = next_record_end(body, pos);
+        let record = &body[pos..end];
+        pos = (end + 1).min(body.len());
+        if is_blank_record(record) {
+            continue;
+        }
+        records += 1;
         report.scanned += 1;
-        let record = row.map_err(DataError::from).and_then(CsvRow::into_record);
-        match record {
-            Ok(record) => {
-                report.kept += 1;
-                out.push(record);
-            }
-            Err(e) if mode == IngestMode::Strict => return Err(e),
-            Err(e) => report.record(Quarantined {
+        // Line 1 is the header, so data record `k` (1-based, blank
+        // lines excluded) sits on file line `k + 1`.
+        let line = records + 1;
+        let parsed = parse_csv_record(record, &header, line, &mut raw_fields, &mut fields, |p| {
+            out.push(TestRecord {
+                timestamp: p.timestamp,
+                region: RegionId::new(p.region).map_err(|e| (FaultKind::classify(&e), e))?,
+                dataset: parse_dataset_token(p.dataset)
+                    .map_err(|e| (FaultKind::classify(&e), e))?,
+                download_mbps: p.download_mbps,
+                upload_mbps: p.upload_mbps,
+                latency_ms: p.latency_ms,
+                loss_pct: p.loss_pct,
+                tech: p.tech.map(str::to_string),
+            });
+            Ok(())
+        });
+        match parsed {
+            Ok(()) => report.kept += 1,
+            Err((_, e)) if mode == IngestMode::Strict => return Err(e),
+            Err((kind, e)) => report.record(Quarantined {
                 source: "csv".into(),
-                // Line 1 is the header, so data row `index` sits on
-                // file line `index + 2` (modulo quoted multi-line rows).
-                line: Some(index + 2),
-                kind: FaultKind::classify(&e),
+                line: Some(line),
+                kind,
                 detail: e.to_string(),
             }),
         }

@@ -121,11 +121,10 @@ impl<S: DataSource> DataSource for ChaosSource<S> {
                 self.contribute_rewritten(region, filter, spec, input, |_, _| f64::NAN)
             }
             ChaosMode::NegativeThroughput => {
-                self.contribute_rewritten(region, filter, spec, input, |metric, value| {
-                    match metric {
-                        Metric::DownloadThroughput | Metric::UploadThroughput => -value.abs(),
-                        _ => value,
-                    }
+                self.contribute_rewritten(region, filter, spec, input, |metric, value| match metric
+                {
+                    Metric::DownloadThroughput | Metric::UploadThroughput => -value.abs(),
+                    _ => value,
                 })
             }
             ChaosMode::Empty => Ok(()),
@@ -229,11 +228,7 @@ fn join_lines(lines: Vec<Vec<u8>>, trailing_newline: bool) -> Vec<u8> {
 }
 
 /// Rewrites one 1-based line via `edit` (returning `None` deletes it).
-fn rewrite_line(
-    bytes: &[u8],
-    line: usize,
-    edit: impl Fn(&[u8]) -> Option<Vec<u8>>,
-) -> Vec<u8> {
+fn rewrite_line(bytes: &[u8], line: usize, edit: impl Fn(&[u8]) -> Option<Vec<u8>>) -> Vec<u8> {
     let lines = split_lines(bytes);
     let mut out: Vec<Vec<u8>> = Vec::with_capacity(lines.len());
     for (i, content) in lines.into_iter().enumerate() {
@@ -318,7 +313,12 @@ mod tests {
     fn negative_throughput_spares_latency() {
         let chaos = ChaosSource::new(sample_source(), ChaosMode::NegativeThroughput);
         let input = contribute(&chaos).unwrap();
-        assert!(input.get(&DatasetId::Ndt, Metric::DownloadThroughput).unwrap() < 0.0);
+        assert!(
+            input
+                .get(&DatasetId::Ndt, Metric::DownloadThroughput)
+                .unwrap()
+                < 0.0
+        );
         assert_eq!(input.get(&DatasetId::Ndt, Metric::Latency), Some(30.0));
     }
 
@@ -348,10 +348,7 @@ mod tests {
 
         assert_eq!(mutate(fixture, &Mutation::DeleteLine(2)), b"a,b,c\ng,h,i\n");
         assert_eq!(
-            mutate(
-                fixture,
-                &Mutation::DuplicateLine { line: 2, copies: 2 }
-            ),
+            mutate(fixture, &Mutation::DuplicateLine { line: 2, copies: 2 }),
             b"a,b,c\nd,e,f\nd,e,f\nd,e,f\ng,h,i\n"
         );
         assert_eq!(

@@ -8,7 +8,7 @@
 use std::io::{BufRead, BufReader, Read, Write};
 
 use crate::error::DataError;
-use crate::quarantine::{FaultKind, IngestMode, Quarantined, QuarantineReport};
+use crate::quarantine::{FaultKind, IngestMode, QuarantineReport, Quarantined};
 use crate::record::TestRecord;
 use crate::store::MeasurementStore;
 
@@ -58,27 +58,25 @@ pub fn read_jsonl_mode<R: Read>(
         line_no += 1;
         // Classify at the point of failure: encoding vs parse vs
         // domain-validation faults are distinguishable only here.
-        let parsed: Result<TestRecord, (FaultKind, DataError)> =
-            match std::str::from_utf8(&raw) {
-                Err(e) => Err((
-                    FaultKind::Encoding,
-                    DataError::InvalidRecord(format!("line {line_no}: invalid UTF-8: {e}")),
-                )),
-                Ok(text) if text.trim().is_empty() => continue,
-                Ok(text) => {
-                    match serde_json::from_str::<TestRecord>(text.trim_end_matches(['\n', '\r']))
-                    {
-                        Err(e) => Err((
-                            FaultKind::Parse,
-                            DataError::InvalidRecord(format!("line {line_no}: {e}")),
-                        )),
-                        Ok(record) => match record.validate() {
-                            Ok(()) => Ok(record),
-                            Err(e) => Err((FaultKind::classify(&e), e)),
-                        },
-                    }
+        let parsed: Result<TestRecord, (FaultKind, DataError)> = match std::str::from_utf8(&raw) {
+            Err(e) => Err((
+                FaultKind::Encoding,
+                DataError::InvalidRecord(format!("line {line_no}: invalid UTF-8: {e}")),
+            )),
+            Ok(text) if text.trim().is_empty() => continue,
+            Ok(text) => {
+                match serde_json::from_str::<TestRecord>(text.trim_end_matches(['\n', '\r'])) {
+                    Err(e) => Err((
+                        FaultKind::Parse,
+                        DataError::InvalidRecord(format!("line {line_no}: {e}")),
+                    )),
+                    Ok(record) => match record.validate() {
+                        Ok(()) => Ok(record),
+                        Err(e) => Err((FaultKind::classify(&e), e)),
+                    },
                 }
-            };
+            }
+        };
         report.scanned += 1;
         match parsed {
             Ok(record) => {

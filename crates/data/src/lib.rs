@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # iqb-data — the dataset tier of the IQB reproduction
 //!
 //! The IQB paper's bottom tier maps network requirements onto *"openly

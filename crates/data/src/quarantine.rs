@@ -74,9 +74,7 @@ impl std::str::FromStr for IngestMode {
 }
 
 /// The error taxonomy: why a record or source contribution was dropped.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum FaultKind {
     /// A row or line could not be parsed at all (malformed CSV/JSON,
     /// truncated record, wrong column count).
@@ -296,10 +294,7 @@ impl QuarantineReport {
             out.push_str(&format!("  {kind}: {n}\n"));
         }
         for exemplar in &self.exemplars {
-            let line = exemplar
-                .line
-                .map(|n| format!(":{n}"))
-                .unwrap_or_default();
+            let line = exemplar.line.map(|n| format!(":{n}")).unwrap_or_default();
             out.push_str(&format!(
                 "  e.g. [{}] {}{line}: {}\n",
                 exemplar.kind, exemplar.source, exemplar.detail
@@ -374,6 +369,7 @@ impl RetryPolicy {
             }
         }
         (
+            // lint: allow(panic) the retry loop above always runs at least one attempt
             Err(last_err.expect("at least one attempt ran")),
             attempts,
         )
@@ -428,7 +424,9 @@ mod tests {
             FaultKind::SourcePanic
         );
         assert_eq!(
-            FaultKind::classify(&DataError::NoData { context: "x".into() }),
+            FaultKind::classify(&DataError::NoData {
+                context: "x".into()
+            }),
             FaultKind::SourceError
         );
         let json_err = serde_json::from_str::<serde_json::Value>("{").unwrap_err();

@@ -320,8 +320,12 @@ mod tests {
             &AggregationSpec::paper_default(),
         )
         .unwrap();
-        assert!(input.get(&DatasetId::Ndt, Metric::DownloadThroughput).is_some());
-        assert!(input.get(&DatasetId::Ookla, Metric::DownloadThroughput).is_some());
+        assert!(input
+            .get(&DatasetId::Ndt, Metric::DownloadThroughput)
+            .is_some());
+        assert!(input
+            .get(&DatasetId::Ookla, Metric::DownloadThroughput)
+            .is_some());
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Per-file analysis context shared by every lint: the token stream,
+//! `#[cfg(test)]`/`#[test]` line ranges, and annotation lookup.
+
+use crate::lexer::{self, Annotation, Tok, TokKind};
+use crate::walker::SourceFile;
+
+/// A lexed source file plus the structural facts lints key off.
+pub struct LexedFile<'a> {
+    pub src: &'a SourceFile,
+    pub toks: Vec<Tok>,
+    pub annotations: Vec<Annotation>,
+    /// Inclusive line ranges of test-gated items (`#[cfg(test)] mod`,
+    /// `#[test] fn`, ...). Library lints skip these: tests may panic
+    /// and probe ordering freely.
+    pub test_ranges: Vec<(u32, u32)>,
+}
+
+impl<'a> LexedFile<'a> {
+    pub fn new(src: &'a SourceFile) -> Self {
+        let lexer::Lexed { toks, annotations } = lexer::lex(&src.text);
+        let test_ranges = test_ranges(&toks);
+        LexedFile {
+            src,
+            toks,
+            annotations,
+            test_ranges,
+        }
+    }
+
+    /// Whether `line` sits inside a test-gated item.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(start, end)| start <= line && line <= end)
+    }
+
+    /// The `lint: allow(rule)` annotation covering `line` (same line or
+    /// the line above), if any.
+    pub fn annotation(&self, rule: &str, line: u32) -> Option<&Annotation> {
+        self.annotations
+            .iter()
+            .find(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+
+    /// Token helpers: identifier text at `i`, punct match at `i`.
+    pub fn ident(&self, i: usize) -> Option<&str> {
+        match self.toks.get(i) {
+            Some(t) if t.kind == TokKind::Ident => Some(&t.text),
+            _ => None,
+        }
+    }
+
+    pub fn punct(&self, i: usize, c: char) -> bool {
+        matches!(self.toks.get(i), Some(t) if t.kind == TokKind::Punct && t.text.len() == 1
+            && t.text.as_bytes()[0] as char == c)
+    }
+
+    /// True when tokens at `i` spell `::` (two consecutive colons).
+    pub fn path_sep(&self, i: usize) -> bool {
+        self.punct(i, ':') && self.punct(i + 1, ':')
+    }
+}
+
+/// Computes the inclusive line ranges of test-gated items.
+fn test_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(is_punct(toks, i, '#') && is_punct(toks, i + 1, '[')) {
+            i += 1;
+            continue;
+        }
+        let close = match matching(toks, i + 1, '[', ']') {
+            Some(close) => close,
+            None => break,
+        };
+        if attr_is_test(&toks[i + 2..close]) {
+            let end_line = item_end_line(toks, close + 1);
+            out.push((toks[i].line, end_line));
+        }
+        i = close + 1;
+    }
+    out
+}
+
+fn is_punct(toks: &[Tok], i: usize, c: char) -> bool {
+    matches!(toks.get(i), Some(t) if t.kind == TokKind::Punct && t.text == c.to_string())
+}
+
+/// Index of the token closing the bracket opened at `open`.
+fn matching(toks: &[Tok], open: usize, open_c: char, close_c: char) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, tok) in toks.iter().enumerate().skip(open) {
+        if tok.kind == TokKind::Punct {
+            if tok.text == open_c.to_string() {
+                depth += 1;
+            } else if tok.text == close_c.to_string() {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether attribute content (tokens between `#[` and `]`) gates the
+/// item to test builds: `test`, `cfg(test)`, `cfg(all(test, ...))`,
+/// `tokio::test`, ... but not `cfg(not(test))` or `cfg_attr(test, ..)`.
+fn attr_is_test(content: &[Tok]) -> bool {
+    let mut stack: Vec<&str> = Vec::new();
+    let mut k = 0usize;
+    while k < content.len() {
+        let tok = &content[k];
+        match tok.kind {
+            TokKind::Ident => {
+                if matches!(content.get(k + 1), Some(n) if n.kind == TokKind::Punct && n.text == "(")
+                {
+                    stack.push(&tok.text);
+                    k += 2;
+                    continue;
+                }
+                if tok.text == "test" {
+                    let gated = stack.is_empty() || (stack[0] == "cfg" && !stack.contains(&"not"));
+                    if gated {
+                        return true;
+                    }
+                }
+                k += 1;
+            }
+            TokKind::Punct if tok.text == "(" => {
+                stack.push("");
+                k += 1;
+            }
+            TokKind::Punct if tok.text == ")" => {
+                stack.pop();
+                k += 1;
+            }
+            _ => k += 1,
+        }
+    }
+    false
+}
+
+/// The line on which the item starting at token `start` ends: its
+/// matching close brace, or the `;` terminating a body-less item.
+/// Leading attributes (e.g. `#[cfg(test)] #[allow(...)] mod t {`) are
+/// skipped first.
+fn item_end_line(toks: &[Tok], start: usize) -> u32 {
+    let mut j = start;
+    while is_punct(toks, j, '#') && is_punct(toks, j + 1, '[') {
+        match matching(toks, j + 1, '[', ']') {
+            Some(close) => j = close + 1,
+            None => break,
+        }
+    }
+    let mut depth = 0i32;
+    for (k, tok) in toks.iter().enumerate().skip(j) {
+        if tok.kind != TokKind::Punct {
+            continue;
+        }
+        match tok.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return tok.line;
+                }
+            }
+            ";" if depth == 0 => return tok.line,
+            _ => {}
+        }
+        let _ = k;
+    }
+    toks.last().map(|t| t.line).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walker::Role;
+
+    fn file(text: &str) -> SourceFile {
+        SourceFile {
+            path: "crates/x/src/a.rs".into(),
+            crate_key: "x".into(),
+            role: Role::Lib,
+            is_crate_root: false,
+            text: text.into(),
+        }
+    }
+
+    #[test]
+    fn cfg_test_mod_range_covers_the_body() {
+        let src = file(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {}\n}\nfn after() {}\n",
+        );
+        let lexed = LexedFile::new(&src);
+        assert!(!lexed.in_test(1));
+        assert!(lexed.in_test(3));
+        assert!(lexed.in_test(5));
+        assert!(lexed.in_test(6));
+        assert!(!lexed.in_test(7));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let src = file("#[cfg(not(test))]\nfn live() { x.unwrap(); }\n");
+        let lexed = LexedFile::new(&src);
+        assert!(!lexed.in_test(2));
+    }
+
+    #[test]
+    fn test_fn_with_extra_attrs_is_covered() {
+        let src = file("#[test]\n#[allow(dead_code)]\nfn t() {\n    boom();\n}\n");
+        let lexed = LexedFile::new(&src);
+        assert!(lexed.in_test(4));
+    }
+
+    #[test]
+    fn annotation_applies_to_own_and_next_line() {
+        let src = file("// lint: allow(panic) — fine\nfoo.unwrap();\nbar.unwrap();\n");
+        let lexed = LexedFile::new(&src);
+        assert!(lexed.annotation("panic", 1).is_some());
+        assert!(lexed.annotation("panic", 2).is_some());
+        assert!(lexed.annotation("panic", 3).is_none());
+        assert!(lexed.annotation("nondet", 2).is_none());
+    }
+}

@@ -1,0 +1,351 @@
+//! `lint.toml`: the checked-in policy and allowlist.
+//!
+//! The file is parsed with a small hand-rolled reader covering the TOML
+//! subset the policy needs — `[section]` tables, `[[allow]]` table
+//! arrays, string/integer values and (possibly multi-line) string
+//! arrays. Keeping the parser in-tree avoids an external dependency and
+//! keeps the accepted grammar small enough to audit.
+//!
+//! Policy knobs (`[iter_order] paths`, `[nondet] crates`, `[panic]
+//! crates`, `[metric_names] catalog`) live in the file so the policy is
+//! reviewable where it is enforced; `Config::default_policy()` mirrors
+//! the committed `lint.toml` so the tool still runs sensibly without
+//! one.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::Path;
+
+/// One allowlist entry: suppress `rule` in `path` (optionally only on
+/// `line`), with a mandatory human reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    pub rule: String,
+    pub path: String,
+    pub line: Option<u32>,
+    pub reason: String,
+}
+
+/// Parsed lint policy + allowlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Files where `HashMap`/`HashSet` may not appear at all
+    /// (serialization, report rendering, exhibit generation).
+    pub iter_order_paths: BTreeSet<String>,
+    /// Crate keys where clocks, ambient RNG and env reads are banned.
+    pub nondet_crates: BTreeSet<String>,
+    /// Crate keys where `unwrap()`/`expect()` need an annotation.
+    pub panic_crates: BTreeSet<String>,
+    /// Workspace-relative path of the metric-name catalog.
+    pub metric_catalog: String,
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::default_policy()
+    }
+}
+
+impl Config {
+    /// The built-in policy, kept in sync with the committed `lint.toml`.
+    pub fn default_policy() -> Self {
+        let set = |items: &[&str]| items.iter().map(|s| s.to_string()).collect();
+        Config {
+            iter_order_paths: set(&[
+                "crates/pipeline/src/report.rs",
+                "crates/pipeline/src/exhibits.rs",
+                "crates/pipeline/src/table.rs",
+                "crates/pipeline/src/compare.rs",
+                "crates/pipeline/src/trend.rs",
+                "crates/pipeline/src/rank.rs",
+                "crates/pipeline/src/quality.rs",
+                "crates/data/src/store.rs",
+                "crates/data/src/agg_record.rs",
+                "crates/data/src/quarantine.rs",
+                "crates/obs/src/registry.rs",
+                "crates/obs/src/telemetry.rs",
+            ]),
+            nondet_crates: set(&[
+                "core", "stats", "data", "pipeline", "synth", "netsim", "obs", "iqb",
+            ]),
+            panic_crates: set(&["core", "data", "stats", "pipeline", "lint"]),
+            metric_catalog: "crates/obs/src/names.rs".to_string(),
+            allows: Vec::new(),
+        }
+    }
+
+    /// Loads `lint.toml` from `path`; a missing file yields the default
+    /// policy with an empty allowlist.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::from_toml_str(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default_policy()),
+            Err(e) => Err(ConfigError(format!("cannot read {}: {e}", path.display()))),
+        }
+    }
+
+    /// Parses the supported TOML subset.
+    pub fn from_toml_str(text: &str) -> Result<Self, ConfigError> {
+        let mut config = Config::default_policy();
+        let mut policy_paths_set = false;
+        let mut section = String::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((idx, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                section = format!("[[{}]]", name.trim());
+                if name.trim() == "allow" {
+                    config.allows.push(AllowEntry {
+                        rule: String::new(),
+                        path: String::new(),
+                        line: None,
+                        reason: String::new(),
+                    });
+                }
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let (key, mut value) = split_key_value(&line, idx + 1)?;
+            // Multi-line arrays: keep consuming until brackets balance.
+            while value.starts_with('[') && !brackets_balanced(&value) {
+                match lines.next() {
+                    Some((_, cont)) => {
+                        value.push(' ');
+                        value.push_str(strip_comment(cont).trim());
+                    }
+                    None => {
+                        return Err(ConfigError(format!(
+                            "line {}: unterminated array for key `{key}`",
+                            idx + 1
+                        )))
+                    }
+                }
+            }
+            apply(
+                &mut config,
+                &mut policy_paths_set,
+                &section,
+                &key,
+                &value,
+                idx + 1,
+            )?;
+        }
+        for (i, allow) in config.allows.iter().enumerate() {
+            if allow.rule.is_empty() || allow.path.is_empty() {
+                return Err(ConfigError(format!(
+                    "[[allow]] entry #{} needs both `rule` and `path`",
+                    i + 1
+                )));
+            }
+            if allow.reason.is_empty() {
+                return Err(ConfigError(format!(
+                    "[[allow]] entry for {}:{} needs a `reason`",
+                    allow.path, allow.rule
+                )));
+            }
+        }
+        Ok(config)
+    }
+
+    /// Whether an allowlist entry suppresses `rule` at `path:line`.
+    pub fn allows(&self, rule: &str, path: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && a.path == path && a.line.map_or(true, |l| l == line))
+    }
+}
+
+fn apply(
+    config: &mut Config,
+    policy_paths_set: &mut bool,
+    section: &str,
+    key: &str,
+    value: &str,
+    line_no: usize,
+) -> Result<(), ConfigError> {
+    let fail = |msg: String| Err(ConfigError(format!("line {line_no}: {msg}")));
+    match (section, key) {
+        ("iter_order", "paths") => {
+            if !*policy_paths_set {
+                config.iter_order_paths.clear();
+                *policy_paths_set = true;
+            }
+            config.iter_order_paths.extend(parse_array(value, line_no)?);
+            Ok(())
+        }
+        ("nondet", "crates") => {
+            config.nondet_crates = parse_array(value, line_no)?.into_iter().collect();
+            Ok(())
+        }
+        ("panic", "crates") => {
+            config.panic_crates = parse_array(value, line_no)?.into_iter().collect();
+            Ok(())
+        }
+        ("metric_names", "catalog") => {
+            config.metric_catalog = parse_string(value, line_no)?;
+            Ok(())
+        }
+        ("[[allow]]", _) => {
+            let entry = match config.allows.last_mut() {
+                Some(entry) => entry,
+                None => return fail("key outside an [[allow]] entry".into()),
+            };
+            match key {
+                "rule" => entry.rule = parse_string(value, line_no)?,
+                "path" => entry.path = parse_string(value, line_no)?,
+                "reason" => entry.reason = parse_string(value, line_no)?,
+                "line" => {
+                    entry.line = Some(value.parse::<u32>().map_err(|e| {
+                        ConfigError(format!("line {line_no}: bad line number: {e}"))
+                    })?)
+                }
+                other => return fail(format!("unknown [[allow]] key `{other}`")),
+            }
+            Ok(())
+        }
+        (section, key) => fail(format!("unknown key `{key}` in section `[{section}]`")),
+    }
+}
+
+fn split_key_value(line: &str, line_no: usize) -> Result<(String, String), ConfigError> {
+    match line.split_once('=') {
+        Some((k, v)) => Ok((k.trim().to_string(), v.trim().to_string())),
+        None => Err(ConfigError(format!(
+            "line {line_no}: expected `key = value`, got `{line}`"
+        ))),
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn brackets_balanced(value: &str) -> bool {
+    let mut depth = 0i32;
+    let mut in_str = false;
+    for c in value.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_string(value: &str, line_no: usize) -> Result<String, ConfigError> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| ConfigError(format!("line {line_no}: expected a \"string\"")))?;
+    Ok(inner.to_string())
+}
+
+fn parse_array(value: &str, line_no: usize) -> Result<Vec<String>, ConfigError> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| ConfigError(format!("line {line_no}: expected an [array]")))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(parse_string(item, line_no)?);
+    }
+    Ok(out)
+}
+
+/// A `lint.toml` problem: I/O or unsupported syntax.
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_policy_and_allowlist() {
+        let toml = r#"
+# comment
+[iter_order]
+paths = [
+    "a.rs", # trailing comment
+    "b.rs",
+]
+
+[nondet]
+crates = ["core"]
+
+[metric_names]
+catalog = "names.rs"
+
+[[allow]]
+rule = "nondet"
+path = "crates/data/src/ingest.rs"
+reason = "telemetry only"
+
+[[allow]]
+rule = "panic"
+path = "x.rs"
+line = 12
+reason = "slice checked"
+"#;
+        let config = Config::from_toml_str(toml).unwrap();
+        assert_eq!(
+            config.iter_order_paths,
+            ["a.rs", "b.rs"].iter().map(|s| s.to_string()).collect()
+        );
+        assert_eq!(config.nondet_crates.len(), 1);
+        assert_eq!(config.metric_catalog, "names.rs");
+        assert_eq!(config.allows.len(), 2);
+        assert!(config.allows("nondet", "crates/data/src/ingest.rs", 80));
+        assert!(config.allows("panic", "x.rs", 12));
+        assert!(!config.allows("panic", "x.rs", 13));
+        assert!(!config.allows("float", "x.rs", 12));
+    }
+
+    #[test]
+    fn allow_without_reason_is_rejected() {
+        let toml = "[[allow]]\nrule = \"panic\"\npath = \"x.rs\"\n";
+        assert!(Config::from_toml_str(toml).is_err());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        assert!(Config::from_toml_str("[panic]\ncrate = [\"core\"]\n").is_err());
+    }
+
+    #[test]
+    fn missing_file_falls_back_to_default_policy() {
+        let config = Config::load(Path::new("/nonexistent/lint.toml")).unwrap();
+        assert_eq!(config, Config::default_policy());
+        assert!(config.panic_crates.contains("lint"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Rustc-style diagnostics, rendered deterministically.
+
+use std::fmt;
+
+/// One lint violation at a file:line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Stable rule id (`float`, `iter-order`, `nondet`, `metric-names`,
+    /// `panic`, `forbid-unsafe`).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(file: &str, line: u32, rule: &'static str, message: String) -> Self {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[iqb::{}]: {}", self.rule, self.message)?;
+        write!(f, "  --> {}:{}", self.file, self.line)
+    }
+}
+
+/// Sorts by (file, line, rule, message) and drops exact duplicates, so
+/// output is byte-stable run to run.
+pub fn finalize(mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    diags.dedup();
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_like_rustc() {
+        let d = Diagnostic::new("crates/x/src/a.rs", 7, "panic", "naked `unwrap()`".into());
+        let text = d.to_string();
+        assert!(text.starts_with("error[iqb::panic]: naked `unwrap()`"));
+        assert!(text.ends_with("--> crates/x/src/a.rs:7"));
+    }
+
+    #[test]
+    fn finalize_sorts_and_dedups() {
+        let a = Diagnostic::new("b.rs", 2, "panic", "m".into());
+        let b = Diagnostic::new("a.rs", 9, "float", "m".into());
+        let out = finalize(vec![a.clone(), b.clone(), a.clone()]);
+        assert_eq!(out, vec![b, a]);
+    }
+}

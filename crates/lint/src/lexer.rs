@@ -1,0 +1,392 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! `iqb-lint` needs just enough token structure to recognise method
+//! calls, paths, attributes and string literals with accurate line
+//! numbers — not a full grammar. The lexer therefore produces a flat
+//! token stream (identifiers, literals, single-character punctuation)
+//! and a side table of line comments, which is where `// lint:
+//! allow(<rule>)` annotations live. Block comments, doc comments and
+//! the code inside them (doc examples!) are skipped entirely, so an
+//! `.unwrap()` in a `///` example never trips the panic-surface lint.
+//!
+//! The container this repo builds in has no network access, so the
+//! crate deliberately lexes by hand instead of depending on `syn`; the
+//! token patterns each lint matches are simple enough that a full AST
+//! buys nothing here.
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub line: u32,
+    pub kind: TokKind,
+    pub text: String,
+}
+
+/// Token classes the lints distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `HashMap`, ...).
+    Ident,
+    /// String literal of any flavour; `text` is the content between the
+    /// quotes, escapes left as written.
+    Str,
+    /// Character or byte literal (content, escapes left as written).
+    Char,
+    /// Numeric literal, suffix included.
+    Num,
+    /// Lifetime (`'a`), without the leading quote.
+    Lifetime,
+    /// A single punctuation character (`::` arrives as two `:`).
+    Punct,
+}
+
+/// A `// lint: allow(<rule>)` annotation parsed from a line comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Annotation {
+    pub line: u32,
+    pub rule: String,
+    /// Whether explanatory text follows the `allow(...)`. The
+    /// panic-surface policy requires a reason; a bare annotation is
+    /// itself a violation.
+    pub has_reason: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub annotations: Vec<Annotation>,
+}
+
+/// Lexes `text`, returning the token stream and any lint annotations
+/// found in line comments. Never fails: unterminated constructs simply
+/// run to end of input.
+pub fn lex(text: &str) -> Lexed {
+    let bytes = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut annotations = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                if let Some(ann) = parse_annotation(&text[start..i], line) {
+                    annotations.push(ann);
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let tok_line = line;
+                let (content, next, newlines) = scan_string(bytes, text, i + 1);
+                toks.push(Tok {
+                    line: tok_line,
+                    kind: TokKind::Str,
+                    text: content,
+                });
+                line += newlines;
+                i = next;
+            }
+            b'\'' => {
+                // Lifetime (`'a`) or char literal (`'a'`, `'\n'`).
+                let after = bytes.get(i + 1).copied();
+                let is_lifetime = matches!(after, Some(c) if c == b'_' || c.is_ascii_alphabetic())
+                    && bytes.get(i + 2) != Some(&b'\'');
+                if is_lifetime {
+                    let start = i + 1;
+                    i += 1;
+                    while i < bytes.len() && is_ident_char(bytes[i]) {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Lifetime,
+                        text: text[start..i].to_string(),
+                    });
+                } else {
+                    let start = i + 1;
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != b'\'' {
+                        if bytes[i] == b'\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    let end = i.min(bytes.len());
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Char,
+                        text: text[start..end].to_string(),
+                    });
+                    if i < bytes.len() {
+                        i += 1; // closing quote
+                    }
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && (is_ident_char(bytes[i]) || is_exponent_sign(bytes, i)) {
+                    i += 1;
+                }
+                // A fractional part: `.` followed by a digit (so `0..9`
+                // ranges and `1.max(2)` method calls stay separate
+                // tokens).
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && matches!(bytes.get(i + 1), Some(c) if c.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < bytes.len() && (is_ident_char(bytes[i]) || is_exponent_sign(bytes, i))
+                    {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Num,
+                    text: text[start..i].to_string(),
+                });
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < bytes.len() && is_ident_char(bytes[i]) {
+                    i += 1;
+                }
+                let ident = &text[start..i];
+                if is_string_prefix(ident) && matches!(bytes.get(i), Some(&b'"') | Some(&b'#')) {
+                    let raw = ident.contains('r');
+                    let tok_line = line;
+                    let (content, next, newlines) = if raw {
+                        scan_raw_string(bytes, text, i)
+                    } else {
+                        scan_string(bytes, text, i + 1)
+                    };
+                    // A lone `#` not opening a raw string (e.g. `b = #x`
+                    // cannot occur in Rust, but guard anyway).
+                    if next > i {
+                        toks.push(Tok {
+                            line: tok_line,
+                            kind: TokKind::Str,
+                            text: content,
+                        });
+                        line += newlines;
+                        i = next;
+                    } else {
+                        toks.push(Tok {
+                            line,
+                            kind: TokKind::Ident,
+                            text: ident.to_string(),
+                        });
+                    }
+                } else {
+                    toks.push(Tok {
+                        line,
+                        kind: TokKind::Ident,
+                        text: ident.to_string(),
+                    });
+                }
+            }
+            _ => {
+                toks.push(Tok {
+                    line,
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                });
+                i += 1;
+            }
+        }
+    }
+    Lexed { toks, annotations }
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Inside a numeric literal, `+`/`-` directly after `e`/`E` continues
+/// the exponent (`1e-5`).
+fn is_exponent_sign(bytes: &[u8], i: usize) -> bool {
+    (bytes[i] == b'+' || bytes[i] == b'-')
+        && i > 0
+        && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')
+}
+
+fn is_string_prefix(ident: &str) -> bool {
+    matches!(ident, "r" | "b" | "br" | "rb" | "c" | "cr")
+}
+
+/// Scans a non-raw string body starting just past the opening quote.
+/// Returns (content, index past the closing quote, newlines crossed).
+fn scan_string(bytes: &[u8], text: &str, start: usize) -> (String, usize, u32) {
+    let mut i = start;
+    let mut newlines = 0u32;
+    while i < bytes.len() && bytes[i] != b'"' {
+        if bytes[i] == b'\\' {
+            i += 1;
+        } else if bytes[i] == b'\n' {
+            newlines += 1;
+        }
+        i += 1;
+    }
+    let end = i.min(bytes.len());
+    let content = text[start..end].to_string();
+    (content, (i + 1).min(bytes.len()), newlines)
+}
+
+/// Scans a raw string starting at the first `#` or `"` after the `r`
+/// prefix. Returns (content, index past the close, newlines crossed);
+/// `start` unchanged means "not actually a raw string here".
+fn scan_raw_string(bytes: &[u8], text: &str, start: usize) -> (String, usize, u32) {
+    let mut i = start;
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return (String::new(), start, 0);
+    }
+    i += 1;
+    let body_start = i;
+    let mut newlines = 0u32;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            newlines += 1;
+        }
+        if bytes[i] == b'"' && bytes[i + 1..].iter().take_while(|&&b| b == b'#').count() >= hashes {
+            let content = text[body_start..i].to_string();
+            return (content, i + 1 + hashes, newlines);
+        }
+        i += 1;
+    }
+    (text[body_start..].to_string(), bytes.len(), newlines)
+}
+
+/// Parses `lint: allow(<rule>) <reason>` out of one line comment body.
+fn parse_annotation(comment: &str, line: u32) -> Option<Annotation> {
+    let rest = comment.trim_start().strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    if rule.is_empty() {
+        return None;
+    }
+    let tail = rest[close + 1..]
+        .trim_start_matches([' ', '\t', '-', ':', '—', '–'])
+        .trim();
+    Some(Annotation {
+        line,
+        rule,
+        has_reason: !tail.is_empty(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_doc_examples_are_skipped() {
+        let src = "/// let x = v.unwrap();\n//! m.unwrap()\n/* a.unwrap() */\nfn real() {}\n";
+        assert_eq!(idents(src), vec!["fn", "real"]);
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let src = "let s = \"unwrap() inside\"; let r = r#\"HashMap \"quoted\" here\"#;";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        let strs: Vec<_> = lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs[1].text, "HashMap \"quoted\" here");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 1);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"one\ntwo\";\nlet tail = 0;";
+        let lexed = lex(src);
+        let tail = lexed.toks.iter().find(|t| t.text == "tail").unwrap();
+        assert_eq!(tail.line, 3);
+    }
+
+    #[test]
+    fn numeric_ranges_and_method_calls_split_correctly() {
+        let src = "for i in 0..10 { let m = 1.5e-3.max(2.0); }";
+        let lexed = lex(src);
+        assert!(lexed.toks.iter().any(|t| t.text == "max"));
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.5e-3"));
+    }
+
+    #[test]
+    fn annotations_parse_with_and_without_reason() {
+        let src =
+            "// lint: allow(panic) — index checked above\nx.unwrap();\n// lint: allow(nondet)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.annotations.len(), 2);
+        assert_eq!(lexed.annotations[0].rule, "panic");
+        assert!(lexed.annotations[0].has_reason);
+        assert_eq!(lexed.annotations[1].rule, "nondet");
+        assert!(!lexed.annotations[1].has_reason);
+    }
+}

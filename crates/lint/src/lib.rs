@@ -1,0 +1,69 @@
+#![forbid(unsafe_code)]
+//! `iqb-lint`: a workspace invariant checker.
+//!
+//! The barometer's headline promise is that a score is a deterministic,
+//! auditable function of its inputs. Most of the ways that promise rots
+//! are not caught by the compiler: a `partial_cmp` sort that flips on
+//! NaN, a `HashMap` iterated into a report, a clock read in the scoring
+//! path, a metric name that drifts from the catalog, an `unwrap` that
+//! turns a bad CSV row into a crash. This crate makes those rules
+//! machine-enforced: it lexes every workspace source file and checks
+//! six families of invariants, emitting rustc-style diagnostics.
+//!
+//! | rule id | invariant |
+//! |---|---|
+//! | `float` | float ordering goes through `total_cmp` |
+//! | `iter-order` | no `HashMap`/`HashSet` in ordered-output files |
+//! | `nondet` | no clocks / ambient RNG / env reads in scoring crates |
+//! | `metric-names` | obs metric names round-trip through the catalog |
+//! | `panic` | no naked `unwrap`/`expect` in core library code |
+//! | `forbid-unsafe` | every crate root has `#![forbid(unsafe_code)]` |
+//!
+//! Escape hatches, in order of preference: fix the code; annotate the
+//! line with `// lint: allow(<rule>) <reason>`; add a `[[allow]]` entry
+//! to the checked-in `lint.toml`. All three leave an audit trail.
+
+pub mod analysis;
+pub mod config;
+pub mod diagnostics;
+pub mod lexer;
+pub mod lints;
+pub mod walker;
+
+use std::path::Path;
+
+use analysis::LexedFile;
+pub use config::{Config, ConfigError};
+pub use diagnostics::Diagnostic;
+pub use walker::{Role, SourceFile};
+
+/// Runs every lint family over an already-collected file set and
+/// returns the sorted, deduplicated diagnostics.
+pub fn run_files(files: &[SourceFile], config: &Config) -> Vec<Diagnostic> {
+    let lexed: Vec<LexedFile<'_>> = files.iter().map(LexedFile::new).collect();
+    let mut diags = Vec::new();
+    for file in &lexed {
+        lints::float::check(file, config, &mut diags);
+        lints::iter_order::check(file, config, &mut diags);
+        lints::nondet::check(file, config, &mut diags);
+        lints::panics::check(file, config, &mut diags);
+        lints::unsafe_attr::check(file, config, &mut diags);
+    }
+    lints::metric_names::check(&lexed, config, &mut diags);
+    diagnostics::finalize(diags)
+}
+
+/// Walks the workspace at `root` and lints it. Fails loudly if the
+/// metric catalog named by the config is absent — a silently missing
+/// catalog would disable the metric-name lints without anyone noticing.
+pub fn run_workspace(root: &Path, config: &Config) -> Result<Vec<Diagnostic>, String> {
+    let files = walker::collect(root)?;
+    if !files.iter().any(|f| f.path == config.metric_catalog) {
+        return Err(format!(
+            "metric catalog `{}` not found under {}; fix `[metric_names] catalog` in lint.toml",
+            config.metric_catalog,
+            root.display()
+        ));
+    }
+    Ok(run_files(&files, config))
+}

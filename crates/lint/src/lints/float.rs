@@ -1,0 +1,82 @@
+//! Float-determinism: comparisons that are partial or NaN-asymmetric
+//! poison sort stability and fold results. Scores must order floats
+//! with `total_cmp`, whose ordering is total and platform-independent.
+
+use crate::analysis::LexedFile;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokKind;
+use crate::walker::Role;
+
+pub fn check(file: &LexedFile<'_>, config: &Config, diags: &mut Vec<Diagnostic>) {
+    if file.src.role == Role::Test {
+        return;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if file.in_test(line) {
+            continue;
+        }
+        match file.ident(i) {
+            Some("partial_cmp") => {
+                // `fn partial_cmp` is the PartialOrd impl itself, not a
+                // comparison through it.
+                if i > 0 && file.ident(i - 1) == Some("fn") {
+                    continue;
+                }
+                super::emit(
+                    file,
+                    config,
+                    diags,
+                    "float",
+                    line,
+                    "ordering through `partial_cmp` is not total (NaN compares as None); \
+                     use `total_cmp` for float ordering"
+                        .to_string(),
+                );
+            }
+            Some(m @ ("max" | "min")) => {
+                if float_min_max(file, i) {
+                    super::emit(
+                        file,
+                        config,
+                        diags,
+                        "float",
+                        line,
+                        format!(
+                            "float `{m}` propagates the non-NaN operand, so a stray NaN \
+                             silently vanishes from the reduction; compare with `total_cmp` \
+                             (e.g. `max_by(|a, b| a.total_cmp(b))`) or handle NaN explicitly"
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whether the `max`/`min` identifier at `i` is a float comparison the
+/// lint can see without type inference: the `f64::max` / `f32::min`
+/// path form, or a method call whose receiver or first argument is a
+/// float literal (`x.max(0.0)`, `1.5.min(y)`).
+fn float_min_max(file: &LexedFile<'_>, i: usize) -> bool {
+    // Path form: `f64 :: max`.
+    if i >= 3 && file.path_sep(i - 2) && matches!(file.ident(i - 3), Some("f64") | Some("f32")) {
+        return true;
+    }
+    // Method form needs `.` before and `(` after to be a call at all.
+    if i == 0 || !file.punct(i - 1, '.') || !file.punct(i + 1, '(') {
+        return false;
+    }
+    if i >= 2 && is_float_literal(file, i - 2) {
+        return true;
+    }
+    is_float_literal(file, i + 2)
+}
+
+fn is_float_literal(file: &LexedFile<'_>, i: usize) -> bool {
+    matches!(&file.toks.get(i), Some(t) if t.kind == TokKind::Num
+        && (t.text.contains('.') || t.text.contains("f64") || t.text.contains("f32")))
+}

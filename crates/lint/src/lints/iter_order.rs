@@ -1,0 +1,39 @@
+//! Iteration-order hygiene: files that serialize, render reports or
+//! generate exhibits must not touch `HashMap`/`HashSet` at all —
+//! their iteration order varies run to run (and by hasher seed), which
+//! turns byte-stable outputs into flaky ones. The file list lives in
+//! `lint.toml` under `[iter_order] paths`.
+
+use crate::analysis::LexedFile;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+
+pub fn check(file: &LexedFile<'_>, config: &Config, diags: &mut Vec<Diagnostic>) {
+    if !config.iter_order_paths.contains(&file.src.path) {
+        return;
+    }
+    for i in 0..file.toks.len() {
+        let line = file.toks[i].line;
+        if file.in_test(line) {
+            continue;
+        }
+        if let Some(name @ ("HashMap" | "HashSet")) = file.ident(i) {
+            let ordered = if name == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            super::emit(
+                file,
+                config,
+                diags,
+                "iter-order",
+                line,
+                format!(
+                    "`{name}` in an ordered-output file: its iteration order is \
+                     nondeterministic; use `{ordered}` so rendered output stays byte-stable"
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Metric-name discipline: the obs metric namespace is governed by a
+//! single catalog file (`crates/obs/src/names.rs`). Instrumentation
+//! call sites (`.counter(..)`, `.gauge(..)`, `.histogram(..)`) must
+//! route through the catalog constants — a raw string literal at a call
+//! site is flagged whether or not its value happens to match a catalog
+//! entry. In the other direction, a catalog constant no production code
+//! references is a dead entry and is flagged at its definition.
+
+use crate::analysis::LexedFile;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokKind;
+use crate::walker::Role;
+
+/// One `pub const NAME: &str = "value";` entry from the catalog.
+struct CatalogEntry {
+    name: String,
+    value: String,
+    line: u32,
+}
+
+const SINK_METHODS: [&str; 4] = ["counter", "gauge", "histogram", "histogram_with_buckets"];
+
+pub fn check(files: &[LexedFile<'_>], config: &Config, diags: &mut Vec<Diagnostic>) {
+    let catalog_file = match files.iter().find(|f| f.src.path == config.metric_catalog) {
+        Some(f) => f,
+        // No catalog in this file set (e.g. a fixture run that is not
+        // exercising this lint): nothing to check against.
+        None => return,
+    };
+    let catalog = extract_catalog(catalog_file);
+
+    for file in files {
+        if file.src.role == Role::Test {
+            continue;
+        }
+        check_call_sites(file, config, &catalog, diags);
+    }
+
+    for entry in &catalog {
+        let referenced = files.iter().any(|f| {
+            f.src.path != config.metric_catalog
+                && f.src.role != Role::Test
+                && f.toks
+                    .iter()
+                    .any(|t| t.kind == TokKind::Ident && t.text == entry.name && !f.in_test(t.line))
+        });
+        if !referenced {
+            super::emit(
+                catalog_file,
+                config,
+                diags,
+                "metric-names",
+                entry.line,
+                format!(
+                    "dead catalog entry: `{}` (\"{}\") has no production reference; \
+                     delete it or wire up the instrumentation",
+                    entry.name, entry.value
+                ),
+            );
+        }
+    }
+}
+
+/// Flags raw string literals fed to metric-sink methods. A literal that
+/// matches a catalog value should be the constant; one that does not is
+/// an unregistered metric name.
+fn check_call_sites(
+    file: &LexedFile<'_>,
+    config: &Config,
+    catalog: &[CatalogEntry],
+    diags: &mut Vec<Diagnostic>,
+) {
+    for i in 0..file.toks.len() {
+        let line = file.toks[i].line;
+        if file.in_test(line) {
+            continue;
+        }
+        let is_sink = matches!(file.ident(i), Some(name) if SINK_METHODS.contains(&name));
+        if !is_sink || i == 0 || !file.punct(i - 1, '.') || !file.punct(i + 1, '(') {
+            continue;
+        }
+        let arg = match file.toks.get(i + 2) {
+            Some(t) if t.kind == TokKind::Str => t,
+            _ => continue,
+        };
+        let message = match catalog.iter().find(|e| e.value == arg.text) {
+            Some(entry) => format!(
+                "metric name \"{}\" is written as a literal; use the catalog constant \
+                 `names::{}` so renames stay atomic",
+                arg.text, entry.name
+            ),
+            None => format!(
+                "metric name \"{}\" is not in the catalog ({}); register it there first",
+                arg.text, config.metric_catalog
+            ),
+        };
+        super::emit(file, config, diags, "metric-names", arg.line, message);
+    }
+}
+
+/// Pulls `const NAME: ... = "value";` pairs out of the catalog file.
+fn extract_catalog(file: &LexedFile<'_>) -> Vec<CatalogEntry> {
+    let mut out = Vec::new();
+    let toks = &file.toks;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if file.ident(i) == Some("const") && !file.in_test(toks[i].line) {
+            if let Some(name) = file.ident(i + 1) {
+                let line = toks[i].line;
+                let name = name.to_string();
+                // Scan the initializer up to `;` for its string value.
+                let mut j = i + 2;
+                let mut value = None;
+                while j < toks.len() && !file.punct(j, ';') {
+                    if toks[j].kind == TokKind::Str {
+                        value = Some(toks[j].text.clone());
+                        break;
+                    }
+                    j += 1;
+                }
+                if let Some(value) = value {
+                    out.push(CatalogEntry { name, value, line });
+                }
+                i = j;
+            }
+        }
+        i += 1;
+    }
+    out
+}

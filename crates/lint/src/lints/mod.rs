@@ -1,0 +1,49 @@
+//! The six lint families.
+//!
+//! Each rule module exposes `check(...)` taking the per-file analysis
+//! context and pushing [`Diagnostic`]s. Emission funnels through
+//! [`emit`] so annotation and allowlist handling is identical
+//! everywhere: a `// lint: allow(<rule>) <reason>` comment on the
+//! violating line (or the line above) suppresses the finding, an
+//! annotation without a reason does not, and `lint.toml` `[[allow]]`
+//! entries suppress by path (optionally pinned to a line).
+
+pub mod float;
+pub mod iter_order;
+pub mod metric_names;
+pub mod nondet;
+pub mod panics;
+pub mod unsafe_attr;
+
+use crate::analysis::LexedFile;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+
+/// Reports a violation unless an annotation or allowlist entry covers
+/// it. A reason-less annotation is rejected loudly rather than silently
+/// honoured: the policy is that every suppression names its excuse.
+pub(crate) fn emit(
+    file: &LexedFile<'_>,
+    config: &Config,
+    diags: &mut Vec<Diagnostic>,
+    rule: &'static str,
+    line: u32,
+    message: String,
+) {
+    if config.allows(rule, &file.src.path, line) {
+        return;
+    }
+    if let Some(annotation) = file.annotation(rule, line) {
+        if annotation.has_reason {
+            return;
+        }
+        diags.push(Diagnostic::new(
+            &file.src.path,
+            line,
+            rule,
+            format!("{message} (the `lint: allow({rule})` annotation needs a reason)"),
+        ));
+        return;
+    }
+    diags.push(Diagnostic::new(&file.src.path, line, rule, message));
+}

@@ -1,0 +1,53 @@
+//! Nondeterminism sources: inside scoring-path crates (the `[nondet]
+//! crates` list in `lint.toml`) wall clocks, monotonic clocks, ambient
+//! RNG and environment reads are banned. Scores must be a pure function
+//! of the ingested data and the seeded configuration; anything ambient
+//! belongs in `cli` or `bench`, which are deliberately off the list.
+
+use crate::analysis::LexedFile;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::walker::Role;
+
+pub fn check(file: &LexedFile<'_>, config: &Config, diags: &mut Vec<Diagnostic>) {
+    if file.src.role == Role::Test || !config.nondet_crates.contains(&file.src.crate_key) {
+        return;
+    }
+    for i in 0..file.toks.len() {
+        let line = file.toks[i].line;
+        if file.in_test(line) {
+            continue;
+        }
+        let finding = match file.ident(i) {
+            Some(t @ ("SystemTime" | "Instant"))
+                if file.path_sep(i + 1) && file.ident(i + 3) == Some("now") =>
+            {
+                Some(format!(
+                    "`{t}::now()` in a scoring-path crate: clock reads make runs \
+                     unreproducible; thread timestamps in as data or move the read to `cli`"
+                ))
+            }
+            Some(t @ ("thread_rng" | "from_entropy" | "OsRng")) => Some(format!(
+                "`{t}` seeds from ambient entropy: scoring-path randomness must come \
+                 from an explicitly seeded `StdRng`"
+            )),
+            Some("env")
+                if file.path_sep(i + 1)
+                    && matches!(
+                        file.ident(i + 3),
+                        Some("var") | Some("var_os") | Some("vars") | Some("vars_os")
+                    ) =>
+            {
+                Some(
+                    "environment read in a scoring-path crate: configuration must arrive \
+                     through typed arguments (env reads belong in `cli` or `bench`)"
+                        .to_string(),
+                )
+            }
+            _ => None,
+        };
+        if let Some(message) = finding {
+            super::emit(file, config, diags, "nondet", line, message);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Panic-surface policy: library code in the core scoring crates (the
+//! `[panic] crates` list) must not call `.unwrap()` / `.expect(...)`.
+//! Either the error is handled and routed, or the call carries a
+//! `// lint: allow(panic) <reason>` annotation explaining why the
+//! invariant cannot fail. Tests, benches and binaries are exempt —
+//! panicking is an acceptable failure mode there.
+
+use crate::analysis::LexedFile;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::walker::Role;
+
+pub fn check(file: &LexedFile<'_>, config: &Config, diags: &mut Vec<Diagnostic>) {
+    if file.src.role != Role::Lib || !config.panic_crates.contains(&file.src.crate_key) {
+        return;
+    }
+    for i in 0..file.toks.len() {
+        let line = file.toks[i].line;
+        if file.in_test(line) {
+            continue;
+        }
+        if let Some(name @ ("unwrap" | "expect")) = file.ident(i) {
+            // Only the method-call shape: `.unwrap()` / `.expect(`.
+            if i == 0 || !file.punct(i - 1, '.') || !file.punct(i + 1, '(') {
+                continue;
+            }
+            super::emit(
+                file,
+                config,
+                diags,
+                "panic",
+                line,
+                format!(
+                    "`.{name}(..)` in library code: return the error, or justify with \
+                     `// lint: allow(panic) <reason>` if the invariant is locally provable"
+                ),
+            );
+        }
+    }
+}

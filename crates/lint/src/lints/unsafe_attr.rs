@@ -1,0 +1,32 @@
+//! Every crate root must carry `#![forbid(unsafe_code)]`. The
+//! workspace has no reason to write `unsafe`, and forbidding it at the
+//! crate level makes that a compiler-checked fact rather than a habit.
+
+use crate::analysis::LexedFile;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+
+pub fn check(file: &LexedFile<'_>, config: &Config, diags: &mut Vec<Diagnostic>) {
+    if !file.src.is_crate_root {
+        return;
+    }
+    for i in 0..file.toks.len() {
+        if file.punct(i, '#')
+            && file.punct(i + 1, '!')
+            && file.punct(i + 2, '[')
+            && file.ident(i + 3) == Some("forbid")
+            && file.punct(i + 4, '(')
+            && file.ident(i + 5) == Some("unsafe_code")
+        {
+            return;
+        }
+    }
+    super::emit(
+        file,
+        config,
+        diags,
+        "forbid-unsafe",
+        1,
+        "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+    );
+}

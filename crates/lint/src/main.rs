@@ -1,0 +1,103 @@
+#![forbid(unsafe_code)]
+//! The `iqb-lint` binary: lint the workspace, print rustc-style
+//! diagnostics, exit nonzero when anything fires.
+//!
+//! ```text
+//! cargo run -p iqb-lint            # lint the workspace you're in
+//! cargo run -p iqb-lint -- --root <dir> --config <lint.toml>
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use iqb_lint::Config;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(value) => root = Some(PathBuf::from(value)),
+                None => return usage("--root needs a directory"),
+            },
+            "--config" => match args.next() {
+                Some(value) => config_path = Some(PathBuf::from(value)),
+                None => return usage("--config needs a file path"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "iqb-lint: workspace invariant checker\n\n\
+                     USAGE: iqb-lint [--root <workspace-dir>] [--config <lint.toml>]\n\n\
+                     Without --root, the workspace root is found by walking up from the\n\
+                     current directory to the first Cargo.toml declaring [workspace].\n\
+                     Without --config, <root>/lint.toml is used (built-in policy if absent)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(root) => root,
+        None => {
+            eprintln!("iqb-lint: no Cargo.toml with [workspace] above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config = match Config::load(&config_path) {
+        Ok(config) => config,
+        Err(e) => {
+            eprintln!("iqb-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match iqb_lint::run_workspace(&root, &config) {
+        Ok(diags) if diags.is_empty() => {
+            println!("iqb-lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}\n");
+            }
+            println!("iqb-lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("iqb-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("iqb-lint: {problem} (try --help)");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if is_workspace_root(&dir) {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|text| text.lines().any(|l| l.trim() == "[workspace]"))
+        .unwrap_or(false)
+}

@@ -1,0 +1,159 @@
+//! Deterministic enumeration of the workspace's Rust sources.
+//!
+//! The walker classifies every `.rs` file by the crate it belongs to
+//! (the `crates/<name>` directory segment, or `iqb` for the root
+//! package) and by role — library/binary code, where the invariants are
+//! enforced, versus tests, benches and examples, where panics and ad
+//! hoc ordering are acceptable. Directory listings are sorted so the
+//! diagnostic output is byte-stable across filesystems; the lint must
+//! hold itself to the determinism bar it enforces.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Where a file sits in the crate layout, which decides which lints
+/// apply to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// `src/` code of a library target.
+    Lib,
+    /// `src/main.rs` or `src/bin/*.rs` of a binary target.
+    Bin,
+    /// Integration tests, benches and examples.
+    Test,
+}
+
+/// One workspace source file, ready for lexing.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across OSes).
+    pub path: String,
+    /// Short crate key: the `crates/<key>` segment, or `iqb` for the
+    /// root package.
+    pub crate_key: String,
+    pub role: Role,
+    /// True for the file that owns crate-level attributes: `src/lib.rs`
+    /// or `src/main.rs` of a workspace member.
+    pub is_crate_root: bool,
+    pub text: String,
+}
+
+/// Collects every workspace `.rs` file under `root`, sorted by path.
+///
+/// Skipped entirely: `target/`, VCS metadata, and any `fixtures/`
+/// directory (lint test fixtures deliberately violate the invariants).
+pub fn collect(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut paths = Vec::new();
+    walk_dir(root, root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::new();
+    for rel in paths {
+        let abs = root.join(&rel);
+        let text =
+            fs::read_to_string(&abs).map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+        files.push(classify(&rel, text));
+    }
+    Ok(files)
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    let mut children: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        children.push(entry.path());
+    }
+    children.sort();
+    for child in children {
+        let name = match child.file_name().and_then(|n| n.to_str()) {
+            Some(name) => name.to_string(),
+            None => continue,
+        };
+        if child.is_dir() {
+            if matches!(name.as_str(), "target" | ".git" | "fixtures" | "results") {
+                continue;
+            }
+            walk_dir(root, &child, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = child
+                .strip_prefix(root)
+                .map_err(|e| format!("path {} outside root: {e}", child.display()))?;
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Derives crate key, role and crate-root status from a relative path.
+fn classify(rel: &str, text: String) -> SourceFile {
+    let segments: Vec<&str> = rel.split('/').collect();
+    let (crate_key, in_crate) = if segments.first() == Some(&"crates") && segments.len() > 2 {
+        (segments[1].to_string(), &segments[2..])
+    } else {
+        ("iqb".to_string(), &segments[..])
+    };
+    let role = if in_crate
+        .iter()
+        .any(|s| matches!(*s, "tests" | "benches" | "examples"))
+    {
+        Role::Test
+    } else if in_crate.last() == Some(&"main.rs") || in_crate.contains(&"bin") {
+        Role::Bin
+    } else {
+        Role::Lib
+    };
+    let is_crate_root =
+        in_crate == ["src", "lib.rs"].as_slice() || in_crate == ["src", "main.rs"].as_slice();
+    SourceFile {
+        path: rel.to_string(),
+        crate_key,
+        role,
+        is_crate_root,
+        text,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(path: &str) -> SourceFile {
+        classify(path, String::new())
+    }
+
+    #[test]
+    fn classification_covers_the_layout() {
+        let f = info("crates/core/src/lib.rs");
+        assert_eq!(f.crate_key, "core");
+        assert_eq!(f.role, Role::Lib);
+        assert!(f.is_crate_root);
+
+        let f = info("crates/cli/src/main.rs");
+        assert_eq!(f.crate_key, "cli");
+        assert_eq!(f.role, Role::Bin);
+        assert!(f.is_crate_root);
+
+        let f = info("crates/bench/src/bin/bench_runner.rs");
+        assert_eq!(f.role, Role::Bin);
+        assert!(!f.is_crate_root);
+
+        let f = info("crates/pipeline/tests/ingest_parallel.rs");
+        assert_eq!(f.role, Role::Test);
+
+        let f = info("src/lib.rs");
+        assert_eq!(f.crate_key, "iqb");
+        assert!(f.is_crate_root);
+
+        let f = info("tests/end_to_end.rs");
+        assert_eq!(f.crate_key, "iqb");
+        assert_eq!(f.role, Role::Test);
+
+        let f = info("examples/streaming_session.rs");
+        assert_eq!(f.role, Role::Test);
+    }
+}

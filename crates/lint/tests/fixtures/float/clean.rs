@@ -1,0 +1,15 @@
+//! Fixture: NaN-safe float ordering the `float` rule must accept.
+//! Never compiled — parsed by `iqb-lint` in `tests/lints.rs`.
+
+pub fn spread(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let hi = values.iter().copied().max_by(|a, b| a.total_cmp(b));
+    let lo = values.iter().copied().min_by(|a, b| a.total_cmp(b));
+    hi.unwrap_or(f64::NEG_INFINITY) - lo.unwrap_or(f64::INFINITY)
+}
+
+pub fn rto_floor(rtt: f64) -> f64 {
+    // lint: allow(float) RTO floor per RFC 6298; rtt is validated finite upstream
+    rtt.max(0.2)
+}

@@ -1,0 +1,9 @@
+//! Fixture: float-determinism violations the `float` rule must flag.
+//! Never compiled — parsed by `iqb-lint` in `tests/lints.rs`.
+
+pub fn spread(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let hi = f64::max(sorted[0], 1.0);
+    hi - 1.0_f64.min(sorted[0])
+}

@@ -1,0 +1,7 @@
+//! Fixture: a crate root carrying `#![forbid(unsafe_code)]`, which the
+//! `forbid-unsafe` rule must accept.
+//! Never compiled — parsed by `iqb-lint` in `tests/lints.rs`.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

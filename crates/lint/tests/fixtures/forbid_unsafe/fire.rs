@@ -1,0 +1,5 @@
+//! Fixture: a crate root missing `#![forbid(unsafe_code)]`, which the
+//! `forbid-unsafe` rule must flag.
+//! Never compiled — parsed by `iqb-lint` in `tests/lints.rs`.
+
+pub fn noop() {}

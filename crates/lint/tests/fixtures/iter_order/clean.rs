@@ -1,0 +1,9 @@
+//! Fixture: ordered containers the `iter-order` rule must accept even
+//! in a policy-listed serialization file.
+//! Never compiled — parsed by `iqb-lint` in `tests/lints.rs`.
+
+use std::collections::BTreeMap;
+
+pub fn render(rows: &BTreeMap<String, u64>) -> String {
+    format!("{rows:?}")
+}

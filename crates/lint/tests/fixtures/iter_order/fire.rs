@@ -1,0 +1,9 @@
+//! Fixture: hash-ordered containers in a serialization file, which the
+//! `iter-order` rule must flag when the path is policy-listed.
+//! Never compiled — parsed by `iqb-lint` in `tests/lints.rs`.
+
+use std::collections::HashMap;
+
+pub fn render(rows: &HashMap<String, u64>) -> String {
+    format!("{rows:?}")
+}

@@ -1,0 +1,8 @@
+//! Fixture: a metric-name catalog in the shape of `obs::names`.
+//! Never compiled — parsed by `iqb-lint` in `tests/lints.rs`.
+
+/// Rows accepted by ingest.
+pub const INGEST_ROWS: &str = "ingest.rows";
+
+/// Never referenced anywhere: the dead-entry check must flag it.
+pub const ORPHANED_METRIC: &str = "ingest.orphaned";

@@ -1,0 +1,9 @@
+//! Fixture: instrumentation through catalog constants, which the
+//! `metric-names` rule must accept (and which keeps the catalog's
+//! entries alive).
+//! Never compiled — parsed by `iqb-lint` in `tests/lints.rs`.
+
+pub fn record(registry: &Registry) {
+    registry.counter(names::INGEST_ROWS).add(1);
+    registry.counter(names::ORPHANED_METRIC).add(1);
+}

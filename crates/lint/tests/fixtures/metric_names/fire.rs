@@ -1,0 +1,9 @@
+//! Fixture: metric-name violations the `metric-names` rule must flag —
+//! a literal that shadows a catalog constant and a literal the catalog
+//! does not know.
+//! Never compiled — parsed by `iqb-lint` in `tests/lints.rs`.
+
+pub fn record(registry: &Registry) {
+    registry.counter("ingest.rows").add(1);
+    registry.counter("ingest.rogue").add(1);
+}

@@ -1,0 +1,7 @@
+//! Fixture: deterministic equivalent the `nondet` rule must accept —
+//! time and seed enter as data, not from ambient sources.
+//! Never compiled — parsed by `iqb-lint` in `tests/lints.rs`.
+
+pub fn stamp(elapsed_ns: u128, seed: u64) -> bool {
+    elapsed_ns > 0 && seed != 0
+}

@@ -1,0 +1,9 @@
+//! Fixture: nondeterminism sources the `nondet` rule must flag in a
+//! scoring-path crate: ambient clocks and environment reads.
+//! Never compiled — parsed by `iqb-lint` in `tests/lints.rs`.
+
+pub fn stamp() -> bool {
+    let started = std::time::Instant::now();
+    let seed = std::env::var("IQB_SEED");
+    started.elapsed().as_nanos() > 0 && seed.is_ok()
+}

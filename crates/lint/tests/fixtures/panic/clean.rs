@@ -1,0 +1,12 @@
+//! Fixture: panic-free library code (and one documented invariant) the
+//! `panic` rule must accept.
+//! Never compiled — parsed by `iqb-lint` in `tests/lints.rs`.
+
+pub fn head(values: &[u64]) -> Option<u64> {
+    values.first().copied()
+}
+
+pub fn checked_head(values: &[u64]) -> u64 {
+    // lint: allow(panic) callers validate non-empty input at the API boundary
+    *values.first().expect("non-empty")
+}

@@ -1,0 +1,13 @@
+//! Fixture: panic-surface violations the `panic` rule must flag in
+//! core library code: bare `unwrap`, bare `expect`, and an annotation
+//! with no reason (which must not suppress).
+//! Never compiled — parsed by `iqb-lint` in `tests/lints.rs`.
+
+pub fn head(values: &[u64]) -> u64 {
+    *values.first().unwrap()
+}
+
+pub fn tail(values: &[u64]) -> u64 {
+    // lint: allow(panic)
+    *values.last().expect("non-empty")
+}

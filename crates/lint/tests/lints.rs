@@ -1,0 +1,322 @@
+//! Fixture-driven integration tests for `iqb-lint`.
+//!
+//! Each lint family has a `fire.rs` fixture that must produce exactly
+//! the expected diagnostics and a `clean.rs` fixture that must produce
+//! none. The fixtures live under `tests/fixtures/`, which the workspace
+//! walker skips, so the deliberately-violating code never trips the
+//! self-lint. The last test holds the committed tree to the policy:
+//! `run_workspace` over the repo root with the checked-in `lint.toml`
+//! must come back empty.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use iqb_lint::config::AllowEntry;
+use iqb_lint::{run_files, run_workspace, Config, Diagnostic, Role, SourceFile};
+
+const FLOAT_FIRE: &str = include_str!("fixtures/float/fire.rs");
+const FLOAT_CLEAN: &str = include_str!("fixtures/float/clean.rs");
+const ITER_FIRE: &str = include_str!("fixtures/iter_order/fire.rs");
+const ITER_CLEAN: &str = include_str!("fixtures/iter_order/clean.rs");
+const NONDET_FIRE: &str = include_str!("fixtures/nondet/fire.rs");
+const NONDET_CLEAN: &str = include_str!("fixtures/nondet/clean.rs");
+const PANIC_FIRE: &str = include_str!("fixtures/panic/fire.rs");
+const PANIC_CLEAN: &str = include_str!("fixtures/panic/clean.rs");
+const CATALOG: &str = include_str!("fixtures/metric_names/catalog.rs");
+const METRIC_FIRE: &str = include_str!("fixtures/metric_names/fire.rs");
+const METRIC_CLEAN: &str = include_str!("fixtures/metric_names/clean.rs");
+const UNSAFE_FIRE: &str = include_str!("fixtures/forbid_unsafe/fire.rs");
+const UNSAFE_CLEAN: &str = include_str!("fixtures/forbid_unsafe/clean.rs");
+
+/// A policy with every list empty, so each test opts in to exactly the
+/// machinery its family needs.
+fn bare_config() -> Config {
+    Config {
+        iter_order_paths: BTreeSet::new(),
+        nondet_crates: BTreeSet::new(),
+        panic_crates: BTreeSet::new(),
+        metric_catalog: "crates/obs/src/names.rs".to_string(),
+        allows: Vec::new(),
+    }
+}
+
+fn source(path: &str, crate_key: &str, role: Role, is_crate_root: bool, text: &str) -> SourceFile {
+    SourceFile {
+        path: path.to_string(),
+        crate_key: crate_key.to_string(),
+        role,
+        is_crate_root,
+        text: text.to_string(),
+    }
+}
+
+fn lib(path: &str, crate_key: &str, text: &str) -> SourceFile {
+    source(path, crate_key, Role::Lib, false, text)
+}
+
+/// (line, rule) pairs in emitted order, for compact shape assertions.
+fn shape(diags: &[Diagnostic]) -> Vec<(u32, &'static str)> {
+    diags.iter().map(|d| (d.line, d.rule)).collect()
+}
+
+fn assert_clean(diags: Vec<Diagnostic>) {
+    assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+}
+
+#[test]
+fn float_fire_flags_partial_cmp_and_nan_laundering_min_max() {
+    let file = lib("crates/stats/src/float_fire.rs", "stats", FLOAT_FIRE);
+    let diags = run_files(&[file], &bare_config());
+    assert_eq!(
+        shape(&diags),
+        vec![(6, "float"), (7, "float"), (8, "float")]
+    );
+    assert!(diags[0].message.contains("`partial_cmp` is not total"));
+    assert!(diags[1]
+        .message
+        .contains("float `max` propagates the non-NaN operand"));
+    assert!(diags[2]
+        .message
+        .contains("float `min` propagates the non-NaN operand"));
+}
+
+#[test]
+fn float_clean_accepts_total_cmp_and_reasoned_annotation() {
+    let file = lib("crates/stats/src/float_clean.rs", "stats", FLOAT_CLEAN);
+    assert_clean(run_files(&[file], &bare_config()));
+}
+
+#[test]
+fn float_rule_exempts_test_files() {
+    let file = source(
+        "crates/stats/tests/float_fire.rs",
+        "stats",
+        Role::Test,
+        false,
+        FLOAT_FIRE,
+    );
+    assert_clean(run_files(&[file], &bare_config()));
+}
+
+#[test]
+fn float_rule_exempts_cfg_test_regions() {
+    let text = "#[cfg(test)]\nmod tests {\n    fn t(v: &mut [f64]) {\n        \
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n    }\n}\n";
+    let file = lib("crates/stats/src/inline.rs", "stats", text);
+    assert_clean(run_files(&[file], &bare_config()));
+}
+
+#[test]
+fn iter_order_fire_flags_hash_containers_in_listed_files() {
+    let mut config = bare_config();
+    config
+        .iter_order_paths
+        .insert("crates/pipeline/src/report.rs".to_string());
+    let file = lib("crates/pipeline/src/report.rs", "pipeline", ITER_FIRE);
+    let diags = run_files(&[file], &config);
+    assert_eq!(shape(&diags), vec![(5, "iter-order"), (7, "iter-order")]);
+    assert!(diags[0].message.contains("use `BTreeMap`"));
+}
+
+#[test]
+fn iter_order_only_applies_to_listed_paths() {
+    let file = lib("crates/pipeline/src/engine.rs", "pipeline", ITER_FIRE);
+    assert_clean(run_files(&[file], &bare_config()));
+}
+
+#[test]
+fn iter_order_clean_accepts_ordered_containers() {
+    let mut config = bare_config();
+    config
+        .iter_order_paths
+        .insert("crates/pipeline/src/report.rs".to_string());
+    let file = lib("crates/pipeline/src/report.rs", "pipeline", ITER_CLEAN);
+    assert_clean(run_files(&[file], &config));
+}
+
+#[test]
+fn nondet_fire_flags_clock_and_env_reads_in_scoring_crates() {
+    let mut config = bare_config();
+    config.nondet_crates.insert("stats".to_string());
+    let file = lib("crates/stats/src/nondet_fire.rs", "stats", NONDET_FIRE);
+    let diags = run_files(&[file], &config);
+    assert_eq!(shape(&diags), vec![(6, "nondet"), (7, "nondet")]);
+    assert!(diags[0].message.contains("`Instant::now()`"));
+    assert!(diags[1].message.contains("environment read"));
+}
+
+#[test]
+fn nondet_only_applies_to_listed_crates() {
+    let mut config = bare_config();
+    config.nondet_crates.insert("stats".to_string());
+    let file = lib("crates/cli/src/nondet_fire.rs", "cli", NONDET_FIRE);
+    assert_clean(run_files(&[file], &config));
+}
+
+#[test]
+fn nondet_clean_accepts_time_and_seed_as_data() {
+    let mut config = bare_config();
+    config.nondet_crates.insert("stats".to_string());
+    let file = lib("crates/stats/src/nondet_clean.rs", "stats", NONDET_CLEAN);
+    assert_clean(run_files(&[file], &config));
+}
+
+#[test]
+fn panic_fire_flags_unwrap_and_rejects_reasonless_annotation() {
+    let mut config = bare_config();
+    config.panic_crates.insert("core".to_string());
+    let file = lib("crates/core/src/panic_fire.rs", "core", PANIC_FIRE);
+    let diags = run_files(&[file], &config);
+    assert_eq!(shape(&diags), vec![(7, "panic"), (12, "panic")]);
+    assert!(diags[0].message.contains("`.unwrap(..)` in library code"));
+    // The annotation on line 11 has no reason, so it must not suppress —
+    // and the diagnostic must say why.
+    assert!(diags[1]
+        .message
+        .contains("the `lint: allow(panic)` annotation needs a reason"));
+}
+
+#[test]
+fn panic_clean_accepts_routed_errors_and_reasoned_annotation() {
+    let mut config = bare_config();
+    config.panic_crates.insert("core".to_string());
+    let file = lib("crates/core/src/panic_clean.rs", "core", PANIC_CLEAN);
+    assert_clean(run_files(&[file], &config));
+}
+
+#[test]
+fn panic_rule_exempts_non_lib_roles() {
+    let mut config = bare_config();
+    config.panic_crates.insert("core".to_string());
+    let as_bin = source(
+        "crates/core/src/main.rs",
+        "core",
+        Role::Bin,
+        true,
+        PANIC_FIRE,
+    );
+    // Only the missing forbid(unsafe_code) fires: a bin root is exempt
+    // from the panic policy but not from the attribute check.
+    assert_eq!(
+        shape(&run_files(&[as_bin], &config)),
+        vec![(1, "forbid-unsafe")]
+    );
+}
+
+#[test]
+fn panic_violation_is_suppressed_by_toml_allowlist_entry() {
+    let mut config = bare_config();
+    config.panic_crates.insert("core".to_string());
+    config.allows.push(AllowEntry {
+        rule: "panic".to_string(),
+        path: "crates/core/src/panic_fire.rs".to_string(),
+        line: Some(7),
+        reason: "fixture: exercising the allowlist".to_string(),
+    });
+    let file = lib("crates/core/src/panic_fire.rs", "core", PANIC_FIRE);
+    // Line 7 is allowlisted; line 12 still fires.
+    assert_eq!(shape(&run_files(&[file], &config)), vec![(12, "panic")]);
+}
+
+#[test]
+fn metric_names_fire_flags_literals_and_dead_catalog_entries() {
+    let config = bare_config();
+    let catalog = lib("crates/obs/src/names.rs", "obs", CATALOG);
+    let user = lib("crates/data/src/metrics_fire.rs", "data", METRIC_FIRE);
+    let diags = run_files(&[catalog, user], &config);
+    let shapes: Vec<(&str, u32)> = diags.iter().map(|d| (d.file.as_str(), d.line)).collect();
+    assert_eq!(
+        shapes,
+        vec![
+            ("crates/data/src/metrics_fire.rs", 7),
+            ("crates/data/src/metrics_fire.rs", 8),
+            ("crates/obs/src/names.rs", 5),
+            ("crates/obs/src/names.rs", 8),
+        ]
+    );
+    assert!(diags[0]
+        .message
+        .contains("use the catalog constant `names::INGEST_ROWS`"));
+    assert!(diags[1]
+        .message
+        .contains("\"ingest.rogue\" is not in the catalog"));
+    assert!(diags[2]
+        .message
+        .contains("dead catalog entry: `INGEST_ROWS`"));
+    assert!(diags[3]
+        .message
+        .contains("dead catalog entry: `ORPHANED_METRIC`"));
+}
+
+#[test]
+fn metric_names_clean_accepts_catalog_constants() {
+    let config = bare_config();
+    let catalog = lib("crates/obs/src/names.rs", "obs", CATALOG);
+    let user = lib("crates/data/src/metrics_clean.rs", "data", METRIC_CLEAN);
+    assert_clean(run_files(&[catalog, user], &config));
+}
+
+#[test]
+fn forbid_unsafe_fire_flags_crate_root_without_the_attribute() {
+    let file = source(
+        "crates/example/src/lib.rs",
+        "example",
+        Role::Lib,
+        true,
+        UNSAFE_FIRE,
+    );
+    let diags = run_files(&[file], &bare_config());
+    assert_eq!(shape(&diags), vec![(1, "forbid-unsafe")]);
+    assert!(diags[0]
+        .message
+        .contains("missing `#![forbid(unsafe_code)]`"));
+}
+
+#[test]
+fn forbid_unsafe_clean_accepts_attributed_crate_root() {
+    let file = source(
+        "crates/example/src/lib.rs",
+        "example",
+        Role::Lib,
+        true,
+        UNSAFE_CLEAN,
+    );
+    assert_clean(run_files(&[file], &bare_config()));
+}
+
+#[test]
+fn forbid_unsafe_only_applies_to_crate_roots() {
+    let file = lib("crates/example/src/helper.rs", "example", UNSAFE_FIRE);
+    assert_clean(run_files(&[file], &bare_config()));
+}
+
+#[test]
+fn diagnostics_render_rustc_style() {
+    let file = source(
+        "crates/example/src/lib.rs",
+        "example",
+        Role::Lib,
+        true,
+        UNSAFE_FIRE,
+    );
+    let diags = run_files(&[file], &bare_config());
+    let rendered = diags[0].to_string();
+    assert!(rendered.starts_with("error[iqb::forbid-unsafe]:"));
+    assert!(rendered.ends_with("--> crates/example/src/lib.rs:1"));
+}
+
+/// The committed tree must satisfy its own policy: this is the same
+/// check CI runs via `cargo run -p iqb-lint`, held as a test so a
+/// violation fails `cargo test` too.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = Config::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let diags = run_workspace(&root, &config).expect("workspace walks");
+    let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    assert!(
+        diags.is_empty(),
+        "workspace has lint violations:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # iqb-netsim — access-network simulator for the IQB reproduction
 //!
 //! The IQB paper scores regions from three real measurement datasets

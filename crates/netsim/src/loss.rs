@@ -160,7 +160,11 @@ impl LossProcess {
                 } else if rng.gen_bool(p_good_to_bad.clamp(0.0, 1.0)) {
                     self.in_bad_state = true;
                 }
-                let p = if self.in_bad_state { loss_bad } else { loss_good };
+                let p = if self.in_bad_state {
+                    loss_bad
+                } else {
+                    loss_good
+                };
                 rng.gen_bool(p.clamp(0.0, 1.0))
             }
         }
@@ -236,10 +240,7 @@ mod tests {
         ] {
             let mut process = LossProcess::new(model).unwrap();
             let rate = process.sample_loss_rate(200_000, &mut rng);
-            assert!(
-                (rate - 0.02).abs() < 0.005,
-                "{model:?} observed {rate}"
-            );
+            assert!((rate - 0.02).abs() < 0.005, "{model:?} observed {rate}");
         }
     }
 

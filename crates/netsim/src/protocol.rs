@@ -118,7 +118,7 @@ fn observed_loss_fraction<R: Rng + ?Sized>(
 ) -> Result<f64, NetsimError> {
     let mut process = LossProcess::new(link.loss)?;
     let intrinsic = process.sample_loss_rate(packets, rng);
-    Ok((intrinsic + congestion_packet_loss(cross_utilization)).min(1.0))
+    Ok((intrinsic + congestion_packet_loss(cross_utilization)).clamp(0.0, 1.0))
 }
 
 /// Congestion packet-drop fraction induced by cross traffic: negligible
@@ -155,7 +155,7 @@ fn tcp_loss_event_rate(link: &LinkSpec, cross_utilization: f64) -> f64 {
     };
     // Cross-traffic congestion drops are clustered too; treat half the
     // packet-drop rate as distinct events.
-    (intrinsic + 0.5 * congestion_packet_loss(cross_utilization)).min(1.0)
+    (intrinsic + 0.5 * congestion_packet_loss(cross_utilization)).clamp(0.0, 1.0)
 }
 
 /// M-Lab NDT-style protocol: one TCP stream, ~10 s, loaded latency.
@@ -191,7 +191,7 @@ impl SpeedTestProtocol for NdtProtocol {
         // The single stream saturates the link itself, so the RTT it
         // *reports* includes self-induced queueing on top of cross traffic.
         let self_load = 0.85_f64;
-        let effective_util = (utilization + self_load * (1.0 - utilization)).min(0.99);
+        let effective_util = (utilization + self_load * (1.0 - utilization)).clamp(0.0, 0.99);
         let loaded_rtt = link.loaded_rtt_ms(effective_util) * jitter(rng, 0.10);
 
         // Reported loss: raw packet drops over ~10 s of transfer.
@@ -213,7 +213,7 @@ impl SpeedTestProtocol for NdtProtocol {
             download_mbps: download.min(link.down_mbps),
             upload_mbps: upload.min(link.up_mbps),
             latency_ms: loaded_rtt,
-            loss_pct: (loss_down * 100.0).min(100.0),
+            loss_pct: (loss_down * 100.0).clamp(0.0, 100.0),
         };
         result.validate()?;
         Ok(result)
@@ -278,7 +278,7 @@ impl SpeedTestProtocol for OoklaProtocol {
             download_mbps: download.min(link.down_mbps),
             upload_mbps: upload.min(link.up_mbps),
             latency_ms: idle_rtt,
-            loss_pct: (loss_down * 100.0).min(100.0),
+            loss_pct: (loss_down * 100.0).clamp(0.0, 100.0),
         };
         result.validate()?;
         Ok(result)
@@ -326,7 +326,7 @@ impl SpeedTestProtocol for CloudflareProtocol {
             return Err(NetsimError::invalid("connections", "must be >= 1"));
         }
         let self_load = 0.7_f64; // short flows saturate less than bulk tests
-        let effective_util = (utilization + self_load * (1.0 - utilization)).min(0.99);
+        let effective_util = (utilization + self_load * (1.0 - utilization)).clamp(0.0, 0.99);
         let loaded_rtt = link.loaded_rtt_ms(effective_util) * jitter(rng, 0.10);
         let loss = observed_loss_fraction(link, utilization, 3000, rng)?;
         let event_rate = tcp_loss_event_rate(link, utilization);
@@ -367,8 +367,7 @@ impl SpeedTestProtocol for CloudflareProtocol {
             self.mss_bytes,
         )? * self.connections as f64;
         let top = rung_rates.len().saturating_sub(2);
-        let headline =
-            rung_rates[top..].iter().sum::<f64>() / rung_rates[top..].len() as f64;
+        let headline = rung_rates[top..].iter().sum::<f64>() / rung_rates[top..].len() as f64;
         let download = headline.min(ceiling) * jitter(rng, 0.07);
 
         // Upload: one mid-size transfer (10% of the top rung).
@@ -385,7 +384,7 @@ impl SpeedTestProtocol for CloudflareProtocol {
             download_mbps: download.min(link.down_mbps * boost_factor),
             upload_mbps: upload.min(link.up_mbps),
             latency_ms: loaded_rtt,
-            loss_pct: (loss * 100.0).min(100.0),
+            loss_pct: (loss * 100.0).clamp(0.0, 100.0),
         };
         result.validate()?;
         Ok(result)
@@ -586,7 +585,10 @@ mod tests {
         );
         // Sustained tests are unaffected: NDT measures the plan rate.
         let ndt_plain = mean_of(60, 32, |rng| {
-            NdtProtocol::default().run(&plain, 0.1, rng).unwrap().download_mbps
+            NdtProtocol::default()
+                .run(&plain, 0.1, rng)
+                .unwrap()
+                .download_mbps
         });
         let ndt_boosted = mean_of(60, 33, |rng| {
             NdtProtocol::default()

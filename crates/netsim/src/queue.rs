@@ -164,10 +164,7 @@ pub fn simulate_droptail<R: Rng + ?Sized>(
 /// infinite buffer — the reference the simulation is validated against.
 pub fn md1_mean_wait_s(service_rate_pps: f64, arrival_rate_pps: f64) -> Result<f64, NetsimError> {
     if !(service_rate_pps.is_finite() && service_rate_pps > 0.0) {
-        return Err(NetsimError::invalid(
-            "service_rate_pps",
-            "must be positive",
-        ));
+        return Err(NetsimError::invalid("service_rate_pps", "must be positive"));
     }
     let rho = arrival_rate_pps / service_rate_pps;
     if !(0.0..1.0).contains(&rho) {

@@ -73,7 +73,11 @@ impl TokenBucket {
     /// While the bucket holds tokens, bytes move at line rate (consuming
     /// tokens faster than they refill); once empty, the flow is paced at
     /// the sustained rate. Closed form of the fluid model.
-    pub fn transfer_time_s(&self, bytes: f64, line_rate_bytes_per_s: f64) -> Result<f64, NetsimError> {
+    pub fn transfer_time_s(
+        &self,
+        bytes: f64,
+        line_rate_bytes_per_s: f64,
+    ) -> Result<f64, NetsimError> {
         if !(bytes.is_finite() && bytes > 0.0) {
             return Err(NetsimError::invalid(
                 "bytes",
@@ -104,7 +108,11 @@ impl TokenBucket {
     }
 
     /// Effective throughput (bytes/s) of a `bytes`-sized transfer.
-    pub fn effective_rate(&self, bytes: f64, line_rate_bytes_per_s: f64) -> Result<f64, NetsimError> {
+    pub fn effective_rate(
+        &self,
+        bytes: f64,
+        line_rate_bytes_per_s: f64,
+    ) -> Result<f64, NetsimError> {
         Ok(bytes / self.transfer_time_s(bytes, line_rate_bytes_per_s)?)
     }
 }

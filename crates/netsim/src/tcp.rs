@@ -98,10 +98,11 @@ pub fn pftk_throughput_mbps(
     }
     let b = 2.0;
     let rtt_s = rtt_ms / 1000.0;
+    // lint: allow(float) RTO floor per RFC 6298; rtt_s is validated finite and positive
     let t_rto = (4.0 * rtt_s).max(0.2);
     let p = loss;
     let denominator = rtt_s * (2.0 * b * p / 3.0).sqrt()
-        + t_rto * (1.0_f64).min(3.0 * (3.0 * b * p / 8.0).sqrt()) * p * (1.0 + 32.0 * p * p);
+        + t_rto * (3.0 * (3.0 * b * p / 8.0).sqrt()).clamp(0.0, 1.0) * p * (1.0 + 32.0 * p * p);
     let rate_bps = mss_bytes * 8.0 / denominator;
     Ok((rate_bps / 1e6).min(capacity_mbps))
 }
@@ -146,12 +147,13 @@ pub fn short_flow_throughput_mbps(
     let rtt_s = rtt_ms / 1000.0;
     let rate_bytes_per_s = capacity_mbps * 1e6 / 8.0;
     // Segments deliverable per RTT at line rate.
+    // lint: allow(float) floor at one segment; operands validated finite and positive
     let segments_per_rtt_at_capacity = (rate_bytes_per_s * rtt_s / mss_bytes).max(1.0);
 
     let mut remaining = transfer_bytes;
     let mut cwnd = initial_cwnd;
     let mut elapsed_s = rtt_s; // connection setup: one RTT handshake
-    // Slow-start rounds: each RTT delivers cwnd segments, then doubles.
+                               // Slow-start rounds: each RTT delivers cwnd segments, then doubles.
     loop {
         if cwnd >= segments_per_rtt_at_capacity {
             // Reached line rate: remainder streams at capacity.

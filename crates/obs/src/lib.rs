@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # iqb-obs — observability for the ingest→score pipeline
 //!
 //! Before the pipeline can be scaled (sharding, parallel fan-out, new

@@ -176,7 +176,7 @@ impl HistogramSnapshot {
             return 0.0;
         }
         let q = q.clamp(0.0, 1.0);
-        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, c) in self.counts.iter().enumerate() {
             seen += c;

@@ -181,7 +181,8 @@ mod tests {
         let r = MetricsRegistry::new();
         r.counter(&names::per_source(names::INGEST_SCANNED, "csv"))
             .add(10);
-        r.counter(&names::per_source(names::INGEST_KEPT, "csv")).add(8);
+        r.counter(&names::per_source(names::INGEST_KEPT, "csv"))
+            .add(8);
         r.counter(&names::per_source(names::INGEST_QUARANTINED, "csv"))
             .add(2);
         r.counter(&names::per_source(names::INGEST_FAULT, "parse"))

@@ -55,7 +55,10 @@ pub struct Comparison {
 }
 
 /// Diffs two regional reports.
-pub fn compare(before: &RegionalReport, after: &RegionalReport) -> Result<Comparison, PipelineError> {
+pub fn compare(
+    before: &RegionalReport,
+    after: &RegionalReport,
+) -> Result<Comparison, PipelineError> {
     let rank_of = |report: &RegionalReport| -> std::collections::BTreeMap<RegionId, usize> {
         report
             .ranked()
@@ -98,11 +101,7 @@ pub fn compare(before: &RegionalReport, after: &RegionalReport) -> Result<Compar
         None
     };
 
-    deltas.sort_by(|x, y| {
-        y.delta()
-            .abs()
-            .total_cmp(&x.delta().abs())
-    });
+    deltas.sort_by(|x, y| y.delta().abs().total_cmp(&x.delta().abs()));
     Ok(Comparison {
         deltas,
         only_before,
@@ -113,9 +112,7 @@ pub fn compare(before: &RegionalReport, after: &RegionalReport) -> Result<Compar
 
 /// Renders a comparison as an aligned text table.
 pub fn render_comparison(comparison: &Comparison) -> String {
-    let mut table = TextTable::new([
-        "Region", "Before", "After", "Delta", "Grade", "Rank",
-    ]);
+    let mut table = TextTable::new(["Region", "Before", "After", "Delta", "Grade", "Rank"]);
     for d in &comparison.deltas {
         table.row([
             d.region.to_string(),
@@ -232,13 +229,22 @@ mod tests {
 
     #[test]
     fn disjoint_regions_are_reported() {
-        let before = scored(&store(&[("a", 100.0), ("b", 50.0)]), &IqbConfig::paper_default());
-        let after = scored(&store(&[("b", 50.0), ("c", 70.0)]), &IqbConfig::paper_default());
+        let before = scored(
+            &store(&[("a", 100.0), ("b", 50.0)]),
+            &IqbConfig::paper_default(),
+        );
+        let after = scored(
+            &store(&[("b", 50.0), ("c", 70.0)]),
+            &IqbConfig::paper_default(),
+        );
         let comparison = compare(&before, &after).unwrap();
         assert_eq!(comparison.deltas.len(), 1);
         assert_eq!(comparison.only_before, vec![RegionId::new("a").unwrap()]);
         assert_eq!(comparison.only_after, vec![RegionId::new("c").unwrap()]);
-        assert!(comparison.rank_correlation.is_none(), "single common region");
+        assert!(
+            comparison.rank_correlation.is_none(),
+            "single common region"
+        );
     }
 
     #[test]

@@ -17,9 +17,17 @@ use crate::table::TextTable;
 /// `config.use_cases`, requirements from [`Metric::ALL`], datasets from
 /// `config.datasets`.
 pub fn render_fig1(config: &IqbConfig) -> String {
-    let use_cases: Vec<String> = config.use_cases.iter().map(|u| u.label().to_string()).collect();
+    let use_cases: Vec<String> = config
+        .use_cases
+        .iter()
+        .map(|u| u.label().to_string())
+        .collect();
     let requirements: Vec<String> = Metric::ALL.iter().map(|m| m.label().to_string()).collect();
-    let datasets: Vec<String> = config.datasets.iter().map(|d| d.label().to_string()).collect();
+    let datasets: Vec<String> = config
+        .datasets
+        .iter()
+        .map(|d| d.label().to_string())
+        .collect();
 
     let mut out = String::new();
     out.push_str("The IQB framework: three tiers\n");
@@ -35,7 +43,9 @@ pub fn render_fig1(config: &IqbConfig) -> String {
         "  Tier 2: NETWORK REQUIREMENTS {}\n",
         requirements.join(" | ")
     ));
-    out.push_str("        ^  (thresholds for min/high quality — Fig. 2; dataset weights w_u,r,d)\n");
+    out.push_str(
+        "        ^  (thresholds for min/high quality — Fig. 2; dataset weights w_u,r,d)\n",
+    );
     out.push_str(&format!(
         "  Tier 1: DATASETS             {}\n",
         datasets.join(" | ")

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # iqb-pipeline — end-to-end IQB evaluation
 //!
 //! Orchestrates the full paper workflow: measurement records → per-region
@@ -45,7 +46,6 @@ pub mod trend;
 pub use error::PipelineError;
 pub use quality::{DataQualityReport, SourceIncident};
 pub use runner::{
-    score_all_regions, score_sources, RegionScore, RegionalReport, ScoredSources,
-    SourceRunOptions,
+    score_all_regions, score_sources, RegionScore, RegionalReport, ScoredSources, SourceRunOptions,
 };
 pub use session::ScoringSession;

@@ -142,9 +142,15 @@ mod tests {
     #[test]
     fn degraded_datasets_sorted_and_deduped() {
         let mut report = DataQualityReport::new(IngestMode::Lenient);
-        report.incidents.push(incident(DatasetId::Ookla, FaultKind::SourcePanic));
-        report.incidents.push(incident(DatasetId::Ndt, FaultKind::SourceError));
-        report.incidents.push(incident(DatasetId::Ookla, FaultKind::SourceError));
+        report
+            .incidents
+            .push(incident(DatasetId::Ookla, FaultKind::SourcePanic));
+        report
+            .incidents
+            .push(incident(DatasetId::Ndt, FaultKind::SourceError));
+        report
+            .incidents
+            .push(incident(DatasetId::Ookla, FaultKind::SourceError));
         assert!(!report.is_clean());
         assert_eq!(
             report.degraded_datasets(),
@@ -166,7 +172,9 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let mut report = DataQualityReport::new(IngestMode::Lenient);
-        report.incidents.push(incident(DatasetId::Cloudflare, FaultKind::Io));
+        report
+            .incidents
+            .push(incident(DatasetId::Cloudflare, FaultKind::Io));
         report.retry_successes = 1;
         let json = serde_json::to_string(&report).unwrap();
         let back: DataQualityReport = serde_json::from_str(&json).unwrap();

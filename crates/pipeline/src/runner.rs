@@ -142,6 +142,7 @@ where
         .into_iter()
         .zip(slots)
         .map(|(region, slot)| {
+            // lint: allow(panic) the channel protocol delivers each index exactly once
             let value = slot.expect("every fan-out index reports exactly once");
             (region, value)
         })

@@ -143,12 +143,14 @@ impl ScoringSession {
             let region_sinks = self
                 .sinks
                 .get_mut(&record.region)
+                // lint: allow(panic) entry inserted just above; avoids a key clone per record
                 .expect("region entry inserted above");
             if !region_sinks.contains_key(&record.dataset) {
                 region_sinks.insert(record.dataset.clone(), BTreeMap::new());
             }
             let cell_sinks = region_sinks
                 .get_mut(&record.dataset)
+                // lint: allow(panic) entry inserted just above; avoids a key clone per record
                 .expect("dataset entry inserted above");
             for metric in Metric::ALL {
                 let Some(value) = record.metric_value(metric) else {

@@ -49,14 +49,17 @@ fn record() -> impl Strategy<Value = TestRecord> {
         )
 }
 
-/// Corrupts the rendered CSV by appending rows the validator must
-/// quarantine: a NaN metric, an empty region, and an empty dataset
-/// token. Every fault detail here is produced identically by the serial
-/// and parallel parsers, so whole-report equality holds.
+/// Corrupts the rendered CSV by appending rows the parser must
+/// quarantine: a NaN metric, an empty region, an empty dataset token,
+/// an unparsable numeric and a wrong-arity row. The serial and
+/// parallel readers share one record parser, so whole-report equality
+/// — fault detail strings included — holds for every family.
 fn poison_csv(csv_text: &mut String) {
     csv_text.push_str("1,east,ndt,NaN,1.0,10.0,,\n");
     csv_text.push_str("2,,ndt,5.0,1.0,10.0,,\n");
     csv_text.push_str("3,east,,5.0,1.0,10.0,,\n");
+    csv_text.push_str("4,east,ndt,not-a-number,1.0,10.0,,\n");
+    csv_text.push_str("5,east,ndt,5.0,1.0\n");
 }
 
 /// The serial reference: string-typed reader into a store via `extend`.

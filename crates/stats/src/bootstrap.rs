@@ -93,11 +93,9 @@ pub fn quantile_ci(
     config: &BootstrapConfig,
 ) -> Result<ConfidenceInterval, StatsError> {
     config.validate()?;
-    statistic_ci(
-        data,
-        config,
-        |sorted| quantile_sorted(sorted, q, QuantileMethod::Linear),
-    )
+    statistic_ci(data, config, |sorted| {
+        quantile_sorted(sorted, q, QuantileMethod::Linear)
+    })
 }
 
 /// Bootstrap CI for an arbitrary statistic of a *sorted* resample.

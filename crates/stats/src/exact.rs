@@ -96,7 +96,7 @@ pub fn quantile_sorted(sorted: &[f64], q: f64, method: QuantileMethod) -> Result
         }
         QuantileMethod::NearestRank => {
             // Smallest k such that k / n >= q  =>  k = ceil(q * n), 1-based.
-            let k = (q * n as f64).ceil().max(1.0) as usize;
+            let k = ((q * n as f64).ceil() as usize).max(1);
             sorted[k - 1]
         }
         QuantileMethod::Lower => {
@@ -171,6 +171,7 @@ pub fn weighted_quantile(data: &[f64], weights: &[f64], q: f64) -> Result<f64, S
             return Ok(*v);
         }
     }
+    // lint: allow(panic) the empty-input case returned StatsError at the top
     Ok(pairs.last().expect("non-empty").0)
 }
 
@@ -202,10 +203,7 @@ mod tests {
 
     #[test]
     fn out_of_range_quantile_errors() {
-        assert_eq!(
-            quantile(&[1.0], 1.5),
-            Err(StatsError::InvalidQuantile(1.5))
-        );
+        assert_eq!(quantile(&[1.0], 1.5), Err(StatsError::InvalidQuantile(1.5)));
         assert_eq!(
             quantile(&[1.0], -0.1),
             Err(StatsError::InvalidQuantile(-0.1))

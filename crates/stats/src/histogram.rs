@@ -150,7 +150,7 @@ impl LogHistogram {
         if q == 1.0 {
             return Ok(self.observed_max);
         }
-        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
         let mut cum = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             cum += c;
@@ -250,10 +250,7 @@ mod tests {
             let exact = crate::exact::quantile(&data, q).unwrap();
             let approx = h.quantile(q).unwrap();
             let rel = (approx - exact).abs() / exact;
-            assert!(
-                rel <= 2.5 * rel_err,
-                "q={q}: {approx} vs {exact} rel {rel}"
-            );
+            assert!(rel <= 2.5 * rel_err, "q={q}: {approx} vs {exact} rel {rel}");
         }
     }
 
@@ -293,10 +290,7 @@ mod tests {
     fn merge_rejects_mismatched_layouts() {
         let mut a = LogHistogram::new(1.0, 1e4, 0.05).unwrap();
         let b = LogHistogram::new(1.0, 1e4, 0.01).unwrap();
-        assert!(matches!(
-            a.merge(&b),
-            Err(StatsError::IncompatibleMerge(_))
-        ));
+        assert!(matches!(a.merge(&b), Err(StatsError::IncompatibleMerge(_))));
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # iqb-stats — statistics substrate for the Internet Quality Barometer
 //!
 //! The IQB framework (Ohlsen et al., IMC 2025) evaluates a region's Internet

@@ -263,5 +263,4 @@ mod tests {
         zero_mean.insert(1.0).unwrap();
         assert_eq!(zero_mean.coefficient_of_variation(), None);
     }
-
 }

@@ -72,8 +72,7 @@ impl P2Quantile {
             self.heights[self.count as usize] = value;
             self.count += 1;
             if self.count == 5 {
-                self.heights
-                    .sort_by(|a, b| a.total_cmp(b));
+                self.heights.sort_by(|a, b| a.total_cmp(b));
             }
             return Ok(());
         }
@@ -151,7 +150,11 @@ impl P2Quantile {
         if self.count < 5 {
             let mut buf: Vec<f64> = self.heights[..self.count as usize].to_vec();
             buf.sort_by(|a, b| a.total_cmp(b));
-            return crate::exact::quantile_sorted(&buf, self.q, crate::exact::QuantileMethod::Linear);
+            return crate::exact::quantile_sorted(
+                &buf,
+                self.q,
+                crate::exact::QuantileMethod::Linear,
+            );
         }
         Ok(self.heights[2])
     }

@@ -48,6 +48,7 @@ impl StreamingSummary {
         self.moments.insert(value)?;
         self.digest
             .insert(value)
+            // lint: allow(panic) moments.insert already rejected non-finite values
             .expect("digest accepts any finite value");
         Ok(())
     }

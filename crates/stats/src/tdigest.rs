@@ -63,6 +63,7 @@ impl Default for TDigest {
 impl TDigest {
     /// Creates a digest with [`DEFAULT_COMPRESSION`].
     pub fn new() -> Self {
+        // lint: allow(panic) DEFAULT_COMPRESSION is a compile-time constant >= 10
         Self::with_compression(DEFAULT_COMPRESSION).expect("default compression is valid")
     }
 
@@ -106,11 +107,7 @@ impl TDigest {
         if self.is_empty() {
             None
         } else {
-            Some(
-                self.buffer
-                    .iter()
-                    .fold(self.min, |acc, &v| acc.min(v)),
-            )
+            Some(self.buffer.iter().fold(self.min, |acc, &v| acc.min(v)))
         }
     }
 
@@ -119,11 +116,7 @@ impl TDigest {
         if self.is_empty() {
             None
         } else {
-            Some(
-                self.buffer
-                    .iter()
-                    .fold(self.max, |acc, &v| acc.max(v)),
-            )
+            Some(self.buffer.iter().fold(self.max, |acc, &v| acc.max(v)))
         }
     }
 
@@ -217,7 +210,7 @@ impl TDigest {
         for &c in &all[1..] {
             let proposed_weight = current.weight + c.weight;
             let q_hi = (mass_before + proposed_weight) / total;
-            let k_hi = Self::k_scale(q_hi.min(1.0), compression);
+            let k_hi = Self::k_scale(q_hi.clamp(0.0, 1.0), compression);
             if k_hi - k_lo <= 1.0 {
                 // Budget allows: fold c into current.
                 let w = proposed_weight;
@@ -291,6 +284,7 @@ impl TDigest {
             cum += c.weight;
         }
         // target beyond the last centroid midpoint: interpolate toward max.
+        // lint: allow(panic) quantile() returned early when the digest was empty
         let last = *self.centroids.last().expect("non-empty");
         let last_mid = self.count - last.weight / 2.0;
         let frac = (target - last_mid) / (self.count - 0.5 - last_mid).max(f64::MIN_POSITIVE);
@@ -489,10 +483,7 @@ mod tests {
         for q in [0.1, 0.3, 0.5, 0.7, 0.9, 0.95] {
             let x = d.quantile(q).unwrap();
             let q_back = d.cdf(x).unwrap();
-            assert!(
-                (q_back - q).abs() < 0.02,
-                "cdf(quantile({q})) = {q_back}"
-            );
+            assert!((q_back - q).abs() < 0.02, "cdf(quantile({q})) = {q_back}");
         }
     }
 

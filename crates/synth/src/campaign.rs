@@ -18,9 +18,7 @@
 use iqb_core::dataset::DatasetId;
 use iqb_data::record::TestRecord;
 use iqb_netsim::aqm::AqmPolicy;
-use iqb_netsim::protocol::{
-    CloudflareProtocol, NdtProtocol, OoklaProtocol, SpeedTestProtocol,
-};
+use iqb_netsim::protocol::{CloudflareProtocol, NdtProtocol, OoklaProtocol, SpeedTestProtocol};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -64,10 +62,7 @@ impl CampaignConfig {
             return Err(SynthError::invalid("duration_s", "must be positive"));
         }
         if self.tests_per_dataset == 0 {
-            return Err(SynthError::invalid(
-                "tests_per_dataset",
-                "must be positive",
-            ));
+            return Err(SynthError::invalid("tests_per_dataset", "must be positive"));
         }
         if self.datasets.is_empty() {
             return Err(SynthError::invalid("datasets", "must not be empty"));
@@ -89,7 +84,10 @@ pub struct CampaignOutput {
 impl CampaignOutput {
     /// Records for one dataset.
     pub fn dataset_records(&self, dataset: &DatasetId) -> Vec<&TestRecord> {
-        self.records.iter().filter(|r| &r.dataset == dataset).collect()
+        self.records
+            .iter()
+            .filter(|r| &r.dataset == dataset)
+            .collect()
     }
 }
 
@@ -254,8 +252,16 @@ mod tests {
         let config = quick_config(40);
         let a = run_campaign(&RegionSpec::urban_fiber("east", 20), &config).unwrap();
         let b = run_campaign(&RegionSpec::urban_fiber("west", 20), &config).unwrap();
-        let downs_a: Vec<u64> = a.records.iter().map(|r| r.download_mbps.to_bits()).collect();
-        let downs_b: Vec<u64> = b.records.iter().map(|r| r.download_mbps.to_bits()).collect();
+        let downs_a: Vec<u64> = a
+            .records
+            .iter()
+            .map(|r| r.download_mbps.to_bits())
+            .collect();
+        let downs_b: Vec<u64> = b
+            .records
+            .iter()
+            .map(|r| r.download_mbps.to_bits())
+            .collect();
         assert_ne!(downs_a, downs_b);
     }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # iqb-synth — synthetic measurement-dataset generation
 //!
 //! The IQB paper consumes real NDT / Cloudflare / Ookla feeds; offline,

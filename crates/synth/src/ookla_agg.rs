@@ -39,14 +39,12 @@ pub fn aggregate_ookla_rows(
             continue;
         }
         let period = r.timestamp / period_s;
-        let acc = buckets
-            .entry((r.region.clone(), period))
-            .or_insert(Acc {
-                down: 0.0,
-                up: 0.0,
-                latency: 0.0,
-                tests: 0,
-            });
+        let acc = buckets.entry((r.region.clone(), period)).or_insert(Acc {
+            down: 0.0,
+            up: 0.0,
+            latency: 0.0,
+            tests: 0,
+        });
         acc.down += r.download_mbps;
         acc.up += r.upload_mbps;
         acc.latency += r.latency_ms;
@@ -161,7 +159,10 @@ mod tests {
             )
             .unwrap();
         assert!(input
-            .get(&DatasetId::Ookla, iqb_core::metric::Metric::DownloadThroughput)
+            .get(
+                &DatasetId::Ookla,
+                iqb_core::metric::Metric::DownloadThroughput
+            )
             .is_some());
     }
 }

@@ -36,10 +36,7 @@ impl RegionSpec {
         }
         let total: f64 = self.tech_mix.iter().map(|(_, w)| w).sum();
         if !(total > 0.0) {
-            return Err(SynthError::invalid(
-                "tech_mix",
-                "shares must sum positive",
-            ));
+            return Err(SynthError::invalid("tech_mix", "shares must sum positive"));
         }
         for &(t, w) in &self.tech_mix {
             if !(w >= 0.0 && w.is_finite()) {

@@ -79,11 +79,9 @@ impl Technology {
             Technology::SatelliteGeo => vec![(25.0, 3.0, 0.6), (100.0, 5.0, 0.4)],
             Technology::SatelliteLeo => vec![(100.0, 15.0, 0.5), (220.0, 25.0, 0.5)],
             Technology::Mobile4g => vec![(20.0, 5.0, 0.4), (50.0, 10.0, 0.4), (100.0, 20.0, 0.2)],
-            Technology::Mobile5g => vec![
-                (100.0, 20.0, 0.3),
-                (300.0, 50.0, 0.5),
-                (900.0, 100.0, 0.2),
-            ],
+            Technology::Mobile5g => {
+                vec![(100.0, 20.0, 0.3), (300.0, 50.0, 0.5), (900.0, 100.0, 0.2)]
+            }
         };
         TechProfile {
             technology: *self,
@@ -277,12 +275,8 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_per_seed() {
         let profile = Technology::Cable.profile();
-        let a = profile
-            .sample_link(&mut StdRng::seed_from_u64(42))
-            .unwrap();
-        let b = profile
-            .sample_link(&mut StdRng::seed_from_u64(42))
-            .unwrap();
+        let a = profile.sample_link(&mut StdRng::seed_from_u64(42)).unwrap();
+        let b = profile.sample_link(&mut StdRng::seed_from_u64(42)).unwrap();
         assert_eq!(a, b);
     }
 }

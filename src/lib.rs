@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # iqb — the Internet Quality Barometer, in Rust
 //!
 //! A facade crate re-exporting the full IQB workspace: a reproduction of
