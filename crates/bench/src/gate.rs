@@ -25,6 +25,11 @@ pub const ESTIMATED_BASELINE_CEILING: f64 = 10.0;
 /// backend and corpus size is a regression regardless of the baseline.
 pub const DEFAULT_RATIO_CEILING: f64 = 1.5;
 
+/// Ceiling on the current/baseline peak-RSS ratio. Only enforced when
+/// both sides carry a real measurement and the baseline is measured (not
+/// estimated); everything else is reported as advisory (`warn_only`).
+pub const DEFAULT_RSS_CEILING: f64 = 1.5;
+
 /// One benchmark cell: a scoring case run against one backend at one
 /// corpus size.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -120,6 +125,27 @@ pub struct RatioOutcome {
     pub pass: bool,
 }
 
+/// The verdict for one row's peak-RSS comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RssOutcome {
+    /// Row identity ([`BenchRow::key`]).
+    pub key: String,
+    /// Baseline peak RSS, bytes; `None` when the baseline never measured
+    /// it (e.g. written off Linux).
+    pub baseline_bytes: Option<u64>,
+    /// Current peak RSS, bytes; `None` when the current run could not
+    /// measure it or the row is missing.
+    pub current_bytes: Option<u64>,
+    /// Maximum allowed current/baseline ratio.
+    pub limit_ratio: f64,
+    /// True when the comparison cannot fail the gate: the baseline is
+    /// estimated, or either side has no measurement. The numbers are
+    /// still printed so a drift is visible before it becomes enforceable.
+    pub warn_only: bool,
+    /// Whether the row passed (always true when `warn_only`).
+    pub pass: bool,
+}
+
 /// Everything `bench_gate` prints and exits on.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GateReport {
@@ -134,15 +160,22 @@ pub struct GateReport {
     /// ratio check existed.
     #[serde(default)]
     pub ratios: Vec<RatioOutcome>,
+    /// Peak-RSS comparisons, one per baseline row. Defaults to empty for
+    /// reports written before RSS accounting existed.
+    #[serde(default)]
+    pub rss: Vec<RssOutcome>,
 }
 
 impl GateReport {
-    /// True when every baseline row was found and within its limit, and
-    /// every incremental/batch pairing stayed under the ratio ceiling.
+    /// True when every baseline row was found and within its limit,
+    /// every incremental/batch pairing stayed under the ratio ceiling,
+    /// and every enforceable peak-RSS comparison stayed under its
+    /// ceiling (advisory `warn_only` entries never fail).
     pub fn passed(&self) -> bool {
         !self.outcomes.is_empty()
             && self.outcomes.iter().all(|o| o.pass)
             && self.ratios.iter().all(|r| r.pass)
+            && self.rss.iter().all(|r| r.pass)
     }
 
     /// Human-readable verdict table for CI logs.
@@ -191,6 +224,34 @@ impl GateReport {
                 r.limit_ratio
             ));
         }
+        for r in &self.rss {
+            let label = if !r.pass {
+                "FAIL"
+            } else if r.warn_only {
+                "warn"
+            } else {
+                "ok"
+            };
+            match (r.baseline_bytes, r.current_bytes) {
+                (Some(base), Some(current)) => {
+                    let mib = |b: u64| b as f64 / (1u64 << 20) as f64;
+                    out.push_str(&format!(
+                        "  [{label}] rss {}: {:.1}MiB -> {:.1}MiB ({:.2}x, limit {:.2}x{})\n",
+                        r.key,
+                        mib(base),
+                        mib(current),
+                        current as f64 / base as f64,
+                        r.limit_ratio,
+                        if r.warn_only { ", advisory" } else { "" }
+                    ));
+                }
+                (base, _) => out.push_str(&format!(
+                    "  [{label}] rss {}: not measured on the {} side (advisory)\n",
+                    r.key,
+                    if base.is_none() { "baseline" } else { "current" }
+                )),
+            }
+        }
         out.push_str(if self.passed() {
             "bench gate: PASS\n"
         } else {
@@ -210,6 +271,11 @@ impl GateReport {
 /// with a `batch` twin (same backend, same corpus size) must stay under
 /// `ratio_ceiling` times the twin's median — the absolute incrementality
 /// contract, enforced even while the baseline is estimated.
+///
+/// Peak RSS is compared per baseline row against
+/// [`DEFAULT_RSS_CEILING`]: enforced only when both sides carry a real
+/// measurement and the baseline is measured; otherwise reported as
+/// advisory.
 pub fn gate_bench(
     baseline: &BenchDoc,
     current: &BenchDoc,
@@ -262,11 +328,38 @@ pub fn gate_bench(
             })
         })
         .collect();
+    let rss = baseline
+        .rows
+        .iter()
+        .map(|base| {
+            let current_bytes = current
+                .rows
+                .iter()
+                .find(|r| r.key() == base.key())
+                .and_then(|r| r.peak_rss_bytes);
+            let warn_only =
+                baseline.estimated || base.peak_rss_bytes.is_none() || current_bytes.is_none();
+            let pass = warn_only
+                || match (base.peak_rss_bytes, current_bytes) {
+                    (Some(b), Some(c)) => c as f64 <= b as f64 * DEFAULT_RSS_CEILING,
+                    _ => true,
+                };
+            RssOutcome {
+                key: base.key(),
+                baseline_bytes: base.peak_rss_bytes,
+                current_bytes,
+                limit_ratio: DEFAULT_RSS_CEILING,
+                warn_only,
+                pass,
+            }
+        })
+        .collect();
     GateReport {
         tolerance,
         estimated_baseline: baseline.estimated,
         outcomes,
         ratios,
+        rss,
     }
 }
 
@@ -418,6 +511,65 @@ mod tests {
         let report = gate_bench(&base, &current, 0.25, DEFAULT_RATIO_CEILING);
         assert!(report.ratios.is_empty());
         assert!(report.passed());
+    }
+
+    #[test]
+    fn rss_within_ceiling_passes_and_blowup_fails() {
+        let base = doc(false, vec![row("batch", "exact", 100.0)]);
+        // Same wall time, 1.4x the memory: inside the ceiling.
+        let mut within = row("batch", "exact", 100.0);
+        within.peak_rss_bytes = Some((64 << 20) * 14 / 10);
+        let report = gate_bench(
+            &base,
+            &doc(false, vec![within]),
+            0.25,
+            DEFAULT_RATIO_CEILING,
+        );
+        assert_eq!(report.rss.len(), 1);
+        assert!(!report.rss[0].warn_only);
+        assert!(report.passed(), "{}", report.render());
+        // 2x the memory on a measured baseline: fails even though wall
+        // time is identical.
+        let mut blown = row("batch", "exact", 100.0);
+        blown.peak_rss_bytes = Some(128 << 20);
+        let report = gate_bench(&base, &doc(false, vec![blown]), 0.25, DEFAULT_RATIO_CEILING);
+        assert!(!report.rss[0].pass);
+        assert!(!report.passed());
+        assert!(report.render().contains("rss"), "{}", report.render());
+    }
+
+    #[test]
+    fn rss_is_advisory_when_estimated_or_unmeasured() {
+        // Estimated baseline: a 10x RSS blowup warns but cannot fail.
+        let base = doc(true, vec![row("batch", "exact", 10.0)]);
+        let mut huge = row("batch", "exact", 50.0);
+        huge.peak_rss_bytes = Some(640 << 20);
+        let report = gate_bench(&base, &doc(false, vec![huge]), 0.25, DEFAULT_RATIO_CEILING);
+        assert!(report.rss[0].warn_only && report.rss[0].pass);
+        assert!(report.passed());
+        assert!(report.render().contains("advisory"), "{}", report.render());
+        // Unmeasured current side (off-Linux run): advisory, not a fail.
+        let base = doc(false, vec![row("batch", "exact", 100.0)]);
+        let mut unmeasured = row("batch", "exact", 100.0);
+        unmeasured.peak_rss_bytes = None;
+        let report = gate_bench(
+            &base,
+            &doc(false, vec![unmeasured]),
+            0.25,
+            DEFAULT_RATIO_CEILING,
+        );
+        assert!(report.rss[0].warn_only && report.rss[0].pass);
+        assert!(report.passed());
+        assert!(report.render().contains("not measured"), "{}", report.render());
+    }
+
+    #[test]
+    fn gate_report_without_rss_field_deserializes() {
+        // Reports archived before RSS accounting existed parse with an
+        // empty advisory list.
+        let json = r#"{"tolerance":0.25,"estimated_baseline":false,"outcomes":[]}"#;
+        let report: GateReport = serde_json::from_str(json).unwrap();
+        assert!(report.rss.is_empty());
     }
 
     #[test]

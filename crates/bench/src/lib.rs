@@ -85,14 +85,12 @@ pub fn build_store(
 /// Parses an `IQB_AGG_BACKEND`-style backend choice. `None` (variable
 /// unset) selects the default exact backend; anything else must name a
 /// valid backend. Pure so the rejection paths are unit-testable without
-/// racing on process environment.
+/// racing on process environment. Precedence and error wording are
+/// delegated to [`iqb_data::aggregate::resolve_backend`], the one place
+/// backend selection is defined, so the CLI and the bench harness can
+/// never drift apart.
 pub fn parse_backend_choice(raw: Option<&str>) -> Result<AggregatorBackend, String> {
-    match raw {
-        None => Ok(AggregatorBackend::Exact),
-        Some(text) => text
-            .parse()
-            .map_err(|e| format!("IQB_AGG_BACKEND: {e}; valid backends are exact, tdigest, p2")),
-    }
+    iqb_data::aggregate::resolve_backend(None, raw).map_err(|e| e.to_string())
 }
 
 /// Reads `IQB_AGG_BACKEND` from the environment without exiting.
@@ -103,8 +101,7 @@ pub fn try_agg_backend_from_env() -> Result<AggregatorBackend, String> {
         Ok(raw) => parse_backend_choice(Some(&raw)),
         Err(std::env::VarError::NotPresent) => parse_backend_choice(None),
         Err(std::env::VarError::NotUnicode(_)) => Err(
-            "IQB_AGG_BACKEND: value is not valid unicode; valid backends are exact, tdigest, p2"
-                .to_string(),
+            "IQB_AGG_BACKEND: value is not valid unicode (expected exact|tdigest|p2)".to_string(),
         ),
     }
 }
@@ -191,7 +188,8 @@ mod tests {
     fn backend_choice_rejects_garbage_naming_the_valid_backends() {
         let err = parse_backend_choice(Some("magic")).unwrap_err();
         assert!(err.contains("magic"), "{err}");
-        assert!(err.contains("exact, tdigest, p2"), "{err}");
+        assert!(err.contains("IQB_AGG_BACKEND"), "{err}");
+        assert!(err.contains("exact|tdigest|p2"), "{err}");
         // The empty string is not the same as an unset variable.
         assert!(parse_backend_choice(Some("")).is_err());
     }

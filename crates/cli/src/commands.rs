@@ -238,7 +238,7 @@ fn read_store_arg(
 /// owned records (the `--clean` path needs them as a `Vec`). Lenient
 /// mode prints the data-quality ledger to stderr when anything was
 /// quarantined, so a degraded load is never silent.
-fn read_records_arg(
+pub(crate) fn read_records_arg(
     args: &ParsedArgs,
     key: &str,
 ) -> Result<Vec<TestRecord>, Box<dyn std::error::Error>> {
@@ -277,7 +277,7 @@ fn load_store(args: &ParsedArgs) -> Result<MeasurementStore, Box<dyn std::error:
 ///
 /// `--profile <name>` selects a named profile; explicit `--level`/`--mode`
 /// flags then override its corresponding setting.
-fn build_config(args: &ParsedArgs) -> Result<IqbConfig, Box<dyn std::error::Error>> {
+pub(crate) fn build_config(args: &ParsedArgs) -> Result<IqbConfig, Box<dyn std::error::Error>> {
     if let Some(name) = args.get("profile") {
         let mut config = profiles::by_name(name)?;
         if let Some(level) = args.get("level") {
@@ -312,17 +312,39 @@ fn build_config(args: &ParsedArgs) -> Result<IqbConfig, Box<dyn std::error::Erro
         .build()?)
 }
 
-/// Shared aggregation-spec builder from `--quantile` and `--agg-backend`.
+/// Environment variable consulted when `--agg-backend` is absent.
+pub(crate) const ENV_AGG_BACKEND: &str = "IQB_AGG_BACKEND";
+
+/// Shared aggregation-spec builder from `--quantile`, `--agg-backend`
+/// and the `IQB_AGG_BACKEND` environment variable.
 ///
-/// `--agg-backend exact|tdigest|p2` selects the streaming quantile engine
-/// (default: exact, which reproduces the paper's batch aggregation
-/// bit-for-bit).
-fn build_spec(args: &ParsedArgs) -> Result<AggregationSpec, Box<dyn std::error::Error>> {
+/// Backend precedence is resolved in exactly one place
+/// ([`iqb_data::aggregate::resolve_backend`]): the flag wins, the
+/// environment is consulted second, and the default is `exact` — which
+/// reproduces the paper's batch aggregation bit-for-bit.
+pub(crate) fn build_spec(args: &ParsedArgs) -> Result<AggregationSpec, Box<dyn std::error::Error>> {
+    let env = match std::env::var(ENV_AGG_BACKEND) {
+        Ok(value) => Some(value),
+        Err(std::env::VarError::NotPresent) => None,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            return Err(usage(format!(
+                "{ENV_AGG_BACKEND}: value is not valid unicode (expected exact|tdigest|p2)"
+            )))
+        }
+    };
+    build_spec_with_env(args, env.as_deref())
+}
+
+/// [`build_spec`] with the environment injected, so precedence is a unit
+/// test instead of a process-global experiment.
+fn build_spec_with_env(
+    args: &ParsedArgs,
+    env: Option<&str>,
+) -> Result<AggregationSpec, Box<dyn std::error::Error>> {
     let quantile: f64 = args.get_parsed_or("quantile", 0.95)?;
-    let backend: AggregatorBackend = args
-        .get_or("agg-backend", "exact")
-        .parse()
-        .map_err(|e: iqb_data::DataError| usage(e.to_string()))?;
+    let backend: AggregatorBackend =
+        iqb_data::aggregate::resolve_backend(args.get("agg-backend"), env)
+            .map_err(|e| usage(e.to_string()))?;
     let spec = AggregationSpec::uniform_quantile(quantile)?.with_backend(backend);
     spec.validate()?;
     Ok(spec)
@@ -501,6 +523,28 @@ mod tests {
             "1.0"
         ])?)
         .is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn backend_env_yields_to_the_flag() -> CliResult {
+        // Environment alone selects the backend…
+        let s = build_spec_with_env(&parsed(&["score"])?, Some("p2"))?;
+        assert_eq!(s.backend, AggregatorBackend::P2);
+        // …but an explicit flag always wins…
+        let s = build_spec_with_env(&parsed(&["score", "--agg-backend", "tdigest"])?, Some("p2"))?;
+        assert_eq!(s.backend, AggregatorBackend::tdigest_default());
+        // …including over an unparseable environment value.
+        let s = build_spec_with_env(&parsed(&["score", "--agg-backend", "exact"])?, Some("junk"))?;
+        assert_eq!(s.backend, AggregatorBackend::Exact);
+        // Errors name their source and list the valid backends.
+        let err = build_spec_with_env(&parsed(&["score"])?, Some("junk")).unwrap_err();
+        assert!(err.to_string().contains(ENV_AGG_BACKEND), "{err}");
+        assert!(err.to_string().contains("exact|tdigest|p2"), "{err}");
+        let err =
+            build_spec_with_env(&parsed(&["score", "--agg-backend", "junk"])?, None).unwrap_err();
+        assert!(err.to_string().contains("--agg-backend"), "{err}");
+        assert!(err.to_string().contains("exact|tdigest|p2"), "{err}");
         Ok(())
     }
 

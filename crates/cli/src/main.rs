@@ -9,12 +9,15 @@
 //! iqb score --input <file.csv>               score every region in a CSV
 //! iqb trend --input <file.csv> --region <r>  windowed score trend
 //! iqb whatif --input <file.csv> --region <r> rank candidate improvements
+//! iqb serve [--addr <host:port>]             boot the scoring daemon
+//! iqb client <verb> [--addr <host:port>]     drive a running daemon
 //! ```
 //!
 //! Run `iqb help` (or any subcommand with missing options) for details.
 
 mod args;
 mod commands;
+mod serve_cmd;
 
 use std::io::Write;
 
@@ -41,7 +44,9 @@ COMMANDS:
         --profile <name>              Named config profile (paper-default, minimum-access,
                                       realtime, streaming-household, graded)
         --quantile <q>                Aggregation quantile (default 0.95, the paper's)
-        --agg-backend <exact|tdigest|p2>  Streaming quantile engine (default exact)
+        --agg-backend <exact|tdigest|p2>  Streaming quantile engine (default exact;
+                                      the IQB_AGG_BACKEND env var applies when the
+                                      flag is absent)
         --level <high|min>            Quality level (default high)
         --mode <binary|graded>        Cell scoring mode (default binary)
         --ingest-mode <strict|lenient>  strict (default) aborts on the first bad
@@ -72,6 +77,26 @@ COMMANDS:
         --region <name>               Region id (required)
         --ingest-mode <strict|lenient>  Fault handling (default strict)
         --metrics / --metrics-out / --trace   As for `score`
+    serve                             Boot the scoring daemon (newline-delimited
+                                      JSON over TCP; graceful stop is the
+                                      `shutdown` request)
+        --addr <host:port>            Bind address (default 127.0.0.1:7311;
+                                      port 0 picks a free port)
+        --shards <n>                  Region shards (default 4)
+        --workers <n>                 Connection worker threads (default 4)
+        --debounce <n>                Submits a shard absorbs before
+                                      republishing its snapshot (default 1)
+        --profile / --level / --mode / --quantile / --agg-backend   As for `score`
+    client <verb>                     Send one request to a running daemon and
+                                      print the raw response line
+        <verb>                        submit|score|trend|whatif|snapshot|
+                                      reload-config|health|metrics|shutdown
+        --addr <host:port>            Daemon address (default 127.0.0.1:7311)
+        --input <file.csv>            submit: records to send (required)
+        --ingest-mode <strict|lenient>  submit: fault handling (default strict)
+        --region <name>               score (optional); trend/whatif (required)
+        --window-s <n>                trend: window width in seconds (default 3600)
+        --profile / --quantile / --agg-backend   reload-config: what to change
     help                              Show this message
 ";
 
@@ -102,6 +127,8 @@ fn run(raw: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std
         Some("compare") => commands::compare(&parsed, out),
         Some("trend") => commands::trend(&parsed, out),
         Some("whatif") => commands::whatif(&parsed, out),
+        Some("serve") => serve_cmd::serve(&parsed, out),
+        Some("client") => serve_cmd::client(&parsed, out),
         Some(other) => Err(Box::new(UsageError(format!("unknown command `{other}`")))),
     }
 }

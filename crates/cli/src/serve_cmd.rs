@@ -1,0 +1,264 @@
+//! `iqb serve` and `iqb client` — the daemon and its wire driver.
+//!
+//! `serve` boots the snapshot-isolated scoring daemon on a TCP address
+//! and blocks until a `shutdown` request drains it. `client` sends one
+//! request to a running daemon and prints the raw response line — which
+//! is what the integration goldens diff, so the client adds no framing
+//! of its own around the payload.
+
+use std::io::Write;
+
+use iqb_serve::proto::DEFAULT_TREND_WINDOW_S;
+use iqb_serve::{Client, Request, ServeOptions, Server};
+
+use crate::args::{ParsedArgs, UsageError};
+use crate::commands::{build_config, build_spec, read_records_arg};
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn usage(message: impl Into<String>) -> Box<dyn std::error::Error> {
+    Box::new(UsageError(message.into()))
+}
+
+/// A positive `--<key> <n>` option with a default.
+fn positive(args: &ParsedArgs, key: &str, default: usize) -> Result<usize, Box<dyn std::error::Error>> {
+    let value: usize = args.get_parsed_or(key, default)?;
+    if value == 0 {
+        return Err(usage(format!("--{key} must be positive")));
+    }
+    Ok(value)
+}
+
+/// `iqb serve [--addr <host:port>] [--shards <n>] [--workers <n>]
+/// [--debounce <n>] [config options]`
+///
+/// Prints one `iqb serve: listening on <addr>` line (flushed, so
+/// orchestrators reading a pipe see it before the first connection),
+/// then blocks until a `shutdown` request drains the daemon.
+pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
+    let options = ServeOptions {
+        addr: args.get_or("addr", "127.0.0.1:7311").to_string(),
+        shards: positive(args, "shards", 4)?,
+        workers: positive(args, "workers", 4)?,
+        debounce_submits: positive(args, "debounce", 1)?,
+    };
+    let config = build_config(args)?;
+    let spec = build_spec(args)?;
+    let server = Server::bind(&options, config, spec)?;
+    writeln!(out, "iqb serve: listening on {}", server.local_addr())?;
+    out.flush()?;
+    server.run()?;
+    writeln!(out, "iqb serve: drained and stopped")?;
+    Ok(())
+}
+
+/// `iqb client <verb> [--addr <host:port>] [verb options]`
+pub fn client(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
+    let verb = args.positional(1).ok_or_else(|| {
+        usage(
+            "client needs a request verb \
+             (submit|score|trend|whatif|snapshot|reload-config|health|metrics|shutdown)",
+        )
+    })?;
+    let request = build_request(verb, args)?;
+    let mut client = Client::connect(args.get_or("addr", "127.0.0.1:7311"))?;
+    writeln!(out, "{}", client.request_raw(&request)?)?;
+    Ok(())
+}
+
+/// Builds the wire request for one client verb.
+fn build_request(verb: &str, args: &ParsedArgs) -> Result<Request, Box<dyn std::error::Error>> {
+    match verb {
+        "submit" => {
+            // The local CSV read honors --ingest-mode exactly like the
+            // batch commands; the mode is forwarded so the daemon applies
+            // the same policy to records arriving on the wire.
+            let records = read_records_arg(args, "input")?;
+            let records = records
+                .iter()
+                .map(serde_json::to_value)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Submit {
+                mode: args.get("ingest-mode").map(str::to_string),
+                records,
+            })
+        }
+        "score" => Ok(Request::Score {
+            region: args.get("region").map(str::to_string),
+        }),
+        "trend" => Ok(Request::Trend {
+            region: args.require("region")?.to_string(),
+            window_s: args.get_parsed_or("window-s", DEFAULT_TREND_WINDOW_S)?,
+        }),
+        "whatif" => Ok(Request::Whatif {
+            region: args.require("region")?.to_string(),
+        }),
+        "snapshot" => Ok(Request::Snapshot),
+        "reload-config" => {
+            let quantile = match args.get("quantile") {
+                Some(raw) => Some(raw.parse::<f64>().map_err(|_| {
+                    usage(format!("option --quantile expects a number, got `{raw}`"))
+                })?),
+                None => None,
+            };
+            Ok(Request::ReloadConfig {
+                profile: args.get("profile").map(str::to_string),
+                quantile,
+                agg_backend: args.get("agg-backend").map(str::to_string),
+            })
+        }
+        "health" => Ok(Request::Health),
+        "metrics" => Ok(Request::Metrics),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(usage(format!("unknown client verb `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    fn parsed(args: &[&str]) -> Result<ParsedArgs, UsageError> {
+        ParsedArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn build_request_covers_every_verb() -> CliResult {
+        assert_eq!(
+            build_request("score", &parsed(&["client", "score"])?)?,
+            Request::Score { region: None }
+        );
+        assert_eq!(
+            build_request("score", &parsed(&["client", "score", "--region", "metro"])?)?,
+            Request::Score {
+                region: Some("metro".into())
+            }
+        );
+        assert_eq!(
+            build_request("trend", &parsed(&["client", "trend", "--region", "metro"])?)?,
+            Request::Trend {
+                region: "metro".into(),
+                window_s: DEFAULT_TREND_WINDOW_S,
+            }
+        );
+        assert!(build_request("trend", &parsed(&["client", "trend"])?).is_err());
+        assert!(build_request("whatif", &parsed(&["client", "whatif"])?).is_err());
+        assert_eq!(build_request("snapshot", &parsed(&["client", "snapshot"])?)?, Request::Snapshot);
+        assert_eq!(
+            build_request(
+                "reload-config",
+                &parsed(&["client", "reload-config", "--profile", "graded", "--quantile", "0.9"])?
+            )?,
+            Request::ReloadConfig {
+                profile: Some("graded".into()),
+                quantile: Some(0.9),
+                agg_backend: None,
+            }
+        );
+        assert!(build_request(
+            "reload-config",
+            &parsed(&["client", "reload-config", "--quantile", "often"])?
+        )
+        .is_err());
+        assert_eq!(build_request("health", &parsed(&["client", "health"])?)?, Request::Health);
+        assert_eq!(build_request("metrics", &parsed(&["client", "metrics"])?)?, Request::Metrics);
+        assert_eq!(build_request("shutdown", &parsed(&["client", "shutdown"])?)?, Request::Shutdown);
+        let err = build_request("dance", &parsed(&["client", "dance"])?).unwrap_err();
+        assert!(err.to_string().contains("dance"));
+        Ok(())
+    }
+
+    #[test]
+    fn client_requires_a_verb_and_serve_rejects_zero_knobs() -> CliResult {
+        let err = client(&parsed(&["client"])?, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("verb"));
+        let err = serve(&parsed(&["serve", "--shards", "0"])?, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("--shards"));
+        let err = serve(&parsed(&["serve", "--workers", "0"])?, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("--workers"));
+        Ok(())
+    }
+
+    /// A `Write` whose buffer a test can watch from another thread —
+    /// stands in for the daemon's stdout pipe.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8_lossy(&self.0.lock().unwrap_or_else(|p| p.into_inner())).into_owned()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn serve_and_client_round_trip() -> CliResult {
+        let dir = std::env::temp_dir().join("iqb-cli-serve-test");
+        std::fs::create_dir_all(&dir)?;
+        let input = dir.join("records.csv");
+        let mut csv = String::from(
+            "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n",
+        );
+        for i in 0..12 {
+            csv.push_str(&format!("{},metro,ndt,90.0,20.0,25.0,0.1,\n", i * 60));
+            csv.push_str(&format!("{},rural,ookla,12.0,2.0,80.0,,\n", i * 60));
+        }
+        std::fs::write(&input, csv)?;
+        let input_str = input.to_str().ok_or("temp path is not UTF-8")?.to_string();
+
+        let serve_args = parsed(&["serve", "--addr", "127.0.0.1:0", "--shards", "2"])?;
+        let serve_out = SharedBuf::default();
+        let mut thread_out = serve_out.clone();
+        let handle = std::thread::spawn(move || {
+            serve(&serve_args, &mut thread_out).map_err(|e| e.to_string())
+        });
+
+        // The listening line is printed (and flushed) before serving.
+        let addr = loop {
+            let text = serve_out.contents();
+            if let Some(rest) = text.strip_prefix("iqb serve: listening on ") {
+                if let Some(addr) = rest.lines().next() {
+                    break addr.to_string();
+                }
+            }
+            if handle.is_finished() {
+                return Err(format!("daemon exited early: {text}").into());
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let run = |argv: &[&str]| -> Result<String, Box<dyn std::error::Error>> {
+            let mut out = Vec::new();
+            client(&parsed(argv)?, &mut out)?;
+            Ok(String::from_utf8(out)?)
+        };
+        let submitted = run(&["client", "submit", "--addr", &addr, "--input", &input_str])?;
+        assert!(submitted.contains(r#""type":"submitted""#), "{submitted}");
+        assert!(submitted.contains(r#""ingested":24"#), "{submitted}");
+        let report = run(&["client", "score", "--addr", &addr])?;
+        assert!(report.contains(r#""type":"report""#), "{report}");
+        assert!(report.contains("metro") && report.contains("rural"), "{report}");
+        let health = run(&["client", "health", "--addr", &addr])?;
+        assert!(health.contains(r#""records":24"#), "{health}");
+        let bye = run(&["client", "shutdown", "--addr", &addr])?;
+        assert_eq!(bye.trim_end(), r#"{"type":"shutting-down"}"#);
+
+        handle.join().map_err(|_| "serve thread panicked")??;
+        assert!(serve_out.contents().contains("drained and stopped"));
+        std::fs::remove_file(&input).ok();
+        Ok(())
+    }
+}

@@ -101,6 +101,32 @@ impl std::str::FromStr for AggregatorBackend {
     }
 }
 
+/// Resolves the aggregation backend from its two configuration surfaces
+/// with a single, fixed precedence: the `--agg-backend` CLI flag wins,
+/// the `IQB_AGG_BACKEND` environment variable is second, and the default
+/// is [`AggregatorBackend::Exact`].
+///
+/// This is *the* one place the precedence lives — the CLI and the bench
+/// harness both delegate here. Callers read the environment themselves
+/// (this crate is determinism-linted and may not); the function stays
+/// pure so both paths are unit-testable. Errors name the surface the bad
+/// value came from and list the valid backends.
+pub fn resolve_backend(
+    flag: Option<&str>,
+    env: Option<&str>,
+) -> Result<AggregatorBackend, DataError> {
+    let (source, raw) = match (flag, env) {
+        (Some(raw), _) => ("--agg-backend", raw),
+        (None, Some(raw)) => ("IQB_AGG_BACKEND", raw),
+        (None, None) => return Ok(AggregatorBackend::Exact),
+    };
+    raw.parse().map_err(|_| {
+        DataError::InvalidAggregation(format!(
+            "{source}: unknown aggregation backend `{raw}` (expected exact|tdigest|p2)"
+        ))
+    })
+}
+
 /// One cell's streaming state: the backend-selected estimator behind the
 /// [`QuantileSink`] contract.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -358,6 +384,36 @@ pub fn aggregate_region_filtered(
 mod tests {
     use super::*;
     use crate::record::TestRecord;
+
+    /// Precedence contract: flag > env > default, with errors that name
+    /// the offending surface *and* list the valid backends on both
+    /// paths.
+    #[test]
+    fn resolve_backend_precedence_and_errors() {
+        assert_eq!(resolve_backend(None, None).unwrap(), AggregatorBackend::Exact);
+        assert_eq!(
+            resolve_backend(None, Some("p2")).unwrap(),
+            AggregatorBackend::P2
+        );
+        // The flag wins even when the environment is set (and even when
+        // the environment value is garbage — it is never parsed).
+        assert_eq!(
+            resolve_backend(Some("tdigest"), Some("p2")).unwrap(),
+            AggregatorBackend::tdigest_default()
+        );
+        assert_eq!(
+            resolve_backend(Some("exact"), Some("not-a-backend")).unwrap(),
+            AggregatorBackend::Exact
+        );
+
+        let flag_err = resolve_backend(Some("magic"), None).unwrap_err().to_string();
+        assert!(flag_err.contains("--agg-backend"), "{flag_err}");
+        assert!(flag_err.contains("exact|tdigest|p2"), "{flag_err}");
+
+        let env_err = resolve_backend(None, Some("magic")).unwrap_err().to_string();
+        assert!(env_err.contains("IQB_AGG_BACKEND"), "{env_err}");
+        assert!(env_err.contains("exact|tdigest|p2"), "{env_err}");
+    }
 
     fn push_tests(store: &mut MeasurementStore, region: &RegionId, dataset: DatasetId, n: usize) {
         for i in 0..n {

@@ -64,18 +64,7 @@ pub fn read_jsonl_mode<R: Read>(
                 DataError::InvalidRecord(format!("line {line_no}: invalid UTF-8: {e}")),
             )),
             Ok(text) if text.trim().is_empty() => continue,
-            Ok(text) => {
-                match serde_json::from_str::<TestRecord>(text.trim_end_matches(['\n', '\r'])) {
-                    Err(e) => Err((
-                        FaultKind::Parse,
-                        DataError::InvalidRecord(format!("line {line_no}: {e}")),
-                    )),
-                    Ok(record) => match record.validate() {
-                        Ok(()) => Ok(record),
-                        Err(e) => Err((FaultKind::classify(&e), e)),
-                    },
-                }
-            }
+            Ok(text) => classify_json_line(text, line_no),
         };
         report.scanned += 1;
         match parsed {
@@ -93,6 +82,60 @@ pub fn read_jsonl_mode<R: Read>(
         }
     }
     report.mirror_to(iqb_obs::global(), "jsonl");
+    Ok((out, report))
+}
+
+/// The shared per-line classifier: parse-vs-validation faults for one
+/// JSONL text line. `line_no` is 1-based and feeds only the error
+/// detail. Both the batch file reader and the daemon wire path route
+/// through here, so the two ingest surfaces classify — and therefore
+/// quarantine — identically.
+fn classify_json_line(text: &str, line_no: usize) -> Result<TestRecord, (FaultKind, DataError)> {
+    match serde_json::from_str::<TestRecord>(text.trim_end_matches(['\n', '\r'])) {
+        Err(e) => Err((
+            FaultKind::Parse,
+            DataError::InvalidRecord(format!("line {line_no}: {e}")),
+        )),
+        Ok(record) => match record.validate() {
+            Ok(()) => Ok(record),
+            Err(e) => Err((FaultKind::classify(&e), e)),
+        },
+    }
+}
+
+/// Decodes already-parsed JSON values — the daemon's `submit` payload —
+/// through the same per-line classifier as [`read_jsonl_mode`].
+///
+/// Each value is re-serialized to a single canonical JSON line before
+/// classification, so wire ingest quarantines byte-for-byte like batch
+/// ingest of the equivalent JSONL file. `label` names the source in
+/// quarantine entries and obs mirroring (the daemon passes `"serve"`).
+pub fn decode_json_values(
+    values: &[serde_json::Value],
+    mode: IngestMode,
+    label: &str,
+) -> Result<(Vec<TestRecord>, QuarantineReport), DataError> {
+    let mut out = Vec::new();
+    let mut report = QuarantineReport::new();
+    for (index, value) in values.iter().enumerate() {
+        let line_no = index + 1;
+        let text = serde_json::to_string(value)?;
+        report.scanned += 1;
+        match classify_json_line(&text, line_no) {
+            Ok(record) => {
+                report.kept += 1;
+                out.push(record);
+            }
+            Err((_, e)) if mode == IngestMode::Strict => return Err(e),
+            Err((kind, e)) => report.record(Quarantined {
+                source: label.to_string(),
+                line: Some(line_no),
+                kind,
+                detail: e.to_string(),
+            }),
+        }
+    }
+    report.mirror_to(iqb_obs::global(), label);
     Ok((out, report))
 }
 
@@ -220,5 +263,42 @@ mod tests {
     fn strict_mode_aborts_on_invalid_utf8() {
         let bytes = [0xFF, 0xFE, 0x80, b'\n'];
         assert!(read_jsonl_mode(&bytes[..], IngestMode::Strict).is_err());
+    }
+
+    /// The daemon wire path and the batch file path must account
+    /// identically for the same payload: same kept records, same fault
+    /// kinds, same per-line details — only the source label differs.
+    #[test]
+    fn wire_decode_matches_jsonl_accounting() {
+        let mut values: Vec<serde_json::Value> = records()
+            .iter()
+            .map(|r| serde_json::to_value(r).unwrap())
+            .collect();
+        values.push(serde_json::json!({"unexpected": true}));
+        let mut poisoned = serde_json::to_value(&records()[0]).unwrap();
+        poisoned["latency_ms"] = serde_json::json!(-1.0);
+        values.push(poisoned);
+
+        // The equivalent JSONL file: one canonical line per value.
+        let text: String = values.iter().map(|v| format!("{v}\n")).collect();
+        let (file_records, file_report) =
+            read_jsonl_mode(text.as_bytes(), IngestMode::Lenient).unwrap();
+        let (wire_records, wire_report) =
+            decode_json_values(&values, IngestMode::Lenient, "serve").unwrap();
+
+        assert_eq!(wire_records, file_records);
+        assert_eq!(wire_report.scanned, file_report.scanned);
+        assert_eq!(wire_report.kept, file_report.kept);
+        assert_eq!(wire_report.counts, file_report.counts);
+        let faults = |report: &QuarantineReport| {
+            report
+                .exemplars
+                .iter()
+                .map(|q| (q.line, q.kind, q.detail.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(faults(&wire_report), faults(&file_report));
+        assert!(wire_report.per_source.contains_key("serve"));
+        assert!(decode_json_values(&values, IngestMode::Strict, "serve").is_err());
     }
 }

@@ -7,7 +7,8 @@
 //! keeps the accepted grammar small enough to audit.
 //!
 //! Policy knobs (`[iter_order] paths`, `[nondet] crates`, `[panic]
-//! crates`, `[metric_names] catalog`) live in the file so the policy is
+//! crates`, `[serve] crates`, `[metric_names] catalog`) live in the
+//! file so the policy is
 //! reviewable where it is enforced; `Config::default_policy()` mirrors
 //! the committed `lint.toml` so the tool still runs sensibly without
 //! one.
@@ -36,6 +37,10 @@ pub struct Config {
     pub nondet_crates: BTreeSet<String>,
     /// Crate keys where `unwrap()`/`expect()` need an annotation.
     pub panic_crates: BTreeSet<String>,
+    /// Crate keys allowed to touch sockets (`std::net` listener and
+    /// stream types); everywhere else a socket is an architecture
+    /// violation.
+    pub serve_crates: BTreeSet<String>,
     /// Workspace-relative path of the metric-name catalog.
     pub metric_catalog: String,
     pub allows: Vec<AllowEntry>,
@@ -70,6 +75,7 @@ impl Config {
                 "core", "stats", "data", "pipeline", "synth", "netsim", "obs", "iqb",
             ]),
             panic_crates: set(&["core", "data", "stats", "pipeline", "lint"]),
+            serve_crates: set(&["serve", "cli"]),
             metric_catalog: "crates/obs/src/names.rs".to_string(),
             allows: Vec::new(),
         }
@@ -188,6 +194,10 @@ fn apply(
             config.panic_crates = parse_array(value, line_no)?.into_iter().collect();
             Ok(())
         }
+        ("serve", "crates") => {
+            config.serve_crates = parse_array(value, line_no)?.into_iter().collect();
+            Ok(())
+        }
         ("metric_names", "catalog") => {
             config.metric_catalog = parse_string(value, line_no)?;
             Ok(())
@@ -303,6 +313,9 @@ paths = [
 [nondet]
 crates = ["core"]
 
+[serve]
+crates = ["serve", "cli", "bench"]
+
 [metric_names]
 catalog = "names.rs"
 
@@ -323,6 +336,7 @@ reason = "slice checked"
             ["a.rs", "b.rs"].iter().map(|s| s.to_string()).collect()
         );
         assert_eq!(config.nondet_crates.len(), 1);
+        assert_eq!(config.serve_crates.len(), 3);
         assert_eq!(config.metric_catalog, "names.rs");
         assert_eq!(config.allows.len(), 2);
         assert!(config.allows("nondet", "crates/data/src/ingest.rs", 80));

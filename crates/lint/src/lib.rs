@@ -8,7 +8,7 @@
 //! path, a metric name that drifts from the catalog, an `unwrap` that
 //! turns a bad CSV row into a crash. This crate makes those rules
 //! machine-enforced: it lexes every workspace source file and checks
-//! six families of invariants, emitting rustc-style diagnostics.
+//! seven families of invariants, emitting rustc-style diagnostics.
 //!
 //! | rule id | invariant |
 //! |---|---|
@@ -17,6 +17,7 @@
 //! | `nondet` | no clocks / ambient RNG / env reads in scoring crates |
 //! | `metric-names` | obs metric names round-trip through the catalog |
 //! | `panic` | no naked `unwrap`/`expect` in core library code |
+//! | `serve` | sockets only in the serving crates (`serve`, `cli`) |
 //! | `forbid-unsafe` | every crate root has `#![forbid(unsafe_code)]` |
 //!
 //! Escape hatches, in order of preference: fix the code; annotate the
@@ -47,6 +48,7 @@ pub fn run_files(files: &[SourceFile], config: &Config) -> Vec<Diagnostic> {
         lints::iter_order::check(file, config, &mut diags);
         lints::nondet::check(file, config, &mut diags);
         lints::panics::check(file, config, &mut diags);
+        lints::serve_role::check(file, config, &mut diags);
         lints::unsafe_attr::check(file, config, &mut diags);
     }
     lints::metric_names::check(&lexed, config, &mut diags);

@@ -1,4 +1,4 @@
-//! The six lint families.
+//! The seven lint families.
 //!
 //! Each rule module exposes `check(...)` taking the per-file analysis
 //! context and pushing [`Diagnostic`]s. Emission funnels through
@@ -13,6 +13,7 @@ pub mod iter_order;
 pub mod metric_names;
 pub mod nondet;
 pub mod panics;
+pub mod serve_role;
 pub mod unsafe_attr;
 
 use crate::analysis::LexedFile;

@@ -1,0 +1,40 @@
+//! Socket confinement: only the serving crates (the `[serve] crates`
+//! list in `lint.toml` — the daemon and its CLI driver) may name
+//! `std::net` listener and stream types. Scoring crates are pure
+//! functions of their inputs; a socket anywhere else is an architecture
+//! violation, not a style problem. (Wall-clock reads are already
+//! governed by the `[nondet]` list, from which the serving crates are
+//! deliberately absent.)
+
+use crate::analysis::LexedFile;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::walker::Role;
+
+pub fn check(file: &LexedFile<'_>, config: &Config, diags: &mut Vec<Diagnostic>) {
+    if file.src.role == Role::Test || config.serve_crates.contains(&file.src.crate_key) {
+        return;
+    }
+    for i in 0..file.toks.len() {
+        let line = file.toks[i].line;
+        if file.in_test(line) {
+            continue;
+        }
+        if let Some(
+            t @ ("TcpListener" | "TcpStream" | "UdpSocket" | "UnixListener" | "UnixStream"),
+        ) = file.ident(i)
+        {
+            super::emit(
+                file,
+                config,
+                diags,
+                "serve",
+                line,
+                format!(
+                    "`{t}` outside the serving crates: sockets live in `serve` and `cli` \
+                     (the `[serve] crates` list); scoring crates take data as arguments"
+                ),
+            );
+        }
+    }
+}

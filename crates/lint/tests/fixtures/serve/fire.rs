@@ -1,0 +1,9 @@
+//! Fixture: sockets outside the serving crates must fire.
+//!
+//! Both the bind and the connect below are violations.
+
+pub fn listen() -> std::io::Result<()> {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    let _stream = std::net::TcpStream::connect(listener.local_addr()?)?;
+    Ok(())
+}

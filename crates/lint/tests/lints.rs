@@ -27,6 +27,8 @@ const METRIC_FIRE: &str = include_str!("fixtures/metric_names/fire.rs");
 const METRIC_CLEAN: &str = include_str!("fixtures/metric_names/clean.rs");
 const UNSAFE_FIRE: &str = include_str!("fixtures/forbid_unsafe/fire.rs");
 const UNSAFE_CLEAN: &str = include_str!("fixtures/forbid_unsafe/clean.rs");
+const SERVE_FIRE: &str = include_str!("fixtures/serve/fire.rs");
+const SERVE_CLEAN: &str = include_str!("fixtures/serve/clean.rs");
 
 /// A policy with every list empty, so each test opts in to exactly the
 /// machinery its family needs.
@@ -35,6 +37,7 @@ fn bare_config() -> Config {
         iter_order_paths: BTreeSet::new(),
         nondet_crates: BTreeSet::new(),
         panic_crates: BTreeSet::new(),
+        serve_crates: BTreeSet::new(),
         metric_catalog: "crates/obs/src/names.rs".to_string(),
         allows: Vec::new(),
     }
@@ -287,6 +290,37 @@ fn forbid_unsafe_clean_accepts_attributed_crate_root() {
 #[test]
 fn forbid_unsafe_only_applies_to_crate_roots() {
     let file = lib("crates/example/src/helper.rs", "example", UNSAFE_FIRE);
+    assert_clean(run_files(&[file], &bare_config()));
+}
+
+#[test]
+fn serve_fire_flags_sockets_outside_serving_crates() {
+    let file = lib("crates/data/src/socket_fire.rs", "data", SERVE_FIRE);
+    let diags = run_files(&[file], &bare_config());
+    assert_eq!(shape(&diags), vec![(6, "serve"), (7, "serve")]);
+    assert!(diags[0].message.contains("`TcpListener`"));
+    assert!(diags[1].message.contains("`TcpStream`"));
+}
+
+#[test]
+fn serve_rule_exempts_listed_crates_and_tests() {
+    let mut config = bare_config();
+    config.serve_crates.insert("serve".to_string());
+    let file = lib("crates/serve/src/server.rs", "serve", SERVE_FIRE);
+    assert_clean(run_files(&[file], &config));
+    let test_file = source(
+        "crates/data/tests/socket.rs",
+        "data",
+        Role::Test,
+        false,
+        SERVE_FIRE,
+    );
+    assert_clean(run_files(&[test_file], &bare_config()));
+}
+
+#[test]
+fn serve_clean_accepts_pure_code_and_reasoned_annotation() {
+    let file = lib("crates/data/src/socket_clean.rs", "data", SERVE_CLEAN);
     assert_clean(run_files(&[file], &bare_config()));
 }
 

@@ -51,6 +51,21 @@ pub const SOURCE_INCIDENTS: &str = "source.incidents";
 /// Source retries that subsequently succeeded.
 pub const SOURCE_RETRY_SUCCESSES: &str = "source.retry_successes";
 
+/// Requests handled by the daemon, prefix (suffix = request type tag).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Requests the daemon answered with an error response.
+pub const SERVE_ERRORS: &str = "serve.errors";
+/// Per-request handling latency histogram, in milliseconds.
+pub const SERVE_REQUEST_MS: &str = "serve.request_ms";
+/// Connections accepted by the daemon's listener.
+pub const SERVE_CONNECTIONS: &str = "serve.connections";
+/// Snapshot commits published across all shards (monotone counter).
+pub const SERVE_COMMITS: &str = "serve.commits";
+/// Records retained across all shards (gauge, refreshed per submit).
+pub const SERVE_RECORDS: &str = "serve.records";
+/// Records retained per shard, prefix (suffix = `shard<N>`; gauges).
+pub const SERVE_SHARD_RECORDS: &str = "serve.shard_records";
+
 /// Join a per-source prefix with its source label: `per_source(INGEST_KEPT,
 /// "csv")` → `"ingest.kept.csv"`.
 pub fn per_source(prefix: &str, label: &str) -> String {

@@ -11,6 +11,9 @@
 //! * [`session`] — [`session::ScoringSession`], the incremental
 //!   counterpart: ingest record batches, then `rescore()` recomputes only
 //!   the regions the batch touched and patches the cached report.
+//! * [`registry`] — [`registry::SessionRegistry`], sessions sharded by
+//!   region behind published-snapshot isolation: the state a long-lived
+//!   `iqb serve` daemon holds, where reads never block on ingest.
 //! * [`quality`] — the [`quality::DataQualityReport`] ledger a
 //!   fault-tolerant run returns: quarantined records, source incidents
 //!   survived behind the isolation boundary, retry recoveries.
@@ -37,6 +40,7 @@ pub mod error;
 pub mod exhibits;
 pub mod quality;
 pub mod rank;
+pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod session;
@@ -45,6 +49,7 @@ pub mod trend;
 
 pub use error::PipelineError;
 pub use quality::{DataQualityReport, SourceIncident};
+pub use registry::{RegistryOptions, SessionRegistry, SessionShard, SubmitOutcome};
 pub use runner::{
     score_all_regions, score_sources, RegionScore, RegionalReport, ScoredSources, SourceRunOptions,
 };

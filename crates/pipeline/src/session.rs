@@ -298,6 +298,12 @@ impl ScoringSession {
         self.dirty.iter().cloned().collect()
     }
 
+    /// Whether any region has ingested-but-unscored data — the cheap
+    /// form of [`Self::dirty_regions`] for callers that only gate on it.
+    pub fn is_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
     /// Total region recomputations across all rescores — the
     /// incrementality meter. A batch touching 1 of N regions must bump
     /// this by exactly 1.

@@ -1,0 +1,264 @@
+//! Snapshot-isolation suite for [`SessionRegistry`].
+//!
+//! Two properties, pinned for all three aggregation backends:
+//!
+//! 1. **Reads see exactly the last committed rescore.** For any
+//!    interleaving of `submit` and `score` (report reads) — across any
+//!    shard count and debounce budget — every read equals the batch
+//!    report over precisely the records whose shard has committed, never
+//!    a half-ingested or half-rescored in-between.
+//! 2. **Drained equals batch.** After `flush`, the merged report is
+//!    identical (`==`, so bit-identical floats) to a single-shot batch
+//!    run over every record ever submitted. One region maps to one
+//!    shard and records arrive in order, so each per-cell sink sees the
+//!    same push sequence the batch path replays — the quantile queries
+//!    themselves never mutate sink state.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use iqb_core::config::IqbConfig;
+use iqb_core::dataset::DatasetId;
+use iqb_data::aggregate::{AggregationSpec, AggregatorBackend};
+use iqb_data::quarantine::IngestMode;
+use iqb_data::record::{RegionId, TestRecord};
+use iqb_data::store::{MeasurementStore, QueryFilter};
+use iqb_pipeline::registry::{shard_for_region, RegistryOptions, SessionRegistry};
+use iqb_pipeline::runner::{score_all_regions, RegionalReport};
+
+const REGIONS: [&str; 4] = ["r0", "r1", "r2", "r3"];
+
+fn backends() -> [AggregatorBackend; 3] {
+    [
+        AggregatorBackend::Exact,
+        AggregatorBackend::tdigest_default(),
+        AggregatorBackend::P2,
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = TestRecord> {
+    (
+        0..REGIONS.len(),
+        0..DatasetId::BUILTIN.len(),
+        1.0..500.0f64,
+        1.0..100.0f64,
+        1.0..200.0f64,
+        proptest::option::of(0.0..5.0f64),
+        0..1_000u64,
+    )
+        .prop_map(|(r, d, down, up, latency, loss, ts)| TestRecord {
+            timestamp: ts,
+            region: RegionId::new(REGIONS[r]).unwrap(),
+            dataset: DatasetId::BUILTIN[d].clone(),
+            download_mbps: down,
+            upload_mbps: up,
+            latency_ms: latency,
+            loss_pct: loss,
+            tech: None,
+        })
+}
+
+/// An interleaved request trace: each step submits a batch and then
+/// optionally reads the merged report.
+fn arb_trace() -> impl Strategy<Value = Vec<(Vec<TestRecord>, bool)>> {
+    proptest::collection::vec(
+        (proptest::collection::vec(arb_record(), 0..16), any::<bool>()),
+        1..7,
+    )
+}
+
+fn batch_report(
+    records: &[TestRecord],
+    config: &IqbConfig,
+    spec: &AggregationSpec,
+) -> RegionalReport {
+    let mut store = MeasurementStore::new();
+    store.extend(records.iter().cloned()).unwrap();
+    score_all_regions(&store, config, spec, &QueryFilter::all()).unwrap()
+}
+
+/// Mirror of the registry's commit bookkeeping: which records have made
+/// it into a *published* snapshot so far.
+struct CommitModel {
+    debounce: usize,
+    committed: Vec<Vec<TestRecord>>,
+    pending: Vec<Vec<TestRecord>>,
+    pending_submits: Vec<usize>,
+}
+
+impl CommitModel {
+    fn new(shards: usize, debounce: usize) -> Self {
+        CommitModel {
+            debounce,
+            committed: vec![Vec::new(); shards],
+            pending: vec![Vec::new(); shards],
+            pending_submits: vec![0; shards],
+        }
+    }
+
+    fn submit(&mut self, records: &[TestRecord]) {
+        let shards = self.committed.len();
+        let mut buckets: Vec<Vec<TestRecord>> = vec![Vec::new(); shards];
+        for record in records {
+            buckets[shard_for_region(&record.region, shards)].push(record.clone());
+        }
+        for (index, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            self.pending[index].extend(bucket);
+            self.pending_submits[index] += 1;
+            if self.pending_submits[index] >= self.debounce {
+                let flushed = std::mem::take(&mut self.pending[index]);
+                self.committed[index].extend(flushed);
+                self.pending_submits[index] = 0;
+            }
+        }
+    }
+
+    /// Every committed record, shard by shard. Concatenation order
+    /// across shards is irrelevant to batch scoring: regions never span
+    /// shards, and per-region order is preserved within each shard.
+    fn committed_records(&self) -> Vec<TestRecord> {
+        self.committed.iter().flatten().cloned().collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Property 1 + 2 over arbitrary traces, shard counts, debounce
+    /// budgets and all three backends.
+    #[test]
+    fn reads_see_exactly_the_last_committed_rescore(
+        trace in arb_trace(),
+        shards in 1..4usize,
+        debounce in 1..3usize,
+    ) {
+        let config = IqbConfig::paper_default();
+        for backend in backends() {
+            let spec = AggregationSpec::paper_default().with_backend(backend);
+            let registry = SessionRegistry::new(
+                config.clone(),
+                spec.clone(),
+                RegistryOptions { shards, debounce_submits: debounce },
+            ).unwrap();
+            let mut model = CommitModel::new(shards, debounce);
+            let mut all = Vec::new();
+            for (records, read_after) in &trace {
+                registry.submit(records.clone(), IngestMode::Strict).unwrap();
+                model.submit(records);
+                all.extend(records.iter().cloned());
+                if *read_after {
+                    let expected =
+                        batch_report(&model.committed_records(), &config, &spec);
+                    prop_assert_eq!(
+                        registry.report(),
+                        expected,
+                        "{}: read diverged from last committed state",
+                        backend
+                    );
+                }
+            }
+            registry.flush().unwrap();
+            let drained = registry.report();
+            let single_shot = batch_report(&all, &config, &spec);
+            prop_assert_eq!(
+                drained,
+                single_shot,
+                "{}: drained registry diverged from single-shot batch run",
+                backend
+            );
+        }
+    }
+}
+
+fn steady_batch(step: usize) -> Vec<TestRecord> {
+    let mut records = Vec::new();
+    for dataset in DatasetId::BUILTIN {
+        for i in 0..4usize {
+            records.push(TestRecord {
+                timestamp: (step * 100 + i) as u64,
+                region: RegionId::new("metro").unwrap(),
+                dataset: dataset.clone(),
+                download_mbps: 60.0 + 45.0 * step as f64,
+                upload_mbps: 12.0 + 9.0 * step as f64,
+                latency_ms: 120.0 - 15.0 * step as f64,
+                loss_pct: if dataset == DatasetId::Ookla {
+                    None
+                } else {
+                    Some(1.2 - 0.15 * step as f64)
+                },
+                tech: None,
+            });
+        }
+    }
+    records
+}
+
+/// Concurrent readers during active ingest only ever observe committed
+/// prefixes of the submit sequence, in monotone order — never a torn or
+/// rolled-back state.
+#[test]
+fn concurrent_reads_observe_only_committed_prefixes() {
+    let config = IqbConfig::paper_default();
+    let spec = AggregationSpec::paper_default();
+    let batches: Vec<Vec<TestRecord>> = (0..6).map(steady_batch).collect();
+
+    let mut prefixes = vec![RegionalReport {
+        regions: BTreeMap::new(),
+        skipped: Vec::new(),
+    }];
+    let mut so_far = Vec::new();
+    for batch in &batches {
+        so_far.extend(batch.iter().cloned());
+        prefixes.push(batch_report(&so_far, &config, &spec));
+    }
+
+    let registry = Arc::new(
+        SessionRegistry::new(
+            config,
+            spec,
+            RegistryOptions {
+                shards: 1,
+                debounce_submits: 1,
+            },
+        )
+        .unwrap(),
+    );
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        let writer_registry = Arc::clone(&registry);
+        let writer_done = Arc::clone(&done);
+        scope.spawn(move || {
+            for batch in &batches {
+                writer_registry
+                    .submit(batch.clone(), IngestMode::Strict)
+                    .unwrap();
+            }
+            writer_done.store(true, Ordering::SeqCst);
+        });
+        let mut last_seen = 0usize;
+        loop {
+            let finished = done.load(Ordering::SeqCst);
+            let observed = registry.report();
+            let index = prefixes
+                .iter()
+                .position(|prefix| *prefix == observed)
+                .expect("observed report must equal a committed prefix");
+            assert!(
+                index >= last_seen,
+                "snapshot went backwards: {index} after {last_seen}"
+            );
+            last_seen = index;
+            if finished {
+                break;
+            }
+        }
+    });
+    assert_eq!(&registry.report(), prefixes.last().unwrap());
+}

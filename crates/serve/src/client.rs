@@ -1,0 +1,61 @@
+//! A minimal line-oriented client for the daemon.
+//!
+//! One request out, one response back, in order — exactly the wire
+//! discipline the server guarantees per connection. This is what the
+//! `iqb client` subcommand and the integration tests are built on.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use crate::error::ServeError;
+use crate::proto::{Request, Response};
+
+/// A connected client holding one request/response pipe.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (`host:port`).
+    pub fn connect(addr: &str) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        // One-line requests: latency beats batching on this pipe.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads its response line.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ServeError> {
+        let mut line = serde_json::to_string(request)?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let raw = self.read_response_line()?;
+        Ok(serde_json::from_str(raw.trim())?)
+    }
+
+    /// Sends one request and returns the raw response line, verbatim
+    /// minus the trailing newline — what `iqb client` prints, and what
+    /// integration goldens are diffed against.
+    pub fn request_raw(&mut self, request: &Request) -> Result<String, ServeError> {
+        let mut line = serde_json::to_string(request)?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let raw = self.read_response_line()?;
+        Ok(raw.trim_end_matches(['\n', '\r']).to_string())
+    }
+
+    fn read_response_line(&mut self) -> Result<String, ServeError> {
+        let mut raw = String::new();
+        if self.reader.read_line(&mut raw)? == 0 {
+            return Err(ServeError::ConnectionClosed);
+        }
+        Ok(raw)
+    }
+}

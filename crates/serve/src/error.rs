@@ -1,0 +1,81 @@
+//! Error type for the daemon and its client.
+
+use iqb_core::CoreError;
+use iqb_data::DataError;
+use iqb_pipeline::PipelineError;
+
+/// Anything that can go wrong serving or speaking the wire protocol.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket or stream I/O failed.
+    Io(std::io::Error),
+    /// A payload could not be serialized or deserialized.
+    Json(serde_json::Error),
+    /// The scoring pipeline rejected an operation.
+    Pipeline(PipelineError),
+    /// The data layer rejected an operation.
+    Data(DataError),
+    /// The scoring core rejected an operation.
+    Core(CoreError),
+    /// The request was well-formed JSON but semantically invalid.
+    InvalidRequest(String),
+    /// The peer closed the connection mid-exchange.
+    ConnectionClosed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o: {e}"),
+            ServeError::Json(e) => write!(f, "json: {e}"),
+            ServeError::Pipeline(e) => write!(f, "pipeline: {e}"),
+            ServeError::Data(e) => write!(f, "data: {e}"),
+            ServeError::Core(e) => write!(f, "core: {e}"),
+            ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::ConnectionClosed => write!(f, "connection closed by peer"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Json(e) => Some(e),
+            ServeError::Pipeline(e) => Some(e),
+            ServeError::Data(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            ServeError::InvalidRequest(_) | ServeError::ConnectionClosed => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ServeError {
+    fn from(e: serde_json::Error) -> Self {
+        ServeError::Json(e)
+    }
+}
+
+impl From<PipelineError> for ServeError {
+    fn from(e: PipelineError) -> Self {
+        ServeError::Pipeline(e)
+    }
+}
+
+impl From<DataError> for ServeError {
+    fn from(e: DataError) -> Self {
+        ServeError::Data(e)
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}

@@ -1,0 +1,34 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # iqb-serve — IQB as a service
+//!
+//! The always-on counterpart of the batch CLI: a std-only TCP daemon
+//! (no async runtime — `std::net` plus a crossbeam worker pool) that
+//! holds a sharded, snapshot-isolated
+//! [`SessionRegistry`](iqb_pipeline::registry::SessionRegistry) and
+//! speaks a newline-delimited JSON protocol:
+//!
+//! * one JSON [`Request`] per line in, one JSON [`Response`] per line
+//!   out, in order, per connection;
+//! * `submit` ingests records through the same classifier as batch
+//!   JSONL ingest (quarantine accounting matches byte-for-byte);
+//! * `score` / `trend` / `whatif` / `snapshot` read from published
+//!   snapshots — they never block on ingest and never observe a
+//!   half-rescored report;
+//! * `reload-config` rebuilds every shard from its retained store and
+//!   swaps the registry atomically;
+//! * `shutdown` drains in-flight requests, flushes uncommitted shard
+//!   state and stops the accept loop.
+//!
+//! [`Server`] is the daemon, [`Client`] the line-oriented client the
+//! `iqb client` subcommand and the integration tests drive it with.
+
+pub mod client;
+pub mod error;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use error::ServeError;
+pub use proto::{Request, Response};
+pub use server::{ServeOptions, Server};

@@ -1,0 +1,263 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One [`Request`] object per line in, one [`Response`] object per line
+//! out, answered in order per connection. Both enums are internally
+//! tagged on `"type"` with kebab-case tags (`submit`, `reload-config`,
+//! `shutting-down`, …); field names stay snake_case. Response
+//! serialization is deterministic — struct-declaration field order, no
+//! maps with unstable iteration — so integration goldens can be
+//! committed as exact bytes.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use iqb_core::whatif::InterventionOutcome;
+use iqb_pipeline::runner::{RegionScore, RegionalReport};
+use iqb_pipeline::trend::TrendPoint;
+
+/// Default trend window when a `trend` request omits `window_s`: one
+/// hour, matching the batch CLI's default.
+pub const DEFAULT_TREND_WINDOW_S: u64 = 3_600;
+
+fn default_window_s() -> u64 {
+    DEFAULT_TREND_WINDOW_S
+}
+
+/// A client request, one JSON object per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "kebab-case")]
+pub enum Request {
+    /// Ingest measurement records (JSON objects in `TestRecord` shape).
+    Submit {
+        /// `"strict"` (default) rejects the whole batch on the first
+        /// fault; `"lenient"` quarantines faulty records and keeps the
+        /// rest — the same semantics as batch file ingest.
+        #[serde(default)]
+        mode: Option<String>,
+        /// The records, one JSON object each.
+        records: Vec<serde_json::Value>,
+    },
+    /// Read the published report: one region when `region` is given,
+    /// the full merged snapshot otherwise.
+    Score {
+        /// Region to read; omit for all regions.
+        #[serde(default)]
+        region: Option<String>,
+    },
+    /// Windowed score trend for one region over its retained range.
+    Trend {
+        /// Region to trend.
+        region: String,
+        /// Window width in seconds (default one hour).
+        #[serde(default = "default_window_s")]
+        window_s: u64,
+    },
+    /// Intervention what-ifs against a region's published score.
+    Whatif {
+        /// Region to evaluate.
+        region: String,
+    },
+    /// The full merged report plus registry bookkeeping in one read.
+    Snapshot,
+    /// Rebuild every shard from its retained store under a new config
+    /// and/or aggregation spec, then swap registries atomically.
+    ReloadConfig {
+        /// Scoring profile name (`iqb_core::profiles`); omit to keep
+        /// the current config.
+        #[serde(default)]
+        profile: Option<String>,
+        /// Uniform quantile for the new spec; omit to keep the current
+        /// quantiles.
+        #[serde(default)]
+        quantile: Option<f64>,
+        /// Aggregation backend (`exact|tdigest|p2`); omit to keep the
+        /// current backend.
+        #[serde(default)]
+        agg_backend: Option<String>,
+    },
+    /// Liveness plus shard bookkeeping.
+    Health,
+    /// Obs counter values.
+    Metrics,
+    /// Graceful shutdown: answer, drain, flush, stop accepting.
+    Shutdown,
+}
+
+impl Request {
+    /// The wire tag of this request — the value of its `type` field,
+    /// used as the per-request metric label.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Request::Submit { .. } => "submit",
+            Request::Score { .. } => "score",
+            Request::Trend { .. } => "trend",
+            Request::Whatif { .. } => "whatif",
+            Request::Snapshot => "snapshot",
+            Request::ReloadConfig { .. } => "reload-config",
+            Request::Health => "health",
+            Request::Metrics => "metrics",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A daemon response, one JSON object per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "kebab-case")]
+pub enum Response {
+    /// Outcome of a `submit`.
+    Submitted {
+        /// Records accepted into shard sessions.
+        ingested: usize,
+        /// Records examined (kept + quarantined).
+        scanned: u64,
+        /// Records quarantined by the wire-path classifier.
+        quarantined: u64,
+        /// Shards that rescored and published during this submit.
+        committed_shards: usize,
+    },
+    /// The merged published report (`score` with no region).
+    Report {
+        /// Snapshot-consistent merged report.
+        report: RegionalReport,
+    },
+    /// One region's published score (`score` with a region); `score` is
+    /// `null` while no commit covers the region.
+    Region {
+        /// The region asked about.
+        region: String,
+        /// Its last committed score, if any.
+        score: Option<RegionScore>,
+    },
+    /// Windowed trend points for one region.
+    Trend {
+        /// The region asked about.
+        region: String,
+        /// One point per window over the retained range.
+        points: Vec<TrendPoint>,
+    },
+    /// Intervention outcomes, sorted by descending gain.
+    Whatif {
+        /// The region asked about.
+        region: String,
+        /// Evaluated interventions against the published score.
+        outcomes: Vec<InterventionOutcome>,
+    },
+    /// The `snapshot` read: report plus bookkeeping.
+    Snapshot {
+        /// Snapshot-consistent merged report.
+        report: RegionalReport,
+        /// Shard count.
+        shards: usize,
+        /// Records retained across all shards.
+        records: usize,
+        /// Snapshot commits published across all shards.
+        commits: u64,
+    },
+    /// Outcome of a `reload-config`.
+    Reloaded {
+        /// Regions scored in the rebuilt registry.
+        regions: usize,
+        /// Records replayed into the rebuilt registry.
+        records: usize,
+    },
+    /// Liveness summary.
+    Health {
+        /// Shard count.
+        shards: usize,
+        /// Regions in the merged published snapshot.
+        regions: usize,
+        /// Records retained across all shards.
+        records: usize,
+        /// Snapshot commits published across all shards.
+        commits: u64,
+    },
+    /// Obs counter values by name.
+    Metrics {
+        /// Counter name → value.
+        counters: BTreeMap<String, u64>,
+    },
+    /// Acknowledgement of a `shutdown`; the daemon drains and exits.
+    ShuttingDown,
+    /// The request failed; the connection stays usable.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_round_trip_through_serde() {
+        let cases: Vec<(Request, &str)> = vec![
+            (
+                Request::Submit {
+                    mode: Some("lenient".into()),
+                    records: vec![],
+                },
+                "submit",
+            ),
+            (Request::Score { region: None }, "score"),
+            (
+                Request::Trend {
+                    region: "metro".into(),
+                    window_s: 60,
+                },
+                "trend",
+            ),
+            (
+                Request::Whatif {
+                    region: "metro".into(),
+                },
+                "whatif",
+            ),
+            (Request::Snapshot, "snapshot"),
+            (
+                Request::ReloadConfig {
+                    profile: None,
+                    quantile: None,
+                    agg_backend: None,
+                },
+                "reload-config",
+            ),
+            (Request::Health, "health"),
+            (Request::Metrics, "metrics"),
+            (Request::Shutdown, "shutdown"),
+        ];
+        for (request, tag) in cases {
+            assert_eq!(request.tag(), tag);
+            let line = serde_json::to_string(&request).unwrap();
+            assert!(
+                line.starts_with(&format!("{{\"type\":\"{tag}\"")),
+                "{line}"
+            );
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn trend_window_defaults_to_one_hour() {
+        let parsed: Request =
+            serde_json::from_str(r#"{"type":"trend","region":"metro"}"#).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Trend {
+                region: "metro".into(),
+                window_s: DEFAULT_TREND_WINDOW_S,
+            }
+        );
+    }
+
+    #[test]
+    fn shutting_down_is_a_bare_tag() {
+        assert_eq!(
+            serde_json::to_string(&Response::ShuttingDown).unwrap(),
+            r#"{"type":"shutting-down"}"#
+        );
+    }
+}

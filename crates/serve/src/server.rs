@@ -1,0 +1,351 @@
+//! The daemon: accept loop, worker pool, request handling.
+//!
+//! Concurrency model:
+//!
+//! * the accept loop hands each [`TcpStream`] to a crossbeam channel;
+//! * N workers pull connections and run their line loop to completion
+//!   (one connection is served by one worker at a time; requests on a
+//!   connection are answered in order);
+//! * all workers share one [`SessionRegistry`] behind an `Arc` swap —
+//!   reads go to published snapshots, writes take per-shard locks, and
+//!   `reload-config` swaps the whole registry while holding the slot's
+//!   write lock;
+//! * `shutdown` (the request) answers, raises the shutdown flag, and
+//!   self-connects to wake the accept loop; in-flight requests finish,
+//!   uncommitted shard state is flushed, then `run` returns. There is
+//!   deliberately no signal handler — the workspace links no FFI, so
+//!   SIGINT simply kills the process; orchestrators wanting a graceful
+//!   stop send the `shutdown` request.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use iqb_core::config::IqbConfig;
+use iqb_data::aggregate::AggregationSpec;
+use iqb_data::jsonl::decode_json_values;
+use iqb_data::quarantine::IngestMode;
+use iqb_data::record::RegionId;
+use iqb_obs::names;
+use iqb_pipeline::registry::{RegistryOptions, SessionRegistry};
+
+use crate::error::ServeError;
+use crate::proto::{Request, Response};
+
+/// Daemon configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Bind address; port 0 picks an ephemeral port (read it back with
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Shards regions are partitioned across.
+    pub shards: usize,
+    /// Connection-serving worker threads.
+    pub workers: usize,
+    /// Submits a shard absorbs before committing a snapshot.
+    pub debounce_submits: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7311".to_string(),
+            shards: 4,
+            workers: 4,
+            debounce_submits: 1,
+        }
+    }
+}
+
+/// State shared by every worker: the swappable registry slot, the bound
+/// address (for the shutdown self-connect) and the shutdown flag.
+struct ServerState {
+    registry: RwLock<Arc<SessionRegistry>>,
+    local_addr: SocketAddr,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    /// The current registry world (an `Arc` clone; requests keep the
+    /// world they started with even across a concurrent reload).
+    fn registry(&self) -> Arc<SessionRegistry> {
+        Arc::clone(&self.registry.read())
+    }
+}
+
+/// A bound-but-not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds the listener and builds the sharded registry. Nothing is
+    /// served until [`Self::run`].
+    pub fn bind(
+        options: &ServeOptions,
+        config: IqbConfig,
+        spec: AggregationSpec,
+    ) -> Result<Server, ServeError> {
+        let registry = SessionRegistry::new(
+            config,
+            spec,
+            RegistryOptions {
+                shards: options.shards,
+                debounce_submits: options.debounce_submits,
+            },
+        )?;
+        let listener = TcpListener::bind(options.addr.as_str())?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                registry: RwLock::new(Arc::new(registry)),
+                local_addr,
+                shutdown: AtomicBool::new(false),
+            }),
+            workers: options.workers.max(1),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains in-flight
+    /// requests, flushes uncommitted shard state and returns.
+    pub fn run(&self) -> Result<(), ServeError> {
+        let (sender, receiver) = crossbeam::channel::unbounded::<TcpStream>();
+        crossbeam::scope(|scope| {
+            for _ in 0..self.workers {
+                let receiver = receiver.clone();
+                let state = Arc::clone(&self.state);
+                scope.spawn(move |_| {
+                    for stream in receiver.iter() {
+                        handle_connection(stream, &state);
+                    }
+                });
+            }
+            drop(receiver);
+            let connections = iqb_obs::global().counter(names::SERVE_CONNECTIONS);
+            for incoming in self.listener.incoming() {
+                if self.state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = incoming {
+                    connections.inc();
+                    // Workers outlive the accept loop; a send can only
+                    // fail after every worker is gone, i.e. never here.
+                    let _ = sender.send(stream);
+                }
+            }
+            drop(sender);
+        })
+        .map_err(|panic| {
+            ServeError::InvalidRequest(format!("serve worker panicked: {panic:?}"))
+        })?;
+        // Drained: publish whatever the debounce was still holding so
+        // the retained state is fully scored at exit.
+        self.state.registry().flush()?;
+        Ok(())
+    }
+}
+
+/// Serves one connection's line loop to completion.
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let read_half = match stream.try_clone() {
+        Ok(half) => half,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        // Between requests only: an accepted request always gets its
+        // response, shutdown or not.
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = respond(&line, state);
+        let mut payload = match serde_json::to_string(&response) {
+            Ok(payload) => payload,
+            Err(_) => break,
+        };
+        payload.push('\n');
+        if writer
+            .write_all(payload.as_bytes())
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if stop {
+            break;
+        }
+    }
+}
+
+/// Parses, meters and answers one request line. Returns the response
+/// plus whether this connection (and the daemon) should stop.
+fn respond(line: &str, state: &ServerState) -> (Response, bool) {
+    let obs = iqb_obs::global();
+    let request: Request = match serde_json::from_str(line.trim()) {
+        Ok(request) => request,
+        Err(e) => {
+            obs.counter(names::SERVE_ERRORS).inc();
+            return (
+                Response::Error {
+                    message: format!("bad request: {e}"),
+                },
+                false,
+            );
+        }
+    };
+    obs.counter(&names::per_source(names::SERVE_REQUESTS, request.tag()))
+        .inc();
+    let timer = iqb_obs::Timer::start(obs.histogram(names::SERVE_REQUEST_MS));
+    let stop = matches!(request, Request::Shutdown);
+    let response = match handle(request, state) {
+        Ok(response) => response,
+        Err(e) => {
+            obs.counter(names::SERVE_ERRORS).inc();
+            Response::Error {
+                message: e.to_string(),
+            }
+        }
+    };
+    timer.stop();
+    if stop {
+        state.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag. The connection
+        // is dropped unserved — by then the flag is already up.
+        drop(TcpStream::connect(state.local_addr));
+    }
+    (response, stop)
+}
+
+/// The request dispatcher proper.
+fn handle(request: Request, state: &ServerState) -> Result<Response, ServeError> {
+    match request {
+        Request::Submit { mode, records } => {
+            let mode: IngestMode = mode.as_deref().unwrap_or("strict").parse()?;
+            // Same classifier as batch JSONL ingest, labeled "serve":
+            // wire quarantine accounting matches files byte-for-byte.
+            let (parsed, wire_report) = decode_json_values(&records, mode, "serve")?;
+            let registry = state.registry();
+            let outcome = registry.submit(parsed, mode)?;
+            let obs = iqb_obs::global();
+            obs.counter(names::SERVE_COMMITS)
+                .add(outcome.committed_shards as u64);
+            obs.gauge(names::SERVE_RECORDS)
+                .set(registry.records() as f64);
+            for (index, held) in registry.shard_records().into_iter().enumerate() {
+                obs.gauge(&names::per_source(
+                    names::SERVE_SHARD_RECORDS,
+                    &format!("shard{index}"),
+                ))
+                .set(held as f64);
+            }
+            Ok(Response::Submitted {
+                ingested: outcome.ingested,
+                scanned: wire_report.scanned,
+                quarantined: wire_report.quarantined() + outcome.quarantine.quarantined(),
+                committed_shards: outcome.committed_shards,
+            })
+        }
+        Request::Score { region: None } => Ok(Response::Report {
+            report: state.registry().report(),
+        }),
+        Request::Score {
+            region: Some(region),
+        } => {
+            let id = RegionId::new(region.as_str())?;
+            Ok(Response::Region {
+                score: state.registry().region_score(&id),
+                region,
+            })
+        }
+        Request::Trend { region, window_s } => {
+            let id = RegionId::new(region.as_str())?;
+            Ok(Response::Trend {
+                points: state.registry().trend(&id, window_s)?,
+                region,
+            })
+        }
+        Request::Whatif { region } => {
+            let id = RegionId::new(region.as_str())?;
+            match state.registry().whatif(&id)? {
+                Some(outcomes) => Ok(Response::Whatif { region, outcomes }),
+                None => Err(ServeError::InvalidRequest(format!(
+                    "no committed score for region `{region}`"
+                ))),
+            }
+        }
+        Request::Snapshot => {
+            let registry = state.registry();
+            Ok(Response::Snapshot {
+                report: registry.report(),
+                shards: registry.shard_count(),
+                records: registry.records(),
+                commits: registry.commits(),
+            })
+        }
+        Request::ReloadConfig {
+            profile,
+            quantile,
+            agg_backend,
+        } => {
+            // Hold the slot's write lock across the rebuild: requests
+            // arriving after the reload starts serialize behind it and
+            // wake up in the new world. Requests already holding the
+            // old Arc finish against the retiring registry.
+            let mut slot = state.registry.write();
+            let config = match profile.as_deref() {
+                Some(name) => iqb_core::profiles::by_name(name)?,
+                None => slot.config().clone(),
+            };
+            let spec = match quantile {
+                Some(q) => {
+                    AggregationSpec::uniform_quantile(q)?.with_backend(slot.spec().backend)
+                }
+                None => slot.spec().clone(),
+            };
+            let spec = match agg_backend.as_deref() {
+                Some(raw) => spec.with_backend(raw.parse()?),
+                None => spec,
+            };
+            let next = slot.reload(config, spec)?;
+            let records = next.records();
+            let regions = next.report().regions.len();
+            *slot = Arc::new(next);
+            Ok(Response::Reloaded { regions, records })
+        }
+        Request::Health => {
+            let registry = state.registry();
+            Ok(Response::Health {
+                shards: registry.shard_count(),
+                regions: registry.report().regions.len(),
+                records: registry.records(),
+                commits: registry.commits(),
+            })
+        }
+        Request::Metrics => Ok(Response::Metrics {
+            counters: iqb_obs::global().snapshot().counters,
+        }),
+        Request::Shutdown => Ok(Response::ShuttingDown),
+    }
+}

@@ -1,0 +1,376 @@
+//! In-process integration tests: a real daemon on a loopback port,
+//! driven by the real [`Client`].
+//!
+//! The headline assertions mirror the acceptance criteria: a drained
+//! daemon's per-region scores are byte-identical to a batch run over
+//! the same records, and concurrent reads during active ingest only
+//! ever observe fully committed per-region states.
+
+use std::collections::BTreeMap;
+use std::thread;
+
+use iqb_core::config::IqbConfig;
+use iqb_core::dataset::DatasetId;
+use iqb_data::aggregate::AggregationSpec;
+use iqb_data::record::{RegionId, TestRecord};
+use iqb_data::store::{MeasurementStore, QueryFilter};
+use iqb_pipeline::runner::{score_all_regions, RegionScore, RegionalReport};
+use iqb_serve::{Client, Request, Response, ServeError, ServeOptions, Server};
+
+fn record(region: &str, dataset: &DatasetId, step: usize, i: usize) -> TestRecord {
+    TestRecord {
+        timestamp: (step * 1_000 + i) as u64,
+        region: RegionId::new(region).unwrap(),
+        dataset: dataset.clone(),
+        download_mbps: 50.0 + 30.0 * step as f64 + i as f64,
+        upload_mbps: 10.0 + 6.0 * step as f64,
+        latency_ms: 90.0 - 10.0 * step as f64,
+        loss_pct: if *dataset == DatasetId::Ookla {
+            None
+        } else {
+            Some(0.8 - 0.1 * step as f64)
+        },
+        tech: None,
+    }
+}
+
+/// One submit batch: two records per builtin dataset.
+fn batch(region: &str, step: usize) -> Vec<TestRecord> {
+    let mut records = Vec::new();
+    for dataset in &DatasetId::BUILTIN {
+        for i in 0..2 {
+            records.push(record(region, dataset, step, i));
+        }
+    }
+    records
+}
+
+fn values(records: &[TestRecord]) -> Vec<serde_json::Value> {
+    records
+        .iter()
+        .map(|r| serde_json::to_value(r).unwrap())
+        .collect()
+}
+
+fn batch_report(records: &[TestRecord]) -> RegionalReport {
+    let mut store = MeasurementStore::new();
+    store.extend(records.iter().cloned()).unwrap();
+    score_all_regions(
+        &store,
+        &IqbConfig::paper_default(),
+        &AggregationSpec::paper_default(),
+        &QueryFilter::all(),
+    )
+    .unwrap()
+}
+
+fn start(shards: usize, workers: usize) -> (thread::JoinHandle<Result<(), ServeError>>, String) {
+    let server = Server::bind(
+        &ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            shards,
+            workers,
+            debounce_submits: 1,
+        },
+        IqbConfig::paper_default(),
+        AggregationSpec::paper_default(),
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    (thread::spawn(move || server.run()), addr)
+}
+
+#[test]
+fn full_session_over_the_wire() {
+    let (handle, addr) = start(2, 2);
+    let mut client = Client::connect(&addr).unwrap();
+
+    let mut all = Vec::new();
+    all.extend(batch("metro", 0));
+    all.extend(batch("rural", 0));
+    let submitted = client
+        .request(&Request::Submit {
+            mode: None,
+            records: values(&all),
+        })
+        .unwrap();
+    // metro → shard 0, rural → shard 1: both shards commit.
+    assert_eq!(
+        submitted,
+        Response::Submitted {
+            ingested: all.len(),
+            scanned: all.len() as u64,
+            quarantined: 0,
+            committed_shards: 2,
+        }
+    );
+
+    // Drained daemon scores are byte-identical to the batch path.
+    let expected = batch_report(&all);
+    let scored = client.request(&Request::Score { region: None }).unwrap();
+    match &scored {
+        Response::Report { report } => {
+            assert_eq!(report, &expected);
+            assert_eq!(
+                serde_json::to_string(report).unwrap(),
+                serde_json::to_string(&expected).unwrap()
+            );
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    match client
+        .request(&Request::Score {
+            region: Some("metro".to_string()),
+        })
+        .unwrap()
+    {
+        Response::Region { region, score } => {
+            assert_eq!(region, "metro");
+            let metro = RegionId::new("metro").unwrap();
+            assert_eq!(score.as_ref(), expected.regions.get(&metro));
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+    match client
+        .request(&Request::Score {
+            region: Some("nowhere".to_string()),
+        })
+        .unwrap()
+    {
+        Response::Region { score, .. } => assert!(score.is_none()),
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    match client
+        .request(&Request::Trend {
+            region: "metro".to_string(),
+            window_s: 600,
+        })
+        .unwrap()
+    {
+        Response::Trend { points, .. } => assert!(!points.is_empty()),
+        other => panic!("unexpected response: {other:?}"),
+    }
+    match client
+        .request(&Request::Whatif {
+            region: "metro".to_string(),
+        })
+        .unwrap()
+    {
+        Response::Whatif { outcomes, .. } => assert!(!outcomes.is_empty()),
+        other => panic!("unexpected response: {other:?}"),
+    }
+    match client.request(&Request::Snapshot).unwrap() {
+        Response::Snapshot {
+            report,
+            shards,
+            records,
+            commits,
+        } => {
+            assert_eq!(report, expected);
+            assert_eq!(shards, 2);
+            assert_eq!(records, all.len());
+            assert_eq!(commits, 2);
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+    assert_eq!(
+        client.request(&Request::Health).unwrap(),
+        Response::Health {
+            shards: 2,
+            regions: 2,
+            records: all.len(),
+            commits: 2,
+        }
+    );
+    match client.request(&Request::Metrics).unwrap() {
+        Response::Metrics { counters } => {
+            assert!(counters.contains_key("serve.requests.submit"));
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    // A no-op reload swaps worlds without changing a byte.
+    assert_eq!(
+        client
+            .request(&Request::ReloadConfig {
+                profile: None,
+                quantile: None,
+                agg_backend: None,
+            })
+            .unwrap(),
+        Response::Reloaded {
+            regions: 2,
+            records: all.len(),
+        }
+    );
+    assert_eq!(
+        client.request(&Request::Score { region: None }).unwrap(),
+        scored
+    );
+
+    // Semantically invalid requests answer with an error and leave the
+    // connection usable.
+    match client
+        .request(&Request::Submit {
+            mode: Some("bogus".to_string()),
+            records: vec![],
+        })
+        .unwrap()
+    {
+        Response::Error { message } => assert!(message.contains("strict|lenient"), "{message}"),
+        other => panic!("unexpected response: {other:?}"),
+    }
+    match client
+        .request(&Request::Whatif {
+            region: "nowhere".to_string(),
+        })
+        .unwrap()
+    {
+        Response::Error { message } => assert!(message.contains("nowhere"), "{message}"),
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    assert_eq!(
+        client.request(&Request::Shutdown).unwrap(),
+        Response::ShuttingDown
+    );
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn lenient_submit_quarantines_on_the_wire() {
+    let (handle, addr) = start(2, 2);
+    let mut client = Client::connect(&addr).unwrap();
+    let clean = batch("metro", 1);
+    let mut payload = values(&clean);
+    payload.push(serde_json::json!({"not": "a record"}));
+    match client
+        .request(&Request::Submit {
+            mode: Some("lenient".to_string()),
+            records: payload.clone(),
+        })
+        .unwrap()
+    {
+        Response::Submitted {
+            ingested,
+            scanned,
+            quarantined,
+            ..
+        } => {
+            assert_eq!(ingested, clean.len());
+            assert_eq!(scanned, payload.len() as u64);
+            assert_eq!(quarantined, 1);
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+    // Strict mode rejects the same payload whole; nothing changes.
+    match client
+        .request(&Request::Submit {
+            mode: None,
+            records: payload,
+        })
+        .unwrap()
+    {
+        Response::Error { .. } => {}
+        other => panic!("unexpected response: {other:?}"),
+    }
+    assert_eq!(
+        client.request(&Request::Health).unwrap(),
+        Response::Health {
+            shards: 2,
+            regions: 1,
+            records: clean.len(),
+            commits: 1,
+        }
+    );
+    assert_eq!(
+        client.request(&Request::Shutdown).unwrap(),
+        Response::ShuttingDown
+    );
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn concurrent_reads_during_active_ingest() {
+    const STEPS: usize = 4;
+    let regions = ["r0", "r1", "r2", "r3"];
+    // Legal per-region states a reader may observe: each prefix of that
+    // region's submit sequence (plus "absent" before the first commit).
+    let mut legal: BTreeMap<RegionId, Vec<RegionScore>> = BTreeMap::new();
+    for region in regions {
+        let id = RegionId::new(region).unwrap();
+        let mut so_far = Vec::new();
+        for step in 0..STEPS {
+            so_far.extend(batch(region, step));
+            let score = batch_report(&so_far).regions.get(&id).unwrap().clone();
+            legal.entry(id.clone()).or_default().push(score);
+        }
+    }
+
+    let (handle, addr) = start(4, 6);
+    thread::scope(|scope| {
+        for region in regions {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                for step in 0..STEPS {
+                    let records = batch(region, step);
+                    match client
+                        .request(&Request::Submit {
+                            mode: None,
+                            records: values(&records),
+                        })
+                        .unwrap()
+                    {
+                        Response::Submitted { ingested, .. } => {
+                            assert_eq!(ingested, records.len())
+                        }
+                        other => panic!("unexpected response: {other:?}"),
+                    }
+                }
+            });
+        }
+        let reader_addr = addr.clone();
+        let legal = &legal;
+        scope.spawn(move || {
+            let mut client = Client::connect(&reader_addr).unwrap();
+            for _ in 0..20 {
+                match client.request(&Request::Score { region: None }).unwrap() {
+                    Response::Report { report } => {
+                        for (region, score) in &report.regions {
+                            let states = legal.get(region).expect("unexpected region");
+                            assert!(
+                                states.contains(score),
+                                "{region:?}: observed a non-committed state"
+                            );
+                        }
+                    }
+                    other => panic!("unexpected response: {other:?}"),
+                }
+            }
+        });
+    });
+
+    // Every writer drained: the daemon's report must now be
+    // byte-identical to one batch run over all records, region by
+    // region in submission order.
+    let mut all = Vec::new();
+    for region in regions {
+        for step in 0..STEPS {
+            all.extend(batch(region, step));
+        }
+    }
+    let expected = batch_report(&all);
+    let mut client = Client::connect(&addr).unwrap();
+    match client.request(&Request::Score { region: None }).unwrap() {
+        Response::Report { report } => assert_eq!(report, expected),
+        other => panic!("unexpected response: {other:?}"),
+    }
+    assert_eq!(
+        client.request(&Request::Shutdown).unwrap(),
+        Response::ShuttingDown
+    );
+    handle.join().unwrap().unwrap();
+}

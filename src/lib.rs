@@ -22,9 +22,12 @@
 //! | [`synth`] | `iqb-synth` | synthetic measurement campaigns over technology/region models |
 //! | [`data`] | `iqb-data` | per-test records, stores, CSV/JSONL I/O, aggregation to scoring input |
 //! | [`pipeline`] | `iqb-pipeline` | end-to-end runner, regional reports, rankings, trends, comparisons, exhibits |
+//! | [`serve`] | `iqb-serve` | sharded, snapshot-isolated scoring daemon: TCP server, JSON wire protocol, client |
 //!
 //! A command-line front end (`iqb-cli`, binary name `iqb`) drives the same
-//! APIs: `iqb synth | score | compare | trend | whatif | exhibits`.
+//! APIs: `iqb synth | score | compare | trend | whatif | exhibits`, plus
+//! `iqb serve` (the long-running daemon) and `iqb client` (its wire
+//! driver).
 //!
 //! ## Quickstart
 //!
@@ -50,5 +53,6 @@ pub use iqb_core as core;
 pub use iqb_data as data;
 pub use iqb_netsim as netsim;
 pub use iqb_pipeline as pipeline;
+pub use iqb_serve as serve;
 pub use iqb_stats as stats;
 pub use iqb_synth as synth;

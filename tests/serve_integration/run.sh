@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# End-to-end exercise of the `iqb serve` daemon over a real socket.
+#
+# Boots the daemon on a loopback ephemeral port, drives it with
+# `iqb client` (submit fixture -> health -> score -> reload-config ->
+# score -> shutdown), and fails on:
+#
+#   * any nonzero client/daemon exit,
+#   * a mismatch between the count-deterministic response lines and the
+#     committed golden.txt,
+#   * any divergence between the daemon's published reports and batch
+#     `iqb score` over the same fixture (the drained-equals-batch
+#     contract, compared as canonicalized JSON).
+#
+# The `metrics` response is intentionally absent from the goldens: its
+# counter values depend on request history and are not byte-stable.
+#
+# Usage: tests/serve_integration/run.sh
+#   IQB=<path>  use a prebuilt binary instead of `cargo build --release`.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+HERE="$ROOT/tests/serve_integration"
+command -v jq >/dev/null || { echo "error: jq is required" >&2; exit 2; }
+
+if [[ -z "${IQB:-}" ]]; then
+    (cd "$ROOT" && cargo build --release -p iqb-cli)
+    IQB="$ROOT/target/release/iqb"
+fi
+[[ -x "$IQB" ]] || { echo "error: $IQB is not executable" >&2; exit 2; }
+
+WORK="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [[ -n "$SERVER_PID" ]] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# --- boot ---------------------------------------------------------------
+"$IQB" serve --addr 127.0.0.1:0 --shards 2 >"$WORK/serve.log" 2>"$WORK/serve.err" &
+SERVER_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^iqb serve: listening on //p' "$WORK/serve.log" | head -n1)"
+    [[ -n "$ADDR" ]] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "error: daemon exited before listening" >&2
+        cat "$WORK/serve.log" "$WORK/serve.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "error: daemon never reported its address" >&2; exit 1; }
+echo "daemon on $ADDR (pid $SERVER_PID)"
+
+client() { "$IQB" client "$@" --addr "$ADDR"; }
+
+# --- drive --------------------------------------------------------------
+client submit --input "$HERE/fixture.csv"        >"$WORK/submitted.json"
+client health                                    >"$WORK/health.json"
+client score                                     >"$WORK/score_default.json"
+client score --region metro                      >"$WORK/score_metro.json"
+client whatif --region metro                     >"$WORK/whatif.json"
+client reload-config --profile graded            >"$WORK/reloaded.json"
+client score                                     >"$WORK/score_graded.json"
+client metrics                                   >"$WORK/metrics.json"
+client shutdown                                  >"$WORK/shutdown.json"
+
+if ! wait "$SERVER_PID"; then
+    echo "error: daemon exited nonzero" >&2
+    cat "$WORK/serve.log" "$WORK/serve.err" >&2
+    exit 1
+fi
+SERVER_PID=""
+grep -q "iqb serve: drained and stopped" "$WORK/serve.log" \
+    || { echo "error: daemon did not report a drained stop" >&2; exit 1; }
+
+# --- count-deterministic lines vs committed goldens ---------------------
+cat "$WORK/submitted.json" "$WORK/health.json" "$WORK/reloaded.json" \
+    "$WORK/shutdown.json" >"$WORK/actual.txt"
+diff -u "$HERE/golden.txt" "$WORK/actual.txt" \
+    || { echo "error: wire responses diverge from golden.txt" >&2; exit 1; }
+
+# --- drained-equals-batch: daemon reports vs batch `iqb score` ----------
+"$IQB" score --input "$HERE/fixture.csv" --format json >"$WORK/batch_default.json"
+"$IQB" score --input "$HERE/fixture.csv" --profile graded --format json \
+    >"$WORK/batch_graded.json"
+
+jq -S .report "$WORK/score_default.json" >"$WORK/daemon_default.canon"
+jq -S .       "$WORK/batch_default.json" >"$WORK/batch_default.canon"
+diff -u "$WORK/batch_default.canon" "$WORK/daemon_default.canon" \
+    || { echo "error: daemon default-config report != batch score" >&2; exit 1; }
+
+jq -S .score            "$WORK/score_metro.json"   >"$WORK/daemon_metro.canon"
+jq -S '.regions.metro'  "$WORK/batch_default.json" >"$WORK/batch_metro.canon"
+diff -u "$WORK/batch_metro.canon" "$WORK/daemon_metro.canon" \
+    || { echo "error: daemon per-region score != batch score" >&2; exit 1; }
+
+jq -S .report "$WORK/score_graded.json" >"$WORK/daemon_graded.canon"
+jq -S .       "$WORK/batch_graded.json" >"$WORK/batch_graded.canon"
+diff -u "$WORK/batch_graded.canon" "$WORK/daemon_graded.canon" \
+    || { echo "error: daemon post-reload report != batch --profile graded" >&2; exit 1; }
+
+# --- shape checks on the float-bearing / nondeterministic responses -----
+jq -e '.type == "whatif" and (.outcomes | length > 0)' "$WORK/whatif.json" >/dev/null \
+    || { echo "error: whatif response malformed: $(cat "$WORK/whatif.json")" >&2; exit 1; }
+jq -e '.type == "metrics" and (.counters["serve.requests.submit"] >= 1)' \
+    "$WORK/metrics.json" >/dev/null \
+    || { echo "error: metrics response malformed: $(cat "$WORK/metrics.json")" >&2; exit 1; }
+
+echo "serve integration: OK"
