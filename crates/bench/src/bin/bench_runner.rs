@@ -1,7 +1,8 @@
 //! Pipeline benchmark harness: scores a synthetic corpus at three sizes,
-//! across the three aggregation backends, in batch and incremental mode,
-//! plus chunked CSV-ingest throughput (serial vs 4 worker threads), and
-//! emits a `BENCH_pipeline.json` document ([`iqb_bench::gate::BenchDoc`]).
+//! across the three aggregation backends, in batch, incremental and
+//! windowed (event-time tumbling replay) mode, plus chunked CSV-ingest
+//! throughput (serial vs 4 worker threads), and emits a
+//! `BENCH_pipeline.json` document ([`iqb_bench::gate::BenchDoc`]).
 //!
 //! ```text
 //! bench_runner [--quick] [--out BENCH_pipeline.json]
@@ -19,11 +20,12 @@ use iqb_core::config::IqbConfig;
 use iqb_data::aggregate::{AggregationSpec, AggregatorBackend};
 use iqb_data::csv_io;
 use iqb_data::ingest::read_csv_store;
-use iqb_data::quarantine::IngestMode;
+use iqb_data::quarantine::{FaultKind, IngestMode};
 use iqb_data::record::TestRecord;
 use iqb_data::store::{MeasurementStore, QueryFilter};
 use iqb_pipeline::runner::score_all_regions;
 use iqb_pipeline::session::ScoringSession;
+use iqb_pipeline::temporal::{WindowPolicy, WindowedSession};
 
 const USAGE: &str = "usage: bench_runner [--quick] [--out <file.json>]";
 
@@ -73,6 +75,15 @@ fn main() {
             .query(&QueryFilter::all())
             .map(|r| r.to_record())
             .collect();
+        // Event-ordered replay for the windowed case, sorted outside the
+        // timed region: a zero-watermark tumbling session would quarantine
+        // out-of-order arrivals as late, and late records are a fault
+        // path, not the throughput path being measured.
+        let replay = {
+            let mut replay = records.clone();
+            replay.sort_by_key(|r| r.timestamp);
+            replay
+        };
 
         // Chunked-reader throughput: the same corpus as CSV text, parsed
         // serially and with 4 worker threads. The parallel reader is
@@ -103,11 +114,12 @@ fn main() {
             let spec = AggregationSpec::uniform_quantile(0.95)
                 .expect("0.95 is a valid quantile")
                 .with_backend(backend);
-            for case in ["batch", "incremental"] {
+            for case in ["batch", "incremental", "windowed"] {
                 let samples: Vec<f64> = (0..runs)
                     .map(|_| match case {
                         "batch" => time_batch(&store, &config, &spec),
-                        _ => time_incremental(&records, &config, &spec),
+                        "incremental" => time_incremental(&records, &config, &spec),
+                        _ => time_windowed(&replay, &config, &spec),
                     })
                     .collect();
                 let median_ms = sample_quantile(&samples, 0.5);
@@ -185,5 +197,21 @@ fn time_incremental(records: &[TestRecord], config: &IqbConfig, spec: &Aggregati
         session.rescore().expect("synthetic corpus scores");
     }
     assert!(!session.report().regions.is_empty());
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+/// One windowed pass: event-ordered replay through two-hour tumbling
+/// windows (the E9/E13 grid) with a final drain; returns wall
+/// milliseconds for the whole stream including every window freeze.
+fn time_windowed(replay: &[TestRecord], config: &IqbConfig, spec: &AggregationSpec) -> f64 {
+    let started = Instant::now();
+    let mut session = WindowedSession::new(config.clone(), spec.clone(), WindowPolicy::tumbling(7_200))
+        .expect("config, spec and policy are pre-validated");
+    session
+        .ingest_all(replay.iter())
+        .expect("synthetic records are pre-validated");
+    session.drain().expect("synthetic corpus scores");
+    assert!(!session.closed_windows().is_empty());
+    assert_eq!(session.late_report().count(FaultKind::Late), 0);
     started.elapsed().as_secs_f64() * 1e3
 }

@@ -1,0 +1,11 @@
+//! E13 (extension) — diurnal + changepoint detection golden.
+//!
+//! Regenerates `results/ext_detection.txt`: a synthetic score series with
+//! a planted 24-hour cycle and a day-5 outage step, and the analysis that
+//! recovers both. The series, analysis and rendering all live in
+//! [`iqb_bench::detection`], shared with the root `detection_golden`
+//! regression test; this binary only prints them.
+
+fn main() {
+    print!("{}", iqb_bench::detection::detection_golden_text());
+}

@@ -1,0 +1,184 @@
+//! E13 scaffolding — the detection golden's synthetic series and report.
+//!
+//! The series plants exactly the two structures `analyze_trend` exists to
+//! recover: a 24-hour quality cycle and a persistent outage step. Both the
+//! `ext_detection` binary (which regenerates `results/ext_detection.txt`)
+//! and the root `detection_golden` test render through this module, so the
+//! committed golden and the regression test can never disagree about what
+//! the report looks like.
+
+use iqb_pipeline::table::TextTable;
+use iqb_pipeline::trend::{analyze_trend, TrendAnalysis, TrendPoint};
+use iqb_stats::changepoint::{DetectConfig, ShiftDirection};
+use iqb_stats::rng::SplitMix64;
+
+use crate::MASTER_SEED;
+
+/// Window width of the synthetic series: two hours.
+pub const DETECTION_WINDOW_S: u64 = 7_200;
+/// Length of the series: seven days of two-hour windows.
+pub const DETECTION_WINDOWS: usize = 84;
+/// Quiescent score level.
+pub const DETECTION_BASE: f64 = 0.70;
+/// Half the peak-to-trough size of the planted 24 h cycle.
+pub const DETECTION_AMPLITUDE: f64 = 0.05;
+/// First window of the planted outage step. Day 5 starts here; it is a
+/// whole-period boundary, so every diurnal phase keeps the same pre/post
+/// split and the step cannot tilt the recovered cycle.
+pub const DETECTION_STEP_WINDOW: usize = 48;
+/// Size of the planted step.
+pub const DETECTION_STEP: f64 = -0.25;
+/// Windows per planted cycle: 24 h of two-hour windows.
+const CYCLE_WINDOWS: usize = 12;
+/// Peak-to-peak span of the uniform score noise.
+const NOISE_SPAN: f64 = 0.008;
+
+/// The synthetic per-window score series the golden pins: a ±0.05 sine
+/// with a 24 h period over 84 two-hour windows, a −0.25 step from window
+/// 48 on, and a seeded ±0.004 uniform noise floor.
+pub fn detection_series() -> Vec<TrendPoint> {
+    let mut rng = SplitMix64::new(MASTER_SEED);
+    (0..DETECTION_WINDOWS)
+        .map(|w| {
+            let phase = (w % CYCLE_WINDOWS) as f64 / CYCLE_WINDOWS as f64;
+            let cycle = DETECTION_AMPLITUDE * (std::f64::consts::TAU * phase).sin();
+            let step = if w >= DETECTION_STEP_WINDOW {
+                DETECTION_STEP
+            } else {
+                0.0
+            };
+            let noise = (rng.next_f64() - 0.5) * NOISE_SPAN;
+            TrendPoint {
+                window_start: w as u64 * DETECTION_WINDOW_S,
+                window_s: DETECTION_WINDOW_S,
+                score: Some(DETECTION_BASE + cycle + step + noise),
+                samples: 1,
+            }
+        })
+        .collect()
+}
+
+/// Runs the default-config analysis over the series.
+pub fn detection_analysis(points: &[TrendPoint]) -> TrendAnalysis {
+    analyze_trend(points, &DetectConfig::default()).expect("series is static and non-empty")
+}
+
+/// Renders the E13 report body (everything under the banner): the planted
+/// hour-of-day profile split at the step, then the recovered analysis.
+pub fn render_detection_report(points: &[TrendPoint], analysis: &TrendAnalysis) -> String {
+    use std::fmt::Write;
+
+    let mean_for_hour = |lo: usize, hi: usize, hour: u64| {
+        let scores: Vec<f64> = points[lo..hi]
+            .iter()
+            .filter(|p| (p.window_start / 3_600) % 24 == hour)
+            .filter_map(|p| p.score)
+            .collect();
+        scores.iter().sum::<f64>() / scores.len() as f64
+    };
+    let mut table = TextTable::new(["Hour of day", "Mean score, days 1-4", "Mean score, days 5-7"]);
+    for hour in (0..24u64).step_by(2) {
+        table.row([
+            format!("{hour:02}:00"),
+            format!("{:.3}", mean_for_hour(0, DETECTION_STEP_WINDOW, hour)),
+            format!(
+                "{:.3}",
+                mean_for_hour(DETECTION_STEP_WINDOW, DETECTION_WINDOWS, hour)
+            ),
+        ]);
+    }
+
+    let mut out = table.render();
+    out.push('\n');
+    writeln!(
+        out,
+        "Detection over {} windows ({} scored):",
+        analysis.windows, analysis.scored
+    )
+    .expect("String writes are infallible");
+    match analysis.diurnal.period_s {
+        Some(period_s) => writeln!(
+            out,
+            "  cycle: {:.1} h period (strength {:.2}), best hour {:02}:00, worst hour {:02}:00, swing {:.3}",
+            period_s as f64 / 3_600.0,
+            analysis.diurnal.strength,
+            analysis.diurnal.best_hour.unwrap_or(0),
+            analysis.diurnal.worst_hour.unwrap_or(0),
+            analysis.diurnal.swing,
+        ),
+        None => writeln!(
+            out,
+            "  cycle: none detected (strength {:.2})",
+            analysis.diurnal.strength
+        ),
+    }
+    .expect("String writes are infallible");
+    if analysis.shifts.is_empty() {
+        out.push_str("  shifts: none detected\n");
+    }
+    for shift in &analysis.shifts {
+        let direction = match shift.direction {
+            ShiftDirection::Up => "up",
+            ShiftDirection::Down => "down",
+        };
+        writeln!(
+            out,
+            "  shift: {direction} {:+.3} at t = {:.1} h (window {})",
+            shift.magnitude,
+            shift.window_start as f64 / 3_600.0,
+            shift.window_start / DETECTION_WINDOW_S,
+        )
+        .expect("String writes are infallible");
+    }
+    out.push('\n');
+    out.push_str(
+        "Reading: differencing + despiking keeps the planted 24 h cycle visible to\n\
+         the period fit while the outage step survives deseasonalization intact,\n\
+         so one pass recovers both the rhythm and the break.\n",
+    );
+    out
+}
+
+/// The full golden text: the standard experiment banner plus the report.
+/// The banner is inlined rather than going through [`crate::banner`]
+/// because the detection path never touches an aggregation backend, so
+/// the non-default-backend note can never apply (and [`crate::banner`]
+/// prints rather than returns).
+pub fn detection_golden_text() -> String {
+    let points = detection_series();
+    let analysis = detection_analysis(&points);
+    format!(
+        "=== E13 (extension): Detection golden: planted 24 h cycle + day-5 outage step, recovered\n\
+         === seed: {MASTER_SEED:#x}; deterministic — rerun reproduces this output exactly\n\n{}",
+        render_detection_report(&points, &analysis)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_is_deterministic_and_well_formed() {
+        let a = detection_series();
+        let b = detection_series();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), DETECTION_WINDOWS);
+        assert!(a.iter().all(|p| p.score.is_some()));
+        assert_eq!(a[1].window_start - a[0].window_start, DETECTION_WINDOW_S);
+    }
+
+    #[test]
+    fn step_lands_on_a_period_boundary() {
+        // The invariant the series design relies on: every diurnal phase
+        // has the same pre/post-step window count, so the step shifts all
+        // phase means equally and cannot tilt the recovered cycle.
+        assert_eq!(DETECTION_STEP_WINDOW % CYCLE_WINDOWS, 0);
+        assert_eq!(DETECTION_WINDOWS % CYCLE_WINDOWS, 0);
+    }
+
+    #[test]
+    fn golden_text_is_deterministic() {
+        assert_eq!(detection_golden_text(), detection_golden_text());
+    }
+}

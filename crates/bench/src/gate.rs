@@ -34,8 +34,10 @@ pub const DEFAULT_RSS_CEILING: f64 = 1.5;
 /// corpus size.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchRow {
-    /// Scoring case: `batch` (one `score_all_regions` pass) or
-    /// `incremental` (chunked `ScoringSession` ingest + rescore).
+    /// Scoring case: `batch` (one `score_all_regions` pass),
+    /// `incremental` (chunked `ScoringSession` ingest + rescore) or
+    /// `windowed` (event-ordered replay through tumbling windows plus a
+    /// final drain).
     pub case: String,
     /// Aggregation backend tag (`exact` | `tdigest` | `p2`).
     pub backend: String,

@@ -15,6 +15,7 @@
 //! | `ext_graded_ablation` | E8 — binary vs graded scoring |
 //! | `ext_temporal` | E9 — diurnal score trend |
 //! | `ext_rank_stability` | E10 — bootstrap ranking stability |
+//! | `ext_detection` | E13 — diurnal + changepoint detection golden |
 //!
 //! Criterion benches (`cargo bench`) cover scoring, statistics,
 //! simulation, data-store and end-to-end pipeline performance.
@@ -25,6 +26,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod detection;
 pub mod gate;
 
 use iqb_data::aggregate::AggregatorBackend;

@@ -29,8 +29,12 @@ use iqb_pipeline::quality::DataQualityReport;
 use iqb_pipeline::report::{render_csv, render_drilldown, render_json, render_summary};
 use iqb_pipeline::runner::score_all_regions;
 use iqb_pipeline::table::TextTable;
-use iqb_pipeline::trend::score_trend;
-use iqb_synth::campaign::{run_campaign, CampaignConfig};
+use iqb_pipeline::temporal::{WindowPolicy, WindowedSession};
+use iqb_pipeline::trend::{analyze_trend, score_trend, TrendAnalysis};
+use iqb_stats::changepoint::{DetectConfig, ShiftDirection};
+use iqb_synth::campaign::{
+    run_campaign, CampaignConfig, CampaignScheduler, RegionObservation, SchedulerConfig,
+};
 use iqb_synth::region::RegionSpec;
 
 use crate::args::{ParsedArgs, UsageError};
@@ -189,6 +193,27 @@ pub fn synth(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
         region.id, config.seed
     )?;
     Ok(())
+}
+
+/// Parses a duration option into seconds. Accepts a bare number of
+/// seconds or a number with an `s`/`m`/`h`/`d` suffix (`90s`, `15m`,
+/// `2h`, `1d`).
+pub(crate) fn parse_duration_s(raw: &str) -> Result<u64, Box<dyn std::error::Error>> {
+    let (digits, multiplier) = match raw.as_bytes().last() {
+        Some(b's') => (&raw[..raw.len() - 1], 1u64),
+        Some(b'm') => (&raw[..raw.len() - 1], 60),
+        Some(b'h') => (&raw[..raw.len() - 1], 3_600),
+        Some(b'd') => (&raw[..raw.len() - 1], 86_400),
+        _ => (raw, 1),
+    };
+    let value: u64 = digits.parse().map_err(|_| {
+        usage(format!(
+            "expected a duration like `900`, `90s`, `15m`, `2h` or `1d`, got `{raw}`"
+        ))
+    })?;
+    value.checked_mul(multiplier).ok_or_else(|| {
+        usage(format!("duration `{raw}` overflows a seconds counter"))
+    })
 }
 
 /// Shared `--ingest-mode strict|lenient` selector (default strict, which
@@ -395,7 +420,18 @@ pub fn compare(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
 }
 
 /// `iqb trend --input <file.csv> --region <r> [--window-hours <h>]`
+/// or, with `--window <dur>`, the event-time windowed path:
+/// `iqb trend --input <file.csv> --region <r> --window <dur>
+/// [--slide <dur>] [--watermark <dur>]`
 pub fn trend(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
+    if args.get("window").is_some() {
+        return trend_windowed(args, out);
+    }
+    for flag in ["slide", "watermark"] {
+        if args.get(flag).is_some() {
+            return Err(usage(format!("--{flag} requires --window")));
+        }
+    }
     let mut telemetry = Telemetry::from_args("trend", args)?;
     telemetry.stage("ingest");
     let store = load_store(args)?;
@@ -436,6 +472,165 @@ pub fn trend(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
         ]);
     }
     write!(out, "{}", table.render())?;
+    telemetry.emit()
+}
+
+/// The event-time windowed trend path (`--window <dur>`): records feed a
+/// [`WindowedSession`], the end of the file drains the stream, and the
+/// per-window score series runs through diurnal + changepoint detection.
+fn trend_windowed(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
+    let mut telemetry = Telemetry::from_args("trend", args)?;
+    telemetry.stage("ingest");
+    let records = read_records_arg(args, "input")?;
+    let region = RegionId::new(args.require("region")?)?;
+    let config = build_config(args)?;
+    let spec = build_spec(args)?;
+    let width_s = parse_duration_s(args.get("window").unwrap_or("0"))?;
+    if width_s == 0 {
+        return Err(usage("--window must be positive"));
+    }
+    let mut policy = WindowPolicy::tumbling(width_s);
+    if let Some(raw) = args.get("slide") {
+        policy = policy.with_slide(parse_duration_s(raw)?);
+    }
+    if let Some(raw) = args.get("watermark") {
+        policy = policy.with_watermark(parse_duration_s(raw)?);
+    }
+
+    telemetry.stage("score");
+    let mut session = WindowedSession::new(config, spec, policy)?;
+    session.ingest_all(&records)?;
+    // End of file is end of stream: freeze whatever the watermark left.
+    session.drain()?;
+    let points = session.region_points(&region)?;
+    if points.iter().all(|p| p.samples == 0) {
+        return Err(usage(format!("no records for region `{region}`")));
+    }
+    let series: Vec<_> = points.iter().map(|p| p.to_trend_point()).collect();
+    let analysis = analyze_trend(&series, &DetectConfig::default())?;
+
+    telemetry.stage("render");
+    let mut table = TextTable::new(["Window start (h)", "Samples", "IQB score"]);
+    for p in &points {
+        table.row([
+            format!("{:.1}", p.window_start as f64 / 3_600.0),
+            p.samples.to_string(),
+            p.score
+                .map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "—".into()),
+        ]);
+    }
+    write!(out, "{}", table.render())?;
+    let late = session
+        .late_report()
+        .count(iqb_data::quarantine::FaultKind::Late);
+    if late > 0 {
+        writeln!(
+            out,
+            "\n{late} late record(s) arrived behind the watermark and were quarantined."
+        )?;
+    }
+    writeln!(out, "\n{}", render_analysis(&analysis))?;
+    telemetry.emit()
+}
+
+/// Renders a [`TrendAnalysis`] as the short human summary `iqb trend
+/// --window` prints under the window table.
+fn render_analysis(analysis: &TrendAnalysis) -> String {
+    let mut lines = vec![format!(
+        "Detection over {} windows ({} scored):",
+        analysis.windows, analysis.scored
+    )];
+    match analysis.diurnal.period_s {
+        Some(period_s) => lines.push(format!(
+            "  cycle: {:.1} h period (strength {:.2}), best hour {}, worst hour {}, swing {:.3}",
+            period_s as f64 / 3_600.0,
+            analysis.diurnal.strength,
+            analysis.diurnal.best_hour.unwrap_or(0),
+            analysis.diurnal.worst_hour.unwrap_or(0),
+            analysis.diurnal.swing,
+        )),
+        None => lines.push(format!(
+            "  cycle: none detected (strength {:.2})",
+            analysis.diurnal.strength
+        )),
+    }
+    if analysis.shifts.is_empty() {
+        lines.push("  shifts: none detected".to_string());
+    }
+    for shift in &analysis.shifts {
+        let arrow = match shift.direction {
+            ShiftDirection::Up => "up",
+            ShiftDirection::Down => "down",
+        };
+        lines.push(format!(
+            "  shift: {arrow} {:+.3} at t = {:.1} h",
+            shift.magnitude,
+            shift.window_start as f64 / 3_600.0,
+        ));
+    }
+    lines.join("\n")
+}
+
+/// `iqb campaign --input <file.csv> --total <n> [--min-share <f>]
+/// [--window <dur>]` — score the measurement history per window, then
+/// split the next campaign's probe budget adaptively across regions.
+pub fn campaign(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
+    let mut telemetry = Telemetry::from_args("campaign", args)?;
+    telemetry.stage("ingest");
+    let records = read_records_arg(args, "input")?;
+    let config = build_config(args)?;
+    let spec = build_spec(args)?;
+    let width_s = parse_duration_s(args.get_or("window", "1h"))?;
+    if width_s == 0 {
+        return Err(usage("--window must be positive"));
+    }
+
+    telemetry.stage("score");
+    let mut session = WindowedSession::new(config, spec, WindowPolicy::tumbling(width_s))?;
+    session.ingest_all(&records)?;
+    session.drain()?;
+    let mut observations = Vec::new();
+    for region in session.regions() {
+        let scores: Vec<f64> = session
+            .region_points(&region)?
+            .iter()
+            .filter_map(|p| p.score)
+            .collect();
+        observations.push(RegionObservation { region, scores });
+    }
+    if observations.is_empty() {
+        return Err(usage("no scoreable records in --input"));
+    }
+    let scheduler = CampaignScheduler::new(SchedulerConfig {
+        total_tests: args.get_parsed_or("total", 1_000u64)?,
+        min_share: args.get_parsed_or("min-share", 0.25f64)?,
+        ..Default::default()
+    })?;
+    let allocations = scheduler.allocate(&observations)?;
+
+    telemetry.stage("render");
+    let mut table = TextTable::new(["Region", "Windows", "Priority", "Next tests"]);
+    for allocation in &allocations {
+        let windows = observations
+            .iter()
+            .find(|o| o.region == allocation.region)
+            .map(|o| o.scores.len())
+            .unwrap_or(0);
+        table.row([
+            allocation.region.to_string(),
+            windows.to_string(),
+            format!("{:.3}", allocation.priority),
+            allocation.tests.to_string(),
+        ]);
+    }
+    write!(out, "{}", table.render())?;
+    writeln!(
+        out,
+        "\n({} probes per dataset total; shares follow score volatility and\ngrade-boundary proximity, with a {:.0}% exploration floor.)",
+        scheduler.config().total_tests,
+        scheduler.config().min_share * 100.0,
+    )?;
     telemetry.emit()
 }
 
@@ -559,6 +754,132 @@ mod tests {
         let err =
             Telemetry::from_args("score", &parsed(&["score", "--metrics", "loud"])?).unwrap_err();
         assert!(err.to_string().contains("text|json|off"), "{err}");
+        Ok(())
+    }
+
+    #[test]
+    fn parse_duration_accepts_suffixes_and_rejects_garbage() -> CliResult {
+        assert_eq!(parse_duration_s("900")?, 900);
+        assert_eq!(parse_duration_s("90s")?, 90);
+        assert_eq!(parse_duration_s("15m")?, 900);
+        assert_eq!(parse_duration_s("2h")?, 7_200);
+        assert_eq!(parse_duration_s("1d")?, 86_400);
+        assert_eq!(parse_duration_s("0")?, 0);
+        assert!(parse_duration_s("").is_err());
+        assert!(parse_duration_s("h").is_err());
+        assert!(parse_duration_s("2 h").is_err());
+        assert!(parse_duration_s("-5m").is_err());
+        assert!(parse_duration_s("2.5h").is_err());
+        Ok(())
+    }
+
+    /// One record per dataset per region per 30-minute step; metro's
+    /// throughput collapses halfway through the history.
+    fn write_history_csv(path: &std::path::Path, steps: u64) -> CliResult {
+        let mut csv = String::from(
+            "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n",
+        );
+        for step in 0..steps {
+            let ts = step * 1_800;
+            let down = if step < steps / 2 { 300.0 } else { 25.0 };
+            for dataset in ["ndt", "cloudflare", "ookla"] {
+                let loss = if dataset == "ookla" { "" } else { "0.2" };
+                csv.push_str(&format!("{ts},metro,{dataset},{down},40.0,20.0,{loss},\n"));
+                csv.push_str(&format!("{ts},rural,{dataset},80.0,10.0,40.0,{loss},\n"));
+            }
+        }
+        std::fs::write(path, csv)?;
+        Ok(())
+    }
+
+    #[test]
+    fn windowed_trend_reports_windows_and_detection() -> CliResult {
+        let _guard = ingest_lock();
+        let dir = std::env::temp_dir().join("iqb-cli-temporal-test");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("history.csv");
+        write_history_csv(&path, 8)?;
+        let path_str = path.to_str().ok_or("temp path is not UTF-8")?;
+
+        let mut out = Vec::new();
+        trend(
+            &parsed(&[
+                "trend",
+                "--input",
+                path_str,
+                "--region",
+                "metro",
+                "--window",
+                "30m",
+                "--watermark",
+                "0s",
+            ])?,
+            &mut out,
+        )?;
+        let text = String::from_utf8(out)?;
+        assert!(
+            text.contains("Detection over 8 windows (8 scored)"),
+            "{text}"
+        );
+        assert!(text.contains("Window start (h)"), "{text}");
+
+        // The temporal flags demand the temporal path.
+        assert!(trend(
+            &parsed(&["trend", "--input", path_str, "--region", "metro", "--slide", "15m"])?,
+            &mut Vec::new(),
+        )
+        .is_err());
+        assert!(trend(
+            &parsed(&["trend", "--input", path_str, "--region", "metro", "--window", "0"])?,
+            &mut Vec::new(),
+        )
+        .is_err());
+        assert!(trend(
+            &parsed(&["trend", "--input", path_str, "--region", "nowhere", "--window", "30m"])?,
+            &mut Vec::new(),
+        )
+        .is_err());
+        std::fs::remove_file(&path).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn campaign_plans_a_budget_over_windowed_scores() -> CliResult {
+        let _guard = ingest_lock();
+        let dir = std::env::temp_dir().join("iqb-cli-campaign-test");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("history.csv");
+        write_history_csv(&path, 8)?;
+        let path_str = path.to_str().ok_or("temp path is not UTF-8")?;
+
+        let mut out = Vec::new();
+        campaign(
+            &parsed(&[
+                "campaign",
+                "--input",
+                path_str,
+                "--total",
+                "100",
+                "--window",
+                "30m",
+            ])?,
+            &mut out,
+        )?;
+        let text = String::from_utf8(out)?;
+        assert!(text.contains("metro") && text.contains("rural"), "{text}");
+        assert!(text.contains("100 probes per dataset total"), "{text}");
+
+        assert!(campaign(
+            &parsed(&["campaign", "--input", path_str, "--window", "0"])?,
+            &mut Vec::new(),
+        )
+        .is_err());
+        assert!(campaign(
+            &parsed(&["campaign", "--input", path_str, "--total", "0"])?,
+            &mut Vec::new(),
+        )
+        .is_err());
+        std::fs::remove_file(&path).ok();
         Ok(())
     }
 

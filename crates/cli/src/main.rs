@@ -7,7 +7,8 @@
 //! iqb exhibits [fig1|fig2|table1|all]        regenerate the paper's exhibits
 //! iqb synth --preset <p> --out <file.csv>    synthesize a measurement campaign
 //! iqb score --input <file.csv>               score every region in a CSV
-//! iqb trend --input <file.csv> --region <r>  windowed score trend
+//! iqb trend --input <file.csv> --region <r>  windowed score trend + detection
+//! iqb campaign --input <file.csv>            adaptive probe-budget plan
 //! iqb whatif --input <file.csv> --region <r> rank candidate improvements
 //! iqb serve [--addr <host:port>]             boot the scoring daemon
 //! iqb client <verb> [--addr <host:port>]     drive a running daemon
@@ -69,7 +70,29 @@ COMMANDS:
     trend                             Windowed score trend for one region
         --input <file.csv>            Input path (required)
         --region <name>               Region id (required)
-        --window-hours <h>            Window width (default 2)
+        --window-hours <h>            Window width (default 2; batch path)
+        --window <dur>                Event-time windowed path instead:
+                                      tumbling windows of <dur> (e.g. 900s,
+                                      15m, 2h), watermark-closed, plus
+                                      diurnal + changepoint detection
+        --slide <dur>                 Window start spacing (default: the
+                                      window width; requires --window)
+        --watermark <dur>             Allowed lateness before a window
+                                      freezes (default 0; requires --window)
+        --ingest-mode <strict|lenient>  Fault handling (default strict)
+        --metrics / --metrics-out / --trace   As for `score`
+    campaign                          Plan the next measurement campaign:
+                                      window the history, score it, and
+                                      split the probe budget adaptively
+                                      (volatile / near-boundary regions
+                                      draw more; every region keeps an
+                                      exploration floor)
+        --input <file.csv>            Measurement history (required)
+        --total <n>                   Probe budget, tests per dataset
+                                      (default 1000)
+        --min-share <f>               Exploration floor as a fraction of
+                                      the uniform share (default 0.25)
+        --window <dur>                Scoring window width (default 1h)
         --ingest-mode <strict|lenient>  Fault handling (default strict)
         --metrics / --metrics-out / --trace   As for `score`
     whatif                            Rank improvements for one region
@@ -86,16 +109,27 @@ COMMANDS:
         --workers <n>                 Connection worker threads (default 4)
         --debounce <n>                Submits a shard absorbs before
                                       republishing its snapshot (default 1)
+        --window <dur>                Event-time window width each shard
+                                      tracks for `window`/`detect`
+                                      requests (default 1h; 0 disables)
+        --slide <dur>                 Window start spacing (default: the
+                                      window width)
+        --watermark <dur>             Allowed lateness before a window
+                                      freezes (default 0)
         --profile / --level / --mode / --quantile / --agg-backend   As for `score`
     client <verb>                     Send one request to a running daemon and
                                       print the raw response line
-        <verb>                        submit|score|trend|whatif|snapshot|
-                                      reload-config|health|metrics|shutdown
+        <verb>                        submit|score|trend|window|detect|whatif|
+                                      snapshot|reload-config|health|metrics|
+                                      shutdown
         --addr <host:port>            Daemon address (default 127.0.0.1:7311)
         --input <file.csv>            submit: records to send (required)
         --ingest-mode <strict|lenient>  submit: fault handling (default strict)
-        --region <name>               score (optional); trend/whatif (required)
+        --region <name>               score (optional); trend/window/detect/
+                                      whatif (required)
         --window-s <n>                trend: window width in seconds (default 3600)
+        --threshold <z>               detect: changepoint z-threshold
+        --min-segment <n>             detect: min windows per segment
         --profile / --quantile / --agg-backend   reload-config: what to change
     help                              Show this message
 ";
@@ -126,6 +160,7 @@ fn run(raw: Vec<String>, out: &mut dyn std::io::Write) -> Result<(), Box<dyn std
         Some("score") => commands::score(&parsed, out),
         Some("compare") => commands::compare(&parsed, out),
         Some("trend") => commands::trend(&parsed, out),
+        Some("campaign") => commands::campaign(&parsed, out),
         Some("whatif") => commands::whatif(&parsed, out),
         Some("serve") => serve_cmd::serve(&parsed, out),
         Some("client") => serve_cmd::client(&parsed, out),

@@ -8,11 +8,12 @@
 
 use std::io::Write;
 
+use iqb_pipeline::temporal::WindowPolicy;
 use iqb_serve::proto::DEFAULT_TREND_WINDOW_S;
 use iqb_serve::{Client, Request, ServeOptions, Server};
 
 use crate::args::{ParsedArgs, UsageError};
-use crate::commands::{build_config, build_spec, read_records_arg};
+use crate::commands::{build_config, build_spec, parse_duration_s, read_records_arg};
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -29,8 +30,31 @@ fn positive(args: &ParsedArgs, key: &str, default: usize) -> Result<usize, Box<d
     Ok(value)
 }
 
+/// The daemon's `--window <dur> [--slide <dur>] [--watermark <dur>]`
+/// knobs folded into a [`WindowPolicy`]; `--window 0` disables
+/// windowing (and the `window`/`detect` requests with it).
+fn window_policy(args: &ParsedArgs) -> Result<Option<WindowPolicy>, Box<dyn std::error::Error>> {
+    let width_s = parse_duration_s(args.get_or("window", "1h"))?;
+    if width_s == 0 {
+        for flag in ["slide", "watermark"] {
+            if args.get(flag).is_some() {
+                return Err(usage(format!("--{flag} requires a nonzero --window")));
+            }
+        }
+        return Ok(None);
+    }
+    let mut policy = WindowPolicy::tumbling(width_s);
+    if let Some(raw) = args.get("slide") {
+        policy = policy.with_slide(parse_duration_s(raw)?);
+    }
+    if let Some(raw) = args.get("watermark") {
+        policy = policy.with_watermark(parse_duration_s(raw)?);
+    }
+    Ok(Some(policy))
+}
+
 /// `iqb serve [--addr <host:port>] [--shards <n>] [--workers <n>]
-/// [--debounce <n>] [config options]`
+/// [--debounce <n>] [--window <dur>] [config options]`
 ///
 /// Prints one `iqb serve: listening on <addr>` line (flushed, so
 /// orchestrators reading a pipe see it before the first connection),
@@ -41,6 +65,7 @@ pub fn serve(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
         shards: positive(args, "shards", 4)?,
         workers: positive(args, "workers", 4)?,
         debounce_submits: positive(args, "debounce", 1)?,
+        window: window_policy(args)?,
     };
     let config = build_config(args)?;
     let spec = build_spec(args)?;
@@ -57,7 +82,8 @@ pub fn client(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
     let verb = args.positional(1).ok_or_else(|| {
         usage(
             "client needs a request verb \
-             (submit|score|trend|whatif|snapshot|reload-config|health|metrics|shutdown)",
+             (submit|score|trend|window|detect|whatif|snapshot|reload-config|\
+             health|metrics|shutdown)",
         )
     })?;
     let request = build_request(verb, args)?;
@@ -90,6 +116,28 @@ fn build_request(verb: &str, args: &ParsedArgs) -> Result<Request, Box<dyn std::
             region: args.require("region")?.to_string(),
             window_s: args.get_parsed_or("window-s", DEFAULT_TREND_WINDOW_S)?,
         }),
+        "window" => Ok(Request::Window {
+            region: args.require("region")?.to_string(),
+        }),
+        "detect" => {
+            let threshold = match args.get("threshold") {
+                Some(raw) => Some(raw.parse::<f64>().map_err(|_| {
+                    usage(format!("option --threshold expects a number, got `{raw}`"))
+                })?),
+                None => None,
+            };
+            let min_segment = match args.get("min-segment") {
+                Some(raw) => Some(raw.parse::<usize>().map_err(|_| {
+                    usage(format!("option --min-segment expects an integer, got `{raw}`"))
+                })?),
+                None => None,
+            };
+            Ok(Request::Detect {
+                region: args.require("region")?.to_string(),
+                threshold,
+                min_segment,
+            })
+        }
         "whatif" => Ok(Request::Whatif {
             region: args.require("region")?.to_string(),
         }),
@@ -143,6 +191,46 @@ mod tests {
             }
         );
         assert!(build_request("trend", &parsed(&["client", "trend"])?).is_err());
+        assert_eq!(
+            build_request("window", &parsed(&["client", "window", "--region", "metro"])?)?,
+            Request::Window {
+                region: "metro".into()
+            }
+        );
+        assert!(build_request("window", &parsed(&["client", "window"])?).is_err());
+        assert_eq!(
+            build_request(
+                "detect",
+                &parsed(&[
+                    "client",
+                    "detect",
+                    "--region",
+                    "metro",
+                    "--threshold",
+                    "4.5",
+                    "--min-segment",
+                    "6"
+                ])?
+            )?,
+            Request::Detect {
+                region: "metro".into(),
+                threshold: Some(4.5),
+                min_segment: Some(6),
+            }
+        );
+        assert_eq!(
+            build_request("detect", &parsed(&["client", "detect", "--region", "metro"])?)?,
+            Request::Detect {
+                region: "metro".into(),
+                threshold: None,
+                min_segment: None,
+            }
+        );
+        assert!(build_request(
+            "detect",
+            &parsed(&["client", "detect", "--region", "metro", "--threshold", "tall"])?
+        )
+        .is_err());
         assert!(build_request("whatif", &parsed(&["client", "whatif"])?).is_err());
         assert_eq!(build_request("snapshot", &parsed(&["client", "snapshot"])?)?, Request::Snapshot);
         assert_eq!(
@@ -253,6 +341,14 @@ mod tests {
         assert!(report.contains("metro") && report.contains("rural"), "{report}");
         let health = run(&["client", "health", "--addr", &addr])?;
         assert!(health.contains(r#""records":24"#), "{health}");
+        // Both regions fit one still-open hour window per shard.
+        let window = run(&["client", "window", "--addr", &addr, "--region", "metro"])?;
+        assert!(window.contains(r#""type":"window""#), "{window}");
+        assert!(window.contains(r#""open":2"#), "{window}");
+        assert!(window.contains(r#""late":0"#), "{window}");
+        let detect = run(&["client", "detect", "--addr", &addr, "--region", "metro"])?;
+        assert!(detect.contains(r#""type":"detect""#), "{detect}");
+        assert!(detect.contains(r#""windows":1"#), "{detect}");
         let bye = run(&["client", "shutdown", "--addr", &addr])?;
         assert_eq!(bye.trim_end(), r#"{"type":"shutting-down"}"#);
 

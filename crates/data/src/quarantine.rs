@@ -94,11 +94,16 @@ pub enum FaultKind {
     SourceError,
     /// A `DataSource` panicked (caught at an isolation boundary).
     SourcePanic,
+    /// A valid record that arrived behind the watermark, after every
+    /// window covering its timestamp had already closed. Late data is
+    /// quarantined rather than reopening windows so closed-window scores
+    /// stay immutable once published.
+    Late,
 }
 
 impl FaultKind {
     /// Every kind, in severity-agnostic display order.
-    pub const ALL: [FaultKind; 8] = [
+    pub const ALL: [FaultKind; 9] = [
         FaultKind::Parse,
         FaultKind::Encoding,
         FaultKind::InvalidValue,
@@ -107,6 +112,7 @@ impl FaultKind {
         FaultKind::Io,
         FaultKind::SourceError,
         FaultKind::SourcePanic,
+        FaultKind::Late,
     ];
 
     /// Stable lowercase tag used in rendered reports.
@@ -120,6 +126,7 @@ impl FaultKind {
             FaultKind::Io => "io",
             FaultKind::SourceError => "source-error",
             FaultKind::SourcePanic => "source-panic",
+            FaultKind::Late => "late",
         }
     }
 

@@ -7,8 +7,8 @@
 //! keeps the accepted grammar small enough to audit.
 //!
 //! Policy knobs (`[iter_order] paths`, `[nondet] crates`, `[panic]
-//! crates`, `[serve] crates`, `[metric_names] catalog`) live in the
-//! file so the policy is
+//! crates`, `[serve] crates`, `[time] paths`, `[metric_names] catalog`)
+//! live in the file so the policy is
 //! reviewable where it is enforced; `Config::default_policy()` mirrors
 //! the committed `lint.toml` so the tool still runs sensibly without
 //! one.
@@ -41,6 +41,11 @@ pub struct Config {
     /// stream types); everywhere else a socket is an architecture
     /// violation.
     pub serve_crates: BTreeSet<String>,
+    /// Files on the event-time scoring path where wall-clock reads are
+    /// banned outright: timestamps must come from record data. File-
+    /// scoped (not crate-scoped) so it also binds the serving and CLI
+    /// layers, whose other code may time freely.
+    pub time_paths: BTreeSet<String>,
     /// Workspace-relative path of the metric-name catalog.
     pub metric_catalog: String,
     pub allows: Vec<AllowEntry>,
@@ -76,6 +81,14 @@ impl Config {
             ]),
             panic_crates: set(&["core", "data", "stats", "pipeline", "lint"]),
             serve_crates: set(&["serve", "cli"]),
+            time_paths: set(&[
+                "crates/pipeline/src/temporal.rs",
+                "crates/pipeline/src/trend.rs",
+                "crates/stats/src/changepoint.rs",
+                "crates/synth/src/campaign.rs",
+                "crates/serve/src/server.rs",
+                "crates/cli/src/commands.rs",
+            ]),
             metric_catalog: "crates/obs/src/names.rs".to_string(),
             allows: Vec::new(),
         }
@@ -198,6 +211,10 @@ fn apply(
             config.serve_crates = parse_array(value, line_no)?.into_iter().collect();
             Ok(())
         }
+        ("time", "paths") => {
+            config.time_paths = parse_array(value, line_no)?.into_iter().collect();
+            Ok(())
+        }
         ("metric_names", "catalog") => {
             config.metric_catalog = parse_string(value, line_no)?;
             Ok(())
@@ -316,6 +333,9 @@ crates = ["core"]
 [serve]
 crates = ["serve", "cli", "bench"]
 
+[time]
+paths = ["crates/pipeline/src/temporal.rs"]
+
 [metric_names]
 catalog = "names.rs"
 
@@ -337,6 +357,13 @@ reason = "slice checked"
         );
         assert_eq!(config.nondet_crates.len(), 1);
         assert_eq!(config.serve_crates.len(), 3);
+        assert_eq!(
+            config.time_paths,
+            ["crates/pipeline/src/temporal.rs"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        );
         assert_eq!(config.metric_catalog, "names.rs");
         assert_eq!(config.allows.len(), 2);
         assert!(config.allows("nondet", "crates/data/src/ingest.rs", 80));

@@ -8,7 +8,7 @@
 //! path, a metric name that drifts from the catalog, an `unwrap` that
 //! turns a bad CSV row into a crash. This crate makes those rules
 //! machine-enforced: it lexes every workspace source file and checks
-//! seven families of invariants, emitting rustc-style diagnostics.
+//! eight families of invariants, emitting rustc-style diagnostics.
 //!
 //! | rule id | invariant |
 //! |---|---|
@@ -18,6 +18,7 @@
 //! | `metric-names` | obs metric names round-trip through the catalog |
 //! | `panic` | no naked `unwrap`/`expect` in core library code |
 //! | `serve` | sockets only in the serving crates (`serve`, `cli`) |
+//! | `time` | event-time files take timestamps from records, not clocks |
 //! | `forbid-unsafe` | every crate root has `#![forbid(unsafe_code)]` |
 //!
 //! Escape hatches, in order of preference: fix the code; annotate the
@@ -49,6 +50,7 @@ pub fn run_files(files: &[SourceFile], config: &Config) -> Vec<Diagnostic> {
         lints::nondet::check(file, config, &mut diags);
         lints::panics::check(file, config, &mut diags);
         lints::serve_role::check(file, config, &mut diags);
+        lints::time::check(file, config, &mut diags);
         lints::unsafe_attr::check(file, config, &mut diags);
     }
     lints::metric_names::check(&lexed, config, &mut diags);

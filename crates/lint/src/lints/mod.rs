@@ -1,4 +1,4 @@
-//! The seven lint families.
+//! The eight lint families.
 //!
 //! Each rule module exposes `check(...)` taking the per-file analysis
 //! context and pushing [`Diagnostic`]s. Emission funnels through
@@ -14,6 +14,7 @@ pub mod metric_names;
 pub mod nondet;
 pub mod panics;
 pub mod serve_role;
+pub mod time;
 pub mod unsafe_attr;
 
 use crate::analysis::LexedFile;

@@ -1,0 +1,42 @@
+//! Event-time purity: files on the temporal scoring path (the `[time]
+//! paths` list in `lint.toml`) must derive every timestamp from record
+//! data. Windows close when a watermark computed from ingested
+//! timestamps passes their end; a `SystemTime::now()` or
+//! `Instant::now()` read in these files would tie window closure (or
+//! campaign scheduling) to the wall clock, turning deterministic replay
+//! into a race. The ban is file-scoped — unlike `nondet`'s crate scope —
+//! so it also holds in the serving and CLI layers, whose *other* code is
+//! deliberately free to read clocks.
+
+use crate::analysis::LexedFile;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::walker::Role;
+
+pub fn check(file: &LexedFile<'_>, config: &Config, diags: &mut Vec<Diagnostic>) {
+    if file.src.role == Role::Test || !config.time_paths.contains(&file.src.path) {
+        return;
+    }
+    for i in 0..file.toks.len() {
+        let line = file.toks[i].line;
+        if file.in_test(line) {
+            continue;
+        }
+        if let Some(t @ ("SystemTime" | "Instant")) = file.ident(i) {
+            if file.path_sep(i + 1) && file.ident(i + 3) == Some("now") {
+                super::emit(
+                    file,
+                    config,
+                    diags,
+                    "time",
+                    line,
+                    format!(
+                        "`{t}::now()` on the event-time scoring path: window, \
+                         watermark and campaign timestamps must come from record \
+                         data, never the wall clock"
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: event-time equivalent the `time` rule must accept — the
+//! watermark advances on record timestamps, never the wall clock.
+//! Never compiled — parsed by `iqb-lint` in `tests/lints.rs`.
+
+pub fn watermark(max_event_ts: u64, allowed_lateness_s: u64) -> u64 {
+    max_event_ts.saturating_sub(allowed_lateness_s)
+}
+
+#[cfg(test)]
+mod tests {
+    // Wall timing inside a test region is fine: tests may measure.
+    pub fn tick() -> std::time::Instant {
+        std::time::Instant::now()
+    }
+}

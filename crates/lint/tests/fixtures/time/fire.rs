@@ -1,0 +1,10 @@
+//! Fixture: wall-clock reads the `time` rule must flag in a file on the
+//! event-time scoring path — window closure tied to arrival time.
+//! Never compiled — parsed by `iqb-lint` in `tests/lints.rs`.
+
+pub fn close_windows() -> u64 {
+    let now = std::time::SystemTime::now();
+    let tick = std::time::Instant::now();
+    let _ = (now, tick);
+    0
+}

@@ -29,6 +29,8 @@ const UNSAFE_FIRE: &str = include_str!("fixtures/forbid_unsafe/fire.rs");
 const UNSAFE_CLEAN: &str = include_str!("fixtures/forbid_unsafe/clean.rs");
 const SERVE_FIRE: &str = include_str!("fixtures/serve/fire.rs");
 const SERVE_CLEAN: &str = include_str!("fixtures/serve/clean.rs");
+const TIME_FIRE: &str = include_str!("fixtures/time/fire.rs");
+const TIME_CLEAN: &str = include_str!("fixtures/time/clean.rs");
 
 /// A policy with every list empty, so each test opts in to exactly the
 /// machinery its family needs.
@@ -38,6 +40,7 @@ fn bare_config() -> Config {
         nondet_crates: BTreeSet::new(),
         panic_crates: BTreeSet::new(),
         serve_crates: BTreeSet::new(),
+        time_paths: BTreeSet::new(),
         metric_catalog: "crates/obs/src/names.rs".to_string(),
         allows: Vec::new(),
     }
@@ -322,6 +325,59 @@ fn serve_rule_exempts_listed_crates_and_tests() {
 fn serve_clean_accepts_pure_code_and_reasoned_annotation() {
     let file = lib("crates/data/src/socket_clean.rs", "data", SERVE_CLEAN);
     assert_clean(run_files(&[file], &bare_config()));
+}
+
+#[test]
+fn time_fire_flags_clock_reads_in_listed_files() {
+    let mut config = bare_config();
+    config
+        .time_paths
+        .insert("crates/serve/src/server.rs".to_string());
+    // `serve` is not a nondet crate, so only the file-scoped time rule
+    // can catch a clock read here.
+    let file = lib("crates/serve/src/server.rs", "serve", TIME_FIRE);
+    let diags = run_files(&[file], &config);
+    assert_eq!(shape(&diags), vec![(6, "time"), (7, "time")]);
+    assert!(diags[0].message.contains("`SystemTime::now()`"));
+    assert!(diags[0].message.contains("record data"));
+    assert!(diags[1].message.contains("`Instant::now()`"));
+}
+
+#[test]
+fn time_only_applies_to_listed_paths() {
+    let mut config = bare_config();
+    config
+        .time_paths
+        .insert("crates/serve/src/server.rs".to_string());
+    let file = lib("crates/serve/src/client.rs", "serve", TIME_FIRE);
+    assert_clean(run_files(&[file], &config));
+}
+
+#[test]
+fn time_clean_accepts_event_time_and_test_regions() {
+    let mut config = bare_config();
+    config
+        .time_paths
+        .insert("crates/pipeline/src/temporal.rs".to_string());
+    // The clean fixture's only clock read sits inside #[cfg(test)].
+    let file = lib("crates/pipeline/src/temporal.rs", "pipeline", TIME_CLEAN);
+    assert_clean(run_files(&[file], &config));
+}
+
+#[test]
+fn time_rule_exempts_test_role_files() {
+    let mut config = bare_config();
+    config
+        .time_paths
+        .insert("crates/pipeline/tests/windowed.rs".to_string());
+    let file = source(
+        "crates/pipeline/tests/windowed.rs",
+        "pipeline",
+        Role::Test,
+        false,
+        TIME_FIRE,
+    );
+    assert_clean(run_files(&[file], &config));
 }
 
 #[test]

@@ -66,6 +66,17 @@ pub const SERVE_RECORDS: &str = "serve.records";
 /// Records retained per shard, prefix (suffix = `shard<N>`; gauges).
 pub const SERVE_SHARD_RECORDS: &str = "serve.shard_records";
 
+/// Windows opened by a `WindowedSession` (first record landed).
+pub const TEMPORAL_WINDOWS_OPENED: &str = "temporal.windows_opened";
+/// Windows closed by the watermark (or a final drain) and scored.
+pub const TEMPORAL_WINDOWS_CLOSED: &str = "temporal.windows_closed";
+/// Records quarantined as late: every covering window already closed.
+pub const TEMPORAL_LATE_RECORDS: &str = "temporal.late_records";
+/// Record-into-window feeds (a sliding record counts once per window).
+pub const TEMPORAL_RECORDS_WINDOWED: &str = "temporal.records_windowed";
+/// Trend-detection (diurnal + changepoint) latency histogram, in ms.
+pub const TEMPORAL_DETECT_MS: &str = "temporal.detect_ms";
+
 /// Join a per-source prefix with its source label: `per_source(INGEST_KEPT,
 /// "csv")` → `"ingest.kept.csv"`.
 pub fn per_source(prefix: &str, label: &str) -> String {

@@ -19,7 +19,12 @@
 //!   survived behind the isolation boundary, retry recoveries.
 //! * [`rank`] — regional rankings plus bootstrap ranking-stability
 //!   analysis (experiment E10).
-//! * [`trend`] — windowed temporal scoring (experiment E9).
+//! * [`temporal`] — [`temporal::WindowedSession`], continuous event-time
+//!   scoring: records land in tumbling/sliding windows, a data-derived
+//!   watermark freezes window scores deterministically, and late arrivals
+//!   quarantine instead of reopening closed windows.
+//! * [`trend`] — windowed temporal scoring (experiment E9), plus diurnal
+//!   and changepoint detection over per-window score series.
 //! * [`table`] — a small text-table renderer used by every exhibit.
 //! * [`exhibits`] — regenerators for the paper's three exhibits: the
 //!   Fig. 1 tier diagram, the Fig. 2 threshold table and Table 1 weights.
@@ -45,6 +50,7 @@ pub mod report;
 pub mod runner;
 pub mod session;
 pub mod table;
+pub mod temporal;
 pub mod trend;
 
 pub use error::PipelineError;
@@ -54,3 +60,4 @@ pub use runner::{
     score_all_regions, score_sources, RegionScore, RegionalReport, ScoredSources, SourceRunOptions,
 };
 pub use session::ScoringSession;
+pub use temporal::{ClosedWindow, WindowPoint, WindowPolicy, WindowedSession};

@@ -36,10 +36,13 @@ use iqb_data::quarantine::{IngestMode, QuarantineReport};
 use iqb_data::record::{RegionId, TestRecord};
 use iqb_data::store::QueryFilter;
 
+use iqb_stats::changepoint::DetectConfig;
+
 use crate::error::PipelineError;
 use crate::runner::{RegionScore, RegionalReport};
 use crate::session::ScoringSession;
-use crate::trend::{score_trend, TrendPoint};
+use crate::temporal::{WindowPoint, WindowPolicy, WindowedSession};
+use crate::trend::{analyze_trend, score_trend, TrendAnalysis, TrendPoint};
 
 /// Maps a region to its owning shard: FNV-1a over the region name,
 /// reduced modulo the shard count. Hand-rolled rather than the std
@@ -63,6 +66,11 @@ pub struct RegistryOptions {
     /// Number of submits a shard absorbs before it rescores and
     /// publishes a new snapshot; `1` commits on every submit.
     pub debounce_submits: usize,
+    /// Event-time window policy for continuous temporal scoring. Each
+    /// shard feeds its submitted records into a
+    /// [`WindowedSession`](crate::temporal::WindowedSession) alongside
+    /// the batch session; `None` disables windowing entirely.
+    pub window: Option<WindowPolicy>,
 }
 
 impl Default for RegistryOptions {
@@ -70,13 +78,14 @@ impl Default for RegistryOptions {
         RegistryOptions {
             shards: 4,
             debounce_submits: 1,
+            window: Some(WindowPolicy::default()),
         }
     }
 }
 
 impl RegistryOptions {
-    /// Rejects degenerate configurations (zero shards or a debounce that
-    /// would never commit).
+    /// Rejects degenerate configurations (zero shards, a debounce that
+    /// would never commit, or an invalid window policy).
     pub fn validate(&self) -> Result<(), PipelineError> {
         if self.shards == 0 {
             return Err(PipelineError::InvalidConfig(
@@ -88,15 +97,20 @@ impl RegistryOptions {
                 "debounce_submits must be >= 1 (a zero debounce never commits)".into(),
             ));
         }
+        if let Some(window) = &self.window {
+            window.validate()?;
+        }
         Ok(())
     }
 }
 
-/// Writer-side state of a shard: the session itself plus the number of
+/// Writer-side state of a shard: the session itself, the shard's
+/// windowed-session twin (when windowing is on), plus the number of
 /// submits absorbed since the last published commit.
 #[derive(Debug)]
 struct ShardWriter {
     session: ScoringSession,
+    windowed: Option<WindowedSession>,
     pending_submits: usize,
 }
 
@@ -111,10 +125,11 @@ pub struct SessionShard {
 }
 
 impl SessionShard {
-    fn new(session: ScoringSession) -> Self {
+    fn new(session: ScoringSession, windowed: Option<WindowedSession>) -> Self {
         SessionShard {
             writer: Mutex::new(ShardWriter {
                 session,
+                windowed,
                 pending_submits: 0,
             }),
             published: RwLock::new(Arc::new(empty_report())),
@@ -181,10 +196,18 @@ impl SessionRegistry {
         options.validate()?;
         let mut shards = Vec::with_capacity(options.shards);
         for _ in 0..options.shards {
-            shards.push(SessionShard::new(ScoringSession::new(
-                config.clone(),
-                spec.clone(),
-            )?));
+            let windowed = match options.window {
+                Some(policy) => Some(WindowedSession::new(
+                    config.clone(),
+                    spec.clone(),
+                    policy,
+                )?),
+                None => None,
+            };
+            shards.push(SessionShard::new(
+                ScoringSession::new(config.clone(), spec.clone())?,
+                windowed,
+            ));
         }
         Ok(SessionRegistry {
             shards,
@@ -253,6 +276,19 @@ impl SessionRegistry {
             }
             let shard = &self.shards[index];
             let mut writer = shard.writer.lock();
+            // Feed the windowed twin first, from the same arrival-ordered
+            // bucket. Under strict mode the whole batch is already
+            // validated; under lenient mode the poisoned records are
+            // skipped here and quarantined by the session ingest below,
+            // so both ledgers agree on what was kept.
+            if let Some(windowed) = writer.windowed.as_mut() {
+                for record in &bucket {
+                    if mode == IngestMode::Lenient && record.validate().is_err() {
+                        continue;
+                    }
+                    windowed.ingest(record)?;
+                }
+            }
             match mode {
                 IngestMode::Strict => {
                     outcome.ingested += writer.session.ingest(bucket)?;
@@ -345,6 +381,62 @@ impl SessionRegistry {
         )
     }
 
+    /// Per-window score points for one region from the shard's windowed
+    /// session: frozen closed windows first, then open windows scored on
+    /// demand. `None` when windowing is disabled; an empty vector for a
+    /// region no window has seen. Takes the shard's writer lock (open
+    /// windows rescore on read), like [`Self::trend`] a diagnostic
+    /// query rather than a hot read path.
+    pub fn window_points(
+        &self,
+        region: &RegionId,
+    ) -> Result<Option<Vec<WindowPoint>>, PipelineError> {
+        let shard = &self.shards[self.shard_index(region)];
+        let mut writer = shard.writer.lock();
+        match writer.windowed.as_mut() {
+            Some(windowed) => Ok(Some(windowed.region_points(region)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Runs period estimation and changepoint detection over one region's
+    /// per-window score series (closed windows plus provisional open
+    /// ones). `None` when windowing is disabled.
+    pub fn detect(
+        &self,
+        region: &RegionId,
+        detect: &DetectConfig,
+    ) -> Result<Option<TrendAnalysis>, PipelineError> {
+        match self.window_points(region)? {
+            Some(points) => {
+                let trend: Vec<TrendPoint> =
+                    points.iter().map(WindowPoint::to_trend_point).collect();
+                Ok(Some(analyze_trend(&trend, detect)?))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Windowed-session accounting across all shards:
+    /// `(closed windows, open windows, late records quarantined)`.
+    /// Zeros when windowing is disabled.
+    pub fn window_stats(&self) -> (usize, usize, u64) {
+        let mut closed = 0usize;
+        let mut open = 0usize;
+        let mut late = 0u64;
+        for shard in &self.shards {
+            let writer = shard.writer.lock();
+            if let Some(windowed) = writer.windowed.as_ref() {
+                closed += windowed.closed_windows().len();
+                open += windowed.open_windows();
+                late += windowed
+                    .late_report()
+                    .count(iqb_data::quarantine::FaultKind::Late);
+            }
+        }
+        (closed, open, late)
+    }
+
     /// Commits every shard with uncommitted work (dirty regions or a
     /// pending debounce). Returns the number of shards that published a
     /// new snapshot. After `flush`, the merged report equals a batch run
@@ -379,13 +471,21 @@ impl SessionRegistry {
         for (source, target) in self.shards.iter().zip(next.shards.iter()) {
             let source_writer = source.writer.lock();
             let mut target_writer = target.writer.lock();
-            target_writer.session.ingest(
-                source_writer
-                    .session
-                    .store()
-                    .query(&filter)
-                    .map(|row| row.to_record()),
-            )?;
+            let records: Vec<TestRecord> = source_writer
+                .session
+                .store()
+                .query(&filter)
+                .map(|row| row.to_record())
+                .collect();
+            // Window state survives reload by replay: the store retains
+            // records in arrival order, so the rebuilt windowed session
+            // reopens, fills and closes the same windows (now scored
+            // under the new config) and re-quarantines the same
+            // stragglers.
+            if let Some(windowed) = target_writer.windowed.as_mut() {
+                windowed.ingest_all(records.iter())?;
+            }
+            target_writer.session.ingest(records)?;
             target.commit(&mut target_writer)?;
         }
         Ok(next)
@@ -476,6 +576,7 @@ mod tests {
             RegistryOptions {
                 shards,
                 debounce_submits: debounce,
+                window: Some(WindowPolicy::tumbling(3600)),
             },
         )
         .unwrap()
@@ -500,11 +601,15 @@ mod tests {
         for options in [
             RegistryOptions {
                 shards: 0,
-                debounce_submits: 1,
+                ..Default::default()
             },
             RegistryOptions {
-                shards: 2,
                 debounce_submits: 0,
+                ..Default::default()
+            },
+            RegistryOptions {
+                window: Some(WindowPolicy::tumbling(0)),
+                ..Default::default()
             },
         ] {
             assert!(SessionRegistry::new(config.clone(), spec.clone(), options).is_err());
@@ -624,6 +729,117 @@ mod tests {
             .trend(&RegionId::new("nowhere").unwrap(), 3600)
             .unwrap()
             .is_empty());
+    }
+
+    /// Four hours of metro data with a quality drop in the last two.
+    fn hourly_records(hours: u64) -> Vec<TestRecord> {
+        let mut records = Vec::new();
+        for hour in 0..hours {
+            let down = if hour < hours / 2 { 300.0 } else { 25.0 };
+            for dataset in DatasetId::BUILTIN {
+                for i in 0..3usize {
+                    let mut r = record("metro", dataset.clone(), i, down);
+                    r.timestamp = hour * 3600 + i as u64 * 60;
+                    records.push(r);
+                }
+            }
+        }
+        records
+    }
+
+    #[test]
+    fn window_points_track_closed_and_open_windows() {
+        let registry = registry(2, 1);
+        registry
+            .submit(hourly_records(4), IngestMode::Strict)
+            .unwrap();
+        let metro = RegionId::new("metro").unwrap();
+        let points = registry.window_points(&metro).unwrap().unwrap();
+        // Hours 0-2 closed by later arrivals; hour 3 still open.
+        assert_eq!(points.len(), 4);
+        assert!(points[..3].iter().all(|p| p.closed));
+        assert!(!points[3].closed);
+        assert!(points[0].score.unwrap() > points[3].score.unwrap());
+        let (closed, open, late) = registry.window_stats();
+        assert_eq!((closed, open, late), (3, 1, 0));
+    }
+
+    #[test]
+    fn detect_runs_over_window_series() {
+        let registry = registry(1, 1);
+        registry
+            .submit(hourly_records(4), IngestMode::Strict)
+            .unwrap();
+        let metro = RegionId::new("metro").unwrap();
+        let analysis = registry
+            .detect(&metro, &iqb_stats::changepoint::DetectConfig::default())
+            .unwrap()
+            .unwrap();
+        // Four windows: far too short for a shift alarm, but the series
+        // shape is reported.
+        assert_eq!(analysis.windows, 4);
+        assert_eq!(analysis.scored, 4);
+        assert!(analysis.shifts.is_empty());
+    }
+
+    #[test]
+    fn windowing_disabled_reports_none() {
+        let registry = SessionRegistry::new(
+            IqbConfig::paper_default(),
+            AggregationSpec::paper_default(),
+            RegistryOptions {
+                shards: 2,
+                debounce_submits: 1,
+                window: None,
+            },
+        )
+        .unwrap();
+        registry
+            .submit(hourly_records(2), IngestMode::Strict)
+            .unwrap();
+        let metro = RegionId::new("metro").unwrap();
+        assert!(registry.window_points(&metro).unwrap().is_none());
+        assert!(registry
+            .detect(&metro, &iqb_stats::changepoint::DetectConfig::default())
+            .unwrap()
+            .is_none());
+        assert_eq!(registry.window_stats(), (0, 0, 0));
+        // The batch path is unaffected.
+        assert!(!registry.report().regions.is_empty());
+    }
+
+    #[test]
+    fn lenient_submit_feeds_windows_with_kept_records_only() {
+        let registry = registry(1, 1);
+        let mut records = hourly_records(2);
+        let mut poisoned = records[0].clone();
+        poisoned.latency_ms = f64::NAN;
+        records.push(poisoned);
+        let outcome = registry.submit(records, IngestMode::Lenient).unwrap();
+        assert_eq!(outcome.quarantine.quarantined(), 1);
+        let metro = RegionId::new("metro").unwrap();
+        let points = registry.window_points(&metro).unwrap().unwrap();
+        let windowed: usize = points.iter().map(|p| p.samples).sum();
+        assert_eq!(windowed, outcome.ingested);
+    }
+
+    #[test]
+    fn reload_replays_window_state() {
+        let registry = registry(2, 1);
+        registry
+            .submit(hourly_records(4), IngestMode::Strict)
+            .unwrap();
+        let metro = RegionId::new("metro").unwrap();
+        let before = registry.window_points(&metro).unwrap().unwrap();
+        let reloaded = registry
+            .reload(
+                IqbConfig::paper_default(),
+                AggregationSpec::paper_default(),
+            )
+            .unwrap();
+        let after = reloaded.window_points(&metro).unwrap().unwrap();
+        assert_eq!(before, after);
+        assert_eq!(registry.window_stats(), reloaded.window_stats());
     }
 
     #[test]

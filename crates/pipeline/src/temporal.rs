@@ -1,0 +1,633 @@
+//! Continuous temporal scoring: event-time windows over record streams.
+//!
+//! A [`WindowedSession`] turns the one-shot [`ScoringSession`] into a
+//! *continuous* barometer: each record is assigned to the tumbling or
+//! sliding windows covering its timestamp, every open window owns its own
+//! `ScoringSession`, and a **watermark** derived purely from event time
+//! (the maximum record timestamp seen, minus an allowed lateness) decides
+//! when a window closes. On close the window's session rescores once and
+//! the resulting [`RegionalReport`] is frozen into [`ClosedWindow`];
+//! the session itself is dropped, so memory is bounded by the number of
+//! windows simultaneously open, not by stream length.
+//!
+//! Three properties make windowed scores as trustworthy as batch scores:
+//!
+//! * **Batch equivalence.** A window's session ingests its records in
+//!   arrival order, so a single window covering every timestamp
+//!   reproduces [`score_all_regions`](crate::runner::score_all_regions)
+//!   byte-for-byte on all three aggregation backends — the
+//!   `windowed_session` proptests pin this down.
+//! * **Event-time determinism.** The watermark is a function of the data,
+//!   never the wall clock, so the same record sequence always opens,
+//!   fills and closes the same windows in the same order regardless of
+//!   when or how fast it is replayed.
+//! * **Closed means closed.** A record arriving behind the watermark —
+//!   after every window covering its timestamp has closed — is
+//!   quarantined under [`FaultKind::Late`] instead of reopening a window.
+//!   Published window scores are immutable; the quarantine ledger keeps
+//!   the loss accountable (see DESIGN §9 for why this beats reopening).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use iqb_core::config::IqbConfig;
+use iqb_data::aggregate::AggregationSpec;
+use iqb_data::quarantine::{FaultKind, QuarantineReport, Quarantined};
+use iqb_data::record::{RegionId, TestRecord};
+use iqb_stats::window::WindowSpec;
+
+use crate::error::PipelineError;
+use crate::runner::RegionalReport;
+use crate::session::ScoringSession;
+use crate::trend::TrendPoint;
+
+/// Window geometry plus lateness tolerance — everything that decides
+/// which windows a record feeds and when a window's score freezes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowPolicy {
+    /// Window width in seconds.
+    pub width_s: u64,
+    /// Distance between window starts in seconds (`== width_s` for
+    /// tumbling windows, smaller for sliding).
+    pub slide_s: u64,
+    /// Allowed lateness: the watermark trails the maximum record
+    /// timestamp by this many seconds, so a window `[s, s+w)` closes only
+    /// once a record with `timestamp >= s + w + watermark_s` arrives.
+    pub watermark_s: u64,
+}
+
+impl Default for WindowPolicy {
+    /// One-hour tumbling windows that close as soon as a later record
+    /// proves the hour is over.
+    fn default() -> Self {
+        WindowPolicy {
+            width_s: 3_600,
+            slide_s: 3_600,
+            watermark_s: 0,
+        }
+    }
+}
+
+impl WindowPolicy {
+    /// Tumbling windows of `width_s` seconds with no lateness allowance.
+    pub fn tumbling(width_s: u64) -> Self {
+        WindowPolicy {
+            width_s,
+            slide_s: width_s,
+            watermark_s: 0,
+        }
+    }
+
+    /// Returns self with the given lateness allowance.
+    pub fn with_watermark(mut self, watermark_s: u64) -> Self {
+        self.watermark_s = watermark_s;
+        self
+    }
+
+    /// Returns self sliding every `slide_s` seconds.
+    pub fn with_slide(mut self, slide_s: u64) -> Self {
+        self.slide_s = slide_s;
+        self
+    }
+
+    /// The pure geometry (origin 0 — campaign timestamps are seconds from
+    /// the campaign start, so the grid is anchored at zero).
+    pub fn spec(&self) -> Result<WindowSpec, PipelineError> {
+        Ok(WindowSpec::new(0, self.width_s, self.slide_s)?)
+    }
+
+    /// Validates the geometry.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        self.spec().map(|_| ())
+    }
+}
+
+/// One score point of one window for one region, as served by the daemon:
+/// [`TrendPoint`] plus whether the window is frozen (`closed`) or still
+/// accumulating.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowPoint {
+    /// Window start timestamp (seconds).
+    pub window_start: u64,
+    /// Window width in seconds.
+    pub window_s: u64,
+    /// Composite score, `None` when the window held no scoreable data
+    /// for the region.
+    pub score: Option<f64>,
+    /// Records from the region that landed in the window.
+    pub samples: usize,
+    /// Whether the window has closed (score frozen) or is still open
+    /// (score provisional, recomputed on read).
+    pub closed: bool,
+}
+
+impl WindowPoint {
+    /// The trend-analysis view of this point.
+    pub fn to_trend_point(&self) -> TrendPoint {
+        TrendPoint {
+            window_start: self.window_start,
+            window_s: self.window_s,
+            score: self.score,
+            samples: self.samples,
+        }
+    }
+}
+
+/// A window whose score is frozen: the watermark passed its end (or the
+/// stream was drained), its session rescored once, and the session was
+/// dropped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedWindow {
+    /// Window start timestamp.
+    pub start: u64,
+    /// Exclusive window end (`start + width`).
+    pub end: u64,
+    /// Records that landed in the window, per region.
+    pub samples: BTreeMap<RegionId, usize>,
+    /// The frozen per-region report.
+    pub report: RegionalReport,
+}
+
+/// An open window: a scoring session accumulating records plus per-region
+/// sample counts.
+#[derive(Debug)]
+struct OpenWindow {
+    session: ScoringSession,
+    samples: BTreeMap<RegionId, usize>,
+}
+
+/// A stream of timestamped records scored per event-time window.
+///
+/// ```
+/// use iqb_core::config::IqbConfig;
+/// use iqb_data::aggregate::AggregationSpec;
+/// use iqb_pipeline::temporal::{WindowPolicy, WindowedSession};
+///
+/// let mut session = WindowedSession::new(
+///     IqbConfig::paper_default(),
+///     AggregationSpec::paper_default(),
+///     WindowPolicy::tumbling(3600),
+/// ).unwrap();
+/// assert_eq!(session.open_windows(), 0);
+/// ```
+#[derive(Debug)]
+pub struct WindowedSession {
+    config: IqbConfig,
+    spec: AggregationSpec,
+    policy: WindowPolicy,
+    geometry: WindowSpec,
+    open: BTreeMap<u64, OpenWindow>,
+    closed: Vec<ClosedWindow>,
+    max_event_ts: Option<u64>,
+    late: QuarantineReport,
+}
+
+impl WindowedSession {
+    /// Creates an empty windowed session; config, spec and window policy
+    /// are all validated up front.
+    pub fn new(
+        config: IqbConfig,
+        spec: AggregationSpec,
+        policy: WindowPolicy,
+    ) -> Result<Self, PipelineError> {
+        config.validate()?;
+        spec.validate()?;
+        let geometry = policy.spec()?;
+        Ok(WindowedSession {
+            config,
+            spec,
+            policy,
+            geometry,
+            open: BTreeMap::new(),
+            closed: Vec::new(),
+            max_event_ts: None,
+            late: QuarantineReport::new(),
+        })
+    }
+
+    /// The window policy in force.
+    pub fn policy(&self) -> WindowPolicy {
+        self.policy
+    }
+
+    /// The event-time watermark: the maximum record timestamp seen minus
+    /// the allowed lateness, or `None` before the first record. Pure
+    /// event time — replaying a stream tomorrow closes the same windows.
+    pub fn watermark(&self) -> Option<u64> {
+        self.max_event_ts
+            .map(|ts| ts.saturating_sub(self.policy.watermark_s))
+    }
+
+    /// Ingests one record into every open window covering its timestamp.
+    ///
+    /// Returns the number of windows fed. `0` means the record was late —
+    /// every covering window had already closed — and was quarantined
+    /// under [`FaultKind::Late`] (see [`Self::late_report`]); this is not
+    /// an error. Invalid records error exactly as session ingest does.
+    /// After feeding, the watermark advances and any window whose end
+    /// fell at or behind it is closed, in ascending start order.
+    pub fn ingest(&mut self, record: &TestRecord) -> Result<usize, PipelineError> {
+        record.validate().map_err(PipelineError::Data)?;
+        let frontier = match self.watermark() {
+            Some(wm) => self.geometry.close_frontier(wm),
+            None => 0,
+        };
+        self.late.scanned += 1;
+        let mut fed = 0usize;
+        for start in self.geometry.windows_for(record.timestamp)? {
+            if start < frontier {
+                continue; // this covering window has already closed
+            }
+            let window = match self.open.entry(start) {
+                std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    iqb_obs::global()
+                        .counter(iqb_obs::names::TEMPORAL_WINDOWS_OPENED)
+                        .inc();
+                    v.insert(OpenWindow {
+                        session: ScoringSession::new(self.config.clone(), self.spec.clone())?,
+                        samples: BTreeMap::new(),
+                    })
+                }
+            };
+            window.session.ingest_refs(std::iter::once(record))?;
+            *window.samples.entry(record.region.clone()).or_insert(0) += 1;
+            fed += 1;
+        }
+        if fed == 0 {
+            self.late.record(Quarantined {
+                source: "window".into(),
+                line: None,
+                kind: FaultKind::Late,
+                detail: format!(
+                    "timestamp {} behind watermark {}: every covering window is closed",
+                    record.timestamp,
+                    self.watermark().unwrap_or(0),
+                ),
+            });
+            iqb_obs::global()
+                .counter(iqb_obs::names::TEMPORAL_LATE_RECORDS)
+                .inc();
+        } else {
+            self.late.kept += 1;
+            iqb_obs::global()
+                .counter(iqb_obs::names::TEMPORAL_RECORDS_WINDOWED)
+                .add(fed as u64);
+        }
+        // Advance event time *after* assignment: a record can never close
+        // a window that covers its own timestamp (end > ts >= watermark).
+        self.max_event_ts = Some(match self.max_event_ts {
+            Some(prev) if prev >= record.timestamp => prev,
+            _ => record.timestamp,
+        });
+        self.close_due()?;
+        Ok(fed)
+    }
+
+    /// Ingests a batch in order; returns the total windows fed.
+    pub fn ingest_all<'a, I>(&mut self, records: I) -> Result<usize, PipelineError>
+    where
+        I: IntoIterator<Item = &'a TestRecord>,
+    {
+        let mut fed = 0;
+        for record in records {
+            fed += self.ingest(record)?;
+        }
+        Ok(fed)
+    }
+
+    /// Closes every window whose end is at or behind the watermark, in
+    /// ascending start order.
+    fn close_due(&mut self) -> Result<(), PipelineError> {
+        let Some(watermark) = self.watermark() else {
+            return Ok(());
+        };
+        let frontier = self.geometry.close_frontier(watermark);
+        while let Some(entry) = self.open.first_entry() {
+            if *entry.key() >= frontier {
+                break;
+            }
+            let (start, window) = entry.remove_entry();
+            self.freeze(start, window)?;
+        }
+        Ok(())
+    }
+
+    /// Rescores one window and freezes its report.
+    fn freeze(&mut self, start: u64, mut window: OpenWindow) -> Result<(), PipelineError> {
+        let report = window.session.rescore()?.clone();
+        iqb_obs::global()
+            .counter(iqb_obs::names::TEMPORAL_WINDOWS_CLOSED)
+            .inc();
+        self.closed.push(ClosedWindow {
+            start,
+            end: self.geometry.window_end(start),
+            samples: window.samples,
+            report,
+        });
+        Ok(())
+    }
+
+    /// Closes every remaining open window regardless of the watermark —
+    /// the end-of-stream signal. Windows close in ascending start order,
+    /// same as watermark-driven closes.
+    pub fn drain(&mut self) -> Result<(), PipelineError> {
+        while let Some(entry) = self.open.first_entry() {
+            let (start, window) = entry.remove_entry();
+            self.freeze(start, window)?;
+        }
+        Ok(())
+    }
+
+    /// Every closed window so far, in close (= ascending start) order.
+    pub fn closed_windows(&self) -> &[ClosedWindow] {
+        &self.closed
+    }
+
+    /// Number of windows currently open.
+    pub fn open_windows(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Quarantine ledger for late arrivals: `scanned` counts every record
+    /// offered, `kept` those that fed at least one window, and the
+    /// [`FaultKind::Late`] count those dropped entirely.
+    pub fn late_report(&self) -> &QuarantineReport {
+        &self.late
+    }
+
+    /// Per-window score points for one region: frozen closed windows
+    /// first, then still-open windows scored on demand (provisional, so
+    /// flagged `closed: false`). Ascending window start within each
+    /// group; an open window earlier than a closed one can only exist
+    /// transiently for sliding families and sorts after the frozen part.
+    pub fn region_points(&mut self, region: &RegionId) -> Result<Vec<WindowPoint>, PipelineError> {
+        let width = self.policy.width_s;
+        let mut points: Vec<WindowPoint> = self
+            .closed
+            .iter()
+            .map(|w| WindowPoint {
+                window_start: w.start,
+                window_s: width,
+                score: w.report.regions.get(region).map(|s| s.report.score),
+                samples: w.samples.get(region).copied().unwrap_or(0),
+                closed: true,
+            })
+            .collect();
+        for (&start, window) in self.open.iter_mut() {
+            let report = window.session.rescore()?;
+            points.push(WindowPoint {
+                window_start: start,
+                window_s: width,
+                score: report.regions.get(region).map(|s| s.report.score),
+                samples: window.samples.get(region).copied().unwrap_or(0),
+                closed: false,
+            });
+        }
+        Ok(points)
+    }
+
+    /// Every region seen by any window, sorted.
+    pub fn regions(&self) -> Vec<RegionId> {
+        let mut regions: Vec<RegionId> = self
+            .closed
+            .iter()
+            .flat_map(|w| w.samples.keys().cloned())
+            .chain(self.open.values().flat_map(|w| w.samples.keys().cloned()))
+            .collect();
+        regions.sort();
+        regions.dedup();
+        regions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iqb_core::dataset::DatasetId;
+
+    fn record(region: &str, dataset: DatasetId, ts: u64, down: f64) -> TestRecord {
+        TestRecord {
+            timestamp: ts,
+            region: RegionId::new(region).unwrap(),
+            dataset: dataset.clone(),
+            download_mbps: down,
+            upload_mbps: down / 3.0,
+            latency_ms: 40.0,
+            loss_pct: if dataset == DatasetId::Ookla {
+                None
+            } else {
+                Some(0.2)
+            },
+            tech: None,
+        }
+    }
+
+    fn hour_batch(region: &str, hour: u64, per_dataset: usize, down: f64) -> Vec<TestRecord> {
+        let mut out = Vec::new();
+        for d in DatasetId::BUILTIN {
+            for i in 0..per_dataset {
+                out.push(record(region, d.clone(), hour * 3600 + i as u64 * 60, down));
+            }
+        }
+        out
+    }
+
+    fn session(policy: WindowPolicy) -> WindowedSession {
+        WindowedSession::new(
+            IqbConfig::paper_default(),
+            AggregationSpec::paper_default(),
+            policy,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_policy_and_records() {
+        assert!(WindowedSession::new(
+            IqbConfig::paper_default(),
+            AggregationSpec::paper_default(),
+            WindowPolicy::tumbling(0),
+        )
+        .is_err());
+        let mut s = session(WindowPolicy::tumbling(3600));
+        let mut bad = record("r", DatasetId::Ndt, 0, 100.0);
+        bad.download_mbps = f64::NAN;
+        assert!(s.ingest(&bad).is_err());
+    }
+
+    #[test]
+    fn watermark_closes_windows_in_order() {
+        let mut s = session(WindowPolicy::tumbling(3600));
+        for r in hour_batch("metro", 0, 4, 200.0) {
+            assert_eq!(s.ingest(&r).unwrap(), 1);
+        }
+        assert_eq!(s.open_windows(), 1);
+        assert!(s.closed_windows().is_empty());
+        // Hour 1 data closes hour 0.
+        for r in hour_batch("metro", 1, 4, 180.0) {
+            s.ingest(&r).unwrap();
+        }
+        assert_eq!(s.open_windows(), 1);
+        assert_eq!(s.closed_windows().len(), 1);
+        assert_eq!(s.closed_windows()[0].start, 0);
+        assert_eq!(s.closed_windows()[0].end, 3600);
+        // A gap: hour 5 data closes hour 1 (hours 2–4 never opened, so
+        // nothing is emitted for them).
+        for r in hour_batch("metro", 5, 4, 150.0) {
+            s.ingest(&r).unwrap();
+        }
+        assert_eq!(s.closed_windows().len(), 2);
+        assert_eq!(s.closed_windows()[1].start, 3600);
+        s.drain().unwrap();
+        assert_eq!(s.closed_windows().len(), 3);
+        assert_eq!(s.closed_windows()[2].start, 5 * 3600);
+        assert_eq!(s.open_windows(), 0);
+        let starts: Vec<u64> = s.closed_windows().iter().map(|w| w.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn late_records_quarantine_instead_of_reopening() {
+        let mut s = session(WindowPolicy::tumbling(3600));
+        for r in hour_batch("metro", 0, 3, 200.0) {
+            s.ingest(&r).unwrap();
+        }
+        for r in hour_batch("metro", 1, 3, 200.0) {
+            s.ingest(&r).unwrap();
+        }
+        let frozen = s.closed_windows()[0].report.clone();
+        // A straggler for hour 0: window closed, record quarantined.
+        let straggler = record("metro", DatasetId::Ndt, 100, 999.0);
+        assert_eq!(s.ingest(&straggler).unwrap(), 0);
+        assert_eq!(s.late_report().count(FaultKind::Late), 1);
+        assert_eq!(s.late_report().exemplars.len(), 1);
+        assert_eq!(s.late_report().exemplars[0].source, "window");
+        // The frozen report did not move.
+        assert_eq!(s.closed_windows()[0].report, frozen);
+        assert_eq!(s.closed_windows().len(), 1);
+    }
+
+    #[test]
+    fn watermark_tolerance_admits_bounded_lateness() {
+        let mut s = session(WindowPolicy::tumbling(3600).with_watermark(1800));
+        for r in hour_batch("metro", 0, 3, 200.0) {
+            s.ingest(&r).unwrap();
+        }
+        // Hour-1 data: watermark = max_ts - 1800 < 3600, hour 0 stays open.
+        for r in hour_batch("metro", 1, 3, 200.0) {
+            s.ingest(&r).unwrap();
+        }
+        assert_eq!(s.closed_windows().len(), 0);
+        let straggler = record("metro", DatasetId::Ndt, 200, 150.0);
+        assert_eq!(s.ingest(&straggler).unwrap(), 1, "inside the allowance");
+        // ts 3600+1800+1: watermark passes 3600, hour 0 closes.
+        let closer = record("metro", DatasetId::Ndt, 5401, 150.0);
+        s.ingest(&closer).unwrap();
+        assert_eq!(s.closed_windows().len(), 1);
+        assert_eq!(s.late_report().count(FaultKind::Late), 0);
+    }
+
+    #[test]
+    fn sliding_records_feed_every_covering_window() {
+        let mut s = session(WindowPolicy {
+            width_s: 7200,
+            slide_s: 3600,
+            watermark_s: 0,
+        });
+        let r = record("metro", DatasetId::Ndt, 3700, 100.0);
+        assert_eq!(s.ingest(&r).unwrap(), 2, "[0,7200) and [3600,10800)");
+        assert_eq!(s.open_windows(), 2);
+        // Late for the older window only: still fed into the newer ones.
+        for ts in [7300u64, 8000] {
+            s.ingest(&record("metro", DatasetId::Ndt, ts, 100.0)).unwrap();
+        }
+        assert_eq!(s.closed_windows().len(), 1, "[0,7200) closed");
+        let partially_late = record("metro", DatasetId::Ndt, 7100, 100.0);
+        assert_eq!(s.ingest(&partially_late).unwrap(), 1);
+        assert_eq!(s.late_report().count(FaultKind::Late), 0, "kept, not late");
+        assert_eq!(s.late_report().kept, 4);
+    }
+
+    #[test]
+    fn single_all_covering_window_matches_batch() {
+        use crate::runner::score_all_regions;
+        use iqb_data::store::{MeasurementStore, QueryFilter};
+
+        let mut records = Vec::new();
+        for hour in 0..5u64 {
+            records.extend(hour_batch("metro", hour, 4, 120.0 + hour as f64 * 30.0));
+            records.extend(hour_batch("rural", hour, 3, 40.0 + hour as f64 * 5.0));
+        }
+        let mut s = session(WindowPolicy::tumbling(7 * 86_400));
+        for r in &records {
+            assert_eq!(s.ingest(r).unwrap(), 1);
+        }
+        s.drain().unwrap();
+        assert_eq!(s.closed_windows().len(), 1);
+        let mut store = MeasurementStore::new();
+        store.extend(records.iter().cloned()).unwrap();
+        let batch = score_all_regions(
+            &store,
+            &IqbConfig::paper_default(),
+            &AggregationSpec::paper_default(),
+            &QueryFilter::all(),
+        )
+        .unwrap();
+        assert_eq!(s.closed_windows()[0].report, batch);
+    }
+
+    #[test]
+    fn region_points_cover_closed_and_open_windows() {
+        let mut s = session(WindowPolicy::tumbling(3600));
+        for r in hour_batch("metro", 0, 4, 300.0) {
+            s.ingest(&r).unwrap();
+        }
+        for r in hour_batch("metro", 1, 4, 20.0) {
+            s.ingest(&r).unwrap();
+        }
+        let metro = RegionId::new("metro").unwrap();
+        let points = s.region_points(&metro).unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(points[0].closed);
+        assert!(!points[1].closed);
+        assert_eq!(points[0].window_start, 0);
+        assert_eq!(points[1].window_start, 3600);
+        assert_eq!(points[0].samples, 12);
+        assert!(points[0].score.unwrap() > points[1].score.unwrap());
+        // Unknown regions read as empty points.
+        let ghost = RegionId::new("ghost").unwrap();
+        let ghost_points = s.region_points(&ghost).unwrap();
+        assert!(ghost_points.iter().all(|p| p.score.is_none() && p.samples == 0));
+        assert_eq!(s.regions(), vec![metro]);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let mut records = Vec::new();
+        for hour in 0..6u64 {
+            records.extend(hour_batch("metro", hour, 3, 100.0 + hour as f64 * 10.0));
+        }
+        // Late straggler in the middle of the stream.
+        records.insert(30, record("metro", DatasetId::Ndt, 5, 50.0));
+        let run = |records: &[TestRecord]| {
+            let mut s = session(WindowPolicy::tumbling(3600));
+            for r in records {
+                s.ingest(r).unwrap();
+            }
+            s.drain().unwrap();
+            (
+                s.closed_windows().to_vec(),
+                s.late_report().clone(),
+            )
+        };
+        let (a_windows, a_late) = run(&records);
+        let (b_windows, b_late) = run(&records);
+        assert_eq!(a_windows, b_windows);
+        assert_eq!(a_late, b_late);
+        assert_eq!(a_late.count(FaultKind::Late), 1);
+    }
+}

@@ -144,7 +144,7 @@ proptest! {
             let registry = SessionRegistry::new(
                 config.clone(),
                 spec.clone(),
-                RegistryOptions { shards, debounce_submits: debounce },
+                RegistryOptions { shards, debounce_submits: debounce, ..Default::default() },
             ).unwrap();
             let mut model = CommitModel::new(shards, debounce);
             let mut all = Vec::new();
@@ -225,6 +225,7 @@ fn concurrent_reads_observe_only_committed_prefixes() {
             RegistryOptions {
                 shards: 1,
                 debounce_submits: 1,
+                ..Default::default()
             },
         )
         .unwrap(),

@@ -1,0 +1,225 @@
+//! Property suite for [`WindowedSession`]: the three windowing
+//! invariants the temporal scoring path rests on.
+//!
+//! 1. **Exactly-one assignment.** Under a tumbling policy every on-time
+//!    record feeds exactly the window its timestamp selects; a late
+//!    record feeds none and is quarantined — never both, never silently
+//!    dropped. The frozen per-window sample ledgers reproduce a model
+//!    built from the records themselves.
+//! 2. **Batch equivalence.** A single window covering the whole stream
+//!    freezes to a report byte-identical to the batch runner over the
+//!    same records — for the exact, t-digest and P² backends alike
+//!    (each window holds a real [`ScoringSession`], so the push
+//!    sequences match by construction).
+//! 3. **Deterministic closes.** Reordering arrivals within the lateness
+//!    allowance changes nothing: the same windows close, in ascending
+//!    start order, with byte-identical frozen reports, and no record
+//!    goes late. (Exact aggregation sorts each cell's sample, so
+//!    within-window arrival order cannot leak into the report.)
+//!
+//! [`ScoringSession`]: iqb_pipeline::session::ScoringSession
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use iqb_core::config::IqbConfig;
+use iqb_core::dataset::DatasetId;
+use iqb_data::aggregate::{AggregationSpec, AggregatorBackend};
+use iqb_data::quarantine::FaultKind;
+use iqb_data::record::{RegionId, TestRecord};
+use iqb_data::store::{MeasurementStore, QueryFilter};
+use iqb_pipeline::runner::score_all_regions;
+use iqb_pipeline::temporal::{WindowPolicy, WindowedSession};
+use iqb_stats::rng::SplitMix64;
+
+const REGIONS: [&str; 3] = ["r0", "r1", "r2"];
+
+fn session(spec: AggregationSpec, policy: WindowPolicy) -> WindowedSession {
+    WindowedSession::new(IqbConfig::paper_default(), spec, policy).unwrap()
+}
+
+fn backends() -> [AggregatorBackend; 3] {
+    [
+        AggregatorBackend::Exact,
+        AggregatorBackend::tdigest_default(),
+        AggregatorBackend::P2,
+    ]
+}
+
+fn arb_record(max_ts: u64) -> impl Strategy<Value = TestRecord> {
+    (
+        0..REGIONS.len(),
+        0..DatasetId::BUILTIN.len(),
+        1.0..500.0f64,
+        1.0..100.0f64,
+        1.0..200.0f64,
+        proptest::option::of(0.0..5.0f64),
+        0..max_ts,
+    )
+        .prop_map(|(r, d, down, up, latency, loss, ts)| TestRecord {
+            timestamp: ts,
+            region: RegionId::new(REGIONS[r]).unwrap(),
+            dataset: DatasetId::BUILTIN[d].clone(),
+            download_mbps: down,
+            upload_mbps: up,
+            latency_ms: latency,
+            loss_pct: loss,
+            tech: None,
+        })
+}
+
+/// Fisher–Yates over one bucket, appended to `out`.
+fn flush_bucket(bucket: &mut Vec<TestRecord>, out: &mut Vec<TestRecord>, rng: &mut SplitMix64) {
+    for i in (1..bucket.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        bucket.swap(i, j);
+    }
+    out.append(bucket);
+}
+
+/// Shuffles time-sorted records within `bucket_s`-wide time buckets.
+/// Any such order displaces a record behind the running maximum
+/// timestamp by less than `bucket_s`, so with a lateness allowance of
+/// `bucket_s` seconds no reordering can make a record late.
+fn shuffle_within_buckets(sorted: &[TestRecord], bucket_s: u64, seed: u64) -> Vec<TestRecord> {
+    let mut rng = SplitMix64::new(seed);
+    let mut out = Vec::with_capacity(sorted.len());
+    let mut bucket: Vec<TestRecord> = Vec::new();
+    let mut bucket_id = None;
+    for record in sorted {
+        let id = record.timestamp / bucket_s;
+        if bucket_id != Some(id) {
+            flush_bucket(&mut bucket, &mut out, &mut rng);
+            bucket_id = Some(id);
+        }
+        bucket.push(record.clone());
+    }
+    flush_bucket(&mut bucket, &mut out, &mut rng);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Invariant 1: exactly-one tumbling assignment, modeled record by
+    /// record and reconciled against the frozen sample ledgers.
+    #[test]
+    fn every_record_lands_in_exactly_one_tumbling_window(
+        records in proptest::collection::vec(arb_record(10 * 3_600), 1..48),
+        width in prop_oneof![Just(900u64), Just(3_600u64), Just(7_200u64)],
+    ) {
+        let mut s = session(AggregationSpec::paper_default(), WindowPolicy::tumbling(width));
+        let mut model: BTreeMap<(u64, RegionId), usize> = BTreeMap::new();
+        let mut kept = 0u64;
+        let mut late = 0u64;
+        for record in &records {
+            let fed = s.ingest(record).unwrap();
+            prop_assert!(fed <= 1, "tumbling assignment must be unique, fed {}", fed);
+            if fed == 1 {
+                kept += 1;
+                let start = record.timestamp / width * width;
+                *model.entry((start, record.region.clone())).or_insert(0) += 1;
+            } else {
+                late += 1;
+            }
+            prop_assert_eq!(s.late_report().kept, kept);
+            prop_assert_eq!(s.late_report().count(FaultKind::Late), late);
+        }
+        s.drain().unwrap();
+        prop_assert_eq!(s.open_windows(), 0);
+        prop_assert_eq!(s.late_report().scanned, records.len() as u64);
+        let mut observed: BTreeMap<(u64, RegionId), usize> = BTreeMap::new();
+        let mut last_start = None;
+        for window in s.closed_windows() {
+            prop_assert_eq!(window.end, window.start + width);
+            prop_assert!(
+                last_start.map_or(true, |prev: u64| prev < window.start),
+                "close order must strictly ascend"
+            );
+            last_start = Some(window.start);
+            for (region, count) in &window.samples {
+                *observed.entry((window.start, region.clone())).or_insert(0) += count;
+            }
+        }
+        prop_assert_eq!(observed, model);
+    }
+
+    /// Invariant 2: one all-covering window == the batch runner, to the
+    /// byte, under every aggregation backend.
+    #[test]
+    fn all_covering_window_is_byte_identical_to_batch(
+        records in proptest::collection::vec(arb_record(86_400), 1..40),
+    ) {
+        for backend in backends() {
+            let spec = AggregationSpec::paper_default().with_backend(backend);
+            let mut s = session(spec.clone(), WindowPolicy::tumbling(7 * 86_400));
+            for record in &records {
+                prop_assert_eq!(s.ingest(record).unwrap(), 1);
+            }
+            s.drain().unwrap();
+            prop_assert_eq!(s.closed_windows().len(), 1);
+            let mut store = MeasurementStore::new();
+            store.extend(records.iter().cloned()).unwrap();
+            let batch = score_all_regions(
+                &store,
+                &IqbConfig::paper_default(),
+                &spec,
+                &QueryFilter::all(),
+            )
+            .unwrap();
+            let frozen = &s.closed_windows()[0].report;
+            prop_assert_eq!(
+                frozen,
+                &batch,
+                "{}: frozen window diverged from the batch report",
+                backend
+            );
+            prop_assert_eq!(
+                serde_json::to_string(frozen).unwrap(),
+                serde_json::to_string(&batch).unwrap(),
+                "{}: serialized bytes diverged",
+                backend
+            );
+        }
+    }
+
+    /// Invariant 3: arrival orders that differ only within the lateness
+    /// allowance freeze identical windows and quarantine nothing.
+    #[test]
+    fn close_order_is_deterministic_under_bounded_reordering(
+        records in proptest::collection::vec(arb_record(8 * 3_600), 8..48),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        const WATERMARK_S: u64 = 1_800;
+        let mut sorted = records;
+        sorted.sort_by_key(|r| r.timestamp);
+        let arrivals = [
+            shuffle_within_buckets(&sorted, WATERMARK_S, seed_a),
+            shuffle_within_buckets(&sorted, WATERMARK_S, seed_b),
+        ];
+        let mut runs = Vec::new();
+        for arrival in &arrivals {
+            let mut s = session(
+                AggregationSpec::paper_default(),
+                WindowPolicy::tumbling(3_600).with_watermark(WATERMARK_S),
+            );
+            for record in arrival {
+                prop_assert_eq!(
+                    s.ingest(record).unwrap(),
+                    1,
+                    "a reorder bounded by the watermark must never go late"
+                );
+            }
+            s.drain().unwrap();
+            prop_assert_eq!(s.late_report().count(FaultKind::Late), 0);
+            let starts: Vec<u64> = s.closed_windows().iter().map(|w| w.start).collect();
+            let mut ascending = starts.clone();
+            ascending.sort_unstable();
+            prop_assert_eq!(&starts, &ascending, "windows must close oldest-first");
+            runs.push(s.closed_windows().to_vec());
+        }
+        prop_assert_eq!(&runs[0], &runs[1]);
+    }
+}

@@ -14,7 +14,8 @@ use serde::{Deserialize, Serialize};
 
 use iqb_core::whatif::InterventionOutcome;
 use iqb_pipeline::runner::{RegionScore, RegionalReport};
-use iqb_pipeline::trend::TrendPoint;
+use iqb_pipeline::temporal::WindowPoint;
+use iqb_pipeline::trend::{TrendAnalysis, TrendPoint};
 
 /// Default trend window when a `trend` request omits `window_s`: one
 /// hour, matching the batch CLI's default.
@@ -52,6 +53,25 @@ pub enum Request {
         /// Window width in seconds (default one hour).
         #[serde(default = "default_window_s")]
         window_s: u64,
+    },
+    /// Event-time window series for one region: every closed window's
+    /// frozen score plus the still-open windows' provisional ones.
+    Window {
+        /// Region to read.
+        region: String,
+    },
+    /// Changepoint / diurnal-pattern detection over one region's closed
+    /// and open window scores.
+    Detect {
+        /// Region to analyze.
+        region: String,
+        /// Detection z-threshold; omit for the stats-crate default.
+        #[serde(default)]
+        threshold: Option<f64>,
+        /// Minimum windows per segment; omit for the stats-crate
+        /// default.
+        #[serde(default)]
+        min_segment: Option<usize>,
     },
     /// Intervention what-ifs against a region's published score.
     Whatif {
@@ -92,6 +112,8 @@ impl Request {
             Request::Submit { .. } => "submit",
             Request::Score { .. } => "score",
             Request::Trend { .. } => "trend",
+            Request::Window { .. } => "window",
+            Request::Detect { .. } => "detect",
             Request::Whatif { .. } => "whatif",
             Request::Snapshot => "snapshot",
             Request::ReloadConfig { .. } => "reload-config",
@@ -136,6 +158,27 @@ pub enum Response {
         region: String,
         /// One point per window over the retained range.
         points: Vec<TrendPoint>,
+    },
+    /// Event-time window series for one region, oldest first: closed
+    /// windows then open ones, each strictly later than the last.
+    Window {
+        /// The region asked about.
+        region: String,
+        /// One point per window that saw the region's records.
+        points: Vec<WindowPoint>,
+        /// Closed (frozen) windows registry-wide.
+        closed: usize,
+        /// Open (still accumulating) windows registry-wide.
+        open: usize,
+        /// Records quarantined as late arrivals registry-wide.
+        late: u64,
+    },
+    /// Detection result over one region's window score series.
+    Detect {
+        /// The region asked about.
+        region: String,
+        /// Diurnal-pattern and changepoint findings.
+        analysis: TrendAnalysis,
     },
     /// Intervention outcomes, sorted by descending gain.
     Whatif {
@@ -210,6 +253,20 @@ mod tests {
                 "trend",
             ),
             (
+                Request::Window {
+                    region: "metro".into(),
+                },
+                "window",
+            ),
+            (
+                Request::Detect {
+                    region: "metro".into(),
+                    threshold: Some(4.0),
+                    min_segment: None,
+                },
+                "detect",
+            ),
+            (
                 Request::Whatif {
                     region: "metro".into(),
                 },
@@ -249,6 +306,20 @@ mod tests {
             Request::Trend {
                 region: "metro".into(),
                 window_s: DEFAULT_TREND_WINDOW_S,
+            }
+        );
+    }
+
+    #[test]
+    fn detect_tuning_defaults_to_stats_defaults() {
+        let parsed: Request =
+            serde_json::from_str(r#"{"type":"detect","region":"metro"}"#).unwrap();
+        assert_eq!(
+            parsed,
+            Request::Detect {
+                region: "metro".into(),
+                threshold: None,
+                min_segment: None,
             }
         );
     }

@@ -31,6 +31,8 @@ use iqb_data::quarantine::IngestMode;
 use iqb_data::record::RegionId;
 use iqb_obs::names;
 use iqb_pipeline::registry::{RegistryOptions, SessionRegistry};
+use iqb_pipeline::temporal::WindowPolicy;
+use iqb_stats::changepoint::DetectConfig;
 
 use crate::error::ServeError;
 use crate::proto::{Request, Response};
@@ -47,6 +49,10 @@ pub struct ServeOptions {
     pub workers: usize,
     /// Submits a shard absorbs before committing a snapshot.
     pub debounce_submits: usize,
+    /// Event-time window policy each shard tracks alongside its batch
+    /// session; `None` disables windowing (and the `window` / `detect`
+    /// requests with it).
+    pub window: Option<WindowPolicy>,
 }
 
 impl Default for ServeOptions {
@@ -56,6 +62,7 @@ impl Default for ServeOptions {
             shards: 4,
             workers: 4,
             debounce_submits: 1,
+            window: Some(WindowPolicy::default()),
         }
     }
 }
@@ -97,6 +104,7 @@ impl Server {
             RegistryOptions {
                 shards: options.shards,
                 debounce_submits: options.debounce_submits,
+                window: options.window,
             },
         )?;
         let listener = TcpListener::bind(options.addr.as_str())?;
@@ -285,6 +293,45 @@ fn handle(request: Request, state: &ServerState) -> Result<Response, ServeError>
                 points: state.registry().trend(&id, window_s)?,
                 region,
             })
+        }
+        Request::Window { region } => {
+            let id = RegionId::new(region.as_str())?;
+            let registry = state.registry();
+            match registry.window_points(&id)? {
+                Some(points) => {
+                    let (closed, open, late) = registry.window_stats();
+                    Ok(Response::Window {
+                        region,
+                        points,
+                        closed,
+                        open,
+                        late,
+                    })
+                }
+                None => Err(ServeError::InvalidRequest(
+                    "windowing is disabled on this daemon".to_string(),
+                )),
+            }
+        }
+        Request::Detect {
+            region,
+            threshold,
+            min_segment,
+        } => {
+            let id = RegionId::new(region.as_str())?;
+            let mut detect = DetectConfig::default();
+            if let Some(threshold) = threshold {
+                detect.threshold = threshold;
+            }
+            if let Some(min_segment) = min_segment {
+                detect.min_segment = min_segment;
+            }
+            match state.registry().detect(&id, &detect)? {
+                Some(analysis) => Ok(Response::Detect { region, analysis }),
+                None => Err(ServeError::InvalidRequest(
+                    "windowing is disabled on this daemon".to_string(),
+                )),
+            }
         }
         Request::Whatif { region } => {
             let id = RegionId::new(region.as_str())?;

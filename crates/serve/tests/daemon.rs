@@ -15,6 +15,7 @@ use iqb_data::aggregate::AggregationSpec;
 use iqb_data::record::{RegionId, TestRecord};
 use iqb_data::store::{MeasurementStore, QueryFilter};
 use iqb_pipeline::runner::{score_all_regions, RegionScore, RegionalReport};
+use iqb_pipeline::temporal::WindowPolicy;
 use iqb_serve::{Client, Request, Response, ServeError, ServeOptions, Server};
 
 fn record(region: &str, dataset: &DatasetId, step: usize, i: usize) -> TestRecord {
@@ -65,12 +66,21 @@ fn batch_report(records: &[TestRecord]) -> RegionalReport {
 }
 
 fn start(shards: usize, workers: usize) -> (thread::JoinHandle<Result<(), ServeError>>, String) {
+    start_with_window(shards, workers, Some(WindowPolicy::default()))
+}
+
+fn start_with_window(
+    shards: usize,
+    workers: usize,
+    window: Option<WindowPolicy>,
+) -> (thread::JoinHandle<Result<(), ServeError>>, String) {
     let server = Server::bind(
         &ServeOptions {
             addr: "127.0.0.1:0".to_string(),
             shards,
             workers,
             debounce_submits: 1,
+            window,
         },
         IqbConfig::paper_default(),
         AggregationSpec::paper_default(),
@@ -285,6 +295,139 @@ fn lenient_submit_quarantines_on_the_wire() {
             commits: 1,
         }
     );
+    assert_eq!(
+        client.request(&Request::Shutdown).unwrap(),
+        Response::ShuttingDown
+    );
+    handle.join().unwrap().unwrap();
+}
+
+/// `window` and `detect` over the wire: per-step tumbling windows freeze
+/// to exactly the batch score over that step's records, bookkeeping
+/// matches, and a short quiet series detects nothing.
+#[test]
+fn windowed_requests_over_the_wire() {
+    // batch(_, step) stamps timestamps step*1000 + i, so 1000-second
+    // tumbling windows hold exactly one step each.
+    let (handle, addr) =
+        start_with_window(2, 2, Some(WindowPolicy::tumbling(1_000)));
+    let mut client = Client::connect(&addr).unwrap();
+    let mut all = Vec::new();
+    for step in 0..4 {
+        all.extend(batch("metro", step));
+    }
+    match client
+        .request(&Request::Submit {
+            mode: None,
+            records: values(&all),
+        })
+        .unwrap()
+    {
+        Response::Submitted { ingested, .. } => assert_eq!(ingested, all.len()),
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    let metro = RegionId::new("metro").unwrap();
+    match client
+        .request(&Request::Window {
+            region: "metro".to_string(),
+        })
+        .unwrap()
+    {
+        Response::Window {
+            region,
+            points,
+            closed,
+            open,
+            late,
+        } => {
+            assert_eq!(region, "metro");
+            // Steps 0-2 closed by later arrivals; step 3 still open.
+            assert_eq!((closed, open, late), (3, 1, 0));
+            assert_eq!(points.len(), 4);
+            for (step, point) in points.iter().enumerate() {
+                assert_eq!(point.window_start, step as u64 * 1_000);
+                assert_eq!(point.window_s, 1_000);
+                assert_eq!(point.samples, 6);
+                assert_eq!(point.closed, step < 3);
+                let expected = batch_report(&batch("metro", step));
+                let expected = expected.regions.get(&metro).unwrap().report.score;
+                assert_eq!(point.score, Some(expected), "window {step}");
+            }
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    match client
+        .request(&Request::Detect {
+            region: "metro".to_string(),
+            threshold: None,
+            min_segment: None,
+        })
+        .unwrap()
+    {
+        Response::Detect { region, analysis } => {
+            assert_eq!(region, "metro");
+            assert_eq!(analysis.windows, 4);
+            assert_eq!(analysis.scored, 4);
+            // Four points are far below the minimum segment size; a
+            // quiet series must stay quiet.
+            assert!(analysis.shifts.is_empty());
+            assert_eq!(analysis.diurnal.period_s, None);
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    assert_eq!(
+        client.request(&Request::Shutdown).unwrap(),
+        Response::ShuttingDown
+    );
+    handle.join().unwrap().unwrap();
+}
+
+/// With windowing disabled the temporal requests answer with an error
+/// and leave the connection (and batch scoring) untouched.
+#[test]
+fn windowing_disabled_answers_with_errors() {
+    let (handle, addr) = start_with_window(1, 1, None);
+    let mut client = Client::connect(&addr).unwrap();
+    let records = batch("metro", 0);
+    match client
+        .request(&Request::Submit {
+            mode: None,
+            records: values(&records),
+        })
+        .unwrap()
+    {
+        Response::Submitted { ingested, .. } => assert_eq!(ingested, records.len()),
+        other => panic!("unexpected response: {other:?}"),
+    }
+    for request in [
+        Request::Window {
+            region: "metro".to_string(),
+        },
+        Request::Detect {
+            region: "metro".to_string(),
+            threshold: None,
+            min_segment: None,
+        },
+    ] {
+        match client.request(&request).unwrap() {
+            Response::Error { message } => {
+                assert!(message.contains("disabled"), "{message}")
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    match client
+        .request(&Request::Score {
+            region: Some("metro".to_string()),
+        })
+        .unwrap()
+    {
+        Response::Region { score, .. } => assert!(score.is_some()),
+        other => panic!("unexpected response: {other:?}"),
+    }
     assert_eq!(
         client.request(&Request::Shutdown).unwrap(),
         Response::ShuttingDown

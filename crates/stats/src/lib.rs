@@ -27,7 +27,11 @@
 //! * [`ecdf`] — empirical CDF utilities.
 //! * [`bootstrap`] — bootstrap confidence intervals for percentile estimates
 //!   (used by the ranking-stability experiment).
-//! * [`window`] — time-bucketed windowed aggregation for trend analysis.
+//! * [`window`] — time-bucketed windowed aggregation for trend analysis,
+//!   plus [`window::WindowSpec`], the tumbling/sliding window geometry the
+//!   continuous scoring path builds on.
+//! * [`changepoint`] — CUSUM mean-shift detection and autocorrelation
+//!   period estimation over per-window score series.
 //! * [`correlation`] — Kendall τ / Spearman ρ rank correlation (ranking
 //!   stability across ablations).
 //! * [`reservoir`] — Vitter's Algorithm R uniform stream sampling.
@@ -54,6 +58,7 @@
 #![deny(unsafe_code)]
 
 pub mod bootstrap;
+pub mod changepoint;
 pub mod correlation;
 pub mod ecdf;
 pub mod error;

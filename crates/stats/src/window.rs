@@ -4,6 +4,12 @@
 //! (e.g. every 2 hours across a week of synthetic measurements). This module
 //! buckets timestamped observations into fixed-width windows, each backed by
 //! a [`StreamingSummary`], so per-window percentiles come out in one pass.
+//!
+//! [`WindowSpec`] is the pure geometry layer underneath: it maps a
+//! timestamp to the set of tumbling or sliding windows that contain it and
+//! decides, given a watermark, which windows are closed. The continuous
+//! scoring path (`iqb_pipeline::temporal`) builds on it; the batch
+//! [`WindowedAggregator`] below remains the one-shot tumbling view.
 
 use std::collections::BTreeMap;
 
@@ -11,6 +17,153 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::StatsError;
 use crate::summary::StreamingSummary;
+
+/// Geometry of a tumbling or sliding window family.
+///
+/// Window starts lie on the slide grid `origin + k·slide` (k ≥ 0) and each
+/// window covers `[start, start + width)`. A tumbling family has
+/// `slide == width`, so every timestamp belongs to exactly one window; a
+/// sliding family has `slide < width` and a timestamp belongs to up to
+/// `ceil(width / slide)` overlapping windows.
+///
+/// ```
+/// use iqb_stats::window::WindowSpec;
+///
+/// let tumbling = WindowSpec::tumbling(3600).unwrap();
+/// assert_eq!(tumbling.windows_for(4000).unwrap().collect::<Vec<_>>(), vec![3600]);
+///
+/// let sliding = WindowSpec::sliding(120, 60).unwrap();
+/// assert_eq!(sliding.windows_for(130).unwrap().collect::<Vec<_>>(), vec![60, 120]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Timestamp of the first window's start; earlier timestamps error.
+    pub origin: u64,
+    /// Window width in time units (positive).
+    pub width: u64,
+    /// Distance between consecutive window starts (positive, ≤ width so
+    /// the family leaves no gaps).
+    pub slide: u64,
+}
+
+impl WindowSpec {
+    /// A tumbling family (`slide == width`) anchored at origin 0.
+    pub fn tumbling(width: u64) -> Result<Self, StatsError> {
+        Self::new(0, width, width)
+    }
+
+    /// A sliding family anchored at origin 0.
+    pub fn sliding(width: u64, slide: u64) -> Result<Self, StatsError> {
+        Self::new(0, width, slide)
+    }
+
+    /// Fully explicit constructor.
+    pub fn new(origin: u64, width: u64, slide: u64) -> Result<Self, StatsError> {
+        let spec = WindowSpec {
+            origin,
+            width,
+            slide,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Rejects degenerate geometries: zero width, zero slide, or a slide
+    /// longer than the width (which would leave uncovered gaps between
+    /// windows — timestamps that belong nowhere).
+    pub fn validate(&self) -> Result<(), StatsError> {
+        if self.width == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "width",
+                reason: "window width must be positive".into(),
+            });
+        }
+        if self.slide == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "slide",
+                reason: "window slide must be positive".into(),
+            });
+        }
+        if self.slide > self.width {
+            return Err(StatsError::InvalidParameter {
+                name: "slide",
+                reason: format!(
+                    "slide {} exceeds width {} — timestamps between windows would be dropped",
+                    self.slide, self.width
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether this is a tumbling family (exactly one window per timestamp).
+    pub fn is_tumbling(&self) -> bool {
+        self.slide == self.width
+    }
+
+    /// Exclusive end of the window starting at `start`.
+    pub fn window_end(&self, start: u64) -> u64 {
+        start + self.width
+    }
+
+    /// Start timestamps of every window containing `timestamp`, ascending.
+    /// Errors for timestamps before the origin. Tumbling specs yield
+    /// exactly one start; sliding specs up to `ceil(width / slide)`.
+    pub fn windows_for(
+        &self,
+        timestamp: u64,
+    ) -> Result<impl Iterator<Item = u64>, StatsError> {
+        if timestamp < self.origin {
+            return Err(StatsError::InvalidParameter {
+                name: "timestamp",
+                reason: format!(
+                    "timestamp {timestamp} precedes window origin {}",
+                    self.origin
+                ),
+            });
+        }
+        let rel = timestamp - self.origin;
+        // Newest containing window: the grid start at or just below `rel`.
+        let k_max = rel / self.slide;
+        // Oldest: the first grid start strictly greater than rel - width
+        // (window ends are exclusive, so start + width > timestamp).
+        let k_min = if rel < self.width {
+            0
+        } else {
+            (rel - self.width) / self.slide + 1
+        };
+        let origin = self.origin;
+        let slide = self.slide;
+        Ok((k_min..=k_max).map(move |k| origin + k * slide))
+    }
+
+    /// The newest (largest-start) window containing `timestamp` — the
+    /// last of this record's windows to close.
+    pub fn newest_window_for(&self, timestamp: u64) -> Result<u64, StatsError> {
+        if timestamp < self.origin {
+            return Err(StatsError::InvalidParameter {
+                name: "timestamp",
+                reason: format!(
+                    "timestamp {timestamp} precedes window origin {}",
+                    self.origin
+                ),
+            });
+        }
+        Ok(self.origin + (timestamp - self.origin) / self.slide * self.slide)
+    }
+
+    /// The close frontier for a watermark: the smallest grid start whose
+    /// window is still open. Every window with `start < frontier` has
+    /// `start + width <= watermark` and is closed; the frontier only moves
+    /// forward as the watermark advances.
+    pub fn close_frontier(&self, watermark: u64) -> u64 {
+        if watermark < self.origin + self.width {
+            return self.origin;
+        }
+        let last_closed_k = (watermark - self.origin - self.width) / self.slide;
+        self.origin + (last_closed_k + 1) * self.slide
+    }
+}
 
 /// Fixed-width tumbling windows over a timestamped value stream.
 ///
@@ -117,6 +270,97 @@ impl WindowedAggregator {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spec_rejects_degenerate_geometries() {
+        assert!(WindowSpec::tumbling(0).is_err());
+        assert!(WindowSpec::sliding(60, 0).is_err());
+        assert!(WindowSpec::sliding(60, 61).is_err(), "gap between windows");
+        assert!(WindowSpec::sliding(60, 60).unwrap().is_tumbling());
+        assert!(!WindowSpec::sliding(60, 30).unwrap().is_tumbling());
+    }
+
+    #[test]
+    fn tumbling_assigns_exactly_one_window() {
+        let spec = WindowSpec::tumbling(60).unwrap();
+        for ts in [0u64, 1, 59, 60, 61, 599, 600, 12345] {
+            let windows: Vec<u64> = spec.windows_for(ts).unwrap().collect();
+            assert_eq!(windows.len(), 1, "ts {ts}");
+            let start = windows[0];
+            assert!(start <= ts && ts < start + 60, "ts {ts} start {start}");
+            assert_eq!(start % 60, 0);
+            assert_eq!(spec.newest_window_for(ts).unwrap(), start);
+        }
+    }
+
+    #[test]
+    fn sliding_assigns_every_covering_window() {
+        let spec = WindowSpec::sliding(120, 60).unwrap();
+        // ts 130 is inside [60, 180) and [120, 240) but not [0, 120).
+        assert_eq!(
+            spec.windows_for(130).unwrap().collect::<Vec<_>>(),
+            vec![60, 120]
+        );
+        // Boundary: ts 120 has left [0, 120) (exclusive end).
+        assert_eq!(
+            spec.windows_for(120).unwrap().collect::<Vec<_>>(),
+            vec![60, 120]
+        );
+        assert_eq!(
+            spec.windows_for(119).unwrap().collect::<Vec<_>>(),
+            vec![0, 60]
+        );
+        // Every claimed window actually covers the timestamp.
+        for ts in 0..500u64 {
+            for start in spec.windows_for(ts).unwrap() {
+                assert!(start <= ts && ts < spec.window_end(start));
+            }
+        }
+        assert_eq!(spec.newest_window_for(130).unwrap(), 120);
+    }
+
+    #[test]
+    fn origin_offsets_the_grid_and_rejects_prehistory() {
+        let spec = WindowSpec::new(1000, 60, 60).unwrap();
+        assert!(spec.windows_for(999).is_err());
+        assert!(spec.newest_window_for(999).is_err());
+        assert_eq!(
+            spec.windows_for(1001).unwrap().collect::<Vec<_>>(),
+            vec![1000]
+        );
+    }
+
+    #[test]
+    fn close_frontier_is_monotone_and_exact() {
+        let spec = WindowSpec::tumbling(60).unwrap();
+        // Nothing closes until a full window fits under the watermark.
+        assert_eq!(spec.close_frontier(0), 0);
+        assert_eq!(spec.close_frontier(59), 0);
+        // Watermark 60: window [0, 60) is closed, frontier moves to 60.
+        assert_eq!(spec.close_frontier(60), 60);
+        assert_eq!(spec.close_frontier(119), 60);
+        assert_eq!(spec.close_frontier(120), 120);
+        let mut prev = 0;
+        for wm in 0..1000u64 {
+            let f = spec.close_frontier(wm);
+            assert!(f >= prev, "frontier regressed at watermark {wm}");
+            // The newest closed window ends at the frontier and fits wholly
+            // under the watermark; the frontier window itself does not.
+            assert!(f <= wm || f == 0);
+            assert!(f + 60 > wm, "frontier window already closed at {wm}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn sliding_frontier_closes_in_start_order() {
+        let spec = WindowSpec::sliding(120, 60).unwrap();
+        // Watermark 120 closes [0, 120) only.
+        assert_eq!(spec.close_frontier(120), 60);
+        // Watermark 180 also closes [60, 180).
+        assert_eq!(spec.close_frontier(180), 120);
+        assert_eq!(spec.close_frontier(179), 60);
+    }
 
     #[test]
     fn zero_width_rejected() {

@@ -14,6 +14,12 @@
 //!   loss, so Ookla records carry `loss_pct: None` and the scoring
 //!   normalization redistributes the weight — exercising the exact
 //!   missing-data path the paper's formulation implies.
+//!
+//! The [`CampaignScheduler`] feeds measurement *back into* campaign
+//! design: given each region's per-window score history from the
+//! continuous scoring path, it splits the next round's probe budget so
+//! volatile or near-grade-boundary regions are measured harder while an
+//! exploration floor keeps every region observed.
 
 use iqb_core::dataset::DatasetId;
 use iqb_data::record::TestRecord;
@@ -175,6 +181,234 @@ pub fn run_campaign(
         }
     }
     Ok(CampaignOutput { records })
+}
+
+/// Per-window score history of one region, as fed to the
+/// [`CampaignScheduler`]. The scores come from the temporal scoring path
+/// (closed-window scores in time order); unscored windows are simply
+/// absent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionObservation {
+    /// Region name (must be unique across one scheduling round).
+    pub region: iqb_data::record::RegionId,
+    /// Per-window composite scores in window order.
+    pub scores: Vec<f64>,
+}
+
+/// Tuning for the adaptive probe-budget allocator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Total probe budget to split across regions, in tests per dataset.
+    pub total_tests: u64,
+    /// Fraction of the uniform share every region keeps regardless of
+    /// priority, in `[0, 1]` — the exploration floor that stops a quiet
+    /// region's data from drying up entirely.
+    pub min_share: f64,
+    /// Weight of score volatility (mean absolute window-to-window score
+    /// change) in a region's priority.
+    pub volatility_weight: f64,
+    /// Weight of grade-boundary proximity in a region's priority.
+    pub boundary_weight: f64,
+    /// How close (in score units) the latest score must be to a grade
+    /// boundary before proximity starts contributing; contribution ramps
+    /// linearly from 0 at this distance to `boundary_weight` on the
+    /// boundary itself.
+    pub boundary_margin: f64,
+    /// The grade boundaries scores are compared against (defaults to the
+    /// paper's A/B/C/D thresholds).
+    pub boundaries: Vec<f64>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            total_tests: 1_000,
+            min_share: 0.25,
+            volatility_weight: 1.0,
+            boundary_weight: 1.0,
+            boundary_margin: 0.05,
+            boundaries: vec![0.90, 0.75, 0.55, 0.35],
+        }
+    }
+}
+
+impl SchedulerConfig {
+    fn validate(&self) -> Result<(), SynthError> {
+        if self.total_tests == 0 {
+            return Err(SynthError::invalid("total_tests", "must be positive"));
+        }
+        if !self.min_share.is_finite() || !(0.0..=1.0).contains(&self.min_share) {
+            return Err(SynthError::invalid("min_share", "must be in [0, 1]"));
+        }
+        for (name, value) in [
+            ("volatility_weight", self.volatility_weight),
+            ("boundary_weight", self.boundary_weight),
+            ("boundary_margin", self.boundary_margin),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(SynthError::invalid(name, "must be finite and >= 0"));
+            }
+        }
+        for b in &self.boundaries {
+            if !b.is_finite() {
+                return Err(SynthError::invalid("boundaries", "must be finite"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One region's slice of the probe budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// Region name.
+    pub region: iqb_data::record::RegionId,
+    /// Tests per dataset allocated to the region's next campaign.
+    pub tests: u64,
+    /// The priority the share was derived from (volatility and boundary
+    /// terms combined; exploration floor not included).
+    pub priority: f64,
+}
+
+/// Adaptive probe-budget allocator: regions whose window scores are
+/// volatile, or sit near a grade boundary, get a larger slice of the
+/// next campaign's test budget.
+///
+/// Pure and deterministic: the same observations and config always
+/// produce the same allocations, shares are integerized by the largest-
+/// remainder method (so they sum to the budget *exactly*), and every tie
+/// breaks by region name.
+#[derive(Debug, Clone)]
+pub struct CampaignScheduler {
+    config: SchedulerConfig,
+}
+
+impl CampaignScheduler {
+    /// Validates and captures the tuning.
+    pub fn new(config: SchedulerConfig) -> Result<Self, SynthError> {
+        config.validate()?;
+        Ok(CampaignScheduler { config })
+    }
+
+    /// The tuning in force.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Priority of one score history: volatility (mean absolute
+    /// successive score change) plus grade-boundary proximity of the
+    /// latest score, each weighted per config. Histories of fewer than
+    /// two scores return `None` — the caller treats those regions as
+    /// unexplored and maximally interesting.
+    fn priority(&self, scores: &[f64]) -> Option<f64> {
+        if scores.len() < 2 {
+            return None;
+        }
+        let volatility = scores
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .sum::<f64>()
+            / (scores.len() - 1) as f64;
+        let latest = scores[scores.len() - 1];
+        let mut boundary = 0.0f64;
+        if self.config.boundary_margin > 0.0 {
+            for b in &self.config.boundaries {
+                let closeness = 1.0 - (latest - b).abs() / self.config.boundary_margin;
+                if closeness > boundary {
+                    boundary = closeness;
+                }
+            }
+        }
+        Some(self.config.volatility_weight * volatility + self.config.boundary_weight * boundary)
+    }
+
+    /// Splits the budget across the observed regions. Returns one
+    /// [`Allocation`] per region, sorted by region name, summing exactly
+    /// to `total_tests`.
+    ///
+    /// Regions with fewer than two scored windows are *unexplored*: they
+    /// take the highest priority seen in the round (or `1.0` when no
+    /// region has history), so a fresh region out-prioritizes any stable
+    /// one until it has data.
+    pub fn allocate(
+        &self,
+        observations: &[RegionObservation],
+    ) -> Result<Vec<Allocation>, SynthError> {
+        if observations.is_empty() {
+            return Err(SynthError::invalid(
+                "observations",
+                "need at least one region to schedule",
+            ));
+        }
+        let mut sorted: Vec<&RegionObservation> = observations.iter().collect();
+        sorted.sort_by(|a, b| a.region.cmp(&b.region));
+        for pair in sorted.windows(2) {
+            if pair[0].region == pair[1].region {
+                return Err(SynthError::invalid(
+                    "observations",
+                    "duplicate region in scheduling round",
+                ));
+            }
+        }
+        for obs in &sorted {
+            for s in &obs.scores {
+                if !s.is_finite() {
+                    return Err(SynthError::invalid("scores", "must be finite"));
+                }
+            }
+        }
+        let raw: Vec<Option<f64>> = sorted.iter().map(|o| self.priority(&o.scores)).collect();
+        let mut ceiling = 0.0f64;
+        for p in raw.iter().flatten() {
+            if *p > ceiling {
+                ceiling = *p;
+            }
+        }
+        if ceiling <= 0.0 {
+            ceiling = 1.0;
+        }
+        let priorities: Vec<f64> = raw.iter().map(|p| p.unwrap_or(ceiling)).collect();
+
+        let n = sorted.len() as u64;
+        let floor_each =
+            ((self.config.min_share * self.config.total_tests as f64) / n as f64) as u64;
+        let adaptive_budget = self.config.total_tests - floor_each * n;
+        let total_priority: f64 = priorities.iter().sum();
+        // Largest-remainder integerization of the adaptive slice: floor
+        // every quota, then hand the leftover units to the largest
+        // fractional remainders, ties to the lexicographically first
+        // region.
+        let quotas: Vec<f64> = if total_priority > 0.0 {
+            priorities
+                .iter()
+                .map(|p| adaptive_budget as f64 * p / total_priority)
+                .collect()
+        } else {
+            vec![adaptive_budget as f64 / n as f64; sorted.len()]
+        };
+        let mut tests: Vec<u64> = quotas.iter().map(|q| *q as u64).collect();
+        let assigned: u64 = tests.iter().sum();
+        let mut order: Vec<usize> = (0..sorted.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = quotas[a] - tests[a] as f64;
+            let rb = quotas[b] - tests[b] as f64;
+            rb.total_cmp(&ra)
+                .then_with(|| sorted[a].region.cmp(&sorted[b].region))
+        });
+        for &i in order.iter().take((adaptive_budget - assigned) as usize) {
+            tests[i] += 1;
+        }
+        Ok(sorted
+            .iter()
+            .zip(tests)
+            .zip(priorities)
+            .map(|((obs, tests), priority)| Allocation {
+                region: obs.region.clone(),
+                tests: floor_each + tests,
+                priority,
+            })
+            .collect())
+    }
 }
 
 /// Stable hash of a region id so different regions under the same master
@@ -353,5 +587,150 @@ mod tests {
         let mut c = quick_config(10);
         c.datasets.clear();
         assert!(run_campaign(&region, &c).is_err());
+    }
+
+    fn obs(region: &str, scores: &[f64]) -> RegionObservation {
+        RegionObservation {
+            region: iqb_data::record::RegionId::new(region).unwrap(),
+            scores: scores.to_vec(),
+        }
+    }
+
+    fn scheduler(config: SchedulerConfig) -> CampaignScheduler {
+        CampaignScheduler::new(config).unwrap()
+    }
+
+    #[test]
+    fn allocations_sum_exactly_to_budget() {
+        for total in [7u64, 100, 999, 1_000] {
+            let s = scheduler(SchedulerConfig {
+                total_tests: total,
+                ..Default::default()
+            });
+            let allocations = s
+                .allocate(&[
+                    obs("a", &[0.9, 0.5, 0.9]),
+                    obs("b", &[0.6, 0.6, 0.6]),
+                    obs("c", &[0.749, 0.751, 0.75]),
+                ])
+                .unwrap();
+            let sum: u64 = allocations.iter().map(|a| a.tests).sum();
+            assert_eq!(sum, total, "budget {total}: {allocations:?}");
+        }
+    }
+
+    #[test]
+    fn volatile_region_outdraws_stable_one() {
+        let s = scheduler(SchedulerConfig::default());
+        let allocations = s
+            .allocate(&[
+                obs("calm", &[0.6, 0.6, 0.6, 0.6]),
+                obs("wild", &[0.2, 0.7, 0.1, 0.65]),
+            ])
+            .unwrap();
+        assert_eq!(allocations[0].region.as_str(), "calm");
+        assert!(
+            allocations[1].tests > 2 * allocations[0].tests,
+            "{allocations:?}"
+        );
+    }
+
+    #[test]
+    fn boundary_region_outdraws_mid_band_one() {
+        let s = scheduler(SchedulerConfig::default());
+        // Same (zero) volatility; "edge" sits on the B boundary, "mid"
+        // sits in the middle of the C band.
+        let allocations = s
+            .allocate(&[obs("edge", &[0.75, 0.75]), obs("mid", &[0.65, 0.65])])
+            .unwrap();
+        assert!(
+            allocations[0].tests > 2 * allocations[1].tests,
+            "{allocations:?}"
+        );
+        assert!(allocations[0].priority > allocations[1].priority);
+    }
+
+    #[test]
+    fn exploration_floor_keeps_quiet_regions_observed() {
+        let s = scheduler(SchedulerConfig {
+            total_tests: 400,
+            min_share: 0.5,
+            ..Default::default()
+        });
+        let allocations = s
+            .allocate(&[
+                obs("boring", &[0.65, 0.65, 0.65]),
+                obs("edgy", &[0.9, 0.9]),
+            ])
+            .unwrap();
+        // Uniform share is 200; half of it is guaranteed.
+        assert!(allocations.iter().all(|a| a.tests >= 100), "{allocations:?}");
+    }
+
+    #[test]
+    fn unexplored_region_takes_top_priority() {
+        let s = scheduler(SchedulerConfig::default());
+        let allocations = s
+            .allocate(&[
+                obs("fresh", &[]),
+                obs("known-volatile", &[0.3, 0.8, 0.2]),
+                obs("known-stable", &[0.65, 0.65, 0.65]),
+            ])
+            .unwrap();
+        let by_name = |name: &str| {
+            allocations
+                .iter()
+                .find(|a| a.region.as_str() == name)
+                .unwrap()
+        };
+        assert_eq!(by_name("fresh").priority, by_name("known-volatile").priority);
+        assert!(by_name("fresh").tests > by_name("known-stable").tests);
+    }
+
+    #[test]
+    fn scheduler_is_deterministic_and_sorted() {
+        let s = scheduler(SchedulerConfig {
+            total_tests: 101,
+            ..Default::default()
+        });
+        let observations = vec![
+            obs("b", &[0.5, 0.5]),
+            obs("a", &[0.5, 0.5]),
+            obs("c", &[0.5, 0.5]),
+        ];
+        let first = s.allocate(&observations).unwrap();
+        let second = s.allocate(&observations).unwrap();
+        assert_eq!(first, second);
+        let names: Vec<&str> = first.iter().map(|a| a.region.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        // Equal priorities: the leftover unit goes to the first region
+        // by name, never by input order.
+        assert!(first[0].tests >= first[2].tests);
+        assert_eq!(first.iter().map(|a| a.tests).sum::<u64>(), 101);
+    }
+
+    #[test]
+    fn scheduler_rejects_degenerate_input() {
+        assert!(CampaignScheduler::new(SchedulerConfig {
+            total_tests: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(CampaignScheduler::new(SchedulerConfig {
+            min_share: 1.5,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(CampaignScheduler::new(SchedulerConfig {
+            volatility_weight: f64::NAN,
+            ..Default::default()
+        })
+        .is_err());
+        let s = scheduler(SchedulerConfig::default());
+        assert!(s.allocate(&[]).is_err());
+        assert!(s
+            .allocate(&[obs("dup", &[0.5, 0.5]), obs("dup", &[0.6, 0.6])])
+            .is_err());
+        assert!(s.allocate(&[obs("nan", &[f64::NAN, 0.5])]).is_err());
     }
 }

@@ -15,7 +15,9 @@
 //! 4. [`campaign`] — a measurement campaign samples subscribers and times,
 //!    runs each dataset's protocol emulator, and emits
 //!    [`iqb_data::record::TestRecord`]s — plus Ookla-style pre-aggregated
-//!    rows ([`ookla_agg`]), because Ookla publishes aggregates only.
+//!    rows ([`ookla_agg`]), because Ookla publishes aggregates only. A
+//!    [`campaign::CampaignScheduler`] closes the loop: per-window score
+//!    histories decide which regions' campaigns get the probe budget next.
 //!
 //! Everything is deterministic from the campaign seed.
 //!
@@ -39,7 +41,10 @@ pub mod ookla_agg;
 pub mod region;
 pub mod tech;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignOutput};
+pub use campaign::{
+    run_campaign, Allocation, CampaignConfig, CampaignOutput, CampaignScheduler,
+    RegionObservation, SchedulerConfig,
+};
 pub use error::SynthError;
 pub use region::RegionSpec;
 pub use tech::Technology;

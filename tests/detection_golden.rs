@@ -1,0 +1,92 @@
+//! Detection-golden regression (E13): the planted diurnal cycle and
+//! outage step must be recovered within documented tolerance, and the
+//! rendered report must match the committed `results/ext_detection.txt`
+//! byte for byte.
+//!
+//! Tolerances (documented in EXPERIMENTS.md):
+//! - period: exact — lag estimation is discrete, 12 samples × 7 200 s;
+//! - best/worst hour: exact — phase means are separated by far more than
+//!   the ±0.004 noise floor;
+//! - swing: planted 2 × amplitude = 0.100, ± 0.02;
+//! - shift position: within one window of the planted boundary;
+//! - shift magnitude: planted −0.25, ± 0.05.
+//!
+//! The golden file blesses itself on first run (the binary
+//! `cargo run -p iqb-bench --bin ext_detection` regenerates it); once
+//! committed, any byte of drift fails here.
+
+use iqb_bench::detection::{
+    detection_analysis, detection_golden_text, detection_series, DETECTION_AMPLITUDE,
+    DETECTION_STEP, DETECTION_STEP_WINDOW, DETECTION_WINDOWS, DETECTION_WINDOW_S,
+};
+use iqb_stats::changepoint::ShiftDirection;
+
+#[test]
+fn detection_recovers_planted_cycle_and_step_within_tolerance() {
+    let points = detection_series();
+    let analysis = detection_analysis(&points);
+
+    assert_eq!(analysis.windows, DETECTION_WINDOWS);
+    assert_eq!(analysis.scored, DETECTION_WINDOWS);
+
+    // The cycle: 12 windows × 7 200 s = 24 h, peaking at 06:00.
+    assert_eq!(analysis.diurnal.period_s, Some(86_400));
+    assert!(
+        analysis.diurnal.strength >= 0.8,
+        "planted cycle should dominate the noise floor, strength {}",
+        analysis.diurnal.strength
+    );
+    assert_eq!(analysis.diurnal.best_hour, Some(6));
+    assert_eq!(analysis.diurnal.worst_hour, Some(18));
+    let planted_swing = 2.0 * DETECTION_AMPLITUDE;
+    assert!(
+        (analysis.diurnal.swing - planted_swing).abs() <= 0.02,
+        "swing {} drifted from the planted {planted_swing}",
+        analysis.diurnal.swing
+    );
+
+    // The step: one downward shift, within a window of the plant.
+    assert_eq!(
+        analysis.shifts.len(),
+        1,
+        "expected exactly the planted shift, got {:?}",
+        analysis.shifts
+    );
+    let shift = &analysis.shifts[0];
+    assert_eq!(shift.direction, ShiftDirection::Down);
+    let planted_start = DETECTION_STEP_WINDOW as u64 * DETECTION_WINDOW_S;
+    assert!(
+        shift.window_start.abs_diff(planted_start) <= DETECTION_WINDOW_S,
+        "shift at {} is more than one window from the planted {planted_start}",
+        shift.window_start
+    );
+    assert!(
+        (shift.magnitude - DETECTION_STEP).abs() <= 0.05,
+        "magnitude {} drifted from the planted {DETECTION_STEP}",
+        shift.magnitude
+    );
+}
+
+#[test]
+fn detection_report_matches_committed_golden() {
+    let rendered = detection_golden_text();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join("ext_detection.txt");
+    if !path.exists() {
+        // First run on a fresh checkout blesses the golden; review the
+        // diff and commit it. Every later run byte-compares.
+        std::fs::write(&path, &rendered)
+            .unwrap_or_else(|e| panic!("blessing {}: {e}", path.display()));
+        eprintln!("blessed new golden {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    assert_eq!(
+        rendered, golden,
+        "detection report drifted from results/ext_detection.txt; if the \
+         change is intended, regenerate it with \
+         `cargo run -p iqb-bench --bin ext_detection > results/ext_detection.txt`"
+    );
+}

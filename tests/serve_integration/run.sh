@@ -12,6 +12,12 @@
 #     `iqb score` over the same fixture (the drained-equals-batch
 #     contract, compared as canonicalized JSON).
 #
+# A second daemon then boots with 900 s event-time windows and runs
+# submit -> window -> detect -> shutdown; the count-deterministic shape
+# of those responses (window grid, sample ledgers, open/closed/late
+# counts, detection dimensions — scores jq-normalized away) must match
+# the committed golden_window.txt.
+#
 # The `metrics` response is intentionally absent from the goldens: its
 # counter values depend on request history and are not byte-stable.
 #
@@ -109,5 +115,59 @@ jq -e '.type == "whatif" and (.outcomes | length > 0)' "$WORK/whatif.json" >/dev
 jq -e '.type == "metrics" and (.counters["serve.requests.submit"] >= 1)' \
     "$WORK/metrics.json" >/dev/null \
     || { echo "error: metrics response malformed: $(cat "$WORK/metrics.json")" >&2; exit 1; }
+
+# --- windowed daemon: submit -> window -> detect -> shutdown ------------
+"$IQB" serve --addr 127.0.0.1:0 --shards 2 --window 900 \
+    >"$WORK/serve_w.log" 2>"$WORK/serve_w.err" &
+SERVER_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^iqb serve: listening on //p' "$WORK/serve_w.log" | head -n1)"
+    [[ -n "$ADDR" ]] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "error: windowed daemon exited before listening" >&2
+        cat "$WORK/serve_w.log" "$WORK/serve_w.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "error: windowed daemon never reported its address" >&2; exit 1; }
+echo "windowed daemon on $ADDR (pid $SERVER_PID)"
+
+client submit --input "$HERE/fixture.csv"        >"$WORK/w_submitted.json"
+client window --region metro                     >"$WORK/w_metro.json"
+client window --region rural                     >"$WORK/w_rural.json"
+client detect --region metro                     >"$WORK/w_detect.json"
+client shutdown                                  >"$WORK/w_shutdown.json"
+
+if ! wait "$SERVER_PID"; then
+    echo "error: windowed daemon exited nonzero" >&2
+    cat "$WORK/serve_w.log" "$WORK/serve_w.err" >&2
+    exit 1
+fi
+SERVER_PID=""
+grep -q "iqb serve: drained and stopped" "$WORK/serve_w.log" \
+    || { echo "error: windowed daemon did not report a drained stop" >&2; exit 1; }
+
+# Normalize the float-bearing window/detect responses down to their
+# count-deterministic shape: the window grid, per-window sample counts,
+# open/closed/late accounting and detection dimensions are exact; the
+# scores themselves are floats and are reduced to "did it score".
+norm_window='{type, region, closed, open, late, points: [.points[]
+    | {start: .window_start, width: .window_s, samples, closed,
+       scored: (.score != null)}]}'
+norm_detect='{type, region, windows: .analysis.windows,
+    scored: .analysis.scored, period: .analysis.diurnal.period_s,
+    shifts: (.analysis.shifts | length)}'
+{
+    jq -c .              "$WORK/w_submitted.json"
+    jq -c "$norm_window" "$WORK/w_metro.json"
+    jq -c "$norm_window" "$WORK/w_rural.json"
+    jq -c "$norm_detect" "$WORK/w_detect.json"
+    jq -c .              "$WORK/w_shutdown.json"
+} >"$WORK/actual_window.txt"
+diff -u "$HERE/golden_window.txt" "$WORK/actual_window.txt" \
+    || { echo "error: windowed wire responses diverge from golden_window.txt" >&2; exit 1; }
 
 echo "serve integration: OK"
