@@ -166,6 +166,14 @@ pub struct GateReport {
     /// reports written before RSS accounting existed.
     #[serde(default)]
     pub rss: Vec<RssOutcome>,
+    /// Row keys present in `current` but absent from the baseline —
+    /// typically cases the change under test introduced. Informational:
+    /// they cannot fail the gate, but they are named in the verdict so a
+    /// new case is never *silently* unguarded (it starts gating once a
+    /// refreshed baseline carries it). Defaults to empty for archived
+    /// reports written before this accounting existed.
+    #[serde(default)]
+    pub unknown: Vec<String>,
 }
 
 impl GateReport {
@@ -211,6 +219,11 @@ impl GateReport {
                     o.key
                 )),
             }
+        }
+        for key in &self.unknown {
+            out.push_str(&format!(
+                "  [new] {key}: no baseline row — gates after the next baseline refresh\n"
+            ));
         }
         for r in &self.ratios {
             let ratio = r.incremental_median_ms / r.batch_median_ms;
@@ -266,8 +279,10 @@ impl GateReport {
 /// Diffs `current` against `baseline`: every baseline row must exist in
 /// `current` and its median must not exceed `baseline * (1 + tolerance)`
 /// (or [`ESTIMATED_BASELINE_CEILING`] when the baseline is estimated).
-/// Extra rows in `current` are ignored — adding cells is not a
-/// regression.
+/// Extra rows in `current` cannot fail the gate — adding cells is not a
+/// regression — but their keys are reported in
+/// [`GateReport::unknown`], so a freshly added case shows up in the CI
+/// log as unguarded instead of vanishing silently.
 ///
 /// Independently of the baseline, every `incremental` row in `current`
 /// with a `batch` twin (same backend, same corpus size) must stay under
@@ -356,12 +371,19 @@ pub fn gate_bench(
             }
         })
         .collect();
+    let unknown = current
+        .rows
+        .iter()
+        .filter(|r| !baseline.rows.iter().any(|b| b.key() == r.key()))
+        .map(|r| r.key())
+        .collect();
     GateReport {
         tolerance,
         estimated_baseline: baseline.estimated,
         outcomes,
         ratios,
         rss,
+        unknown,
     }
 }
 
@@ -458,13 +480,24 @@ mod tests {
     }
 
     #[test]
-    fn extra_current_rows_are_ignored() {
+    fn extra_current_rows_are_reported_not_failed() {
         let base = doc(false, vec![row("batch", "exact", 100.0)]);
         let current = doc(
             false,
-            vec![row("batch", "exact", 100.0), row("batch", "tdigest", 999.0)],
+            vec![
+                row("batch", "exact", 100.0),
+                row("stream-serial", "csv", 999.0),
+            ],
         );
-        assert!(gate_bench(&base, &current, 0.25, DEFAULT_RATIO_CEILING).passed());
+        let report = gate_bench(&base, &current, 0.25, DEFAULT_RATIO_CEILING);
+        // A case the baseline has never seen cannot regress anything...
+        assert!(report.passed(), "{}", report.render());
+        // ...but it must be named, not silently skipped.
+        assert_eq!(report.unknown, vec!["stream-serial/csv/20x150".to_string()]);
+        assert!(report.render().contains("[new] stream-serial/csv/20x150"));
+        // A fully matched pair of documents reports nothing unknown.
+        let exact = gate_bench(&base, &base, 0.25, DEFAULT_RATIO_CEILING);
+        assert!(exact.unknown.is_empty());
     }
 
     #[test]
@@ -566,12 +599,46 @@ mod tests {
     }
 
     #[test]
+    fn rss_missing_baseline_measurement_is_advisory() {
+        // The committed baseline predates RSS accounting (null column):
+        // a measured current side is printed but cannot fail.
+        let mut unmeasured_base = row("batch", "exact", 100.0);
+        unmeasured_base.peak_rss_bytes = None;
+        let base = doc(false, vec![unmeasured_base]);
+        let report = gate_bench(
+            &base,
+            &doc(false, vec![row("batch", "exact", 100.0)]),
+            0.25,
+            DEFAULT_RATIO_CEILING,
+        );
+        assert!(report.rss[0].warn_only && report.rss[0].pass);
+        assert!(report.passed());
+        assert!(
+            report.render().contains("not measured on the baseline side"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn rss_of_a_row_missing_from_current_is_advisory() {
+        // The wall-time outcome already fails a missing row; the RSS
+        // entry for it degrades to advisory rather than double-failing.
+        let base = doc(false, vec![row("batch", "exact", 100.0)]);
+        let report = gate_bench(&base, &doc(false, vec![]), 0.25, DEFAULT_RATIO_CEILING);
+        assert!(!report.passed(), "missing row fails the median gate");
+        assert_eq!(report.rss[0].current_bytes, None);
+        assert!(report.rss[0].warn_only && report.rss[0].pass);
+    }
+
+    #[test]
     fn gate_report_without_rss_field_deserializes() {
         // Reports archived before RSS accounting existed parse with an
-        // empty advisory list.
+        // empty advisory list and no unknown-case listing.
         let json = r#"{"tolerance":0.25,"estimated_baseline":false,"outcomes":[]}"#;
         let report: GateReport = serde_json::from_str(json).unwrap();
         assert!(report.rss.is_empty());
+        assert!(report.unknown.is_empty());
     }
 
     #[test]

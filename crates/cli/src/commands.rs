@@ -19,6 +19,7 @@ use iqb_data::aggregate::{aggregate_region, AggregationSpec, AggregatorBackend};
 use iqb_data::clean::Cleaner;
 use iqb_data::csv_io;
 use iqb_data::quarantine::IngestMode;
+use iqb_data::stream::StreamOptions;
 use iqb_data::record::{RegionId, TestRecord};
 use iqb_data::store::{MeasurementStore, QueryFilter};
 use iqb_netsim::aqm::AqmPolicy;
@@ -27,7 +28,8 @@ use iqb_pipeline::compare::{compare as compare_reports, render_comparison};
 use iqb_pipeline::exhibits;
 use iqb_pipeline::quality::DataQualityReport;
 use iqb_pipeline::report::{render_csv, render_drilldown, render_json, render_summary};
-use iqb_pipeline::runner::score_all_regions;
+use iqb_pipeline::runner::{score_all_regions, RegionalReport};
+use iqb_pipeline::stream::score_stream;
 use iqb_pipeline::table::TextTable;
 use iqb_pipeline::temporal::{WindowPolicy, WindowedSession};
 use iqb_pipeline::trend::{analyze_trend, score_trend, TrendAnalysis};
@@ -236,6 +238,24 @@ fn ingest_threads(args: &ParsedArgs) -> Result<usize, Box<dyn std::error::Error>
     Ok(threads)
 }
 
+/// Shared streaming-driver options from `--ingest-mode`,
+/// `--ingest-threads` and `--segment-bytes`. The segment window bounds
+/// peak ingest memory; the driver clamps it up to the minimum it will
+/// honour, so only zero is rejected here.
+fn stream_options(args: &ParsedArgs) -> Result<StreamOptions, Box<dyn std::error::Error>> {
+    let mut options = StreamOptions::new(ingest_mode(args)?, ingest_threads(args)?);
+    if let Some(raw) = args.get("segment-bytes") {
+        let bytes: usize = raw
+            .parse()
+            .map_err(|_| usage(format!("--segment-bytes expects a byte count, got `{raw}`")))?;
+        if bytes == 0 {
+            return Err(usage("--segment-bytes must be positive"));
+        }
+        options = options.with_segment_bytes(bytes);
+    }
+    Ok(options)
+}
+
 /// Reads the CSV named by `--<key>` straight into a columnar
 /// [`MeasurementStore`] with the chunked parallel reader — no
 /// intermediate `Vec<TestRecord>`. Lenient mode prints the data-quality
@@ -377,6 +397,9 @@ fn build_spec_with_env(
 
 /// `iqb score --input <file.csv> [...]`
 pub fn score(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
+    if args.has_flag("stream") {
+        return score_streamed(args, out);
+    }
     let mut telemetry = Telemetry::from_args("score", args)?;
     telemetry.stage("ingest");
     let store = load_store(args)?;
@@ -386,17 +409,61 @@ pub fn score(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
     let report = score_all_regions(&store, &config, &spec, &QueryFilter::all())?;
 
     telemetry.stage("render");
+    render_score_report(args, out, &report)?;
+    telemetry.emit()
+}
+
+/// The `--stream` path of `iqb score`: fixed-size CSV segments feed a
+/// non-retaining session's aggregation sinks directly, so no store (and
+/// no full record set) ever exists in memory. Output is byte-identical
+/// to the materialized path for the same input and options.
+fn score_streamed(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
+    if args.has_flag("clean") {
+        return Err(usage(
+            "--clean needs the whole record set in memory and cannot combine with --stream",
+        ));
+    }
+    let mut telemetry = Telemetry::from_args("score", args)?;
+    let config = build_config(args)?;
+    let spec = build_spec(args)?;
+    let options = stream_options(args)?;
+    let path = args.require("input")?;
+    let file =
+        File::open(path).map_err(|e| usage(format!("cannot open --input {path}: {e}")))?;
+    // Ingest and scoring are fused on this path: sinks absorb each
+    // segment as it is parsed, so there is one combined stage.
+    telemetry.stage("ingest+score");
+    let (report, summary) = score_stream(file, &config, &spec, &options)?;
+    if options.mode == IngestMode::Lenient && !summary.report.is_clean() {
+        let mut quality = DataQualityReport::new(options.mode);
+        quality.quarantine = summary.report;
+        eprint!("{}", quality.render());
+    }
+
+    telemetry.stage("render");
+    render_score_report(args, out, &report)?;
+    telemetry.emit()
+}
+
+/// Shared `iqb score` output tail: `--format` rendering plus the
+/// optional `--drilldown`, identical for the materialized and streamed
+/// paths.
+fn render_score_report(
+    args: &ParsedArgs,
+    out: &mut dyn Write,
+    report: &RegionalReport,
+) -> CliResult {
     match args.get_or("format", "text") {
-        "text" => write!(out, "{}", render_summary(&report))?,
-        "csv" => write!(out, "{}", render_csv(&report))?,
-        "json" => writeln!(out, "{}", render_json(&report)?)?,
+        "text" => write!(out, "{}", render_summary(report))?,
+        "csv" => write!(out, "{}", render_csv(report))?,
+        "json" => writeln!(out, "{}", render_json(report)?)?,
         other => return Err(usage(format!("unknown format `{other}`"))),
     }
     if let Some(region) = args.get("drilldown") {
         let region = RegionId::new(region)?;
-        writeln!(out, "\n{}", render_drilldown(&report, &region))?;
+        writeln!(out, "\n{}", render_drilldown(report, &region))?;
     }
-    telemetry.emit()
+    Ok(())
 }
 
 /// `iqb compare --before <a.csv> --after <b.csv> [config options]`
@@ -995,6 +1062,69 @@ mod tests {
             csv.push_str(&format!("{},metro,ndt,NaN,20.0,25.0,0.1,\n", 100_000 + i));
         }
         std::fs::write(path, csv)?;
+        Ok(())
+    }
+
+    #[test]
+    fn streamed_score_output_matches_materialized() -> CliResult {
+        let _guard = ingest_lock();
+        let dir = std::env::temp_dir().join("iqb-cli-stream-test");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("stream.csv");
+        write_corrupt_csv(&path, 40, 3)?;
+        let path_str = path.to_str().ok_or("temp path is not UTF-8")?;
+
+        let run = |extra: &[&str]| -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+            let mut argv = vec![
+                "score",
+                "--input",
+                path_str,
+                "--ingest-mode",
+                "lenient",
+                "--format",
+                "json",
+            ];
+            argv.extend_from_slice(extra);
+            let mut out = Vec::new();
+            score(&parsed(&argv)?, &mut out)?;
+            Ok(out)
+        };
+        let materialized = run(&[])?;
+        assert!(!materialized.is_empty());
+        assert_eq!(
+            materialized,
+            run(&["--stream"])?,
+            "--stream must not change stdout by a single byte"
+        );
+        assert_eq!(
+            materialized,
+            run(&["--stream", "--segment-bytes", "4096", "--ingest-threads", "3"])?,
+            "segment size and thread count must not change stdout"
+        );
+        // Strict mode aborts on the corrupt rows, streamed or not.
+        assert!(score(
+            &parsed(&["score", "--input", path_str, "--stream"])?,
+            &mut Vec::new(),
+        )
+        .is_err());
+        std::fs::remove_file(&path).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn stream_flag_rejects_clean_and_zero_segment() -> CliResult {
+        let err = score(
+            &parsed(&["score", "--input", "x.csv", "--clean", "--stream"])?,
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--stream"), "{err}");
+        let err = score(
+            &parsed(&["score", "--input", "x.csv", "--stream", "--segment-bytes", "0"])?,
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--segment-bytes"), "{err}");
         Ok(())
     }
 

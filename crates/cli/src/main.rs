@@ -53,7 +53,17 @@ COMMANDS:
         --ingest-mode <strict|lenient>  strict (default) aborts on the first bad
                                       row; lenient quarantines bad rows, scores
                                       the rest and reports every drop on stderr
+        --ingest-threads <n>          Parse worker threads (default: available
+                                      parallelism; never changes the output)
+        --stream                      Stream the input in fixed-size segments
+                                      straight into the aggregation sinks, no
+                                      in-memory store: peak RSS stays bounded
+                                      at any input size with the sketch
+                                      backends (tdigest|p2). Output is byte-
+                                      identical to the default path.
+        --segment-bytes <n>           --stream window size (default 8388608)
         --clean                       Dedup + outlier-screen before scoring
+                                      (incompatible with --stream)
         --format <text|csv|json>      Output format (default text)
         --drilldown <region>          Also print one region's breakdown
         --metrics <text|json|off>     Emit run telemetry (counters, per-source

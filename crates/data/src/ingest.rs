@@ -38,6 +38,7 @@ use std::str::FromStr;
 use std::time::Instant;
 
 use crate::error::DataError;
+use crate::memscan;
 use crate::quarantine::{FaultKind, IngestMode, QuarantineReport, Quarantined};
 use crate::record::{validate_metrics, TestRecord};
 use crate::store::{BatchRow, MeasurementStore, RecordBatch};
@@ -50,20 +51,20 @@ pub fn default_ingest_threads() -> usize {
 }
 
 /// One contiguous slice of the input body handed to a parser worker.
-struct Chunk {
-    range: Range<usize>,
+pub(crate) struct Chunk {
+    pub(crate) range: Range<usize>,
     /// Non-blank records (CSV) or physical lines (JSONL) before this
     /// chunk — the worker's offset for global line numbering.
-    before: usize,
+    pub(crate) before: usize,
 }
 
 /// What one parser worker hands back.
 #[derive(Default)]
-struct ChunkOutput {
-    batch: RecordBatch,
-    report: QuarantineReport,
+pub(crate) struct ChunkOutput {
+    pub(crate) batch: RecordBatch,
+    pub(crate) report: QuarantineReport,
     /// Set only in strict mode: the chunk's first faulty row's error.
-    first_error: Option<DataError>,
+    pub(crate) first_error: Option<DataError>,
 }
 
 /// Reads CSV (with header) into a columnar store, parsing with up to
@@ -109,7 +110,7 @@ pub fn read_jsonl_store<R: Read>(
 
 /// Runs one parser per chunk on scoped threads (inline when there is at
 /// most one chunk), returning outputs in chunk order.
-fn run_workers<F>(chunks: &[Chunk], parse: F) -> Result<Vec<ChunkOutput>, DataError>
+pub(crate) fn run_workers<F>(chunks: &[Chunk], parse: F) -> Result<Vec<ChunkOutput>, DataError>
 where
     F: Fn(&Chunk) -> ChunkOutput + Sync,
 {
@@ -182,6 +183,11 @@ pub(crate) fn split_csv_header(data: &[u8]) -> Result<(&str, &[u8]), DataError> 
 /// (`data.len()` when the record runs to the end). Quote-aware: a
 /// newline inside a quoted field does not terminate the record, and a
 /// `"` inside an unquoted field is literal, mirroring the `csv` crate.
+///
+/// The two states a scan actually dwells in — mid-field (`Unquoted`)
+/// and inside quotes (`Quoted`) — advance by [`memscan`] word scans
+/// rather than a byte at a time; the single-byte state machine only
+/// runs at field boundaries.
 pub(crate) fn next_record_end(data: &[u8], start: usize) -> usize {
     enum S {
         FieldStart,
@@ -193,30 +199,43 @@ pub(crate) fn next_record_end(data: &[u8], start: usize) -> usize {
     let mut i = start;
     while i < data.len() {
         match state {
-            S::FieldStart => match data[i] {
-                b'"' => state = S::Quoted,
-                b',' => {}
-                b'\n' => return i,
-                _ => state = S::Unquoted,
-            },
-            S::Unquoted => match data[i] {
-                b',' => state = S::FieldStart,
-                b'\n' => return i,
-                _ => {}
-            },
-            S::Quoted => {
-                if data[i] == b'"' {
-                    state = S::QuoteEnd;
+            S::FieldStart => {
+                match data[i] {
+                    b'"' => state = S::Quoted,
+                    b',' => {}
+                    b'\n' => return i,
+                    _ => state = S::Unquoted,
                 }
+                i += 1;
             }
-            S::QuoteEnd => match data[i] {
-                b'"' => state = S::Quoted,
-                b',' => state = S::FieldStart,
-                b'\n' => return i,
-                _ => state = S::Unquoted,
+            S::Unquoted => match memscan::find_byte2(&data[i..], b',', b'\n') {
+                Some(off) => {
+                    i += off;
+                    if data[i] == b'\n' {
+                        return i;
+                    }
+                    state = S::FieldStart;
+                    i += 1;
+                }
+                None => return data.len(),
             },
+            S::Quoted => match memscan::find_byte(&data[i..], b'"') {
+                Some(off) => {
+                    state = S::QuoteEnd;
+                    i += off + 1;
+                }
+                None => return data.len(),
+            },
+            S::QuoteEnd => {
+                match data[i] {
+                    b'"' => state = S::Quoted,
+                    b',' => state = S::FieldStart,
+                    b'\n' => return i,
+                    _ => state = S::Unquoted,
+                }
+                i += 1;
+            }
         }
-        i += 1;
     }
     data.len()
 }
@@ -229,7 +248,7 @@ pub(crate) fn is_blank_record(bytes: &[u8]) -> bool {
 /// Splits the CSV body (header already stripped) into up to `want`
 /// chunks cut only at record boundaries, tracking how many non-blank
 /// records precede each chunk.
-fn split_csv_chunks(data: &[u8], want: usize) -> Vec<Chunk> {
+pub(crate) fn split_csv_chunks(data: &[u8], want: usize) -> Vec<Chunk> {
     let mut chunks = Vec::new();
     if data.is_empty() {
         return chunks;
@@ -272,10 +291,10 @@ fn split_line_chunks(data: &[u8], want: usize) -> Vec<Chunk> {
     let mut lines = 0usize;
     let mut chunk_start = 0usize;
     let mut chunk_before = 0usize;
-    for (i, &b) in data.iter().enumerate() {
-        if b != b'\n' {
-            continue;
-        }
+    let mut pos = 0usize;
+    while let Some(off) = memscan::find_byte(&data[pos..], b'\n') {
+        let i = pos + off;
+        pos = i + 1;
         lines += 1;
         let after = i + 1;
         let next_target = (chunks.len() + 1) * data.len() / want;
@@ -345,7 +364,7 @@ impl HeaderMap {
     }
 }
 
-fn parse_csv_chunk(
+pub(crate) fn parse_csv_chunk(
     data: &[u8],
     records_before: usize,
     header: &HeaderMap,
@@ -537,32 +556,34 @@ fn split_csv_fields<'a>(record: &'a [u8], out: &mut Vec<Cow<'a, [u8]>>) {
             let start = i + 1;
             let mut j = start;
             let mut escaped = false;
-            while j < record.len() {
-                if record[j] == b'"' {
-                    if j + 1 < record.len() && record[j + 1] == b'"' {
-                        escaped = true;
-                        j += 2;
-                        continue;
-                    }
-                    break;
+            let mut closed = false;
+            // Word-scan to each `"`, then resolve doubling byte-wise.
+            while let Some(off) = memscan::find_byte(&record[j..], b'"') {
+                j += off;
+                if j + 1 < record.len() && record[j + 1] == b'"' {
+                    escaped = true;
+                    j += 2;
+                    continue;
                 }
-                j += 1;
+                closed = true;
+                break;
             }
-            let inner = &record[start..j.min(record.len())];
+            // An unterminated quote runs to the end of the record,
+            // exactly like the byte-wise loop this replaced.
+            let j = if closed { j } else { record.len() };
+            let inner = &record[start..j];
             out.push(if escaped {
                 Cow::Owned(unescape_quotes(inner))
             } else {
                 Cow::Borrowed(inner)
             });
             i = j + 1;
-            while i < record.len() && record[i] != b',' {
-                i += 1;
+            if i < record.len() {
+                i += memscan::find_byte(&record[i..], b',').unwrap_or(record.len() - i);
             }
         } else {
             let start = i;
-            while i < record.len() && record[i] != b',' {
-                i += 1;
-            }
+            i += memscan::find_byte(&record[i..], b',').unwrap_or(record.len() - i);
             out.push(Cow::Borrowed(&record[start..i]));
         }
         if i >= record.len() {

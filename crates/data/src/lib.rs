@@ -17,6 +17,12 @@
 //! * [`ingest`] — chunked, optionally parallel CSV/JSONL readers that
 //!   parse straight into columnar [`store::RecordBatch`]es with
 //!   quarantine accounting identical to the serial readers.
+//! * [`memscan`] — safe SWAR word-at-a-time byte scanning backing the
+//!   readers' delimiter hot loops.
+//! * [`stream`] — the memory-bounded segmented driver: same parser and
+//!   accounting as [`ingest`], but batches are handed to a sink and
+//!   dropped instead of materializing a store, so peak RSS is
+//!   independent of the record count.
 //! * [`agg_record`] — Ookla-style pre-aggregated rows (tile summaries)
 //!   for datasets published without per-test data.
 //! * [`aggregate`] — the aggregation step: records stream once through
@@ -77,13 +83,16 @@ pub mod fault;
 pub mod ingest;
 pub mod intern;
 pub mod jsonl;
+pub mod memscan;
 pub mod quarantine;
 pub mod record;
 pub mod source;
 pub mod store;
+pub mod stream;
 
 pub use aggregate::{AggregationSpec, AggregatorBackend, MetricSink};
 pub use error::DataError;
 pub use quarantine::{FaultKind, IngestMode, QuarantineReport, RetryPolicy};
 pub use record::{RegionId, TestRecord};
 pub use store::MeasurementStore;
+pub use stream::{stream_csv, stream_csv_path, StreamOptions, StreamSummary};

@@ -264,6 +264,47 @@ impl RecordBatch {
         });
     }
 
+    /// Distinct regions interned into this batch, in first-seen order —
+    /// index with [`Symbol::index`] from [`region_column`](Self::region_column).
+    pub fn interned_regions(&self) -> &[RegionId] {
+        self.regions.items()
+    }
+
+    /// Distinct datasets interned into this batch, in first-seen order —
+    /// index with [`Symbol::index`] from [`dataset_column`](Self::dataset_column).
+    pub fn interned_datasets(&self) -> &[DatasetId] {
+        self.datasets.items()
+    }
+
+    /// Per-row chunk-local region symbols, in input order.
+    ///
+    /// Streaming consumers (the pipeline session's batch ingest) group
+    /// on runs of equal `(region, dataset)` symbol pairs so the per-row
+    /// cost is a slice read, not a map lookup.
+    pub fn region_column(&self) -> &[Symbol] {
+        &self.cols.regions
+    }
+
+    /// Per-row chunk-local dataset symbols, in input order.
+    pub fn dataset_column(&self) -> &[Symbol] {
+        &self.cols.datasets
+    }
+
+    /// Measurement time of one row, seconds since the campaign epoch.
+    pub fn timestamp_at(&self, row: usize) -> u64 {
+        self.cols.timestamps[row]
+    }
+
+    /// The value of one metric on one row (`None` for unreported loss).
+    pub fn metric_at(&self, row: usize, metric: Metric) -> Option<f64> {
+        match metric {
+            Metric::DownloadThroughput => Some(self.cols.download[row]),
+            Metric::UploadThroughput => Some(self.cols.upload[row]),
+            Metric::Latency => Some(self.cols.latency[row]),
+            Metric::PacketLoss => self.cols.loss_at(row),
+        }
+    }
+
     /// Appends one already-validated [`TestRecord`].
     pub fn push_record(&mut self, record: &TestRecord) {
         let region = self.regions.intern(&record.region);
@@ -279,6 +320,56 @@ impl RecordBatch {
             loss_pct: record.loss_pct,
             tech,
         });
+    }
+
+    /// Copies one row from another batch, re-interning its symbols into
+    /// this batch's tables. The registry's streaming submit path routes
+    /// a parsed batch's rows to their owning shards this way — no
+    /// [`TestRecord`] materialization, allocations only on first sight
+    /// of each distinct region/dataset/tech.
+    pub fn push_row_from(&mut self, source: &RecordBatch, row: usize) {
+        let region = self
+            .regions
+            .intern(source.regions.resolve(source.cols.regions[row]));
+        let dataset = self
+            .datasets
+            .intern(source.datasets.resolve(source.cols.datasets[row]));
+        let tech = match source.cols.techs[row] {
+            NO_TECH => None,
+            t => Some(
+                self.techs
+                    .intern(source.techs.resolve(Symbol::from_index(t as usize))),
+            ),
+        };
+        self.push_row(BatchRow {
+            timestamp: source.cols.timestamps[row],
+            region,
+            dataset,
+            download_mbps: source.cols.download[row],
+            upload_mbps: source.cols.upload[row],
+            latency_ms: source.cols.latency[row],
+            loss_pct: source.cols.loss_at(row),
+            tech,
+        });
+    }
+
+    /// Materializes one row as an owned record — symbol lookups plus
+    /// clones, for consumers that need the string-typed view (e.g. the
+    /// registry's windowed-session twin).
+    pub fn record_at(&self, row: usize) -> TestRecord {
+        TestRecord {
+            timestamp: self.cols.timestamps[row],
+            region: self.regions.resolve(self.cols.regions[row]).clone(),
+            dataset: self.datasets.resolve(self.cols.datasets[row]).clone(),
+            download_mbps: self.cols.download[row],
+            upload_mbps: self.cols.upload[row],
+            latency_ms: self.cols.latency[row],
+            loss_pct: self.cols.loss_at(row),
+            tech: match self.cols.techs[row] {
+                NO_TECH => None,
+                t => Some(self.techs.resolve(Symbol::from_index(t as usize)).to_string()),
+            },
+        }
     }
 }
 
@@ -932,6 +1023,67 @@ mod tests {
                 .dataset(DatasetId::Ndt);
             assert_eq!(store.count(&filter), 1);
         }
+    }
+
+    #[test]
+    fn batch_row_accessors_expose_columns() {
+        let mut batch = RecordBatch::new();
+        let mut r = record("east", DatasetId::Ndt, 5, 42.0);
+        r.loss_pct = None;
+        batch.push_record(&r);
+        batch.push_record(&record("west", DatasetId::Ookla, 6, 43.0));
+        batch.push_record(&record("east", DatasetId::Ndt, 7, 44.0));
+        assert_eq!(batch.interned_regions().len(), 2);
+        assert_eq!(batch.interned_datasets().len(), 2);
+        let regions = batch.region_column();
+        let datasets = batch.dataset_column();
+        assert_eq!(regions.len(), 3);
+        // Rows 0 and 2 share symbols; row 1 differs.
+        assert_eq!((regions[0], datasets[0]), (regions[2], datasets[2]));
+        assert_ne!(regions[0], regions[1]);
+        assert_eq!(
+            batch.interned_regions()[regions[1].index()],
+            RegionId::new("west").unwrap()
+        );
+        assert_eq!(batch.interned_datasets()[datasets[0].index()], DatasetId::Ndt);
+        assert_eq!(batch.timestamp_at(1), 6);
+        assert_eq!(batch.metric_at(2, Metric::DownloadThroughput), Some(44.0));
+        assert_eq!(batch.metric_at(0, Metric::PacketLoss), None);
+        assert_eq!(batch.metric_at(1, Metric::PacketLoss), Some(0.1));
+        assert_eq!(batch.metric_at(0, Metric::Latency), Some(20.0));
+    }
+
+    #[test]
+    fn push_row_from_and_record_at_round_trip() {
+        let mut source = RecordBatch::new();
+        let mut no_tech = record("east", DatasetId::Ndt, 1, 10.0);
+        no_tech.tech = None;
+        no_tech.loss_pct = None;
+        let records = vec![
+            record("west", DatasetId::Ookla, 2, 20.0),
+            no_tech,
+            record("east", DatasetId::Custom("probes".into()), 3, 30.0),
+        ];
+        for r in &records {
+            source.push_record(r);
+        }
+        // Route odd rows into one batch, even rows into another; the
+        // union must reproduce every record exactly.
+        let mut odd = RecordBatch::new();
+        let mut even = RecordBatch::new();
+        for i in 0..source.len() {
+            assert_eq!(source.record_at(i), records[i], "row {i}");
+            if i % 2 == 0 {
+                even.push_row_from(&source, i);
+            } else {
+                odd.push_row_from(&source, i);
+            }
+        }
+        assert_eq!(even.len(), 2);
+        assert_eq!(odd.len(), 1);
+        assert_eq!(even.record_at(0), records[0]);
+        assert_eq!(odd.record_at(0), records[1]);
+        assert_eq!(even.record_at(1), records[2]);
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub const INGEST_FAULT: &str = "ingest.fault";
 pub const INGEST_PARSE_NS: &str = "ingest.parse_ns";
 /// Input chunks dispatched to parser workers by the chunked readers.
 pub const INGEST_CHUNKS: &str = "ingest.chunks";
+/// Input windows read by the segmented streaming driver.
+pub const INGEST_STREAM_SEGMENTS: &str = "ingest.stream.segments";
+/// Record batches delivered (and dropped) by the streaming driver.
+pub const INGEST_STREAM_BATCHES: &str = "ingest.stream.batches";
 
 /// Values pushed into quantile sinks during aggregation.
 pub const AGG_VALUES_PUSHED: &str = "agg.values_pushed";

@@ -11,6 +11,9 @@
 //! * [`session`] — [`session::ScoringSession`], the incremental
 //!   counterpart: ingest record batches, then `rescore()` recomputes only
 //!   the regions the batch touched and patches the cached report.
+//! * [`stream`] — [`stream::score_stream`], the memory-bounded one-call
+//!   scorer: CSV segments feed a non-retaining session's sketch sinks
+//!   and are dropped, so peak RSS is independent of the record count.
 //! * [`registry`] — [`registry::SessionRegistry`], sessions sharded by
 //!   region behind published-snapshot isolation: the state a long-lived
 //!   `iqb serve` daemon holds, where reads never block on ingest.
@@ -49,6 +52,7 @@ pub mod registry;
 pub mod report;
 pub mod runner;
 pub mod session;
+pub mod stream;
 pub mod table;
 pub mod temporal;
 pub mod trend;
@@ -60,4 +64,5 @@ pub use runner::{
     score_all_regions, score_sources, RegionScore, RegionalReport, ScoredSources, SourceRunOptions,
 };
 pub use session::ScoringSession;
+pub use stream::{score_stream, score_stream_path};
 pub use temporal::{ClosedWindow, WindowPoint, WindowPolicy, WindowedSession};

@@ -32,9 +32,11 @@ use parking_lot::{Mutex, RwLock};
 use iqb_core::config::IqbConfig;
 use iqb_core::whatif::{evaluate_interventions, standard_interventions, InterventionOutcome};
 use iqb_data::aggregate::AggregationSpec;
+use iqb_data::error::DataError;
 use iqb_data::quarantine::{IngestMode, QuarantineReport};
 use iqb_data::record::{RegionId, TestRecord};
-use iqb_data::store::QueryFilter;
+use iqb_data::store::{QueryFilter, RecordBatch};
+use iqb_data::stream::{stream_csv, StreamOptions, StreamSummary};
 
 use iqb_stats::changepoint::DetectConfig;
 
@@ -291,7 +293,16 @@ impl SessionRegistry {
             }
             match mode {
                 IngestMode::Strict => {
-                    outcome.ingested += writer.session.ingest(bucket)?;
+                    // The whole bucket is validated above, so it takes
+                    // the columnar batch fast path: one grouped sink
+                    // feed instead of a per-record map walk. Chunk-order
+                    // interning keeps the store and sinks identical to
+                    // record-at-a-time ingest.
+                    let mut columnar = RecordBatch::new();
+                    for record in &bucket {
+                        columnar.push_record(record);
+                    }
+                    outcome.ingested += writer.session.ingest_batch(&columnar)?;
                 }
                 IngestMode::Lenient => {
                     let (ingested, report) = writer.session.ingest_lenient(bucket)?;
@@ -306,6 +317,109 @@ impl SessionRegistry {
             }
         }
         Ok(outcome)
+    }
+
+    /// Routes one parsed [`RecordBatch`] to its shards — the streaming
+    /// ingest path. Rows are already validated (the batch API only
+    /// admits validated rows), so this is strict-equivalent: every row
+    /// is kept, and the outcome's quarantine ledger is empty.
+    ///
+    /// Each shard receives a chunk-local sub-batch built by
+    /// [`RecordBatch::push_row_from`] in arrival order, so a drained
+    /// registry fed batches reproduces one fed the same records —
+    /// stores, windows and published reports alike.
+    pub fn submit_batch(&self, batch: &RecordBatch) -> Result<SubmitOutcome, PipelineError> {
+        let shard_count = self.shards.len();
+        let shard_of: Vec<usize> = batch
+            .interned_regions()
+            .iter()
+            .map(|region| shard_for_region(region, shard_count))
+            .collect();
+        let region_syms = batch.region_column();
+        let mut buckets: Vec<Option<RecordBatch>> = (0..shard_count).map(|_| None).collect();
+        for row in 0..batch.len() {
+            buckets[shard_of[region_syms[row].index()]]
+                .get_or_insert_with(RecordBatch::new)
+                .push_row_from(batch, row);
+        }
+        let mut outcome = SubmitOutcome {
+            ingested: 0,
+            quarantine: QuarantineReport::new(),
+            committed_shards: 0,
+        };
+        for (index, bucket) in buckets.into_iter().enumerate() {
+            let Some(bucket) = bucket else {
+                continue;
+            };
+            let shard = &self.shards[index];
+            let mut writer = shard.writer.lock();
+            if let Some(windowed) = writer.windowed.as_mut() {
+                // The windowed twin still works record-at-a-time; its
+                // event-time bookkeeping needs the owned view anyway.
+                for row in 0..bucket.len() {
+                    let record = bucket.record_at(row);
+                    windowed.ingest(&record)?;
+                }
+            }
+            outcome.ingested += writer.session.ingest_batch(&bucket)?;
+            writer.pending_submits += 1;
+            if writer.pending_submits >= self.options.debounce_submits {
+                shard.commit(&mut writer)?;
+                outcome.committed_shards += 1;
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Bulk-loads a CSV byte stream into the registry through the
+    /// segmented streaming driver: each parsed batch is routed with
+    /// [`Self::submit_batch`] and dropped before the next input window
+    /// is read, so load-side memory is bounded by the segment size.
+    /// (Shard sessions still retain what they ingest — the daemon needs
+    /// retained stores for `reload`/`trend` — so *registry* memory
+    /// grows with the corpus; it is the ingest staging that stays
+    /// flat.)
+    ///
+    /// Unlike [`Self::submit`], strict mode is **not** atomic here: a
+    /// fault aborts the stream, but batches from earlier segments have
+    /// already been ingested and possibly committed. Callers that need
+    /// atomicity must stage to a file and validate first, or use
+    /// lenient mode and inspect the summary's quarantine ledger.
+    pub fn submit_stream<R: std::io::Read>(
+        &self,
+        reader: R,
+        options: &StreamOptions,
+    ) -> Result<(SubmitOutcome, StreamSummary), PipelineError> {
+        let mut outcome = SubmitOutcome {
+            ingested: 0,
+            quarantine: QuarantineReport::new(),
+            committed_shards: 0,
+        };
+        let mut submit_error: Option<PipelineError> = None;
+        let result = stream_csv(reader, options, |batch| {
+            match self.submit_batch(batch) {
+                Ok(partial) => {
+                    outcome.ingested += partial.ingested;
+                    outcome.committed_shards += partial.committed_shards;
+                    Ok(())
+                }
+                Err(e) => {
+                    submit_error = Some(e);
+                    Err(DataError::SourcePanic("registry batch submit failed".into()))
+                }
+            }
+        });
+        let summary = match result {
+            Ok(summary) => summary,
+            Err(stream_error) => {
+                return Err(match submit_error.take() {
+                    Some(original) => original,
+                    None => stream_error.into(),
+                })
+            }
+        };
+        outcome.quarantine = summary.report.clone();
+        Ok((outcome, summary))
     }
 
     /// The merged published snapshot across all shards. Region sets are
@@ -858,6 +972,52 @@ mod tests {
         assert_eq!(reloaded.records(), records.len());
         // The source registry is untouched.
         assert_eq!(registry.report(), before);
+    }
+
+    #[test]
+    fn submit_batch_matches_record_submit() {
+        let records = batch(&["metro", "rural", "suburb"], 5);
+        let by_records = registry(3, 1);
+        by_records
+            .submit(records.clone(), IngestMode::Strict)
+            .unwrap();
+        let by_batch = registry(3, 1);
+        let mut columnar = RecordBatch::new();
+        for r in &records {
+            columnar.push_record(r);
+        }
+        let outcome = by_batch.submit_batch(&columnar).unwrap();
+        assert_eq!(outcome.ingested, records.len());
+        assert_eq!(outcome.quarantine.quarantined(), 0);
+        assert_eq!(by_batch.report(), by_records.report());
+        assert_eq!(by_batch.records(), by_records.records());
+        assert_eq!(by_batch.window_stats(), by_records.window_stats());
+        // Reload still works: the batch path retained the stores.
+        let reloaded = by_batch
+            .reload(
+                IqbConfig::paper_default(),
+                AggregationSpec::paper_default(),
+            )
+            .unwrap();
+        assert_eq!(reloaded.report(), by_records.report());
+    }
+
+    #[test]
+    fn submit_stream_bulk_loads_csv() {
+        let records = batch(&["metro", "rural"], 6);
+        let expected = registry(2, 1);
+        expected.submit(records.clone(), IngestMode::Strict).unwrap();
+        let streamed = registry(2, 1);
+        let mut csv_text = Vec::new();
+        iqb_data::csv_io::write_csv(&mut csv_text, &records).unwrap();
+        let options = StreamOptions::new(IngestMode::Strict, 2)
+            .with_segment_bytes(iqb_data::stream::MIN_SEGMENT_BYTES);
+        let (outcome, summary) = streamed.submit_stream(&csv_text[..], &options).unwrap();
+        assert_eq!(outcome.ingested, records.len());
+        assert_eq!(summary.records() as usize, records.len());
+        assert_eq!(streamed.report(), expected.report());
+        assert_eq!(streamed.records(), expected.records());
+        assert_eq!(streamed.window_stats(), expected.window_stats());
     }
 
     #[test]

@@ -30,7 +30,7 @@ use iqb_core::score::score_iqb;
 use iqb_data::aggregate::{AggregationSpec, MetricSink};
 use iqb_data::quarantine::{FaultKind, QuarantineReport, Quarantined};
 use iqb_data::record::{RegionId, TestRecord};
-use iqb_data::store::MeasurementStore;
+use iqb_data::store::{MeasurementStore, RecordBatch};
 use iqb_stats::sink::QuantileSink;
 
 use crate::error::PipelineError;
@@ -64,6 +64,11 @@ pub struct ScoringSession {
     dirty: BTreeSet<RegionId>,
     cached: RegionalReport,
     region_recomputes: u64,
+    /// Whether ingested records are also copied into `store`. The
+    /// streaming path turns this off: rescore only ever reads the
+    /// sinks, so a session that will never replay or serialize its
+    /// history can drop each batch after the sinks have seen it.
+    retain: bool,
 }
 
 impl ScoringSession {
@@ -84,7 +89,25 @@ impl ScoringSession {
                 skipped: Vec::new(),
             },
             region_recomputes: 0,
+            retain: true,
         })
+    }
+
+    /// Turns off record retention: records still validate and feed the
+    /// per-cell sinks, but are not copied into the session's store, so
+    /// session memory is bounded by the sink footprint (constant for
+    /// the sketch backends) instead of growing with every record.
+    ///
+    /// [`Self::store`] stays empty in this mode — callers that replay,
+    /// serialize or re-window history need a retaining session.
+    pub fn without_retention(mut self) -> Self {
+        self.retain = false;
+        self
+    }
+
+    /// Whether ingested records are retained in [`Self::store`].
+    pub fn retains_records(&self) -> bool {
+        self.retain
     }
 
     /// Ingests a batch of records, feeding the per-cell sinks and marking
@@ -123,14 +146,116 @@ impl ScoringSession {
         Ok(ingested)
     }
 
+    /// Ingests one parsed [`RecordBatch`] straight into the per-cell
+    /// sinks — the streaming fast path fed by
+    /// [`iqb_data::stream::stream_csv`].
+    ///
+    /// Batch rows are already validated (the batch API only admits
+    /// validated rows), so no per-row validation or `TestRecord`
+    /// materialization happens here. Rows are walked in input order and
+    /// grouped into runs of equal `(region, dataset)` symbol pairs:
+    /// the nested sink-map lookup is paid once per run, and each
+    /// per-cell sink still receives its values in exactly the order
+    /// [`Self::ingest`] would deliver them — which is what keeps the
+    /// streamed score byte-identical to the materialized one for every
+    /// backend.
+    ///
+    /// In retaining mode the batch is also appended to the store, so a
+    /// retaining session fed batches matches one fed records
+    /// everywhere, store included.
+    pub fn ingest_batch(&mut self, batch: &RecordBatch) -> Result<usize, PipelineError> {
+        if self.retain {
+            self.store.append_batch(batch);
+        }
+        let regions = batch.interned_regions();
+        let datasets = batch.interned_datasets();
+        let region_syms = batch.region_column();
+        let dataset_syms = batch.dataset_column();
+        let scored: Vec<bool> = datasets
+            .iter()
+            .map(|d| self.config.datasets.contains(d))
+            .collect();
+        let rows = batch.len();
+        let mut row = 0usize;
+        while row < rows {
+            let rsym = region_syms[row];
+            let dsym = dataset_syms[row];
+            let mut run_end = row + 1;
+            while run_end < rows
+                && region_syms[run_end] == rsym
+                && dataset_syms[run_end] == dsym
+            {
+                run_end += 1;
+            }
+            let region = &regions[rsym.index()];
+            if !self.dirty.contains(region) {
+                self.dirty.insert(region.clone());
+            }
+            if scored[dsym.index()] {
+                let dataset = &datasets[dsym.index()];
+                if !self.sinks.contains_key(region) {
+                    self.sinks.insert(region.clone(), RegionSinks::new());
+                }
+                let region_sinks = self
+                    .sinks
+                    .get_mut(region)
+                    // lint: allow(panic) entry inserted just above; avoids a key clone per run
+                    .expect("region entry inserted above");
+                if !region_sinks.contains_key(dataset) {
+                    region_sinks.insert(dataset.clone(), BTreeMap::new());
+                }
+                let cell_sinks = region_sinks
+                    .get_mut(dataset)
+                    // lint: allow(panic) entry inserted just above; avoids a key clone per run
+                    .expect("dataset entry inserted above");
+                for metric in Metric::ALL {
+                    // Find the run's first reported value before touching
+                    // the map, so a run with (say) no loss column never
+                    // plants a sink the record-at-a-time path wouldn't.
+                    let mut first = row;
+                    while first < run_end && batch.metric_at(first, metric).is_none() {
+                        first += 1;
+                    }
+                    if first == run_end {
+                        continue;
+                    }
+                    let (_, sink) = match cell_sinks.entry(metric) {
+                        std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
+                        std::collections::btree_map::Entry::Vacant(v) => {
+                            let q = self.spec.quantile_for(metric)?;
+                            let sink = MetricSink::for_backend(self.spec.backend, q)?;
+                            v.insert((q, sink))
+                        }
+                    };
+                    for i in first..run_end {
+                        if let Some(value) = batch.metric_at(i, metric) {
+                            sink.push(value)?;
+                        }
+                    }
+                }
+            }
+            row = run_end;
+        }
+        iqb_obs::global()
+            .counter(iqb_obs::names::SESSION_RECORDS_INGESTED)
+            .add(rows as u64);
+        Ok(rows)
+    }
+
     /// The single-record core of every ingest path: validates into the
     /// store, marks the region dirty and feeds the streaming sinks.
     /// Region and dataset keys are cloned only when a map entry is
     /// created — steady-state ingest allocates nothing per record.
     fn ingest_one(&mut self, record: &TestRecord) -> Result<(), PipelineError> {
-        // The store validates and remains the replayable source of
-        // truth; the sinks are the streaming view of the same data.
-        self.store.push_ref(record)?;
+        if self.retain {
+            // The store validates and remains the replayable source of
+            // truth; the sinks are the streaming view of the same data.
+            self.store.push_ref(record)?;
+        } else {
+            // No retention, but the "validated before any sink sees it"
+            // invariant still holds.
+            record.validate()?;
+        }
         // Regions whose only data is an unscored dataset must still
         // reconcile (into `skipped`), matching batch semantics.
         if !self.dirty.contains(&record.region) {
@@ -491,6 +616,67 @@ mod tests {
             borrowed.rescore().unwrap().clone()
         );
         assert_eq!(owned.store().len(), borrowed.store().len());
+    }
+
+    #[test]
+    fn batch_ingest_matches_record_ingest() {
+        // Interleave regions so run detection sees multiple runs, and
+        // include an unscored dataset plus loss-free Ookla rows.
+        let mut records = Vec::new();
+        for i in 0..30 {
+            records.push(record("alpha", DatasetId::Ndt, i, 40.0 + i as f64));
+            records.push(record("alpha", DatasetId::Ndt, i, 41.0 + i as f64));
+            records.push(record("beta", DatasetId::Ookla, i, 70.0 + i as f64));
+            records.push(record(
+                "gamma",
+                DatasetId::Custom("probes".into()),
+                i,
+                50.0,
+            ));
+        }
+        let mut by_record = default_session();
+        by_record.ingest(records.clone()).unwrap();
+        let mut by_batch = default_session();
+        let mut batch = RecordBatch::new();
+        for r in &records {
+            batch.push_record(r);
+        }
+        assert_eq!(by_batch.ingest_batch(&batch).unwrap(), records.len());
+        assert_eq!(by_record.dirty_regions(), by_batch.dirty_regions());
+        assert_eq!(
+            by_record.rescore().unwrap().clone(),
+            by_batch.rescore().unwrap().clone()
+        );
+        // Retaining mode: the stores match too.
+        assert_eq!(by_record.store(), by_batch.store());
+    }
+
+    #[test]
+    fn non_retaining_session_scores_identically_with_empty_store() {
+        let records = batch("alpha", 40, 35.0);
+        let mut retaining = default_session();
+        retaining.ingest(records.clone()).unwrap();
+        let mut streaming = default_session().without_retention();
+        assert!(!streaming.retains_records());
+        // Feed via both the record path and the batch path.
+        streaming
+            .ingest_refs(records[..20].iter())
+            .unwrap();
+        let mut tail = RecordBatch::new();
+        for r in &records[20..] {
+            tail.push_record(r);
+        }
+        streaming.ingest_batch(&tail).unwrap();
+        assert_eq!(
+            retaining.rescore().unwrap().clone(),
+            streaming.rescore().unwrap().clone()
+        );
+        assert_eq!(streaming.store().len(), 0, "nothing retained");
+        assert_eq!(retaining.store().len(), records.len());
+        // Invalid records still abort before touching any sink.
+        let mut bad = records[0].clone();
+        bad.download_mbps = f64::NAN;
+        assert!(streaming.ingest([bad]).is_err());
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! One-call streaming scorer: CSV bytes → sketch sinks → report,
+//! without materializing a [`iqb_data::store::MeasurementStore`].
+//!
+//! [`score_stream`] glues [`iqb_data::stream::stream_csv`] to a
+//! non-retaining [`ScoringSession`]: every parsed
+//! [`RecordBatch`](iqb_data::store::RecordBatch) feeds the per-cell
+//! quantile sinks and is dropped before the next segment is read. With
+//! the sketch backends (t-digest, P²) peak memory is bounded by
+//! `O(segment + regions × datasets × metrics)` — independent of the
+//! record count — which is what lets `iqb score --stream` handle
+//! 10–100M-record inputs. The exact backend still works here, but its
+//! sink keeps every value, so streaming it bounds only the *input*
+//! buffering, not the aggregation state (see DESIGN §10).
+//!
+//! Determinism: the session's per-cell sinks receive values in input
+//! order on both the streamed and materialized paths, so the resulting
+//! report is byte-identical to `score_all_regions` over a store built
+//! from the same bytes — for every backend, at any thread count and
+//! segment size. The `stream_equivalence` proptests pin this down.
+
+use std::io::Read;
+
+use iqb_core::config::IqbConfig;
+use iqb_data::aggregate::AggregationSpec;
+use iqb_data::error::DataError;
+use iqb_data::stream::{stream_csv, StreamOptions, StreamSummary};
+
+use crate::error::PipelineError;
+use crate::runner::RegionalReport;
+use crate::session::ScoringSession;
+
+/// Scores a CSV byte stream without materializing the store, returning
+/// the regional report plus the driver's ingest summary.
+///
+/// The session is private to this call and only surfaces through the
+/// returned report, so a strict-mode fault mid-stream (which aborts
+/// after earlier batches were already sunk) discards all partial state
+/// — callers never observe a half-ingested score.
+pub fn score_stream<R: Read>(
+    reader: R,
+    config: &IqbConfig,
+    spec: &AggregationSpec,
+    options: &StreamOptions,
+) -> Result<(RegionalReport, StreamSummary), PipelineError> {
+    let mut session = ScoringSession::new(config.clone(), spec.clone())?.without_retention();
+    // `stream_csv`'s sink returns `DataError`; a session failure is
+    // parked here and re-raised with its original type.
+    let mut session_error: Option<PipelineError> = None;
+    let result = stream_csv(reader, options, |batch| {
+        match session.ingest_batch(batch) {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                session_error = Some(e);
+                Err(DataError::SourcePanic(
+                    "streaming session ingest failed".into(),
+                ))
+            }
+        }
+    });
+    let summary = match result {
+        Ok(summary) => summary,
+        Err(stream_error) => {
+            return Err(match session_error.take() {
+                Some(original) => original,
+                None => stream_error.into(),
+            })
+        }
+    };
+    let report = session.rescore()?.clone();
+    Ok((report, summary))
+}
+
+/// [`score_stream`] over a file path, via the segmented file driver.
+pub fn score_stream_path(
+    path: &std::path::Path,
+    config: &IqbConfig,
+    spec: &AggregationSpec,
+    options: &StreamOptions,
+) -> Result<(RegionalReport, StreamSummary), PipelineError> {
+    let file = std::fs::File::open(path).map_err(DataError::from)?;
+    score_stream(std::io::BufReader::new(file), config, spec, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::score_all_regions;
+    use iqb_data::aggregate::AggregatorBackend;
+    use iqb_data::ingest::read_csv_store;
+    use iqb_data::quarantine::IngestMode;
+    use iqb_data::store::QueryFilter;
+
+    fn corpus(rows: usize) -> Vec<u8> {
+        let mut text =
+            String::from("timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n");
+        for i in 0..rows {
+            let region = ["east", "west", "north"][i % 3];
+            let dataset = ["ndt", "ookla", "cloudflare"][i % 3];
+            let loss = if i % 4 == 0 {
+                String::new()
+            } else {
+                format!("0.{}", i % 10)
+            };
+            text.push_str(&format!(
+                "{},{region},{dataset},{}.5,{}.25,{}.0,{loss},\n",
+                1_000 + i,
+                60 + i % 45,
+                12 + i % 9,
+                18 + i % 25,
+            ));
+        }
+        text.into_bytes()
+    }
+
+    #[test]
+    fn streamed_score_matches_materialized_score() {
+        let data = corpus(600);
+        let config = IqbConfig::paper_default();
+        for backend in [
+            AggregatorBackend::Exact,
+            AggregatorBackend::tdigest_default(),
+            AggregatorBackend::P2,
+        ] {
+            let spec = AggregationSpec::paper_default().with_backend(backend);
+            let (store, _) =
+                read_csv_store(&data[..], IngestMode::Strict, 4).expect("clean corpus");
+            let materialized =
+                score_all_regions(&store, &config, &spec, &QueryFilter::all()).expect("scores");
+            let options = StreamOptions::new(IngestMode::Strict, 4)
+                .with_segment_bytes(iqb_data::stream::MIN_SEGMENT_BYTES);
+            let (streamed, summary) =
+                score_stream(&data[..], &config, &spec, &options).expect("streams");
+            assert_eq!(streamed, materialized, "backend {backend:?}");
+            assert_eq!(summary.records(), 600);
+            assert!(summary.segments > 1, "corpus must span segments");
+        }
+    }
+
+    #[test]
+    fn strict_fault_discards_partial_state() {
+        let mut data = corpus(100);
+        data.extend_from_slice(b"1,east,ndt,bad,1.0,2.0,0.1,\n");
+        let config = IqbConfig::paper_default();
+        let spec = AggregationSpec::paper_default();
+        let options = StreamOptions::new(IngestMode::Strict, 2)
+            .with_segment_bytes(iqb_data::stream::MIN_SEGMENT_BYTES);
+        assert!(score_stream(&data[..], &config, &spec, &options).is_err());
+    }
+
+    #[test]
+    fn lenient_stream_skips_faulty_rows_like_materialized_path() {
+        let mut data = corpus(90);
+        data.extend_from_slice(b"not,even,close\n");
+        let config = IqbConfig::paper_default();
+        let spec = AggregationSpec::paper_default();
+        let (store, report) =
+            read_csv_store(&data[..], IngestMode::Lenient, 2).expect("lenient parse");
+        let materialized =
+            score_all_regions(&store, &config, &spec, &QueryFilter::all()).expect("scores");
+        let options = StreamOptions::new(IngestMode::Lenient, 2)
+            .with_segment_bytes(iqb_data::stream::MIN_SEGMENT_BYTES);
+        let (streamed, summary) =
+            score_stream(&data[..], &config, &spec, &options).expect("streams");
+        assert_eq!(streamed, materialized);
+        assert_eq!(summary.report, report);
+    }
+}

@@ -1,0 +1,238 @@
+//! Streamed scoring ≡ materialized scoring, as a property.
+//!
+//! `iqb score --stream` rides on [`iqb_pipeline::stream::score_stream`]:
+//! CSV segments feed a non-retaining session's sketch sinks and are
+//! dropped. That is only safe to ship if the streamed report is
+//! *byte-identical* to `score_all_regions` over a store built from the
+//! same bytes — for the bounded-memory backends (t-digest, P²) as well
+//! as the exact one, at any worker-thread count, under both ingest
+//! modes, and at any segment size (including ones small enough that a
+//! single proptest corpus spans many segments).
+
+use iqb_core::config::IqbConfig;
+use iqb_data::aggregate::{AggregationSpec, AggregatorBackend};
+use iqb_data::csv_io;
+use iqb_data::ingest::read_csv_store;
+use iqb_data::quarantine::IngestMode;
+use iqb_data::record::{RegionId, TestRecord};
+use iqb_data::store::QueryFilter;
+use iqb_data::stream::{StreamOptions, MIN_SEGMENT_BYTES};
+use iqb_pipeline::runner::score_all_regions;
+use iqb_pipeline::stream::score_stream;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary valid record over a small universe (the same
+/// universe the ingest-equivalence proptests use).
+fn record() -> impl Strategy<Value = TestRecord> {
+    (
+        0u64..1_000_000,
+        prop_oneof![Just("east"), Just("west"), Just("north")],
+        prop_oneof![
+            Just(iqb_core::dataset::DatasetId::Ndt),
+            Just(iqb_core::dataset::DatasetId::Cloudflare),
+            Just(iqb_core::dataset::DatasetId::Ookla),
+            Just(iqb_core::dataset::DatasetId::Custom("probes".into()))
+        ],
+        0.0..5_000.0f64,
+        0.0..2_000.0f64,
+        0.01..2_000.0f64,
+        prop_oneof![Just(None), (0.0..100.0f64).prop_map(Some)],
+        prop_oneof![Just(None), Just(Some("cable".to_string()))],
+    )
+        .prop_map(
+            |(timestamp, region, dataset, down, up, rtt, loss, tech)| TestRecord {
+                timestamp,
+                region: RegionId::new(region).unwrap(),
+                dataset,
+                download_mbps: down,
+                upload_mbps: up,
+                latency_ms: rtt,
+                loss_pct: loss,
+                tech,
+            },
+        )
+}
+
+/// Appends rows the parser must quarantine (one per fault family), so
+/// lenient equivalence covers the accounting, not just the happy path.
+fn poison_csv(csv_text: &mut String) {
+    csv_text.push_str("1,east,ndt,NaN,1.0,10.0,,\n");
+    csv_text.push_str("2,,ndt,5.0,1.0,10.0,,\n");
+    csv_text.push_str("3,east,,5.0,1.0,10.0,,\n");
+    csv_text.push_str("4,east,ndt,not-a-number,1.0,10.0,,\n");
+    csv_text.push_str("5,east,ndt,5.0,1.0\n");
+}
+
+fn render_csv_corpus(recs: &[TestRecord]) -> String {
+    let mut buf = Vec::new();
+    csv_io::write_csv(&mut buf, recs).expect("corpus renders");
+    String::from_utf8(buf).expect("rendered CSV is UTF-8")
+}
+
+/// The reference: materialize the store, score it, serialize the report.
+fn materialized_json(
+    csv_text: &str,
+    mode: IngestMode,
+    backend: AggregatorBackend,
+) -> (String, iqb_data::quarantine::QuarantineReport) {
+    let (store, report) =
+        read_csv_store(csv_text.as_bytes(), mode, 2).expect("materialized read succeeds");
+    let spec = AggregationSpec::paper_default().with_backend(backend);
+    let scored = score_all_regions(
+        &store,
+        &IqbConfig::paper_default(),
+        &spec,
+        &QueryFilter::all(),
+    )
+    .expect("materialized corpus scores");
+    (
+        serde_json::to_string(&scored).expect("report serializes"),
+        report,
+    )
+}
+
+/// The subject: stream the same bytes through the non-retaining session.
+fn streamed_json(
+    csv_text: &str,
+    mode: IngestMode,
+    threads: usize,
+    segment_bytes: usize,
+    backend: AggregatorBackend,
+) -> (String, iqb_data::quarantine::QuarantineReport) {
+    let spec = AggregationSpec::paper_default().with_backend(backend);
+    let options = StreamOptions::new(mode, threads).with_segment_bytes(segment_bytes);
+    let (scored, summary) = score_stream(
+        csv_text.as_bytes(),
+        &IqbConfig::paper_default(),
+        &spec,
+        &options,
+    )
+    .expect("streamed corpus scores");
+    (
+        serde_json::to_string(&scored).expect("report serializes"),
+        summary.report,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Lenient streaming of a poisoned corpus produces the same serialized
+    /// report *and* the same quarantine accounting as the materialized
+    /// path, for both sketch backends, at 1, 2 and 8 threads, with a
+    /// segment window small enough that the corpus spans segments.
+    #[test]
+    fn lenient_streamed_score_is_byte_identical(recs in prop::collection::vec(record(), 1..80)) {
+        let mut csv_text = render_csv_corpus(&recs);
+        poison_csv(&mut csv_text);
+        for backend in [AggregatorBackend::tdigest_default(), AggregatorBackend::P2] {
+            let (expected, expected_report) =
+                materialized_json(&csv_text, IngestMode::Lenient, backend);
+            for threads in [1usize, 2, 8] {
+                let (got, got_report) = streamed_json(
+                    &csv_text,
+                    IngestMode::Lenient,
+                    threads,
+                    MIN_SEGMENT_BYTES,
+                    backend,
+                );
+                prop_assert_eq!(&got, &expected, "threads={} backend={}", threads, backend);
+                prop_assert_eq!(&got_report, &expected_report, "threads={}", threads);
+            }
+        }
+    }
+
+    /// Strict streaming of a clean corpus is byte-identical too; poison
+    /// the corpus and both paths refuse.
+    #[test]
+    fn strict_streamed_score_agrees_with_batch(recs in prop::collection::vec(record(), 1..60)) {
+        let clean = render_csv_corpus(&recs);
+        for backend in [AggregatorBackend::tdigest_default(), AggregatorBackend::P2] {
+            let (expected, _) = materialized_json(&clean, IngestMode::Strict, backend);
+            for threads in [1usize, 8] {
+                let (got, _) = streamed_json(
+                    &clean,
+                    IngestMode::Strict,
+                    threads,
+                    MIN_SEGMENT_BYTES,
+                    backend,
+                );
+                prop_assert_eq!(&got, &expected, "threads={} backend={}", threads, backend);
+            }
+        }
+
+        let mut poisoned = clean;
+        poison_csv(&mut poisoned);
+        prop_assert!(
+            read_csv_store(poisoned.as_bytes(), IngestMode::Strict, 2).is_err()
+        );
+        let spec = AggregationSpec::paper_default();
+        let options = StreamOptions::new(IngestMode::Strict, 2)
+            .with_segment_bytes(MIN_SEGMENT_BYTES);
+        prop_assert!(score_stream(
+            poisoned.as_bytes(),
+            &IqbConfig::paper_default(),
+            &spec,
+            &options,
+        )
+        .is_err());
+    }
+}
+
+/// The named CI determinism check: a fixed corpus streams to the same
+/// bytes as the batch path across every backend × thread count × segment
+/// size combination, including the exact backend (whose sink retains all
+/// values, so order sensitivity would show here first).
+#[test]
+fn streamed_score_is_deterministic_across_knobs() {
+    let mut csv_text = String::from(
+        "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech\n",
+    );
+    for i in 0..400u64 {
+        let region = ["east", "west", "north"][(i % 3) as usize];
+        let dataset = ["ndt", "cloudflare", "ookla"][(i % 3) as usize];
+        csv_text.push_str(&format!(
+            "{},{region},{dataset},{}.5,{}.25,{}.0,0.{},fiber\n",
+            i * 60,
+            50 + i % 40,
+            10 + i % 20,
+            15 + i % 30,
+            i % 10,
+        ));
+        if i % 50 == 7 {
+            csv_text.push_str(&format!("{},,ndt,5.0,1.0,10.0,,\n", i * 60 + 1));
+        }
+    }
+
+    for backend in [
+        AggregatorBackend::Exact,
+        AggregatorBackend::tdigest_default(),
+        AggregatorBackend::P2,
+    ] {
+        let (expected, expected_report) =
+            materialized_json(&csv_text, IngestMode::Lenient, backend);
+        assert!(
+            expected_report.quarantined() > 0,
+            "corpus must exercise quarantine"
+        );
+        for threads in [1usize, 2, 8] {
+            for segment_bytes in [MIN_SEGMENT_BYTES, 1 << 14, 1 << 20] {
+                let (got, got_report) = streamed_json(
+                    &csv_text,
+                    IngestMode::Lenient,
+                    threads,
+                    segment_bytes,
+                    backend,
+                );
+                assert_eq!(
+                    got, expected,
+                    "report differs: {backend} threads={threads} segment={segment_bytes}"
+                );
+                assert_eq!(
+                    got_report, expected_report,
+                    "quarantine differs: {backend} threads={threads} segment={segment_bytes}"
+                );
+            }
+        }
+    }
+}
