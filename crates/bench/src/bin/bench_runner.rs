@@ -1,9 +1,12 @@
 //! Pipeline benchmark harness: scores a synthetic corpus at three sizes,
 //! across the three aggregation backends, in batch, incremental and
-//! windowed (event-time tumbling replay) mode, plus chunked CSV-ingest
-//! throughput (serial vs 4 worker threads) and its streaming,
-//! memory-bounded counterpart, and emits a `BENCH_pipeline.json`
-//! document ([`iqb_bench::gate::BenchDoc`]).
+//! windowed (event-time tumbling replay) mode — plus the sliding-window
+//! overlap grid (`windowed-sliding-{pane,perwindow}-{1x,6x,24x}`) that
+//! measures pane aggregation against the per-window fallback as the
+//! window/slide ratio grows — plus chunked CSV-ingest throughput
+//! (serial vs 4 worker threads) and its streaming, memory-bounded
+//! counterpart, and emits a `BENCH_pipeline.json` document
+//! ([`iqb_bench::gate::BenchDoc`]).
 //!
 //! ```text
 //! bench_runner [--quick] [--out BENCH_pipeline.json]
@@ -38,7 +41,7 @@ use iqb_data::stream::{stream_csv, StreamOptions};
 use iqb_pipeline::runner::score_all_regions;
 use iqb_pipeline::session::ScoringSession;
 use iqb_pipeline::stream::score_stream_path;
-use iqb_pipeline::temporal::{WindowPolicy, WindowedSession};
+use iqb_pipeline::temporal::{WindowPolicy, WindowStrategy, WindowedSession};
 
 const USAGE: &str = "usage: bench_runner [--quick] [--scale] [--out <file.json>]";
 
@@ -54,6 +57,12 @@ const SCALE_CASES: &[(&str, u64)] = &[
     ("stream-1M", 84_000),
     ("stream-10M", 840_000),
 ];
+
+/// The sliding-window overlap grid: window/slide ratio tag and the slide
+/// (seconds) that produces it under the two-hour bench window. `1x` is
+/// the tumbling degenerate case, `24x` the five-minute slide where the
+/// per-window path does 24x the aggregation work per record.
+const SLIDING_RATIOS: &[(&str, u64)] = &[("1x", 7_200), ("6x", 1_200), ("24x", 300)];
 
 fn main() {
     let mut quick = false;
@@ -203,6 +212,47 @@ fn main() {
                 eprintln!(
                     "bench_runner:   {case}/{backend_tag}: median {median_ms:.2}ms over {runs} runs"
                 );
+            }
+        }
+
+        // Sliding-window overlap scaling: the same replay through a
+        // two-hour window sliding every 2h/20m/5m, once per execution
+        // strategy. The pane rows should stay ~flat across the grid
+        // (ingest once, merge per window) while the per-window rows
+        // scale with the overlap — and the gate holds pane-24x to 2x the
+        // tumbling `windowed` row above. P² is skipped: it cannot merge,
+        // and its sliding cost is the per-window rows' story.
+        for backend_tag in ["exact", "tdigest"] {
+            let backend: AggregatorBackend = backend_tag.parse().expect("tags are the valid set");
+            let spec = AggregationSpec::uniform_quantile(0.95)
+                .expect("0.95 is a valid quantile")
+                .with_backend(backend);
+            for &(ratio_tag, slide_s) in SLIDING_RATIOS {
+                for (mode_tag, strategy) in [
+                    ("pane", WindowStrategy::Panes),
+                    ("perwindow", WindowStrategy::PerWindow),
+                ] {
+                    let case = format!("windowed-sliding-{mode_tag}-{ratio_tag}");
+                    let samples: Vec<f64> = (0..runs)
+                        .map(|_| time_windowed_sliding(&replay, &config, &spec, slide_s, strategy))
+                        .collect();
+                    let median_ms = sample_quantile(&samples, 0.5);
+                    rows.push(BenchRow {
+                        case: case.clone(),
+                        backend: backend_tag.to_string(),
+                        subscribers,
+                        tests_per_dataset,
+                        records: records.len(),
+                        runs,
+                        median_ms,
+                        p95_ms: sample_quantile(&samples, 0.95),
+                        throughput_rps: records.len() as f64 / (median_ms / 1e3),
+                        peak_rss_bytes: iqb_obs::procinfo::peak_rss_bytes(),
+                    });
+                    eprintln!(
+                        "bench_runner:   {case}/{backend_tag}: median {median_ms:.2}ms over {runs} runs"
+                    );
+                }
             }
         }
     }
@@ -451,6 +501,33 @@ fn time_stream(csv_text: &[u8], threads: usize) -> f64 {
 fn time_windowed(replay: &[TestRecord], config: &IqbConfig, spec: &AggregationSpec) -> f64 {
     let started = Instant::now();
     let mut session = WindowedSession::new(config.clone(), spec.clone(), WindowPolicy::tumbling(7_200))
+        .expect("config, spec and policy are pre-validated");
+    session
+        .ingest_all(replay.iter())
+        .expect("synthetic records are pre-validated");
+    session.drain().expect("synthetic corpus scores");
+    assert!(!session.closed_windows().is_empty());
+    assert_eq!(session.late_report().count(FaultKind::Late), 0);
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+/// One sliding windowed pass: the same event-ordered replay through a
+/// two-hour window sliding every `slide_s` seconds, under an explicit
+/// execution strategy; returns wall milliseconds including every window
+/// freeze. The forced strategy is the point of the case — `Auto` would
+/// never pick panes for the tumbling `1x` cell or per-window for a
+/// mergeable sliding one, and the scaling story needs both measured at
+/// every overlap.
+fn time_windowed_sliding(
+    replay: &[TestRecord],
+    config: &IqbConfig,
+    spec: &AggregationSpec,
+    slide_s: u64,
+    strategy: WindowStrategy,
+) -> f64 {
+    let started = Instant::now();
+    let policy = WindowPolicy::tumbling(7_200).with_slide(slide_s);
+    let mut session = WindowedSession::with_strategy(config.clone(), spec.clone(), policy, strategy)
         .expect("config, spec and policy are pre-validated");
     session
         .ingest_all(replay.iter())

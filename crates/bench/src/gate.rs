@@ -30,6 +30,15 @@ pub const DEFAULT_RATIO_CEILING: f64 = 1.5;
 /// estimated); everything else is reported as advisory (`warn_only`).
 pub const DEFAULT_RSS_CEILING: f64 = 1.5;
 
+/// Ceiling on the pane-mode sliding / tumbling median ratio within the
+/// *current* document, at the steepest window/slide ratio the harness
+/// runs (24x). Pane aggregation ingests each record once regardless of
+/// how many windows cover it, so a 24x-overlapped sliding replay should
+/// cost about the same as the tumbling replay — the merge-at-close
+/// overhead gets a 2x allowance. The per-window fallback degrades
+/// linearly with the overlap and is deliberately *not* held to this bar.
+pub const DEFAULT_SLIDING_CEILING: f64 = 2.0;
+
 /// One benchmark cell: a scoring case run against one backend at one
 /// corpus size.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -127,6 +136,31 @@ pub struct RatioOutcome {
     pub pass: bool,
 }
 
+/// The verdict for one pane-sliding-vs-tumbling pairing in the current
+/// document (same backend and corpus size): the "ingest once, merge per
+/// window" contract, checked at the steepest overlap the harness runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlidingOutcome {
+    /// Backend tag shared by the paired rows.
+    pub backend: String,
+    /// Subscribers per region of the paired rows.
+    pub subscribers: usize,
+    /// Tests per dataset of the paired rows.
+    pub tests_per_dataset: u64,
+    /// The tumbling (`windowed`) row's median wall time, milliseconds.
+    pub tumbling_median_ms: f64,
+    /// The pane-mode sliding row's median wall time, milliseconds.
+    pub sliding_median_ms: f64,
+    /// Maximum allowed sliding/tumbling ratio.
+    pub limit_ratio: f64,
+    /// True when the comparison cannot fail the gate: the current
+    /// document is hand-estimated, so the pairing is not
+    /// measured-vs-measured. Printed anyway so the drift is visible.
+    pub warn_only: bool,
+    /// Whether the pairing passed (always true when `warn_only`).
+    pub pass: bool,
+}
+
 /// The verdict for one row's peak-RSS comparison.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RssOutcome {
@@ -162,6 +196,11 @@ pub struct GateReport {
     /// ratio check existed.
     #[serde(default)]
     pub ratios: Vec<RatioOutcome>,
+    /// Pane-sliding/tumbling pairings checked within the current
+    /// document at the steepest overlap. Defaults to empty for reports
+    /// written before sliding cases existed.
+    #[serde(default)]
+    pub sliding: Vec<SlidingOutcome>,
     /// Peak-RSS comparisons, one per baseline row. Defaults to empty for
     /// reports written before RSS accounting existed.
     #[serde(default)]
@@ -185,6 +224,7 @@ impl GateReport {
         !self.outcomes.is_empty()
             && self.outcomes.iter().all(|o| o.pass)
             && self.ratios.iter().all(|r| r.pass)
+            && self.sliding.iter().all(|s| s.pass)
             && self.rss.iter().all(|r| r.pass)
     }
 
@@ -239,6 +279,28 @@ impl GateReport {
                 r.limit_ratio
             ));
         }
+        for s in &self.sliding {
+            let label = if !s.pass {
+                "FAIL"
+            } else if s.warn_only {
+                "warn"
+            } else {
+                "ok"
+            };
+            let ratio = s.sliding_median_ms / s.tumbling_median_ms;
+            out.push_str(&format!(
+                "  [{label}] sliding-pane/tumbling {}/{}x{}: {:.2}ms vs {:.2}ms \
+                 ({:.2}x, limit {:.2}x{})\n",
+                s.backend,
+                s.subscribers,
+                s.tests_per_dataset,
+                s.sliding_median_ms,
+                s.tumbling_median_ms,
+                ratio,
+                s.limit_ratio,
+                if s.warn_only { ", advisory" } else { "" }
+            ));
+        }
         for r in &self.rss {
             let label = if !r.pass {
                 "FAIL"
@@ -288,6 +350,13 @@ impl GateReport {
 /// with a `batch` twin (same backend, same corpus size) must stay under
 /// `ratio_ceiling` times the twin's median — the absolute incrementality
 /// contract, enforced even while the baseline is estimated.
+///
+/// Likewise within `current`, every `windowed-sliding-pane-24x` row
+/// with a tumbling `windowed` twin (same backend, same corpus size) must
+/// stay under [`DEFAULT_SLIDING_CEILING`] times the twin's median — the
+/// pane contract that per-record cost does not scale with the
+/// window/slide overlap. Measured-vs-measured only: when the current
+/// document is hand-estimated the pairing is advisory.
 ///
 /// Peak RSS is compared per baseline row against
 /// [`DEFAULT_RSS_CEILING`]: enforced only when both sides carry a real
@@ -345,6 +414,31 @@ pub fn gate_bench(
             })
         })
         .collect();
+    let sliding = current
+        .rows
+        .iter()
+        .filter(|r| r.case == "windowed-sliding-pane-24x")
+        .filter_map(|pane| {
+            let tumbling = current.rows.iter().find(|t| {
+                t.case == "windowed"
+                    && t.backend == pane.backend
+                    && t.subscribers == pane.subscribers
+                    && t.tests_per_dataset == pane.tests_per_dataset
+            })?;
+            let warn_only = current.estimated;
+            Some(SlidingOutcome {
+                backend: pane.backend.clone(),
+                subscribers: pane.subscribers,
+                tests_per_dataset: pane.tests_per_dataset,
+                tumbling_median_ms: tumbling.median_ms,
+                sliding_median_ms: pane.median_ms,
+                limit_ratio: DEFAULT_SLIDING_CEILING,
+                warn_only,
+                pass: warn_only
+                    || pane.median_ms <= tumbling.median_ms * DEFAULT_SLIDING_CEILING,
+            })
+        })
+        .collect();
     let rss = baseline
         .rows
         .iter()
@@ -382,6 +476,7 @@ pub fn gate_bench(
         estimated_baseline: baseline.estimated,
         outcomes,
         ratios,
+        sliding,
         rss,
         unknown,
     }
@@ -546,6 +641,76 @@ mod tests {
         let report = gate_bench(&base, &current, 0.25, DEFAULT_RATIO_CEILING);
         assert!(report.ratios.is_empty());
         assert!(report.passed());
+    }
+
+    #[test]
+    fn sliding_check_holds_pane_mode_near_tumbling_cost() {
+        let base = doc(false, vec![row("windowed", "exact", 100.0)]);
+        // Pane-mode 24x sliding at 1.8x the tumbling cost: inside the bar.
+        let current = doc(
+            false,
+            vec![
+                row("windowed", "exact", 100.0),
+                row("windowed-sliding-pane-24x", "exact", 180.0),
+            ],
+        );
+        let report = gate_bench(&base, &current, 0.25, DEFAULT_RATIO_CEILING);
+        assert_eq!(report.sliding.len(), 1);
+        assert!(!report.sliding[0].warn_only);
+        assert!(report.passed(), "{}", report.render());
+        // 3x the tumbling cost means per-record work is scaling with the
+        // overlap again — the pane contract is broken.
+        let slow = doc(
+            false,
+            vec![
+                row("windowed", "exact", 100.0),
+                row("windowed-sliding-pane-24x", "exact", 300.0),
+            ],
+        );
+        let report = gate_bench(&base, &slow, 0.25, DEFAULT_RATIO_CEILING);
+        assert!(!report.sliding[0].pass);
+        assert!(!report.passed());
+        assert!(report.render().contains("sliding-pane/tumbling"), "{}", report.render());
+    }
+
+    #[test]
+    fn sliding_check_is_advisory_on_estimated_documents_and_skips_unpaired_rows() {
+        let base = doc(false, vec![row("windowed", "exact", 100.0)]);
+        // Hand-estimated current document: not measured-vs-measured, so a
+        // blown ratio warns instead of failing.
+        let estimated = doc(
+            true,
+            vec![
+                row("windowed", "exact", 100.0),
+                row("windowed-sliding-pane-24x", "exact", 900.0),
+            ],
+        );
+        let report = gate_bench(&base, &estimated, 0.25, DEFAULT_RATIO_CEILING);
+        assert!(report.sliding[0].warn_only && report.sliding[0].pass);
+        assert!(report.passed(), "{}", report.render());
+        assert!(report.render().contains("advisory"), "{}", report.render());
+        // The legacy per-window rows and shallower overlaps are scaling
+        // documentation, not gated pairings; a pane row with no tumbling
+        // twin has nothing to compare against.
+        let unpaired = doc(
+            false,
+            vec![
+                row("windowed", "exact", 100.0),
+                row("windowed-sliding-perwindow-24x", "exact", 2_400.0),
+                row("windowed-sliding-pane-24x", "tdigest", 500.0),
+                row("windowed-sliding-pane-6x", "exact", 500.0),
+            ],
+        );
+        let report = gate_bench(&base, &unpaired, 0.25, DEFAULT_RATIO_CEILING);
+        assert!(report.sliding.is_empty());
+        assert!(report.passed(), "{}", report.render());
+    }
+
+    #[test]
+    fn gate_report_without_sliding_field_deserializes() {
+        let json = r#"{"tolerance":0.25,"estimated_baseline":false,"outcomes":[]}"#;
+        let report: GateReport = serde_json::from_str(json).unwrap();
+        assert!(report.sliding.is_empty());
     }
 
     #[test]

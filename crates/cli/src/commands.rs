@@ -18,8 +18,9 @@ use iqb_core::whatif::{evaluate_interventions, standard_interventions};
 use iqb_data::aggregate::{aggregate_region, AggregationSpec, AggregatorBackend};
 use iqb_data::clean::Cleaner;
 use iqb_data::csv_io;
+use iqb_data::error::DataError;
 use iqb_data::quarantine::IngestMode;
-use iqb_data::stream::StreamOptions;
+use iqb_data::stream::{stream_csv, StreamOptions};
 use iqb_data::record::{RegionId, TestRecord};
 use iqb_data::store::{MeasurementStore, QueryFilter};
 use iqb_netsim::aqm::AqmPolicy;
@@ -489,7 +490,7 @@ pub fn compare(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
 /// `iqb trend --input <file.csv> --region <r> [--window-hours <h>]`
 /// or, with `--window <dur>`, the event-time windowed path:
 /// `iqb trend --input <file.csv> --region <r> --window <dur>
-/// [--slide <dur>] [--watermark <dur>]`
+/// [--slide <dur>] [--watermark <dur>] [--stream]`
 pub fn trend(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
     if args.get("window").is_some() {
         return trend_windowed(args, out);
@@ -498,6 +499,9 @@ pub fn trend(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
         if args.get(flag).is_some() {
             return Err(usage(format!("--{flag} requires --window")));
         }
+    }
+    if args.has_flag("stream") {
+        return Err(usage("--stream requires --window (the event-time windowed path)"));
     }
     let mut telemetry = Telemetry::from_args("trend", args)?;
     telemetry.stage("ingest");
@@ -545,10 +549,15 @@ pub fn trend(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
 /// The event-time windowed trend path (`--window <dur>`): records feed a
 /// [`WindowedSession`], the end of the file drains the stream, and the
 /// per-window score series runs through diurnal + changepoint detection.
+///
+/// With `--stream` the CSV feeds the session in fixed-size segments
+/// instead of materializing the record set: each parsed batch is
+/// ingested row-by-row and dropped, so peak memory is the segment
+/// window plus the session's window state — for a mergeable backend
+/// that state is the O(W/s) live panes, not the records. Output is
+/// byte-identical to the materialized path for the same input.
 fn trend_windowed(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
     let mut telemetry = Telemetry::from_args("trend", args)?;
-    telemetry.stage("ingest");
-    let records = read_records_arg(args, "input")?;
     let region = RegionId::new(args.require("region")?)?;
     let config = build_config(args)?;
     let spec = build_spec(args)?;
@@ -564,9 +573,50 @@ fn trend_windowed(args: &ParsedArgs, out: &mut dyn Write) -> CliResult {
         policy = policy.with_watermark(parse_duration_s(raw)?);
     }
 
-    telemetry.stage("score");
     let mut session = WindowedSession::new(config, spec, policy)?;
-    session.ingest_all(&records)?;
+    if args.has_flag("stream") {
+        // Ingest and windowed scoring are fused on this path, exactly
+        // like `iqb score --stream`.
+        telemetry.stage("ingest+score");
+        let options = stream_options(args)?;
+        let path = args.require("input")?;
+        let file =
+            File::open(path).map_err(|e| usage(format!("cannot open --input {path}: {e}")))?;
+        // The stream sink returns `DataError`; a session failure is
+        // parked here and re-raised with its original type.
+        let mut session_error: Option<iqb_pipeline::PipelineError> = None;
+        let result = stream_csv(BufReader::new(file), &options, |batch| {
+            for row in 0..batch.len() {
+                let record = batch.record_at(row);
+                if let Err(e) = session.ingest(&record) {
+                    session_error = Some(e);
+                    return Err(DataError::SourcePanic(
+                        "streaming windowed ingest failed".into(),
+                    ));
+                }
+            }
+            Ok(())
+        });
+        let summary = match result {
+            Ok(summary) => summary,
+            Err(stream_error) => {
+                return Err(match session_error.take() {
+                    Some(original) => original.into(),
+                    None => stream_error.into(),
+                })
+            }
+        };
+        if options.mode == IngestMode::Lenient && !summary.report.is_clean() {
+            let mut quality = DataQualityReport::new(options.mode);
+            quality.quarantine = summary.report;
+            eprint!("{}", quality.render());
+        }
+    } else {
+        telemetry.stage("ingest");
+        let records = read_records_arg(args, "input")?;
+        telemetry.stage("score");
+        session.ingest_all(&records)?;
+    }
     // End of file is end of stream: freeze whatever the watermark left.
     session.drain()?;
     let points = session.region_points(&region)?;
@@ -906,6 +956,46 @@ mod tests {
             &mut Vec::new(),
         )
         .is_err());
+        std::fs::remove_file(&path).ok();
+        Ok(())
+    }
+
+    #[test]
+    fn streamed_windowed_trend_matches_materialized() -> CliResult {
+        let _guard = ingest_lock();
+        let dir = std::env::temp_dir().join("iqb-cli-trend-stream-test");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("history.csv");
+        write_history_csv(&path, 8)?;
+        let path_str = path.to_str().ok_or("temp path is not UTF-8")?;
+
+        // A sliding family (slide divides width) so the streamed run
+        // exercises the pane path; tiny segments force many batches.
+        for backend in ["exact", "tdigest"] {
+            let base = [
+                "trend", "--input", path_str, "--region", "metro", "--window", "1h", "--slide",
+                "30m", "--agg-backend", backend,
+            ];
+            let mut materialized = Vec::new();
+            trend(&parsed(&base)?, &mut materialized)?;
+            let mut streamed = Vec::new();
+            let mut stream_args: Vec<&str> = base.to_vec();
+            stream_args.extend(["--stream", "--segment-bytes", "4096", "--ingest-threads", "2"]);
+            trend(&parsed(&stream_args)?, &mut streamed)?;
+            assert_eq!(
+                String::from_utf8(streamed)?,
+                String::from_utf8(materialized)?,
+                "backend {backend}"
+            );
+        }
+
+        // `--stream` without `--window` has no session to feed.
+        let err = trend(
+            &parsed(&["trend", "--input", path_str, "--region", "metro", "--stream"])?,
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("--window"), "{err}");
         std::fs::remove_file(&path).ok();
         Ok(())
     }

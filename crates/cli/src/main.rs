@@ -89,6 +89,10 @@ COMMANDS:
                                       window width; requires --window)
         --watermark <dur>             Allowed lateness before a window
                                       freezes (default 0; requires --window)
+        --stream                      Segmented bounded-memory ingest
+                                      (requires --window; output identical
+                                      to the materialized path)
+        --ingest-threads / --segment-bytes    As for `score --stream`
         --ingest-mode <strict|lenient>  Fault handling (default strict)
         --metrics / --metrics-out / --trace   As for `score`
     campaign                          Plan the next measurement campaign:

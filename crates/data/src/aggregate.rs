@@ -67,6 +67,16 @@ impl AggregatorBackend {
         }
     }
 
+    /// Whether sinks of this backend support [`QuantileSink::merge`].
+    ///
+    /// Exact and t-digest sinks merge losslessly (exact) or by the
+    /// documented centroid-merge rule (t-digest); P² marker state has no
+    /// merge rule. Pane-based windowing uses this to decide between
+    /// ingest-once-merge-per-window and the per-window fallback.
+    pub fn mergeable(&self) -> bool {
+        !matches!(self, AggregatorBackend::P2)
+    }
+
     /// Validates backend parameters (t-digest compression bounds).
     pub fn validate(&self) -> Result<(), DataError> {
         if let AggregatorBackend::TDigest { compression } = self {
@@ -202,6 +212,14 @@ impl QuantileSink for MetricSink {
                 .inc();
         }
         result
+    }
+
+    fn mergeable(&self) -> bool {
+        match self {
+            MetricSink::Exact(s) => QuantileSink::mergeable(s),
+            MetricSink::TDigest(s) => QuantileSink::mergeable(s),
+            MetricSink::P2(s) => QuantileSink::mergeable(s),
+        }
     }
 }
 
@@ -473,6 +491,23 @@ mod tests {
         let spec =
             AggregationSpec::paper_default().with_backend(AggregatorBackend::tdigest_default());
         spec.validate().unwrap();
+    }
+
+    /// The backend-level flag and the per-sink trait answer must agree —
+    /// temporal pane selection reads the backend, the sinks do the work.
+    #[test]
+    fn backend_mergeable_matches_sink_mergeable() {
+        for backend in [
+            AggregatorBackend::Exact,
+            AggregatorBackend::tdigest_default(),
+            AggregatorBackend::P2,
+        ] {
+            let sink = MetricSink::for_backend(backend, 0.95).unwrap();
+            assert_eq!(backend.mergeable(), QuantileSink::mergeable(&sink));
+        }
+        assert!(AggregatorBackend::Exact.mergeable());
+        assert!(AggregatorBackend::tdigest_default().mergeable());
+        assert!(!AggregatorBackend::P2.mergeable());
     }
 
     #[test]

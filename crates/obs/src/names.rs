@@ -80,6 +80,12 @@ pub const TEMPORAL_LATE_RECORDS: &str = "temporal.late_records";
 pub const TEMPORAL_RECORDS_WINDOWED: &str = "temporal.records_windowed";
 /// Trend-detection (diurnal + changepoint) latency histogram, in ms.
 pub const TEMPORAL_DETECT_MS: &str = "temporal.detect_ms";
+/// Panes opened by a pane-mode `WindowedSession` (first record landed).
+pub const TEMPORAL_PANES_OPENED: &str = "temporal.panes_opened";
+/// Panes dropped once no open window could cover them any more.
+pub const TEMPORAL_PANES_PRUNED: &str = "temporal.panes_pruned";
+/// Pane-into-window merges performed while scoring windows.
+pub const TEMPORAL_PANE_MERGES: &str = "temporal.pane_merges";
 
 /// Join a per-source prefix with its source label: `per_source(INGEST_KEPT,
 /// "csv")` → `"ingest.kept.csv"`.

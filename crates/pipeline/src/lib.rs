@@ -46,6 +46,7 @@
 pub mod compare;
 pub mod error;
 pub mod exhibits;
+mod pane;
 pub mod quality;
 pub mod rank;
 pub mod registry;
@@ -65,4 +66,4 @@ pub use runner::{
 };
 pub use session::ScoringSession;
 pub use stream::{score_stream, score_stream_path};
-pub use temporal::{ClosedWindow, WindowPoint, WindowPolicy, WindowedSession};
+pub use temporal::{ClosedWindow, WindowPoint, WindowPolicy, WindowStrategy, WindowedSession};

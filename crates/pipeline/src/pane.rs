@@ -1,0 +1,139 @@
+//! Pane (stream-slicing) state for sliding-window scoring.
+//!
+//! A sliding family with width `W` and slide `s` covers every timestamp
+//! with `W/s` windows. Feeding each record into each covering window's
+//! own session — the original temporal design — multiplies both the
+//! aggregation work and the sink state by `W/s`. A [`PaneSet`] instead
+//! slices the stream along the slide grid: each record is ingested into
+//! exactly **one** pane session (the slide-grid cell containing its
+//! timestamp, keyed by the cell's start), and a window `[w, w + W)` is
+//! scored by merging the `W/s` pane sessions whose keys fall in
+//! `[w, w + W)` — O(1) ingest work per record, O(W/s) live panes.
+//!
+//! This is sound only for merge-capable aggregation backends (exact,
+//! t-digest) and a slide that divides the width so windows are exact
+//! unions of panes; [`crate::temporal::WindowedSession`] resolves the
+//! strategy and falls back to per-window sessions otherwise.
+
+use std::collections::BTreeMap;
+
+use iqb_core::config::IqbConfig;
+use iqb_data::aggregate::AggregationSpec;
+use iqb_data::record::{RegionId, TestRecord};
+
+use crate::error::PipelineError;
+use crate::session::ScoringSession;
+
+/// One slide-grid cell: a non-retaining scoring session plus per-region
+/// sample counts, both merged into window totals at close.
+#[derive(Debug)]
+struct Pane {
+    session: ScoringSession,
+    samples: BTreeMap<RegionId, usize>,
+}
+
+/// The live panes of a pane-mode windowed session, keyed by pane start.
+#[derive(Debug)]
+pub(crate) struct PaneSet {
+    config: IqbConfig,
+    spec: AggregationSpec,
+    panes: BTreeMap<u64, Pane>,
+}
+
+impl PaneSet {
+    /// Creates an empty pane set; the config and spec seed each pane's
+    /// session. Validation already happened in the owning session.
+    pub(crate) fn new(config: IqbConfig, spec: AggregationSpec) -> Self {
+        PaneSet {
+            config,
+            spec,
+            panes: BTreeMap::new(),
+        }
+    }
+
+    /// Ingests one record into the pane starting at `pane_start`,
+    /// creating the pane on first sight.
+    pub(crate) fn ingest(
+        &mut self,
+        pane_start: u64,
+        record: &TestRecord,
+    ) -> Result<(), PipelineError> {
+        let pane = match self.panes.entry(pane_start) {
+            std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
+            std::collections::btree_map::Entry::Vacant(v) => {
+                iqb_obs::global()
+                    .counter(iqb_obs::names::TEMPORAL_PANES_OPENED)
+                    .inc();
+                v.insert(Pane {
+                    // Panes never replay history: sink state only, so
+                    // pane memory is the sink footprint, not the records.
+                    session: ScoringSession::new(self.config.clone(), self.spec.clone())?
+                        .without_retention(),
+                    samples: BTreeMap::new(),
+                })
+            }
+        };
+        pane.session.ingest_refs(std::iter::once(record))?;
+        *pane.samples.entry(record.region.clone()).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Drops every pane starting before `frontier` — panes no window at
+    /// or past the close frontier can cover. (A window `[w, w + W)`
+    /// only covers panes with keys `>= w`, so once every window below
+    /// the frontier is frozen these panes are unreachable.)
+    pub(crate) fn prune_before(&mut self, frontier: u64) {
+        let keep = self.panes.split_off(&frontier);
+        let pruned = self.panes.len();
+        self.panes = keep;
+        if pruned > 0 {
+            iqb_obs::global()
+                .counter(iqb_obs::names::TEMPORAL_PANES_PRUNED)
+                .add(pruned as u64);
+        }
+    }
+
+    /// Builds the window `[start, end)` by merging its covering panes in
+    /// ascending key order into a fresh non-retaining session. Returns
+    /// the merged session (rescore pending) plus the summed per-region
+    /// sample counts.
+    pub(crate) fn merged_window(
+        &self,
+        start: u64,
+        end: u64,
+    ) -> Result<(ScoringSession, BTreeMap<RegionId, usize>), PipelineError> {
+        let mut session =
+            ScoringSession::new(self.config.clone(), self.spec.clone())?.without_retention();
+        let mut samples: BTreeMap<RegionId, usize> = BTreeMap::new();
+        let mut merges = 0u64;
+        for (_, pane) in self.panes.range(start..end) {
+            session.merge_from(&pane.session)?;
+            for (region, count) in &pane.samples {
+                *samples.entry(region.clone()).or_insert(0) += count;
+            }
+            merges += 1;
+        }
+        if merges > 0 {
+            iqb_obs::global()
+                .counter(iqb_obs::names::TEMPORAL_PANE_MERGES)
+                .add(merges);
+        }
+        Ok((session, samples))
+    }
+
+    /// Every region seen by any live pane, in key order (duplicates
+    /// possible across panes; the caller dedups).
+    pub(crate) fn regions(&self) -> impl Iterator<Item = &RegionId> {
+        self.panes.values().flat_map(|p| p.samples.keys())
+    }
+
+    /// Number of live panes.
+    pub(crate) fn len(&self) -> usize {
+        self.panes.len()
+    }
+
+    /// Drops all panes (end-of-stream drain).
+    pub(crate) fn clear(&mut self) {
+        self.panes.clear();
+    }
+}

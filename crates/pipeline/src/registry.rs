@@ -956,6 +956,40 @@ mod tests {
         assert_eq!(registry.window_stats(), reloaded.window_stats());
     }
 
+    /// The sliding twin of `reload_replays_window_state`: a slide that
+    /// divides the width puts each shard's windowed session in pane mode,
+    /// and the store replay must rebuild the same pane state — identical
+    /// points, stats and open-window accounting across the reload.
+    #[test]
+    fn reload_replays_sliding_pane_state() {
+        let registry = SessionRegistry::new(
+            IqbConfig::paper_default(),
+            AggregationSpec::paper_default(),
+            RegistryOptions {
+                shards: 2,
+                debounce_submits: 1,
+                window: Some(WindowPolicy::tumbling(3600).with_slide(900)),
+            },
+        )
+        .unwrap();
+        registry
+            .submit(hourly_records(4), IngestMode::Strict)
+            .unwrap();
+        let metro = RegionId::new("metro").unwrap();
+        let before = registry.window_points(&metro).unwrap().unwrap();
+        assert!(before.iter().any(|p| p.closed), "sliding history must close windows");
+        assert!(before.iter().any(|p| !p.closed), "newest windows stay open");
+        let reloaded = registry
+            .reload(
+                IqbConfig::paper_default(),
+                AggregationSpec::paper_default(),
+            )
+            .unwrap();
+        let after = reloaded.window_points(&metro).unwrap().unwrap();
+        assert_eq!(before, after);
+        assert_eq!(registry.window_stats(), reloaded.window_stats());
+    }
+
     #[test]
     fn reload_replays_stores_and_preserves_scores() {
         let registry = registry(3, 1);

@@ -335,6 +335,45 @@ impl ScoringSession {
         Ok((ingested, report))
     }
 
+    /// Merges another session's streaming state into this one: every
+    /// per-(region, dataset, metric) sink is [`QuantileSink::merge`]d in
+    /// (cloned when this session has no matching cell yet), and the
+    /// other session's dirty set is unioned in so the merged regions
+    /// rescore here — including regions whose only data sits in
+    /// unscored datasets, which must still reconcile into `skipped`.
+    ///
+    /// Only sink state and dirty marks move: the store, the cached
+    /// report and the recompute counter are untouched. This is the
+    /// pane-combination primitive behind
+    /// [`crate::temporal::WindowedSession`] — a window's score is the
+    /// merge of its covering panes — and it requires a merge-capable
+    /// backend: with P² sinks the first shared cell reports
+    /// [`iqb_stats::StatsError::IncompatibleMerge`].
+    pub fn merge_from(&mut self, other: &Self) -> Result<(), PipelineError> {
+        for region in &other.dirty {
+            if !self.dirty.contains(region) {
+                self.dirty.insert(region.clone());
+            }
+        }
+        for (region, region_sinks) in &other.sinks {
+            let dst_region = self.sinks.entry(region.clone()).or_default();
+            for (dataset, cell_sinks) in region_sinks {
+                let dst_cells = dst_region.entry(dataset.clone()).or_default();
+                for (metric, (q, sink)) in cell_sinks {
+                    match dst_cells.entry(*metric) {
+                        std::collections::btree_map::Entry::Occupied(o) => {
+                            o.into_mut().1.merge(sink)?;
+                        }
+                        std::collections::btree_map::Entry::Vacant(v) => {
+                            v.insert((*q, sink.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Rescores the dirty regions — and only those — patching the cached
     /// report in place. Returns the up-to-date report.
     ///
@@ -677,6 +716,63 @@ mod tests {
         let mut bad = records[0].clone();
         bad.download_mbps = f64::NAN;
         assert!(streaming.ingest([bad]).is_err());
+    }
+
+    #[test]
+    fn merge_from_equals_single_session() {
+        use iqb_data::aggregate::AggregatorBackend;
+
+        for backend in [
+            AggregatorBackend::Exact,
+            AggregatorBackend::tdigest_default(),
+        ] {
+            let spec = AggregationSpec::paper_default().with_backend(backend);
+            let mk = || {
+                ScoringSession::new(IqbConfig::paper_default(), spec.clone())
+                    .unwrap()
+                    .without_retention()
+            };
+            let first = batch("alpha", 12, 40.0);
+            let mut second = batch("beta", 12, 90.0);
+            // Overlap a region across the shards so sinks really merge,
+            // and park one region entirely in an unscored dataset so the
+            // dirty-union path is exercised too.
+            second.extend(batch("alpha", 8, 200.0));
+            second.push(record("ghost", DatasetId::Custom("probes".into()), 0, 5.0));
+
+            let mut combined = mk();
+            combined.ingest(first.iter().cloned()).unwrap();
+            combined.ingest(second.iter().cloned()).unwrap();
+
+            let mut left = mk();
+            left.ingest(first).unwrap();
+            let mut right = mk();
+            right.ingest(second).unwrap();
+            left.merge_from(&right).unwrap();
+
+            assert_eq!(left.dirty_regions(), combined.dirty_regions());
+            let merged = left.rescore().unwrap().clone();
+            assert_eq!(merged, combined.rescore().unwrap().clone());
+            assert_eq!(
+                merged.skipped,
+                vec![RegionId::new("ghost").unwrap()],
+                "{backend}: unscored-dataset region must reconcile"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_from_rejects_p2_backend() {
+        use iqb_data::aggregate::AggregatorBackend;
+
+        let spec = AggregationSpec::paper_default().with_backend(AggregatorBackend::P2);
+        let mk = || ScoringSession::new(IqbConfig::paper_default(), spec.clone()).unwrap();
+        let mut a = mk();
+        a.ingest(batch("alpha", 5, 30.0)).unwrap();
+        let mut b = mk();
+        b.ingest(batch("alpha", 5, 60.0)).unwrap();
+        let err = a.merge_from(&b).unwrap_err().to_string();
+        assert!(err.contains("not mergeable"), "{err}");
     }
 
     #[test]

@@ -2,13 +2,27 @@
 //!
 //! A [`WindowedSession`] turns the one-shot [`ScoringSession`] into a
 //! *continuous* barometer: each record is assigned to the tumbling or
-//! sliding windows covering its timestamp, every open window owns its own
-//! `ScoringSession`, and a **watermark** derived purely from event time
-//! (the maximum record timestamp seen, minus an allowed lateness) decides
-//! when a window closes. On close the window's session rescores once and
-//! the resulting [`RegionalReport`] is frozen into [`ClosedWindow`];
-//! the session itself is dropped, so memory is bounded by the number of
-//! windows simultaneously open, not by stream length.
+//! sliding windows covering its timestamp, and a **watermark** derived
+//! purely from event time (the maximum record timestamp seen, minus an
+//! allowed lateness) decides when a window closes. On close the window
+//! rescores once and the resulting [`RegionalReport`] is frozen into
+//! [`ClosedWindow`]; the backing state is dropped, so memory is bounded
+//! by the live window geometry, not by stream length.
+//!
+//! Two execution strategies produce those window scores
+//! ([`WindowStrategy`], resolved automatically by default):
+//!
+//! * **Panes** (`ingest once, merge per window`) — each record feeds
+//!   exactly one pane session on the slide grid, and a closing window
+//!   merges its `width/slide` covering panes' sinks
+//!   ([`ScoringSession::merge_from`]). Per-record work is O(1) in the
+//!   window/slide ratio and sink state is O(width/slide) panes. Requires
+//!   a merge-capable backend (exact, t-digest) and a slide dividing the
+//!   width; see DESIGN §11.
+//! * **Per-window** — every open window owns its own session and every
+//!   record feeds all covering windows. This is the fallback for P²
+//!   (non-mergeable marker state) and non-dividing slides, and the
+//!   reference the pane path is proptest-pinned byte-identical to.
 //!
 //! Three properties make windowed scores as trustworthy as batch scores:
 //!
@@ -27,7 +41,7 @@
 //!   Published window scores are immutable; the quarantine ledger keeps
 //!   the loss accountable (see DESIGN §9 for why this beats reopening).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +52,7 @@ use iqb_data::record::{RegionId, TestRecord};
 use iqb_stats::window::WindowSpec;
 
 use crate::error::PipelineError;
+use crate::pane::PaneSet;
 use crate::runner::RegionalReport;
 use crate::session::ScoringSession;
 use crate::trend::TrendPoint;
@@ -100,6 +115,64 @@ impl WindowPolicy {
     /// Validates the geometry.
     pub fn validate(&self) -> Result<(), PipelineError> {
         self.spec().map(|_| ())
+    }
+}
+
+/// How a [`WindowedSession`] materializes window scores.
+///
+/// The strategies are observationally equivalent — closed windows,
+/// provisional points and the late-quarantine ledger match byte for byte
+/// (proptest-pinned for the merge-capable backends) — and differ only in
+/// cost: panes do O(1) aggregation work per record where per-window
+/// sessions do O(width/slide).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum WindowStrategy {
+    /// Pick automatically: panes for sliding geometries whose backend
+    /// merges and whose slide divides the width, per-window otherwise
+    /// (including tumbling, where the two do identical work and panes
+    /// would only add a sink copy per close). The default.
+    #[default]
+    Auto,
+    /// Force pane aggregation. Errors at construction when the backend
+    /// cannot merge (P²) or the slide does not divide the width.
+    /// Tumbling geometries are allowed (each window is its one pane).
+    Panes,
+    /// Force the original one-session-per-open-window path.
+    PerWindow,
+}
+
+impl WindowStrategy {
+    /// Resolves to `true` (panes) or `false` (per-window), validating
+    /// explicit pane requests against backend and geometry.
+    fn resolve(
+        self,
+        spec: &AggregationSpec,
+        policy: &WindowPolicy,
+        geometry: &WindowSpec,
+    ) -> Result<bool, PipelineError> {
+        let mergeable = spec.backend.mergeable();
+        let divides = policy.slide_s > 0 && policy.width_s % policy.slide_s == 0;
+        match self {
+            WindowStrategy::PerWindow => Ok(false),
+            WindowStrategy::Panes => {
+                if !mergeable {
+                    return Err(PipelineError::InvalidConfig(format!(
+                        "window strategy `panes` requires a merge-capable aggregation \
+                         backend, but `{}` sinks cannot merge",
+                        spec.backend
+                    )));
+                }
+                if !divides {
+                    return Err(PipelineError::InvalidConfig(format!(
+                        "window strategy `panes` requires the slide ({}s) to divide \
+                         the width ({}s) so windows are exact unions of panes",
+                        policy.slide_s, policy.width_s
+                    )));
+                }
+                Ok(true)
+            }
+            WindowStrategy::Auto => Ok(mergeable && divides && !geometry.is_tumbling()),
+        }
     }
 }
 
@@ -177,29 +250,55 @@ pub struct WindowedSession {
     spec: AggregationSpec,
     policy: WindowPolicy,
     geometry: WindowSpec,
+    /// Resolved once at construction from `strategy`.
+    use_panes: bool,
+    /// Per-window mode: every open window's own session.
     open: BTreeMap<u64, OpenWindow>,
+    /// Pane mode: one non-retaining session per slide-grid cell.
+    panes: PaneSet,
+    /// Pane mode: starts of windows that have been fed but not frozen —
+    /// the pane-mode equivalent of `open`'s key set.
+    pending: BTreeSet<u64>,
     closed: Vec<ClosedWindow>,
     max_event_ts: Option<u64>,
     late: QuarantineReport,
 }
 
 impl WindowedSession {
-    /// Creates an empty windowed session; config, spec and window policy
-    /// are all validated up front.
+    /// Creates an empty windowed session with the default
+    /// [`WindowStrategy::Auto`]; config, spec and window policy are all
+    /// validated up front.
     pub fn new(
         config: IqbConfig,
         spec: AggregationSpec,
         policy: WindowPolicy,
     ) -> Result<Self, PipelineError> {
+        Self::with_strategy(config, spec, policy, WindowStrategy::Auto)
+    }
+
+    /// Like [`Self::new`] with an explicit execution strategy. Forcing
+    /// [`WindowStrategy::Panes`] errors when the backend cannot merge or
+    /// the slide does not divide the width.
+    pub fn with_strategy(
+        config: IqbConfig,
+        spec: AggregationSpec,
+        policy: WindowPolicy,
+        strategy: WindowStrategy,
+    ) -> Result<Self, PipelineError> {
         config.validate()?;
         spec.validate()?;
         let geometry = policy.spec()?;
+        let use_panes = strategy.resolve(&spec, &policy, &geometry)?;
+        let panes = PaneSet::new(config.clone(), spec.clone());
         Ok(WindowedSession {
             config,
             spec,
             policy,
             geometry,
+            use_panes,
             open: BTreeMap::new(),
+            panes,
+            pending: BTreeSet::new(),
             closed: Vec::new(),
             max_event_ts: None,
             late: QuarantineReport::new(),
@@ -211,6 +310,12 @@ impl WindowedSession {
         self.policy
     }
 
+    /// Whether this session scores windows by merging panes (`true`) or
+    /// by feeding every covering window its own session (`false`).
+    pub fn uses_panes(&self) -> bool {
+        self.use_panes
+    }
+
     /// The event-time watermark: the maximum record timestamp seen minus
     /// the allowed lateness, or `None` before the first record. Pure
     /// event time — replaying a stream tomorrow closes the same windows.
@@ -219,7 +324,9 @@ impl WindowedSession {
             .map(|ts| ts.saturating_sub(self.policy.watermark_s))
     }
 
-    /// Ingests one record into every open window covering its timestamp.
+    /// Ingests one record into every open window covering its timestamp
+    /// (logically — in pane mode the record is physically ingested once,
+    /// into its slide-grid pane).
     ///
     /// Returns the number of windows fed. `0` means the record was late —
     /// every covering window had already closed — and was quarantined
@@ -235,25 +342,47 @@ impl WindowedSession {
         };
         self.late.scanned += 1;
         let mut fed = 0usize;
-        for start in self.geometry.windows_for(record.timestamp)? {
-            if start < frontier {
-                continue; // this covering window has already closed
-            }
-            let window = match self.open.entry(start) {
-                std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
-                std::collections::btree_map::Entry::Vacant(v) => {
+        if self.use_panes {
+            // Pane mode: mark every still-open covering window pending,
+            // but ingest the record exactly once — into the slide-grid
+            // pane containing its timestamp. `fed` keeps the legacy
+            // meaning (covering windows this record will score into).
+            for start in self.geometry.windows_for(record.timestamp)? {
+                if start < frontier {
+                    continue; // this covering window has already closed
+                }
+                if self.pending.insert(start) {
                     iqb_obs::global()
                         .counter(iqb_obs::names::TEMPORAL_WINDOWS_OPENED)
                         .inc();
-                    v.insert(OpenWindow {
-                        session: ScoringSession::new(self.config.clone(), self.spec.clone())?,
-                        samples: BTreeMap::new(),
-                    })
                 }
-            };
-            window.session.ingest_refs(std::iter::once(record))?;
-            *window.samples.entry(record.region.clone()).or_insert(0) += 1;
-            fed += 1;
+                fed += 1;
+            }
+            if fed > 0 {
+                let pane_start = self.geometry.newest_window_for(record.timestamp)?;
+                self.panes.ingest(pane_start, record)?;
+            }
+        } else {
+            for start in self.geometry.windows_for(record.timestamp)? {
+                if start < frontier {
+                    continue; // this covering window has already closed
+                }
+                let window = match self.open.entry(start) {
+                    std::collections::btree_map::Entry::Occupied(o) => o.into_mut(),
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        iqb_obs::global()
+                            .counter(iqb_obs::names::TEMPORAL_WINDOWS_OPENED)
+                            .inc();
+                        v.insert(OpenWindow {
+                            session: ScoringSession::new(self.config.clone(), self.spec.clone())?,
+                            samples: BTreeMap::new(),
+                        })
+                    }
+                };
+                window.session.ingest_refs(std::iter::once(record))?;
+                *window.samples.entry(record.region.clone()).or_insert(0) += 1;
+                fed += 1;
+            }
         }
         if fed == 0 {
             self.late.record(Quarantined {
@@ -298,23 +427,38 @@ impl WindowedSession {
     }
 
     /// Closes every window whose end is at or behind the watermark, in
-    /// ascending start order.
+    /// ascending start order. In pane mode, panes no remaining window
+    /// can cover are dropped afterwards, keeping live pane state at
+    /// O(width/slide).
     fn close_due(&mut self) -> Result<(), PipelineError> {
         let Some(watermark) = self.watermark() else {
             return Ok(());
         };
         let frontier = self.geometry.close_frontier(watermark);
-        while let Some(entry) = self.open.first_entry() {
-            if *entry.key() >= frontier {
-                break;
+        if self.use_panes {
+            while let Some(&start) = self.pending.first() {
+                if start >= frontier {
+                    break;
+                }
+                self.pending.pop_first();
+                self.freeze_pane_window(start)?;
             }
-            let (start, window) = entry.remove_entry();
-            self.freeze(start, window)?;
+            // Prune only after every due window froze: a due window's
+            // covering panes may themselves start before the frontier.
+            self.panes.prune_before(frontier);
+        } else {
+            while let Some(entry) = self.open.first_entry() {
+                if *entry.key() >= frontier {
+                    break;
+                }
+                let (start, window) = entry.remove_entry();
+                self.freeze(start, window)?;
+            }
         }
         Ok(())
     }
 
-    /// Rescores one window and freezes its report.
+    /// Rescores one per-window-mode window and freezes its report.
     fn freeze(&mut self, start: u64, mut window: OpenWindow) -> Result<(), PipelineError> {
         let report = window.session.rescore()?.clone();
         iqb_obs::global()
@@ -329,13 +473,38 @@ impl WindowedSession {
         Ok(())
     }
 
+    /// Merges the covering panes of the window at `start`, rescores the
+    /// merged session once and freezes its report.
+    fn freeze_pane_window(&mut self, start: u64) -> Result<(), PipelineError> {
+        let end = self.geometry.window_end(start);
+        let (mut session, samples) = self.panes.merged_window(start, end)?;
+        let report = session.rescore()?.clone();
+        iqb_obs::global()
+            .counter(iqb_obs::names::TEMPORAL_WINDOWS_CLOSED)
+            .inc();
+        self.closed.push(ClosedWindow {
+            start,
+            end,
+            samples,
+            report,
+        });
+        Ok(())
+    }
+
     /// Closes every remaining open window regardless of the watermark —
     /// the end-of-stream signal. Windows close in ascending start order,
     /// same as watermark-driven closes.
     pub fn drain(&mut self) -> Result<(), PipelineError> {
-        while let Some(entry) = self.open.first_entry() {
-            let (start, window) = entry.remove_entry();
-            self.freeze(start, window)?;
+        if self.use_panes {
+            while let Some(start) = self.pending.pop_first() {
+                self.freeze_pane_window(start)?;
+            }
+            self.panes.clear();
+        } else {
+            while let Some(entry) = self.open.first_entry() {
+                let (start, window) = entry.remove_entry();
+                self.freeze(start, window)?;
+            }
         }
         Ok(())
     }
@@ -345,9 +514,19 @@ impl WindowedSession {
         &self.closed
     }
 
-    /// Number of windows currently open.
+    /// Number of windows currently open (fed but not yet frozen).
     pub fn open_windows(&self) -> usize {
-        self.open.len()
+        if self.use_panes {
+            self.pending.len()
+        } else {
+            self.open.len()
+        }
+    }
+
+    /// Number of live panes (always `0` in per-window mode). Bounded by
+    /// `width/slide` plus the watermark allowance, not stream length.
+    pub fn live_panes(&self) -> usize {
+        self.panes.len()
     }
 
     /// Quarantine ledger for late arrivals: `scanned` counts every record
@@ -375,15 +554,33 @@ impl WindowedSession {
                 closed: true,
             })
             .collect();
-        for (&start, window) in self.open.iter_mut() {
-            let report = window.session.rescore()?;
-            points.push(WindowPoint {
-                window_start: start,
-                window_s: width,
-                score: report.regions.get(region).map(|s| s.report.score),
-                samples: window.samples.get(region).copied().unwrap_or(0),
-                closed: false,
-            });
+        if self.use_panes {
+            // Open windows are materialized on demand by merging their
+            // covering panes — provisional reads pay the merge, ingest
+            // stays O(1) per record.
+            for &start in self.pending.iter() {
+                let end = self.geometry.window_end(start);
+                let (mut session, samples) = self.panes.merged_window(start, end)?;
+                let report = session.rescore()?;
+                points.push(WindowPoint {
+                    window_start: start,
+                    window_s: width,
+                    score: report.regions.get(region).map(|s| s.report.score),
+                    samples: samples.get(region).copied().unwrap_or(0),
+                    closed: false,
+                });
+            }
+        } else {
+            for (&start, window) in self.open.iter_mut() {
+                let report = window.session.rescore()?;
+                points.push(WindowPoint {
+                    window_start: start,
+                    window_s: width,
+                    score: report.regions.get(region).map(|s| s.report.score),
+                    samples: window.samples.get(region).copied().unwrap_or(0),
+                    closed: false,
+                });
+            }
         }
         Ok(points)
     }
@@ -394,8 +591,12 @@ impl WindowedSession {
             .closed
             .iter()
             .flat_map(|w| w.samples.keys().cloned())
-            .chain(self.open.values().flat_map(|w| w.samples.keys().cloned()))
             .collect();
+        if self.use_panes {
+            regions.extend(self.panes.regions().cloned());
+        } else {
+            regions.extend(self.open.values().flat_map(|w| w.samples.keys().cloned()));
+        }
         regions.sort();
         regions.dedup();
         regions
@@ -603,6 +804,117 @@ mod tests {
         let ghost_points = s.region_points(&ghost).unwrap();
         assert!(ghost_points.iter().all(|p| p.score.is_none() && p.samples == 0));
         assert_eq!(s.regions(), vec![metro]);
+    }
+
+    fn session_with(policy: WindowPolicy, strategy: WindowStrategy) -> WindowedSession {
+        WindowedSession::with_strategy(
+            IqbConfig::paper_default(),
+            AggregationSpec::paper_default(),
+            policy,
+            strategy,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn strategy_resolution() {
+        use iqb_data::aggregate::AggregatorBackend;
+
+        let sliding = WindowPolicy::tumbling(7200).with_slide(3600);
+        let uneven = WindowPolicy::tumbling(7000).with_slide(3600);
+        let tumbling = WindowPolicy::tumbling(3600);
+
+        // Auto: panes only for merge-capable backends on dividing,
+        // genuinely sliding geometries.
+        assert!(session(sliding).uses_panes());
+        assert!(!session(tumbling).uses_panes());
+        assert!(!session(uneven).uses_panes());
+        let p2_spec = AggregationSpec::paper_default().with_backend(AggregatorBackend::P2);
+        let p2 = WindowedSession::new(IqbConfig::paper_default(), p2_spec.clone(), sliding).unwrap();
+        assert!(!p2.uses_panes(), "P2 falls back to per-window");
+
+        // Explicit panes: tumbling is allowed, P2 and uneven slides error.
+        assert!(session_with(tumbling, WindowStrategy::Panes).uses_panes());
+        assert!(!session_with(sliding, WindowStrategy::PerWindow).uses_panes());
+        let err = WindowedSession::with_strategy(
+            IqbConfig::paper_default(),
+            p2_spec,
+            sliding,
+            WindowStrategy::Panes,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("merge"), "{err}");
+        let err = WindowedSession::with_strategy(
+            IqbConfig::paper_default(),
+            AggregationSpec::paper_default(),
+            uneven,
+            WindowStrategy::Panes,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("divide"), "{err}");
+    }
+
+    /// The pane path must reproduce the per-window path exactly on a
+    /// sliding stream with gaps, late data and multiple regions — the
+    /// integration proptests widen this, the unit test keeps it local.
+    #[test]
+    fn pane_mode_matches_per_window_mode() {
+        let policy = WindowPolicy {
+            width_s: 7200,
+            slide_s: 1800,
+            watermark_s: 600,
+        };
+        let mut records = Vec::new();
+        for hour in [0u64, 1, 2, 5, 6] {
+            records.extend(hour_batch("metro", hour, 3, 150.0 + hour as f64 * 20.0));
+            records.extend(hour_batch("rural", hour, 2, 30.0 + hour as f64 * 5.0));
+        }
+        // Stragglers: one inside the allowance, one hopelessly late.
+        records.insert(40, record("metro", DatasetId::Ndt, 3500, 80.0));
+        records.push(record("rural", DatasetId::Ookla, 10, 9.0));
+
+        let mut pane = session_with(policy, WindowStrategy::Panes);
+        let mut legacy = session_with(policy, WindowStrategy::PerWindow);
+        assert!(pane.uses_panes() && !legacy.uses_panes());
+        for r in &records {
+            assert_eq!(pane.ingest(r).unwrap(), legacy.ingest(r).unwrap());
+            assert_eq!(pane.open_windows(), legacy.open_windows());
+        }
+        let metro = RegionId::new("metro").unwrap();
+        assert_eq!(
+            pane.region_points(&metro).unwrap(),
+            legacy.region_points(&metro).unwrap(),
+            "provisional open-window points must match"
+        );
+        pane.drain().unwrap();
+        legacy.drain().unwrap();
+        assert_eq!(pane.closed_windows(), legacy.closed_windows());
+        assert_eq!(pane.late_report(), legacy.late_report());
+        assert_eq!(pane.regions(), legacy.regions());
+    }
+
+    /// Watermark advance must drop panes no open window can cover, so
+    /// pane state stays O(width/slide) instead of O(stream length).
+    #[test]
+    fn panes_are_pruned_behind_the_frontier() {
+        let policy = WindowPolicy {
+            width_s: 7200,
+            slide_s: 1800,
+            watermark_s: 0,
+        };
+        let mut s = session_with(policy, WindowStrategy::Panes);
+        for k in 0..40u64 {
+            s.ingest(&record("metro", DatasetId::Ndt, k * 1800 + 10, 100.0))
+                .unwrap();
+            // width/slide = 4 covering panes, +1 for the newest cell
+            // whose oldest covering window is still open.
+            assert!(s.live_panes() <= 5, "{} live panes at k={k}", s.live_panes());
+        }
+        s.drain().unwrap();
+        assert_eq!(s.live_panes(), 0);
+        assert_eq!(s.open_windows(), 0);
     }
 
     #[test]

@@ -21,7 +21,6 @@ use iqb_stats::changepoint::{
 use serde::{Deserialize, Serialize};
 
 use crate::error::PipelineError;
-use crate::runner::score_all_regions;
 
 /// The score of one region in one time window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -304,9 +303,11 @@ pub fn analyze_trend(
     })
 }
 
-/// Convenience: trend for every region (sequentially per region, parallel
-/// inside the full-store scoring path is not reused here because windows
-/// are many and small).
+/// Convenience: trend for every region. Regions run sequentially and
+/// each window scores just its own region via
+/// [`iqb_data::aggregate::aggregate_region_filtered`] — the parallel
+/// full-store runner ([`crate::runner::score_all_regions`]) would rescan
+/// every region per window, which loses when windows are many and small.
 pub fn score_trends_all_regions(
     store: &MeasurementStore,
     config: &IqbConfig,
@@ -315,7 +316,6 @@ pub fn score_trends_all_regions(
     end: u64,
     window_s: u64,
 ) -> Result<Vec<(RegionId, Vec<TrendPoint>)>, PipelineError> {
-    let _ = score_all_regions; // see module docs; kept for API symmetry
     store
         .regions()
         .into_iter()

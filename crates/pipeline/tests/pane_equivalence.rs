@@ -1,0 +1,301 @@
+//! Property suite pinning the pane-mode sliding path byte-identical to
+//! the per-window reference path (ISSUE 9's tentpole acceptance bar).
+//!
+//! Pane aggregation replaces "feed every covering window" with "feed one
+//! slide-grid pane, merge panes at close" — a pure execution-strategy
+//! change. These tests hold the two strategies in lockstep over the same
+//! arrival sequence and require *observational equality*:
+//!
+//! * the per-record fed count, open-window count and watermark agree at
+//!   every step;
+//! * provisional (open-window) region points agree before any drain;
+//! * frozen [`ClosedWindow`]s — scores, grades, sample ledgers — agree
+//!   to the serialized byte under the exact and t-digest backends;
+//! * the late-quarantine ledger agrees byte-for-byte, including with
+//!   genuinely late data (arrival order is *not* sorted here, so
+//!   stragglers behind the watermark occur naturally);
+//! * the CSV front door is thread-count invariant: a lenient parse with
+//!   poisoned rows yields the same record sequence and the same
+//!   quarantine report at 1, 2 and 8 ingest threads, so the windowed
+//!   equivalence holds for any parallel ingest configuration.
+//!
+//! P² cannot merge, so [`WindowStrategy::Auto`] must *silently* resolve
+//! it to the per-window path and still match that path exactly — the
+//! named `p2_backend_silently_falls_back_to_per_window_and_matches`
+//! test pins that down.
+//!
+//! [`ClosedWindow`]: iqb_pipeline::temporal::ClosedWindow
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+use iqb_core::config::IqbConfig;
+use iqb_data::aggregate::{AggregationSpec, AggregatorBackend};
+use iqb_data::quarantine::IngestMode;
+use iqb_data::record::{RegionId, TestRecord};
+use iqb_data::stream::{stream_csv, StreamOptions, MIN_SEGMENT_BYTES};
+use iqb_pipeline::temporal::{WindowPolicy, WindowStrategy, WindowedSession};
+
+const REGIONS: [&str; 3] = ["r0", "r1", "r2"];
+const DATASETS: [&str; 3] = ["ndt", "ookla", "cloudflare"];
+const CSV_HEADER: &str =
+    "timestamp,region,dataset,download_mbps,upload_mbps,latency_ms,loss_pct,tech";
+
+/// The sliding family under test: width 2 h, slide 30 m (W/s = 4), a
+/// 15-minute lateness allowance so bounded disorder stays on time while
+/// bigger jumps go genuinely late.
+fn policy() -> WindowPolicy {
+    WindowPolicy::tumbling(7_200)
+        .with_slide(1_800)
+        .with_watermark(900)
+}
+
+/// One CSV row with integer-friendly fields, so the byte rendering is
+/// unambiguous and the parse is trivially deterministic.
+#[derive(Debug, Clone)]
+struct Row {
+    ts: u64,
+    region: usize,
+    dataset: usize,
+    down: u32,
+    up: u32,
+    latency: u32,
+    loss: Option<u32>,
+}
+
+fn arb_row(max_ts: u64) -> impl Strategy<Value = Row> {
+    (
+        0..max_ts,
+        0..REGIONS.len(),
+        0..DATASETS.len(),
+        1..500u32,
+        1..100u32,
+        1..200u32,
+        proptest::option::of(0..50u32),
+    )
+        .prop_map(|(ts, region, dataset, down, up, latency, loss)| Row {
+            ts,
+            region,
+            dataset,
+            down,
+            up,
+            latency,
+            loss,
+        })
+}
+
+/// Renders rows in arrival order (deliberately *not* time-sorted, so
+/// stragglers land behind the watermark), poisoning every sixth line
+/// when asked so the lenient parse has something to quarantine.
+fn render_csv(rows: &[Row], poison: bool) -> String {
+    let mut csv = format!("{CSV_HEADER}\n");
+    for (i, row) in rows.iter().enumerate() {
+        if poison && i % 6 == 5 {
+            csv.push_str("not,even,close\n");
+        }
+        let loss = row
+            .loss
+            .map(|l| format!("0.{l:02}"))
+            .unwrap_or_default();
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{loss},\n",
+            row.ts,
+            REGIONS[row.region],
+            DATASETS[row.dataset],
+            row.down,
+            row.up,
+            row.latency,
+        ));
+    }
+    csv
+}
+
+/// Parses the CSV leniently at `threads` workers through the segmented
+/// streaming driver, returning the delivered record sequence plus the
+/// serialized quarantine report.
+fn parse_at(csv: &str, threads: usize) -> (Vec<TestRecord>, String) {
+    let options =
+        StreamOptions::new(IngestMode::Lenient, threads).with_segment_bytes(MIN_SEGMENT_BYTES);
+    let mut records = Vec::new();
+    let summary = stream_csv(csv.as_bytes(), &options, |batch| {
+        for row in 0..batch.len() {
+            records.push(batch.record_at(row));
+        }
+        Ok(())
+    })
+    .expect("lenient parse never aborts");
+    let report = serde_json::to_string(&summary.report).expect("report serializes");
+    (records, report)
+}
+
+/// Runs the pane and per-window strategies in lockstep over `records`
+/// and requires observational equality at every step and at the end.
+fn assert_strategies_match(
+    records: &[TestRecord],
+    backend: AggregatorBackend,
+) -> Result<(), TestCaseError> {
+    let config = IqbConfig::paper_default();
+    let spec = AggregationSpec::paper_default().with_backend(backend);
+    let mut pane = WindowedSession::with_strategy(
+        config.clone(),
+        spec.clone(),
+        policy(),
+        WindowStrategy::Panes,
+    )
+    .unwrap();
+    let mut reference =
+        WindowedSession::with_strategy(config, spec, policy(), WindowStrategy::PerWindow).unwrap();
+    prop_assert!(pane.uses_panes(), "explicit pane request must hold");
+    prop_assert!(!reference.uses_panes());
+
+    for record in records {
+        let fed_pane = pane.ingest(record).unwrap();
+        let fed_reference = reference.ingest(record).unwrap();
+        prop_assert_eq!(fed_pane, fed_reference, "fed counts diverged");
+        prop_assert_eq!(pane.open_windows(), reference.open_windows());
+        prop_assert_eq!(pane.watermark(), reference.watermark());
+    }
+
+    // Provisional points: open windows rescored on read, before drain.
+    let regions = pane.regions();
+    prop_assert_eq!(&regions, &reference.regions());
+    for region in &regions {
+        prop_assert_eq!(
+            serde_json::to_string(&pane.region_points(region).unwrap()).unwrap(),
+            serde_json::to_string(&reference.region_points(region).unwrap()).unwrap(),
+            "provisional points diverged for {}",
+            region
+        );
+    }
+
+    pane.drain().unwrap();
+    reference.drain().unwrap();
+    prop_assert_eq!(pane.open_windows(), 0);
+    prop_assert_eq!(
+        serde_json::to_string(pane.closed_windows()).unwrap(),
+        serde_json::to_string(reference.closed_windows()).unwrap(),
+        "frozen windows diverged under {}",
+        backend
+    );
+    prop_assert_eq!(
+        serde_json::to_string(pane.late_report()).unwrap(),
+        serde_json::to_string(reference.late_report()).unwrap(),
+        "late-quarantine ledgers diverged under {}",
+        backend
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole acceptance property: for every arrival order
+    /// (including late data), lenient parses with faults, 1/2/8 ingest
+    /// threads and both merge-capable backends, pane-mode sliding output
+    /// is byte-identical to the per-window path.
+    #[test]
+    fn pane_sliding_is_byte_identical_to_per_window(
+        rows in proptest::collection::vec(arb_row(10 * 3_600), 1..48),
+        poison in any::<bool>(),
+    ) {
+        let csv = render_csv(&rows, poison);
+        let (records, quarantine) = parse_at(&csv, 1);
+        for threads in [2usize, 8] {
+            let (other_records, other_quarantine) = parse_at(&csv, threads);
+            prop_assert_eq!(&records, &other_records, "{} threads", threads);
+            prop_assert_eq!(&quarantine, &other_quarantine, "{} threads", threads);
+        }
+        if poison && !rows.is_empty() {
+            prop_assert!(
+                quarantine.contains("invalid-value") || quarantine.contains("parse"),
+                "poisoned corpus must quarantine something: {}",
+                quarantine
+            );
+        }
+        for backend in [AggregatorBackend::Exact, AggregatorBackend::tdigest_default()] {
+            assert_strategies_match(&records, backend)?;
+        }
+    }
+}
+
+/// Deterministic two-region history: one record per region per
+/// 20-minute step, one bounded straggler (inside the watermark) and one
+/// hopeless straggler (behind it, quarantined as late).
+fn history() -> Vec<TestRecord> {
+    let record = |ts: u64, region: &str, down: f64| TestRecord {
+        timestamp: ts,
+        region: RegionId::new(region).unwrap(),
+        dataset: iqb_core::dataset::DatasetId::Ndt,
+        download_mbps: down,
+        upload_mbps: 40.0,
+        latency_ms: 25.0,
+        loss_pct: Some(0.2),
+        tech: None,
+    };
+    let mut records = Vec::new();
+    for step in 0..18u64 {
+        let ts = step * 1_200;
+        records.push(record(ts, "metro", 300.0 - step as f64));
+        records.push(record(ts, "rural", 80.0 + step as f64));
+    }
+    // In-allowance disorder: 600 s behind the maximum timestamp.
+    records.push(record(17 * 1_200 - 600, "metro", 150.0));
+    // Hopeless: hours behind the watermark, every covering window closed.
+    records.push(record(10, "rural", 9.0));
+    records
+}
+
+/// ISSUE 9 satellite: P² cannot merge, so `Auto` must take the
+/// per-window fallback *silently* (construction succeeds, no panes) and
+/// still produce output byte-identical to the forced per-window path.
+#[test]
+fn p2_backend_silently_falls_back_to_per_window_and_matches() {
+    let config = IqbConfig::paper_default();
+    let spec = AggregationSpec::paper_default().with_backend(AggregatorBackend::P2);
+
+    // Forcing panes onto P² is a loud configuration error…
+    let err =
+        WindowedSession::with_strategy(config.clone(), spec.clone(), policy(), WindowStrategy::Panes)
+            .unwrap_err();
+    assert!(err.to_string().contains("merge"), "{err}");
+
+    // …but the default strategy resolves the conflict silently.
+    let mut auto = WindowedSession::new(config.clone(), spec.clone(), policy()).unwrap();
+    assert!(!auto.uses_panes(), "P² must fall back to per-window");
+    let mut reference =
+        WindowedSession::with_strategy(config, spec, policy(), WindowStrategy::PerWindow).unwrap();
+
+    for record in history() {
+        assert_eq!(
+            auto.ingest(&record).unwrap(),
+            reference.ingest(&record).unwrap()
+        );
+    }
+    auto.drain().unwrap();
+    reference.drain().unwrap();
+    assert!(!auto.closed_windows().is_empty(), "history must close windows");
+    assert_eq!(
+        serde_json::to_string(auto.closed_windows()).unwrap(),
+        serde_json::to_string(reference.closed_windows()).unwrap()
+    );
+    assert_eq!(auto.late_report(), reference.late_report());
+    assert_eq!(
+        auto.late_report()
+            .count(iqb_data::quarantine::FaultKind::Late),
+        1,
+        "the hopeless straggler must quarantine as late"
+    );
+}
+
+/// The mirror of the fallback test: a mergeable backend on the same
+/// sliding family resolves `Auto` *to* panes, so the optimization is on
+/// by default exactly where it is sound.
+#[test]
+fn auto_strategy_uses_panes_for_mergeable_sliding_families() {
+    for backend in [AggregatorBackend::Exact, AggregatorBackend::tdigest_default()] {
+        let spec = AggregationSpec::paper_default().with_backend(backend);
+        let session =
+            WindowedSession::new(IqbConfig::paper_default(), spec, policy()).unwrap();
+        assert!(session.uses_panes(), "{backend} slides on panes by default");
+    }
+}

@@ -49,6 +49,17 @@ pub trait QuantileSink {
     where
         Self: Sized;
 
+    /// Whether [`QuantileSink::merge`] is defined for this estimator.
+    ///
+    /// Pane-based window aggregation keys off this: merge-capable sinks
+    /// (exact, t-digest) can be sharded by slide pane and combined at
+    /// window close; non-mergeable ones (P²) must be fed the whole
+    /// window's stream. Defaults to `true`; estimators whose `merge`
+    /// always fails override it.
+    fn mergeable(&self) -> bool {
+        true
+    }
+
     /// Whether no observation has been pushed.
     fn is_empty(&self) -> bool {
         self.count() == 0
@@ -191,6 +202,12 @@ impl QuantileSink for P2Quantile {
             "P² marker state is not mergeable; use the t-digest backend for sharded streams".into(),
         ))
     }
+
+    /// The marker invariant has no merge rule: two P² states cannot be
+    /// combined as if one stream had been observed.
+    fn mergeable(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +310,32 @@ mod tests {
         let exact = crate::exact::quantile(&data, 0.95).unwrap();
         assert!((p95 - exact).abs() < 2.0, "p2 {p95} vs exact {exact}");
         assert!(QuantileSink::quantile(&sink, 0.5).is_err());
+    }
+
+    /// Pane aggregation selects its strategy from this flag; pin which
+    /// estimators advertise a working `merge`.
+    #[test]
+    fn mergeable_flags_match_merge_behavior() {
+        assert!(QuantileSink::mergeable(&ExactSink::new()));
+        assert!(QuantileSink::mergeable(&TDigest::new()));
+        assert!(!QuantileSink::mergeable(&P2Quantile::new(0.95).unwrap()));
+    }
+
+    /// The cached sorted copy must be dropped on merge, not just on push:
+    /// a stale cache would answer quantiles over the pre-merge values.
+    #[test]
+    fn exact_sink_merge_invalidates_cached_quantile() {
+        let mut a = ExactSink::new();
+        for v in [1.0, 2.0, 3.0] {
+            a.push(v).unwrap();
+        }
+        // Prime the sorted cache.
+        assert_eq!(a.quantile(1.0).unwrap(), 3.0);
+        let mut b = ExactSink::new();
+        b.push(10.0).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.quantile(1.0).unwrap(), 10.0);
+        assert_eq!(a.count(), 4);
     }
 
     #[test]

@@ -447,6 +447,35 @@ mod tests {
         }
     }
 
+    /// In the no-fold regime the merge is *structurally* identical to
+    /// sequential insertion, not just statistically close: with total
+    /// count n < 2δ/π (≈ 63 at δ = 100) no pair of adjacent singletons
+    /// fits inside one k-unit, so both orders of operations produce the
+    /// same sorted singleton centroids, bit for bit. Pane-based window
+    /// scoring leans on this for byte-identical sliding output; the
+    /// bound is documented in DESIGN §11.
+    #[test]
+    fn small_count_merge_is_structurally_identical_to_sequential() {
+        let data = stream(23, 60, |u| u * 250.0 - 50.0);
+        let mut sequential = TDigest::new();
+        sequential.extend(data.iter().copied()).unwrap();
+
+        let mut merged = TDigest::new();
+        for shard in data.chunks(20) {
+            let mut pane = TDigest::new();
+            pane.extend(shard.iter().copied()).unwrap();
+            merged.merge(&pane);
+        }
+
+        assert_eq!(merged.count(), sequential.count());
+        assert_eq!(merged.centroids(), sequential.centroids());
+        for q in [0.0, 0.05, 0.5, 0.95, 1.0] {
+            let m = merged.quantile(q).unwrap();
+            let s = sequential.quantile(q).unwrap();
+            assert_eq!(m.to_bits(), s.to_bits(), "q={q}: {m} vs {s}");
+        }
+    }
+
     #[test]
     fn merge_with_empty_is_identity() {
         let data = stream(9, 1000, |u| u * 10.0);

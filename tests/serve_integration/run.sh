@@ -18,6 +18,14 @@
 # counts, detection dimensions — scores jq-normalized away) must match
 # the committed golden_window.txt.
 #
+# A third daemon boots a *sliding* family (900 s wide, 300 s slide),
+# which the windowed sessions score through pane aggregation, and runs
+# submit -> window -> reload-config -> window -> window. The normalized
+# responses must match golden_window_sliding.txt, and the metro window
+# response must be identical before and after the reload — per-shard
+# pane state survives a config swap (the registry replays each shard's
+# retained store into the rebuilt pane sessions).
+#
 # The `metrics` response is intentionally absent from the goldens: its
 # counter values depend on request history and are not byte-stable.
 #
@@ -169,5 +177,59 @@ norm_detect='{type, region, windows: .analysis.windows,
 } >"$WORK/actual_window.txt"
 diff -u "$HERE/golden_window.txt" "$WORK/actual_window.txt" \
     || { echo "error: windowed wire responses diverge from golden_window.txt" >&2; exit 1; }
+
+# --- sliding (pane-mode) daemon: window -> reload -> window -------------
+"$IQB" serve --addr 127.0.0.1:0 --shards 2 --window 900 --slide 300 \
+    >"$WORK/serve_s.log" 2>"$WORK/serve_s.err" &
+SERVER_PID=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR="$(sed -n 's/^iqb serve: listening on //p' "$WORK/serve_s.log" | head -n1)"
+    [[ -n "$ADDR" ]] && break
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "error: sliding daemon exited before listening" >&2
+        cat "$WORK/serve_s.log" "$WORK/serve_s.err" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+[[ -n "$ADDR" ]] || { echo "error: sliding daemon never reported its address" >&2; exit 1; }
+echo "sliding daemon on $ADDR (pid $SERVER_PID)"
+
+client submit --input "$HERE/fixture.csv"        >"$WORK/s_submitted.json"
+client window --region metro                     >"$WORK/s_metro_before.json"
+client reload-config --profile graded            >"$WORK/s_reloaded.json"
+client window --region metro                     >"$WORK/s_metro_after.json"
+client window --region rural                     >"$WORK/s_rural_after.json"
+client shutdown                                  >"$WORK/s_shutdown.json"
+
+if ! wait "$SERVER_PID"; then
+    echo "error: sliding daemon exited nonzero" >&2
+    cat "$WORK/serve_s.log" "$WORK/serve_s.err" >&2
+    exit 1
+fi
+SERVER_PID=""
+grep -q "iqb serve: drained and stopped" "$WORK/serve_s.log" \
+    || { echo "error: sliding daemon did not report a drained stop" >&2; exit 1; }
+
+# Pane state survives reload-config: the rebuilt shards replay their
+# retained stores, so the sliding window grid, per-window sample
+# ledgers and open/closed/late accounting must be unchanged.
+jq -c "$norm_window" "$WORK/s_metro_before.json" >"$WORK/s_metro_before.norm"
+jq -c "$norm_window" "$WORK/s_metro_after.json"  >"$WORK/s_metro_after.norm"
+diff -u "$WORK/s_metro_before.norm" "$WORK/s_metro_after.norm" \
+    || { echo "error: sliding window state changed across reload-config" >&2; exit 1; }
+
+{
+    jq -c .              "$WORK/s_submitted.json"
+    cat                  "$WORK/s_metro_before.norm"
+    jq -c .              "$WORK/s_reloaded.json"
+    cat                  "$WORK/s_metro_after.norm"
+    jq -c "$norm_window" "$WORK/s_rural_after.json"
+    jq -c .              "$WORK/s_shutdown.json"
+} >"$WORK/actual_sliding.txt"
+diff -u "$HERE/golden_window_sliding.txt" "$WORK/actual_sliding.txt" \
+    || { echo "error: sliding wire responses diverge from golden_window_sliding.txt" >&2; exit 1; }
 
 echo "serve integration: OK"
