@@ -406,6 +406,7 @@ pub(crate) fn parse_csv_chunk(
                 source: "csv".into(),
                 line: Some(line),
                 kind,
+                // lint: allow(hot_alloc) quarantine error path, not the kept-record path
                 detail: e.to_string(),
             }),
         }
@@ -673,6 +674,7 @@ fn parse_jsonl_chunk(data: &[u8], lines_before: usize, mode: IngestMode) -> Chun
         let parsed: Result<TestRecord, (FaultKind, DataError)> = match std::str::from_utf8(raw) {
             Err(e) => Err((
                 FaultKind::Encoding,
+                // lint: allow(hot_alloc) encoding error path, not the kept-record path
                 DataError::InvalidRecord(format!("line {line_no}: invalid UTF-8: {e}")),
             )),
             Ok(text) if text.trim().is_empty() => continue,
@@ -680,6 +682,7 @@ fn parse_jsonl_chunk(data: &[u8], lines_before: usize, mode: IngestMode) -> Chun
                 match serde_json::from_str::<TestRecord>(text.trim_end_matches(['\n', '\r'])) {
                     Err(e) => Err((
                         FaultKind::Parse,
+                        // lint: allow(hot_alloc) parse error path, not the kept-record path
                         DataError::InvalidRecord(format!("line {line_no}: {e}")),
                     )),
                     Ok(record) => match record.validate() {
@@ -703,6 +706,7 @@ fn parse_jsonl_chunk(data: &[u8], lines_before: usize, mode: IngestMode) -> Chun
                 source: "jsonl".into(),
                 line: Some(line_no),
                 kind,
+                // lint: allow(hot_alloc) quarantine error path, not the kept-record path
                 detail: e.to_string(),
             }),
         }

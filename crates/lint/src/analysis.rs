@@ -1,5 +1,11 @@
 //! Per-file analysis context shared by every lint: the token stream,
-//! `#[cfg(test)]`/`#[test]` line ranges, and annotation lookup.
+//! `#[cfg(test)]`/`#[test]` line ranges, and annotation lookup — plus
+//! the cross-line layer the concurrency lints build on: a lightweight
+//! function segmenter (brace-depth tracking over the lexed stream) and
+//! a per-function model of lock-guard acquisitions and their lexical
+//! lifetimes.
+
+use std::collections::BTreeSet;
 
 use crate::lexer::{self, Annotation, Tok, TokKind};
 use crate::walker::SourceFile;
@@ -176,6 +182,314 @@ fn item_end_line(toks: &[Tok], start: usize) -> u32 {
     toks.last().map(|t| t.line).unwrap_or(0)
 }
 
+/// One function body found by brace-depth segmentation: the lexical
+/// unit over which the concurrency lints model guard lifetimes. `open`
+/// and `close` index the body's braces in the token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSpan {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    pub open: usize,
+    pub close: usize,
+}
+
+/// Segments the token stream into function bodies. The scan finds each
+/// `fn` keyword, skips the signature (tracking paren/bracket depth so a
+/// `{` inside a const-generic argument cannot be mistaken for the
+/// body), and brace-matches the body. Nested `fn` items are reported as
+/// their own spans; [`lock_model`] excludes their tokens from the
+/// enclosing function's walk.
+pub fn functions(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_fn = toks[i].kind == TokKind::Ident && toks[i].text == "fn";
+        let name = match toks.get(i + 1) {
+            Some(t) if is_fn && t.kind == TokKind::Ident => t.text.clone(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        // Signature end: first `{` at paren/bracket depth 0 opens the
+        // body; a `;` there means a body-less (trait) declaration.
+        let mut j = i + 2;
+        let mut depth = 0i32;
+        let mut open = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        open = Some(j);
+                        break;
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let mut close = open;
+        let mut braces = 0i32;
+        for (k, t) in toks.iter().enumerate().skip(open) {
+            if t.kind == TokKind::Punct {
+                if t.text == "{" {
+                    braces += 1;
+                } else if t.text == "}" {
+                    braces -= 1;
+                    if braces == 0 {
+                        close = k;
+                        break;
+                    }
+                }
+            }
+        }
+        out.push(FnSpan {
+            name,
+            line: toks[i].line,
+            open,
+            close,
+        });
+        // Descend into the body so nested fns get their own spans.
+        i = open + 1;
+    }
+    out
+}
+
+/// How a guard acquisition is bound, which decides its lexical
+/// lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardBinding {
+    /// `let g = x.lock();` — lives to the end of the enclosing block,
+    /// or an explicit `drop(g)`.
+    Named(String),
+    /// `let _ = x.lock();` — dropped on the spot: the critical section
+    /// is empty (the immediate-drop anti-pattern).
+    Wildcard,
+    /// Expression-position temporary (`*x.write() = v;`) — lives to the
+    /// end of the statement.
+    Temp,
+}
+
+/// One modeled guard acquisition inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Acquisition {
+    /// The declared lock identity: the receiver's final field name
+    /// (`shard.writer.lock()` → `writer`), matched against the
+    /// `[locks] names` list.
+    pub lock: String,
+    /// `lock`, `read` or `write`.
+    pub method: String,
+    pub line: u32,
+    pub binding: GuardBinding,
+}
+
+/// A call made while at least one modeled guard was live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeldCall {
+    /// Callee name (last path segment / method name).
+    pub callee: String,
+    pub line: u32,
+    /// The longest-held guard live at the call site.
+    pub guard: Acquisition,
+}
+
+/// Lock `acquired` taken while a *different* lock `held` was live — one
+/// directed edge of the workspace acquisition-order graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderEdge {
+    pub held: String,
+    pub held_line: u32,
+    pub acquired: String,
+    pub acquired_line: u32,
+}
+
+/// Everything the concurrency lints need to know about one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnLocks {
+    pub name: String,
+    pub line: u32,
+    pub acquisitions: Vec<Acquisition>,
+    pub calls: Vec<HeldCall>,
+    pub edges: Vec<OrderEdge>,
+}
+
+/// Models guard lifetimes for every function in `file`. Only receivers
+/// whose final field name appears in `lock_names` are treated as locks;
+/// acquisition is the `.lock()` / `.read()` / `.write()` shape with an
+/// **empty** argument list, which is what separates `m.lock()` from
+/// `file.read(buf)`. Same-identity nesting (two guards of one declared
+/// name) is recorded but produces no order edge: at the lexical level
+/// two instances of the same field are indistinguishable, and flagging
+/// them would misfire on e.g. replaying one shard's store into another.
+pub fn lock_model(file: &LexedFile<'_>, lock_names: &BTreeSet<String>) -> Vec<FnLocks> {
+    let spans = functions(&file.toks);
+    let mut out = Vec::new();
+    for (idx, span) in spans.iter().enumerate() {
+        // Token ranges of directly nested fns, walked separately.
+        let nested: Vec<(usize, usize)> = spans
+            .iter()
+            .enumerate()
+            .filter(|(other, s)| *other != idx && s.open > span.open && s.close < span.close)
+            .map(|(_, s)| (s.open, s.close))
+            .collect();
+        out.push(walk_fn(file, span, &nested, lock_names));
+    }
+    out
+}
+
+/// A guard live during the walk: the acquisition plus the brace depth
+/// its binding belongs to.
+struct LiveGuard {
+    acq: Acquisition,
+    depth: u32,
+}
+
+fn walk_fn(
+    file: &LexedFile<'_>,
+    span: &FnSpan,
+    nested: &[(usize, usize)],
+    lock_names: &BTreeSet<String>,
+) -> FnLocks {
+    let toks = &file.toks;
+    let mut locks = FnLocks {
+        name: span.name.clone(),
+        line: span.line,
+        acquisitions: Vec::new(),
+        calls: Vec::new(),
+        edges: Vec::new(),
+    };
+    let mut live: Vec<LiveGuard> = Vec::new();
+    let mut depth = 1u32;
+    let mut j = span.open + 1;
+    while j < span.close {
+        if let Some(&(_, nested_close)) = nested.iter().find(|&&(open, _)| open == j) {
+            j = nested_close + 1;
+            continue;
+        }
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    live.retain(|g| {
+                        g.depth <= depth && !matches!(g.acq.binding, GuardBinding::Temp)
+                    });
+                }
+                ";" => live.retain(|g| !matches!(g.acq.binding, GuardBinding::Temp)),
+                _ => {}
+            }
+            j += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            j += 1;
+            continue;
+        }
+        // `drop(guard)` ends a named guard early.
+        if t.text == "drop" && file.punct(j + 1, '(') {
+            if let Some(name) = file.ident(j + 2) {
+                if file.punct(j + 3, ')') {
+                    if let Some(pos) = live.iter().rposition(
+                        |g| matches!(&g.acq.binding, GuardBinding::Named(n) if n == name),
+                    ) {
+                        live.remove(pos);
+                    }
+                }
+            }
+        }
+        // Guard acquisition: `.lock()` / `.read()` / `.write()` with an
+        // empty argument list on a declared receiver.
+        let receiver = if matches!(t.text.as_str(), "lock" | "read" | "write")
+            && j >= 2
+            && file.punct(j - 1, '.')
+            && file.punct(j + 1, '(')
+            && file.punct(j + 2, ')')
+        {
+            file.ident(j - 2).filter(|r| lock_names.contains(*r))
+        } else {
+            None
+        };
+        if let Some(receiver) = receiver {
+            let lock = receiver.to_string();
+            for held in &live {
+                if held.acq.lock != lock {
+                    locks.edges.push(OrderEdge {
+                        held: held.acq.lock.clone(),
+                        held_line: held.acq.line,
+                        acquired: lock.clone(),
+                        acquired_line: t.line,
+                    });
+                }
+            }
+            let binding = binding_for(file, span.open, j);
+            let acq = Acquisition {
+                lock,
+                method: t.text.clone(),
+                line: t.line,
+                binding: binding.clone(),
+            };
+            locks.acquisitions.push(acq.clone());
+            if binding != GuardBinding::Wildcard {
+                live.push(LiveGuard { acq, depth });
+            }
+            j += 3;
+            continue;
+        }
+        // Any other call while a guard is live.
+        if !live.is_empty()
+            && file.punct(j + 1, '(')
+            && !(j >= 1 && file.ident(j - 1) == Some("fn"))
+        {
+            if let Some(longest) = live.first() {
+                locks.calls.push(HeldCall {
+                    callee: t.text.clone(),
+                    line: t.line,
+                    guard: longest.acq.clone(),
+                });
+            }
+        }
+        j += 1;
+    }
+    locks
+}
+
+/// Classifies the binding of the acquisition whose method token sits at
+/// `j`: walk back to the statement start (the nearest `;`, `{` or `}`)
+/// and look for the `let [mut] <ident> =` shape.
+fn binding_for(file: &LexedFile<'_>, body_open: usize, j: usize) -> GuardBinding {
+    let toks = &file.toks;
+    let mut s = j;
+    while s > body_open {
+        s -= 1;
+        if toks[s].kind == TokKind::Punct && matches!(toks[s].text.as_str(), ";" | "{" | "}") {
+            break;
+        }
+    }
+    let mut k = s + 1;
+    if file.ident(k) != Some("let") {
+        return GuardBinding::Temp;
+    }
+    k += 1;
+    if file.ident(k) == Some("mut") {
+        k += 1;
+    }
+    match file.ident(k) {
+        Some("_") => GuardBinding::Wildcard,
+        Some(name) => GuardBinding::Named(name.to_string()),
+        None => GuardBinding::Temp,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,5 +540,121 @@ mod tests {
         assert!(lexed.annotation("panic", 2).is_some());
         assert!(lexed.annotation("panic", 3).is_none());
         assert!(lexed.annotation("nondet", 2).is_none());
+    }
+
+    fn names(list: &[&str]) -> BTreeSet<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn segmenter_finds_top_level_and_nested_fns() {
+        let src = file(
+            "fn outer() {\n    fn inner() { a(); }\n    b();\n}\nimpl T {\n    fn method(&self) -> u32 { 1 }\n}\ntrait Q { fn decl(&self); }\n",
+        );
+        let lexed = LexedFile::new(&src);
+        let spans = functions(&lexed.toks);
+        let got: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(got, vec!["outer", "inner", "method"]);
+    }
+
+    #[test]
+    fn segmenter_is_not_fooled_by_where_clause_braces() {
+        let src = file("fn generic<T: Fn() -> [u8; 4]>(f: T) {\n    f();\n}\n");
+        let lexed = LexedFile::new(&src);
+        let spans = functions(&lexed.toks);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "generic");
+    }
+
+    #[test]
+    fn guard_model_tracks_named_guard_to_scope_end() {
+        let src = file(
+            "fn f(s: &S) {\n    {\n        let w = s.writer.lock();\n        ingest(&w);\n    }\n    after();\n}\n",
+        );
+        let lexed = LexedFile::new(&src);
+        let model = lock_model(&lexed, &names(&["writer"]));
+        assert_eq!(model.len(), 1);
+        assert_eq!(model[0].acquisitions.len(), 1);
+        assert_eq!(
+            model[0].acquisitions[0].binding,
+            GuardBinding::Named("w".into())
+        );
+        let callees: Vec<&str> = model[0].calls.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(callees, vec!["ingest"]);
+    }
+
+    #[test]
+    fn wildcard_binding_is_flagged_and_not_held() {
+        let src = file("fn f(s: &S) {\n    let _ = s.writer.lock();\n    ingest();\n}\n");
+        let lexed = LexedFile::new(&src);
+        let model = lock_model(&lexed, &names(&["writer"]));
+        assert_eq!(model[0].acquisitions[0].binding, GuardBinding::Wildcard);
+        assert!(model[0].calls.is_empty());
+    }
+
+    #[test]
+    fn temp_guard_dies_at_statement_end() {
+        let src = file("fn f(s: &S) {\n    *s.published.write() = v;\n    after();\n}\n");
+        let lexed = LexedFile::new(&src);
+        let model = lock_model(&lexed, &names(&["published"]));
+        assert_eq!(model[0].acquisitions[0].binding, GuardBinding::Temp);
+        assert!(model[0].calls.iter().all(|c| c.callee != "after"));
+    }
+
+    #[test]
+    fn drop_releases_a_named_guard_early() {
+        let src = file(
+            "fn f(s: &S) {\n    let w = s.writer.lock();\n    drop(w);\n    after();\n}\n",
+        );
+        let lexed = LexedFile::new(&src);
+        let model = lock_model(&lexed, &names(&["writer"]));
+        assert!(model[0].calls.iter().all(|c| c.callee != "after"));
+    }
+
+    #[test]
+    fn order_edges_skip_same_identity_and_record_inversions() {
+        let src = file(
+            "fn f(a: &S, b: &S) {\n    let x = a.writer.lock();\n    let y = b.writer.lock();\n    let z = a.published.write();\n    use_all(&x, &y, &z);\n}\n",
+        );
+        let lexed = LexedFile::new(&src);
+        let model = lock_model(&lexed, &names(&["writer", "published"]));
+        let edges: Vec<(&str, &str)> = model[0]
+            .edges
+            .iter()
+            .map(|e| (e.held.as_str(), e.acquired.as_str()))
+            .collect();
+        assert_eq!(edges, vec![("writer", "published"), ("writer", "published")]);
+    }
+
+    #[test]
+    fn read_with_buffer_argument_is_not_an_acquisition() {
+        let src = file("fn f(mut file: F, state: &S) {\n    let n = state.read(buf);\n}\n");
+        let lexed = LexedFile::new(&src);
+        let model = lock_model(&lexed, &names(&["state"]));
+        assert!(model[0].acquisitions.is_empty());
+    }
+
+    #[test]
+    fn undeclared_receiver_is_not_modeled() {
+        let src = file("fn f() {\n    let out = std::io::stdout().lock();\n    flush();\n}\n");
+        let lexed = LexedFile::new(&src);
+        let model = lock_model(&lexed, &names(&["writer"]));
+        assert!(model[0].acquisitions.is_empty());
+        assert!(model[0].calls.is_empty());
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_walked_separately() {
+        let src = file(
+            "fn outer(s: &S) {\n    let w = s.writer.lock();\n    fn inner() { helper(); }\n    tail(&w);\n}\n",
+        );
+        let lexed = LexedFile::new(&src);
+        let model = lock_model(&lexed, &names(&["writer"]));
+        let outer = model.iter().find(|m| m.name == "outer").map(|m| {
+            m.calls.iter().map(|c| c.callee.clone()).collect::<Vec<_>>()
+        });
+        assert_eq!(outer, Some(vec!["tail".to_string()]));
+        let inner = model.iter().find(|m| m.name == "inner");
+        assert!(inner.is_some_and(|m| m.calls.is_empty()));
     }
 }

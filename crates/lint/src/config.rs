@@ -7,7 +7,8 @@
 //! keeps the accepted grammar small enough to audit.
 //!
 //! Policy knobs (`[iter_order] paths`, `[nondet] crates`, `[panic]
-//! crates`, `[serve] crates`, `[time] paths`, `[metric_names] catalog`)
+//! crates`, `[serve] crates`, `[time] paths`, `[metric_names] catalog`,
+//! `[locks] names`, `[lock_held] deny`, `[hot_alloc] paths`)
 //! live in the file so the policy is
 //! reviewable where it is enforced; `Config::default_policy()` mirrors
 //! the committed `lint.toml` so the tool still runs sensibly without
@@ -48,6 +49,19 @@ pub struct Config {
     pub time_paths: BTreeSet<String>,
     /// Workspace-relative path of the metric-name catalog.
     pub metric_catalog: String,
+    /// Declared lock identities: the receiver field names whose
+    /// `.lock()`/`.read()`/`.write()` calls the concurrency lints model.
+    /// Only declared names participate in the acquisition-order graph
+    /// and the held-guard analysis.
+    pub lock_names: BTreeSet<String>,
+    /// Callee names considered blocking (I/O, thread joins, ingest and
+    /// rescore entry points); calling one while a declared guard is
+    /// live is a `lock_held` violation.
+    pub lock_held_deny: BTreeSet<String>,
+    /// Hot-path files where per-record allocation inside loop bodies is
+    /// flagged (`format!`, `.to_string()`, `.clone()`, `Vec::new`,
+    /// `String::new`).
+    pub hot_alloc_paths: BTreeSet<String>,
     pub allows: Vec<AllowEntry>,
 }
 
@@ -90,6 +104,50 @@ impl Config {
                 "crates/cli/src/commands.rs",
             ]),
             metric_catalog: "crates/obs/src/names.rs".to_string(),
+            lock_names: set(&[
+                "writer",
+                "published",
+                "registry",
+                "counters",
+                "gauges",
+                "histograms",
+                "state",
+                "out",
+                "buf",
+            ]),
+            lock_held_deny: set(&[
+                "write_all",
+                "flush",
+                "read_line",
+                "read_to_string",
+                "read_to_end",
+                "read_exact",
+                "connect",
+                "accept",
+                "join",
+                "sleep",
+                "park",
+                "recv",
+                "ingest",
+                "ingest_batch",
+                "ingest_lenient",
+                "ingest_refs",
+                "ingest_all",
+                "ingest_one",
+                "rescore",
+                "reload",
+                "score_trend",
+                "stream_csv",
+                "submit_stream",
+            ]),
+            hot_alloc_paths: set(&[
+                "crates/data/src/stream.rs",
+                "crates/data/src/ingest.rs",
+                "crates/data/src/memscan.rs",
+                "crates/pipeline/src/pane.rs",
+                "crates/pipeline/src/stream.rs",
+                "crates/pipeline/src/session.rs",
+            ]),
             allows: Vec::new(),
         }
     }
@@ -217,6 +275,18 @@ fn apply(
         }
         ("metric_names", "catalog") => {
             config.metric_catalog = parse_string(value, line_no)?;
+            Ok(())
+        }
+        ("locks", "names") => {
+            config.lock_names = parse_array(value, line_no)?.into_iter().collect();
+            Ok(())
+        }
+        ("lock_held", "deny") => {
+            config.lock_held_deny = parse_array(value, line_no)?.into_iter().collect();
+            Ok(())
+        }
+        ("hot_alloc", "paths") => {
+            config.hot_alloc_paths = parse_array(value, line_no)?.into_iter().collect();
             Ok(())
         }
         ("[[allow]]", _) => {
@@ -370,6 +440,16 @@ reason = "slice checked"
         assert!(config.allows("panic", "x.rs", 12));
         assert!(!config.allows("panic", "x.rs", 13));
         assert!(!config.allows("float", "x.rs", 12));
+    }
+
+    #[test]
+    fn parses_concurrency_sections() {
+        let toml = "[locks]\nnames = [\"writer\", \"published\"]\n\n[lock_held]\ndeny = [\"flush\"]\n\n[hot_alloc]\npaths = [\"crates/data/src/stream.rs\"]\n";
+        let config = Config::from_toml_str(toml).unwrap();
+        assert_eq!(config.lock_names.len(), 2);
+        assert!(config.lock_names.contains("writer"));
+        assert_eq!(config.lock_held_deny.len(), 1);
+        assert!(config.hot_alloc_paths.contains("crates/data/src/stream.rs"));
     }
 
     #[test]

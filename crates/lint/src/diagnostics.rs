@@ -2,7 +2,11 @@
 
 use std::fmt;
 
-/// One lint violation at a file:line.
+/// One lint finding at a file:line. `allowed` distinguishes an
+/// enforcing violation from a finding suppressed by an annotation or
+/// allowlist entry: text output and the exit code only count
+/// violations, but `--format json` reports both so suppressions stay
+/// auditable.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Diagnostic {
     /// Workspace-relative path.
@@ -10,9 +14,13 @@ pub struct Diagnostic {
     /// 1-based line.
     pub line: u32,
     /// Stable rule id (`float`, `iter-order`, `nondet`, `metric-names`,
-    /// `panic`, `forbid-unsafe`).
+    /// `panic`, `forbid-unsafe`, `lock_order`, `lock_held`,
+    /// `hot_alloc`).
     pub rule: &'static str,
     pub message: String,
+    /// True when an annotation or `lint.toml` entry suppresses this
+    /// finding.
+    pub allowed: bool,
 }
 
 impl Diagnostic {
@@ -22,8 +30,52 @@ impl Diagnostic {
             line,
             rule,
             message,
+            allowed: false,
         }
     }
+
+    /// A finding covered by an annotation or allowlist entry — recorded
+    /// for JSON output, never a violation.
+    pub fn suppressed(file: &str, line: u32, rule: &'static str, message: String) -> Self {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            rule,
+            message,
+            allowed: true,
+        }
+    }
+
+    /// One JSON object, no trailing newline:
+    /// `{"rule":...,"file":...,"line":...,"message":...,"allowed":...}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"allowed\":{}}}",
+            json_escape(self.rule),
+            json_escape(&self.file),
+            self.line,
+            json_escape(&self.message),
+            self.allowed
+        )
+    }
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl fmt::Display for Diagnostic {
@@ -33,11 +85,12 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// Sorts by (file, line, rule, message) and drops exact duplicates, so
-/// output is byte-stable run to run.
+/// Sorts by (file, line, rule, message, allowed) and drops exact
+/// duplicates, so output is byte-stable run to run.
 pub fn finalize(mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
     diags.sort_by(|a, b| {
-        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+        (&a.file, a.line, a.rule, &a.message, a.allowed)
+            .cmp(&(&b.file, b.line, b.rule, &b.message, b.allowed))
     });
     diags.dedup();
     diags
@@ -61,5 +114,17 @@ mod tests {
         let b = Diagnostic::new("a.rs", 9, "float", "m".into());
         let out = finalize(vec![a.clone(), b.clone(), a.clone()]);
         assert_eq!(out, vec![b, a]);
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_reports_allow_status() {
+        let d = Diagnostic::suppressed("a.rs", 3, "lock_held", "call to `flush`".into());
+        let json = d.to_json();
+        assert_eq!(
+            json,
+            "{\"rule\":\"lock_held\",\"file\":\"a.rs\",\"line\":3,\"message\":\"call to `flush`\",\"allowed\":true}"
+        );
+        let tricky = Diagnostic::new("a.rs", 1, "panic", "a \"quoted\"\npath\\x".into());
+        assert!(tricky.to_json().contains("a \\\"quoted\\\"\\npath\\\\x"));
     }
 }

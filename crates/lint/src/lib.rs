@@ -6,9 +6,13 @@
 //! are not caught by the compiler: a `partial_cmp` sort that flips on
 //! NaN, a `HashMap` iterated into a report, a clock read in the scoring
 //! path, a metric name that drifts from the catalog, an `unwrap` that
-//! turns a bad CSV row into a crash. This crate makes those rules
-//! machine-enforced: it lexes every workspace source file and checks
-//! eight families of invariants, emitting rustc-style diagnostics.
+//! turns a bad CSV row into a crash. Nor are the concurrency failure
+//! modes: a lock pair taken in opposite orders on two paths, I/O done
+//! under a guard, a per-record allocation in a streaming loop. This
+//! crate makes those rules machine-enforced: it lexes every workspace
+//! source file — segmenting function bodies and modeling lock-guard
+//! lifetimes across lines — and checks eleven families of invariants,
+//! emitting rustc-style diagnostics.
 //!
 //! | rule id | invariant |
 //! |---|---|
@@ -20,6 +24,9 @@
 //! | `serve` | sockets only in the serving crates (`serve`, `cli`) |
 //! | `time` | event-time files take timestamps from records, not clocks |
 //! | `forbid-unsafe` | every crate root has `#![forbid(unsafe_code)]` |
+//! | `lock_order` | declared locks are acquired in one global order |
+//! | `lock_held` | no blocking calls / instant drops under a held guard |
+//! | `hot_alloc` | no per-record allocation in hot-path loop bodies |
 //!
 //! Escape hatches, in order of preference: fix the code; annotate the
 //! line with `// lint: allow(<rule>) <reason>`; add a `[[allow]]` entry
@@ -40,8 +47,19 @@ pub use diagnostics::Diagnostic;
 pub use walker::{Role, SourceFile};
 
 /// Runs every lint family over an already-collected file set and
-/// returns the sorted, deduplicated diagnostics.
+/// returns the sorted, deduplicated **violations** (suppressed findings
+/// are filtered out; see [`run_files_all`] for the full audit trail).
 pub fn run_files(files: &[SourceFile], config: &Config) -> Vec<Diagnostic> {
+    run_files_all(files, config)
+        .into_iter()
+        .filter(|d| !d.allowed)
+        .collect()
+}
+
+/// Like [`run_files`], but also returns findings suppressed by an
+/// annotation or `lint.toml` allowlist entry, marked `allowed: true` —
+/// the input to `--format json`'s audit output.
+pub fn run_files_all(files: &[SourceFile], config: &Config) -> Vec<Diagnostic> {
     let lexed: Vec<LexedFile<'_>> = files.iter().map(LexedFile::new).collect();
     let mut diags = Vec::new();
     for file in &lexed {
@@ -52,15 +70,28 @@ pub fn run_files(files: &[SourceFile], config: &Config) -> Vec<Diagnostic> {
         lints::serve_role::check(file, config, &mut diags);
         lints::time::check(file, config, &mut diags);
         lints::unsafe_attr::check(file, config, &mut diags);
+        lints::lock_held::check(file, config, &mut diags);
+        lints::hot_alloc::check(file, config, &mut diags);
     }
     lints::metric_names::check(&lexed, config, &mut diags);
+    lints::lock_order::check(&lexed, config, &mut diags);
     diagnostics::finalize(diags)
 }
 
-/// Walks the workspace at `root` and lints it. Fails loudly if the
-/// metric catalog named by the config is absent — a silently missing
-/// catalog would disable the metric-name lints without anyone noticing.
+/// Walks the workspace at `root` and lints it, returning violations
+/// only. Fails loudly if the metric catalog named by the config is
+/// absent — a silently missing catalog would disable the metric-name
+/// lints without anyone noticing.
 pub fn run_workspace(root: &Path, config: &Config) -> Result<Vec<Diagnostic>, String> {
+    Ok(run_workspace_all(root, config)?
+        .into_iter()
+        .filter(|d| !d.allowed)
+        .collect())
+}
+
+/// Like [`run_workspace`], but includes suppressed findings
+/// (`allowed: true`) for JSON audit output.
+pub fn run_workspace_all(root: &Path, config: &Config) -> Result<Vec<Diagnostic>, String> {
     let files = walker::collect(root)?;
     if !files.iter().any(|f| f.path == config.metric_catalog) {
         return Err(format!(
@@ -69,5 +100,5 @@ pub fn run_workspace(root: &Path, config: &Config) -> Result<Vec<Diagnostic>, St
             root.display()
         ));
     }
-    Ok(run_files(&files, config))
+    Ok(run_files_all(&files, config))
 }

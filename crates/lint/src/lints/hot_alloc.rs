@@ -1,0 +1,126 @@
+//! Per-record allocation discipline on the hot paths listed in
+//! `[hot_alloc] paths` (streaming ingest, pane merging, session
+//! scoring): inside a loop body, an allocation per iteration is an
+//! allocation per record, and at "millions of users" scale that is the
+//! difference between a bounded-memory pipeline and a GC-shaped latency
+//! curve. Flags `format!`, `.to_string()`, `.clone()` (method form —
+//! `Arc::clone(&x)` is the sanctioned cheap-clone spelling and is not
+//! flagged), `Vec::new` and `String::new` inside `for`/`while`/`loop`
+//! bodies. Hoist the allocation, reuse a buffer, or carry a reasoned
+//! `// lint: allow(hot_alloc)` annotation.
+
+use crate::analysis::LexedFile;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokKind;
+use crate::walker::Role;
+
+pub fn check(file: &LexedFile<'_>, config: &Config, diags: &mut Vec<Diagnostic>) {
+    if file.src.role == Role::Test || !config.hot_alloc_paths.contains(&file.src.path) {
+        return;
+    }
+    let bodies = loop_bodies(file);
+    if bodies.is_empty() {
+        return;
+    }
+    let in_loop = |i: usize| bodies.iter().any(|&(open, close)| i > open && i < close);
+    for i in 0..file.toks.len() {
+        let line = file.toks[i].line;
+        if file.in_test(line) || !in_loop(i) {
+            continue;
+        }
+        let Some(name) = file.ident(i) else { continue };
+        let found = if name == "format" && file.punct(i + 1, '!') {
+            Some("`format!` allocates a fresh `String` per record".to_string())
+        } else if matches!(name, "to_string" | "clone")
+            && i >= 1
+            && file.punct(i - 1, '.')
+            && file.punct(i + 1, '(')
+            && file.punct(i + 2, ')')
+        {
+            Some(format!("`.{name}()` allocates per record"))
+        } else if matches!(name, "Vec" | "String")
+            && file.path_sep(i + 1)
+            && file.ident(i + 3) == Some("new")
+        {
+            Some(format!("`{name}::new` allocates per record"))
+        } else {
+            None
+        };
+        if let Some(what) = found {
+            super::emit(
+                file,
+                config,
+                diags,
+                "hot_alloc",
+                line,
+                format!(
+                    "{what} in a hot-path loop; hoist it out of the loop or reuse \
+                     a buffer across iterations"
+                ),
+            );
+        }
+    }
+}
+
+/// Token index ranges `(open, close)` of every loop body in the file.
+/// A `for` is only a loop when an `in` token appears before its body
+/// brace (which excludes `impl Trait for Type { ... }`); `while` and
+/// `loop` take the first `{` at paren/bracket depth 0.
+fn loop_bodies(file: &LexedFile<'_>) -> Vec<(usize, usize)> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let keyword = match file.ident(i) {
+            Some(k @ ("for" | "while" | "loop")) => k,
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let mut depth = 0i32;
+        let mut saw_in = keyword != "for";
+        let mut open = None;
+        let mut j = i + 1;
+        while j < toks.len() {
+            let t = &toks[j];
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Ident, "in") if depth == 0 => saw_in = true,
+                (TokKind::Punct, "(") | (TokKind::Punct, "[") => depth += 1,
+                (TokKind::Punct, ")") | (TokKind::Punct, "]") => depth -= 1,
+                (TokKind::Punct, "{") if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                (TokKind::Punct, ";") if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let (Some(open), true) = (open, saw_in) else {
+            i += 1;
+            continue;
+        };
+        let mut braces = 0i32;
+        let mut close = open;
+        for (k, t) in toks.iter().enumerate().skip(open) {
+            if t.kind == TokKind::Punct {
+                if t.text == "{" {
+                    braces += 1;
+                } else if t.text == "}" {
+                    braces -= 1;
+                    if braces == 0 {
+                        close = k;
+                        break;
+                    }
+                }
+            }
+        }
+        out.push((open, close));
+        // Descend so nested loops are found; overlapping ranges are
+        // fine — membership is "inside any body".
+        i = open + 1;
+    }
+    out
+}

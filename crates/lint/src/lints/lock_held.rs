@@ -1,0 +1,59 @@
+//! Held-guard hygiene, two shapes over the declared lock identities
+//! (`[locks] names`):
+//!
+//! 1. A call from the `[lock_held] deny` list — socket/file I/O, thread
+//!    joins, ingest/rescore entry points — made while a guard is live
+//!    stretches the critical section across a blocking operation: every
+//!    other thread contending on that lock stalls behind the I/O.
+//! 2. A guard bound with `let _ = x.lock()` drops on the same
+//!    statement: the critical section is empty and whatever the author
+//!    thought was protected is not. Use `let _guard = ...` for an
+//!    intentional scope-long hold.
+
+use crate::analysis::{lock_model, GuardBinding, LexedFile};
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::walker::Role;
+
+pub fn check(file: &LexedFile<'_>, config: &Config, diags: &mut Vec<Diagnostic>) {
+    if file.src.role == Role::Test || config.lock_names.is_empty() {
+        return;
+    }
+    for function in lock_model(file, &config.lock_names) {
+        for acq in &function.acquisitions {
+            if acq.binding == GuardBinding::Wildcard && !file.in_test(acq.line) {
+                super::emit(
+                    file,
+                    config,
+                    diags,
+                    "lock_held",
+                    acq.line,
+                    format!(
+                        "guard on `{}` bound with `let _ = ...` drops immediately: \
+                         the critical section is empty; bind it `let _guard = ...` \
+                         to hold the lock for the scope, or delete the acquisition",
+                        acq.lock
+                    ),
+                );
+            }
+        }
+        for call in &function.calls {
+            if !config.lock_held_deny.contains(&call.callee) || file.in_test(call.line) {
+                continue;
+            }
+            super::emit(
+                file,
+                config,
+                diags,
+                "lock_held",
+                call.line,
+                format!(
+                    "blocking call `{}(..)` while the guard on `{}` (`.{}()` at \
+                     line {}) is held; move the work out of the critical section \
+                     or shrink the guard's scope",
+                    call.callee, call.guard.lock, call.guard.method, call.guard.line
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Lock-acquisition-order discipline: the classic deadlock
+//! precondition is two threads taking the same pair of locks in
+//! opposite orders. This pass builds a workspace-wide acquisition-order
+//! graph over the lock identities declared in `[locks] names` — every
+//! `(held, acquired)` pair observed inside one function body is a
+//! directed edge — and flags **every** site of any pair that appears in
+//! both directions, naming the opposing acquisition site so the
+//! diagnostic carries both halves of the cycle.
+//!
+//! Same-identity pairs never form an edge: at the lexical level two
+//! guards on fields that share a name (two shards' `writer` mutexes)
+//! are indistinguishable from re-locking one instance, and flagging
+//! them would misfire on legitimate cross-instance replay. That is a
+//! documented false negative, not an accident.
+
+use std::collections::BTreeMap;
+
+use crate::analysis::{lock_model, LexedFile};
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::walker::Role;
+
+/// One observed `(held, acquired)` site.
+struct Site {
+    file_idx: usize,
+    fn_name: String,
+    held_line: u32,
+    acquired_line: u32,
+}
+
+pub fn check(files: &[LexedFile<'_>], config: &Config, diags: &mut Vec<Diagnostic>) {
+    if config.lock_names.is_empty() {
+        return;
+    }
+    let mut edges: BTreeMap<(String, String), Vec<Site>> = BTreeMap::new();
+    for (file_idx, file) in files.iter().enumerate() {
+        if file.src.role == Role::Test {
+            continue;
+        }
+        for function in lock_model(file, &config.lock_names) {
+            for edge in &function.edges {
+                if file.in_test(edge.acquired_line) {
+                    continue;
+                }
+                edges
+                    .entry((edge.held.clone(), edge.acquired.clone()))
+                    .or_default()
+                    .push(Site {
+                        file_idx,
+                        fn_name: function.name.clone(),
+                        held_line: edge.held_line,
+                        acquired_line: edge.acquired_line,
+                    });
+            }
+        }
+    }
+    for ((a, b), forward) in &edges {
+        // Each unordered pair is handled once, from its
+        // lexicographically first key; both directions are flagged.
+        if a >= b {
+            continue;
+        }
+        let Some(reverse) = edges.get(&(b.clone(), a.clone())) else {
+            continue;
+        };
+        flag_sites(files, config, diags, (a, b), forward, reverse);
+        flag_sites(files, config, diags, (b, a), reverse, forward);
+    }
+}
+
+/// Flags every site taking `pair.0` → `pair.1` against the first site
+/// of the opposite order.
+fn flag_sites(
+    files: &[LexedFile<'_>],
+    config: &Config,
+    diags: &mut Vec<Diagnostic>,
+    pair: (&str, &str),
+    sites: &[Site],
+    opposing: &[Site],
+) {
+    let Some(other) = opposing.first() else {
+        return;
+    };
+    let other_file = &files[other.file_idx].src.path;
+    for site in sites {
+        let file = &files[site.file_idx];
+        super::emit(
+            file,
+            config,
+            diags,
+            "lock_order",
+            site.acquired_line,
+            format!(
+                "lock `{}` acquired while `{}` (taken at line {}) is held, but \
+                 {}:{} (fn `{}`) takes them in the opposite order; two threads, \
+                 one in each order, deadlock",
+                pair.1, pair.0, site.held_line, other_file, other.acquired_line, other.fn_name
+            ),
+        );
+    }
+}

@@ -1,4 +1,4 @@
-//! The eight lint families.
+//! The eleven lint families.
 //!
 //! Each rule module exposes `check(...)` taking the per-file analysis
 //! context and pushing [`Diagnostic`]s. Emission funnels through
@@ -9,7 +9,10 @@
 //! entries suppress by path (optionally pinned to a line).
 
 pub mod float;
+pub mod hot_alloc;
 pub mod iter_order;
+pub mod lock_held;
+pub mod lock_order;
 pub mod metric_names;
 pub mod nondet;
 pub mod panics;
@@ -24,6 +27,9 @@ use crate::diagnostics::Diagnostic;
 /// Reports a violation unless an annotation or allowlist entry covers
 /// it. A reason-less annotation is rejected loudly rather than silently
 /// honoured: the policy is that every suppression names its excuse.
+/// Suppressed findings are still recorded (with `allowed: true`) so
+/// `--format json` can surface the full audit trail; only
+/// `allowed: false` diagnostics count as violations.
 pub(crate) fn emit(
     file: &LexedFile<'_>,
     config: &Config,
@@ -33,10 +39,12 @@ pub(crate) fn emit(
     message: String,
 ) {
     if config.allows(rule, &file.src.path, line) {
+        diags.push(Diagnostic::suppressed(&file.src.path, line, rule, message));
         return;
     }
     if let Some(annotation) = file.annotation(rule, line) {
         if annotation.has_reason {
+            diags.push(Diagnostic::suppressed(&file.src.path, line, rule, message));
             return;
         }
         diags.push(Diagnostic::new(

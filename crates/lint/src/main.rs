@@ -5,7 +5,13 @@
 //! ```text
 //! cargo run -p iqb-lint            # lint the workspace you're in
 //! cargo run -p iqb-lint -- --root <dir> --config <lint.toml>
+//! cargo run -p iqb-lint -- --format json   # one JSON object per line
 //! ```
+//!
+//! `--format json` prints every finding — including ones suppressed by
+//! an annotation or allowlist entry, marked `"allowed":true` — as one
+//! JSON object per line on stdout, with the human summary on stderr.
+//! The exit code counts only enforcing violations in both formats.
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
@@ -14,9 +20,17 @@ use std::process::ExitCode;
 
 use iqb_lint::Config;
 
+/// Output format for findings.
+#[derive(PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -28,13 +42,24 @@ fn main() -> ExitCode {
                 Some(value) => config_path = Some(PathBuf::from(value)),
                 None => return usage("--config needs a file path"),
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some(other) => {
+                    return usage(&format!("--format must be `text` or `json`, got `{other}`"))
+                }
+                None => return usage("--format needs `text` or `json`"),
+            },
             "--help" | "-h" => {
                 println!(
                     "iqb-lint: workspace invariant checker\n\n\
-                     USAGE: iqb-lint [--root <workspace-dir>] [--config <lint.toml>]\n\n\
+                     USAGE: iqb-lint [--root <workspace-dir>] [--config <lint.toml>]\n\
+                            [--format <text|json>]\n\n\
                      Without --root, the workspace root is found by walking up from the\n\
                      current directory to the first Cargo.toml declaring [workspace].\n\
-                     Without --config, <root>/lint.toml is used (built-in policy if absent)."
+                     Without --config, <root>/lint.toml is used (built-in policy if absent).\n\
+                     --format json prints one JSON object per finding (including\n\
+                     allowlisted ones, marked \"allowed\":true) on stdout."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -58,22 +83,39 @@ fn main() -> ExitCode {
         }
     };
 
-    match iqb_lint::run_workspace(&root, &config) {
-        Ok(diags) if diags.is_empty() => {
-            println!("iqb-lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}\n");
-            }
-            println!("iqb-lint: {} violation(s)", diags.len());
-            ExitCode::FAILURE
-        }
+    let all = match iqb_lint::run_workspace_all(&root, &config) {
+        Ok(all) => all,
         Err(e) => {
             eprintln!("iqb-lint: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    let violations = all.iter().filter(|d| !d.allowed).count();
+    match format {
+        Format::Json => {
+            for d in &all {
+                println!("{}", d.to_json());
+            }
+            eprintln!(
+                "iqb-lint: {violations} violation(s), {} allowed finding(s)",
+                all.len() - violations
+            );
+        }
+        Format::Text => {
+            if violations == 0 {
+                println!("iqb-lint: clean");
+            } else {
+                for d in all.iter().filter(|d| !d.allowed) {
+                    println!("{d}\n");
+                }
+                println!("iqb-lint: {violations} violation(s)");
+            }
+        }
+    }
+    if violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -1,0 +1,14 @@
+//! Fixture: buffers hoisted out of the loop; `Arc::clone` is the
+//! sanctioned cheap-clone spelling and is not flagged.
+
+pub fn hoisted(records: &[Record], shared: &Arc<Catalog>) -> usize {
+    let mut scratch = String::new();
+    let mut count = 0;
+    for r in records {
+        scratch.clear();
+        write_label(&mut scratch, r);
+        let catalog = Arc::clone(shared);
+        count += score(&catalog, &scratch);
+    }
+    count
+}

@@ -1,0 +1,22 @@
+//! Fixture: per-record allocation inside hot-path loop bodies.
+
+pub fn per_record(records: &[Record]) -> Vec<String> {
+    let mut out = Vec::new();
+    for r in records {
+        let label = format!("{}-{}", r.region, r.kind);
+        let copy = r.name.to_string();
+        let row = r.fields.clone();
+        let scratch = Vec::new();
+        push(&mut out, label, copy, row, scratch);
+    }
+    out
+}
+
+pub fn with_escape_hatch(records: &[Record]) {
+    let mut i = 0;
+    while i < records.len() {
+        // lint: allow(hot_alloc) cold error path, one allocation per run
+        let _msg = String::new();
+        i += 1;
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: guard dropped before the blocking call, a reasoned
+//! annotation for a deliberate hold, and a named scope-long guard.
+
+pub fn drops_before_io(s: &Sink) {
+    let line = {
+        let out = s.out.lock();
+        render(&out)
+    };
+    flush();
+}
+
+pub fn deliberate_hold(s: &Sink) {
+    let out = s.out.lock();
+    // lint: allow(lock_held) the mutex exists to serialize sink writes
+    flush();
+}
+
+pub fn named_guard(s: &Sink) {
+    let _guard = s.out.lock();
+    touch();
+}

@@ -1,0 +1,18 @@
+//! Fixture: blocking I/O under a held guard, an immediately-dropped
+//! wildcard guard, and a reason-less annotation.
+
+pub fn writes_under_guard(s: &Sink) {
+    let out = s.out.lock();
+    flush();
+}
+
+pub fn empty_critical_section(s: &Sink) {
+    let _ = s.out.lock();
+    touch();
+}
+
+pub fn annotated_without_reason(s: &Sink) {
+    let out = s.out.lock();
+    // lint: allow(lock_held)
+    flush();
+}

@@ -1,0 +1,13 @@
+//! Fixture: every path takes `ledger` then `index` — one global order.
+
+pub fn first(a: &Shard, b: &Shard) {
+    let ledger = a.ledger.lock();
+    let index = b.index.lock();
+    use_both(&ledger, &index);
+}
+
+pub fn second(a: &Shard, b: &Shard) {
+    let ledger = a.ledger.lock();
+    let index = b.index.read();
+    use_both(&ledger, &index);
+}

@@ -1,0 +1,7 @@
+//! Fixture: takes `ledger` before `index` — one half of an inversion.
+
+pub fn canonical(a: &Shard, b: &Shard) {
+    let ledger = a.ledger.lock();
+    let index = b.index.lock();
+    use_both(&ledger, &index);
+}

@@ -1,0 +1,7 @@
+//! Fixture: takes `index` before `ledger` — inverts fire_a's order.
+
+pub fn inverted(a: &Shard, b: &Shard) {
+    let index = b.index.lock();
+    let ledger = a.ledger.lock();
+    use_both(&ledger, &index);
+}

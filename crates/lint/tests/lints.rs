@@ -12,7 +12,7 @@ use std::collections::BTreeSet;
 use std::path::Path;
 
 use iqb_lint::config::AllowEntry;
-use iqb_lint::{run_files, run_workspace, Config, Diagnostic, Role, SourceFile};
+use iqb_lint::{run_files, run_files_all, run_workspace, Config, Diagnostic, Role, SourceFile};
 
 const FLOAT_FIRE: &str = include_str!("fixtures/float/fire.rs");
 const FLOAT_CLEAN: &str = include_str!("fixtures/float/clean.rs");
@@ -31,6 +31,13 @@ const SERVE_FIRE: &str = include_str!("fixtures/serve/fire.rs");
 const SERVE_CLEAN: &str = include_str!("fixtures/serve/clean.rs");
 const TIME_FIRE: &str = include_str!("fixtures/time/fire.rs");
 const TIME_CLEAN: &str = include_str!("fixtures/time/clean.rs");
+const LOCK_ORDER_FIRE_A: &str = include_str!("fixtures/lock_order/fire_a.rs");
+const LOCK_ORDER_FIRE_B: &str = include_str!("fixtures/lock_order/fire_b.rs");
+const LOCK_ORDER_CLEAN: &str = include_str!("fixtures/lock_order/clean.rs");
+const LOCK_HELD_FIRE: &str = include_str!("fixtures/lock_held/fire.rs");
+const LOCK_HELD_CLEAN: &str = include_str!("fixtures/lock_held/clean.rs");
+const HOT_ALLOC_FIRE: &str = include_str!("fixtures/hot_alloc/fire.rs");
+const HOT_ALLOC_CLEAN: &str = include_str!("fixtures/hot_alloc/clean.rs");
 
 /// A policy with every list empty, so each test opts in to exactly the
 /// machinery its family needs.
@@ -42,8 +49,22 @@ fn bare_config() -> Config {
         serve_crates: BTreeSet::new(),
         time_paths: BTreeSet::new(),
         metric_catalog: "crates/obs/src/names.rs".to_string(),
+        lock_names: BTreeSet::new(),
+        lock_held_deny: BTreeSet::new(),
+        hot_alloc_paths: BTreeSet::new(),
         allows: Vec::new(),
     }
+}
+
+/// Opts in to the concurrency machinery: the fixture lock identities
+/// and a one-entry deny list.
+fn lock_config() -> Config {
+    let mut config = bare_config();
+    for name in ["ledger", "index", "out"] {
+        config.lock_names.insert(name.to_string());
+    }
+    config.lock_held_deny.insert("flush".to_string());
+    config
 }
 
 fn source(path: &str, crate_key: &str, role: Role, is_crate_root: bool, text: &str) -> SourceFile {
@@ -378,6 +399,191 @@ fn time_rule_exempts_test_role_files() {
         TIME_FIRE,
     );
     assert_clean(run_files(&[file], &config));
+}
+
+#[test]
+fn lock_order_fire_flags_both_sides_of_an_inversion_across_files() {
+    let a = lib("crates/pipeline/src/order_a.rs", "pipeline", LOCK_ORDER_FIRE_A);
+    let b = lib("crates/pipeline/src/order_b.rs", "pipeline", LOCK_ORDER_FIRE_B);
+    let diags = run_files(&[a, b], &lock_config());
+    let shapes: Vec<(&str, u32, &str)> = diags
+        .iter()
+        .map(|d| (d.file.as_str(), d.line, d.rule))
+        .collect();
+    assert_eq!(
+        shapes,
+        vec![
+            ("crates/pipeline/src/order_a.rs", 5, "lock_order"),
+            ("crates/pipeline/src/order_b.rs", 5, "lock_order"),
+        ]
+    );
+    // Each diagnostic names both acquisition sites: the held lock's
+    // line locally and the opposing site across the file boundary.
+    assert!(diags[0]
+        .message
+        .contains("lock `index` acquired while `ledger` (taken at line 4) is held"));
+    assert!(diags[0]
+        .message
+        .contains("crates/pipeline/src/order_b.rs:5 (fn `inverted`)"));
+    assert!(diags[1]
+        .message
+        .contains("lock `ledger` acquired while `index` (taken at line 4) is held"));
+    assert!(diags[1]
+        .message
+        .contains("crates/pipeline/src/order_a.rs:5 (fn `canonical`)"));
+}
+
+#[test]
+fn lock_order_renders_rustc_style_error_naming_both_sites() {
+    let a = lib("crates/pipeline/src/order_a.rs", "pipeline", LOCK_ORDER_FIRE_A);
+    let b = lib("crates/pipeline/src/order_b.rs", "pipeline", LOCK_ORDER_FIRE_B);
+    let diags = run_files(&[a, b], &lock_config());
+    let rendered = diags[0].to_string();
+    assert!(rendered.starts_with("error[iqb::lock_order]:"));
+    assert!(rendered.contains("taken at line 4"));
+    assert!(rendered.contains("crates/pipeline/src/order_b.rs:5"));
+    assert!(rendered.ends_with("--> crates/pipeline/src/order_a.rs:5"));
+}
+
+#[test]
+fn lock_order_clean_accepts_one_global_order() {
+    let file = lib("crates/pipeline/src/order.rs", "pipeline", LOCK_ORDER_CLEAN);
+    assert_clean(run_files(&[file], &lock_config()));
+}
+
+#[test]
+fn lock_order_only_models_declared_identities() {
+    let a = lib("crates/pipeline/src/order_a.rs", "pipeline", LOCK_ORDER_FIRE_A);
+    let b = lib("crates/pipeline/src/order_b.rs", "pipeline", LOCK_ORDER_FIRE_B);
+    // No `[locks] names` declared: the inversion is invisible.
+    assert_clean(run_files(&[a, b], &bare_config()));
+}
+
+#[test]
+fn lock_order_exempts_test_role_files() {
+    let a = lib("crates/pipeline/src/order_a.rs", "pipeline", LOCK_ORDER_FIRE_A);
+    let b = source(
+        "crates/pipeline/tests/order_b.rs",
+        "pipeline",
+        Role::Test,
+        false,
+        LOCK_ORDER_FIRE_B,
+    );
+    // The inverting half sits in a test file, so no cycle is recorded.
+    assert_clean(run_files(&[a, b], &lock_config()));
+}
+
+#[test]
+fn lock_held_fire_flags_io_wildcard_and_reasonless_annotation() {
+    let file = lib("crates/obs/src/sink_fire.rs", "obs", LOCK_HELD_FIRE);
+    let diags = run_files(&[file], &lock_config());
+    assert_eq!(
+        shape(&diags),
+        vec![(6, "lock_held"), (10, "lock_held"), (17, "lock_held")]
+    );
+    assert!(diags[0]
+        .message
+        .contains("blocking call `flush(..)` while the guard on `out`"));
+    assert!(diags[1]
+        .message
+        .contains("bound with `let _ = ...` drops immediately"));
+    assert!(diags[2]
+        .message
+        .contains("the `lint: allow(lock_held)` annotation needs a reason"));
+}
+
+#[test]
+fn lock_held_clean_accepts_scoped_guards_and_reasoned_annotation() {
+    let file = lib("crates/obs/src/sink_clean.rs", "obs", LOCK_HELD_CLEAN);
+    assert_clean(run_files(&[file], &lock_config()));
+}
+
+#[test]
+fn lock_held_exempts_test_role_files() {
+    let file = source(
+        "crates/obs/tests/sink.rs",
+        "obs",
+        Role::Test,
+        false,
+        LOCK_HELD_FIRE,
+    );
+    assert_clean(run_files(&[file], &lock_config()));
+}
+
+#[test]
+fn lock_held_suppressed_by_toml_allowlist_entry() {
+    let mut config = lock_config();
+    config.allows.push(AllowEntry {
+        rule: "lock_held".to_string(),
+        path: "crates/obs/src/sink_fire.rs".to_string(),
+        line: Some(6),
+        reason: "fixture: exercising the allowlist".to_string(),
+    });
+    let file = lib("crates/obs/src/sink_fire.rs", "obs", LOCK_HELD_FIRE);
+    assert_eq!(
+        shape(&run_files(&[file], &config)),
+        vec![(10, "lock_held"), (17, "lock_held")]
+    );
+}
+
+#[test]
+fn hot_alloc_fire_flags_loop_allocations_and_honours_annotation() {
+    let mut config = bare_config();
+    config
+        .hot_alloc_paths
+        .insert("crates/data/src/stream.rs".to_string());
+    let file = lib("crates/data/src/stream.rs", "data", HOT_ALLOC_FIRE);
+    let diags = run_files(&[file], &config);
+    assert_eq!(
+        shape(&diags),
+        vec![
+            (6, "hot_alloc"),
+            (7, "hot_alloc"),
+            (8, "hot_alloc"),
+            (9, "hot_alloc"),
+        ]
+    );
+    assert!(diags[0].message.contains("`format!` allocates a fresh `String`"));
+    assert!(diags[1].message.contains("`.to_string()` allocates per record"));
+    assert!(diags[2].message.contains("`.clone()` allocates per record"));
+    assert!(diags[3].message.contains("`Vec::new` allocates per record"));
+}
+
+#[test]
+fn hot_alloc_only_applies_to_listed_paths() {
+    let file = lib("crates/data/src/other.rs", "data", HOT_ALLOC_FIRE);
+    let mut config = bare_config();
+    config
+        .hot_alloc_paths
+        .insert("crates/data/src/stream.rs".to_string());
+    assert_clean(run_files(&[file], &config));
+}
+
+#[test]
+fn hot_alloc_clean_accepts_hoisted_buffers_and_arc_clone() {
+    let mut config = bare_config();
+    config
+        .hot_alloc_paths
+        .insert("crates/data/src/stream.rs".to_string());
+    let file = lib("crates/data/src/stream.rs", "data", HOT_ALLOC_CLEAN);
+    assert_clean(run_files(&[file], &config));
+}
+
+#[test]
+fn run_files_all_reports_suppressed_findings_for_json_audit() {
+    let file = lib("crates/obs/src/sink_clean.rs", "obs", LOCK_HELD_CLEAN);
+    let config = lock_config();
+    // Violations: none. Audit trail: the reasoned annotation in
+    // `deliberate_hold` suppressed one finding, visible with
+    // `allowed: true` and serialized that way.
+    assert_clean(run_files(std::slice::from_ref(&file), &config));
+    let all = run_files_all(&[file], &config);
+    let allowed: Vec<&Diagnostic> = all.iter().filter(|d| d.allowed).collect();
+    assert_eq!(allowed.len(), 1);
+    assert_eq!(allowed[0].line, 15);
+    assert_eq!(allowed[0].rule, "lock_held");
+    assert!(allowed[0].to_json().contains("\"allowed\":true"));
+    assert!(allowed[0].to_json().starts_with("{\"rule\":\"lock_held\""));
 }
 
 #[test]

@@ -109,6 +109,7 @@ impl PaneSet {
         for (_, pane) in self.panes.range(start..end) {
             session.merge_from(&pane.session)?;
             for (region, count) in &pane.samples {
+                // lint: allow(hot_alloc) owned entry key, once per pane-region — not per record
                 *samples.entry(region.clone()).or_insert(0) += count;
             }
             merges += 1;

@@ -35,7 +35,7 @@ use iqb_data::aggregate::AggregationSpec;
 use iqb_data::error::DataError;
 use iqb_data::quarantine::{IngestMode, QuarantineReport};
 use iqb_data::record::{RegionId, TestRecord};
-use iqb_data::store::{QueryFilter, RecordBatch};
+use iqb_data::store::{MeasurementStore, QueryFilter, RecordBatch};
 use iqb_data::stream::{stream_csv, StreamOptions, StreamSummary};
 
 use iqb_stats::changepoint::DetectConfig;
@@ -288,6 +288,7 @@ impl SessionRegistry {
                     if mode == IngestMode::Lenient && record.validate().is_err() {
                         continue;
                     }
+                    // lint: allow(lock_held) the writer mutex exists to serialize ingest; this is the critical section
                     windowed.ingest(record)?;
                 }
             }
@@ -302,9 +303,11 @@ impl SessionRegistry {
                     for record in &bucket {
                         columnar.push_record(record);
                     }
+                    // lint: allow(lock_held) the writer mutex exists to serialize ingest; this is the critical section
                     outcome.ingested += writer.session.ingest_batch(&columnar)?;
                 }
                 IngestMode::Lenient => {
+                    // lint: allow(lock_held) the writer mutex exists to serialize ingest; this is the critical section
                     let (ingested, report) = writer.session.ingest_lenient(bucket)?;
                     outcome.ingested += ingested;
                     outcome.quarantine.merge(&report);
@@ -358,9 +361,11 @@ impl SessionRegistry {
                 // event-time bookkeeping needs the owned view anyway.
                 for row in 0..bucket.len() {
                     let record = bucket.record_at(row);
+                    // lint: allow(lock_held) the writer mutex exists to serialize ingest; this is the critical section
                     windowed.ingest(&record)?;
                 }
             }
+            // lint: allow(lock_held) the writer mutex exists to serialize ingest; this is the critical section
             outcome.ingested += writer.session.ingest_batch(&bucket)?;
             writer.pending_submits += 1;
             if writer.pending_submits >= self.options.debounce_submits {
@@ -465,27 +470,36 @@ impl SessionRegistry {
     }
 
     /// Windowed trend for one region over its full retained time range.
-    /// This reads the shard's store and therefore takes the writer lock;
-    /// trends are a diagnostic query, not a hot read path. Returns an
-    /// empty vector for an unknown region.
+    /// The region's rows are copied out under the shard's writer lock,
+    /// which is then released before scoring: `score_trend` walks every
+    /// window and would otherwise stall submits to this shard for the
+    /// whole scoring pass. Returns an empty vector for an unknown
+    /// region.
     pub fn trend(&self, region: &RegionId, window_s: u64) -> Result<Vec<TrendPoint>, PipelineError> {
         let shard = &self.shards[self.shard_index(region)];
-        let writer = shard.writer.lock();
-        let store = writer.session.store();
         let filter = QueryFilter::all().region(region.clone());
-        let mut earliest = u64::MAX;
-        let mut latest = 0u64;
-        let mut any = false;
-        for row in store.query(&filter) {
-            any = true;
-            earliest = earliest.min(row.timestamp());
-            latest = latest.max(row.timestamp());
-        }
-        if !any {
+        let records: Vec<TestRecord> = {
+            let writer = shard.writer.lock();
+            writer
+                .session
+                .store()
+                .query(&filter)
+                .map(|row| row.to_record())
+                .collect()
+        };
+        if records.is_empty() {
             return Ok(Vec::new());
         }
+        let mut earliest = u64::MAX;
+        let mut latest = 0u64;
+        for record in &records {
+            earliest = earliest.min(record.timestamp);
+            latest = latest.max(record.timestamp);
+        }
+        let mut store = MeasurementStore::new();
+        store.extend(records)?;
         score_trend(
-            store,
+            &store,
             region,
             &self.config,
             &self.spec,
@@ -583,22 +597,30 @@ impl SessionRegistry {
         let next = SessionRegistry::new(config, spec, self.options)?;
         let filter = QueryFilter::all();
         for (source, target) in self.shards.iter().zip(next.shards.iter()) {
-            let source_writer = source.writer.lock();
+            // Copy the retained rows out with only the source lock
+            // held, then release it before the replay: a serving
+            // registry keeps accepting submits into this shard while
+            // its replacement is rebuilt.
+            let records: Vec<TestRecord> = {
+                let source_writer = source.writer.lock();
+                source_writer
+                    .session
+                    .store()
+                    .query(&filter)
+                    .map(|row| row.to_record())
+                    .collect()
+            };
             let mut target_writer = target.writer.lock();
-            let records: Vec<TestRecord> = source_writer
-                .session
-                .store()
-                .query(&filter)
-                .map(|row| row.to_record())
-                .collect();
             // Window state survives reload by replay: the store retains
             // records in arrival order, so the rebuilt windowed session
             // reopens, fills and closes the same windows (now scored
             // under the new config) and re-quarantines the same
             // stragglers.
             if let Some(windowed) = target_writer.windowed.as_mut() {
+                // lint: allow(lock_held) target shard is private until `next` is returned; nothing contends
                 windowed.ingest_all(records.iter())?;
             }
+            // lint: allow(lock_held) target shard is private until `next` is returned; nothing contends
             target_writer.session.ingest(records)?;
             target.commit(&mut target_writer)?;
         }

@@ -189,11 +189,13 @@ impl ScoringSession {
             }
             let region = &regions[rsym.index()];
             if !self.dirty.contains(region) {
+                // lint: allow(hot_alloc) once per newly-dirty region per batch, not per record
                 self.dirty.insert(region.clone());
             }
             if scored[dsym.index()] {
                 let dataset = &datasets[dsym.index()];
                 if !self.sinks.contains_key(region) {
+                    // lint: allow(hot_alloc) once per never-seen region, not per record
                     self.sinks.insert(region.clone(), RegionSinks::new());
                 }
                 let region_sinks = self
@@ -202,6 +204,7 @@ impl ScoringSession {
                     // lint: allow(panic) entry inserted just above; avoids a key clone per run
                     .expect("region entry inserted above");
                 if !region_sinks.contains_key(dataset) {
+                    // lint: allow(hot_alloc) once per never-seen dataset, not per record
                     region_sinks.insert(dataset.clone(), BTreeMap::new());
                 }
                 let cell_sinks = region_sinks
@@ -324,6 +327,7 @@ impl ScoringSession {
                     source: "session".into(),
                     line: None,
                     kind: FaultKind::classify(&e),
+                    // lint: allow(hot_alloc) quarantine error path, not the kept-record path
                     detail: e.to_string(),
                 }),
             }
@@ -352,12 +356,15 @@ impl ScoringSession {
     pub fn merge_from(&mut self, other: &Self) -> Result<(), PipelineError> {
         for region in &other.dirty {
             if !self.dirty.contains(region) {
+                // lint: allow(hot_alloc) once per merged region, not per record
                 self.dirty.insert(region.clone());
             }
         }
         for (region, region_sinks) in &other.sinks {
+            // lint: allow(hot_alloc) owned entry key, once per merged region
             let dst_region = self.sinks.entry(region.clone()).or_default();
             for (dataset, cell_sinks) in region_sinks {
+                // lint: allow(hot_alloc) owned entry key, once per merged dataset
                 let dst_cells = dst_region.entry(dataset.clone()).or_default();
                 for (metric, (q, sink)) in cell_sinks {
                     match dst_cells.entry(*metric) {
@@ -365,6 +372,7 @@ impl ScoringSession {
                             o.into_mut().1.merge(sink)?;
                         }
                         std::collections::btree_map::Entry::Vacant(v) => {
+                            // lint: allow(hot_alloc) sink ownership transfer, once per vacant cell per merge
                             v.insert((*q, sink.clone()));
                         }
                     }
@@ -401,6 +409,7 @@ impl ScoringSession {
                         }
                         let value = sink.quantile(*q)?;
                         input.set_with_provenance(
+                            // lint: allow(hot_alloc) owned key per scored cell, bounded by the cell grid not the record count
                             dataset.clone(),
                             *metric,
                             value,

@@ -375,6 +375,7 @@ fn handle(request: Request, state: &ServerState) -> Result<Response, ServeError>
                 Some(raw) => spec.with_backend(raw.parse()?),
                 None => spec,
             };
+            // lint: allow(lock_held) deliberate: holding the write lock across the rebuild keeps submits from landing in the retiring registry and being lost
             let next = slot.reload(config, spec)?;
             let records = next.records();
             let regions = next.report().regions.len();
